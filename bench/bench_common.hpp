@@ -1,0 +1,78 @@
+// Shared glue for the experiment harnesses in bench/: convergence drivers
+// that return rich per-run measurements, used to regenerate the paper's
+// figures as text tables.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "engine/runner.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/registry.hpp"
+#include "sched/adversary.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "verify/matching.hpp"
+
+namespace ppfs::bench {
+
+struct SimMeasurement {
+  bool converged = false;
+  std::size_t interactions = 0;    // physical interactions driven
+  std::size_t omissions = 0;
+  std::size_t simulated_pairs = 0; // matched simulated two-way interactions
+  std::size_t unmatched = 0;
+  bool matching_ok = false;
+  double overhead = 0.0;           // interactions per simulated pair
+};
+
+// Drive `sim` on workload `w` under `sched` until the workload's probe
+// stabilizes, then verify the matching.
+inline SimMeasurement measure_simulation(Simulator& sim, const Workload& w,
+                                         Scheduler& sched, Rng& rng,
+                                         const RunOptions& opt,
+                                         std::size_t max_unmatched) {
+  auto counts_probe = workload_counts_probe(w);
+  auto probe = [&](const Simulator& s) {
+    std::vector<std::size_t> counts(w.protocol->num_states(), 0);
+    for (State q : s.projection()) ++counts[q];
+    return counts_probe(counts, *w.protocol);
+  };
+  const RunResult res = run_until(sim, sched, rng, probe, opt);
+  const MatchingReport rep = verify_simulation(sim, max_unmatched);
+  SimMeasurement m;
+  m.converged = res.converged;
+  m.interactions = res.steps;
+  m.omissions = res.omissions;
+  m.simulated_pairs = rep.pairs;
+  m.unmatched = rep.unmatched;
+  m.matching_ok = rep.ok;
+  m.overhead = rep.pairs > 0 ? static_cast<double>(res.steps) / rep.pairs : 0.0;
+  return m;
+}
+
+inline std::unique_ptr<Scheduler> budget_adversary(std::size_t n, double rate,
+                                                   std::size_t max_omissions) {
+  AdversaryParams ap;
+  ap.kind = AdversaryKind::Budget;
+  ap.rate = rate;
+  ap.max_omissions = max_omissions;
+  return std::make_unique<OmissionAdversary>(std::make_unique<UniformScheduler>(n),
+                                             n, ap);
+}
+
+inline std::unique_ptr<Scheduler> uo_adversary(std::size_t n, double rate) {
+  AdversaryParams ap;
+  ap.kind = AdversaryKind::UO;
+  ap.rate = rate;
+  return std::make_unique<OmissionAdversary>(std::make_unique<UniformScheduler>(n),
+                                             n, ap);
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace ppfs::bench

@@ -1,0 +1,101 @@
+// PERF — raw engine and simulator throughput (google-benchmark). The
+// reproduction hint for this paper is "simple scheduler loop, fast
+// large-population runs": the native two-way engine must sustain tens of
+// millions of interactions per second up to n = 10^6 agents, and the
+// simulators should be within a small constant factor at fixed n.
+#include <benchmark/benchmark.h>
+
+#include "engine/native.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/oneway.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "util/rng.hpp"
+
+namespace ppfs {
+namespace {
+
+void BM_NativeTwoWay(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto st = exact_majority_states();
+  std::vector<State> init(n);
+  for (std::size_t i = 0; i < n; ++i)
+    init[i] = i % 2 == 0 ? st.big_x : st.big_y;
+  NativeSystem sys(make_exact_majority(), init);
+  UniformScheduler sched(n);
+  Rng rng(1);
+  std::size_t step = 0;
+  for (auto _ : state) {
+    sys.interact(sched.next(rng, step++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NativeTwoWay)->Arg(100)->Arg(10'000)->Arg(1'000'000);
+
+void BM_OneWayNative(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<State> init(n, 0);
+  init[0] = 1;
+  OneWaySystem sys(make_io_or(), Model::IO, init);
+  UniformScheduler sched(n);
+  Rng rng(2);
+  std::size_t step = 0;
+  for (auto _ : state) {
+    sys.interact(sched.next(rng, step++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OneWayNative)->Arg(100)->Arg(1'000'000);
+
+void BM_SknoSimulator(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto o = static_cast<std::size_t>(state.range(1));
+  const auto st = exact_majority_states();
+  std::vector<State> init(n);
+  for (std::size_t i = 0; i < n; ++i)
+    init[i] = i % 2 == 0 ? st.big_x : st.big_y;
+  SknoSimulator sim(make_exact_majority(), o == 0 ? Model::IT : Model::I3, o,
+                    init);
+  UniformScheduler sched(n);
+  Rng rng(3);
+  std::size_t step = 0;
+  for (auto _ : state) {
+    sim.interact(sched.next(rng, step++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SknoSimulator)->Args({100, 0})->Args({100, 2})->Args({1000, 2});
+
+void BM_SidSimulator(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto st = exact_majority_states();
+  std::vector<State> init(n);
+  for (std::size_t i = 0; i < n; ++i)
+    init[i] = i % 2 == 0 ? st.big_x : st.big_y;
+  SidSimulator sim(make_exact_majority(), Model::IO, init);
+  UniformScheduler sched(n);
+  Rng rng(4);
+  std::size_t step = 0;
+  for (auto _ : state) {
+    sim.interact(sched.next(rng, step++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SidSimulator)->Arg(100)->Arg(10'000);
+
+void BM_SchedulerOnly(benchmark::State& state) {
+  UniformScheduler sched(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  std::size_t step = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.next(rng, step++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchedulerOnly)->Arg(1'000'000);
+
+}  // namespace
+}  // namespace ppfs
+
+BENCHMARK_MAIN();

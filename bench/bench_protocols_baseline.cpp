@@ -1,0 +1,61 @@
+// PERF/baseline — native two-way convergence of every library workload:
+// the reference numbers every simulator-overhead table divides by, plus a
+// population-size scaling sweep (expected Theta(n^2 log n)-ish interaction
+// counts for the epidemic-style protocols under uniform scheduling).
+#include "bench_common.hpp"
+
+namespace ppfs {
+namespace {
+
+void suite_table() {
+  bench::banner("Baseline / Table 1: native TW convergence, n = 50");
+  TextTable t({"workload", "converged", "interactions", "interactions/n"});
+  const std::size_t n = 50;
+  for (const Workload& w : standard_workloads(n)) {
+    RunOptions opt;
+    opt.max_steps = 20'000'000;
+    const auto res = run_native_workload(w, 1234, opt);
+    t.add_row({w.name, fmt_bool(res.converged), std::to_string(res.steps),
+               fmt_double(static_cast<double>(res.steps) / n, 1)});
+  }
+  t.print(std::cout);
+}
+
+void scaling_table() {
+  bench::banner("Baseline / Table 2: convergence scaling with n (3 seeds each)");
+  TextTable t({"workload family", "n", "mean interactions", "mean/n^2"});
+  for (std::size_t n : {10, 20, 40, 80, 160, 320}) {
+    for (std::size_t which : {0, 2}) {  // or-epidemic, leader election
+      const auto suite = core_workloads(n);
+      const Workload& w = suite[which];
+      double total = 0;
+      int runs = 0;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        RunOptions opt;
+        opt.max_steps = 60'000'000;
+        const auto res = run_native_workload(w, seed * 97, opt);
+        if (res.converged) {
+          total += static_cast<double>(res.steps);
+          ++runs;
+        }
+      }
+      const double mean = runs ? total / runs : 0;
+      t.add_row({w.name, std::to_string(n), fmt_double(mean, 0),
+                 fmt_double(mean / (static_cast<double>(n) * n), 3)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape to observe: epidemics finish in Theta(n log n) "
+               "interactions; leader election needs Theta(n^2) (the last "
+               "two leaders must meet under uniform scheduling).\n";
+}
+
+}  // namespace
+}  // namespace ppfs
+
+int main() {
+  ppfs::bench::banner("Native two-way baselines");
+  ppfs::suite_table();
+  ppfs::scaling_table();
+  return 0;
+}

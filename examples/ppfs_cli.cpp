@@ -1,0 +1,136 @@
+// ppfs_cli — run any (workload x simulator x model x adversary) combination
+// from the command line and print the outcome, verification verdict and
+// summary statistics. With no arguments it runs a representative demo.
+//
+//   usage: ppfs_cli [workload] [simulator] [model] [n] [rate] [budget] [seed]
+//
+//     workload   or | and | approx-majority | exact-majority | leader |
+//                threshold-true | threshold-false | mod | pairing
+//     simulator  naive | skno | sid | naming
+//     model      TW T1 T2 T3 IT IO I1 I2 I3 I4
+//     n          population size (>= 4)
+//     rate       omission-insertion probability (0 disables the adversary)
+//     budget     max omissions (SKnO's known bound); "uo" = unlimited
+//     seed       RNG seed
+//
+//   examples:
+//     ppfs_cli exact-majority skno I3 10 0.05 2 42
+//     ppfs_cli leader sid T3 12 0.3 uo 7
+#include <iostream>
+#include <string>
+
+#include "engine/runner.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/registry.hpp"
+#include "sched/adversary.hpp"
+#include "sim/naming.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "sim/tw_naive.hpp"
+#include "verify/matching.hpp"
+
+using namespace ppfs;
+
+namespace {
+
+int usage(const char* msg) {
+  std::cerr << "ppfs_cli: " << msg
+            << "\nusage: ppfs_cli [workload] [simulator] [model] [n] [rate] "
+               "[budget] [seed]\n";
+  return 2;
+}
+
+Workload find_workload(const std::string& name, std::size_t n) {
+  for (Workload& w : standard_workloads(n)) {
+    if (w.name.rfind(name, 0) == 0) return w;
+  }
+  throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+Model parse_model(const std::string& s) {
+  for (Model m : kAllModels)
+    if (model_name(m) == s) return m;
+  throw std::invalid_argument("unknown model '" + s + "'");
+}
+
+std::unique_ptr<Simulator> make_simulator(const std::string& kind,
+                                          const Workload& w, Model model,
+                                          std::size_t budget) {
+  if (kind == "naive") return std::make_unique<TwSimulator>(w.protocol, model, w.initial);
+  if (kind == "skno")
+    return std::make_unique<SknoSimulator>(w.protocol, model,
+                                           budget == SIZE_MAX ? 0 : budget,
+                                           w.initial);
+  if (kind == "sid") return std::make_unique<SidSimulator>(w.protocol, model, w.initial);
+  if (kind == "naming")
+    return std::make_unique<NamingSimulator>(w.protocol, model, w.initial);
+  throw std::invalid_argument("unknown simulator '" + kind + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "exact-majority";
+  std::string simulator = "skno";
+  std::string model_s = "I3";
+  std::size_t n = 10;
+  double rate = 0.05;
+  std::size_t budget = 2;
+  std::uint64_t seed = 42;
+
+  try {
+    if (argc > 1) workload = argv[1];
+    if (argc > 2) simulator = argv[2];
+    if (argc > 3) model_s = argv[3];
+    if (argc > 4) n = std::stoul(argv[4]);
+    if (argc > 5) rate = std::stod(argv[5]);
+    if (argc > 6) budget = std::string(argv[6]) == "uo" ? SIZE_MAX
+                                                        : std::stoul(argv[6]);
+    if (argc > 7) seed = std::stoull(argv[7]);
+
+    const Model model = parse_model(model_s);
+    const Workload w = find_workload(workload, n);
+    auto sim = make_simulator(simulator, w, model, budget);
+
+    std::unique_ptr<Scheduler> sched;
+    if (rate > 0 && is_omissive(model)) {
+      AdversaryParams p;
+      p.kind = budget == SIZE_MAX ? AdversaryKind::UO : AdversaryKind::Budget;
+      p.rate = rate;
+      if (budget != SIZE_MAX) p.max_omissions = budget;
+      sched = std::make_unique<OmissionAdversary>(
+          std::make_unique<UniformScheduler>(n), n, p);
+    } else {
+      sched = std::make_unique<UniformScheduler>(n);
+    }
+
+    Rng rng(seed);
+    auto counts_probe = workload_counts_probe(w);
+    auto probe = [&](const Simulator& s) {
+      std::vector<std::size_t> counts(w.protocol->num_states(), 0);
+      for (State q : s.projection()) ++counts[q];
+      return counts_probe(counts, *w.protocol);
+    };
+    RunOptions opt;
+    opt.max_steps = 20'000'000;
+    const RunResult res = run_until(*sim, *sched, rng, probe, opt);
+
+    std::cout << sim->describe() << " on " << w.name << "\n"
+              << "  converged:            " << (res.converged ? "yes" : "NO")
+              << "\n"
+              << "  interactions:         " << res.steps << "\n"
+              << "  omissions delivered:  " << res.omissions << "\n"
+              << "  simulated half-steps: " << sim->simulated_updates() << "\n";
+    std::cout << "  final projection:    ";
+    for (State q : sim->projection())
+      std::cout << ' ' << w.protocol->state_name(q);
+    std::cout << "\n";
+    const MatchingReport rep = verify_simulation(*sim, 4 * n);
+    std::cout << "  verification:         "
+              << (rep.ok ? "ok" : "FAILED") << " (" << rep.pairs
+              << " matched pairs, " << rep.unmatched << " open)\n";
+    return res.converged && rep.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+}

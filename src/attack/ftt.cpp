@@ -1,0 +1,45 @@
+#include "attack/ftt.hpp"
+
+#include <deque>
+
+namespace ppfs {
+
+std::optional<FttResult> find_ftt(const SimFactory& factory, State q0, State q1,
+                                  std::size_t max_depth) {
+  auto root = factory({q0, q1});
+  const StatePair target = root->protocol().delta(q0, q1);
+  if (target.starter == q0 && target.reactor == q1) return std::nullopt;
+
+  struct Node {
+    std::unique_ptr<Simulator> sim;
+    std::vector<Interaction> run;
+  };
+  auto reached = [&](const Simulator& s) {
+    return s.simulated_state(0) == target.starter &&
+           s.simulated_state(1) == target.reactor;
+  };
+  if (reached(*root)) return FttResult{0, {}};
+
+  std::deque<Node> frontier;
+  frontier.push_back(Node{std::move(root), {}});
+  const Interaction choices[2] = {Interaction{0, 1, false}, Interaction{1, 0, false}};
+  for (std::size_t depth = 1; depth <= max_depth; ++depth) {
+    std::deque<Node> next;
+    while (!frontier.empty()) {
+      Node node = std::move(frontier.front());
+      frontier.pop_front();
+      for (const Interaction& ia : choices) {
+        auto child = node.sim->clone();
+        child->interact(ia);
+        auto run = node.run;
+        run.push_back(ia);
+        if (reached(*child)) return FttResult{depth, std::move(run)};
+        next.push_back(Node{std::move(child), std::move(run)});
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ppfs

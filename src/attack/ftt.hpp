@@ -1,0 +1,37 @@
+// Fastest Transition Time (Definitions 6–7 of the paper): the minimum
+// number of non-omissive interactions a given simulator needs to carry a
+// two-agent system through one full simulated two-way transition — its
+// "maximum speed", and per Lemma 1 exactly the number of omissions that
+// suffices to defeat it.
+//
+// Computed by breadth-first search over interaction schedules on the
+// two-agent system, using Simulator::clone to branch deterministically.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ppfs {
+
+// Builds a fresh simulator over the given initial simulated states.
+using SimFactory =
+    std::function<std::unique_ptr<Simulator>(std::vector<State> initial)>;
+
+struct FttResult {
+  std::size_t ftt = 0;               // t: minimal transition time
+  std::vector<Interaction> run;      // a witness run I achieving it
+};
+
+// Searches runs up to max_depth interactions. The transition-time target
+// is: projection == (delta(q0,q1)[0], delta(q0,q1)[1]) where (q0, q1) is
+// the simulator's initial projection. Returns nullopt if not reachable
+// within the depth bound (or if the target equals the initial projection,
+// in which case FTT would be 0 and the construction degenerate).
+[[nodiscard]] std::optional<FttResult> find_ftt(const SimFactory& factory, State q0,
+                                                State q1, std::size_t max_depth);
+
+}  // namespace ppfs

@@ -1,0 +1,136 @@
+#include "attack/lemma1.hpp"
+
+#include <sstream>
+
+#include "sched/scheduler.hpp"
+
+namespace ppfs {
+
+namespace {
+
+// Remap a two-agent interaction (agents 0/1 = d0/d1) onto the pair
+// (2k, 2k+1) of the big system.
+Interaction remap_pair(const Interaction& ia, std::size_t k) {
+  auto m = [&](AgentId a) {
+    return static_cast<AgentId>(2 * k + (a == 0 ? 0 : 1));
+  };
+  return Interaction{m(ia.starter), m(ia.reactor), ia.omissive, ia.side};
+}
+
+}  // namespace
+
+std::optional<Lemma1Report> run_lemma1_attack(const SimFactory& factory, State q0,
+                                              State q1, const Lemma1Options& opt) {
+  // --- Step 1: FTT and the witness run I on two agents (d0=q0, d1=q1). ---
+  const auto ftt = find_ftt(factory, q0, q1, opt.max_ftt_depth);
+  if (!ftt || ftt->ftt == 0) return std::nullopt;
+  const std::size_t t = ftt->ftt;
+  const std::vector<Interaction>& I = ftt->run;
+
+  auto probe = factory({q0, q1});
+  const State q1_prime = probe->protocol().delta(q0, q1).reactor;
+
+  // --- Step 2: for each k, the run I_k = I[0..k-1] + omission + extension
+  //             (extension = interactions until d1 reaches q1'). ---------
+  struct IkParts {
+    std::vector<Interaction> prefix;     // I[0..k-1]
+    Interaction omissive;                // same starter as I[k], omissive
+    std::vector<Interaction> extension;  // I_k[k+1 .. t_k-1]
+  };
+  std::vector<IkParts> iks;
+  iks.reserve(t);
+  for (std::size_t k = 0; k < t; ++k) {
+    IkParts parts;
+    parts.prefix.assign(I.begin(), I.begin() + static_cast<std::ptrdiff_t>(k));
+    parts.omissive = I[k];
+    parts.omissive.omissive = true;
+    parts.omissive.side = OmitSide::Reactor;  // detection on the receiving side
+
+    auto sim = factory({q0, q1});
+    for (const auto& ia : parts.prefix) sim->interact(ia);
+    const bool done_in_prefix = sim->simulated_state(1) == q1_prime;
+    sim->interact(parts.omissive);
+    if (!done_in_prefix && sim->simulated_state(1) != q1_prime) {
+      // Extend without further omissions until d1 transitions. Phase 1:
+      // keep transmitting d0 -> d1 (the natural continuation); phase 2:
+      // alternate directions; both deterministic.
+      bool reached = false;
+      std::size_t budget = opt.extension_cap;
+      const Interaction fwd{0, 1, false};
+      const Interaction bwd{1, 0, false};
+      std::size_t step = 0;
+      while (budget-- > 0) {
+        const Interaction ia = (step < t + 1) ? fwd : (step % 2 == 0 ? fwd : bwd);
+        ++step;
+        sim->interact(ia);
+        parts.extension.push_back(ia);
+        if (sim->simulated_state(1) == q1_prime) {
+          reached = true;
+          break;
+        }
+      }
+      if (!reached) return std::nullopt;  // not a NO1-resilient simulator
+    }
+    iks.push_back(std::move(parts));
+  }
+
+  // --- Step 3: assemble I* = J_0 .. J_{t-1} on 2t+2 agents. -------------
+  const std::size_t n = 2 * t + 2;
+  const auto v = static_cast<AgentId>(2 * t);      // phantom victim a_{2t}
+  const auto g = static_cast<AgentId>(2 * t + 1);  // omission generator
+  std::vector<Interaction> star;
+  std::size_t omissions = 0;
+  for (std::size_t k = 0; k < t; ++k) {
+    const IkParts& parts = iks[k];
+    for (const auto& ia : parts.prefix) star.push_back(remap_pair(ia, k));
+    // Redirected step: a real interaction between a_{2k} and a_{2t} with
+    // a_{2k} in d0's role of I_k[k], and an omissive interaction between
+    // a_{2k+1} and a_{2t+1} with a_{2k+1} in d1's role.
+    const bool d0_starts = parts.omissive.starter == 0;
+    const auto p = static_cast<AgentId>(2 * k);      // plays d0
+    const auto c = static_cast<AgentId>(2 * k + 1);  // plays d1
+    if (d0_starts) {
+      star.push_back(Interaction{p, v, false});
+      star.push_back(Interaction{g, c, true, OmitSide::Reactor});
+    } else {
+      star.push_back(Interaction{v, p, false});
+      star.push_back(Interaction{c, g, true, OmitSide::Reactor});
+    }
+    ++omissions;
+    for (const auto& ia : parts.extension) star.push_back(remap_pair(ia, k));
+  }
+
+  // --- Step 4: execute I* from B0 (t producers, t+2 consumers). ---------
+  std::vector<State> initial(n, q1);
+  for (std::size_t k = 0; k < t; ++k) initial[2 * k] = q0;
+  auto big = factory(initial);
+  for (const auto& ia : star) big->interact(ia);
+
+  // Optional GF suffix: the violation is irrevocable, so it survives any
+  // fair continuation (Theorem 3.1's closing argument).
+  if (opt.gf_suffix > 0) {
+    Rng rng(opt.seed);
+    UniformScheduler sched(n);
+    for (std::size_t i = 0; i < opt.gf_suffix; ++i)
+      big->interact(sched.next(rng, i));
+  }
+
+  Lemma1Report rep;
+  rep.ftt = t;
+  rep.agents = n;
+  rep.producers = t;
+  rep.consumers = t + 2;
+  rep.omissions = omissions;
+  rep.script_len = star.size();
+  for (AgentId a = 0; a < n; ++a)
+    if (big->simulated_state(a) == q1_prime) ++rep.critical;
+  rep.safety_violated = rep.critical > rep.producers;
+  std::ostringstream os;
+  os << "FTT=" << t << " run-I=[";
+  for (const auto& ia : I) os << (ia.starter == 0 ? "(d0,d1)" : "(d1,d0)");
+  os << "]";
+  rep.detail = os.str();
+  return rep;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,48 @@
+// The Lemma 1 construction (§3.1, Figure 2) and its use in Theorem 3.1:
+// an executable adversarial run I* that defeats any concrete simulator
+// whose FTT is finite, by fooling t = FTT pairs of agents into simulating
+// against each other while an auxiliary agent a_{2t} assembles one extra
+// ("phantom") transition out of redirected interactions — with all
+// omissions covered by a final generator agent a_{2t+1}.
+//
+// Applied to the Pairing protocol (q0 = p, q1 = c, q1' = cs) this yields
+// t+1 critical agents against only t producers: a safety violation,
+// produced by a run with finitely many omissions (NO adversary), which is
+// the executable content of Theorem 3.1 (and, for thresholds, Thm 3.3).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "attack/ftt.hpp"
+#include "util/rng.hpp"
+
+namespace ppfs {
+
+struct Lemma1Report {
+  std::size_t ftt = 0;        // t
+  std::size_t agents = 0;     // 2t + 2
+  std::size_t producers = 0;  // t  (simulated state q0)
+  std::size_t consumers = 0;  // t + 2  (simulated state q1)
+  std::size_t omissions = 0;  // omissive interactions in I*
+  std::size_t script_len = 0;
+  std::size_t critical = 0;   // agents that reached q1' after I* (+ extension)
+  bool safety_violated = false;  // critical > producers
+  std::string detail;
+};
+
+struct Lemma1Options {
+  std::size_t max_ftt_depth = 16;
+  std::size_t extension_cap = 4096;  // per-I_k extension search budget
+  std::size_t gf_suffix = 0;         // extra random (GF) interactions after I*
+  std::uint64_t seed = 42;
+};
+
+// `factory` builds the simulator under attack over arbitrary initial
+// simulated states (same model/parameters each time). The simulated
+// protocol must be symmetric on (q0, q1) — Lemma 1's hypothesis; for the
+// Pairing protocol pass q0 = producer, q1 = consumer.
+[[nodiscard]] std::optional<Lemma1Report> run_lemma1_attack(
+    const SimFactory& factory, State q0, State q1, const Lemma1Options& opt = {});
+
+}  // namespace ppfs

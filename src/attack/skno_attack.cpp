@@ -1,0 +1,41 @@
+#include "attack/skno_attack.hpp"
+
+#include <stdexcept>
+
+#include "protocols/pairing.hpp"
+
+namespace ppfs {
+
+SknoAttackPlan build_skno_attack(std::size_t o) {
+  if (o < 1)
+    throw std::invalid_argument(
+        "build_skno_attack: o >= 1 (with o = 0 there are no jokers to cheat "
+        "with; omissions then break liveness only — see the Thm 3.2 demos)");
+  const auto st = pairing_states();
+  SknoAttackPlan plan;
+  plan.o = o;
+  plan.n = 2 * (o + 1) + 2;
+  plan.victim = static_cast<AgentId>(2 * (o + 1));
+  const auto generator = static_cast<AgentId>(2 * (o + 1) + 1);
+  plan.producers = o + 1;
+  plan.expected_critical = o + 2;
+
+  plan.initial.assign(plan.n, st.consumer);
+  for (std::size_t k = 0; k <= o; ++k)
+    plan.initial[2 * k] = st.producer;
+
+  for (std::size_t k = 0; k <= o; ++k) {
+    const auto pk = static_cast<AgentId>(2 * k);
+    const auto ck = static_cast<AgentId>(2 * k + 1);
+    for (std::size_t i = 0; i < k; ++i)
+      plan.script.push_back(Interaction{pk, ck, false});
+    plan.script.push_back(Interaction{pk, plan.victim, false});  // steal k+1
+    plan.script.push_back(Interaction{generator, ck, true, OmitSide::Reactor});
+    ++plan.omissions;
+    for (std::size_t i = 0; i < o - k; ++i)
+      plan.script.push_back(Interaction{pk, ck, false});
+  }
+  return plan;
+}
+
+}  // namespace ppfs

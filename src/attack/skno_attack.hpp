@@ -1,0 +1,41 @@
+// The crafted minimal attack on SKnO (sharp version of Theorems 3.1/3.3
+// for this concrete simulator): with the omission bound configured to o,
+// exactly o+1 omissions suffice to violate the safety of the Pairing
+// problem — one "stolen" token per producer feeds a phantom run to the
+// victim while each cheated consumer completes its own run with the joker
+// minted by the omission ("Rummy" cheating). With at most o omissions the
+// simulator is safe (Theorem 4.1), so its resilience threshold is exactly
+// its configured bound.
+//
+// Layout (n = 2(o+1) + 2 agents):
+//   pairs (P_k = 2k producer, C_k = 2k+1 consumer), k = 0..o
+//   V = 2(o+1)   victim consumer, assembles the phantom run
+//   G = 2(o+1)+1 omission generator
+//
+// Script per pair k:
+//   k  x (P_k -> C_k)          P_k goes pending, transmits tokens 1..k
+//   1  x (P_k -> V)            token k+1 stolen by the victim
+//   1  x (G -> C_k) omissive   C_k detects, mints the compensating joker
+//   o-k x (P_k -> C_k)         tokens k+2..o+1; C_k completes via joker
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ppfs {
+
+struct SknoAttackPlan {
+  std::size_t o = 0;             // the simulator's configured bound
+  std::size_t n = 0;             // 2(o+1) + 2
+  std::vector<State> initial;    // pairing states
+  std::vector<Interaction> script;
+  std::size_t omissions = 0;     // o + 1
+  AgentId victim = kNoAgent;
+  std::size_t producers = 0;     // o + 1
+  std::size_t expected_critical = 0;  // o + 2  (> producers)
+};
+
+[[nodiscard]] SknoAttackPlan build_skno_attack(std::size_t o);
+
+}  // namespace ppfs

@@ -1,0 +1,83 @@
+#include "attack/thm32.hpp"
+
+#include <stdexcept>
+
+#include "protocols/pairing.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/skno.hpp"
+#include "sim/tw_naive.hpp"
+#include "util/rng.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+
+No1DemoReport run_t1_no1_demo() {
+  const auto st = pairing_states();
+  auto protocol = make_pairing_protocol();
+
+  No1DemoReport rep;
+  rep.model = Model::T1;
+  rep.candidate = "TwSimulator (apply delta per interaction, o = h = id)";
+
+  // Sanity: in fault-free TW the wrapper is a correct simulator.
+  {
+    TwSimulator ok(protocol, Model::TW, {st.consumer, st.producer});
+    ok.interact(Interaction{1, 0, false});  // (p, c) -> (bot, cs)
+    rep.works_without_omissions = ok.simulated_state(0) == st.critical &&
+                                  ok.simulated_state(1) == st.bottom;
+  }
+
+  // The NO1 attack: agents {c, p, c}; one starter-side omission on the
+  // producer, then a single fault-free interaction re-consumes it.
+  TwSimulator sim(protocol, Model::T1, {st.consumer, st.producer, st.consumer});
+  PairingMonitor monitor(sim.projection());
+  sim.interact(Interaction{1, 0, true, OmitSide::Starter});  // c0 -> cs, p unaware
+  monitor.observe(sim.projection());
+  sim.interact(Interaction{1, 2, false});  // p consumed "again": c2 -> cs
+  monitor.observe(sim.projection());
+
+  rep.omissions = 1;
+  rep.safety_violated = monitor.safety_violated();
+  rep.detail = "critical=" + std::to_string(monitor.max_critical()) +
+               " producers=" + std::to_string(monitor.producers());
+  return rep;
+}
+
+No1DemoReport run_oneway_no1_demo(Model model, std::size_t o,
+                                  std::size_t probe_steps, std::uint64_t seed) {
+  if (model != Model::I1 && model != Model::I2)
+    throw std::invalid_argument("run_oneway_no1_demo: model must be I1 or I2");
+  if (o < 1) throw std::invalid_argument("run_oneway_no1_demo: o >= 1");
+  const auto st = pairing_states();
+  auto protocol = make_pairing_protocol();
+
+  No1DemoReport rep;
+  rep.model = model;
+  rep.candidate = "token candidate (SKnO without jokers — none can be minted)";
+
+  // Sanity: with zero omissions the candidate does simulate.
+  {
+    SknoSimulator ok(protocol, model, o, {st.producer, st.consumer});
+    for (std::size_t i = 0; i < o + 1; ++i) ok.interact(Interaction{0, 1, false});
+    for (std::size_t i = 0; i < o + 1; ++i) ok.interact(Interaction{1, 0, false});
+    rep.works_without_omissions = ok.simulated_state(0) == st.bottom &&
+                                  ok.simulated_state(1) == st.critical;
+  }
+
+  // NO1: one omission up front, then a long fault-free fair schedule.
+  SknoSimulator sim(protocol, model, o, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, true});  // kills in-flight token(s), no joker
+  rep.omissions = 1;
+  UniformScheduler sched(2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < probe_steps; ++i) sim.interact(sched.next(rng, i));
+
+  rep.updates_after_omission = sim.simulated_updates();
+  rep.stalled = rep.updates_after_omission == 0;
+  rep.detail = "tokens_killed=" + std::to_string(sim.stats().tokens_killed) +
+               " pending(d0)=" + std::to_string(sim.is_pending(0)) +
+               " pending(d1)=" + std::to_string(sim.is_pending(1));
+  return rep;
+}
+
+}  // namespace ppfs

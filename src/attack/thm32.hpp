@@ -1,0 +1,48 @@
+// Executable demonstrations of Theorem 3.2: in the models without usable
+// omission detection — T1 (two-way, no detection) and the one-way I1/I2 —
+// simulation collapses under the NO1 adversary (a single omission in the
+// whole run).
+//
+//  * T1: the natural wrapper (apply delta on every interaction) is not
+//    even safe: one starter-side omission leaves the producer unaware that
+//    it was consumed, and a second (fault-free!) interaction consumes it
+//    again — two critical consumers from one producer.
+//
+//  * I1/I2: the natural token candidate (SKnO stripped of its jokers,
+//    because nobody can detect an omission to mint one) is safe but not
+//    live: one omission silently kills an in-flight token (two tokens in
+//    I2, where the reactor also "pops into the void"), the affected run
+//    can never complete, and the two-agent system deadlocks with both
+//    parties pending — zero simulated transitions forever after.
+//
+// Together: one omission forces a candidate to give up either safety or
+// liveness, the executable content of the impossibility.
+#pragma once
+
+#include <string>
+
+#include "core/models.hpp"
+
+namespace ppfs {
+
+struct No1DemoReport {
+  Model model = Model::T1;
+  std::string candidate;
+  std::size_t omissions = 0;        // exactly 1 (NO1)
+  bool works_without_omissions = false;
+  bool safety_violated = false;     // T1 demo
+  bool stalled = false;             // I1/I2 demo: no simulated step ever again
+  std::size_t updates_after_omission = 0;
+  std::string detail;
+};
+
+// T1: naive wrapper + Pairing, one starter-side omission, n = 3.
+[[nodiscard]] No1DemoReport run_t1_no1_demo();
+
+// I1 or I2: token candidate with redundancy o >= 1, n = 2, one omission,
+// then `probe_steps` fault-free interactions under a fair schedule.
+[[nodiscard]] No1DemoReport run_oneway_no1_demo(Model model, std::size_t o,
+                                                std::size_t probe_steps,
+                                                std::uint64_t seed);
+
+}  // namespace ppfs

@@ -1,0 +1,292 @@
+#include "core/models.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ppfs {
+
+std::string model_name(Model m) {
+  switch (m) {
+    case Model::TW: return "TW";
+    case Model::T1: return "T1";
+    case Model::T2: return "T2";
+    case Model::T3: return "T3";
+    case Model::IT: return "IT";
+    case Model::IO: return "IO";
+    case Model::I1: return "I1";
+    case Model::I2: return "I2";
+    case Model::I3: return "I3";
+    case Model::I4: return "I4";
+  }
+  throw std::invalid_argument("model_name: bad model");
+}
+
+ModelCaps model_caps(Model m) {
+  // Fields: one_way, omissive, starter_acts, starter_detects_omission,
+  //         reactor_acts_on_omission, reactor_detects_omission,
+  //         reactor_applies_g_on_omission.
+  switch (m) {
+    case Model::TW: return {false, false, true, false, false, false, false};
+    case Model::T1: return {false, true, true, false, true, false, false};
+    case Model::T2: return {false, true, true, true, true, false, false};
+    case Model::T3: return {false, true, true, true, true, true, false};
+    case Model::IT: return {true, false, true, false, false, false, false};
+    case Model::IO: return {true, false, false, false, false, false, false};
+    case Model::I1: return {true, true, true, false, false, false, false};
+    case Model::I2: return {true, true, true, false, true, false, true};
+    case Model::I3: return {true, true, true, false, true, true, false};
+    case Model::I4: return {true, true, true, true, true, false, true};
+  }
+  throw std::invalid_argument("model_caps: bad model");
+}
+
+std::string arrow_reason_name(ArrowReason r) {
+  switch (r) {
+    case ArrowReason::Specialization: return "specialization";
+    case ArrowReason::OmissionAvoidance: return "omission-avoidance";
+    case ArrowReason::NoOpOmissions: return "no-op omissions";
+  }
+  throw std::invalid_argument("arrow_reason_name");
+}
+
+const std::vector<ModelArrow>& model_arrows() {
+  static const std::vector<ModelArrow> arrows = {
+      {Model::T1, Model::T2, ArrowReason::Specialization, "T1 = T2 with o = id"},
+      {Model::T2, Model::T3, ArrowReason::Specialization, "T2 = T3 with h = id"},
+      {Model::T3, Model::TW, ArrowReason::OmissionAvoidance,
+       "TW = T3 without the omission adversary"},
+      {Model::IT, Model::TW, ArrowReason::Specialization,
+       "IT = TW with fs(s,r) := g(s)"},
+      {Model::IO, Model::IT, ArrowReason::Specialization, "IO = IT with g = id"},
+      {Model::I1, Model::I3, ArrowReason::Specialization, "I1 = I3 with h = id"},
+      {Model::I2, Model::I3, ArrowReason::Specialization, "I2 = I3 with h = g"},
+      {Model::I2, Model::I4, ArrowReason::Specialization, "I2 = I4 with o = g"},
+      {Model::I3, Model::T3, ArrowReason::Specialization,
+       "I3 = T3 with fs(s,r) := g(s), o := g"},
+      {Model::I3, Model::IT, ArrowReason::OmissionAvoidance,
+       "IT = I3 without the omission adversary"},
+      {Model::I4, Model::IT, ArrowReason::OmissionAvoidance,
+       "IT = I4 without the omission adversary"},
+      {Model::IO, Model::I1, ArrowReason::NoOpOmissions,
+       "in I1 with g := id every omissive outcome is a no-op"},
+      {Model::IO, Model::I2, ArrowReason::NoOpOmissions,
+       "in I2 with g := id every omissive outcome is a no-op"},
+      {Model::IO, Model::I3, ArrowReason::NoOpOmissions,
+       "in I3 with g := id, h := id every omissive outcome is a no-op"},
+      {Model::IO, Model::I4, ArrowReason::NoOpOmissions,
+       "in I4 with g := id, o := id every omissive outcome is a no-op"},
+  };
+  return arrows;
+}
+
+namespace {
+
+// A concrete assignment of the free transition functions over a state
+// space of size q. Unary functions are tables of length q, binary ones of
+// length q*q (row = starter state).
+struct FnSet {
+  std::size_t q = 0;
+  std::vector<State> g, o, h;   // unary
+  std::vector<State> fs, fr, f; // binary
+
+  [[nodiscard]] State bin(const std::vector<State>& t, State s, State r) const {
+    return t[static_cast<std::size_t>(s) * q + r];
+  }
+};
+
+FnSet sample_fns(std::size_t q, Rng& rng) {
+  FnSet fns;
+  fns.q = q;
+  auto unary = [&] {
+    std::vector<State> t(q);
+    for (auto& v : t) v = static_cast<State>(rng.below(q));
+    return t;
+  };
+  auto binary = [&] {
+    std::vector<State> t(q * q);
+    for (auto& v : t) v = static_cast<State>(rng.below(q));
+    return t;
+  };
+  fns.g = unary();
+  fns.o = unary();
+  fns.h = unary();
+  fns.fs = binary();
+  fns.fr = binary();
+  fns.f = binary();
+  return fns;
+}
+
+std::vector<State> identity_fn(std::size_t q) {
+  std::vector<State> t(q);
+  for (State i = 0; i < q; ++i) t[i] = i;
+  return t;
+}
+
+std::vector<State> lift_unary_to_binary(const std::vector<State>& u, std::size_t q) {
+  std::vector<State> t(q * q);
+  for (State s = 0; s < q; ++s)
+    for (State r = 0; r < q; ++r) t[static_cast<std::size_t>(s) * q + r] = u[s];
+  return t;
+}
+
+// The full transition relation of model m under assignment fns, evaluated
+// at the ordered state pair (s, r): the set of outcomes the adversary may
+// choose from (first element is always the non-omissive outcome).
+std::vector<StatePair> outcomes(Model m, const FnSet& fns, State s, State r) {
+  std::vector<StatePair> out;
+  switch (m) {
+    case Model::TW:
+      out = {{fns.bin(fns.fs, s, r), fns.bin(fns.fr, s, r)}};
+      break;
+    case Model::T1: {
+      const State a = fns.bin(fns.fs, s, r), b = fns.bin(fns.fr, s, r);
+      out = {{a, b}, {s, b}, {a, r}, {s, r}};
+      break;
+    }
+    case Model::T2: {
+      const State a = fns.bin(fns.fs, s, r), b = fns.bin(fns.fr, s, r);
+      out = {{a, b}, {fns.o[s], b}, {a, r}, {fns.o[s], r}};
+      break;
+    }
+    case Model::T3: {
+      const State a = fns.bin(fns.fs, s, r), b = fns.bin(fns.fr, s, r);
+      out = {{a, b}, {fns.o[s], b}, {a, fns.h[r]}, {fns.o[s], fns.h[r]}};
+      break;
+    }
+    case Model::IT:
+      out = {{fns.g[s], fns.bin(fns.f, s, r)}};
+      break;
+    case Model::IO:
+      out = {{s, fns.bin(fns.f, s, r)}};
+      break;
+    case Model::I1:
+      out = {{fns.g[s], fns.bin(fns.f, s, r)}, {fns.g[s], r}};
+      break;
+    case Model::I2:
+      out = {{fns.g[s], fns.bin(fns.f, s, r)}, {fns.g[s], fns.g[r]}};
+      break;
+    case Model::I3:
+      out = {{fns.g[s], fns.bin(fns.f, s, r)}, {fns.g[s], fns.h[r]}};
+      break;
+    case Model::I4:
+      out = {{fns.g[s], fns.bin(fns.f, s, r)}, {fns.o[s], fns.g[r]}};
+      break;
+  }
+  return out;
+}
+
+bool same_outcome_set(std::vector<StatePair> a, std::vector<StatePair> b) {
+  auto key = [](const StatePair& p) {
+    return (static_cast<std::uint64_t>(p.starter) << 32) | p.reactor;
+  };
+  auto lt = [&](const StatePair& x, const StatePair& y) { return key(x) < key(y); };
+  std::sort(a.begin(), a.end(), lt);
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end(), lt);
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  return a == b;
+}
+
+bool subset_of(const std::vector<StatePair>& a, const std::vector<StatePair>& b) {
+  for (const auto& x : a) {
+    if (std::find(b.begin(), b.end(), x) == b.end()) return false;
+  }
+  return true;
+}
+
+// Build the destination-model function assignment realizing the documented
+// embedding for a specialization arrow.
+FnSet embed(const ModelArrow& arrow, const FnSet& src) {
+  FnSet dst = src;
+  const std::size_t q = src.q;
+  if (arrow.src == Model::T1 && arrow.dst == Model::T2) {
+    dst.o = identity_fn(q);
+  } else if (arrow.src == Model::T2 && arrow.dst == Model::T3) {
+    dst.h = identity_fn(q);
+  } else if (arrow.src == Model::IT && arrow.dst == Model::TW) {
+    dst.fs = lift_unary_to_binary(src.g, q);
+    dst.fr = src.f;
+  } else if (arrow.src == Model::IO && arrow.dst == Model::IT) {
+    dst.g = identity_fn(q);
+  } else if (arrow.src == Model::I1 && arrow.dst == Model::I3) {
+    dst.h = identity_fn(q);
+  } else if (arrow.src == Model::I2 && arrow.dst == Model::I3) {
+    dst.h = src.g;
+  } else if (arrow.src == Model::I2 && arrow.dst == Model::I4) {
+    dst.o = src.g;
+  } else if (arrow.src == Model::I3 && arrow.dst == Model::T3) {
+    dst.fs = lift_unary_to_binary(src.g, q);
+    dst.fr = src.f;
+    dst.o = src.g;
+    dst.h = src.h;
+  } else {
+    throw std::logic_error("embed: no embedding recorded for this arrow");
+  }
+  return dst;
+}
+
+// Source-model functions whose source relation matches what the embedding
+// constrains. For arrows whose src is a restricted form, the *source*
+// instance must already obey the restriction (e.g. a T1 instance has
+// o = h = id by definition, which `outcomes` hard-codes).
+FnSet normalize_src(const ModelArrow& arrow, FnSet fns) {
+  if (arrow.src == Model::IO) fns.g = identity_fn(fns.q);
+  return fns;
+}
+
+}  // namespace
+
+bool verify_arrow(const ModelArrow& arrow, std::size_t q, std::size_t samples,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t it = 0; it < samples; ++it) {
+    FnSet src = normalize_src(arrow, sample_fns(q, rng));
+    switch (arrow.reason) {
+      case ArrowReason::Specialization: {
+        const FnSet dst = embed(arrow, src);
+        for (State s = 0; s < q; ++s)
+          for (State r = 0; r < q; ++r) {
+            if (!same_outcome_set(outcomes(arrow.src, src, s, r),
+                                  outcomes(arrow.dst, dst, s, r)))
+              return false;
+          }
+        break;
+      }
+      case ArrowReason::OmissionAvoidance: {
+        // dst is the src model stripped of omissions: its (unique,
+        // non-omissive) outcome must be available in the src relation.
+        for (State s = 0; s < q; ++s)
+          for (State r = 0; r < q; ++r) {
+            if (!subset_of(outcomes(arrow.dst, src, s, r),
+                           outcomes(arrow.src, src, s, r)))
+              return false;
+          }
+        break;
+      }
+      case ArrowReason::NoOpOmissions: {
+        // The IO protocol f embeds into the omissive dst with all free
+        // unary functions set to identity; every omissive outcome must
+        // then be a global no-op and the normal outcome must match IO's.
+        FnSet dst = src;
+        dst.g = identity_fn(q);
+        dst.o = identity_fn(q);
+        dst.h = identity_fn(q);
+        for (State s = 0; s < q; ++s)
+          for (State r = 0; r < q; ++r) {
+            const auto io = outcomes(Model::IO, src, s, r);
+            const auto om = outcomes(arrow.dst, dst, s, r);
+            if (om.empty() || om.front() != io.front()) return false;
+            for (std::size_t k = 1; k < om.size(); ++k) {
+              if (om[k] != StatePair{s, r}) return false;
+            }
+          }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ppfs

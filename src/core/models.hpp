@@ -1,0 +1,110 @@
+// The interaction-model lattice of the paper (§2.2–2.3, Figure 1).
+//
+// Ten models: the standard two-way model TW; its omissive weakenings
+// T1, T2, T3; the one-way models IT (Immediate Transmission) and IO
+// (Immediate Observation); and the omissive one-way models I1..I4.
+//
+// Transition relations (delta is chosen by the protocol designer; the
+// adversary picks one member per interaction):
+//
+//   TW : {(fs, fr)}
+//   T3 : {(fs,fr), (o,fr), (fs,h), (o,h)}     omission detectable both sides
+//   T2 : T3 with h = id                        no reactor-side detection
+//   T1 : T3 with o = id, h = id                no detection at all
+//   IT : {(g, f)}                              one-way, starter applies g
+//   IO : IT with g = id                        starter unaware
+//   I4 : {(g,f), (o, g)}                       starter detects omission
+//   I3 : {(g,f), (g, h)}                       reactor detects omission
+//   I2 : {(g,f), (g, g)}                       proximity only, no detection
+//   I1 : {(g,f), (g, id)}                      reactor misses omitted interaction
+//
+// ModelCaps below captures exactly what information each model delivers to
+// each side of an interaction; simulators consume ONLY these capabilities,
+// which is how the library enforces that e.g. an IO simulator never reads
+// anything on the starter side.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ppfs {
+
+enum class Model : std::uint8_t { TW, T1, T2, T3, IT, IO, I1, I2, I3, I4 };
+
+inline constexpr std::array<Model, 10> kAllModels = {
+    Model::TW, Model::T1, Model::T2, Model::T3, Model::IT,
+    Model::IO, Model::I1, Model::I2, Model::I3, Model::I4};
+
+[[nodiscard]] std::string model_name(Model m);
+
+// What an interaction under a given model lets each party observe/do.
+struct ModelCaps {
+  // One-way models: only the reactor may read the other party's state.
+  bool one_way;
+  // The adversary may mark interactions omissive in this model.
+  bool omissive;
+  // In a NON-omissive interaction, does the starter get a callback at all?
+  // (TW family: yes, it applies fs; IT/I*: yes, it applies g; IO: no.)
+  bool starter_acts;
+  // In an OMISSIVE interaction, can the starter distinguish it from a
+  // normal one? (T2/T3: o may differ from fs; I4: o may differ from g.)
+  bool starter_detects_omission;
+  // In an omissive interaction, does the reactor get any callback?
+  // (I1: no — the omitted interaction is invisible to the reactor.)
+  bool reactor_acts_on_omission;
+  // Can the reactor distinguish an omissive interaction from a normal one?
+  // (T3: h free; I3: h free. I2/I4: the reactor applies g — it knows
+  //  *something* happened but cannot tell an omission from acting as a
+  //  starter, so this is false.)
+  bool reactor_detects_omission;
+  // In an omissive interaction, is the reactor's forced update the starter
+  // function g (models I2 and I4) rather than a free function h?
+  bool reactor_applies_g_on_omission;
+};
+
+[[nodiscard]] ModelCaps model_caps(Model m);
+
+[[nodiscard]] inline bool is_one_way(Model m) { return model_caps(m).one_way; }
+[[nodiscard]] inline bool is_omissive(Model m) { return model_caps(m).omissive; }
+
+// --- Figure 1: arrows of the model hierarchy --------------------------------
+//
+// An arrow src -> dst means: the class of problems solvable in src is
+// included in the class solvable in dst. We record each arrow together
+// with the argument that justifies it; the Fig. 1 bench and tests verify
+// each justification mechanically (see verify_arrow).
+enum class ArrowReason : std::uint8_t {
+  // The src relation is obtained from the dst relation by fixing some of
+  // the dst designer's free functions; any src protocol therefore *is* a
+  // dst protocol with the same guaranteed outcome set.
+  Specialization,
+  // dst = src minus the omission adversary: a src-correct protocol is
+  // dst-correct because the dst adversary simply never omits.
+  OmissionAvoidance,
+  // src is non-omissive and embeds into omissive dst because the dst
+  // designer can make every omissive outcome a global no-op, so inserted
+  // omissions do not perturb the execution.
+  NoOpOmissions,
+};
+
+struct ModelArrow {
+  Model src;
+  Model dst;
+  ArrowReason reason;
+  const char* note;  // one-line justification used in the Fig. 1 table
+};
+
+[[nodiscard]] const std::vector<ModelArrow>& model_arrows();
+
+[[nodiscard]] std::string arrow_reason_name(ArrowReason r);
+
+// Mechanical check of one arrow, on randomly sampled transition functions
+// over a state space of size q (see models.cpp for what is checked per
+// reason). Returns true if every sample is consistent with the arrow.
+[[nodiscard]] bool verify_arrow(const ModelArrow& arrow, std::size_t q,
+                                std::size_t samples, std::uint64_t seed);
+
+}  // namespace ppfs

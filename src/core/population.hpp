@@ -1,0 +1,48 @@
+// Configurations of a system (P, n): the n-tuple of local states (§2.1),
+// plus the counting/inspection helpers used by monitors and experiments.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ppfs {
+
+class Population {
+ public:
+  Population(std::shared_ptr<const Protocol> protocol, std::vector<State> initial);
+
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] State state(AgentId a) const { return states_.at(a); }
+  void set_state(AgentId a, State q);
+
+  [[nodiscard]] const std::vector<State>& states() const noexcept { return states_; }
+  [[nodiscard]] const Protocol& protocol() const noexcept { return *protocol_; }
+  [[nodiscard]] std::shared_ptr<const Protocol> protocol_ptr() const { return protocol_; }
+
+  // Apply delta to the ordered pair (s, r); the standard two-way step.
+  void interact(AgentId s, AgentId r);
+
+  // Multiset view: count of agents per state.
+  [[nodiscard]] std::vector<std::size_t> counts() const;
+  [[nodiscard]] std::size_t count_of(State q) const;
+
+  // If every agent currently maps to the same non-negative output, returns
+  // it; otherwise -1. This is the standard "stable output" probe.
+  [[nodiscard]] int consensus_output() const;
+
+  friend bool operator==(const Population&, const Population&);
+
+ private:
+  std::shared_ptr<const Protocol> protocol_;
+  std::vector<State> states_;
+};
+
+// Build an initial configuration with the given per-state multiplicities:
+// pairs of (state, count), concatenated in order.
+[[nodiscard]] std::vector<State> make_initial(
+    const std::vector<std::pair<State, std::size_t>>& groups);
+
+}  // namespace ppfs

@@ -1,0 +1,134 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppfs {
+
+std::string Protocol::state_name(State q) const { return "q" + std::to_string(q); }
+
+int Protocol::output(State q) const {
+  (void)q;
+  return -1;
+}
+
+bool Protocol::is_initial(State q) const {
+  const auto& init = initial_states();
+  return std::find(init.begin(), init.end(), q) != init.end();
+}
+
+bool Protocol::is_symmetric() const {
+  const auto n = static_cast<State>(num_states());
+  for (State a = 0; a < n; ++a) {
+    for (State b = 0; b < n; ++b) {
+      const StatePair ab = delta(a, b);
+      const StatePair ba = delta(b, a);
+      if (ab.starter != ba.reactor || ab.reactor != ba.starter) return false;
+    }
+  }
+  return true;
+}
+
+bool Protocol::is_noop(State s, State r) const {
+  const StatePair out = delta(s, r);
+  return out.starter == s && out.reactor == r;
+}
+
+TableProtocol::TableProtocol(std::string name, std::vector<std::string> state_names,
+                             std::vector<int> outputs, std::vector<State> initial,
+                             std::vector<StatePair> table)
+    : name_(std::move(name)),
+      names_(std::move(state_names)),
+      outputs_(std::move(outputs)),
+      initial_(std::move(initial)),
+      table_(std::move(table)) {
+  const std::size_t n = names_.size();
+  if (n == 0) throw std::invalid_argument("TableProtocol: no states");
+  if (outputs_.size() != n) throw std::invalid_argument("TableProtocol: outputs arity");
+  if (table_.size() != n * n) throw std::invalid_argument("TableProtocol: table arity");
+  for (const auto& cell : table_) {
+    if (cell.starter >= n || cell.reactor >= n)
+      throw std::invalid_argument("TableProtocol: transition out of range");
+  }
+  for (State q : initial_) {
+    if (q >= n) throw std::invalid_argument("TableProtocol: initial state out of range");
+  }
+}
+
+std::string TableProtocol::state_name(State q) const {
+  if (q >= names_.size()) throw std::out_of_range("state_name");
+  return names_[q];
+}
+
+int TableProtocol::output(State q) const {
+  if (q >= outputs_.size()) throw std::out_of_range("output");
+  return outputs_[q];
+}
+
+ProtocolBuilder::ProtocolBuilder(std::string name) : name_(std::move(name)) {}
+
+State ProtocolBuilder::add_state(std::string state_name, int output, bool initial) {
+  const auto id = static_cast<State>(state_names_.size());
+  state_names_.push_back(std::move(state_name));
+  outputs_.push_back(output);
+  if (initial) initial_.push_back(id);
+  return id;
+}
+
+ProtocolBuilder& ProtocolBuilder::rule(State s, State r, State s2, State r2) {
+  rules_.push_back({s, r, s2, r2});
+  return *this;
+}
+
+ProtocolBuilder& ProtocolBuilder::symmetric_rule(State s, State r, State s2, State r2) {
+  rule(s, r, s2, r2);
+  if (s != r) rule(r, s, r2, s2);
+  return *this;
+}
+
+std::shared_ptr<const TableProtocol> ProtocolBuilder::build() const {
+  const std::size_t n = state_names_.size();
+  std::vector<StatePair> table(n * n);
+  for (State s = 0; s < n; ++s)
+    for (State r = 0; r < n; ++r) table[s * n + r] = StatePair{s, r};
+  for (const auto& rl : rules_) {
+    if (rl.s >= n || rl.r >= n) throw std::invalid_argument("rule state out of range");
+    table[static_cast<std::size_t>(rl.s) * n + rl.r] = StatePair{rl.s2, rl.r2};
+  }
+  return std::make_shared<TableProtocol>(name_, state_names_, outputs_, initial_,
+                                         std::move(table));
+}
+
+std::optional<std::vector<State>> it_shape_g(const Protocol& p) {
+  const auto n = static_cast<State>(p.num_states());
+  std::vector<State> g(n);
+  for (State s = 0; s < n; ++s) {
+    const State first = p.delta(s, 0).starter;
+    for (State r = 1; r < n; ++r) {
+      if (p.delta(s, r).starter != first) return std::nullopt;
+    }
+    g[s] = first;
+  }
+  return g;
+}
+
+bool fits_it_shape(const Protocol& p) { return it_shape_g(p).has_value(); }
+
+bool fits_io_shape(const Protocol& p) {
+  const auto g = it_shape_g(p);
+  if (!g) return false;
+  for (State s = 0; s < g->size(); ++s) {
+    if ((*g)[s] != s) return false;
+  }
+  return true;
+}
+
+bool OneWayProtocol::is_io() const {
+  const auto n = static_cast<State>(num_states());
+  for (State s = 0; s < n; ++s) {
+    if (g(s) != s) return false;
+  }
+  return true;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,50 @@
+// Fundamental value types shared by every module: agent identities,
+// simulated-protocol states, physical interactions, and the two halves of a
+// simulated two-way transition (used by the matching verifier, Def. 3).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ppfs {
+
+// A local state of a (simulated) population protocol. Protocols in this
+// library use dense state ids [0, num_states).
+using State = std::uint32_t;
+
+// Index of an agent within the population, [0, n).
+using AgentId = std::uint32_t;
+
+inline constexpr State kNoState = std::numeric_limits<State>::max();
+inline constexpr AgentId kNoAgent = std::numeric_limits<AgentId>::max();
+
+// Result of applying a two-way transition function delta(s, r).
+struct StatePair {
+  State starter;
+  State reactor;
+  friend bool operator==(const StatePair&, const StatePair&) = default;
+};
+
+// In the two-way omissive models an omission can strike the starter's
+// side, the reactor's side, or both (the three faulty outcomes of the T3
+// relation). One-way models transmit in one direction only, so the side
+// distinction is meaningless there and the field is ignored.
+enum class OmitSide : std::uint8_t { Both = 0, Starter = 1, Reactor = 2 };
+
+// One physical pairwise interaction, as produced by a scheduler/adversary.
+// `omissive` marks interactions in which the transmitted information is
+// lost (Def. 1/2); how much of that loss each party can *detect* depends on
+// the interaction model (ModelCaps in core/models.hpp).
+struct Interaction {
+  AgentId starter = kNoAgent;
+  AgentId reactor = kNoAgent;
+  bool omissive = false;
+  OmitSide side = OmitSide::Both;  // only meaningful for two-way models
+  friend bool operator==(const Interaction&, const Interaction&) = default;
+};
+
+// Which half of a simulated two-way interaction an event represents:
+// the starter half applies delta[0] = fs, the reactor half delta[1] = fr.
+enum class Half : std::uint8_t { Starter = 0, Reactor = 1 };
+
+}  // namespace ppfs

@@ -1,0 +1,101 @@
+#include "engine/native.hpp"
+
+#include <stdexcept>
+
+namespace ppfs {
+
+NativeSystem::NativeSystem(std::shared_ptr<const Protocol> protocol,
+                           std::vector<State> initial)
+    : pop_(std::move(protocol), std::move(initial)) {
+  if (const auto* tp = dynamic_cast<const TableProtocol*>(&pop_.protocol())) {
+    table_ = tp->raw_table();
+    q_ = tp->num_states();
+  }
+}
+
+void NativeSystem::interact(const Interaction& ia) {
+  if (ia.omissive)
+    throw std::invalid_argument("NativeSystem: TW has no omissive interactions");
+  ++steps_;
+  if (table_ != nullptr) {
+    auto& states = pop_;
+    const State s = states.state(ia.starter);
+    const State r = states.state(ia.reactor);
+    const StatePair out = table_[static_cast<std::size_t>(s) * q_ + r];
+    states.set_state(ia.starter, out.starter);
+    states.set_state(ia.reactor, out.reactor);
+    return;
+  }
+  pop_.interact(ia.starter, ia.reactor);
+}
+
+OneWaySystem::OneWaySystem(std::shared_ptr<const OneWayProtocol> protocol, Model model,
+                           std::vector<State> initial)
+    : protocol_(std::move(protocol)), model_(model), states_(std::move(initial)) {
+  if (!protocol_) throw std::invalid_argument("OneWaySystem: null protocol");
+  if (!is_one_way(model_))
+    throw std::invalid_argument("OneWaySystem: model must be one-way");
+  if (model_ == Model::IO && !protocol_->is_io())
+    throw std::invalid_argument("OneWaySystem: protocol has g != id, IO forbids it");
+  for (State q : states_) {
+    if (q >= protocol_->num_states())
+      throw std::invalid_argument("OneWaySystem: state out of range");
+  }
+}
+
+void OneWaySystem::set_starter_omission_fn(std::function<State(State)> o) {
+  if (!model_caps(model_).starter_detects_omission)
+    throw std::invalid_argument("set_starter_omission_fn: model has no o function");
+  o_ = std::move(o);
+}
+
+void OneWaySystem::set_reactor_omission_fn(std::function<State(State)> h) {
+  if (!model_caps(model_).reactor_detects_omission)
+    throw std::invalid_argument("set_reactor_omission_fn: model has no h function");
+  h_ = std::move(h);
+}
+
+void OneWaySystem::interact(const Interaction& ia) {
+  if (ia.starter == ia.reactor)
+    throw std::invalid_argument("OneWaySystem: self-interaction");
+  const State s = states_.at(ia.starter);
+  const State r = states_.at(ia.reactor);
+  if (!ia.omissive) {
+    states_[ia.starter] = protocol_->g(s);
+    states_[ia.reactor] = protocol_->f(s, r);
+    return;
+  }
+  if (!is_omissive(model_))
+    throw std::invalid_argument("OneWaySystem: omission in a non-omissive model");
+  // Omissive outcome per the transition relations of §2.3.
+  switch (model_) {
+    case Model::I1:  // (g(as), ar)
+      states_[ia.starter] = protocol_->g(s);
+      break;
+    case Model::I2:  // (g(as), g(ar))
+      states_[ia.starter] = protocol_->g(s);
+      states_[ia.reactor] = protocol_->g(r);
+      break;
+    case Model::I3:  // (g(as), h(ar))
+      states_[ia.starter] = protocol_->g(s);
+      states_[ia.reactor] = h_ ? h_(r) : r;
+      break;
+    case Model::I4:  // (o(as), g(ar))
+      states_[ia.starter] = o_ ? o_(s) : s;
+      states_[ia.reactor] = protocol_->g(r);
+      break;
+    default:
+      throw std::logic_error("OneWaySystem: unexpected model");
+  }
+}
+
+int OneWaySystem::consensus_output() const {
+  const int first = protocol_->output(states_.front());
+  if (first < 0) return -1;
+  for (State q : states_) {
+    if (protocol_->output(q) != first) return -1;
+  }
+  return first;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,70 @@
+// Native execution engines: run protocols directly under their own model,
+// with no simulation layer. These are the performance baseline for every
+// overhead experiment and the reference semantics for correctness checks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/models.hpp"
+#include "core/population.hpp"
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ppfs {
+
+// Two-way native engine. Rejects omissive interactions: the plain TW model
+// has no omissions (use a simulator plus an omissive model to study
+// faults, or OneWaySystem below for the one-way omissive semantics).
+class NativeSystem {
+ public:
+  NativeSystem(std::shared_ptr<const Protocol> protocol, std::vector<State> initial);
+
+  void interact(const Interaction& ia);
+
+  [[nodiscard]] const Population& population() const noexcept { return pop_; }
+  [[nodiscard]] Population& population() noexcept { return pop_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pop_.size(); }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+ private:
+  Population pop_;
+  const StatePair* table_ = nullptr;  // fast path when TableProtocol
+  std::size_t q_ = 0;
+  std::size_t steps_ = 0;
+};
+
+// One-way native engine: runs a OneWayProtocol under IT/IO, or under the
+// omissive one-way models I1..I4 with designer-chosen o/h (defaulting to
+// identity). Encodes exactly the transition relations of §2.2–2.3.
+class OneWaySystem {
+ public:
+  OneWaySystem(std::shared_ptr<const OneWayProtocol> protocol, Model model,
+               std::vector<State> initial);
+
+  // Optional omission-reaction functions (must be set before running if
+  // the model grants the corresponding detection capability and the
+  // protocol wants to use it).
+  void set_starter_omission_fn(std::function<State(State)> o);
+  void set_reactor_omission_fn(std::function<State(State)> h);
+
+  void interact(const Interaction& ia);
+
+  [[nodiscard]] State state(AgentId a) const { return states_.at(a); }
+  [[nodiscard]] const std::vector<State>& states() const noexcept { return states_; }
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] const OneWayProtocol& protocol() const noexcept { return *protocol_; }
+
+  // True if every agent maps to the same non-negative output.
+  [[nodiscard]] int consensus_output() const;
+
+ private:
+  std::shared_ptr<const OneWayProtocol> protocol_;
+  Model model_;
+  std::vector<State> states_;
+  std::function<State(State)> o_;  // starter-side omission update
+  std::function<State(State)> h_;  // reactor-side omission update
+};
+
+}  // namespace ppfs

@@ -1,0 +1,34 @@
+#include "engine/workload_runner.hpp"
+
+namespace ppfs {
+
+std::function<bool(const std::vector<std::size_t>&, const Protocol&)>
+workload_counts_probe(const Workload& w) {
+  if (w.converged) {
+    auto probe = w.converged;
+    return [probe](const std::vector<std::size_t>& counts, const Protocol&) {
+      return probe(counts);
+    };
+  }
+  const int expected = w.expected_output;
+  return [expected](const std::vector<std::size_t>& counts, const Protocol& p) {
+    for (State q = 0; q < counts.size(); ++q) {
+      if (counts[q] > 0 && p.output(q) != expected) return false;
+    }
+    return true;
+  };
+}
+
+RunResult run_native_workload(const Workload& w, std::uint64_t seed,
+                              const RunOptions& opt) {
+  NativeSystem sys(w.protocol, w.initial);
+  UniformScheduler sched(w.initial.size());
+  Rng rng(seed);
+  auto counts_probe = workload_counts_probe(w);
+  auto probe = [&](const NativeSystem& s) {
+    return counts_probe(s.population().counts(), s.population().protocol());
+  };
+  return run_until(sys, sched, rng, probe, opt);
+}
+
+}  // namespace ppfs

@@ -1,0 +1,64 @@
+// Generic run loop: drive any system (native engine or simulator) with a
+// scheduler until a convergence probe stabilizes or a step budget is hit.
+//
+// The probe is evaluated every `check_every` steps and must hold for
+// `stable_checks` consecutive evaluations — the empirical counterpart of
+// "the execution has entered a stable set of configurations".
+#pragma once
+
+#include <functional>
+
+#include "engine/stats.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ppfs {
+
+struct RunOptions {
+  std::size_t max_steps = 1'000'000;
+  std::size_t check_every = 64;
+  std::size_t stable_checks = 3;
+};
+
+// System must expose: void interact(const Interaction&).
+// Probe: bool(const System&) — "the target stable set has been reached".
+template <class System, class Probe>
+RunResult run_until(System& sys, Scheduler& sched, Rng& rng, Probe&& probe,
+                    const RunOptions& opt = {}) {
+  RunResult res;
+  std::size_t consecutive = 0;
+  for (std::size_t step = 0; step < opt.max_steps; ++step) {
+    const Interaction ia = sched.next(rng, step);
+    if (ia.omissive) ++res.omissions;
+    sys.interact(ia);
+    ++res.steps;
+    if ((step + 1) % opt.check_every == 0) {
+      if (probe(static_cast<const System&>(sys))) {
+        if (++consecutive >= opt.stable_checks) {
+          res.converged = true;
+          return res;
+        }
+      } else {
+        consecutive = 0;
+      }
+    }
+  }
+  // Final check so tiny runs (max_steps < check_every) can still converge.
+  res.converged = probe(static_cast<const System&>(sys));
+  return res;
+}
+
+// Drive for exactly `steps` interactions, no probe.
+template <class System>
+RunResult run_steps(System& sys, Scheduler& sched, Rng& rng, std::size_t steps) {
+  RunResult res;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const Interaction ia = sched.next(rng, step);
+    if (ia.omissive) ++res.omissions;
+    sys.interact(ia);
+    ++res.steps;
+  }
+  return res;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,3 @@
+// stats.hpp is header-only; translation unit reserved for the library
+// target (keeps every header owned by exactly one .cpp for build hygiene).
+#include "engine/stats.hpp"

@@ -1,0 +1,37 @@
+// Lightweight run statistics shared by tests and benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ppfs {
+
+// Streaming summary (count / mean / max) without storing samples.
+class StreamStat {
+ public:
+  void add(double v) noexcept {
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    min_ = count_ == 1 ? v : std::min(min_, v);
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? sum_ / count_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 0.0;
+};
+
+struct RunResult {
+  std::size_t steps = 0;        // physical interactions driven
+  bool converged = false;       // probe held for the stability window
+  std::size_t omissions = 0;    // omissive interactions delivered
+};
+
+}  // namespace ppfs

@@ -1,0 +1,75 @@
+#include "engine/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ppfs {
+
+Trace::Trace(std::vector<Interaction> interactions)
+    : interactions_(std::move(interactions)) {}
+
+std::size_t Trace::omission_count() const {
+  std::size_t c = 0;
+  for (const auto& ia : interactions_)
+    if (ia.omissive) ++c;
+  return c;
+}
+
+void Trace::save(std::ostream& os, const std::string& comment) const {
+  if (!comment.empty()) os << "# " << comment << '\n';
+  for (const auto& ia : interactions_) {
+    os << ia.starter << ' ' << ia.reactor;
+    if (ia.omissive) {
+      switch (ia.side) {
+        case OmitSide::Both: os << " o"; break;
+        case OmitSide::Starter: os << " os"; break;
+        case OmitSide::Reactor: os << " or"; break;
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::string Trace::to_string(const std::string& comment) const {
+  std::ostringstream os;
+  save(os, comment);
+  return os.str();
+}
+
+Trace Trace::parse(std::istream& is) {
+  Trace t;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    Interaction ia;
+    std::string flag;
+    if (!(ls >> ia.starter >> ia.reactor))
+      throw std::invalid_argument("Trace::parse: bad line " + std::to_string(lineno));
+    if (ls >> flag) {
+      ia.omissive = true;
+      if (flag == "o") {
+        ia.side = OmitSide::Both;
+      } else if (flag == "os") {
+        ia.side = OmitSide::Starter;
+      } else if (flag == "or") {
+        ia.side = OmitSide::Reactor;
+      } else {
+        throw std::invalid_argument("Trace::parse: bad omission flag '" + flag +
+                                    "' on line " + std::to_string(lineno));
+      }
+    }
+    t.append(ia);
+  }
+  return t;
+}
+
+Trace Trace::parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+}  // namespace ppfs

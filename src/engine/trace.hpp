@@ -1,0 +1,53 @@
+// Interaction traces: record the exact physical run (including omission
+// flags and sides), serialize it to a line-based text format, and replay
+// it later. Used to archive the adversarial constructions of §3 as
+// artifacts and to make any experiment reproducible bit-for-bit.
+//
+// Format: one interaction per line, `s r [o|os|or]`, where `o*` marks an
+// omissive interaction (plain/starter-side/reactor-side). Lines starting
+// with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ppfs {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Interaction> interactions);
+
+  void append(const Interaction& ia) { interactions_.push_back(ia); }
+  [[nodiscard]] std::size_t size() const noexcept { return interactions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return interactions_.empty(); }
+  [[nodiscard]] const std::vector<Interaction>& interactions() const noexcept {
+    return interactions_;
+  }
+  [[nodiscard]] std::size_t omission_count() const;
+
+  // Serialization.
+  void save(std::ostream& os, const std::string& comment = "") const;
+  [[nodiscard]] std::string to_string(const std::string& comment = "") const;
+  [[nodiscard]] static Trace parse(std::istream& is);
+  [[nodiscard]] static Trace parse_string(const std::string& text);
+
+  // Replay into any system exposing interact(const Interaction&).
+  template <class System>
+  void replay(System& sys) const {
+    for (const Interaction& ia : interactions_) sys.interact(ia);
+  }
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::vector<Interaction> interactions_;
+};
+
+// A scheduler decorator that records everything it hands out.
+class Scheduler;  // fwd (sched/scheduler.hpp)
+
+}  // namespace ppfs

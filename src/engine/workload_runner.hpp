@@ -1,0 +1,26 @@
+// Convenience glue between Workloads (protocols/registry.hpp) and the run
+// loop: build the probe a workload declares and execute it natively under
+// the uniform scheduler. The native numbers are the baseline that every
+// simulator-overhead experiment divides by.
+#pragma once
+
+#include <functional>
+
+#include "engine/native.hpp"
+#include "engine/runner.hpp"
+#include "protocols/registry.hpp"
+
+namespace ppfs {
+
+// A probe over projected state counts, derived from the workload:
+// either its custom `converged` functor or consensus on expected_output.
+[[nodiscard]] std::function<bool(const std::vector<std::size_t>&,
+                                 const Protocol&)>
+workload_counts_probe(const Workload& w);
+
+// Run the workload natively (two-way, no omissions). Returns the result;
+// `converged` reflects the workload's own success criterion.
+[[nodiscard]] RunResult run_native_workload(const Workload& w, std::uint64_t seed,
+                                            const RunOptions& opt = {});
+
+}  // namespace ppfs

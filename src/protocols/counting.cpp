@@ -1,0 +1,32 @@
+#include "protocols/counting.hpp"
+
+#include <stdexcept>
+
+namespace ppfs {
+
+std::shared_ptr<const TableProtocol> make_threshold_counting(std::size_t k) {
+  if (k < 1) throw std::invalid_argument("make_threshold_counting: k >= 1 required");
+  ProtocolBuilder b("threshold-" + std::to_string(k));
+  for (std::size_t w = 0; w <= k; ++w) {
+    const bool initial = (w <= 1);  // inputs are weights 0 and 1
+    b.add_state("w" + std::to_string(w), w == k ? 1 : 0, initial);
+  }
+  const auto K = static_cast<State>(k);
+  for (State i = 0; i <= K; ++i) {
+    for (State j = 0; j <= K; ++j) {
+      if (i == K || j == K) {
+        // Verdict broadcast: meeting a sated agent sates both.
+        b.rule(i, j, K, K);
+      } else if (i + j >= K) {
+        b.rule(i, j, K, K);
+      } else if (j > 0) {
+        // Starter absorbs the reactor's weight.
+        b.rule(i, j, i + j, 0);
+      }
+      // i < K, j == 0: nothing to pool; identity (builder default).
+    }
+  }
+  return b.build();
+}
+
+}  // namespace ppfs

@@ -1,0 +1,19 @@
+// Flock-of-birds / threshold counting: decides whether the number of
+// agents with input 1 is at least k (a canonical semilinear predicate,
+// after Angluin et al.). States are weights 0..k; interacting agents pool
+// their weights into the starter; once any agent reaches weight k the
+// "detected" verdict spreads epidemically (k is absorbing for both
+// parties). Outputs: weight k -> 1, everything else -> 0.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+// k >= 1; the protocol has k+1 states (weights 0..k).
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_threshold_counting(
+    std::size_t k);
+
+}  // namespace ppfs

@@ -1,0 +1,15 @@
+#include "protocols/leader.hpp"
+
+namespace ppfs {
+
+LeaderStates leader_states() { return {0, 1}; }
+
+std::shared_ptr<const TableProtocol> make_leader_election() {
+  ProtocolBuilder b("leader-election");
+  const State L = b.add_state("L", 1, /*initial=*/true);
+  const State F = b.add_state("F", 0);
+  b.rule(L, L, L, F);
+  return b.build();
+}
+
+}  // namespace ppfs

@@ -1,0 +1,20 @@
+// Leader election: every agent starts as a leader L; when two leaders
+// interact, the reactor is demoted to follower F. Under global fairness
+// exactly one leader survives. Outputs: L -> 1, F -> 0.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+struct LeaderStates {
+  State leader;
+  State follower;
+};
+
+[[nodiscard]] LeaderStates leader_states();
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_leader_election();
+
+}  // namespace ppfs

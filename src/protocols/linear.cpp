@@ -1,0 +1,48 @@
+#include "protocols/linear.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppfs {
+
+std::shared_ptr<const TableProtocol> make_linear_threshold(
+    const LinearThresholdSpec& spec) {
+  if (spec.k < 1) throw std::invalid_argument("linear threshold: k >= 1");
+  if (spec.coeffs.empty()) throw std::invalid_argument("linear threshold: coeffs");
+  const std::uint32_t k = spec.k;
+  ProtocolBuilder b("linear-threshold-k" + std::to_string(k));
+  // Weight states 0..k (k = verdict), then the drained marker.
+  for (std::uint32_t w = 0; w <= k; ++w) {
+    const bool initial =
+        std::any_of(spec.coeffs.begin(), spec.coeffs.end(),
+                    [&](std::uint32_t c) { return std::min(c, k) == w; });
+    b.add_state("w" + std::to_string(w), w == k ? 1 : 0, initial);
+  }
+  const State drained = b.add_state("z", 0);
+  const auto K = static_cast<State>(k);
+
+  for (State i = 0; i <= K; ++i) {
+    for (State j = 0; j <= K; ++j) {
+      if (i == K || j == K) {
+        b.rule(i, j, K, K);  // verdict broadcast
+      } else if (i + j >= K) {
+        b.rule(i, j, K, K);
+      } else if (j > 0) {
+        b.rule(i, j, i + j, drained);  // starter pools the reactor's weight
+      }
+    }
+    if (i == K) {
+      b.rule(i, drained, K, K);
+      b.rule(drained, i, K, K);
+    }
+  }
+  return b.build();
+}
+
+State linear_threshold_input(const LinearThresholdSpec& spec, std::size_t symbol) {
+  if (symbol >= spec.coeffs.size())
+    throw std::out_of_range("linear_threshold_input: symbol");
+  return std::min(spec.coeffs[symbol], spec.k);
+}
+
+}  // namespace ppfs

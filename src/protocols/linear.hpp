@@ -1,0 +1,37 @@
+// General linear-threshold predicates: decide  sum_i  c_i * x_i  >= k,
+// where agent inputs x_i are drawn from a small input alphabet with
+// per-symbol coefficients. The classic semilinear workhorse (Angluin et
+// al.): agents pool truncated weighted sums pairwise; crossing the
+// threshold broadcasts an absorbing "true" verdict.
+//
+// Beyond being a workload in its own right, this family parameterizes the
+// simulated protocol's state-space size |Q_P| (= k + 2), which the
+// Corollary 1 memory experiments sweep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+struct LinearThresholdSpec {
+  // coefficient per input symbol; agent with input j contributes coeffs[j].
+  std::vector<std::uint32_t> coeffs;
+  std::uint32_t k = 1;  // threshold (>= 1)
+};
+
+// States: weights 0..k-1 (outputs 0), the absorbing verdict state k
+// (output 1), plus a dedicated "drained" zero-weight state (output 0) so
+// that weight-0 agents created by pooling are distinguishable from
+// initial-input zeros in traces. |Q_P| = k + 2.
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_linear_threshold(
+    const LinearThresholdSpec& spec);
+
+// Initial state for input symbol j under the spec (the truncated weight).
+[[nodiscard]] State linear_threshold_input(const LinearThresholdSpec& spec,
+                                           std::size_t symbol);
+
+}  // namespace ppfs

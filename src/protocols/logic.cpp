@@ -1,0 +1,23 @@
+#include "protocols/logic.hpp"
+
+namespace ppfs {
+
+std::shared_ptr<const TableProtocol> make_or_protocol() {
+  ProtocolBuilder b("or");
+  const State zero = b.add_state("0", 0, /*initial=*/true);
+  const State one = b.add_state("1", 1, /*initial=*/true);
+  b.rule(zero, one, one, one);
+  b.rule(one, zero, one, one);
+  return b.build();
+}
+
+std::shared_ptr<const TableProtocol> make_and_protocol() {
+  ProtocolBuilder b("and");
+  const State zero = b.add_state("0", 0, /*initial=*/true);
+  const State one = b.add_state("1", 1, /*initial=*/true);
+  b.rule(zero, one, zero, zero);
+  b.rule(one, zero, zero, zero);
+  return b.build();
+}
+
+}  // namespace ppfs

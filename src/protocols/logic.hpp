@@ -1,0 +1,18 @@
+// Boolean epidemics: OR and AND over the agents' input bits. These are the
+// simplest stably-computable predicates and double as smoke tests for
+// every engine and simulator in the library.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+// States 0 and 1, both initial; delta(s,r) = (s|r, s|r). Output identity.
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_or_protocol();
+
+// delta(s,r) = (s&r, s&r).
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_and_protocol();
+
+}  // namespace ppfs

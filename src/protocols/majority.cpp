@@ -1,0 +1,38 @@
+#include "protocols/majority.hpp"
+
+namespace ppfs {
+
+ApproxMajorityStates approx_majority_states() { return {0, 1, 2}; }
+
+std::shared_ptr<const TableProtocol> make_approximate_majority() {
+  ProtocolBuilder bld("approx-majority");
+  const State x = bld.add_state("x", 1, /*initial=*/true);
+  const State y = bld.add_state("y", 0, /*initial=*/true);
+  const State b = bld.add_state("b", -1);
+  bld.rule(x, y, x, b);
+  bld.rule(y, x, y, b);
+  bld.rule(x, b, x, x);
+  bld.rule(y, b, y, y);
+  // Mirrors so that blanks are recruited regardless of role.
+  bld.rule(b, x, x, x);
+  bld.rule(b, y, y, y);
+  return bld.build();
+}
+
+ExactMajorityStates exact_majority_states() { return {0, 1, 2, 3}; }
+
+std::shared_ptr<const TableProtocol> make_exact_majority() {
+  ProtocolBuilder bld("exact-majority");
+  const State X = bld.add_state("X", 1, /*initial=*/true);
+  const State Y = bld.add_state("Y", 0, /*initial=*/true);
+  const State x = bld.add_state("x", 1);
+  const State y = bld.add_state("y", 0);
+  // Cancellation of strong opposites.
+  bld.symmetric_rule(X, Y, x, y);
+  // Strong states flip opposing weak states.
+  bld.symmetric_rule(X, y, X, x);
+  bld.symmetric_rule(Y, x, Y, y);
+  return bld.build();
+}
+
+}  // namespace ppfs

@@ -1,0 +1,40 @@
+// Majority protocols used as simulated substrates.
+//
+// * make_approximate_majority(): the 3-state protocol of Angluin, Aspnes &
+//   Eisenstat ("A simple population protocol for fast robust approximate
+//   majority", cited as [6] in the paper): states x, y, b with rules
+//   (x,y)->(x,b), (y,x)->(y,b), (x,b)->(x,x), (y,b)->(y,y). Under global
+//   fairness it converges to a configuration where one opinion is extinct.
+//
+// * make_exact_majority(): the standard 4-state exact-majority protocol
+//   (strong states X, Y; weak states x, y): opposing strong states cancel
+//   to weak, strong states convert opposing weak ones. For unequal initial
+//   support it stabilizes to the majority opinion under global fairness.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+struct ApproxMajorityStates {
+  State x;  // opinion 1
+  State y;  // opinion 0
+  State b;  // blank
+};
+
+[[nodiscard]] ApproxMajorityStates approx_majority_states();
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_approximate_majority();
+
+struct ExactMajorityStates {
+  State big_x;  // strong opinion 1
+  State big_y;  // strong opinion 0
+  State x;      // weak opinion 1
+  State y;      // weak opinion 0
+};
+
+[[nodiscard]] ExactMajorityStates exact_majority_states();
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_exact_majority();
+
+}  // namespace ppfs

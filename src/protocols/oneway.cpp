@@ -1,0 +1,91 @@
+#include "protocols/oneway.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppfs {
+
+namespace {
+
+class IoOr final : public OneWayProtocol {
+ public:
+  std::size_t num_states() const override { return 2; }
+  State g(State s) const override { return s; }
+  State f(State s, State r) const override { return s | r; }
+  std::string name() const override { return "io-or"; }
+  int output(State q) const override { return static_cast<int>(q); }
+};
+
+class IoMax final : public OneWayProtocol {
+ public:
+  explicit IoMax(std::size_t m) : m_(m) {
+    if (m < 2) throw std::invalid_argument("io-max: m >= 2");
+  }
+  std::size_t num_states() const override { return m_; }
+  State g(State s) const override { return s; }
+  State f(State s, State r) const override { return std::max(s, r); }
+  std::string name() const override { return "io-max"; }
+  int output(State q) const override { return static_cast<int>(q); }
+
+ private:
+  std::size_t m_;
+};
+
+class IoLeader final : public OneWayProtocol {
+ public:
+  // 0 = leader, 1 = follower.
+  std::size_t num_states() const override { return 2; }
+  State g(State s) const override { return s; }
+  State f(State s, State r) const override { return (s == 0 && r == 0) ? 1 : r; }
+  std::string name() const override { return "io-leader"; }
+  int output(State q) const override { return q == 0 ? 1 : 0; }
+};
+
+class ItOrBeacon final : public OneWayProtocol {
+ public:
+  // State encodes (bit, phase): id = bit*2 + phase. g flips the phase —
+  // a starter-side effect only IT permits; f computes OR of the bits.
+  std::size_t num_states() const override { return 4; }
+  State g(State s) const override { return (s & 2u) | ((s & 1u) ^ 1u); }
+  State f(State s, State r) const override {
+    const State bit = ((s >> 1) | (r >> 1)) & 1u;
+    return (bit << 1) | (r & 1u);
+  }
+  std::string name() const override { return "it-or-beacon"; }
+  int output(State q) const override { return static_cast<int>(q >> 1); }
+};
+
+}  // namespace
+
+std::shared_ptr<const OneWayProtocol> make_io_or() { return std::make_shared<IoOr>(); }
+
+std::shared_ptr<const OneWayProtocol> make_io_max(std::size_t m) {
+  return std::make_shared<IoMax>(m);
+}
+
+std::shared_ptr<const OneWayProtocol> make_io_leader() {
+  return std::make_shared<IoLeader>();
+}
+
+std::shared_ptr<const OneWayProtocol> make_it_or_with_beacon() {
+  return std::make_shared<ItOrBeacon>();
+}
+
+std::shared_ptr<const TableProtocol> lower_to_two_way(const OneWayProtocol& p,
+                                                      std::vector<State> initial) {
+  const std::size_t n = p.num_states();
+  std::vector<std::string> names(n);
+  std::vector<int> outputs(n);
+  for (State q = 0; q < n; ++q) {
+    names[q] = "q" + std::to_string(q);
+    outputs[q] = p.output(q);
+  }
+  std::vector<StatePair> table(n * n);
+  for (State s = 0; s < n; ++s)
+    for (State r = 0; r < n; ++r) table[s * n + r] = StatePair{p.g(s), p.f(s, r)};
+  return std::make_shared<TableProtocol>(p.name() + "-as-two-way", std::move(names),
+                                         std::move(outputs), std::move(initial),
+                                         std::move(table));
+}
+
+}  // namespace ppfs

@@ -1,0 +1,33 @@
+// Native one-way protocols (§2.2, after Angluin, Aspnes & Eisenstat's
+// one-way communication paper, cited as [4]). These run directly in the
+// IT/IO engines and are used by the Figure 1 experiments to demonstrate
+// what the weak models compute natively, without any simulator.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+// IO epidemic OR: f(s, r) = s | r, g = id.
+[[nodiscard]] std::shared_ptr<const OneWayProtocol> make_io_or();
+
+// IO max-epidemic over values 0..m-1: f(s, r) = max(s, r).
+[[nodiscard]] std::shared_ptr<const OneWayProtocol> make_io_max(std::size_t m);
+
+// IO leader election: a leader observing a leader becomes a follower
+// (f(L, L) = F); g = id. Stabilizes to exactly one leader under GF.
+[[nodiscard]] std::shared_ptr<const OneWayProtocol> make_io_leader();
+
+// IT "detecting" protocol exercising a non-identity g: every time the
+// starter transmits it advances a two-phase flag; the reactor computes OR.
+// Demonstrates starter-side proximity awareness, impossible in IO.
+[[nodiscard]] std::shared_ptr<const OneWayProtocol> make_it_or_with_beacon();
+
+// Lower a native one-way protocol to its equivalent two-way table
+// (delta(s,r) = (g(s), f(s,r))), e.g. to reuse two-way tooling.
+[[nodiscard]] std::shared_ptr<const TableProtocol> lower_to_two_way(
+    const OneWayProtocol& p, std::vector<State> initial);
+
+}  // namespace ppfs

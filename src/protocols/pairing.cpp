@@ -1,0 +1,19 @@
+#include "protocols/pairing.hpp"
+
+namespace ppfs {
+
+PairingStates pairing_states() { return {0, 1, 2, 3}; }
+
+std::shared_ptr<const TableProtocol> make_pairing_protocol() {
+  ProtocolBuilder b("pairing");
+  const State c = b.add_state("c", 0, /*initial=*/true);
+  const State p = b.add_state("p", 0, /*initial=*/true);
+  const State cs = b.add_state("cs", 1);
+  const State bot = b.add_state("bot", 0);
+  (void)bot;
+  // (c, p) -> (cs, ⊥) and the mirrored (p, c) -> (⊥, cs).
+  b.symmetric_rule(c, p, cs, bot);
+  return b.build();
+}
+
+}  // namespace ppfs

@@ -1,0 +1,30 @@
+// The Pairing Problem protocol PIP (Definition 5 / §3 of the paper).
+//
+// Agents start as consumers (c) or producers (p). The only non-trivial
+// rules are (c, p) -> (cs, ⊥) and (p, c) -> (⊥, cs): a consumer meeting a
+// producer enters the irrevocable critical state cs, consuming the
+// producer. PIP solves Pair in the two-way model; it is the
+// counterexample protocol of every impossibility proof in the paper, since
+// the safety property (#cs ≤ #producers at all times) is exactly what
+// omissions let an adversary break.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+struct PairingStates {
+  State consumer;  // c
+  State producer;  // p
+  State critical;  // cs (irrevocable)
+  State bottom;    // ⊥ (spent producer)
+};
+
+[[nodiscard]] PairingStates pairing_states();
+
+// The PIP table protocol. Outputs: cs -> 1, everything else -> 0.
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_pairing_protocol();
+
+}  // namespace ppfs

@@ -1,0 +1,38 @@
+#include "protocols/parity.hpp"
+
+#include <stdexcept>
+
+namespace ppfs {
+
+std::shared_ptr<const TableProtocol> make_mod_counting(std::size_t m, std::size_t r) {
+  if (m < 2) throw std::invalid_argument("make_mod_counting: m >= 2 required");
+  if (r >= m) throw std::invalid_argument("make_mod_counting: r < m required");
+  ProtocolBuilder b("mod" + std::to_string(m) + "-eq-" + std::to_string(r));
+  std::vector<State> act(m);
+  for (std::size_t v = 0; v < m; ++v) {
+    act[v] = b.add_state("a" + std::to_string(v), v == r ? 1 : 0,
+                         /*initial=*/v <= 1);
+  }
+  const State p0 = b.add_state("p0", 0);
+  const State p1 = b.add_state("p1", 1);
+  auto passive_for = [&](std::size_t v) { return v == r ? p1 : p0; };
+
+  for (std::size_t u = 0; u < m; ++u) {
+    for (std::size_t v = 0; v < m; ++v) {
+      const std::size_t sum = (u + v) % m;
+      // Two actives merge: starter keeps the sum, reactor goes passive
+      // with the verdict for the merged sum.
+      b.rule(act[u], act[v], act[sum], passive_for(sum));
+    }
+    // Active meets passive: refresh the passive agent's verdict bit.
+    b.rule(act[u], p0, act[u], passive_for(u));
+    b.rule(act[u], p1, act[u], passive_for(u));
+    // Passive meets active: same, using the two-way power to update the
+    // starter-side passive agent.
+    b.rule(p0, act[u], passive_for(u), act[u]);
+    b.rule(p1, act[u], passive_for(u), act[u]);
+  }
+  return b.build();
+}
+
+}  // namespace ppfs

@@ -1,0 +1,20 @@
+// Modulo-m sum predicate: decides whether the sum of the agents' inputs is
+// congruent to r (mod m). One "active" token per surviving aggregator
+// carries the running sum; passive agents copy the verdict bit
+// epidemically. A canonical member of the semilinear predicate family.
+//
+// States: active(v) for v in [0, m), then passive(0), passive(1).
+// Outputs: active(v) -> [v == r], passive(b) -> b.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+// m >= 2, 0 <= r < m. Initial states are active(0) and active(1) (inputs).
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_mod_counting(std::size_t m,
+                                                                     std::size_t r);
+
+}  // namespace ppfs

@@ -1,0 +1,75 @@
+#include "protocols/product.hpp"
+
+#include <stdexcept>
+
+namespace ppfs {
+
+State product_state(const Protocol& a, const Protocol& b, State qa, State qb) {
+  if (qa >= a.num_states() || qb >= b.num_states())
+    throw std::out_of_range("product_state");
+  return static_cast<State>(qa * b.num_states() + qb);
+}
+
+std::shared_ptr<const TableProtocol> make_product_protocol(
+    std::shared_ptr<const Protocol> a, std::shared_ptr<const Protocol> b,
+    std::function<int(int, int)> combine, const std::string& name) {
+  if (!a || !b) throw std::invalid_argument("make_product_protocol: null protocol");
+  if (!combine) throw std::invalid_argument("make_product_protocol: null combiner");
+  const std::size_t na = a->num_states();
+  const std::size_t nb = b->num_states();
+  const std::size_t n = na * nb;
+
+  std::vector<std::string> names(n);
+  std::vector<int> outputs(n);
+  for (State qa = 0; qa < na; ++qa) {
+    for (State qb = 0; qb < nb; ++qb) {
+      const State q = static_cast<State>(qa * nb + qb);
+      names[q] = "(" + a->state_name(qa) + "," + b->state_name(qb) + ")";
+      outputs[q] = combine(a->output(qa), b->output(qb));
+    }
+  }
+
+  std::vector<State> initial;
+  for (State qa : a->initial_states())
+    for (State qb : b->initial_states())
+      initial.push_back(static_cast<State>(qa * nb + qb));
+
+  std::vector<StatePair> table(n * n);
+  for (State sa = 0; sa < na; ++sa) {
+    for (State sb = 0; sb < nb; ++sb) {
+      for (State ra = 0; ra < na; ++ra) {
+        for (State rb = 0; rb < nb; ++rb) {
+          const StatePair ta = a->delta(sa, ra);
+          const StatePair tb = b->delta(sb, rb);
+          const State s = static_cast<State>(sa * nb + sb);
+          const State r = static_cast<State>(ra * nb + rb);
+          table[static_cast<std::size_t>(s) * n + r] =
+              StatePair{static_cast<State>(ta.starter * nb + tb.starter),
+                        static_cast<State>(ta.reactor * nb + tb.reactor)};
+        }
+      }
+    }
+  }
+  const std::string pname =
+      name.empty() ? a->name() + "*" + b->name() : name;
+  return std::make_shared<TableProtocol>(pname, std::move(names), std::move(outputs),
+                                         std::move(initial), std::move(table));
+}
+
+std::function<int(int, int)> combine_or() {
+  return [](int x, int y) {
+    if (x == 1 || y == 1) return 1;
+    if (x == 0 && y == 0) return 0;
+    return -1;
+  };
+}
+
+std::function<int(int, int)> combine_and() {
+  return [](int x, int y) {
+    if (x == 0 || y == 0) return 0;
+    if (x == 1 && y == 1) return 1;
+    return -1;
+  };
+}
+
+}  // namespace ppfs

@@ -1,0 +1,32 @@
+// Product combinator: run two protocols in lockstep on paired states and
+// combine their outputs with a boolean function. Since the stably
+// computable predicates are exactly the semilinear ones — boolean
+// combinations of threshold and modulo predicates (Angluin, Aspnes,
+// Eisenstat, cited as [5] in the paper) — this combinator closes the
+// protocol library under the operations that generate the whole class.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/protocol.hpp"
+
+namespace ppfs {
+
+// State space is the cartesian product (id = qa * |Q_B| + qb); delta acts
+// componentwise; initial states are pairs of initial states; outputs are
+// combine(output_a, output_b), where combine sees -1 for "undecided" and
+// should return -1 until both verdicts are usable.
+[[nodiscard]] std::shared_ptr<const TableProtocol> make_product_protocol(
+    std::shared_ptr<const Protocol> a, std::shared_ptr<const Protocol> b,
+    std::function<int(int, int)> combine, const std::string& name = "");
+
+// Pair the component states into a product state id.
+[[nodiscard]] State product_state(const Protocol& a, const Protocol& b, State qa,
+                                  State qb);
+
+// Ready-made combiners for the semilinear closure.
+[[nodiscard]] std::function<int(int, int)> combine_or();
+[[nodiscard]] std::function<int(int, int)> combine_and();
+
+}  // namespace ppfs

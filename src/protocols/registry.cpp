@@ -1,0 +1,129 @@
+#include "protocols/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/population.hpp"
+#include "protocols/counting.hpp"
+#include "protocols/leader.hpp"
+#include "protocols/logic.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/pairing.hpp"
+#include "protocols/parity.hpp"
+
+namespace ppfs {
+
+namespace {
+
+Workload make_or_workload(std::size_t n) {
+  auto p = make_or_protocol();
+  // One agent holds a 1; OR must spread to everyone.
+  std::vector<State> init(n, 0);
+  init[0] = 1;
+  return {"or(n=" + std::to_string(n) + ")", p, std::move(init), 1, nullptr};
+}
+
+Workload make_and_workload(std::size_t n) {
+  auto p = make_and_protocol();
+  // One agent holds a 0; AND must converge to 0.
+  std::vector<State> init(n, 1);
+  init[0] = 0;
+  return {"and(n=" + std::to_string(n) + ")", p, std::move(init), 0, nullptr};
+}
+
+Workload make_approx_majority_workload(std::size_t n) {
+  auto p = make_approximate_majority();
+  const auto st = approx_majority_states();
+  // 2/3 of the agents prefer x. The protocol guarantees the *majority*
+  // opinion only w.h.p. for large margins, so the stable criterion — one
+  // opinion extinct (consensus) — is what the workload checks.
+  const std::size_t nx = std::max<std::size_t>(2 * n / 3, 1);
+  auto init = make_initial({{st.x, nx}, {st.y, n - nx}});
+  auto conv = [st](const std::vector<std::size_t>& counts) {
+    return counts[st.x] == 0 || counts[st.y] == 0;
+  };
+  return {"approx-majority(n=" + std::to_string(n) + ")", p, std::move(init), -1,
+          std::move(conv)};
+}
+
+Workload make_exact_majority_workload(std::size_t n) {
+  auto p = make_exact_majority();
+  const auto st = exact_majority_states();
+  std::size_t nx = n / 2 + 1;  // strict majority for opinion 1
+  auto init = make_initial({{st.big_x, nx}, {st.big_y, n - nx}});
+  return {"exact-majority(n=" + std::to_string(n) + ")", p, std::move(init), 1,
+          nullptr};
+}
+
+Workload make_leader_workload(std::size_t n) {
+  auto p = make_leader_election();
+  const auto st = leader_states();
+  auto init = make_initial({{st.leader, n}});
+  auto conv = [st](const std::vector<std::size_t>& counts) {
+    return counts[st.leader] == 1;
+  };
+  return {"leader(n=" + std::to_string(n) + ")", p, std::move(init), -1,
+          std::move(conv)};
+}
+
+Workload make_threshold_workload(std::size_t n, std::size_t k, bool above) {
+  auto p = make_threshold_counting(k);
+  // `above`: k ones present (predicate true); else k-1 ones (false).
+  const std::size_t ones = above ? k : k - 1;
+  if (ones > n) throw std::invalid_argument("threshold workload: ones > n");
+  auto init = make_initial({{1, ones}, {0, n - ones}});
+  return {"threshold" + std::to_string(k) + (above ? "-true" : "-false") +
+              "(n=" + std::to_string(n) + ")",
+          p, std::move(init), above ? 1 : 0, nullptr};
+}
+
+Workload make_mod_workload(std::size_t n, std::size_t m) {
+  const std::size_t ones = std::max<std::size_t>(1, n / 2);
+  auto p = make_mod_counting(m, ones % m);
+  auto init = make_initial({{1, ones}, {0, n - ones}});
+  return {"mod" + std::to_string(m) + "(n=" + std::to_string(n) + ")", p,
+          std::move(init), 1, nullptr};
+}
+
+Workload make_pairing_workload(std::size_t n) {
+  auto p = make_pairing_protocol();
+  const auto st = pairing_states();
+  const std::size_t producers = n / 2;
+  const std::size_t consumers = n - producers;
+  auto init = make_initial({{st.consumer, consumers}, {st.producer, producers}});
+  const std::size_t expect_cs = std::min(consumers, producers);
+  auto conv = [st, expect_cs](const std::vector<std::size_t>& counts) {
+    return counts[st.critical] == expect_cs;
+  };
+  return {"pairing(n=" + std::to_string(n) + ")", p, std::move(init), -1,
+          std::move(conv)};
+}
+
+}  // namespace
+
+std::vector<Workload> standard_workloads(std::size_t n) {
+  if (n < 4) throw std::invalid_argument("standard_workloads: n >= 4 required");
+  std::vector<Workload> out;
+  out.push_back(make_or_workload(n));
+  out.push_back(make_and_workload(n));
+  out.push_back(make_approx_majority_workload(n));
+  out.push_back(make_exact_majority_workload(n));
+  out.push_back(make_leader_workload(n));
+  out.push_back(make_threshold_workload(n, 3, true));
+  out.push_back(make_threshold_workload(n, 3, false));
+  out.push_back(make_mod_workload(n, 3));
+  out.push_back(make_pairing_workload(n));
+  return out;
+}
+
+std::vector<Workload> core_workloads(std::size_t n) {
+  if (n < 4) throw std::invalid_argument("core_workloads: n >= 4 required");
+  std::vector<Workload> out;
+  out.push_back(make_or_workload(n));
+  out.push_back(make_exact_majority_workload(n));
+  out.push_back(make_leader_workload(n));
+  out.push_back(make_pairing_workload(n));
+  return out;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,36 @@
+// A small registry of ready-made simulated workloads: protocol + initial
+// configuration + expected stable outcome. Tests and benches sweep over
+// these instead of copy-pasting setups.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ppfs {
+
+struct Workload {
+  std::string name;
+  std::shared_ptr<const Protocol> protocol;
+  std::vector<State> initial;
+  // Expected stable consensus output (see Population::consensus_output),
+  // or -1 if the workload's verdict is checked by a custom monitor.
+  int expected_output = -1;
+  // Convergence probe: true once the configuration (by state counts) has
+  // reached the expected stable set. Null means "use consensus_output".
+  std::function<bool(const std::vector<std::size_t>& counts)> converged;
+};
+
+// Standard workload suite, parameterized by population size (n >= 2).
+// Includes: or / and epidemics, approximate majority, exact majority,
+// leader election, threshold-k counting, mod-m counting, pairing.
+[[nodiscard]] std::vector<Workload> standard_workloads(std::size_t n);
+
+// A smaller suite for expensive sweeps (simulators under adversaries).
+[[nodiscard]] std::vector<Workload> core_workloads(std::size_t n);
+
+}  // namespace ppfs

@@ -1,0 +1,67 @@
+// Omission adversaries (Definitions 1–2 of the paper).
+//
+// An adversary wraps a base scheduler (whose output it must deliver
+// unchanged and in order — this preserves global fairness of the real
+// interactions) and inserts omissive interactions between base picks:
+//
+//   * UO  ("unfair omissive"): may insert omissions forever;
+//   * NO  ("eventually non-omissive"): stops inserting after a horizon;
+//   * NO1: inserts at most one omission in the whole run;
+//   * Budget(o): inserts at most o omissions (the knowledge-of-omissions
+//     assumption of §4.1 bounds the total number of omissions by o).
+//
+// The victims of inserted omissions are chosen uniformly unless a victim
+// picker is installed (targeted adversaries used by stress tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "sched/scheduler.hpp"
+
+namespace ppfs {
+
+enum class AdversaryKind : std::uint8_t { UO, NO, NO1, Budget };
+
+struct AdversaryParams {
+  AdversaryKind kind = AdversaryKind::UO;
+  // Probability of inserting an omissive interaction before each real one
+  // (re-rolled after each insertion, geometric burst lengths).
+  double rate = 0.1;
+  // NO: no omissions are inserted at or after this step index.
+  std::size_t quiet_after = std::numeric_limits<std::size_t>::max();
+  // Budget / NO1: maximum total omissions (NO1 forces 1).
+  std::size_t max_omissions = std::numeric_limits<std::size_t>::max();
+  // Cap on consecutive insertions (keeps bursts finite, Def. 1).
+  std::size_t max_burst = 8;
+};
+
+class OmissionAdversary final : public Scheduler {
+ public:
+  using VictimPicker = std::function<Interaction(Rng&, std::size_t step)>;
+
+  OmissionAdversary(std::unique_ptr<Scheduler> base, std::size_t n,
+                    AdversaryParams params);
+
+  // Install a custom victim picker for inserted omissive interactions
+  // (the returned Interaction's `omissive` flag is forced to true).
+  void set_victim_picker(VictimPicker picker);
+
+  [[nodiscard]] Interaction next(Rng& rng, std::size_t step) override;
+
+  [[nodiscard]] std::size_t omissions_emitted() const noexcept { return emitted_; }
+
+ private:
+  [[nodiscard]] bool may_insert(std::size_t step) const noexcept;
+
+  std::unique_ptr<Scheduler> base_;
+  std::size_t n_;
+  AdversaryParams params_;
+  VictimPicker picker_;
+  std::size_t emitted_ = 0;
+  std::size_t burst_ = 0;
+};
+
+}  // namespace ppfs

@@ -1,0 +1,51 @@
+#include "sched/fairness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppfs {
+
+FairnessAuditor::FairnessAuditor(std::size_t n)
+    : n_(n), counts_(n * n, 0), last_seen_(n * n, 0) {
+  if (n < 2) throw std::invalid_argument("FairnessAuditor: n >= 2 required");
+}
+
+void FairnessAuditor::observe(const Interaction& ia) {
+  ++step_;
+  if (ia.omissive) return;  // only real interactions count toward GF
+  if (ia.starter >= n_ || ia.reactor >= n_ || ia.starter == ia.reactor)
+    throw std::invalid_argument("FairnessAuditor: bad interaction");
+  const std::size_t i = idx(ia.starter, ia.reactor);
+  if (last_seen_[i] != 0) max_gap_ = std::max(max_gap_, step_ - last_seen_[i]);
+  last_seen_[i] = step_;
+  ++counts_[i];
+}
+
+std::size_t FairnessAuditor::pairs_covered() const {
+  std::size_t covered = 0;
+  for (AgentId s = 0; s < n_; ++s)
+    for (AgentId r = 0; r < n_; ++r)
+      if (s != r && counts_[idx(s, r)] > 0) ++covered;
+  return covered;
+}
+
+bool FairnessAuditor::all_pairs_covered() const {
+  return pairs_covered() == n_ * (n_ - 1);
+}
+
+std::size_t FairnessAuditor::max_current_gap() const {
+  std::size_t worst = 0;
+  for (AgentId s = 0; s < n_; ++s)
+    for (AgentId r = 0; r < n_; ++r) {
+      if (s == r) continue;
+      worst = std::max(worst, step_ - last_seen_[idx(s, r)]);
+    }
+  return worst;
+}
+
+std::size_t FairnessAuditor::count(AgentId s, AgentId r) const {
+  if (s >= n_ || r >= n_) throw std::out_of_range("FairnessAuditor::count");
+  return counts_[idx(s, r)];
+}
+
+}  // namespace ppfs

@@ -1,0 +1,50 @@
+// Global-fairness auditing. True GF (§2.1) quantifies over closed sets of
+// configurations and cannot be checked on a finite prefix; what CAN be
+// measured is the standard probability-1 witness for the uniform random
+// scheduler: every ordered agent pair keeps occurring, with bounded gaps.
+// The auditor tracks per-ordered-pair occurrence counts and gap statistics
+// of the *non-omissive* interactions (the adversary may not starve real
+// interactions, Def. 1/2), giving experiments a fairness health metric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ppfs {
+
+class FairnessAuditor {
+ public:
+  explicit FairnessAuditor(std::size_t n);
+
+  void observe(const Interaction& ia);
+
+  [[nodiscard]] std::size_t steps() const noexcept { return step_; }
+
+  // Number of ordered pairs that occurred at least once.
+  [[nodiscard]] std::size_t pairs_covered() const;
+  [[nodiscard]] bool all_pairs_covered() const;
+
+  // Largest current starvation: steps since the least recently seen
+  // ordered pair last occurred (or since the start).
+  [[nodiscard]] std::size_t max_current_gap() const;
+
+  // Largest gap ever observed between consecutive occurrences of the same
+  // ordered pair.
+  [[nodiscard]] std::size_t max_historic_gap() const noexcept { return max_gap_; }
+
+  [[nodiscard]] std::size_t count(AgentId s, AgentId r) const;
+
+ private:
+  [[nodiscard]] std::size_t idx(AgentId s, AgentId r) const {
+    return static_cast<std::size_t>(s) * n_ + r;
+  }
+  std::size_t n_;
+  std::size_t step_ = 0;
+  std::vector<std::size_t> counts_;
+  std::vector<std::size_t> last_seen_;  // step index + 1; 0 = never
+  std::size_t max_gap_ = 0;
+};
+
+}  // namespace ppfs

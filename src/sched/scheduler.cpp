@@ -1,0 +1,29 @@
+#include "sched/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace ppfs {
+
+UniformScheduler::UniformScheduler(std::size_t n) : n_(n) {
+  if (n < 2) throw std::invalid_argument("UniformScheduler: n >= 2 required");
+}
+
+Interaction UniformScheduler::next(Rng& rng, std::size_t step) {
+  (void)step;
+  const auto s = static_cast<AgentId>(rng.below(n_));
+  auto r = static_cast<AgentId>(rng.below(n_ - 1));
+  if (r >= s) ++r;  // uniform over ordered pairs with s != r
+  return Interaction{s, r, /*omissive=*/false};
+}
+
+ScriptedScheduler::ScriptedScheduler(std::vector<Interaction> script,
+                                     std::unique_ptr<Scheduler> fallback)
+    : script_(std::move(script)), fallback_(std::move(fallback)) {}
+
+Interaction ScriptedScheduler::next(Rng& rng, std::size_t step) {
+  if (pos_ < script_.size()) return script_[pos_++];
+  if (!fallback_) throw std::logic_error("ScriptedScheduler: script exhausted");
+  return fallback_->next(rng, step);
+}
+
+}  // namespace ppfs

@@ -1,0 +1,70 @@
+#include "sim/naming.hpp"
+
+#include <algorithm>
+
+namespace ppfs {
+
+NamingSimulator::NamingSimulator(std::shared_ptr<const Protocol> protocol,
+                                 Model model, std::vector<State> initial)
+    : Simulator(std::move(protocol), model, std::move(initial)) {
+  const std::size_t n = num_agents();
+  naming_.resize(n);
+  agents_.resize(n);
+  for (AgentId a = 0; a < n; ++a) {
+    agents_[a].active = false;
+    agents_[a].sim_state = initial_projection()[a];
+  }
+  if (n == 1) {
+    // Degenerate population: max_id = n = 1 immediately.
+    agents_[0].active = true;
+    agents_[0].id = 1;
+    nstats_.activated = 1;
+  }
+}
+
+std::unique_ptr<Simulator> NamingSimulator::clone() const {
+  return std::make_unique<NamingSimulator>(*this);
+}
+
+State NamingSimulator::simulated_state(AgentId a) const {
+  return agents_.at(a).sim_state;
+}
+
+std::string NamingSimulator::describe() const {
+  return "Nn+SID(" + model_name(model()) + ", n=" + std::to_string(num_agents()) +
+         ")";
+}
+
+bool NamingSimulator::all_activated() const {
+  return std::all_of(agents_.begin(), agents_.end(),
+                     [](const SidAgent& a) { return a.active; });
+}
+
+void NamingSimulator::do_interact(const Interaction& ia) {
+  // Reactor-side only; omissions deliver nothing (no-op under any model).
+  if (ia.omissive) return;
+  const Naming nsnap = naming_[ia.starter];
+  const SidAgent sid_snap = agents_[ia.starter];  // pre-interaction snapshot
+
+  // --- Nn layer (Lemma 3) ---
+  Naming& me = naming_[ia.reactor];
+  if (nsnap.my_id == me.my_id) {
+    ++me.my_id;
+    ++nstats_.id_increments;
+  }
+  me.max_id = std::max({me.max_id, me.my_id, nsnap.my_id, nsnap.max_id});
+  SidAgent& sid_me = agents_[ia.reactor];
+  if (!sid_me.active && me.max_id == num_agents()) {
+    // start_sim(my_id): at this point all ids are unique and stable.
+    sid_me.active = true;
+    sid_me.id = me.my_id;
+    ++nstats_.activated;
+  }
+
+  // --- SID layer (only between activated agents) ---
+  if (auto up = core_.react(protocol(), sid_me, sid_snap)) {
+    emit(ia.reactor, up->before, up->after, up->half, up->key, up->partner);
+  }
+}
+
+}  // namespace ppfs

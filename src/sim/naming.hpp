@@ -1,0 +1,57 @@
+// Nn — the naming protocol of §4.3 (Lemma 3) and its composition with SID
+// (Theorem 4.6): simulation in IO with knowledge of n only.
+//
+// Every agent starts with my_id = max_id = 1. A reactor that observes a
+// starter with its own my_id increments my_id; max_id gossips the maximum
+// my_id seen. When an agent's max_id reaches n, all n ids are already
+// unique and stable (pigeonhole over the invariant that every value in
+// [1, max] is held by someone), so the agent activates its SID layer with
+// start_sim(my_id).
+//
+// Like SID, all updates are reactor-side; omissions are no-ops; the
+// protocol runs unchanged under every model of Figure 1 — the
+// knowledge-of-n column of Figure 4.
+#pragma once
+
+#include "sim/sid.hpp"
+
+namespace ppfs {
+
+class NamingSimulator final : public Simulator {
+ public:
+  struct NamingStats {
+    std::uint64_t id_increments = 0;
+    std::size_t activated = 0;  // agents that invoked start_sim
+  };
+
+  NamingSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                  std::vector<State> initial);
+
+  [[nodiscard]] std::unique_ptr<Simulator> clone() const override;
+  [[nodiscard]] State simulated_state(AgentId a) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::uint32_t my_id(AgentId a) const { return naming_.at(a).my_id; }
+  [[nodiscard]] std::uint32_t max_id(AgentId a) const { return naming_.at(a).max_id; }
+  [[nodiscard]] bool activated(AgentId a) const { return agents_.at(a).active; }
+  [[nodiscard]] const SidAgent& sid_agent(AgentId a) const { return agents_.at(a); }
+  [[nodiscard]] bool all_activated() const;
+  [[nodiscard]] const NamingStats& naming_stats() const noexcept { return nstats_; }
+  [[nodiscard]] const SidStats& sid_stats() const noexcept { return core_.stats(); }
+
+ protected:
+  void do_interact(const Interaction& ia) override;
+
+ private:
+  struct Naming {
+    std::uint32_t my_id = 1;
+    std::uint32_t max_id = 1;
+  };
+
+  std::vector<Naming> naming_;
+  std::vector<SidAgent> agents_;  // SID layer; inactive until max_id == n
+  SidCore core_;
+  NamingStats nstats_;
+};
+
+}  // namespace ppfs

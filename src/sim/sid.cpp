@@ -1,0 +1,113 @@
+#include "sim/sid.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ppfs {
+
+std::optional<SidCore::Update> SidCore::react(const Protocol& p, SidAgent& me,
+                                              const SidAgent& snap) {
+  if (!me.active || !snap.active) return std::nullopt;
+
+  // Lines 3-5: two available agents meet — the reactor soft-commits.
+  if (me.status == SidAgent::Status::Available &&
+      snap.status == SidAgent::Status::Available) {
+    me.status = SidAgent::Status::Pairing;
+    me.other_id = snap.id;
+    me.other_state = snap.sim_state;
+    ++stats_.pairings;
+    return std::nullopt;
+  }
+
+  // Lines 6-9: the observed starter is pairing with me and its recorded
+  // copy of my simulated state is still current — I lock and apply the
+  // starter half fs = delta[0] of the simulated interaction.
+  if (me.status == SidAgent::Status::Available &&
+      snap.status == SidAgent::Status::Pairing && snap.other_id == me.id &&
+      (!options_.guard_partner_state || snap.other_state == me.sim_state)) {
+    me.status = SidAgent::Status::Locked;
+    me.other_id = snap.id;
+    me.other_state = snap.sim_state;
+    me.txn = next_txn_++;
+    const State before = me.sim_state;
+    const State after = p.delta(before, snap.sim_state).starter;
+    me.sim_state = after;
+    ++stats_.locks;
+    return Update{before, after, Half::Starter, me.txn, snap.sim_state};
+  }
+
+  // Lines 10-13: my partner is locked on me — I complete the reactor half
+  // fr = delta[1], using the partner state I saved at pairing time (the
+  // snapshot already carries the fs-updated state; see DESIGN.md).
+  if (me.status == SidAgent::Status::Pairing && me.other_id == snap.id &&
+      snap.other_id == me.id && snap.status == SidAgent::Status::Locked) {
+    const State partner = me.other_state;
+    const State before = me.sim_state;
+    const State after = p.delta(partner, before).reactor;
+    me.sim_state = after;
+    me.status = SidAgent::Status::Available;
+    me.other_id = kNoId;
+    me.other_state = kNoState;
+    ++stats_.completes;
+    return Update{before, after, Half::Reactor, snap.txn, partner};
+  }
+
+  // Lines 14-16: the agent I am engaged with is engaged elsewhere (or has
+  // completed and reset) — roll back / unlock.
+  if (me.other_id == snap.id && snap.other_id != me.id) {
+    me.status = SidAgent::Status::Available;
+    me.other_id = kNoId;
+    me.other_state = kNoState;
+    ++stats_.rollbacks;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+SidSimulator::SidSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                           std::vector<State> initial, std::vector<std::uint32_t> ids,
+                           SidCore::Options options)
+    : Simulator(std::move(protocol), model, std::move(initial)), core_(options) {
+  const std::size_t n = num_agents();
+  if (ids.empty()) {
+    ids.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<std::uint32_t>(i);
+  }
+  if (ids.size() != n) throw std::invalid_argument("SidSimulator: ids arity");
+  std::unordered_set<std::uint32_t> seen;
+  for (auto id : ids) {
+    if (id == kNoId || !seen.insert(id).second)
+      throw std::invalid_argument("SidSimulator: ids must be unique");
+  }
+  agents_.resize(n);
+  for (AgentId a = 0; a < n; ++a) {
+    agents_[a].id = ids[a];
+    agents_[a].sim_state = initial_projection()[a];
+  }
+}
+
+std::unique_ptr<Simulator> SidSimulator::clone() const {
+  return std::make_unique<SidSimulator>(*this);
+}
+
+State SidSimulator::simulated_state(AgentId a) const {
+  return agents_.at(a).sim_state;
+}
+
+std::string SidSimulator::describe() const {
+  return "SID(" + model_name(model()) + ")";
+}
+
+void SidSimulator::do_interact(const Interaction& ia) {
+  // SID is reactor-side only (its starter functions are identities), so an
+  // omissive interaction — under any model — delivers nothing and changes
+  // nothing: exactly the no-op embedding that makes SID immune to the UO
+  // adversary.
+  if (ia.omissive) return;
+  const SidAgent snap = agents_[ia.starter];  // pre-interaction snapshot
+  if (auto up = core_.react(protocol(), agents_[ia.reactor], snap)) {
+    emit(ia.reactor, up->before, up->after, up->half, up->key, up->partner);
+  }
+}
+
+}  // namespace ppfs

@@ -1,0 +1,112 @@
+// SID — the unique-ID locking simulator of §4.2 (Figure 3, Theorem 4.5).
+//
+// Designed for IO (the weakest model: only the reactor observes, the
+// starter is unaware), assuming unique IDs in the initial states. The
+// reactor-side state machine:
+//
+//   available  --observes available starter-->           pairing(starter)
+//   available  --observes pairing starter targeting me and whose recorded
+//                 copy of my simulated state is current-->
+//                 locked(starter), apply fs                  (lines 6-9)
+//   pairing    --observes my locked partner-->
+//                 apply fr (with the state saved at pairing time — see
+//                 DESIGN.md erratum note), back to available (lines 10-13)
+//   any        --observes partner engaged elsewhere/reset--> rollback to
+//                 available                                  (lines 14-16)
+//
+// All updates are reactor-side only, so SID runs unchanged in *every*
+// model of Figure 1; an omission simply delivers nothing and is a global
+// no-op (the starter functions are identities), which is why the
+// with-IDs column of Figure 4 is entirely green, even under the UO
+// adversary.
+//
+// The locking core is factored into SidCore so the knowledge-of-n
+// simulator (sim/naming.hpp) can reuse it with late per-agent activation.
+#pragma once
+
+#include <optional>
+
+#include "sim/simulator.hpp"
+
+namespace ppfs {
+
+inline constexpr std::uint32_t kNoId = 0xffffffffu;
+
+struct SidAgent {
+  bool active = true;          // naming composition: joined the simulation
+  std::uint32_t id = kNoId;    // unique ID (from initial knowledge or Nn)
+  State sim_state = 0;
+  enum class Status : std::uint8_t { Available, Pairing, Locked };
+  Status status = Status::Available;
+  std::uint32_t other_id = kNoId;  // partner ID while pairing/locked
+  State other_state = kNoState;    // partner simulated state saved at pairing
+  std::uint64_t txn = 0;           // lock transaction id (verification key)
+};
+
+struct SidStats {
+  std::uint64_t pairings = 0;
+  std::uint64_t locks = 0;      // starter halves applied
+  std::uint64_t completes = 0;  // reactor halves applied
+  std::uint64_t rollbacks = 0;
+};
+
+// The reactor-side step shared by SidSimulator and NamingSimulator.
+class SidCore {
+ public:
+  struct Update {
+    State before;
+    State after;
+    Half half;
+    std::uint64_t key;
+    State partner;
+  };
+
+  // Ablation switch (default = faithful Figure 3). The line-6 guard
+  // `state_other == stateP` refuses locks against a stale saved copy of
+  // the reactor's simulated state; without it, SID applies delta halves
+  // to states that no longer exist and the safety of the simulated
+  // protocol breaks (see the ablation experiments).
+  struct Options {
+    bool guard_partner_state = true;
+  };
+
+  SidCore() = default;
+  explicit SidCore(Options options) : options_(options) {}
+
+  // `me` is the reactor, `snap` the starter's pre-interaction snapshot.
+  // Returns a simulated-state update if one happened.
+  [[nodiscard]] std::optional<Update> react(const Protocol& p, SidAgent& me,
+                                            const SidAgent& snap);
+
+  [[nodiscard]] const SidStats& stats() const noexcept { return stats_; }
+
+ private:
+  Options options_;
+  SidStats stats_;
+  std::uint64_t next_txn_ = 1;
+};
+
+class SidSimulator final : public Simulator {
+ public:
+  // `ids` must be unique; defaults (empty) to ids 0..n-1. Works under any
+  // of the ten models.
+  SidSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+               std::vector<State> initial, std::vector<std::uint32_t> ids = {},
+               SidCore::Options options = {});
+
+  [[nodiscard]] std::unique_ptr<Simulator> clone() const override;
+  [[nodiscard]] State simulated_state(AgentId a) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const SidStats& stats() const noexcept { return core_.stats(); }
+  [[nodiscard]] const SidAgent& agent(AgentId a) const { return agents_.at(a); }
+
+ protected:
+  void do_interact(const Interaction& ia) override;
+
+ private:
+  std::vector<SidAgent> agents_;
+  SidCore core_;
+};
+
+}  // namespace ppfs

@@ -1,0 +1,47 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace ppfs {
+
+Simulator::Simulator(std::shared_ptr<const Protocol> protocol, Model model,
+                     std::vector<State> initial)
+    : protocol_(std::move(protocol)),
+      model_(model),
+      caps_(model_caps(model)),
+      initial_(std::move(initial)),
+      n_(initial_.size()) {
+  if (!protocol_) throw std::invalid_argument("Simulator: null protocol");
+  if (n_ < 1) throw std::invalid_argument("Simulator: empty population");
+  for (State q : initial_) {
+    if (q >= protocol_->num_states())
+      throw std::invalid_argument("Simulator: initial state out of range");
+  }
+}
+
+void Simulator::interact(const Interaction& ia) {
+  if (ia.starter >= n_ || ia.reactor >= n_)
+    throw std::invalid_argument("Simulator::interact: agent out of range");
+  if (ia.starter == ia.reactor)
+    throw std::invalid_argument("Simulator::interact: self-interaction");
+  if (ia.omissive && !caps_.omissive)
+    throw std::invalid_argument("Simulator::interact: model " + model_name(model_) +
+                                " has no omissions");
+  ++interactions_;
+  if (ia.omissive) ++omissions_;
+  do_interact(ia);
+}
+
+std::vector<State> Simulator::projection() const {
+  std::vector<State> out(n_);
+  for (AgentId a = 0; a < n_; ++a) out[a] = simulated_state(a);
+  return out;
+}
+
+void Simulator::emit(AgentId agent, State before, State after, Half half,
+                     std::uint64_t key, State partner) {
+  events_.push_back(SimEvent{seq_++, interactions_, agent, before, after, half, key,
+                             partner});
+}
+
+}  // namespace ppfs

@@ -1,0 +1,101 @@
+// Two-way protocol simulators (§2.4 of the paper).
+//
+// A simulator S(P) is a wrapper protocol whose agents carry the simulated
+// state of P plus simulator bookkeeping, and which — driven by physical
+// interactions under some weak/omissive model — produces simulated
+// two-way transitions of P. Each simulated state update is recorded as a
+// SimEvent; the verifier (verify/matching.hpp) then builds the perfect
+// matching of Definition 3 and checks the derived execution of
+// Definition 4.
+//
+// Matching keys attached to events are harness-side provenance (ground
+// truth for verification); the protocol logic itself never reads them, so
+// they do not strengthen the communication model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/models.hpp"
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ppfs {
+
+struct SimEvent {
+  std::uint64_t seq;          // global event order within the simulator
+  std::uint64_t interaction;  // physical interaction index that caused it
+  AgentId agent;
+  State before;
+  State after;
+  Half half;                  // which half of delta this update applied
+  std::uint64_t key;          // matching hint (transaction / run id)
+  State partner;              // simulated partner state used in delta
+};
+
+class Simulator {
+ public:
+  Simulator(std::shared_ptr<const Protocol> protocol, Model model,
+            std::vector<State> initial);
+  virtual ~Simulator() = default;
+
+  Simulator(const Simulator&) = default;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Deep copy (used by the FTT search and the attack constructions).
+  [[nodiscard]] virtual std::unique_ptr<Simulator> clone() const = 0;
+
+  // Deliver one physical interaction. Validates agents and that the
+  // model admits omissive interactions before dispatching.
+  void interact(const Interaction& ia);
+
+  [[nodiscard]] virtual State simulated_state(AgentId a) const = 0;
+
+  // pi_P(C): the projection of the current configuration onto Q_P.
+  [[nodiscard]] std::vector<State> projection() const;
+
+  [[nodiscard]] std::size_t num_agents() const noexcept { return n_; }
+  [[nodiscard]] const Protocol& protocol() const noexcept { return *protocol_; }
+  [[nodiscard]] std::shared_ptr<const Protocol> protocol_ptr() const {
+    return protocol_;
+  }
+  [[nodiscard]] Model model() const noexcept { return model_; }
+  [[nodiscard]] const std::vector<State>& initial_projection() const noexcept {
+    return initial_;
+  }
+  [[nodiscard]] const std::vector<SimEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t interactions() const noexcept { return interactions_; }
+  [[nodiscard]] std::size_t omissions() const noexcept { return omissions_; }
+  [[nodiscard]] std::size_t simulated_updates() const noexcept {
+    return events_.size();
+  }
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  virtual void do_interact(const Interaction& ia) = 0;
+
+  void emit(AgentId agent, State before, State after, Half half, std::uint64_t key,
+            State partner);
+
+  [[nodiscard]] const ModelCaps& caps() const noexcept { return caps_; }
+  [[nodiscard]] std::uint64_t current_interaction() const noexcept {
+    return interactions_;
+  }
+
+ private:
+  std::shared_ptr<const Protocol> protocol_;
+  Model model_;
+  ModelCaps caps_;
+  std::vector<State> initial_;
+  std::size_t n_;
+  std::vector<SimEvent> events_;
+  std::uint64_t seq_ = 0;
+  std::size_t interactions_ = 0;
+  std::size_t omissions_ = 0;
+};
+
+}  // namespace ppfs

@@ -1,0 +1,339 @@
+#include "sim/skno.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace ppfs {
+
+namespace {
+constexpr std::size_t bits_for_count(std::size_t c) {
+  std::size_t b = 0;
+  while (c > 0) {
+    ++b;
+    c >>= 1;
+  }
+  return b == 0 ? 1 : b;
+}
+}  // namespace
+
+SknoSimulator::SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                             std::size_t omission_bound, std::vector<State> initial)
+    : SknoSimulator(std::move(protocol), model, omission_bound, std::move(initial),
+                    Options{}) {}
+
+SknoSimulator::SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                             std::size_t omission_bound, std::vector<State> initial,
+                             Options options)
+    : Simulator(std::move(protocol), model, std::move(initial)),
+      o_(omission_bound),
+      options_(options) {
+  if (model != Model::I3 && model != Model::I4 && model != Model::IT &&
+      model != Model::T3 && model != Model::I1 && model != Model::I2)
+    throw std::invalid_argument(
+        "SknoSimulator: supported models are I3, I4 (omissive), IT (o = 0), "
+        "T3 (via the I3 -> T3 embedding), and I1/I2 (as the Theorem 3.2 "
+        "candidate only)");
+  if (model == Model::IT && o_ != 0)
+    throw std::invalid_argument("SknoSimulator: IT is non-omissive, use o = 0");
+  agents_.resize(num_agents());
+  for (AgentId a = 0; a < num_agents(); ++a)
+    agents_[a].sim_state = initial_projection()[a];
+}
+
+std::unique_ptr<Simulator> SknoSimulator::clone() const {
+  return std::make_unique<SknoSimulator>(*this);
+}
+
+State SknoSimulator::simulated_state(AgentId a) const {
+  return agents_.at(a).sim_state;
+}
+
+std::string SknoSimulator::describe() const {
+  return "SKnO(" + model_name(model()) + ", o=" + std::to_string(o_) + ")";
+}
+
+std::size_t SknoSimulator::total_live_tokens() const {
+  std::size_t t = 0;
+  for (const auto& a : agents_) t += a.sending.size();
+  return t;
+}
+
+std::size_t SknoSimulator::live_jokers() const {
+  std::size_t t = 0;
+  for (const auto& a : agents_)
+    for (const auto& tok : a.sending)
+      if (tok.kind == Token::Kind::Joker) ++t;
+  return t;
+}
+
+std::size_t SknoSimulator::memory_bits(AgentId idx) const {
+  const Agent& a = agents_.at(idx);
+  // Counting representation: a counter per distinct token value held, plus
+  // the value tag itself (state ids + index), plus the simulator scalars.
+  std::map<std::tuple<std::uint8_t, State, State, std::uint32_t>, std::size_t> counts;
+  for (const auto& t : a.sending)
+    ++counts[{static_cast<std::uint8_t>(t.kind), t.q, t.qr, t.index}];
+  for (const auto& t : a.joker_debt)
+    ++counts[{static_cast<std::uint8_t>(t.kind), t.q, t.qr, t.index}];
+  const std::size_t state_bits = bits_for_count(protocol().num_states());
+  const std::size_t tag_bits = 2 + 2 * state_bits + bits_for_count(o_ + 1);
+  std::size_t bits = state_bits + 1;  // sim_state + pending flag
+  for (const auto& [value, c] : counts) bits += tag_bits + bits_for_count(c);
+  return bits;
+}
+
+void SknoSimulator::note_queue_size(const Agent& a) {
+  stats_.max_queue = std::max(stats_.max_queue, a.sending.size());
+}
+
+std::optional<SknoSimulator::Token> SknoSimulator::apply_g(AgentId idx) {
+  Agent& a = agents_[idx];
+  if (!a.pending && a.sending.empty()) {
+    // available + empty queue: open a transaction for the current state.
+    a.pending = true;
+    const std::uint64_t run = next_run_++;
+    for (std::uint32_t i = 1; i <= o_ + 1; ++i)
+      a.sending.push_back(Token{Token::Kind::StateRun, a.sim_state, kNoState, i, run});
+    ++stats_.runs_generated;
+    note_queue_size(a);
+  }
+  if (a.sending.empty()) return std::nullopt;
+  Token t = a.sending.front();
+  a.sending.pop_front();
+  return t;
+}
+
+void SknoSimulator::mint_joker(AgentId idx) {
+  Agent& a = agents_[idx];
+  a.sending.push_back(Token{Token::Kind::Joker, kNoState, kNoState, 0, 0});
+  ++stats_.jokers_minted;
+  note_queue_size(a);
+}
+
+void SknoSimulator::receive(AgentId idx, const std::optional<Token>& tok) {
+  Agent& a = agents_[idx];
+  if (tok) {
+    // Joker-debt repayment: a late copy of a token we substituted with a
+    // joker is destroyed and the joker regenerated (token conservation).
+    auto debt = options_.joker_debt
+                    ? std::find_if(
+                          a.joker_debt.begin(), a.joker_debt.end(),
+                          [&](const Token& d) { return d.same_value(*tok); })
+                    : a.joker_debt.end();
+    if (debt != a.joker_debt.end()) {
+      a.joker_debt.erase(debt);
+      a.sending.push_back(Token{Token::Kind::Joker, kNoState, kNoState, 0, 0});
+      ++stats_.debt_conversions;
+    } else {
+      a.sending.push_back(*tok);
+    }
+    note_queue_size(a);
+  }
+  run_checks(idx);
+}
+
+std::optional<SknoSimulator::Consumed> SknoSimulator::try_consume(
+    Agent& a, Token::Kind kind, std::optional<State> q_filter) {
+  // Candidate payloads in queue order (deterministic).
+  std::vector<std::pair<State, State>> candidates;
+  for (const auto& t : a.sending) {
+    if (t.kind != kind) continue;
+    if (q_filter && t.q != *q_filter) continue;
+    const std::pair<State, State> payload{t.q, t.qr};
+    if (std::find(candidates.begin(), candidates.end(), payload) == candidates.end())
+      candidates.push_back(payload);
+  }
+  std::size_t jokers_avail = 0;
+  for (const auto& t : a.sending)
+    if (t.kind == Token::Kind::Joker) ++jokers_avail;
+
+  for (const auto& [q, qr] : candidates) {
+    // Tokens of identical value are interchangeable, so which instances we
+    // remove is an implementation choice; we prefer drawing every index
+    // from a single originating run (the one contributing the most
+    // indices) so that verification provenance stays exact, and fill any
+    // index that run lacks from other runs, then jokers.
+    std::map<std::uint64_t, std::size_t> coverage;
+    for (const Token& t : a.sending) {
+      if (t.kind == kind && t.q == q && t.qr == qr && t.index >= 1 &&
+          t.index <= o_ + 1)
+        ++coverage[t.run];
+    }
+    std::uint64_t preferred = 0;
+    std::size_t best_cov = 0;
+    for (const auto& [run, cov] : coverage) {
+      if (cov > best_cov) {
+        best_cov = cov;
+        preferred = run;
+      }
+    }
+    // First queue position of each run index 1..o+1 for this payload,
+    // preferring tokens of the preferred run.
+    std::vector<std::ptrdiff_t> pos(o_ + 2, -1);
+    std::vector<bool> from_preferred(o_ + 2, false);
+    std::size_t have = 0;
+    for (std::size_t i = 0; i < a.sending.size(); ++i) {
+      const Token& t = a.sending[i];
+      if (t.kind != kind || t.q != q || t.qr != qr) continue;
+      if (t.index < 1 || t.index > o_ + 1) continue;
+      if (pos[t.index] < 0) {
+        pos[t.index] = static_cast<std::ptrdiff_t>(i);
+        from_preferred[t.index] = t.run == preferred;
+        ++have;
+      } else if (!from_preferred[t.index] && t.run == preferred) {
+        pos[t.index] = static_cast<std::ptrdiff_t>(i);
+        from_preferred[t.index] = true;
+      }
+    }
+    if (have == 0) continue;  // at least one real token required
+    const std::size_t missing = (o_ + 1) - have;
+    if (missing > jokers_avail) continue;
+
+    // Consume: remove the chosen real tokens and `missing` jokers; record
+    // the substituted values in the joker-debt list.
+    std::vector<bool> remove(a.sending.size(), false);
+    // Provenance: the run id of the token filling the smallest index. Two
+    // consumptions can never share a physical token, so in joker-free
+    // executions this primary id is globally unique per consumption.
+    std::uint64_t primary = 0;
+    for (std::uint32_t i = 1; i <= o_ + 1; ++i) {
+      if (pos[i] >= 0) {
+        remove[static_cast<std::size_t>(pos[i])] = true;
+        if (primary == 0)
+          primary = a.sending[static_cast<std::size_t>(pos[i])].run;
+      } else {
+        a.joker_debt.push_back(Token{kind, q, qr, i, 0});
+      }
+    }
+    std::size_t jokers_needed = missing;
+    for (std::size_t i = 0; i < a.sending.size() && jokers_needed > 0; ++i) {
+      if (!remove[i] && a.sending[i].kind == Token::Kind::Joker) {
+        remove[i] = true;
+        --jokers_needed;
+      }
+    }
+    stats_.jokers_used += missing;
+
+    std::deque<Token> rest;
+    for (std::size_t i = 0; i < a.sending.size(); ++i)
+      if (!remove[i]) rest.push_back(a.sending[i]);
+    a.sending.swap(rest);
+
+    return Consumed{primary, q, qr};
+  }
+  return std::nullopt;
+}
+
+void SknoSimulator::run_checks(AgentId idx) {
+  Agent& a = agents_[idx];
+  bool acted = true;
+  while (acted) {
+    acted = false;
+    if (a.pending) {
+      // Preliminary check: the agent's own state-run came back — cancel
+      // the transaction and withdraw the tokens.
+      if (try_consume(a, Token::Kind::StateRun, a.sim_state)) {
+        a.pending = false;
+        ++stats_.cancels;
+        acted = true;
+        continue;
+      }
+      // Core (pending): a complete change run ⟨(own, qr), *⟩ completes the
+      // starter half of the simulated interaction.
+      if (auto c = try_consume(a, Token::Kind::ChangeRun, a.sim_state)) {
+        const State before = a.sim_state;
+        const State after = protocol().delta(before, c->qr).starter;
+        emit(idx, before, after, Half::Starter, c->primary_run, c->qr);
+        a.sim_state = after;
+        a.pending = false;
+        ++stats_.change_runs_consumed;
+        acted = true;
+        continue;
+      }
+    } else {
+      // Core (available): a complete state run ⟨q, *⟩ simulates the
+      // reactor half against a hypothetical partner in state q.
+      if (auto c = try_consume(a, Token::Kind::StateRun, std::nullopt)) {
+        const State before = a.sim_state;
+        const State after = protocol().delta(c->q, before).reactor;
+        const std::uint64_t change_run = next_run_++;
+        emit(idx, before, after, Half::Reactor, change_run, c->q);
+        a.sim_state = after;
+        for (std::uint32_t i = 1; i <= o_ + 1; ++i)
+          a.sending.push_back(
+              Token{Token::Kind::ChangeRun, c->q, before, i, change_run});
+        ++stats_.state_runs_consumed;
+        note_queue_size(a);
+        acted = true;
+        continue;
+      }
+    }
+  }
+}
+
+void SknoSimulator::do_interact(const Interaction& ia) {
+  if (!ia.omissive) {
+    const auto tok = apply_g(ia.starter);
+    receive(ia.reactor, tok);
+    return;
+  }
+  switch (model()) {
+    case Model::T3: {
+      // The I3 -> T3 embedding (Fig. 1 arrow): the wrapper only uses the
+      // starter-to-reactor direction, with fs(s,r) := g(s) and o := g. A
+      // starter-side omission therefore produces the outcome
+      // (o(as), fr(as,ar)) = (g(as), f(as,ar)) — indistinguishable from a
+      // fault-free delivery; only a reactor-side (or both-sides) omission
+      // actually loses the token, and the reactor detects it via h.
+      if (ia.side == OmitSide::Starter) {
+        const auto tok = apply_g(ia.starter);
+        receive(ia.reactor, tok);
+        break;
+      }
+      [[fallthrough]];
+    }
+    case Model::I3: {
+      // Relation {(g,f),(g,h)}: the starter pops blindly (the in-flight
+      // token dies), the reactor detects and mints a joker.
+      const auto tok = apply_g(ia.starter);
+      if (tok) ++stats_.tokens_killed;
+      mint_joker(ia.reactor);
+      run_checks(ia.reactor);
+      break;
+    }
+    case Model::I4: {
+      // Relation {(g,f),(o,g)}: the starter detects — o keeps the queue
+      // intact and mints the compensating joker; the reactor cannot
+      // distinguish the event from acting as a starter and applies g,
+      // popping its own front token into the void.
+      mint_joker(ia.starter);
+      run_checks(ia.starter);
+      const auto tok = apply_g(ia.reactor);
+      if (tok) ++stats_.tokens_killed;
+      break;
+    }
+    case Model::I1: {
+      // No detection anywhere: the in-flight token silently dies and the
+      // reactor does not even notice the interaction. This variant is NOT
+      // a correct simulator — it is the natural candidate that the
+      // Theorem 3.2 experiments kill with a single omission.
+      const auto tok = apply_g(ia.starter);
+      if (tok) ++stats_.tokens_killed;
+      break;
+    }
+    case Model::I2: {
+      // Proximity but no omission detection: both parties apply g, so two
+      // tokens die per omission and nobody can mint a compensating joker.
+      const auto s_tok = apply_g(ia.starter);
+      if (s_tok) ++stats_.tokens_killed;
+      const auto r_tok = apply_g(ia.reactor);
+      if (r_tok) ++stats_.tokens_killed;
+      break;
+    }
+    default:
+      throw std::logic_error("SknoSimulator: omission in non-omissive model");
+  }
+}
+
+}  // namespace ppfs

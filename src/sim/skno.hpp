@@ -1,0 +1,141 @@
+// SKnO — the token/joker simulator of §4.1 (Theorem 4.1, Corollary 1).
+//
+// Assumption: an upper bound o on the total number of omissions is known.
+// Every simulated state q is represented by a *run* of o+1 numbered tokens
+// ⟨q,1⟩..⟨q,o+1⟩. An agent entering the `pending` state enqueues the run
+// for its own state; every time it acts as a starter it transmits (and
+// discards — at-most-once) the front token of its queue. A reactor
+// enqueues what it receives; when the detecting side observes an omission
+// it mints a joker token ⟨J⟩, which later substitutes for any single
+// missing token ("Rummy" wildcards, with a debt list so that a late copy
+// of the substituted token is itself turned back into a joker).
+//
+// A reactor that assembles a complete run for some state q consumes it and
+// applies its half of the two-way transition, delta(q, own)[1], then
+// enqueues a *state-change* run ⟨(q, own_before),1..o+1⟩; the pending
+// agent in state q that assembles that change run applies the starter half
+// delta(q, own_before)[0] and becomes available again. A pending agent
+// that instead gets its own state run back cancels the transaction.
+//
+// Supported models: I3 (reactor detects omissions — the paper's primary
+// variant), I4 (starter detects; the symmetric variant: on an omission the
+// starter keeps its in-flight token and mints the joker, while the reactor
+// behaves as a starter, popping its own front token into the void), and
+// IT (o = 0, no omissions — Corollary 1).
+//
+// Documented deviations from the paper text (see DESIGN.md §3):
+//   * change tokens carry the reactor's *pre*-interaction state;
+//   * completing a run requires at least one real (non-joker) token.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sim/simulator.hpp"
+
+namespace ppfs {
+
+class SknoSimulator final : public Simulator {
+ public:
+  struct Token {
+    enum class Kind : std::uint8_t { StateRun, ChangeRun, Joker };
+    Kind kind = Kind::Joker;
+    State q = kNoState;        // StateRun: state; ChangeRun: pending (starter) state
+    State qr = kNoState;       // ChangeRun only: reactor's pre-interaction state
+    std::uint32_t index = 0;   // 1..o+1
+    std::uint64_t run = 0;     // provenance (verification only, not protocol logic)
+
+    // Protocol-level equality: tokens are anonymous, run ids excluded.
+    [[nodiscard]] bool same_value(const Token& t) const noexcept {
+      return kind == t.kind && q == t.q && qr == t.qr && index == t.index;
+    }
+  };
+
+  struct Stats {
+    std::uint64_t runs_generated = 0;       // pending transactions opened
+    std::uint64_t state_runs_consumed = 0;  // reactor halves simulated
+    std::uint64_t change_runs_consumed = 0; // starter halves completed
+    std::uint64_t cancels = 0;              // pending transactions cancelled
+    std::uint64_t jokers_minted = 0;
+    std::uint64_t jokers_used = 0;          // jokers spent as wildcards
+    std::uint64_t tokens_killed = 0;        // in-flight/own tokens destroyed
+    std::uint64_t debt_conversions = 0;     // late real token -> joker
+    std::size_t max_queue = 0;              // max tokens held by any agent
+  };
+
+  // Ablation switches (defaults are the faithful §4.1 protocol). Used by
+  // the design-choice ablation experiments to show each mechanism is
+  // load-bearing; disabling joker_debt loses liveness under <= o
+  // omissions (a stolen joker's run can never be repaid).
+  struct Options {
+    bool joker_debt = true;
+  };
+
+  SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                std::size_t omission_bound, std::vector<State> initial);
+  SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                std::size_t omission_bound, std::vector<State> initial,
+                Options options);
+
+  [[nodiscard]] std::unique_ptr<Simulator> clone() const override;
+  [[nodiscard]] State simulated_state(AgentId a) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::size_t omission_bound() const noexcept { return o_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] bool is_pending(AgentId a) const { return agents_.at(a).pending; }
+  [[nodiscard]] std::size_t queue_size(AgentId a) const {
+    return agents_.at(a).sending.size();
+  }
+  [[nodiscard]] std::size_t total_live_tokens() const;
+  [[nodiscard]] std::size_t live_jokers() const;
+
+  // Approximate per-agent memory need in bits, under the counting
+  // representation the Theorem 4.1 bound refers to: one counter per
+  // distinct token value plus the simulator scalars.
+  [[nodiscard]] std::size_t memory_bits(AgentId a) const;
+
+ protected:
+  void do_interact(const Interaction& ia) override;
+
+ private:
+  struct Agent {
+    State sim_state = 0;
+    bool pending = false;
+    std::deque<Token> sending;
+    std::vector<Token> joker_debt;  // values owed after wildcard use
+  };
+
+  // Starter routine g: refill when available with an empty queue, then pop
+  // and return the front token (if any).
+  std::optional<Token> apply_g(AgentId idx);
+
+  // Reactor receives a token (or an omission notification) and runs the
+  // preliminary + core checks of §4.1.
+  void receive(AgentId idx, const std::optional<Token>& tok);
+  void mint_joker(AgentId idx);
+  void run_checks(AgentId idx);
+
+  // Searches `a.sending` for a complete run (indices 1..o+1) of the given
+  // kind/value, using jokers for missing indices (at least one real token
+  // required). On success removes the used tokens and returns the primary
+  // provenance run id (majority real token, ties toward smallest).
+  struct Consumed {
+    std::uint64_t primary_run;
+    State q;
+    State qr;
+  };
+  std::optional<Consumed> try_consume(Agent& a, Token::Kind kind,
+                                      std::optional<State> q_filter);
+
+  void note_queue_size(const Agent& a);
+
+  std::size_t o_;
+  Options options_;
+  std::vector<Agent> agents_;
+  std::uint64_t next_run_ = 1;
+  Stats stats_;
+};
+
+}  // namespace ppfs

@@ -1,0 +1,58 @@
+#include "sim/tw_naive.hpp"
+
+#include <stdexcept>
+
+namespace ppfs {
+
+TwSimulator::TwSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                         std::vector<State> initial)
+    : Simulator(std::move(protocol), model, std::move(initial)),
+      states_(initial_projection()) {
+  if (is_one_way(model))
+    throw std::invalid_argument("TwSimulator: requires a two-way model");
+}
+
+std::unique_ptr<Simulator> TwSimulator::clone() const {
+  return std::make_unique<TwSimulator>(*this);
+}
+
+State TwSimulator::simulated_state(AgentId a) const { return states_.at(a); }
+
+std::string TwSimulator::describe() const {
+  return "TwSimulator(" + model_name(model()) + ")";
+}
+
+void TwSimulator::do_interact(const Interaction& ia) {
+  const State s = states_[ia.starter];
+  const State r = states_[ia.reactor];
+  const StatePair out = protocol().delta(s, r);
+  const std::uint64_t key = current_interaction();
+  if (!ia.omissive) {
+    // One perfectly matched simulated interaction per physical one. Both
+    // halves are emitted (even a no-op half) so the matching stays a
+    // partition; pure no-op interactions produce no events.
+    if (out.starter == s && out.reactor == r) return;
+    emit(ia.starter, s, out.starter, Half::Starter, key, r);
+    emit(ia.reactor, r, out.reactor, Half::Reactor, key, s);
+    states_[ia.starter] = out.starter;
+    states_[ia.reactor] = out.reactor;
+    return;
+  }
+  // Omissive interaction under T1/T2/T3. The naive wrapper ignores
+  // detection (chooses o = h = id): a party hit by the omission keeps its
+  // state, the other applies its half of delta computed from the original
+  // pair — precisely the faulty outcomes of the T-model relations, and
+  // precisely what lets the adversary forge unmatched half-transitions.
+  const bool starter_hit = ia.side == OmitSide::Both || ia.side == OmitSide::Starter;
+  const bool reactor_hit = ia.side == OmitSide::Both || ia.side == OmitSide::Reactor;
+  if (!starter_hit && out.starter != s) {
+    emit(ia.starter, s, out.starter, Half::Starter, key, r);
+    states_[ia.starter] = out.starter;
+  }
+  if (!reactor_hit && out.reactor != r) {
+    emit(ia.reactor, r, out.reactor, Half::Reactor, key, s);
+    states_[ia.reactor] = out.reactor;
+  }
+}
+
+}  // namespace ppfs

@@ -1,0 +1,33 @@
+// The trivial "identity" simulator: apply delta directly on every physical
+// interaction. In the fault-free two-way model this is a correct simulator
+// (each interaction is one perfectly matched pair of events). Under any
+// omissive two-way model it is *not* — a one-sided omission applies only
+// one half of delta, which is exactly how the adversary of §3 forges
+// phantom transitions (e.g. a producer in the Pairing protocol being
+// consumed twice). The library keeps it both as the performance baseline
+// and as the executable witness for the red T1/T2/T3 cells of Figure 4.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace ppfs {
+
+class TwSimulator final : public Simulator {
+ public:
+  // Model must be TW (correct use) or one of T1, T2, T3 (to demonstrate
+  // how omissions break the naive approach).
+  TwSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+              std::vector<State> initial);
+
+  [[nodiscard]] std::unique_ptr<Simulator> clone() const override;
+  [[nodiscard]] State simulated_state(AgentId a) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ protected:
+  void do_interact(const Interaction& ia) override;
+
+ private:
+  std::vector<State> states_;
+};
+
+}  // namespace ppfs

@@ -1,0 +1,35 @@
+// Minimal fixed-width table printer used by the bench harnesses to emit the
+// paper's figures/tables as aligned text. No external dependencies.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppfs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Render with column alignment and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Convenience numeric formatting for table cells.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+[[nodiscard]] std::string fmt_bool(bool v);
+
+}  // namespace ppfs

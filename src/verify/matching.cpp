@@ -1,0 +1,234 @@
+#include "verify/matching.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace ppfs {
+
+namespace {
+
+using Sig = std::pair<State, State>;  // (qs, qr) of the simulated interaction
+
+Sig signature_of(const SimEvent& e) {
+  return e.half == Half::Starter ? Sig{e.before, e.partner} : Sig{e.partner, e.before};
+}
+
+void add_error(MatchingReport& rep, const VerifyOptions& opt, std::string msg) {
+  if (rep.errors.size() < opt.max_error_messages) rep.errors.push_back(std::move(msg));
+}
+
+}  // namespace
+
+MatchingReport verify_matching(const Protocol& p, const std::vector<SimEvent>& events,
+                               const std::vector<State>& initial,
+                               const VerifyOptions& opt) {
+  MatchingReport rep;
+  const std::size_t n_agents = initial.size();
+
+  // --- 1. per-event delta-consistency (Definition 3's equation) --------
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SimEvent& e = events[i];
+    const auto [qs, qr] = signature_of(e);
+    const StatePair out = p.delta(qs, qr);
+    const State expect = e.half == Half::Starter ? out.starter : out.reactor;
+    if (e.after != expect) {
+      ++rep.delta_errors;
+      add_error(rep, opt,
+                "event " + std::to_string(i) + " (agent " + std::to_string(e.agent) +
+                    "): after=" + p.state_name(e.after) + " but delta gives " +
+                    p.state_name(expect));
+    }
+  }
+
+  // --- 2. per-agent chain continuity ------------------------------------
+  {
+    std::vector<State> chain(initial);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const SimEvent& e = events[i];
+      if (e.agent >= n_agents) {
+        ++rep.chain_errors;
+        add_error(rep, opt, "event " + std::to_string(i) + ": agent out of range");
+        continue;
+      }
+      if (chain[e.agent] != e.before) {
+        ++rep.chain_errors;
+        add_error(rep, opt,
+                  "event " + std::to_string(i) + ": agent " +
+                      std::to_string(e.agent) + " expected state " +
+                      p.state_name(chain[e.agent]) + ", event says " +
+                      p.state_name(e.before));
+      }
+      chain[e.agent] = e.after;
+    }
+  }
+
+  // --- 3. order-free perfect matching (Definition 3) --------------------
+  // Within a signature class every starter half is delta-compatible with
+  // every reactor half, so matching is a per-class bipartite problem whose
+  // only constraint is distinct agents. Greedy FIFO with one-step
+  // lookahead for agent conflicts attains the maximum in these classes
+  // (an agent conflict only arises between two events of one agent, which
+  // can always be crossed with any other entry — the paper's anonymity
+  // role-switching).
+  {
+    std::map<Sig, std::pair<std::deque<std::size_t>, std::deque<std::size_t>>> cls;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].agent >= n_agents) continue;
+      auto& [starters, reactors] = cls[signature_of(events[i])];
+      (events[i].half == Half::Starter ? starters : reactors).push_back(i);
+    }
+    for (auto& [sig, lists] : cls) {
+      auto& [ss, rr] = lists;
+      while (!ss.empty() && !rr.empty()) {
+        std::size_t s = ss.front();
+        std::size_t r = rr.front();
+        if (events[s].agent == events[r].agent) {
+          // Cross with the next entry on either side if possible.
+          if (rr.size() > 1) {
+            r = rr[1];
+            rr.erase(rr.begin() + 1);
+            ss.pop_front();
+          } else if (ss.size() > 1) {
+            s = ss[1];
+            ss.erase(ss.begin() + 1);
+            rr.pop_front();
+          } else {
+            break;  // lone same-agent couple: genuinely unmatchable
+          }
+        } else {
+          ss.pop_front();
+          rr.pop_front();
+        }
+        rep.matching.push_back(MatchedPair{s, r});
+      }
+      rep.unmatched += ss.size() + rr.size();
+    }
+    rep.pairs = rep.matching.size();
+  }
+  if (rep.unmatched > opt.max_unmatched) {
+    add_error(rep, opt,
+              "unmatched events: " + std::to_string(rep.unmatched) + " > allowance " +
+                  std::to_string(opt.max_unmatched));
+  }
+
+  // --- 4. soft: sequentialized derived run (Definition 4) --------------
+  // Schedule provenance-keyed pairs when both halves reach their agents'
+  // queue fronts; orphans (self-keyed or tail events) pair by signature
+  // among fronts or advance unmatched; overlapping transactions that defy
+  // atomic sequencing are dissolved and counted in `unlinearized`.
+  {
+    std::vector<std::vector<std::size_t>> agenda(n_agents);
+    for (std::size_t i = 0; i < events.size(); ++i)
+      if (events[i].agent < n_agents) agenda[events[i].agent].push_back(i);
+    std::vector<std::size_t> front(n_agents, 0);
+
+    constexpr std::size_t kNone = SIZE_MAX;
+    std::vector<std::size_t> key_partner(events.size(), kNone);
+    {
+      std::map<std::uint64_t, std::pair<std::size_t, std::size_t>> groups;
+      std::map<std::uint64_t, bool> bad;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i].agent >= n_agents) continue;
+        auto it = groups.try_emplace(events[i].key, kNone, kNone).first;
+        auto& slot = events[i].half == Half::Starter ? it->second.first
+                                                     : it->second.second;
+        if (slot != kNone) bad[events[i].key] = true;
+        slot = i;
+      }
+      for (const auto& [key, pr] : groups) {
+        if (bad.count(key) || pr.first == kNone || pr.second == kNone) continue;
+        if (events[pr.first].agent == events[pr.second].agent) continue;
+        key_partner[pr.first] = pr.second;
+        key_partner[pr.second] = pr.first;
+      }
+    }
+
+    auto front_ev = [&](AgentId a) -> std::size_t {
+      return front[a] < agenda[a].size() ? agenda[a][front[a]] : kNone;
+    };
+    auto emit_pair = [&](std::size_t ev_a, std::size_t ev_b) {
+      const bool a_is_starter = events[ev_a].half == Half::Starter;
+      const std::size_t es = a_is_starter ? ev_a : ev_b;
+      const std::size_t er = a_is_starter ? ev_b : ev_a;
+      const DerivedStep step{events[es].agent, events[er].agent, events[es].before,
+                             events[er].before};
+      rep.derived_run.push_back(step);
+      rep.derived_seq.push_back(DerivedElement{true, step, kNoAgent, 0, 0});
+      ++front[events[ev_a].agent];
+      ++front[events[ev_b].agent];
+      ++rep.linearized_pairs;
+    };
+
+    for (;;) {
+      bool progressed = false;
+      // (a) provenance pairs with both halves at front.
+      for (AgentId a = 0; a < n_agents && !progressed; ++a) {
+        const std::size_t ea = front_ev(a);
+        if (ea == kNone || key_partner[ea] == kNone) continue;
+        const std::size_t eb = key_partner[ea];
+        if (front_ev(events[eb].agent) == eb) {
+          emit_pair(ea, eb);
+          progressed = true;
+        }
+      }
+      if (progressed) continue;
+      // (b) signature role-switching among orphan fronts.
+      std::map<std::pair<Sig, Half>, std::size_t> pool;
+      for (AgentId a = 0; a < n_agents && !progressed; ++a) {
+        const std::size_t ea = front_ev(a);
+        if (ea == kNone || key_partner[ea] != kNone) continue;
+        const SimEvent& e = events[ea];
+        const Sig sig = signature_of(e);
+        const Half other = e.half == Half::Starter ? Half::Reactor : Half::Starter;
+        if (auto it = pool.find({sig, other}); it != pool.end()) {
+          emit_pair(it->second, ea);
+          progressed = true;
+          break;
+        }
+        pool.try_emplace({sig, e.half}, ea);
+      }
+      if (progressed) continue;
+      // (c) advance the oldest orphan front; if none, dissolve the oldest
+      // front's pair (transaction overlap defeating atomic sequencing).
+      AgentId oldest_orphan = kNoAgent, oldest_any = kNoAgent;
+      std::uint64_t orphan_seq = ~0ULL, any_seq = ~0ULL;
+      for (AgentId a = 0; a < n_agents; ++a) {
+        const std::size_t ea = front_ev(a);
+        if (ea == kNone) continue;
+        if (events[ea].seq < any_seq) {
+          any_seq = events[ea].seq;
+          oldest_any = a;
+        }
+        if (key_partner[ea] == kNone && events[ea].seq < orphan_seq) {
+          orphan_seq = events[ea].seq;
+          oldest_orphan = a;
+        }
+      }
+      if (oldest_any == kNoAgent) break;  // all queues drained
+      if (oldest_orphan != kNoAgent) {
+        const SimEvent& e = events[front_ev(oldest_orphan)];
+        rep.derived_seq.push_back(
+            DerivedElement{false, {}, e.agent, e.before, e.after});
+        ++front[oldest_orphan];
+      } else {
+        const std::size_t ea = front_ev(oldest_any);
+        key_partner[key_partner[ea]] = kNone;
+        key_partner[ea] = kNone;
+        ++rep.unlinearized;
+      }
+    }
+  }
+
+  rep.ok = rep.delta_errors == 0 && rep.chain_errors == 0 &&
+           rep.unmatched <= opt.max_unmatched;
+  return rep;
+}
+
+MatchingReport verify_simulation(const Simulator& sim, std::size_t max_unmatched) {
+  VerifyOptions opt;
+  opt.max_unmatched = max_unmatched;
+  return verify_matching(sim.protocol(), sim.events(), sim.initial_projection(), opt);
+}
+
+}  // namespace ppfs

@@ -1,0 +1,53 @@
+#include "verify/monitors.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/pairing.hpp"
+
+namespace ppfs {
+
+PairingMonitor::PairingMonitor(const std::vector<State>& initial) {
+  const auto st = pairing_states();
+  was_critical_.resize(initial.size(), false);
+  was_consumer_.resize(initial.size(), false);
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    if (initial[i] == st.consumer) {
+      ++consumers_;
+      was_consumer_[i] = true;
+    } else if (initial[i] == st.producer) {
+      ++producers_;
+    } else {
+      throw std::invalid_argument("PairingMonitor: non-initial pairing state");
+    }
+  }
+}
+
+void PairingMonitor::observe(const std::vector<State>& projection) {
+  const auto st = pairing_states();
+  if (projection.size() != was_critical_.size())
+    throw std::invalid_argument("PairingMonitor: projection arity changed");
+  std::size_t critical = 0;
+  for (std::size_t i = 0; i < projection.size(); ++i) {
+    const bool is_cs = projection[i] == st.critical;
+    if (is_cs) {
+      ++critical;
+      // Only consumers may ever reach cs.
+      if (!was_consumer_[i]) irrevocability_violated_ = true;
+      was_critical_[i] = true;
+    } else if (was_critical_[i]) {
+      // Once critical, forever critical.
+      irrevocability_violated_ = true;
+    }
+  }
+  current_ = critical;
+  max_critical_ = std::max(max_critical_, critical);
+}
+
+bool projection_consensus(const Protocol& p, const std::vector<State>& projection,
+                          int expected) {
+  return std::all_of(projection.begin(), projection.end(),
+                     [&](State q) { return p.output(q) == expected; });
+}
+
+}  // namespace ppfs

@@ -1,0 +1,58 @@
+// Problem-specification monitors. The central one is the Pairing problem
+// (Definition 5): irrevocability, safety (#critical never exceeds the
+// number of producers) and liveness (eventually #critical stabilizes at
+// min(#consumers, #producers)). Safety violations of Pair are exactly
+// what the impossibility experiments of §3 must exhibit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ppfs {
+
+class PairingMonitor {
+ public:
+  // `initial` must be a configuration of the pairing protocol.
+  explicit PairingMonitor(const std::vector<State>& initial);
+
+  // Feed the current projected configuration (same agent order each time).
+  void observe(const std::vector<State>& projection);
+
+  [[nodiscard]] std::size_t consumers() const noexcept { return consumers_; }
+  [[nodiscard]] std::size_t producers() const noexcept { return producers_; }
+  [[nodiscard]] std::size_t max_critical() const noexcept { return max_critical_; }
+  [[nodiscard]] std::size_t current_critical() const noexcept { return current_; }
+
+  // Safety (Def. 5): at all observed times, #cs <= #producers.
+  [[nodiscard]] bool safety_violated() const noexcept {
+    return max_critical_ > producers_;
+  }
+  // Irrevocability: no agent ever left cs, and only consumers entered it.
+  [[nodiscard]] bool irrevocability_violated() const noexcept {
+    return irrevocability_violated_;
+  }
+  // Liveness target: #cs == min(#consumers, #producers).
+  [[nodiscard]] bool target_reached() const noexcept {
+    return current_ == std::min(consumers_, producers_);
+  }
+
+ private:
+  std::size_t consumers_ = 0;
+  std::size_t producers_ = 0;
+  std::size_t max_critical_ = 0;
+  std::size_t current_ = 0;
+  bool irrevocability_violated_ = false;
+  std::vector<bool> was_critical_;
+  std::vector<bool> was_consumer_;
+};
+
+// True if every agent's state maps to `expected` under the protocol's
+// output function (the stable-consensus probe used across experiments).
+[[nodiscard]] bool projection_consensus(const Protocol& p,
+                                        const std::vector<State>& projection,
+                                        int expected);
+
+}  // namespace ppfs

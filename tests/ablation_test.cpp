@@ -1,0 +1,152 @@
+// Design-choice ablations: disable one mechanism at a time and exhibit the
+// failure it was preventing. Each scenario runs the faithful simulator
+// side by side with the ablated one on the same script.
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "protocols/pairing.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "util/rng.hpp"
+#include "verify/matching.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+// --- SKnO: the joker-debt ("Rummy") repayment -----------------------------
+//
+// o = 1, producers p0, p1 and consumers c1, c2. An omission kills p1's
+// <p,1> and mints a joker at c1. c1 then completes p0's run using the
+// joker as a stand-in for p0's STILL-ALIVE <p,2> (recording the debt).
+// When the real <p,2> later reaches c1:
+//   faithful: it is destroyed and the joker reborn — c2 can eventually
+//             complete p1's crippled run and the system stays live;
+//   ablated:  the duplicate survives, no joker ever exists again, and the
+//             second pairing can never complete: liveness of Pair is lost
+//             even though the omission budget was respected.
+struct DebtScenario {
+  // agents: 0 = p0, 1 = p1, 2 = c1, 3 = c2.
+  static std::vector<State> initial() {
+    const auto st = pairing_states();
+    return {st.producer, st.producer, st.consumer, st.consumer};
+  }
+  static std::vector<Interaction> script() {
+    return {
+        {1, 2, true},   // p1's <p,1> dies; joker minted at c1
+        {0, 2, false},  // p0's <p,1> arrives: c1 completes with the joker
+                        //   (debt records <p,2>), c1 -> cs
+        {0, 2, false},  // p0's real <p,2>: faithful converts it to a joker
+        {1, 3, false},  // p1's <p,2> to c2 (c2 now needs <p,1> or a joker)
+        // drain c1's queue toward c2: change tokens then (faithful) the
+        // reborn joker.
+        {2, 3, false},
+        {2, 3, false},
+        {2, 3, false},
+    };
+  }
+};
+
+TEST(AblationSknoDebt, FaithfulStaysLive) {
+  const auto st = pairing_states();
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, 1, DebtScenario::initial());
+  for (const auto& ia : DebtScenario::script()) sim.interact(ia);
+  EXPECT_EQ(sim.simulated_state(2), st.critical);
+  EXPECT_EQ(sim.simulated_state(3), st.critical);  // second pairing completed
+  EXPECT_EQ(sim.stats().debt_conversions, 1u);
+}
+
+TEST(AblationSknoDebt, AblatedLosesLiveness) {
+  const auto st = pairing_states();
+  SknoSimulator::Options opt;
+  opt.joker_debt = false;
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, 1, DebtScenario::initial(),
+                    opt);
+  for (const auto& ia : DebtScenario::script()) sim.interact(ia);
+  EXPECT_EQ(sim.simulated_state(2), st.critical);  // first pairing fine
+  EXPECT_NE(sim.simulated_state(3), st.critical);  // second one is stuck...
+  // ...and stays stuck under any amount of fair scheduling: the one joker
+  // the system was entitled to is gone and <p,1> no longer exists.
+  UniformScheduler sched(4);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 200'000; ++i) sim.interact(sched.next(rng, i));
+  EXPECT_NE(sim.simulated_state(3), st.critical);
+  EXPECT_EQ(sim.live_jokers(), 0u);
+}
+
+// --- SID: the line-6 freshness guard (state_other == stateP) --------------
+//
+// a0 pairs with producer a1 and saves its state p; a1 then completes a
+// full interaction with a2 (becoming bot). When a1 next observes a0's
+// stale pairing:
+//   faithful: the guard refuses the lock; a0 eventually rolls back;
+//   ablated:  a1 locks anyway; a0 later completes fr(p, c) = cs against a
+//             producer that was already consumed — two critical consumers
+//             from one producer, and the halves do not even match.
+std::vector<Interaction> stale_lock_script() {
+  return {
+      {1, 0, false},  // a0 pairs with a1 (saves state p)
+      {1, 2, false},  // a2 pairs with a1
+      {2, 1, false},  // a1 locks with a2 (fs: p -> bot)
+      {1, 2, false},  // a2 completes (fr: c -> cs)
+      {2, 1, false},  // a1 unlocks
+      {0, 1, false},  // a1 observes a0's STALE pairing  <-- the ablation point
+      {1, 0, false},  // a0 reacts to whatever a1 did
+  };
+}
+
+TEST(AblationSidGuard, FaithfulRefusesStaleLock) {
+  const auto st = pairing_states();
+  SidSimulator sim(make_pairing_protocol(), Model::IO,
+                   {st.consumer, st.producer, st.consumer});
+  PairingMonitor mon(sim.projection());
+  for (const auto& ia : stale_lock_script()) {
+    sim.interact(ia);
+    mon.observe(sim.projection());
+  }
+  EXPECT_FALSE(mon.safety_violated());
+  EXPECT_EQ(mon.max_critical(), 1u);  // only a2's legitimate pairing
+  EXPECT_TRUE(verify_simulation(sim, 3).ok);
+}
+
+TEST(AblationSidGuard, AblatedDoubleSpendsTheProducer) {
+  const auto st = pairing_states();
+  SidCore::Options opt;
+  opt.guard_partner_state = false;
+  SidSimulator sim(make_pairing_protocol(), Model::IO,
+                   {st.consumer, st.producer, st.consumer}, {}, opt);
+  PairingMonitor mon(sim.projection());
+  for (const auto& ia : stale_lock_script()) {
+    sim.interact(ia);
+    mon.observe(sim.projection());
+  }
+  EXPECT_TRUE(mon.safety_violated());
+  EXPECT_EQ(mon.max_critical(), 2u);  // one producer, two critical consumers
+  const auto rep = verify_simulation(sim, 0);
+  EXPECT_FALSE(rep.ok);  // the forged halves cannot be matched
+}
+
+// The ablated variants still behave identically on fault-free runs where
+// the mechanisms are never triggered — the ablation is surgical.
+TEST(Ablation, VariantsAgreeWhenMechanismUnused) {
+  const auto st = pairing_states();
+  const std::vector<State> init{st.producer, st.consumer};
+  SknoSimulator a(make_pairing_protocol(), Model::I3, 1, init);
+  SknoSimulator::Options no_debt;
+  no_debt.joker_debt = false;
+  SknoSimulator b(make_pairing_protocol(), Model::I3, 1, init, no_debt);
+  UniformScheduler sched(2);
+  Rng r1(9), r2(9);
+  for (std::size_t i = 0; i < 5'000; ++i) {
+    a.interact(sched.next(r1, i));
+  }
+  UniformScheduler sched2(2);
+  for (std::size_t i = 0; i < 5'000; ++i) {
+    b.interact(sched2.next(r2, i));
+  }
+  EXPECT_EQ(a.projection(), b.projection());
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,136 @@
+#include "sched/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppfs {
+namespace {
+
+AdversaryParams uo(double rate) {
+  AdversaryParams p;
+  p.kind = AdversaryKind::UO;
+  p.rate = rate;
+  return p;
+}
+
+TEST(Adversary, Validates) {
+  EXPECT_THROW(OmissionAdversary(nullptr, 4, uo(0.5)), std::invalid_argument);
+  EXPECT_THROW(OmissionAdversary(std::make_unique<UniformScheduler>(4), 1, uo(0.5)),
+               std::invalid_argument);
+}
+
+TEST(Adversary, DeliversBaseRunUnchangedAndInOrder) {
+  // The adversary must interleave, never drop or reorder, the base picks.
+  std::vector<Interaction> script{{0, 1, false}, {2, 3, false}, {1, 2, false}};
+  OmissionAdversary adv(std::make_unique<ScriptedScheduler>(script, nullptr), 4,
+                        uo(0.5));
+  Rng rng(1);
+  std::vector<Interaction> real;
+  for (std::size_t step = 0; real.size() < script.size(); ++step) {
+    const Interaction ia = adv.next(rng, step);
+    if (!ia.omissive) real.push_back(ia);
+  }
+  EXPECT_EQ(real, script);
+}
+
+TEST(Adversary, ZeroRateEmitsNothing) {
+  OmissionAdversary adv(std::make_unique<UniformScheduler>(4), 4, uo(0.0));
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(adv.next(rng, i).omissive);
+  EXPECT_EQ(adv.omissions_emitted(), 0u);
+}
+
+TEST(Adversary, UoKeepsInserting) {
+  OmissionAdversary adv(std::make_unique<UniformScheduler>(4), 4, uo(0.3));
+  Rng rng(3);
+  std::size_t om = 0;
+  for (int i = 0; i < 5000; ++i)
+    if (adv.next(rng, i).omissive) ++om;
+  EXPECT_GT(om, 500u);
+  EXPECT_EQ(om, adv.omissions_emitted());
+}
+
+TEST(Adversary, NoGoesQuiet) {
+  AdversaryParams p;
+  p.kind = AdversaryKind::NO;
+  p.rate = 0.5;
+  p.quiet_after = 100;
+  OmissionAdversary adv(std::make_unique<UniformScheduler>(4), 4, p);
+  Rng rng(4);
+  std::size_t before = 0, after = 0;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    if (adv.next(rng, i).omissive) (i < 100 ? before : after) += 1;
+  }
+  EXPECT_GT(before, 0u);
+  EXPECT_EQ(after, 0u);
+}
+
+TEST(Adversary, No1EmitsAtMostOne) {
+  AdversaryParams p;
+  p.kind = AdversaryKind::NO1;
+  p.rate = 1.0;
+  OmissionAdversary adv(std::make_unique<UniformScheduler>(4), 4, p);
+  Rng rng(5);
+  std::size_t om = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (adv.next(rng, i).omissive) ++om;
+  EXPECT_EQ(om, 1u);
+}
+
+TEST(Adversary, BudgetRespectsCap) {
+  AdversaryParams p;
+  p.kind = AdversaryKind::Budget;
+  p.rate = 1.0;
+  p.max_omissions = 7;
+  OmissionAdversary adv(std::make_unique<UniformScheduler>(4), 4, p);
+  Rng rng(6);
+  std::size_t om = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (adv.next(rng, i).omissive) ++om;
+  EXPECT_EQ(om, 7u);
+}
+
+TEST(Adversary, BurstsAreFinite) {
+  // Even at rate 1.0 the burst cap forces base interactions through.
+  AdversaryParams p;
+  p.kind = AdversaryKind::UO;
+  p.rate = 1.0;
+  p.max_burst = 3;
+  OmissionAdversary adv(std::make_unique<UniformScheduler>(4), 4, p);
+  Rng rng(7);
+  std::size_t run = 0, max_run = 0, real = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (adv.next(rng, i).omissive) {
+      ++run;
+      max_run = std::max(max_run, run);
+    } else {
+      run = 0;
+      ++real;
+    }
+  }
+  EXPECT_LE(max_run, 3u);
+  EXPECT_GT(real, 400u);
+}
+
+TEST(Adversary, VictimPickerTargetsChosenPair) {
+  AdversaryParams p;
+  p.kind = AdversaryKind::Budget;
+  p.rate = 1.0;
+  p.max_omissions = 10;
+  OmissionAdversary adv(std::make_unique<UniformScheduler>(4), 4, p);
+  adv.set_victim_picker(
+      [](Rng&, std::size_t) { return Interaction{2, 3, false}; });
+  Rng rng(8);
+  std::size_t targeted = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Interaction ia = adv.next(rng, i);
+    if (ia.omissive) {
+      EXPECT_EQ(ia.starter, 2u);
+      EXPECT_EQ(ia.reactor, 3u);
+      ++targeted;
+    }
+  }
+  EXPECT_EQ(targeted, 10u);
+}
+
+}  // namespace
+}  // namespace ppfs

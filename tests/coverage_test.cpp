@@ -1,0 +1,158 @@
+// Edge-case and interop coverage across modules: relaying and foreign-run
+// handling in SKnO, naming-layer visibility rules, adversary/trace
+// composition, and workload-runner probe semantics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/trace.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/pairing.hpp"
+#include "protocols/registry.hpp"
+#include "sched/adversary.hpp"
+#include "sim/naming.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "verify/matching.hpp"
+
+namespace ppfs {
+namespace {
+
+// --- SKnO relaying --------------------------------------------------------
+
+TEST(SknoRelay, AvailableAgentForwardsForeignTokens) {
+  // o = 1, three agents: the middle consumer cannot use a lone producer
+  // token but must relay it onward when acting as a starter.
+  const auto st = pairing_states();
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, 1,
+                    {st.producer, st.consumer, st.consumer});
+  sim.interact(Interaction{0, 1, false});  // c1 holds <p,1>
+  ASSERT_EQ(sim.queue_size(1), 1u);
+  sim.interact(Interaction{1, 2, false});  // c1 relays it to c2
+  EXPECT_EQ(sim.queue_size(1), 0u);
+  EXPECT_EQ(sim.queue_size(2), 1u);
+  // c2 now assembles the rest of the run directly from the producer.
+  sim.interact(Interaction{0, 2, false});
+  EXPECT_EQ(sim.simulated_state(2), st.critical);
+  EXPECT_EQ(sim.simulated_state(1), st.consumer);  // bystander untouched
+}
+
+TEST(SknoRelay, PendingAgentIgnoresForeignStateRuns) {
+  // A pending producer that accumulates a complete run of a DIFFERENT
+  // state must neither cancel nor consume it.
+  const auto st = pairing_states();
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, 0,
+                    {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, false});  // p pending; c consumed <p,1> (o=0!)
+  ASSERT_EQ(sim.simulated_state(1), st.critical);
+  // c goes pending for its own (cs) state and sends its token to p.
+  sim.interact(Interaction{1, 0, false});  // change token <(p,c),1> to p
+  EXPECT_EQ(sim.simulated_state(0), st.bottom);  // starter half completed
+}
+
+TEST(SknoRelay, ChangeRunRequiresMatchingFirstComponent) {
+  // A pending consumer (state c) must not consume a change run (p, c).
+  const auto st = pairing_states();
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, 0,
+                    {st.consumer, st.consumer, st.producer});
+  // a2 (producer) pending, a0 consumes its run -> change run <(p,c),1>.
+  sim.interact(Interaction{2, 0, false});
+  ASSERT_EQ(sim.simulated_state(0), st.critical);
+  // a1 becomes pending for state c.
+  sim.interact(Interaction{1, 0, false});  // a1 pending, pops <c,1> to a0
+  ASSERT_TRUE(sim.is_pending(1));
+  // Route the change token to a1: first component p != c, must sit idle.
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_TRUE(sim.is_pending(1));
+  EXPECT_EQ(sim.simulated_state(1), st.consumer);
+}
+
+// --- Naming layer visibility ----------------------------------------------
+
+TEST(NamingVisibility, InactiveAgentsDoNotSimulate) {
+  // Before anyone reaches max_id = n, no SID activity may occur.
+  NamingSimulator sim(make_pairing_protocol(), Model::IO,
+                      std::vector<State>(4, pairing_states().consumer));
+  // Interactions among agents that cannot yet have max_id = 4.
+  sim.interact(Interaction{0, 1, false});
+  sim.interact(Interaction{2, 3, false});
+  EXPECT_TRUE(sim.events().empty());
+  EXPECT_FALSE(sim.activated(0));
+}
+
+TEST(NamingVisibility, ActivatedAgentIgnoresInactiveStarter) {
+  NamingSimulator sim(make_pairing_protocol(), Model::IO,
+                      {pairing_states().consumer, pairing_states().producer});
+  sim.interact(Interaction{0, 1, false});  // collision: a1 -> id 2 = n, active
+  ASSERT_TRUE(sim.activated(1));
+  ASSERT_FALSE(sim.activated(0));
+  // a1 observes the inactive a0: the SID layer must not engage.
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.sid_agent(1).status, SidAgent::Status::Available);
+  EXPECT_EQ(sim.sid_agent(1).other_id, kNoId);
+}
+
+// --- Adversary + trace composition ----------------------------------------
+
+TEST(TraceInterop, RecordedAdversarialRunReplaysIdentically) {
+  const std::size_t n = 6;
+  const Workload w = core_workloads(n)[1];
+  AdversaryParams p;
+  p.kind = AdversaryKind::Budget;
+  p.rate = 0.1;
+  p.max_omissions = 2;
+  OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, p);
+  Rng rng(77);
+
+  Trace trace;
+  SknoSimulator original(w.protocol, Model::I3, 2, w.initial);
+  for (std::size_t i = 0; i < 5'000; ++i) {
+    const Interaction ia = sched.next(rng, i);
+    trace.append(ia);
+    original.interact(ia);
+  }
+  // Serialize, parse back, replay into a fresh simulator: identical state.
+  const Trace parsed = Trace::parse_string(trace.to_string("replay test"));
+  SknoSimulator replayed(w.protocol, Model::I3, 2, w.initial);
+  parsed.replay(replayed);
+  EXPECT_EQ(replayed.projection(), original.projection());
+  EXPECT_EQ(replayed.omissions(), original.omissions());
+  EXPECT_EQ(replayed.events().size(), original.events().size());
+}
+
+// --- workload runner probes -------------------------------------------------
+
+TEST(WorkloadProbe, ConsensusProbeChecksOnlyOccupiedStates) {
+  const Workload w{"t", make_pairing_protocol(), {0, 1}, 0, nullptr};
+  auto probe = workload_counts_probe(w);
+  // Occupied states c (output 0) and bot (output 0): consensus on 0 holds
+  // even though cs (output 1) exists in the protocol.
+  std::vector<std::size_t> counts{1, 0, 0, 1};
+  EXPECT_TRUE(probe(counts, *w.protocol));
+  counts = {1, 0, 1, 0};  // a cs appears: consensus broken
+  EXPECT_FALSE(probe(counts, *w.protocol));
+}
+
+TEST(WorkloadProbe, CustomProbeWins) {
+  bool called = false;
+  Workload w{"t", make_pairing_protocol(), {0, 1}, 1, nullptr};
+  w.converged = [&](const std::vector<std::size_t>&) {
+    called = true;
+    return true;
+  };
+  auto probe = workload_counts_probe(w);
+  EXPECT_TRUE(probe({0, 0, 0, 0}, *w.protocol));
+  EXPECT_TRUE(called);
+}
+
+TEST(WorkloadProbe, NativeRunnerHonorsMaxSteps) {
+  const Workload w = core_workloads(8)[2];  // leader election
+  RunOptions opt;
+  opt.max_steps = 5;  // absurdly small: must stop, unconverged
+  const auto res = run_native_workload(w, 1, opt);
+  EXPECT_EQ(res.steps, 5u);
+  EXPECT_FALSE(res.converged);
+}
+
+}  // namespace
+}  // namespace ppfs

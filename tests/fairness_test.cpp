@@ -1,0 +1,72 @@
+#include "sched/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/adversary.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(Fairness, Validates) {
+  EXPECT_THROW(FairnessAuditor(1), std::invalid_argument);
+  FairnessAuditor f(3);
+  EXPECT_THROW(f.observe(Interaction{0, 0, false}), std::invalid_argument);
+  EXPECT_THROW(f.observe(Interaction{0, 9, false}), std::invalid_argument);
+}
+
+TEST(Fairness, CountsPerOrderedPair) {
+  FairnessAuditor f(3);
+  f.observe(Interaction{0, 1, false});
+  f.observe(Interaction{0, 1, false});
+  f.observe(Interaction{1, 0, false});
+  EXPECT_EQ(f.count(0, 1), 2u);
+  EXPECT_EQ(f.count(1, 0), 1u);
+  EXPECT_EQ(f.count(2, 0), 0u);
+  EXPECT_EQ(f.pairs_covered(), 2u);
+  EXPECT_FALSE(f.all_pairs_covered());
+}
+
+TEST(Fairness, OmissionsDoNotCount) {
+  FairnessAuditor f(2);
+  f.observe(Interaction{0, 1, true});
+  EXPECT_EQ(f.count(0, 1), 0u);
+  EXPECT_EQ(f.steps(), 1u);
+}
+
+TEST(Fairness, UniformSchedulerCoversQuickly) {
+  const std::size_t n = 6;
+  FairnessAuditor f(n);
+  UniformScheduler sched(n);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 2000 && !f.all_pairs_covered(); ++i)
+    f.observe(sched.next(rng, i));
+  EXPECT_TRUE(f.all_pairs_covered());
+  EXPECT_LT(f.max_historic_gap(), 2000u);
+}
+
+TEST(Fairness, GapTracksStarvation) {
+  FairnessAuditor f(2);
+  f.observe(Interaction{0, 1, false});
+  for (int i = 0; i < 10; ++i) f.observe(Interaction{1, 0, false});
+  f.observe(Interaction{0, 1, false});
+  EXPECT_EQ(f.max_historic_gap(), 11u);
+  EXPECT_LE(f.max_current_gap(), 12u);
+}
+
+TEST(Fairness, UoAdversaryPreservesRealCoverage) {
+  // Even at a high omission rate, the UO adversary must not starve the
+  // real interactions (Def. 1 inserts, never removes).
+  const std::size_t n = 4;
+  AdversaryParams p;
+  p.kind = AdversaryKind::UO;
+  p.rate = 0.6;
+  OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, p);
+  FairnessAuditor f(n);
+  Rng rng(7);
+  for (std::size_t i = 0; i < 10'000; ++i) f.observe(sched.next(rng, i));
+  EXPECT_TRUE(f.all_pairs_covered());
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,98 @@
+// FTT search (Definitions 6-7): the measured fastest transition times of
+// the library's simulators on two agents, which are also the omission
+// counts that Lemma 1 needs to defeat them.
+#include "attack/ftt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/pairing.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "sim/tw_naive.hpp"
+
+namespace ppfs {
+namespace {
+
+SimFactory skno_factory(Model m, std::size_t o) {
+  auto protocol = make_pairing_protocol();
+  return [protocol, m, o](std::vector<State> init) -> std::unique_ptr<Simulator> {
+    return std::make_unique<SknoSimulator>(protocol, m, o, std::move(init));
+  };
+}
+
+TEST(Ftt, TwWrapperHasFttOne) {
+  auto protocol = make_pairing_protocol();
+  SimFactory f = [protocol](std::vector<State> init) -> std::unique_ptr<Simulator> {
+    return std::make_unique<TwSimulator>(protocol, Model::TW, std::move(init));
+  };
+  const auto st = pairing_states();
+  const auto res = find_ftt(f, st.producer, st.consumer, 4);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->ftt, 1u);
+  EXPECT_EQ(res->run.size(), 1u);
+}
+
+class SknoFtt : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SknoFtt, FttIsTwiceOPlusOne) {
+  // One full simulated transition costs o+1 token deliveries per half.
+  const std::size_t o = GetParam();
+  const auto st = pairing_states();
+  const auto res =
+      find_ftt(skno_factory(Model::I3, o), st.producer, st.consumer, 2 * o + 4);
+  ASSERT_TRUE(res.has_value()) << "o=" << o;
+  EXPECT_EQ(res->ftt, 2 * (o + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SknoFtt, ::testing::Values(0, 1, 2, 3));
+
+TEST(Ftt, SidNeedsThreeInteractions) {
+  // pair -> lock(fs) -> complete(fr).
+  auto protocol = make_pairing_protocol();
+  SimFactory f = [protocol](std::vector<State> init) -> std::unique_ptr<Simulator> {
+    return std::make_unique<SidSimulator>(protocol, Model::IO, std::move(init));
+  };
+  const auto st = pairing_states();
+  const auto res = find_ftt(f, st.producer, st.consumer, 6);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->ftt, 3u);
+}
+
+TEST(Ftt, WitnessRunReachesTarget) {
+  const auto st = pairing_states();
+  const auto f = skno_factory(Model::I3, 1);
+  const auto res = find_ftt(f, st.producer, st.consumer, 8);
+  ASSERT_TRUE(res.has_value());
+  auto sim = f({st.producer, st.consumer});
+  for (const auto& ia : res->run) sim->interact(ia);
+  EXPECT_EQ(sim->simulated_state(0), st.bottom);
+  EXPECT_EQ(sim->simulated_state(1), st.critical);
+}
+
+TEST(Ftt, MinimalityNoShorterRunExists) {
+  // Exhaustively confirm no run of length FTT-1 reaches the target.
+  const auto st = pairing_states();
+  const auto f = skno_factory(Model::I3, 1);
+  const auto res = find_ftt(f, st.producer, st.consumer, 8);
+  ASSERT_TRUE(res.has_value());
+  const std::size_t t = res->ftt;
+  ASSERT_GE(t, 1u);
+  // find_ftt with a depth bound of t-1 must fail.
+  EXPECT_FALSE(find_ftt(f, st.producer, st.consumer, t - 1).has_value());
+}
+
+TEST(Ftt, NoOpTargetIsRejected) {
+  // delta(c, c) is the identity: FTT undefined (degenerate construction).
+  const auto st = pairing_states();
+  EXPECT_FALSE(
+      find_ftt(skno_factory(Model::I3, 1), st.consumer, st.consumer, 6).has_value());
+}
+
+TEST(Ftt, UnreachableWithinDepthReturnsNullopt) {
+  const auto st = pairing_states();
+  EXPECT_FALSE(
+      find_ftt(skno_factory(Model::I3, 3), st.producer, st.consumer, 3).has_value());
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,116 @@
+// Adversarial fuzzing of the simulator invariants: random interaction
+// streams (including random omission placement within the budget) with
+// the conservation laws and monitors re-checked after EVERY interaction.
+// Catches any transient violation that end-state checks would miss.
+#include <gtest/gtest.h>
+
+#include "protocols/pairing.hpp"
+#include "protocols/registry.hpp"
+#include "sim/naming.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "util/rng.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+Interaction random_interaction(std::size_t n, Rng& rng, bool omissive) {
+  const auto s = static_cast<AgentId>(rng.below(n));
+  auto r = static_cast<AgentId>(rng.below(n - 1));
+  if (r >= s) ++r;
+  Interaction ia{s, r, omissive};
+  if (omissive) {
+    const auto side = rng.below(3);
+    ia.side = side == 0 ? OmitSide::Both
+                        : (side == 1 ? OmitSide::Starter : OmitSide::Reactor);
+  }
+  return ia;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, SknoConservationHoldsAtEveryStep) {
+  Rng rng(GetParam());
+  for (Model model : {Model::I3, Model::I4, Model::T3}) {
+    const std::size_t n = 4 + rng.below(6);
+    const std::size_t o = 1 + rng.below(3);
+    const Workload w = core_workloads(n)[3];  // pairing
+    SknoSimulator sim(w.protocol, model, o, w.initial);
+    PairingMonitor mon(sim.projection());
+    std::size_t omissions_left = o;
+    for (std::size_t i = 0; i < 8'000; ++i) {
+      const bool omit = omissions_left > 0 && rng.chance(0.01);
+      if (omit) --omissions_left;
+      sim.interact(random_interaction(n, rng, omit));
+
+      const auto& s = sim.stats();
+      const std::size_t expected =
+          (s.runs_generated - s.change_runs_consumed - s.cancels) * (o + 1) +
+          s.jokers_minted - s.tokens_killed;
+      ASSERT_EQ(sim.total_live_tokens(), expected)
+          << model_name(model) << " step " << i;
+      ASSERT_LE(sim.live_jokers(), s.jokers_minted + s.debt_conversions);
+
+      mon.observe(sim.projection());
+      ASSERT_FALSE(mon.safety_violated()) << model_name(model) << " step " << i;
+      ASSERT_FALSE(mon.irrevocability_violated());
+    }
+  }
+}
+
+TEST_P(Fuzz, SidNeverDoubleLocksOrTeleports) {
+  Rng rng(GetParam() ^ 0xfeed);
+  const std::size_t n = 4 + rng.below(6);
+  const Workload w = core_workloads(n)[3];
+  SidSimulator sim(w.protocol, Model::T3, w.initial);
+  PairingMonitor mon(sim.projection());
+  for (std::size_t i = 0; i < 12'000; ++i) {
+    sim.interact(random_interaction(n, rng, rng.chance(0.2)));
+    // A locked agent's recorded partner must point at a real agent that is
+    // engaged with it or about to discover the completion.
+    for (AgentId a = 0; a < n; ++a) {
+      const SidAgent& ag = sim.agent(a);
+      if (ag.status == SidAgent::Status::Locked) {
+        ASSERT_NE(ag.other_id, kNoId);
+        ASSERT_NE(ag.other_state, kNoState);
+      }
+      if (ag.status == SidAgent::Status::Available) {
+        ASSERT_EQ(ag.other_id, kNoId);
+      }
+    }
+    if (i % 8 == 0) {
+      mon.observe(sim.projection());
+      ASSERT_FALSE(mon.safety_violated()) << "step " << i;
+    }
+  }
+}
+
+TEST_P(Fuzz, NamingInvariantsUnderOmissions) {
+  Rng rng(GetParam() ^ 0xbeef);
+  const std::size_t n = 3 + rng.below(8);
+  NamingSimulator sim(make_pairing_protocol(), Model::I2,
+                      std::vector<State>(n, pairing_states().consumer));
+  for (std::size_t i = 0; i < 15'000; ++i) {
+    sim.interact(random_interaction(n, rng, rng.chance(0.25)));
+    if (i % 32 != 0) continue;
+    std::uint32_t global_max = 1;
+    std::vector<bool> held(n + 2, false);
+    for (AgentId a = 0; a < n; ++a) {
+      ASSERT_GE(sim.my_id(a), 1u);
+      ASSERT_LE(sim.my_id(a), n);
+      ASSERT_LE(sim.max_id(a), n);
+      global_max = std::max(global_max, sim.my_id(a));
+      held[sim.my_id(a)] = true;
+      // Activated agents must believe max_id = n.
+      if (sim.activated(a)) ASSERT_EQ(sim.max_id(a), n);
+    }
+    for (std::uint32_t v = 1; v <= global_max; ++v)
+      ASSERT_TRUE(held[v]) << "value " << v << " vanished";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,130 @@
+// End-to-end matrix: every simulator x every capability-compatible model x
+// the full standard workload suite, with matching verification — the
+// umbrella test behind the green cells of Figure 4.
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/registry.hpp"
+#include "sched/adversary.hpp"
+#include "sim/naming.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "sim/tw_naive.hpp"
+#include "verify/matching.hpp"
+
+namespace ppfs {
+namespace {
+
+enum class Kind { TwNaive, Skno, Sid, Naming };
+
+struct Cell {
+  Kind kind;
+  Model model;
+  std::size_t o;     // SKnO bound (and adversary budget)
+  double rate;       // omission rate
+  std::uint64_t seed;
+};
+
+std::unique_ptr<Simulator> make_simulator(const Cell& c, const Workload& w) {
+  switch (c.kind) {
+    case Kind::TwNaive:
+      return std::make_unique<TwSimulator>(w.protocol, c.model, w.initial);
+    case Kind::Skno:
+      return std::make_unique<SknoSimulator>(w.protocol, c.model, c.o, w.initial);
+    case Kind::Sid:
+      return std::make_unique<SidSimulator>(w.protocol, c.model, w.initial);
+    case Kind::Naming:
+      return std::make_unique<NamingSimulator>(w.protocol, c.model, w.initial);
+  }
+  throw std::logic_error("unreachable");
+}
+
+class Matrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(Matrix, SimulatesTheFullSuite) {
+  const Cell c = GetParam();
+  const std::size_t n = 8;
+  for (const Workload& w : standard_workloads(n)) {
+    auto sim = make_simulator(c, w);
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::Budget;
+    ap.rate = c.rate;
+    ap.max_omissions = is_omissive(c.model) ? c.o : 0;
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+    Rng rng(c.seed);
+    auto counts_probe = workload_counts_probe(w);
+    auto probe = [&](const Simulator& s) {
+      std::vector<std::size_t> counts(w.protocol->num_states(), 0);
+      for (State q : s.projection()) ++counts[q];
+      return counts_probe(counts, *w.protocol);
+    };
+    RunOptions opt;
+    opt.max_steps = 1'500'000;
+    const auto res = run_until(*sim, sched, rng, probe, opt);
+    EXPECT_TRUE(res.converged) << sim->describe() << " on " << w.name << " after "
+                               << res.steps << " steps";
+    const auto rep = verify_simulation(*sim, 4 * n);
+    EXPECT_TRUE(rep.ok) << sim->describe() << " on " << w.name
+                        << (rep.errors.empty() ? "" : ": " + rep.errors[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4GreenCells, Matrix,
+    ::testing::Values(
+        // TW column: the identity wrapper in the fault-free model.
+        Cell{Kind::TwNaive, Model::TW, 0, 0.0, 901},
+        // Knowledge-of-omissions: SKnO in I3/I4 under budgeted omissions,
+        // and in IT with o = 0 (Corollary 1).
+        Cell{Kind::Skno, Model::I3, 2, 0.05, 902},
+        Cell{Kind::Skno, Model::I4, 2, 0.05, 903},
+        Cell{Kind::Skno, Model::IT, 0, 0.0, 904},
+        // IDs column: SID everywhere, unrestricted omission rate.
+        Cell{Kind::Sid, Model::IO, 0, 0.0, 905},
+        Cell{Kind::Sid, Model::T3, 0, 0.3, 906},
+        Cell{Kind::Sid, Model::I1, 0, 0.3, 907},
+        Cell{Kind::Sid, Model::I2, 0, 0.3, 908},
+        // Knowledge-of-n column: Nn + SID.
+        Cell{Kind::Naming, Model::IO, 0, 0.0, 909},
+        Cell{Kind::Naming, Model::I4, 0, 0.3, 910}));
+
+TEST(Integration, SimulatedVerdictAgreesWithNative) {
+  // For deterministic-outcome workloads the simulated stable verdict must
+  // equal the native two-way verdict exactly.
+  const std::size_t n = 10;
+  for (const Workload& w : standard_workloads(n)) {
+    if (w.expected_output < 0) continue;
+    const auto native = run_native_workload(w, 31);
+    ASSERT_TRUE(native.converged) << w.name;
+
+    SknoSimulator sim(w.protocol, Model::I3, 1, w.initial);
+    UniformScheduler sched(n);
+    Rng rng(32);
+    auto probe = [&](const SknoSimulator& s) {
+      for (State q : s.projection())
+        if (w.protocol->output(q) != w.expected_output) return false;
+      return true;
+    };
+    RunOptions opt;
+    opt.max_steps = 2'000'000;
+    const auto res = run_until(sim, sched, rng, probe, opt);
+    EXPECT_TRUE(res.converged) << w.name;
+  }
+}
+
+TEST(Integration, EventCountsScaleWithConvergence) {
+  // Sanity on instrumentation: simulated updates accumulate and the
+  // physical-interaction overhead is visible (> 1 per simulated update).
+  const std::size_t n = 8;
+  const Workload w = core_workloads(n)[1];
+  SidSimulator sim(w.protocol, Model::IO, w.initial);
+  UniformScheduler sched(n);
+  Rng rng(33);
+  (void)run_steps(sim, sched, rng, 20'000);
+  EXPECT_GT(sim.simulated_updates(), 0u);
+  EXPECT_GT(sim.interactions(), sim.simulated_updates());
+}
+
+}  // namespace
+}  // namespace ppfs

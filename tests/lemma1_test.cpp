@@ -1,0 +1,112 @@
+// The Lemma 1 / Theorem 3.1 executable attack: the generic construction
+// I* must make t+1 agents critical against t producers, violating the
+// safety of the Pairing problem with finitely many omissions.
+#include "attack/lemma1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/pairing.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+SimFactory skno_factory(std::size_t o) {
+  auto protocol = make_pairing_protocol();
+  return [protocol, o](std::vector<State> init) -> std::unique_ptr<Simulator> {
+    return std::make_unique<SknoSimulator>(protocol, Model::I3, o, std::move(init));
+  };
+}
+
+class Lemma1Sweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Lemma1Sweep, ConstructionViolatesSafety) {
+  const std::size_t o = GetParam();
+  const auto st = pairing_states();
+  Lemma1Options opt;
+  opt.max_ftt_depth = 2 * o + 4;
+  const auto rep = run_lemma1_attack(skno_factory(o), st.producer, st.consumer, opt);
+  ASSERT_TRUE(rep.has_value()) << "o=" << o;
+  EXPECT_EQ(rep->ftt, 2 * (o + 1));
+  EXPECT_EQ(rep->agents, 2 * rep->ftt + 2);
+  EXPECT_EQ(rep->producers, rep->ftt);
+  EXPECT_EQ(rep->consumers, rep->ftt + 2);
+  EXPECT_EQ(rep->omissions, rep->ftt);  // one per J_k, as in the paper
+  EXPECT_GE(rep->critical, rep->ftt + 1);
+  EXPECT_TRUE(rep->safety_violated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, Lemma1Sweep, ::testing::Values(1, 2, 3));
+
+TEST(Lemma1, ViolationSurvivesFairSuffix) {
+  // Theorem 3.1's closing argument: the critical state is irrevocable, so
+  // the violation persists in any GF continuation.
+  const auto st = pairing_states();
+  Lemma1Options opt;
+  opt.max_ftt_depth = 8;
+  opt.gf_suffix = 20'000;
+  const auto rep = run_lemma1_attack(skno_factory(1), st.producer, st.consumer, opt);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_TRUE(rep->safety_violated);
+}
+
+TEST(Lemma1, OmissionCountIsFinite) {
+  // The attack must be producible by the (benign) NO adversary: finitely
+  // many omissions, all within the scripted prefix.
+  const auto st = pairing_states();
+  Lemma1Options opt;
+  opt.max_ftt_depth = 8;
+  const auto rep = run_lemma1_attack(skno_factory(1), st.producer, st.consumer, opt);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->omissions, rep->ftt);
+  EXPECT_LT(rep->omissions, rep->script_len);
+}
+
+TEST(Lemma1, RequiresSymmetricTransition) {
+  // Applying the construction to a pair whose delta is a no-op must fail
+  // gracefully (FTT undefined).
+  const auto st = pairing_states();
+  Lemma1Options opt;
+  opt.max_ftt_depth = 6;
+  EXPECT_FALSE(
+      run_lemma1_attack(skno_factory(1), st.consumer, st.consumer, opt).has_value());
+}
+
+TEST(Lemma1, AttackBouncesOffSid) {
+  // The same construction aimed at SID (run under the omissive I3, where
+  // SID treats omissions as no-ops) must NOT violate safety: SID's
+  // ID-locking cells of Figure 4 are green, and the redirected
+  // interactions cannot complete a lock handshake with the wrong partner.
+  auto protocol = make_pairing_protocol();
+  SimFactory f = [protocol](std::vector<State> init) -> std::unique_ptr<Simulator> {
+    return std::make_unique<SidSimulator>(protocol, Model::I3, std::move(init));
+  };
+  const auto st = pairing_states();
+  Lemma1Options opt;
+  opt.max_ftt_depth = 6;
+  opt.gf_suffix = 5'000;
+  const auto rep = run_lemma1_attack(f, st.producer, st.consumer, opt);
+  // The construction itself executes (SID is NO1-resilient, so the
+  // extensions exist), but the phantom transition never materializes.
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_FALSE(rep->safety_violated)
+      << "critical=" << rep->critical << " producers=" << rep->producers;
+  EXPECT_LE(rep->critical, rep->producers);
+}
+
+TEST(Lemma1, SknoWithZeroBoundIsNotNo1Resilient) {
+  // SKnO with o = 0 stalls after a single omission (no jokers exist), so
+  // the Lemma 1 hypothesis — extension to a full simulation after the
+  // omission — fails and the construction reports it.
+  const auto st = pairing_states();
+  Lemma1Options opt;
+  opt.max_ftt_depth = 4;
+  opt.extension_cap = 2'000;
+  EXPECT_FALSE(
+      run_lemma1_attack(skno_factory(0), st.producer, st.consumer, opt).has_value());
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,66 @@
+#include "protocols/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/workload_runner.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(LinearThreshold, Validates) {
+  EXPECT_THROW(make_linear_threshold({{1}, 0}), std::invalid_argument);
+  EXPECT_THROW(make_linear_threshold({{}, 2}), std::invalid_argument);
+  EXPECT_THROW(linear_threshold_input({{1, 2}, 3}, 5), std::out_of_range);
+}
+
+TEST(LinearThreshold, InputsTruncateAtK) {
+  const LinearThresholdSpec spec{{0, 1, 5}, 3};
+  EXPECT_EQ(linear_threshold_input(spec, 0), 0u);
+  EXPECT_EQ(linear_threshold_input(spec, 1), 1u);
+  EXPECT_EQ(linear_threshold_input(spec, 2), 3u);  // truncated to k
+}
+
+TEST(LinearThreshold, StateSpaceSizeIsKPlusTwo) {
+  const auto p = make_linear_threshold({{0, 1}, 7});
+  EXPECT_EQ(p->num_states(), 9u);
+}
+
+struct Inst {
+  std::vector<std::uint32_t> coeffs;  // coefficient per symbol
+  std::vector<std::size_t> mult;      // agents per symbol
+  std::uint32_t k;
+  int expect;
+};
+
+class LinearSweep : public ::testing::TestWithParam<Inst> {};
+
+TEST_P(LinearSweep, DecidesThePredicate) {
+  const Inst inst = GetParam();
+  const LinearThresholdSpec spec{inst.coeffs, inst.k};
+  auto p = make_linear_threshold(spec);
+  std::vector<State> init;
+  for (std::size_t sym = 0; sym < inst.mult.size(); ++sym)
+    init.insert(init.end(), inst.mult[sym], linear_threshold_input(spec, sym));
+  Workload w{"linear", p, std::move(init), inst.expect, nullptr};
+  const auto res = run_native_workload(w, 1234 + inst.k);
+  EXPECT_TRUE(res.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LinearSweep,
+    ::testing::Values(
+        // 2*#ones >= 4 with 2 ones: true.
+        Inst{{0, 2}, {4, 2}, 4, 1},
+        // 2*#ones >= 4 with 1 one: false.
+        Inst{{0, 2}, {5, 1}, 4, 0},
+        // x + 3y >= 5: 2 + 3 = 5: true.
+        Inst{{1, 3}, {2, 1}, 5, 1},
+        // x + 3y >= 5: 1 + 3 = 4: false.
+        Inst{{1, 3}, {1, 1}, 5, 0},
+        // all-zero coefficients never reach any threshold.
+        Inst{{0, 0}, {3, 3}, 2, 0},
+        // big threshold exercise (|Q_P| = 12).
+        Inst{{1, 2, 3}, {4, 3, 2}, 10, 1}));
+
+}  // namespace
+}  // namespace ppfs

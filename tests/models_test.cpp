@@ -1,0 +1,121 @@
+#include "core/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ppfs {
+namespace {
+
+TEST(ModelNames, AllDistinct) {
+  std::set<std::string> names;
+  for (Model m : kAllModels) names.insert(model_name(m));
+  EXPECT_EQ(names.size(), kAllModels.size());
+}
+
+TEST(ModelCaps, TwoWayVsOneWay) {
+  for (Model m : {Model::TW, Model::T1, Model::T2, Model::T3})
+    EXPECT_FALSE(model_caps(m).one_way) << model_name(m);
+  for (Model m : {Model::IT, Model::IO, Model::I1, Model::I2, Model::I3, Model::I4})
+    EXPECT_TRUE(model_caps(m).one_way) << model_name(m);
+}
+
+TEST(ModelCaps, OmissiveModels) {
+  for (Model m : {Model::TW, Model::IT, Model::IO})
+    EXPECT_FALSE(is_omissive(m)) << model_name(m);
+  for (Model m :
+       {Model::T1, Model::T2, Model::T3, Model::I1, Model::I2, Model::I3, Model::I4})
+    EXPECT_TRUE(is_omissive(m)) << model_name(m);
+}
+
+TEST(ModelCaps, DetectionMatrix) {
+  // Starter-side omission detection: T2, T3 (o free) and I4.
+  EXPECT_TRUE(model_caps(Model::T2).starter_detects_omission);
+  EXPECT_TRUE(model_caps(Model::T3).starter_detects_omission);
+  EXPECT_TRUE(model_caps(Model::I4).starter_detects_omission);
+  EXPECT_FALSE(model_caps(Model::T1).starter_detects_omission);
+  EXPECT_FALSE(model_caps(Model::I1).starter_detects_omission);
+  EXPECT_FALSE(model_caps(Model::I2).starter_detects_omission);
+  EXPECT_FALSE(model_caps(Model::I3).starter_detects_omission);
+  // Reactor-side omission detection: T3 and I3 only.
+  EXPECT_TRUE(model_caps(Model::T3).reactor_detects_omission);
+  EXPECT_TRUE(model_caps(Model::I3).reactor_detects_omission);
+  EXPECT_FALSE(model_caps(Model::T1).reactor_detects_omission);
+  EXPECT_FALSE(model_caps(Model::T2).reactor_detects_omission);
+  EXPECT_FALSE(model_caps(Model::I1).reactor_detects_omission);
+  EXPECT_FALSE(model_caps(Model::I2).reactor_detects_omission);
+  EXPECT_FALSE(model_caps(Model::I4).reactor_detects_omission);
+}
+
+TEST(ModelCaps, IoStarterNeverActs) {
+  EXPECT_FALSE(model_caps(Model::IO).starter_acts);
+  for (Model m : kAllModels) {
+    if (m == Model::IO) continue;
+    EXPECT_TRUE(model_caps(m).starter_acts) << model_name(m);
+  }
+}
+
+TEST(ModelCaps, I1ReactorMissesOmissions) {
+  EXPECT_FALSE(model_caps(Model::I1).reactor_acts_on_omission);
+  for (Model m : {Model::I2, Model::I3, Model::I4, Model::T1, Model::T2, Model::T3})
+    EXPECT_TRUE(model_caps(m).reactor_acts_on_omission) << model_name(m);
+}
+
+TEST(ModelCaps, GOnOmission) {
+  EXPECT_TRUE(model_caps(Model::I2).reactor_applies_g_on_omission);
+  EXPECT_TRUE(model_caps(Model::I4).reactor_applies_g_on_omission);
+  EXPECT_FALSE(model_caps(Model::I3).reactor_applies_g_on_omission);
+}
+
+TEST(ModelArrows, CoversExpectedEdges) {
+  const auto& arrows = model_arrows();
+  auto has = [&](Model s, Model d) {
+    for (const auto& a : arrows)
+      if (a.src == s && a.dst == d) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(Model::T1, Model::T2));
+  EXPECT_TRUE(has(Model::T2, Model::T3));
+  EXPECT_TRUE(has(Model::T3, Model::TW));
+  EXPECT_TRUE(has(Model::IT, Model::TW));
+  EXPECT_TRUE(has(Model::IO, Model::IT));
+  EXPECT_TRUE(has(Model::I1, Model::I3));
+  EXPECT_TRUE(has(Model::I2, Model::I3));
+  EXPECT_TRUE(has(Model::I2, Model::I4));
+  EXPECT_TRUE(has(Model::I3, Model::T3));
+  EXPECT_TRUE(has(Model::I3, Model::IT));
+  EXPECT_TRUE(has(Model::I4, Model::IT));
+  EXPECT_TRUE(has(Model::IO, Model::I1));
+  EXPECT_TRUE(has(Model::IO, Model::I2));
+  EXPECT_TRUE(has(Model::IO, Model::I3));
+  EXPECT_TRUE(has(Model::IO, Model::I4));
+}
+
+TEST(ModelArrows, NoticesHaveText) {
+  for (const auto& a : model_arrows()) {
+    EXPECT_NE(a.note, nullptr);
+    EXPECT_GT(std::string(a.note).size(), 4u);
+  }
+}
+
+// Every recorded arrow must verify mechanically on sampled functions.
+class ArrowVerify : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArrowVerify, AllArrowsHold) {
+  const std::size_t q = GetParam();
+  for (const auto& a : model_arrows()) {
+    EXPECT_TRUE(verify_arrow(a, q, /*samples=*/30, /*seed=*/1234 + q))
+        << model_name(a.src) << " -> " << model_name(a.dst) << " (" << a.note << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StateSpaces, ArrowVerify, ::testing::Values(2, 3, 4, 5));
+
+TEST(ArrowReasons, NamesExist) {
+  EXPECT_EQ(arrow_reason_name(ArrowReason::Specialization), "specialization");
+  EXPECT_EQ(arrow_reason_name(ArrowReason::OmissionAvoidance), "omission-avoidance");
+  EXPECT_EQ(arrow_reason_name(ArrowReason::NoOpOmissions), "no-op omissions");
+}
+
+}  // namespace
+}  // namespace ppfs

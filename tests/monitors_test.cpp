@@ -1,0 +1,77 @@
+#include "verify/monitors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/logic.hpp"
+#include "protocols/pairing.hpp"
+
+namespace ppfs {
+namespace {
+
+class MonitorFixture : public ::testing::Test {
+ protected:
+  PairingStates st_ = pairing_states();
+};
+
+TEST_F(MonitorFixture, CountsRoles) {
+  PairingMonitor m({st_.consumer, st_.consumer, st_.producer});
+  EXPECT_EQ(m.consumers(), 2u);
+  EXPECT_EQ(m.producers(), 1u);
+  EXPECT_FALSE(m.safety_violated());
+}
+
+TEST_F(MonitorFixture, RejectsNonInitialStates) {
+  EXPECT_THROW(PairingMonitor({st_.critical}), std::invalid_argument);
+}
+
+TEST_F(MonitorFixture, SafetyViolationDetected) {
+  PairingMonitor m({st_.consumer, st_.consumer, st_.producer});
+  m.observe({st_.critical, st_.critical, st_.producer});  // 2 cs > 1 producer
+  EXPECT_TRUE(m.safety_violated());
+  EXPECT_EQ(m.max_critical(), 2u);
+}
+
+TEST_F(MonitorFixture, LegitimatePairingIsSafeAndLive) {
+  PairingMonitor m({st_.consumer, st_.consumer, st_.producer});
+  m.observe({st_.critical, st_.consumer, st_.bottom});
+  EXPECT_FALSE(m.safety_violated());
+  EXPECT_TRUE(m.target_reached());  // min(2,1) = 1
+}
+
+TEST_F(MonitorFixture, IrrevocabilityLeavingCritical) {
+  PairingMonitor m({st_.consumer, st_.producer});
+  m.observe({st_.critical, st_.bottom});
+  EXPECT_FALSE(m.irrevocability_violated());
+  m.observe({st_.consumer, st_.bottom});  // cs reverted!
+  EXPECT_TRUE(m.irrevocability_violated());
+}
+
+TEST_F(MonitorFixture, IrrevocabilityNonConsumerEnteringCritical) {
+  PairingMonitor m({st_.consumer, st_.producer});
+  m.observe({st_.consumer, st_.critical});  // a producer became critical
+  EXPECT_TRUE(m.irrevocability_violated());
+}
+
+TEST_F(MonitorFixture, MaxCriticalIsHighWaterMark) {
+  PairingMonitor m({st_.consumer, st_.consumer, st_.producer, st_.producer});
+  m.observe({st_.critical, st_.consumer, st_.bottom, st_.producer});
+  m.observe({st_.critical, st_.critical, st_.bottom, st_.bottom});
+  EXPECT_EQ(m.max_critical(), 2u);
+  EXPECT_EQ(m.current_critical(), 2u);
+  EXPECT_FALSE(m.safety_violated());
+}
+
+TEST_F(MonitorFixture, ArityChangeRejected) {
+  PairingMonitor m({st_.consumer, st_.producer});
+  EXPECT_THROW(m.observe({st_.consumer}), std::invalid_argument);
+}
+
+TEST(ProjectionConsensus, Basics) {
+  auto p = make_or_protocol();
+  EXPECT_TRUE(projection_consensus(*p, {1, 1, 1}, 1));
+  EXPECT_FALSE(projection_consensus(*p, {1, 0, 1}, 1));
+  EXPECT_TRUE(projection_consensus(*p, {0, 0}, 0));
+}
+
+}  // namespace
+}  // namespace ppfs

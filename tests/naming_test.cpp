@@ -1,0 +1,161 @@
+// Nn naming (Lemma 3) and the knowledge-of-n simulator (Theorem 4.6).
+#include "sim/naming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/runner.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/pairing.hpp"
+#include "protocols/registry.hpp"
+#include "sched/adversary.hpp"
+#include "verify/matching.hpp"
+
+namespace ppfs {
+namespace {
+
+std::shared_ptr<const TableProtocol> pairing() { return make_pairing_protocol(); }
+
+TEST(Naming, CollisionIncrementsReactor) {
+  NamingSimulator sim(pairing(), Model::IO, {0, 1});
+  EXPECT_EQ(sim.my_id(0), 1u);
+  EXPECT_EQ(sim.my_id(1), 1u);
+  sim.interact(Interaction{0, 1, false});  // same my_id: reactor increments
+  EXPECT_EQ(sim.my_id(0), 1u);
+  EXPECT_EQ(sim.my_id(1), 2u);
+  EXPECT_EQ(sim.max_id(1), 2u);
+  EXPECT_EQ(sim.max_id(0), 1u);  // gossip has not reached the starter yet
+}
+
+TEST(Naming, MaxIdGossips) {
+  NamingSimulator sim(pairing(), Model::IO, {0, 1});
+  sim.interact(Interaction{0, 1, false});  // a1 -> id 2, max 2 (= n: activates)
+  sim.interact(Interaction{1, 0, false});  // a0 learns max 2 and activates
+  EXPECT_EQ(sim.max_id(0), 2u);
+  EXPECT_TRUE(sim.activated(0));
+  EXPECT_TRUE(sim.activated(1));
+  EXPECT_TRUE(sim.all_activated());
+}
+
+TEST(Naming, SingleAgentActivatesImmediately) {
+  NamingSimulator sim(pairing(), Model::IO, {0});
+  EXPECT_TRUE(sim.all_activated());
+}
+
+class NamingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NamingSweep, Lemma3UniqueStableIds) {
+  const std::size_t n = GetParam();
+  NamingSimulator sim(pairing(), Model::IO,
+                      std::vector<State>(n, pairing_states().consumer));
+  UniformScheduler sched(n);
+  Rng rng(n * 7 + 1);
+  RunOptions opt;
+  opt.max_steps = 200'000 + 30'000 * n;
+  const auto res = run_until(
+      sim, sched, rng,
+      [](const NamingSimulator& s) { return s.all_activated(); }, opt);
+  ASSERT_TRUE(res.converged) << "n=" << n;
+
+  // All ids unique, in [1..n], and every agent's max reached exactly n.
+  std::set<std::uint32_t> ids;
+  for (AgentId a = 0; a < n; ++a) {
+    const auto id = sim.my_id(a);
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, n);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+    EXPECT_EQ(sim.max_id(a), n);
+  }
+  // Stability: ids never change again.
+  const auto before = [&] {
+    std::vector<std::uint32_t> v;
+    for (AgentId a = 0; a < n; ++a) v.push_back(sim.my_id(a));
+    return v;
+  }();
+  for (std::size_t i = 0; i < 20'000; ++i) sim.interact(sched.next(rng, i));
+  for (AgentId a = 0; a < n; ++a) EXPECT_EQ(sim.my_id(a), before[a]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NamingSweep,
+                         ::testing::Values(2, 3, 4, 7, 12, 25, 64));
+
+TEST(Naming, InvariantEveryValueUpToMaxIsHeld) {
+  // Lemma 3's key invariant, probed along a random execution.
+  const std::size_t n = 9;
+  NamingSimulator sim(pairing(), Model::IO,
+                      std::vector<State>(n, pairing_states().consumer));
+  UniformScheduler sched(n);
+  Rng rng(77);
+  for (std::size_t i = 0; i < 40'000; ++i) {
+    sim.interact(sched.next(rng, i));
+    if (i % 64 != 0) continue;
+    std::uint32_t global_max = 1;
+    std::set<std::uint32_t> held;
+    for (AgentId a = 0; a < n; ++a) {
+      global_max = std::max(global_max, sim.my_id(a));
+      held.insert(sim.my_id(a));
+    }
+    for (std::uint32_t v = 1; v <= global_max; ++v)
+      ASSERT_TRUE(held.count(v)) << "value " << v << " vanished (max "
+                                 << global_max << ")";
+    ASSERT_LE(global_max, n);
+  }
+}
+
+struct NParam {
+  Model model;
+  std::size_t n;
+  double rate;
+  std::uint64_t seed;
+};
+
+class NamingSimSweep : public ::testing::TestWithParam<NParam> {};
+
+TEST_P(NamingSimSweep, SimulatesAfterSelfNaming) {
+  const auto [model, n, rate, seed] = GetParam();
+  for (const Workload& w : core_workloads(n)) {
+    NamingSimulator sim(w.protocol, model, w.initial);
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::UO;
+    ap.rate = is_omissive(model) ? rate : 0.0;
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+    Rng rng(seed);
+    auto counts_probe = workload_counts_probe(w);
+    auto probe = [&](const NamingSimulator& s) {
+      std::vector<std::size_t> counts(w.protocol->num_states(), 0);
+      for (State q : s.projection()) ++counts[q];
+      return counts_probe(counts, *w.protocol);
+    };
+    RunOptions opt;
+    opt.max_steps = 600'000 + 40'000 * n;
+    const auto res = run_until(sim, sched, rng, probe, opt);
+    EXPECT_TRUE(res.converged) << sim.describe() << " on " << w.name;
+    const auto rep = verify_simulation(sim, 2 * n);
+    EXPECT_TRUE(rep.ok) << sim.describe() << " on " << w.name
+                        << (rep.errors.empty() ? "" : ": " + rep.errors[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NamingSimSweep,
+                         ::testing::Values(NParam{Model::IO, 4, 0.0, 301},
+                                           NParam{Model::IO, 8, 0.0, 302},
+                                           NParam{Model::IO, 12, 0.0, 303},
+                                           NParam{Model::I1, 8, 0.3, 304},
+                                           NParam{Model::I3, 8, 0.3, 305},
+                                           NParam{Model::T1, 8, 0.3, 306}));
+
+TEST(Naming, IdsNeverExceedN) {
+  const std::size_t n = 5;
+  NamingSimulator sim(pairing(), Model::IO,
+                      std::vector<State>(n, pairing_states().consumer));
+  UniformScheduler sched(n);
+  Rng rng(99);
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    sim.interact(sched.next(rng, i));
+    for (AgentId a = 0; a < n; ++a) ASSERT_LE(sim.my_id(a), n);
+  }
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,153 @@
+#include "engine/native.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "protocols/logic.hpp"
+#include "protocols/oneway.hpp"
+#include "protocols/pairing.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(NativeSystem, AppliesDelta) {
+  NativeSystem sys(make_pairing_protocol(), make_initial({{0, 1}, {1, 1}}));
+  sys.interact(Interaction{0, 1, false});  // (c,p) -> (cs, bot)
+  const auto st = pairing_states();
+  EXPECT_EQ(sys.population().state(0), st.critical);
+  EXPECT_EQ(sys.population().state(1), st.bottom);
+  EXPECT_EQ(sys.steps(), 1u);
+}
+
+TEST(NativeSystem, RejectsOmissions) {
+  NativeSystem sys(make_or_protocol(), {0, 1});
+  EXPECT_THROW(sys.interact(Interaction{0, 1, true}), std::invalid_argument);
+}
+
+TEST(NativeSystem, RunUntilConvergesOr) {
+  NativeSystem sys(make_or_protocol(), {1, 0, 0, 0, 0, 0});
+  UniformScheduler sched(6);
+  Rng rng(1);
+  const auto res = run_until(sys, sched, rng, [](const NativeSystem& s) {
+    return s.population().consensus_output() == 1;
+  });
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(sys.population().consensus_output(), 1);
+}
+
+TEST(RunSteps, CountsOmissions) {
+  // run_steps against a one-way system that accepts omissions.
+  OneWaySystem sys(make_io_or(), Model::I1, {0, 1});
+  ScriptedScheduler sched({{0, 1, true}, {0, 1, false}, {1, 0, true}}, nullptr);
+  Rng rng(2);
+  const auto res = run_steps(sys, sched, rng, 3);
+  EXPECT_EQ(res.steps, 3u);
+  EXPECT_EQ(res.omissions, 2u);
+}
+
+TEST(OneWaySystem, IoReactorOnly) {
+  OneWaySystem sys(make_io_or(), Model::IO, {1, 0});
+  sys.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sys.state(0), 1u);  // starter untouched
+  EXPECT_EQ(sys.state(1), 1u);  // reactor computed OR
+}
+
+TEST(OneWaySystem, RejectsNonIoProtocolUnderIo) {
+  EXPECT_THROW(OneWaySystem(make_it_or_with_beacon(), Model::IO, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(OneWaySystem, ItAppliesG) {
+  auto p = make_it_or_with_beacon();
+  OneWaySystem sys(p, Model::IT, {0, 0});
+  sys.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sys.state(0), p->g(0));  // beacon phase flipped
+}
+
+TEST(OneWaySystem, RejectsTwoWayModel) {
+  EXPECT_THROW(OneWaySystem(make_io_or(), Model::TW, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(OneWaySystem, OmissionSemanticsI1) {
+  // I1: (g(as), ar) — reactor untouched.
+  OneWaySystem sys(make_io_or(), Model::I1, {1, 0});
+  sys.interact(Interaction{0, 1, true});
+  EXPECT_EQ(sys.state(1), 0u);
+}
+
+TEST(OneWaySystem, OmissionSemanticsI2AppliesGToBoth) {
+  auto p = make_it_or_with_beacon();
+  OneWaySystem sys(p, Model::I2, {0, 0});
+  sys.interact(Interaction{0, 1, true});
+  EXPECT_EQ(sys.state(0), p->g(0));
+  EXPECT_EQ(sys.state(1), p->g(0));
+}
+
+TEST(OneWaySystem, OmissionSemanticsI3UsesH) {
+  OneWaySystem sys(make_io_or(), Model::I3, {1, 0});
+  sys.set_reactor_omission_fn([](State) { return State{1}; });  // h: mark
+  sys.interact(Interaction{0, 1, true});
+  EXPECT_EQ(sys.state(1), 1u);
+}
+
+TEST(OneWaySystem, OmissionSemanticsI4UsesO) {
+  OneWaySystem sys(make_io_or(), Model::I4, {0, 1});
+  sys.set_starter_omission_fn([](State) { return State{1}; });  // o: mark
+  sys.interact(Interaction{0, 1, true});
+  EXPECT_EQ(sys.state(0), 1u);  // starter detected
+  EXPECT_EQ(sys.state(1), 1u);  // reactor applied g = id
+}
+
+TEST(OneWaySystem, DetectionFnsGatedByCaps) {
+  OneWaySystem i1(make_io_or(), Model::I1, {0, 0});
+  EXPECT_THROW(i1.set_reactor_omission_fn([](State s) { return s; }),
+               std::invalid_argument);
+  EXPECT_THROW(i1.set_starter_omission_fn([](State s) { return s; }),
+               std::invalid_argument);
+}
+
+TEST(OneWaySystem, RejectsOmissionInNonOmissiveModel) {
+  OneWaySystem sys(make_io_or(), Model::IO, {0, 0});
+  EXPECT_THROW(sys.interact(Interaction{0, 1, true}), std::invalid_argument);
+}
+
+TEST(OneWaySystem, IoOrConvergesUnderUniform) {
+  const std::size_t n = 12;
+  std::vector<State> init(n, 0);
+  init[3] = 1;
+  OneWaySystem sys(make_io_or(), Model::IO, init);
+  UniformScheduler sched(n);
+  Rng rng(3);
+  const auto res = run_until(
+      sys, sched, rng,
+      [](const OneWaySystem& s) { return s.consensus_output() == 1; });
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(OneWaySystem, IoLeaderElectsExactlyOne) {
+  const std::size_t n = 9;
+  OneWaySystem sys(make_io_leader(), Model::IO, std::vector<State>(n, 0));
+  UniformScheduler sched(n);
+  Rng rng(4);
+  const auto res = run_until(sys, sched, rng, [](const OneWaySystem& s) {
+    std::size_t leaders = 0;
+    for (State q : s.states())
+      if (q == 0) ++leaders;
+    return leaders == 1;
+  });
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(OneWaySystem, IoMaxSpreadsMaximum) {
+  OneWaySystem sys(make_io_max(6), Model::IO, {0, 2, 5, 1, 3});
+  UniformScheduler sched(5);
+  Rng rng(5);
+  const auto res = run_until(sys, sched, rng, [](const OneWaySystem& s) {
+    return s.consensus_output() == 5;
+  });
+  EXPECT_TRUE(res.converged);
+}
+
+}  // namespace
+}  // namespace ppfs

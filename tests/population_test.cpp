@@ -1,0 +1,83 @@
+#include "core/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/logic.hpp"
+#include "protocols/pairing.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(Population, ConstructionValidates) {
+  auto p = make_or_protocol();
+  EXPECT_THROW(Population(nullptr, {0}), std::invalid_argument);
+  EXPECT_THROW(Population(p, {}), std::invalid_argument);
+  EXPECT_THROW(Population(p, {0, 9}), std::invalid_argument);
+}
+
+TEST(Population, InteractAppliesDelta) {
+  auto p = make_or_protocol();
+  Population pop(p, {0, 1, 0});
+  pop.interact(1, 0);  // (1,0) -> (1,1)
+  EXPECT_EQ(pop.state(0), 1u);
+  EXPECT_EQ(pop.state(1), 1u);
+  EXPECT_EQ(pop.state(2), 0u);
+}
+
+TEST(Population, RejectsSelfInteraction) {
+  auto p = make_or_protocol();
+  Population pop(p, {0, 1});
+  EXPECT_THROW(pop.interact(1, 1), std::invalid_argument);
+}
+
+TEST(Population, Counts) {
+  auto p = make_pairing_protocol();
+  const auto st = pairing_states();
+  Population pop(p, make_initial({{st.consumer, 3}, {st.producer, 2}}));
+  const auto c = pop.counts();
+  EXPECT_EQ(c[st.consumer], 3u);
+  EXPECT_EQ(c[st.producer], 2u);
+  EXPECT_EQ(c[st.critical], 0u);
+  EXPECT_EQ(pop.count_of(st.consumer), 3u);
+}
+
+TEST(Population, ConsensusOutput) {
+  auto p = make_or_protocol();
+  Population all_ones(p, {1, 1, 1});
+  EXPECT_EQ(all_ones.consensus_output(), 1);
+  Population mixed(p, {1, 0, 1});
+  EXPECT_EQ(mixed.consensus_output(), -1);
+}
+
+TEST(Population, ConsensusUndecidedWhenNoOutput) {
+  ProtocolBuilder b("t");
+  b.add_state("u", -1, true);
+  auto p = b.build();
+  Population pop(p, {0, 0});
+  EXPECT_EQ(pop.consensus_output(), -1);
+}
+
+TEST(Population, SetStateValidates) {
+  auto p = make_or_protocol();
+  Population pop(p, {0, 0});
+  pop.set_state(0, 1);
+  EXPECT_EQ(pop.state(0), 1u);
+  EXPECT_THROW(pop.set_state(0, 42), std::invalid_argument);
+}
+
+TEST(MakeInitial, ConcatenatesGroups) {
+  const auto v = make_initial({{2, 2}, {5, 1}, {0, 3}});
+  EXPECT_EQ(v, (std::vector<State>{2, 2, 5, 0, 0, 0}));
+}
+
+TEST(Population, EqualityByStates) {
+  auto p = make_or_protocol();
+  Population a(p, {0, 1});
+  Population b(p, {0, 1});
+  Population c(p, {1, 0});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,116 @@
+// The product combinator: semilinear closure of the protocol library
+// (boolean combinations of threshold and modulo predicates), natively and
+// under simulation.
+#include "protocols/product.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/workload_runner.hpp"
+#include "protocols/counting.hpp"
+#include "protocols/parity.hpp"
+#include "sim/skno.hpp"
+#include "verify/matching.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(Product, Validates) {
+  auto a = make_threshold_counting(2);
+  EXPECT_THROW(make_product_protocol(nullptr, a, combine_or()),
+               std::invalid_argument);
+  EXPECT_THROW(make_product_protocol(a, a, nullptr), std::invalid_argument);
+}
+
+TEST(Product, StateSpaceAndNames) {
+  auto a = make_threshold_counting(2);  // 3 states
+  auto b = make_mod_counting(2, 1);     // 4 states
+  auto p = make_product_protocol(a, b, combine_or());
+  EXPECT_EQ(p->num_states(), 12u);
+  EXPECT_NE(p->state_name(0).find(','), std::string::npos);
+  EXPECT_EQ(p->name(), a->name() + "*" + b->name());
+}
+
+TEST(Product, DeltaActsComponentwise) {
+  auto a = make_threshold_counting(2);
+  auto b = make_mod_counting(2, 1);
+  auto p = make_product_protocol(a, b, combine_or());
+  const State s = product_state(*a, *b, 1, 1);
+  const State r = product_state(*a, *b, 1, 1);
+  const StatePair want_a = a->delta(1, 1);
+  const StatePair want_b = b->delta(1, 1);
+  EXPECT_EQ(p->delta(s, r),
+            (StatePair{product_state(*a, *b, want_a.starter, want_b.starter),
+                       product_state(*a, *b, want_a.reactor, want_b.reactor)}));
+}
+
+TEST(Product, CombinersShortCircuit) {
+  EXPECT_EQ(combine_or()(1, -1), 1);
+  EXPECT_EQ(combine_or()(-1, 0), -1);
+  EXPECT_EQ(combine_or()(0, 0), 0);
+  EXPECT_EQ(combine_and()(0, -1), 0);
+  EXPECT_EQ(combine_and()(-1, 1), -1);
+  EXPECT_EQ(combine_and()(1, 1), 1);
+}
+
+struct Case {
+  std::size_t ones;  // agents with input 1 (out of n = 8)
+  int expect_or;     // (#ones >= 3) OR (#ones odd)
+  int expect_and;    // (#ones >= 3) AND (#ones odd)
+};
+
+class SemilinearSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SemilinearSweep, NativeVerdicts) {
+  const auto [ones, expect_or, expect_and] = GetParam();
+  const std::size_t n = 8;
+  auto thr = make_threshold_counting(3);
+  auto odd = make_mod_counting(2, 1);
+  for (const bool use_or : {true, false}) {
+    auto p = make_product_protocol(thr, odd,
+                                   use_or ? combine_or() : combine_and());
+    std::vector<State> init;
+    for (std::size_t i = 0; i < n; ++i) {
+      const State bit = i < ones ? 1 : 0;
+      init.push_back(product_state(*thr, *odd, bit, bit));
+    }
+    Workload w{"semilinear", p, std::move(init),
+               use_or ? expect_or : expect_and, nullptr};
+    const auto res = run_native_workload(w, 600 + ones);
+    EXPECT_TRUE(res.converged)
+        << "ones=" << ones << (use_or ? " or" : " and");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SemilinearSweep,
+                         ::testing::Values(Case{0, 0, 0}, Case{1, 1, 0},
+                                           Case{2, 0, 0}, Case{3, 1, 1},
+                                           Case{4, 1, 0}, Case{5, 1, 1},
+                                           Case{8, 1, 0}));
+
+TEST(Product, SimulatesUnderSkno) {
+  // The combined predicate also runs through the fault-tolerant simulator.
+  const std::size_t n = 8, ones = 5;
+  auto thr = make_threshold_counting(3);
+  auto odd = make_mod_counting(2, 1);
+  auto p = make_product_protocol(thr, odd, combine_and());
+  std::vector<State> init;
+  for (std::size_t i = 0; i < n; ++i) {
+    const State bit = i < ones ? 1 : 0;
+    init.push_back(product_state(*thr, *odd, bit, bit));
+  }
+  SknoSimulator sim(p, Model::I3, 1, init);
+  UniformScheduler sched(n);
+  Rng rng(61);
+  RunOptions opt;
+  opt.max_steps = 4'000'000;
+  const auto res = run_until(sim, sched, rng, [&](const SknoSimulator& s) {
+    for (State q : s.projection())
+      if (p->output(q) != 1) return false;
+    return true;
+  }, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(verify_simulation(sim, 4 * n).ok);
+}
+
+}  // namespace
+}  // namespace ppfs

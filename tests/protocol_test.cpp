@@ -1,0 +1,163 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/leader.hpp"
+#include "protocols/logic.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/oneway.hpp"
+#include "protocols/pairing.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(ProtocolBuilder, DefaultsToIdentity) {
+  ProtocolBuilder b("t");
+  const State a = b.add_state("a", -1, true);
+  const State c = b.add_state("c");
+  auto p = b.build();
+  EXPECT_EQ(p->delta(a, c), (StatePair{a, c}));
+  EXPECT_EQ(p->delta(c, a), (StatePair{c, a}));
+  EXPECT_TRUE(p->is_noop(a, c));
+}
+
+TEST(ProtocolBuilder, RulesOverrideIdentity) {
+  ProtocolBuilder b("t");
+  const State a = b.add_state("a", -1, true);
+  const State c = b.add_state("c");
+  b.rule(a, c, c, a);
+  auto p = b.build();
+  EXPECT_EQ(p->delta(a, c), (StatePair{c, a}));
+  EXPECT_EQ(p->delta(c, a), (StatePair{c, a}));  // untouched
+}
+
+TEST(ProtocolBuilder, SymmetricRuleAddsMirror) {
+  ProtocolBuilder b("t");
+  const State a = b.add_state("a");
+  const State c = b.add_state("c");
+  const State d = b.add_state("d");
+  const State e = b.add_state("e");
+  b.symmetric_rule(a, c, d, e);
+  auto p = b.build();
+  EXPECT_EQ(p->delta(a, c), (StatePair{d, e}));
+  EXPECT_EQ(p->delta(c, a), (StatePair{e, d}));
+}
+
+TEST(ProtocolBuilder, NamesOutputsInitialStates) {
+  ProtocolBuilder b("named");
+  const State a = b.add_state("alpha", 1, true);
+  const State c = b.add_state("beta", 0);
+  auto p = b.build();
+  EXPECT_EQ(p->name(), "named");
+  EXPECT_EQ(p->state_name(a), "alpha");
+  EXPECT_EQ(p->state_name(c), "beta");
+  EXPECT_EQ(p->output(a), 1);
+  EXPECT_EQ(p->output(c), 0);
+  EXPECT_TRUE(p->is_initial(a));
+  EXPECT_FALSE(p->is_initial(c));
+}
+
+TEST(ProtocolBuilder, RejectsOutOfRangeRule) {
+  ProtocolBuilder b("t");
+  b.add_state("a");
+  b.rule(0, 7, 0, 0);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(TableProtocol, ValidatesShape) {
+  EXPECT_THROW(TableProtocol("x", {}, {}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(TableProtocol("x", {"a"}, {0, 1}, {}, {StatePair{0, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(TableProtocol("x", {"a"}, {0}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(TableProtocol("x", {"a"}, {0}, {3}, {StatePair{0, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(TableProtocol("x", {"a"}, {0}, {}, {StatePair{0, 5}}),
+               std::invalid_argument);
+}
+
+TEST(Protocol, PairingIsSymmetric) {
+  EXPECT_TRUE(make_pairing_protocol()->is_symmetric());
+}
+
+TEST(Protocol, OrIsSymmetric) { EXPECT_TRUE(make_or_protocol()->is_symmetric()); }
+
+TEST(Protocol, LeaderElectionIsNotSymmetric) {
+  // delta(L,L) = (L,F) != mirror of itself.
+  EXPECT_FALSE(make_leader_election()->is_symmetric());
+}
+
+TEST(Protocol, PairingRules) {
+  auto p = make_pairing_protocol();
+  const auto st = pairing_states();
+  EXPECT_EQ(p->delta(st.consumer, st.producer),
+            (StatePair{st.critical, st.bottom}));
+  EXPECT_EQ(p->delta(st.producer, st.consumer),
+            (StatePair{st.bottom, st.critical}));
+  // Everything else is a no-op.
+  EXPECT_TRUE(p->is_noop(st.consumer, st.consumer));
+  EXPECT_TRUE(p->is_noop(st.producer, st.producer));
+  EXPECT_TRUE(p->is_noop(st.critical, st.producer));
+  EXPECT_TRUE(p->is_noop(st.bottom, st.consumer));
+}
+
+TEST(ShapeChecks, OrFitsIoShape) {
+  // delta(s,r) = (s|r, s|r): the starter's update depends on r, so it is
+  // NOT one-way as a table, even though the predicate is IO-computable.
+  auto p = make_or_protocol();
+  EXPECT_FALSE(fits_it_shape(*p));
+}
+
+TEST(ShapeChecks, LoweredOneWayFitsItShape) {
+  auto ow = make_it_or_with_beacon();
+  auto p = lower_to_two_way(*ow, {0, 1});
+  EXPECT_TRUE(fits_it_shape(*p));
+  EXPECT_FALSE(fits_io_shape(*p));  // beacon g is not the identity
+}
+
+TEST(ShapeChecks, LoweredIoProtocolFitsIoShape) {
+  auto ow = make_io_or();
+  auto p = lower_to_two_way(*ow, {0, 1});
+  EXPECT_TRUE(fits_it_shape(*p));
+  EXPECT_TRUE(fits_io_shape(*p));
+}
+
+TEST(ShapeChecks, PairingDoesNotFitOneWay) {
+  // (c,p) -> (cs, bot): the starter's new state depends on the reactor.
+  EXPECT_FALSE(fits_it_shape(*make_pairing_protocol()));
+}
+
+TEST(OneWayProtocol, IsIoDetection) {
+  EXPECT_TRUE(make_io_or()->is_io());
+  EXPECT_TRUE(make_io_max(4)->is_io());
+  EXPECT_TRUE(make_io_leader()->is_io());
+  EXPECT_FALSE(make_it_or_with_beacon()->is_io());
+}
+
+TEST(OneWayProtocol, MaxComputesMax) {
+  auto p = make_io_max(5);
+  EXPECT_EQ(p->f(3, 1), 3u);
+  EXPECT_EQ(p->f(1, 3), 3u);
+  EXPECT_EQ(p->g(2), 2u);
+}
+
+TEST(Protocol, ExactMajorityCancellation) {
+  auto p = make_exact_majority();
+  const auto st = exact_majority_states();
+  EXPECT_EQ(p->delta(st.big_x, st.big_y), (StatePair{st.x, st.y}));
+  EXPECT_EQ(p->delta(st.big_y, st.big_x), (StatePair{st.y, st.x}));
+  EXPECT_EQ(p->delta(st.big_x, st.y), (StatePair{st.big_x, st.x}));
+  EXPECT_EQ(p->delta(st.big_y, st.x), (StatePair{st.big_y, st.y}));
+  EXPECT_TRUE(p->is_noop(st.x, st.y));
+}
+
+TEST(Protocol, ApproxMajorityRules) {
+  auto p = make_approximate_majority();
+  const auto st = approx_majority_states();
+  EXPECT_EQ(p->delta(st.x, st.y), (StatePair{st.x, st.b}));
+  EXPECT_EQ(p->delta(st.y, st.x), (StatePair{st.y, st.b}));
+  EXPECT_EQ(p->delta(st.x, st.b), (StatePair{st.x, st.x}));
+  EXPECT_EQ(p->delta(st.y, st.b), (StatePair{st.y, st.y}));
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,137 @@
+// Property test against the whole stack: randomly generated two-way
+// protocols are pushed through every simulator, and the perfect-matching
+// verifier must accept each run. This catches simulator bugs no
+// hand-written workload would reach (arbitrary delta structure, asymmetric
+// rules, self-loops, dense state graphs).
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "sched/adversary.hpp"
+#include "sim/naming.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "util/rng.hpp"
+#include "verify/matching.hpp"
+
+namespace ppfs {
+namespace {
+
+std::shared_ptr<const TableProtocol> random_protocol(std::size_t states,
+                                                     Rng& rng) {
+  std::vector<std::string> names;
+  std::vector<int> outputs;
+  std::vector<State> initial;
+  for (State q = 0; q < states; ++q) {
+    names.push_back("q" + std::to_string(q));
+    outputs.push_back(static_cast<int>(q % 2));
+    initial.push_back(q);
+  }
+  std::vector<StatePair> table(states * states);
+  for (State s = 0; s < states; ++s) {
+    for (State r = 0; r < states; ++r) {
+      // Mix of no-ops (to keep stable sets nontrivial) and random moves.
+      if (rng.chance(0.4)) {
+        table[s * states + r] = StatePair{s, r};
+      } else {
+        table[s * states + r] = StatePair{static_cast<State>(rng.below(states)),
+                                          static_cast<State>(rng.below(states))};
+      }
+    }
+  }
+  return std::make_shared<TableProtocol>("random", names, outputs, initial,
+                                         std::move(table));
+}
+
+std::vector<State> random_initial(std::size_t n, std::size_t states, Rng& rng) {
+  std::vector<State> init(n);
+  for (auto& q : init) q = static_cast<State>(rng.below(states));
+  return init;
+}
+
+class RandomProtocols : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProtocols, SknoAcceptsArbitraryDeltas) {
+  Rng meta(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t states = 2 + meta.below(4);
+    const std::size_t n = 4 + meta.below(6);
+    const std::size_t o = meta.below(3);
+    auto p = random_protocol(states, meta);
+    SknoSimulator sim(p, Model::I3, o, random_initial(n, states, meta));
+
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::Budget;
+    ap.rate = 0.05;
+    ap.max_omissions = o;
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+    Rng rng(meta());
+    (void)run_steps(sim, sched, rng, 20'000);
+
+    const auto rep = verify_simulation(sim, 4 * n);
+    EXPECT_TRUE(rep.ok) << "states=" << states << " n=" << n << " o=" << o
+                        << " pairs=" << rep.pairs << " unmatched=" << rep.unmatched
+                        << (rep.errors.empty() ? "" : " | " + rep.errors[0]);
+  }
+}
+
+TEST_P(RandomProtocols, SidAcceptsArbitraryDeltas) {
+  Rng meta(GetParam() ^ 0xabcdef);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t states = 2 + meta.below(4);
+    const std::size_t n = 4 + meta.below(6);
+    auto p = random_protocol(states, meta);
+    SidSimulator sim(p, Model::IO, random_initial(n, states, meta));
+    UniformScheduler sched(n);
+    Rng rng(meta());
+    (void)run_steps(sim, sched, rng, 20'000);
+    const auto rep = verify_simulation(sim, 2 * n);
+    EXPECT_TRUE(rep.ok) << "states=" << states << " n=" << n
+                        << (rep.errors.empty() ? "" : " | " + rep.errors[0]);
+    EXPECT_GT(rep.pairs, 0u);
+  }
+}
+
+TEST_P(RandomProtocols, NamingAcceptsArbitraryDeltas) {
+  Rng meta(GetParam() ^ 0x123456);
+  for (int round = 0; round < 2; ++round) {
+    const std::size_t states = 2 + meta.below(3);
+    const std::size_t n = 4 + meta.below(5);
+    auto p = random_protocol(states, meta);
+    NamingSimulator sim(p, Model::IO, random_initial(n, states, meta));
+    UniformScheduler sched(n);
+    Rng rng(meta());
+    (void)run_steps(sim, sched, rng, 40'000);
+    const auto rep = verify_simulation(sim, 2 * n);
+    EXPECT_TRUE(rep.ok) << "states=" << states << " n=" << n
+                        << (rep.errors.empty() ? "" : " | " + rep.errors[0]);
+  }
+}
+
+TEST_P(RandomProtocols, SimulatedReachableStatesAreNativelyReachable) {
+  // Soundness probe: any state the simulator visits must be reachable in
+  // SOME native execution — we check the weaker but crisp projection
+  // property that each agent's chain starts at its initial state and every
+  // transition comes from delta (already enforced by the verifier), plus
+  // determinism of repeated runs under the same seed.
+  Rng meta(GetParam() ^ 0x777);
+  const std::size_t states = 3;
+  const std::size_t n = 5;
+  auto p = random_protocol(states, meta);
+  const auto init = random_initial(n, states, meta);
+  const std::uint64_t seed = meta();
+
+  auto run_once = [&] {
+    SknoSimulator sim(p, Model::I3, 1, init);
+    UniformScheduler sched(n);
+    Rng rng(seed);
+    (void)run_steps(sim, sched, rng, 5'000);
+    return sim.projection();
+  };
+  EXPECT_EQ(run_once(), run_once());  // bit-for-bit reproducibility
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProtocols,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace ppfs

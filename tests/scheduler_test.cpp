@@ -1,0 +1,80 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ppfs {
+namespace {
+
+TEST(UniformScheduler, RequiresTwoAgents) {
+  EXPECT_THROW(UniformScheduler(1), std::invalid_argument);
+}
+
+TEST(UniformScheduler, NeverSelfInteracts) {
+  UniformScheduler s(5);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const Interaction ia = s.next(rng, i);
+    EXPECT_NE(ia.starter, ia.reactor);
+    EXPECT_LT(ia.starter, 5u);
+    EXPECT_LT(ia.reactor, 5u);
+    EXPECT_FALSE(ia.omissive);
+  }
+}
+
+TEST(UniformScheduler, CoversAllOrderedPairs) {
+  const std::size_t n = 4;
+  UniformScheduler s(n);
+  Rng rng(2);
+  std::set<std::pair<AgentId, AgentId>> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const Interaction ia = s.next(rng, i);
+    seen.insert({ia.starter, ia.reactor});
+  }
+  EXPECT_EQ(seen.size(), n * (n - 1));
+}
+
+TEST(UniformScheduler, RoughlyUniform) {
+  UniformScheduler s(3);
+  Rng rng(3);
+  std::map<std::pair<AgentId, AgentId>, int> counts;
+  const int total = 60000;
+  for (int i = 0; i < total; ++i) {
+    const Interaction ia = s.next(rng, i);
+    ++counts[{ia.starter, ia.reactor}];
+  }
+  for (const auto& [pair, c] : counts)
+    EXPECT_NEAR(c / static_cast<double>(total), 1.0 / 6, 0.01);
+}
+
+TEST(ScriptedScheduler, ReplaysThenFallsBack) {
+  std::vector<Interaction> script{{0, 1, false}, {1, 0, true}};
+  ScriptedScheduler s(script, std::make_unique<UniformScheduler>(2));
+  Rng rng(4);
+  EXPECT_EQ(s.next(rng, 0), script[0]);
+  EXPECT_FALSE(s.exhausted());
+  EXPECT_EQ(s.next(rng, 1), script[1]);
+  EXPECT_TRUE(s.exhausted());
+  const Interaction after = s.next(rng, 2);  // delegated
+  EXPECT_NE(after.starter, after.reactor);
+}
+
+TEST(ScriptedScheduler, ThrowsWithoutFallback) {
+  ScriptedScheduler s({{0, 1, false}}, nullptr);
+  Rng rng(5);
+  (void)s.next(rng, 0);
+  EXPECT_THROW(s.next(rng, 1), std::logic_error);
+}
+
+TEST(ScriptedScheduler, PreservesOmissionFlags) {
+  ScriptedScheduler s({{2, 3, true, OmitSide::Starter}}, nullptr);
+  Rng rng(6);
+  const Interaction ia = s.next(rng, 0);
+  EXPECT_TRUE(ia.omissive);
+  EXPECT_EQ(ia.side, OmitSide::Starter);
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,232 @@
+// SID (Figure 3, Theorem 4.5): scripted lock-cycle unit traces plus
+// model/adversary sweeps — SID must simulate correctly in ALL ten models,
+// under the unrestricted UO adversary (the all-green IDs column of Fig. 4).
+#include "sim/sid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/runner.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/pairing.hpp"
+#include "protocols/registry.hpp"
+#include "sched/adversary.hpp"
+#include "verify/matching.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+std::shared_ptr<const TableProtocol> pairing() { return make_pairing_protocol(); }
+
+TEST(SidUnit, RequiresUniqueIds) {
+  EXPECT_THROW(SidSimulator(pairing(), Model::IO, {0, 1}, {5, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(SidSimulator(pairing(), Model::IO, {0, 1}, {kNoId, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(SidSimulator(pairing(), Model::IO, {0, 1}, {1}),
+               std::invalid_argument);
+}
+
+TEST(SidUnit, FourStepLockCycle) {
+  // The canonical trace: pair, lock (fs applied), complete (fr applied),
+  // unlock-by-observation.
+  const auto st = pairing_states();
+  SidSimulator sim(pairing(), Model::IO, {st.consumer, st.producer});
+  // 1. (p=1 starter, c=0 reactor): c pairs with p.
+  sim.interact(Interaction{1, 0, false});
+  EXPECT_EQ(sim.agent(0).status, SidAgent::Status::Pairing);
+  EXPECT_EQ(sim.agent(0).other_id, sim.agent(1).id);
+  // 2. (c=0 starter, p=1 reactor): p sees the pairing targeting it with a
+  //    current state copy -> locks and applies fs(p, c) = bot.
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.agent(1).status, SidAgent::Status::Locked);
+  EXPECT_EQ(sim.simulated_state(1), st.bottom);
+  EXPECT_EQ(sim.simulated_state(0), st.consumer);  // not yet
+  // 3. (p=1 starter, c=0 reactor): c sees its locked partner -> completes
+  //    fr(p, c) = cs with the state saved at pairing time.
+  sim.interact(Interaction{1, 0, false});
+  EXPECT_EQ(sim.simulated_state(0), st.critical);
+  EXPECT_EQ(sim.agent(0).status, SidAgent::Status::Available);
+  // 4. (c=0 starter, p=1 reactor): p sees c detached -> unlocks.
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.agent(1).status, SidAgent::Status::Available);
+
+  const auto rep = verify_simulation(sim, 0);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+  EXPECT_EQ(rep.pairs, 1u);
+  EXPECT_EQ(sim.stats().rollbacks, 1u);  // the unlock uses lines 14-16
+}
+
+TEST(SidUnit, LockRefusedWhenSavedStateStale) {
+  // a0 pairs with a1; a1's simulated state then changes (via a completed
+  // interaction with a2); the lock condition state_other == stateP fails
+  // and a1 must NOT lock with a0.
+  const auto st = pairing_states();
+  SidSimulator sim(pairing(), Model::IO,
+                   {st.consumer, st.producer, st.consumer});
+  sim.interact(Interaction{1, 0, false});  // a0 pairs with a1 (saved state p)
+  // a1 runs a full cycle with a2, changing its state to bot.
+  sim.interact(Interaction{1, 2, false});  // a2 pairs with a1
+  sim.interact(Interaction{2, 1, false});  // a1 locks with a2, fs -> bot
+  sim.interact(Interaction{1, 2, false});  // a2 completes -> cs
+  sim.interact(Interaction{2, 1, false});  // a1 unlocks
+  EXPECT_EQ(sim.simulated_state(1), st.bottom);
+  // a1 observes a0 pairing-targeting-a1 — but with the stale state copy p.
+  // The line-6 guard state_other == stateP must refuse the lock.
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.agent(1).status, SidAgent::Status::Available);
+  EXPECT_EQ(sim.simulated_state(1), st.bottom);
+  // a0 then observes a1 engaged with nobody (other_id reset): rollback.
+  sim.interact(Interaction{1, 0, false});
+  EXPECT_EQ(sim.agent(0).status, SidAgent::Status::Available);
+  const auto rep = verify_simulation(sim, 3);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+TEST(SidUnit, RollbackWhenPartnerEngagedElsewhere) {
+  const auto st = pairing_states();
+  SidSimulator sim(pairing(), Model::IO,
+                   {st.consumer, st.producer, st.consumer});
+  sim.interact(Interaction{1, 0, false});  // a0 pairs with a1
+  sim.interact(Interaction{2, 1, false});  // a1 pairs with a2 (a1 was available)
+  // a0 observes a1 whose other_id = a2 != a0 -> rollback.
+  sim.interact(Interaction{1, 0, false});
+  EXPECT_EQ(sim.agent(0).status, SidAgent::Status::Available);
+  EXPECT_GE(sim.stats().rollbacks, 1u);
+}
+
+TEST(SidUnit, LockedAgentIsFrozen) {
+  const auto st = pairing_states();
+  SidSimulator sim(pairing(), Model::IO,
+                   {st.consumer, st.producer, st.consumer});
+  sim.interact(Interaction{1, 0, false});  // a0 pairs a1
+  sim.interact(Interaction{0, 1, false});  // a1 locks with a0
+  ASSERT_EQ(sim.agent(1).status, SidAgent::Status::Locked);
+  const State locked_state = sim.simulated_state(1);
+  // Interactions with third parties must not move the locked agent.
+  sim.interact(Interaction{2, 1, false});
+  sim.interact(Interaction{1, 2, false});
+  EXPECT_EQ(sim.agent(1).status, SidAgent::Status::Locked);
+  EXPECT_EQ(sim.simulated_state(1), locked_state);
+}
+
+TEST(SidUnit, OmissionsAreNoOps) {
+  const auto st = pairing_states();
+  for (Model m : {Model::T1, Model::T2, Model::T3, Model::I1, Model::I2, Model::I3,
+                  Model::I4}) {
+    SidSimulator sim(pairing(), m, {st.consumer, st.producer});
+    sim.interact(Interaction{1, 0, true});
+    EXPECT_EQ(sim.agent(0).status, SidAgent::Status::Available) << model_name(m);
+    EXPECT_EQ(sim.simulated_state(0), st.consumer) << model_name(m);
+  }
+}
+
+struct SidParam {
+  Model model;
+  std::size_t n;
+  double rate;  // UO omission rate (0 = fault-free)
+  std::uint64_t seed;
+};
+
+class SidSweep : public ::testing::TestWithParam<SidParam> {};
+
+TEST_P(SidSweep, SimulatesWorkloadsUnderEveryModel) {
+  const auto [model, n, rate, seed] = GetParam();
+  for (const Workload& w : core_workloads(n)) {
+    SidSimulator sim(w.protocol, model, w.initial);
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::UO;
+    ap.rate = is_omissive(model) ? rate : 0.0;
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+    Rng rng(seed);
+    auto counts_probe = workload_counts_probe(w);
+    auto probe = [&](const SidSimulator& s) {
+      std::vector<std::size_t> counts(w.protocol->num_states(), 0);
+      for (State q : s.projection()) ++counts[q];
+      return counts_probe(counts, *w.protocol);
+    };
+    RunOptions opt;
+    opt.max_steps = 400'000 + 20'000 * n;
+    const auto res = run_until(sim, sched, rng, probe, opt);
+    EXPECT_TRUE(res.converged) << sim.describe() << " on " << w.name;
+    const auto rep = verify_simulation(sim, 2 * n);
+    EXPECT_TRUE(rep.ok) << sim.describe() << " on " << w.name
+                        << (rep.errors.empty() ? "" : ": " + rep.errors[0]);
+    EXPECT_GT(rep.pairs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SidSweep,
+    ::testing::Values(SidParam{Model::IO, 4, 0.0, 201},
+                      SidParam{Model::IO, 8, 0.0, 202},
+                      SidParam{Model::IO, 16, 0.0, 203},
+                      SidParam{Model::IT, 8, 0.0, 204},
+                      SidParam{Model::TW, 8, 0.0, 205},
+                      SidParam{Model::T1, 8, 0.3, 206},
+                      SidParam{Model::T2, 8, 0.3, 207},
+                      SidParam{Model::T3, 8, 0.3, 208},
+                      SidParam{Model::I1, 8, 0.3, 209},
+                      SidParam{Model::I2, 8, 0.3, 210},
+                      SidParam{Model::I3, 8, 0.3, 211},
+                      SidParam{Model::I4, 8, 0.3, 212}));
+
+TEST(SidSim, TwoAgentSystemWorks) {
+  // The n = 2 case of Theorem 4.5 (the paper treats it separately).
+  const auto st = pairing_states();
+  SidSimulator sim(pairing(), Model::IO, {st.consumer, st.producer});
+  UniformScheduler sched(2);
+  Rng rng(6);
+  const auto res = run_until(sim, sched, rng, [&](const SidSimulator& s) {
+    return s.simulated_state(0) == st.critical && s.simulated_state(1) == st.bottom;
+  });
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(verify_simulation(sim, 2).ok);
+}
+
+TEST(SidSim, PairingSafetyUnderHeavyUO) {
+  const std::size_t n = 10;
+  const Workload w = core_workloads(n)[3];  // pairing
+  SidSimulator sim(w.protocol, Model::I1, w.initial);
+  PairingMonitor mon(sim.projection());
+  AdversaryParams ap;
+  ap.kind = AdversaryKind::UO;
+  ap.rate = 0.5;  // unrestricted malignant adversary
+  OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+  Rng rng(8);
+  for (std::size_t i = 0; i < 60'000; ++i) {
+    sim.interact(sched.next(rng, i));
+    if (i % 32 == 0) mon.observe(sim.projection());
+  }
+  mon.observe(sim.projection());
+  EXPECT_FALSE(mon.safety_violated());
+  EXPECT_FALSE(mon.irrevocability_violated());
+  EXPECT_TRUE(mon.target_reached());
+}
+
+TEST(SidSim, EventKeysPairLockWithComplete) {
+  // The provenance keys (lock txn ids) must pair exactly 1:1.
+  const std::size_t n = 8;
+  const Workload w = core_workloads(n)[1];
+  SidSimulator sim(w.protocol, Model::IO, w.initial);
+  UniformScheduler sched(n);
+  Rng rng(9);
+  for (std::size_t i = 0; i < 30'000; ++i) sim.interact(sched.next(rng, i));
+  std::map<std::uint64_t, std::pair<int, int>> by_key;  // starter/reactor counts
+  for (const auto& e : sim.events()) {
+    auto& [s, r] = by_key[e.key];
+    (e.half == Half::Starter ? s : r) += 1;
+  }
+  std::size_t complete = 0;
+  for (const auto& [key, counts] : by_key) {
+    EXPECT_LE(counts.first, 1);
+    EXPECT_LE(counts.second, 1);
+    if (counts.first == 1 && counts.second == 1) ++complete;
+  }
+  EXPECT_GT(complete, 0u);
+}
+
+}  // namespace
+}  // namespace ppfs

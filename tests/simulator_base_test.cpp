@@ -1,0 +1,149 @@
+// The Simulator base-class contract, exercised uniformly across all four
+// simulator implementations: construction validation, interaction
+// validation, projections, counters, event-log shape, clone independence
+// and determinism.
+#include <gtest/gtest.h>
+
+#include "protocols/pairing.hpp"
+#include "util/rng.hpp"
+#include "sim/naming.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "sim/tw_naive.hpp"
+
+namespace ppfs {
+namespace {
+
+enum class Kind { TwNaive, Skno, Sid, Naming };
+
+std::string kind_name(Kind k) {
+  switch (k) {
+    case Kind::TwNaive: return "TwNaive";
+    case Kind::Skno: return "Skno";
+    case Kind::Sid: return "Sid";
+    case Kind::Naming: return "Naming";
+  }
+  return "?";
+}
+
+std::unique_ptr<Simulator> make(Kind k, std::vector<State> init) {
+  auto p = make_pairing_protocol();
+  switch (k) {
+    case Kind::TwNaive:
+      return std::make_unique<TwSimulator>(p, Model::TW, std::move(init));
+    case Kind::Skno:
+      return std::make_unique<SknoSimulator>(p, Model::I3, 1, std::move(init));
+    case Kind::Sid:
+      return std::make_unique<SidSimulator>(p, Model::IO, std::move(init));
+    case Kind::Naming:
+      return std::make_unique<NamingSimulator>(p, Model::IO, std::move(init));
+  }
+  throw std::logic_error("unreachable");
+}
+
+class BaseContract : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(BaseContract, InitialProjectionMatchesConstruction) {
+  const auto st = pairing_states();
+  const std::vector<State> init{st.consumer, st.producer, st.consumer};
+  auto sim = make(GetParam(), init);
+  EXPECT_EQ(sim->projection(), init);
+  EXPECT_EQ(sim->initial_projection(), init);
+  EXPECT_EQ(sim->num_agents(), 3u);
+  EXPECT_EQ(sim->interactions(), 0u);
+  EXPECT_EQ(sim->omissions(), 0u);
+  EXPECT_TRUE(sim->events().empty());
+}
+
+TEST_P(BaseContract, RejectsBadInteractions) {
+  const auto st = pairing_states();
+  auto sim = make(GetParam(), {st.consumer, st.producer});
+  EXPECT_THROW(sim->interact(Interaction{0, 0, false}), std::invalid_argument);
+  EXPECT_THROW(sim->interact(Interaction{0, 9, false}), std::invalid_argument);
+  EXPECT_THROW(sim->interact(Interaction{9, 0, false}), std::invalid_argument);
+}
+
+TEST_P(BaseContract, RejectsOmissionsInNonOmissiveModels) {
+  const auto st = pairing_states();
+  auto sim = make(GetParam(), {st.consumer, st.producer});
+  // TwNaive is built on TW, the others here on IO/I3; only I3 is omissive.
+  if (!model_caps(sim->model()).omissive) {
+    EXPECT_THROW(sim->interact(Interaction{0, 1, true}), std::invalid_argument);
+  } else {
+    EXPECT_NO_THROW(sim->interact(Interaction{0, 1, true}));
+    EXPECT_EQ(sim->omissions(), 1u);
+  }
+}
+
+TEST_P(BaseContract, CountsInteractions) {
+  const auto st = pairing_states();
+  auto sim = make(GetParam(), {st.consumer, st.producer});
+  for (int i = 0; i < 10; ++i)
+    sim->interact(Interaction{static_cast<AgentId>(i % 2),
+                              static_cast<AgentId>((i + 1) % 2), false});
+  EXPECT_EQ(sim->interactions(), 10u);
+}
+
+TEST_P(BaseContract, CloneIsIndependentAndDeterministic) {
+  const auto st = pairing_states();
+  auto sim = make(GetParam(), {st.consumer, st.producer, st.producer});
+  sim->interact(Interaction{1, 0, false});
+  auto copy = sim->clone();
+  ASSERT_EQ(copy->projection(), sim->projection());
+  // Diverge the original; the clone must not move.
+  const auto before = copy->projection();
+  sim->interact(Interaction{0, 1, false});
+  sim->interact(Interaction{1, 0, false});
+  EXPECT_EQ(copy->projection(), before);
+  // Same interaction sequence from the same state: identical outcomes.
+  auto copy2 = sim->clone();
+  sim->interact(Interaction{2, 0, false});
+  copy2->interact(Interaction{2, 0, false});
+  EXPECT_EQ(copy2->projection(), sim->projection());
+}
+
+TEST_P(BaseContract, EventsCarryMonotoneSeqAndValidAgents) {
+  const auto st = pairing_states();
+  auto sim = make(GetParam(), {st.consumer, st.producer, st.consumer});
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const auto s = static_cast<AgentId>(rng.below(3));
+    auto r = static_cast<AgentId>(rng.below(2));
+    if (r >= s) ++r;
+    sim->interact(Interaction{s, r, false});
+  }
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const auto& e : sim->events()) {
+    if (!first) {
+      EXPECT_GT(e.seq, prev);
+    }
+    prev = e.seq;
+    first = false;
+    EXPECT_LT(e.agent, 3u);
+    EXPECT_LT(e.before, sim->protocol().num_states());
+    EXPECT_LT(e.after, sim->protocol().num_states());
+  }
+  EXPECT_EQ(sim->simulated_updates(), sim->events().size());
+}
+
+TEST_P(BaseContract, DescribeIsNonEmpty) {
+  const auto st = pairing_states();
+  auto sim = make(GetParam(), {st.consumer, st.producer});
+  EXPECT_FALSE(sim->describe().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSimulators, BaseContract,
+                         ::testing::Values(Kind::TwNaive, Kind::Skno, Kind::Sid,
+                                           Kind::Naming),
+                         [](const auto& info) { return kind_name(info.param); });
+
+TEST(SimulatorBase, RejectsEmptyPopulationAndBadStates) {
+  auto p = make_pairing_protocol();
+  EXPECT_THROW(TwSimulator(p, Model::TW, {}), std::invalid_argument);
+  EXPECT_THROW(TwSimulator(p, Model::TW, {99}), std::invalid_argument);
+  EXPECT_THROW(TwSimulator(nullptr, Model::TW, {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,129 @@
+// The sharp resilience threshold of SKnO (Theorems 3.1/3.3 instantiated):
+// with bound o, the crafted o+1-omission script violates the safety of the
+// Pairing problem, while any placement of at most o omissions cannot.
+#include "attack/skno_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/pairing.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/skno.hpp"
+#include "util/rng.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(SknoAttackPlanTest, RejectsZeroBound) {
+  EXPECT_THROW(build_skno_attack(0), std::invalid_argument);
+}
+
+TEST(SknoAttackPlanTest, PlanShape) {
+  const auto plan = build_skno_attack(2);
+  EXPECT_EQ(plan.n, 8u);            // 3 pairs + victim + generator
+  EXPECT_EQ(plan.omissions, 3u);    // o + 1
+  EXPECT_EQ(plan.producers, 3u);
+  EXPECT_EQ(plan.expected_critical, 4u);
+  std::size_t om = 0;
+  for (const auto& ia : plan.script)
+    if (ia.omissive) ++om;
+  EXPECT_EQ(om, plan.omissions);
+}
+
+class AttackSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AttackSweep, OPlusOneOmissionsBreakSafety) {
+  const std::size_t o = GetParam();
+  const auto plan = build_skno_attack(o);
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, o, plan.initial);
+  PairingMonitor mon(sim.projection());
+  for (const auto& ia : plan.script) {
+    sim.interact(ia);
+    mon.observe(sim.projection());
+  }
+  EXPECT_TRUE(mon.safety_violated())
+      << "o=" << o << " critical=" << mon.max_critical() << "/" << plan.producers;
+  EXPECT_EQ(mon.max_critical(), plan.expected_critical);
+  EXPECT_EQ(sim.omissions(), plan.omissions);
+  // The violation is irrevocable: a long fair fault-free suffix keeps it.
+  UniformScheduler sched(plan.n);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    sim.interact(sched.next(rng, i));
+    if (i % 64 == 0) mon.observe(sim.projection());
+  }
+  mon.observe(sim.projection());
+  EXPECT_TRUE(mon.safety_violated());
+  EXPECT_FALSE(mon.irrevocability_violated());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, AttackSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(SknoAttack, SamePlanWithLastOmissionDroppedIsSafe) {
+  // Remove one omissive interaction (budget back to o): the cheated
+  // consumer of the last pair can no longer complete, and safety holds.
+  const std::size_t o = 2;
+  auto plan = build_skno_attack(o);
+  std::vector<Interaction> script;
+  bool dropped = false;
+  for (auto it = plan.script.rbegin(); it != plan.script.rend(); ++it) {
+    if (!dropped && it->omissive) {
+      dropped = true;
+      continue;
+    }
+    script.push_back(*it);
+  }
+  std::reverse(script.begin(), script.end());
+
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, o, plan.initial);
+  PairingMonitor mon(sim.projection());
+  for (const auto& ia : script) {
+    sim.interact(ia);
+    mon.observe(sim.projection());
+  }
+  EXPECT_FALSE(mon.safety_violated());
+  EXPECT_LE(sim.omissions(), o);
+}
+
+TEST(SknoAttack, VictimAssemblesPhantomRun) {
+  const std::size_t o = 3;
+  const auto plan = build_skno_attack(o);
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, o, plan.initial);
+  for (const auto& ia : plan.script) sim.interact(ia);
+  const auto st = pairing_states();
+  EXPECT_EQ(sim.simulated_state(plan.victim), st.critical);
+  // Every cheated consumer also reached critical, using one joker each.
+  for (std::size_t k = 0; k <= o; ++k)
+    EXPECT_EQ(sim.simulated_state(static_cast<AgentId>(2 * k + 1)), st.critical);
+  EXPECT_EQ(sim.stats().jokers_used, o + 1);
+}
+
+TEST(SknoAttack, GracefulDegradationThresholdIsSharp) {
+  // Theorem 3.3 (for this simulator): below the threshold both safety and
+  // liveness hold; at o+1 omissions not even safety can be salvaged — so
+  // no graceful-degradation threshold above the bound exists.
+  const std::size_t o = 2;
+  for (std::size_t budget = 0; budget <= o + 1; ++budget) {
+    const auto plan = build_skno_attack(o);
+    // Keep only the first `budget` omissive interactions.
+    std::vector<Interaction> script;
+    std::size_t used = 0;
+    for (const auto& ia : plan.script) {
+      if (ia.omissive) {
+        if (used == budget) continue;
+        ++used;
+      }
+      script.push_back(ia);
+    }
+    SknoSimulator sim(make_pairing_protocol(), Model::I3, o, plan.initial);
+    PairingMonitor mon(sim.projection());
+    for (const auto& ia : script) {
+      sim.interact(ia);
+      mon.observe(sim.projection());
+    }
+    EXPECT_EQ(mon.safety_violated(), budget == o + 1) << "budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,181 @@
+// Property / integration tests for SKnO (Theorem 4.1): under I3/I4 with at
+// most o omissions (UO-style adversary within the budget), every workload
+// converges to its two-way verdict, the event log admits a perfect
+// matching with a valid derived execution, and the token-conservation law
+// holds throughout.
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/registry.hpp"
+#include "sched/adversary.hpp"
+#include "sim/skno.hpp"
+#include "verify/matching.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+struct Param {
+  Model model;
+  std::size_t o;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class SknoSweep : public ::testing::TestWithParam<Param> {};
+
+void check_conservation(const SknoSimulator& sim) {
+  const auto& s = sim.stats();
+  const std::size_t expected =
+      (s.runs_generated - s.change_runs_consumed - s.cancels) *
+          (sim.omission_bound() + 1) +
+      s.jokers_minted - s.tokens_killed;
+  ASSERT_EQ(sim.total_live_tokens(), expected);
+  ASSERT_LE(sim.live_jokers(), s.jokers_minted + s.debt_conversions);
+}
+
+TEST_P(SknoSweep, SimulatesWorkloadsUnderBudgetedOmissions) {
+  const auto [model, o, n, seed] = GetParam();
+  for (const Workload& w : core_workloads(n)) {
+    SknoSimulator sim(w.protocol, model, o, w.initial);
+
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::Budget;
+    ap.rate = 0.05;
+    ap.max_omissions = o;  // the knowledge-of-omissions assumption
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+    Rng rng(seed);
+
+    auto counts_probe = workload_counts_probe(w);
+    auto probe = [&](const SknoSimulator& s) {
+      std::vector<std::size_t> counts(w.protocol->num_states(), 0);
+      for (State q : s.projection()) ++counts[q];
+      return counts_probe(counts, *w.protocol);
+    };
+    RunOptions opt;
+    opt.max_steps = 600'000 + 20'000 * n * (o + 1);
+    const auto res = run_until(sim, sched, rng, probe, opt);
+    EXPECT_TRUE(res.converged)
+        << sim.describe() << " on " << w.name << " (" << res.steps << " steps, "
+        << res.omissions << " omissions)";
+    check_conservation(sim);
+
+    const auto rep = verify_simulation(sim, 4 * n);
+    EXPECT_TRUE(rep.ok) << sim.describe() << " on " << w.name << ": pairs="
+                        << rep.pairs << " unmatched=" << rep.unmatched
+                        << (rep.errors.empty() ? "" : " | " + rep.errors[0]);
+    EXPECT_GT(rep.pairs, 0u) << w.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SknoSweep,
+    ::testing::Values(Param{Model::I3, 0, 4, 101}, Param{Model::I3, 1, 4, 102},
+                      Param{Model::I3, 2, 6, 103}, Param{Model::I3, 3, 8, 104},
+                      Param{Model::I3, 1, 12, 105}, Param{Model::I4, 1, 4, 106},
+                      Param{Model::I4, 2, 6, 107}, Param{Model::I4, 1, 12, 108},
+                      Param{Model::IT, 0, 8, 109}, Param{Model::IT, 0, 16, 110}));
+
+TEST(SknoSim, PairingSafetyHoldsUnderBudget) {
+  // Random budget-o adversaries must never break Pair's safety; sweep
+  // several seeds and omission placements.
+  const std::size_t n = 8, o = 2;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Workload w = core_workloads(n)[3];  // pairing
+    ASSERT_NE(w.name.find("pairing"), std::string::npos);
+    SknoSimulator sim(w.protocol, Model::I3, o, w.initial);
+    PairingMonitor mon(sim.projection());
+
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::Budget;
+    ap.rate = 0.2;
+    ap.max_omissions = o;
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < 30'000; ++i) {
+      sim.interact(sched.next(rng, i));
+      if (i % 16 == 0) mon.observe(sim.projection());
+    }
+    mon.observe(sim.projection());
+    EXPECT_FALSE(mon.safety_violated()) << "seed " << seed;
+    EXPECT_FALSE(mon.irrevocability_violated()) << "seed " << seed;
+  }
+}
+
+TEST(SknoSim, TargetedAdversaryWithinBudgetIsHarmless) {
+  // Adversary always aims at the same producer's transmissions.
+  const std::size_t n = 6, o = 3;
+  const Workload w = core_workloads(n)[3];
+  SknoSimulator sim(w.protocol, Model::I3, o, w.initial);
+  PairingMonitor mon(sim.projection());
+
+  AdversaryParams ap;
+  ap.kind = AdversaryKind::Budget;
+  ap.rate = 0.3;
+  ap.max_omissions = o;
+  OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+  sched.set_victim_picker([](Rng&, std::size_t) { return Interaction{0, 1, false}; });
+  Rng rng(7);
+  for (std::size_t i = 0; i < 40'000; ++i) {
+    sim.interact(sched.next(rng, i));
+    if (i % 32 == 0) mon.observe(sim.projection());
+  }
+  mon.observe(sim.projection());
+  EXPECT_FALSE(mon.safety_violated());
+  EXPECT_TRUE(mon.target_reached());  // liveness despite targeting
+}
+
+TEST(SknoSim, DerivedRunMatchesNativeSemantics) {
+  // Replay the sequentialized derived execution natively (Definition 4
+  // made executable): every paired step must apply delta to the correct
+  // current states; lone halves of still-open transactions are applied as
+  // state patches, also checked against the current state.
+  const std::size_t n = 6;
+  const Workload w = core_workloads(n)[1];  // exact majority
+  SknoSimulator sim(w.protocol, Model::I3, 1, w.initial);
+  UniformScheduler sched(n);
+  Rng rng(31);
+  for (std::size_t i = 0; i < 50'000; ++i) sim.interact(sched.next(rng, i));
+
+  const auto rep = verify_simulation(sim, 4 * n);
+  ASSERT_TRUE(rep.ok) << "pairs=" << rep.pairs << " unmatched=" << rep.unmatched
+                      << " chain=" << rep.chain_errors
+                      << (rep.errors.empty() ? "" : " | " + rep.errors[0]);
+  ASSERT_GT(rep.derived_run.size(), 0u);
+  // The large majority of pairs must sequentialize (self-keyed
+  // transactions and overlapping ones fall back to open halves).
+  EXPECT_GE(rep.linearized_pairs * 5, rep.pairs * 4)
+      << rep.linearized_pairs << " of " << rep.pairs;
+  Population ref(w.protocol, w.initial);
+  std::size_t applied_pairs = 0;
+  for (const DerivedElement& el : rep.derived_seq) {
+    if (el.is_pair) {
+      ASSERT_EQ(ref.state(el.step.starter), el.step.qs);
+      ASSERT_EQ(ref.state(el.step.reactor), el.step.qr);
+      ref.interact(el.step.starter, el.step.reactor);
+      ++applied_pairs;
+    } else {
+      ASSERT_EQ(ref.state(el.agent), el.before);
+      ref.set_state(el.agent, el.after);
+    }
+  }
+  EXPECT_EQ(applied_pairs, rep.linearized_pairs);
+  // The replayed configuration agrees with the simulator's projection.
+  EXPECT_EQ(ref.states(), sim.projection());
+}
+
+TEST(SknoSim, QueueGrowthStaysModest) {
+  // The Theorem 4.1 memory bound is per-token-type counters; empirically
+  // the max queue should stay far below n * (o+1) under fair scheduling.
+  const std::size_t n = 24, o = 1;
+  const Workload w = core_workloads(n)[0];  // or-epidemic
+  SknoSimulator sim(w.protocol, Model::I3, o, w.initial);
+  UniformScheduler sched(n);
+  Rng rng(17);
+  for (std::size_t i = 0; i < 200'000; ++i) sim.interact(sched.next(rng, i));
+  EXPECT_LT(sim.stats().max_queue, n * (o + 1) * 2);
+}
+
+}  // namespace
+}  // namespace ppfs

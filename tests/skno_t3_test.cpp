@@ -1,0 +1,123 @@
+// SKnO under the two-way omissive model T3, via the I3 -> T3 embedding
+// (the specialization arrow of Figure 1 made executable): fs(s,r) := g(s),
+// o := g, so a starter-side omission is outcome-identical to a fault-free
+// delivery and only reactor-side losses consume the omission budget.
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/pairing.hpp"
+#include "protocols/registry.hpp"
+#include "sched/adversary.hpp"
+#include "sim/skno.hpp"
+#include "verify/matching.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(SknoT3, AcceptsT3Model) {
+  EXPECT_NO_THROW(SknoSimulator(make_pairing_protocol(), Model::T3, 1, {0, 1}));
+}
+
+TEST(SknoT3, StarterSideOmissionDeliversAnyway) {
+  // (o(as), fr(as, ar)) with o = g: the reactor still receives the token.
+  const auto st = pairing_states();
+  SknoSimulator sim(make_pairing_protocol(), Model::T3, 1,
+                    {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, true, OmitSide::Starter});
+  EXPECT_EQ(sim.stats().tokens_killed, 0u);
+  EXPECT_EQ(sim.stats().jokers_minted, 0u);
+  EXPECT_EQ(sim.queue_size(1), 1u);  // token arrived
+}
+
+TEST(SknoT3, ReactorSideOmissionMintsJoker) {
+  const auto st = pairing_states();
+  SknoSimulator sim(make_pairing_protocol(), Model::T3, 1,
+                    {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, true, OmitSide::Reactor});
+  EXPECT_EQ(sim.stats().tokens_killed, 1u);
+  EXPECT_EQ(sim.stats().jokers_minted, 1u);
+}
+
+TEST(SknoT3, BothSidesOmissionBehavesAsReactorLoss) {
+  const auto st = pairing_states();
+  SknoSimulator sim(make_pairing_protocol(), Model::T3, 1,
+                    {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, true, OmitSide::Both});
+  EXPECT_EQ(sim.stats().tokens_killed, 1u);
+  EXPECT_EQ(sim.stats().jokers_minted, 1u);
+}
+
+TEST(SknoT3, TransitionCompletesDespiteMixedOmissions) {
+  const auto st = pairing_states();
+  SknoSimulator sim(make_pairing_protocol(), Model::T3, 1,
+                    {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, true, OmitSide::Starter});  // delivered
+  sim.interact(Interaction{0, 1, true, OmitSide::Reactor});  // <p,2> lost
+  sim.interact(Interaction{0, 1, false});  // queue empty now; pending
+  // Reactor holds <p,1> + joker: completes via wildcard.
+  EXPECT_EQ(sim.simulated_state(1), st.critical);
+}
+
+struct T3Param {
+  std::size_t o;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class SknoT3Sweep : public ::testing::TestWithParam<T3Param> {};
+
+TEST_P(SknoT3Sweep, SimulatesWorkloadsUnderBudget) {
+  const auto [o, n, seed] = GetParam();
+  for (const Workload& w : core_workloads(n)) {
+    SknoSimulator sim(w.protocol, Model::T3, o, w.initial);
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::Budget;
+    ap.rate = 0.05;
+    ap.max_omissions = o;
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+    Rng rng(seed);
+    auto counts_probe = workload_counts_probe(w);
+    auto probe = [&](const SknoSimulator& s) {
+      std::vector<std::size_t> counts(w.protocol->num_states(), 0);
+      for (State q : s.projection()) ++counts[q];
+      return counts_probe(counts, *w.protocol);
+    };
+    RunOptions opt;
+    opt.max_steps = 800'000 + 20'000 * n * (o + 1);
+    const auto res = run_until(sim, sched, rng, probe, opt);
+    EXPECT_TRUE(res.converged) << sim.describe() << " on " << w.name;
+    const auto rep = verify_simulation(sim, 4 * n);
+    EXPECT_TRUE(rep.ok) << sim.describe() << " on " << w.name
+                        << (rep.errors.empty() ? "" : ": " + rep.errors[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SknoT3Sweep,
+                         ::testing::Values(T3Param{1, 4, 501}, T3Param{2, 6, 502},
+                                           T3Param{2, 10, 503}));
+
+TEST(SknoT3, SafetyUnderBudgetedTwoSidedOmissions) {
+  const std::size_t n = 8, o = 2;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Workload w = core_workloads(n)[3];  // pairing
+    SknoSimulator sim(w.protocol, Model::T3, o, w.initial);
+    PairingMonitor mon(sim.projection());
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::Budget;
+    ap.rate = 0.2;
+    ap.max_omissions = o;
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < 30'000; ++i) {
+      sim.interact(sched.next(rng, i));
+      if (i % 16 == 0) mon.observe(sim.projection());
+    }
+    mon.observe(sim.projection());
+    EXPECT_FALSE(mon.safety_violated()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ppfs

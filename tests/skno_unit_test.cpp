@@ -1,0 +1,212 @@
+// Unit tests for the SKnO token machinery (§4.1), driven by scripted
+// interaction sequences whose exact effect on queues, jokers and the
+// pending flag is traced by hand.
+#include "sim/skno.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/pairing.hpp"
+#include "verify/matching.hpp"
+
+namespace ppfs {
+namespace {
+
+std::shared_ptr<const TableProtocol> pairing() { return make_pairing_protocol(); }
+
+TEST(SknoUnit, ValidatesModelAndBound) {
+  EXPECT_THROW(SknoSimulator(pairing(), Model::TW, 1, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(SknoSimulator(pairing(), Model::IO, 1, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(SknoSimulator(pairing(), Model::IT, 2, {0, 1}),
+               std::invalid_argument);  // IT requires o = 0
+  EXPECT_NO_THROW(SknoSimulator(pairing(), Model::IT, 0, {0, 1}));
+  EXPECT_NO_THROW(SknoSimulator(pairing(), Model::I3, 3, {0, 1}));
+  EXPECT_NO_THROW(SknoSimulator(pairing(), Model::I4, 3, {0, 1}));
+}
+
+TEST(SknoUnit, FirstStarterActOpensTransaction) {
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_TRUE(sim.is_pending(0));
+  EXPECT_EQ(sim.queue_size(0), 1u);  // generated 2, sent 1
+  EXPECT_EQ(sim.queue_size(1), 1u);  // received it
+  EXPECT_EQ(sim.stats().runs_generated, 1u);
+  EXPECT_TRUE(sim.events().empty());  // incomplete run, no transition yet
+}
+
+TEST(SknoUnit, FullTwoAgentTransition) {
+  // o = 1: (0->1)x2 completes the reactor half, (1->0)x2 the starter half.
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, false});
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.simulated_state(1), st.critical);  // fr(p, c) = cs
+  EXPECT_EQ(sim.simulated_state(0), st.producer);  // starter half still pending
+  EXPECT_EQ(sim.stats().state_runs_consumed, 1u);
+  sim.interact(Interaction{1, 0, false});
+  sim.interact(Interaction{1, 0, false});
+  EXPECT_EQ(sim.simulated_state(0), st.bottom);  // fs(p, c) = bot
+  EXPECT_FALSE(sim.is_pending(0));
+  EXPECT_EQ(sim.stats().change_runs_consumed, 1u);
+  ASSERT_EQ(sim.events().size(), 2u);
+  const auto rep = verify_simulation(sim, 0);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+  EXPECT_EQ(rep.pairs, 1u);
+}
+
+TEST(SknoUnit, CorollaryOneItNeedsTwoInteractions) {
+  // o = 0 in IT: single-token runs, one interaction per half.
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::IT, 0, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.simulated_state(1), st.critical);
+  sim.interact(Interaction{1, 0, false});
+  EXPECT_EQ(sim.simulated_state(0), st.bottom);
+  EXPECT_TRUE(verify_simulation(sim, 0).ok);
+}
+
+TEST(SknoUnit, OmissionMintsJokerAndKillsToken) {
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, true});  // token <p,1> dies, reactor jokers
+  EXPECT_EQ(sim.stats().tokens_killed, 1u);
+  EXPECT_EQ(sim.stats().jokers_minted, 1u);
+  EXPECT_EQ(sim.live_jokers(), 1u);
+  EXPECT_EQ(sim.queue_size(1), 1u);
+}
+
+TEST(SknoUnit, JokerSubstitutesMissingToken) {
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, true});   // <p,1> lost, joker minted
+  sim.interact(Interaction{0, 1, false});  // <p,2> arrives: joker completes run
+  EXPECT_EQ(sim.simulated_state(1), st.critical);
+  EXPECT_EQ(sim.stats().jokers_used, 1u);
+  EXPECT_EQ(sim.live_jokers(), 0u);
+}
+
+TEST(SknoUnit, JokerDebtRepaidByLateToken) {
+  // Two producers in the same state: the victim completes p0's run with a
+  // joker standing in for <p,1>; when p1 later transmits a fresh <p,1>,
+  // the debt converts it back into a joker.
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1,
+                    {st.producer, st.producer, st.consumer});
+  sim.interact(Interaction{0, 2, true});   // p0's <p,1> lost; c jokers
+  sim.interact(Interaction{0, 2, false});  // p0's <p,2>: c completes via joker
+  EXPECT_EQ(sim.simulated_state(2), st.critical);
+  EXPECT_EQ(sim.stats().debt_conversions, 0u);
+  sim.interact(Interaction{1, 2, false});  // p1's <p,1>: repays the debt
+  EXPECT_EQ(sim.stats().debt_conversions, 1u);
+  EXPECT_EQ(sim.live_jokers(), 1u);  // regenerated joker circulates
+}
+
+TEST(SknoUnit, PendingAgentCancelsOnOwnRunReturn) {
+  // o = 1, both consumers: a0 goes pending and transmits <c,1>; a1 relays
+  // it back; a0 then holds its complete own-state run {<c,1>,<c,2>} and
+  // cancels the transaction (preliminary check).
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1, {st.consumer, st.consumer});
+  sim.interact(Interaction{0, 1, false});
+  ASSERT_TRUE(sim.is_pending(0));
+  sim.interact(Interaction{1, 0, false});
+  EXPECT_FALSE(sim.is_pending(0));
+  EXPECT_EQ(sim.stats().cancels, 1u);
+  EXPECT_EQ(sim.queue_size(0), 0u);  // withdrawn from circulation
+  EXPECT_TRUE(sim.events().empty());
+}
+
+TEST(SknoUnit, AllJokerRunsAreRejected) {
+  // o = 1: two omissions mint two jokers at the reactor; they must NOT
+  // combine into a phantom run for any state (the >=1-real rule).
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, true});
+  sim.interact(Interaction{0, 1, true});
+  EXPECT_EQ(sim.live_jokers(), 2u);
+  EXPECT_EQ(sim.simulated_state(1), st.consumer);
+  EXPECT_TRUE(sim.events().empty());
+}
+
+TEST(SknoUnit, I4OmissionMintsJokerStarterSideAndKillsReactorToken) {
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I4, 1, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, false});  // p pending, sends <p,1>
+  sim.interact(Interaction{0, 1, true});   // omission, starter detects
+  // The starter mints the compensating joker; the preliminary check then
+  // lets it cancel its own pending transaction (the joker + unsent <p,2>
+  // form a complete own-state run) — faithful to §4.1's check order.
+  EXPECT_EQ(sim.stats().jokers_minted, 1u);
+  EXPECT_EQ(sim.stats().cancels, 1u);
+  EXPECT_FALSE(sim.is_pending(0));
+  // The reactor applied g: it popped its own front token — the relayed
+  // <p,1> it had just received — into the void.
+  EXPECT_EQ(sim.stats().tokens_killed, 1u);
+  EXPECT_EQ(sim.queue_size(1), 0u);
+}
+
+TEST(SknoUnit, I4FullTransitionDespiteOmission) {
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I4, 1, {st.producer, st.consumer});
+  // Omission first: the reactor (applying g) refills and kills its own
+  // <c,1>; the starter's compensating joker travels over next and lets the
+  // reactor cancel its crippled transaction; then the producer's intact
+  // run arrives and the transition completes.
+  sim.interact(Interaction{0, 1, true});
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.stats().cancels, 1u);  // joker healed the killed <c,1>
+  sim.interact(Interaction{0, 1, false});
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.simulated_state(1), st.critical);
+}
+
+TEST(SknoUnit, TokenConservationOnScriptedTrace) {
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 2, {st.producer, st.consumer});
+  const auto invariant = [&] {
+    const auto& s = sim.stats();
+    const std::size_t expected =
+        (s.runs_generated - s.change_runs_consumed - s.cancels) * 3 +
+        s.jokers_minted - s.tokens_killed;
+    EXPECT_EQ(sim.total_live_tokens(), expected);
+  };
+  for (const Interaction ia :
+       {Interaction{0, 1, false}, Interaction{0, 1, true}, Interaction{0, 1, false},
+        Interaction{0, 1, false}, Interaction{1, 0, false}, Interaction{1, 0, false},
+        Interaction{1, 0, false}, Interaction{1, 0, false}}) {
+    sim.interact(ia);
+    invariant();
+  }
+}
+
+TEST(SknoUnit, MemoryBitsGrowWithHeldTokens) {
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1, {st.producer, st.consumer});
+  const auto before = sim.memory_bits(1);
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_GT(sim.memory_bits(1), before);
+}
+
+TEST(SknoUnit, CloneIndependence) {
+  const auto st = pairing_states();
+  SknoSimulator sim(pairing(), Model::I3, 1, {st.producer, st.consumer});
+  sim.interact(Interaction{0, 1, false});
+  auto copy = sim.clone();
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.simulated_state(1), st.critical);
+  EXPECT_EQ(copy->simulated_state(1), st.consumer);
+  copy->interact(Interaction{0, 1, false});
+  EXPECT_EQ(copy->simulated_state(1), st.critical);
+}
+
+TEST(SknoUnit, DescribeMentionsModelAndBound) {
+  SknoSimulator sim(pairing(), Model::I3, 2, {0, 1});
+  const auto d = sim.describe();
+  EXPECT_NE(d.find("I3"), std::string::npos);
+  EXPECT_NE(d.find("o=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppfs

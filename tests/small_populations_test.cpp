@@ -1,0 +1,110 @@
+// The small-population cases the paper's proofs treat separately: the
+// Lemma 2 / Theorem 4.1 argument does case analysis for n = 2, 3, 4, and
+// Theorem 4.5's proof notes n = 2 for SID. Each case gets a direct
+// convergence + verification check.
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "protocols/pairing.hpp"
+#include "sched/adversary.hpp"
+#include "sim/naming.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "verify/matching.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+std::vector<State> pairing_init(std::size_t n) {
+  const auto st = pairing_states();
+  std::vector<State> init;
+  for (std::size_t i = 0; i < n; ++i)
+    init.push_back(i % 2 == 0 ? st.consumer : st.producer);
+  return init;
+}
+
+bool pairing_done(const Simulator& sim) {
+  const auto st = pairing_states();
+  std::size_t c = 0, p = 0, cs = 0;
+  for (State q : sim.projection()) {
+    c += q == st.consumer;
+    p += q == st.producer;
+    cs += q == st.critical;
+  }
+  const std::size_t consumers = (sim.num_agents() + 1) / 2;
+  const std::size_t producers = sim.num_agents() / 2;
+  return cs == std::min(consumers, producers);
+}
+
+class SmallN : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SmallN, SknoI3WithOmissions) {
+  const std::size_t n = GetParam();
+  const std::size_t o = 1;
+  SknoSimulator sim(make_pairing_protocol(), Model::I3, o, pairing_init(n));
+  AdversaryParams ap;
+  ap.kind = AdversaryKind::Budget;
+  ap.rate = 0.05;
+  ap.max_omissions = o;
+  OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+  Rng rng(7000 + n);
+  RunOptions opt;
+  opt.max_steps = 2'000'000;
+  const auto res = run_until(sim, sched, rng, pairing_done, opt);
+  EXPECT_TRUE(res.converged) << "n=" << n;
+  EXPECT_TRUE(verify_simulation(sim, 4 * n).ok) << "n=" << n;
+}
+
+TEST_P(SmallN, SidUnderUo) {
+  const std::size_t n = GetParam();
+  SidSimulator sim(make_pairing_protocol(), Model::I2, pairing_init(n));
+  AdversaryParams ap;
+  ap.kind = AdversaryKind::UO;
+  ap.rate = 0.3;
+  OmissionAdversary sched(std::make_unique<UniformScheduler>(n), n, ap);
+  Rng rng(7100 + n);
+  RunOptions opt;
+  opt.max_steps = 2'000'000;
+  const auto res = run_until(sim, sched, rng, pairing_done, opt);
+  EXPECT_TRUE(res.converged) << "n=" << n;
+  EXPECT_TRUE(verify_simulation(sim, 2 * n).ok) << "n=" << n;
+}
+
+TEST_P(SmallN, NamingActivatesAndSimulates) {
+  const std::size_t n = GetParam();
+  NamingSimulator sim(make_pairing_protocol(), Model::IO, pairing_init(n));
+  UniformScheduler sched(n);
+  Rng rng(7200 + n);
+  RunOptions opt;
+  opt.max_steps = 2'000'000;
+  const auto res = run_until(sim, sched, rng, [&](const NamingSimulator& s) {
+    return s.all_activated() && pairing_done(s);
+  }, opt);
+  EXPECT_TRUE(res.converged) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, SmallN, ::testing::Values(2, 3, 4));
+
+TEST(SmallN, SafetyNeverViolatedAtNTwo) {
+  // The tightest system: one producer, one consumer, budget exactly o.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SknoSimulator sim(make_pairing_protocol(), Model::I3, 2, pairing_init(2));
+    PairingMonitor mon(sim.projection());
+    AdversaryParams ap;
+    ap.kind = AdversaryKind::Budget;
+    ap.rate = 0.3;
+    ap.max_omissions = 2;
+    OmissionAdversary sched(std::make_unique<UniformScheduler>(2), 2, ap);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < 20'000; ++i) {
+      sim.interact(sched.next(rng, i));
+      if (i % 8 == 0) mon.observe(sim.projection());
+    }
+    mon.observe(sim.projection());
+    EXPECT_FALSE(mon.safety_violated()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ppfs

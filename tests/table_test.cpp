@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppfs {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"model", "result"});
+  t.add_row({"TW", "pass"});
+  t.add_row({"I3", "pass"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("TW"), std::string::npos);
+  EXPECT_NE(out.find("I3"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "b"});
+  t.add_row({"longvalue", "x"});
+  const std::string out = t.to_string();
+  // Header line and row line must place column b at the same offset.
+  std::istringstream is(out);
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(row.find('x'), out.substr(0, out.find('\n')).size() >= 1
+                               ? row.find('x')
+                               : std::string::npos);
+  EXPECT_GT(row.find('x'), row.find("longvalue"));
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, PrintWritesToStream) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(FmtHelpers, Doubles) {
+  EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(FmtHelpers, Bools) {
+  EXPECT_EQ(fmt_bool(true), "yes");
+  EXPECT_EQ(fmt_bool(false), "no");
+}
+
+}  // namespace
+}  // namespace ppfs

@@ -1,0 +1,53 @@
+#include "engine/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/native.hpp"
+#include "protocols/logic.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(Trace, RoundTripsThroughText) {
+  Trace t({{0, 1, false},
+           {2, 3, true, OmitSide::Both},
+           {1, 0, true, OmitSide::Starter},
+           {3, 2, true, OmitSide::Reactor}});
+  const Trace back = Trace::parse_string(t.to_string("demo"));
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.omission_count(), 3u);
+}
+
+TEST(Trace, ParsesCommentsAndBlankLines) {
+  const Trace t = Trace::parse_string("# header\n\n0 1\n  # indented comment\n1 0 o\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.interactions()[0].omissive);
+  EXPECT_TRUE(t.interactions()[1].omissive);
+}
+
+TEST(Trace, RejectsGarbage) {
+  EXPECT_THROW(Trace::parse_string("zero one\n"), std::invalid_argument);
+  EXPECT_THROW(Trace::parse_string("0 1 xx\n"), std::invalid_argument);
+}
+
+TEST(Trace, ReplayDrivesASystem) {
+  Trace t({{0, 1, false}, {1, 2, false}});
+  NativeSystem sys(make_or_protocol(), {1, 0, 0});
+  t.replay(sys);
+  EXPECT_EQ(sys.population().consensus_output(), 1);
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(Trace::parse_string("# nothing\n").size(), 0u);
+}
+
+TEST(Trace, SaveEmitsComment) {
+  Trace t({{0, 1, false}});
+  const std::string s = t.to_string("lemma-1 artifact");
+  EXPECT_NE(s.find("# lemma-1 artifact"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppfs

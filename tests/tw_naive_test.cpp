@@ -1,0 +1,120 @@
+#include "sim/tw_naive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/runner.hpp"
+#include "protocols/pairing.hpp"
+#include "protocols/registry.hpp"
+#include "verify/matching.hpp"
+#include "verify/monitors.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(TwSimulator, RejectsOneWayModels) {
+  EXPECT_THROW(TwSimulator(make_pairing_protocol(), Model::IO, {0, 1}),
+               std::invalid_argument);
+}
+
+TEST(TwSimulator, RejectsOmissionsUnderPlainTw) {
+  TwSimulator sim(make_pairing_protocol(), Model::TW, {0, 1});
+  EXPECT_THROW(sim.interact(Interaction{0, 1, true}), std::invalid_argument);
+}
+
+TEST(TwSimulator, OneInteractionOnePerfectPair) {
+  const auto st = pairing_states();
+  TwSimulator sim(make_pairing_protocol(), Model::TW, {st.consumer, st.producer});
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(sim.simulated_state(0), st.critical);
+  EXPECT_EQ(sim.simulated_state(1), st.bottom);
+  ASSERT_EQ(sim.events().size(), 2u);
+  const auto rep = verify_simulation(sim, 0);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+  EXPECT_EQ(rep.pairs, 1u);
+}
+
+TEST(TwSimulator, NoOpInteractionsEmitNothing) {
+  const auto st = pairing_states();
+  TwSimulator sim(make_pairing_protocol(), Model::TW,
+                  {st.consumer, st.consumer});
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_TRUE(sim.events().empty());
+}
+
+TEST(TwSimulator, CorrectSimulatorOverWorkloads) {
+  for (const Workload& w : core_workloads(10)) {
+    TwSimulator sim(w.protocol, Model::TW, w.initial);
+    UniformScheduler sched(w.initial.size());
+    Rng rng(11);
+    auto counts_probe = [&](const TwSimulator& s) {
+      std::vector<std::size_t> counts(w.protocol->num_states(), 0);
+      for (State q : s.projection()) ++counts[q];
+      if (w.converged) return w.converged(counts);
+      for (State q = 0; q < counts.size(); ++q)
+        if (counts[q] > 0 && w.protocol->output(q) != w.expected_output)
+          return false;
+      return true;
+    };
+    const auto res = run_until(sim, sched, rng, counts_probe);
+    EXPECT_TRUE(res.converged) << w.name;
+    const auto rep = verify_simulation(sim, 0);
+    EXPECT_TRUE(rep.ok) << w.name << ": "
+                        << (rep.errors.empty() ? "" : rep.errors[0]);
+  }
+}
+
+TEST(TwSimulator, StarterSideOmissionForgesPhantomConsumption) {
+  // The executable seed of every Figure 4 red cell: one starter-side
+  // omission lets a single producer be consumed twice.
+  const auto st = pairing_states();
+  TwSimulator sim(make_pairing_protocol(), Model::T1,
+                  {st.consumer, st.producer, st.consumer});
+  PairingMonitor mon(sim.projection());
+  sim.interact(Interaction{1, 0, true, OmitSide::Starter});
+  mon.observe(sim.projection());
+  EXPECT_EQ(sim.simulated_state(0), st.critical);
+  EXPECT_EQ(sim.simulated_state(1), st.producer);  // unaware of being consumed
+  sim.interact(Interaction{1, 2, false});
+  mon.observe(sim.projection());
+  EXPECT_TRUE(mon.safety_violated());
+  EXPECT_EQ(mon.max_critical(), 2u);
+  // The matching verifier independently flags the orphaned half.
+  const auto rep = verify_simulation(sim, 0);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GT(rep.unmatched, 0u);
+}
+
+TEST(TwSimulator, ReactorSideOmissionAlsoUnsafe) {
+  const auto st = pairing_states();
+  TwSimulator sim(make_pairing_protocol(), Model::T2,
+                  {st.consumer, st.producer, st.consumer});
+  // Reactor-side omission: the producer is spent but no consumer turned
+  // critical; a *different* dual of the same inconsistency.
+  sim.interact(Interaction{0, 1, true, OmitSide::Reactor});
+  EXPECT_EQ(sim.simulated_state(0), st.critical);
+  EXPECT_EQ(sim.simulated_state(1), st.producer);
+  const auto rep = verify_simulation(sim, 0);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(TwSimulator, BothSidesOmissionIsNoOp) {
+  const auto st = pairing_states();
+  TwSimulator sim(make_pairing_protocol(), Model::T3, {st.consumer, st.producer});
+  sim.interact(Interaction{0, 1, true, OmitSide::Both});
+  EXPECT_EQ(sim.simulated_state(0), st.consumer);
+  EXPECT_EQ(sim.simulated_state(1), st.producer);
+  EXPECT_TRUE(sim.events().empty());
+}
+
+TEST(TwSimulator, CloneIsDeepAndDeterministic) {
+  const auto st = pairing_states();
+  TwSimulator sim(make_pairing_protocol(), Model::TW, {st.consumer, st.producer});
+  auto copy = sim.clone();
+  sim.interact(Interaction{0, 1, false});
+  EXPECT_EQ(copy->simulated_state(0), st.consumer);  // unaffected
+  copy->interact(Interaction{0, 1, false});
+  EXPECT_EQ(copy->simulated_state(0), sim.simulated_state(0));
+}
+
+}  // namespace
+}  // namespace ppfs
