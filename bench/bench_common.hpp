@@ -3,6 +3,8 @@
 // figures as text tables.
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -17,6 +19,18 @@
 #include "verify/matching.hpp"
 
 namespace ppfs::bench {
+
+// Deterministic seeding sweep: the PPFS_SEED environment variable, when set
+// to a decimal integer, overrides every bench's default seed so perf runs
+// are reproducible and comparable across machines (see README.md).
+inline std::uint64_t bench_seed(std::uint64_t fallback) {
+  if (const char* s = std::getenv("PPFS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end != s && *end == '\0') return v;
+  }
+  return fallback;
+}
 
 struct SimMeasurement {
   bool converged = false;

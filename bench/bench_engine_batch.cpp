@@ -1,0 +1,113 @@
+// PERF — count-based batch engine (src/engine/batch/). Measures:
+//   * steady-state advance() throughput on the registry's hot protocols,
+//     in uniform-scheduler interactions covered per second (the same unit
+//     the native engine counts one table lookup at a time);
+//   * time to drive the exact-majority protocol from its initial
+//     configuration to silence (no count-changing pair left) — a run the
+//     native engine cannot finish at n = 10^6 in reasonable time;
+//   * the exact per-interaction hypergeometric step (small-n fallback);
+//   * both engines behind the EngineDispatch facade, which is what
+//     runner/stats/trace-driven callers actually pay.
+// Seeds honor the PPFS_SEED environment override (bench_common.hpp).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "engine/batch/batch_system.hpp"
+#include "engine/batch/dispatch.hpp"
+#include "protocols/logic.hpp"
+#include "protocols/majority.hpp"
+
+namespace ppfs {
+namespace {
+
+using bench::bench_seed;
+
+Configuration majority_config(std::size_t n, std::size_t margin = 1) {
+  auto p = make_exact_majority();
+  const auto st = exact_majority_states();
+  std::vector<std::size_t> counts(p->num_states(), 0);
+  counts[st.big_x] = n / 2 + margin;
+  counts[st.big_y] = n - counts[st.big_x];
+  return Configuration(p, counts);
+}
+
+Configuration or_config(std::size_t n) {
+  auto p = make_or_protocol();
+  return Configuration(p, {n - 1, 1});
+}
+
+void BM_BatchAdvanceMajority(benchmark::State& state) {
+  BatchSystem sys(majority_config(static_cast<std::size_t>(state.range(0))));
+  Rng rng(bench_seed(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.advance(1 << 20, rng).interactions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sys.steps()));
+}
+BENCHMARK(BM_BatchAdvanceMajority)->Arg(10'000)->Arg(1'000'000)->Arg(100'000'000);
+
+void BM_BatchAdvanceOrEpidemic(benchmark::State& state) {
+  BatchSystem sys(or_config(static_cast<std::size_t>(state.range(0))));
+  Rng rng(bench_seed(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.advance(1 << 20, rng).interactions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sys.steps()));
+}
+BENCHMARK(BM_BatchAdvanceOrEpidemic)->Arg(1'000'000);
+
+// Fresh run to silence each iteration: the "simulate a million-agent
+// population to convergence" workload the subsystem exists for.
+void BM_BatchConvergeMajority(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t salt = 0;
+  std::size_t covered = 0;
+  for (auto _ : state) {
+    // 51/49 split: a realistic margin that keeps the cancellation phase
+    // from degenerating into a margin-1 random walk.
+    BatchSystem sys(majority_config(n, std::max<std::size_t>(1, n / 100)));
+    Rng rng(bench_seed(3) + salt++);
+    while (!sys.silent()) (void)sys.advance(static_cast<std::size_t>(-1), rng);
+    covered += sys.steps();
+    benchmark::DoNotOptimize(sys.consensus_output());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(covered));
+}
+BENCHMARK(BM_BatchConvergeMajority)->Arg(10'000)->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchExactStep(benchmark::State& state) {
+  BatchSystem sys(majority_config(static_cast<std::size_t>(state.range(0))));
+  Rng rng(bench_seed(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.step(rng).interactions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BatchExactStep)->Arg(100)->Arg(1'000'000);
+
+void BM_DispatchAdvance(benchmark::State& state) {
+  const bool batch = state.range(0) != 0;
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const Configuration conf = majority_config(n);
+  auto engine = make_engine(batch ? "batch" : "native", conf.protocol_ptr(),
+                            conf.to_population().states());
+  UniformScheduler sched(n);
+  Rng rng(bench_seed(5));
+  std::size_t covered = 0;
+  for (auto _ : state) {
+    covered += engine->advance(1 << 14, sched, rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(covered));
+  state.SetLabel(engine->kind());
+}
+BENCHMARK(BM_DispatchAdvance)
+    ->Args({0, 1'000'000})
+    ->Args({1, 1'000'000});
+
+}  // namespace
+}  // namespace ppfs
+
+BENCHMARK_MAIN();

@@ -3,6 +3,7 @@
 // summary statistics. With no arguments it runs a representative demo.
 //
 //   usage: ppfs_cli [workload] [simulator] [model] [n] [rate] [budget] [seed]
+//          ppfs_cli --engine=native|batch [workload] [n] [seed]
 //
 //     workload   or | and | approx-majority | exact-majority | leader |
 //                threshold-true | threshold-false | mod | pairing
@@ -13,12 +14,20 @@
 //     budget     max omissions (SKnO's known bound); "uo" = unlimited
 //     seed       RNG seed
 //
+//   --engine selects a plain two-way run (no simulation layer, no
+//   omissions) through the EngineDispatch facade: "native" drives the
+//   per-agent loop, "batch" the count-based engine, which handles
+//   million-agent populations in milliseconds.
+//
 //   examples:
 //     ppfs_cli exact-majority skno I3 10 0.05 2 42
 //     ppfs_cli leader sid T3 12 0.3 uo 7
+//     ppfs_cli --engine=batch exact-majority 1000000 42
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "engine/batch/dispatch.hpp"
 #include "engine/runner.hpp"
 #include "engine/workload_runner.hpp"
 #include "protocols/registry.hpp"
@@ -36,7 +45,8 @@ namespace {
 int usage(const char* msg) {
   std::cerr << "ppfs_cli: " << msg
             << "\nusage: ppfs_cli [workload] [simulator] [model] [n] [rate] "
-               "[budget] [seed]\n";
+               "[budget] [seed]\n"
+               "       ppfs_cli --engine=native|batch [workload] [n] [seed]\n";
   return 2;
 }
 
@@ -67,6 +77,46 @@ std::unique_ptr<Simulator> make_simulator(const std::string& kind,
   throw std::invalid_argument("unknown simulator '" + kind + "'");
 }
 
+// Plain two-way run through the engine facade; the batch engine makes
+// n = 10^6 populations practical from the command line.
+int run_with_engine(const std::string& kind, const std::string& workload,
+                    std::size_t n, std::uint64_t seed) {
+  const Workload w = find_workload(workload, n);
+  auto engine = make_engine(kind, w.protocol, w.initial);
+  UniformScheduler sched(n);
+  Rng rng(seed);
+  RunOptions opt;
+  // The batch engine leaps over no-op runs, so give it an interaction
+  // budget (and probe cadence) sized for n^2-scale convergence times.
+  opt.max_steps = kind == "batch" ? 1'000'000'000'000'000ULL : 100'000'000;
+  opt.check_every = kind == "batch" ? (1u << 22) : 4096;
+  const RunResult res =
+      run_engine_until(*engine, sched, rng, workload_counts_probe(w), opt);
+  const RunStats& stats = engine->stats();
+  std::cout << kind << " engine on " << w.name << "\n"
+            << "  converged:           " << (res.converged ? "yes" : "NO") << "\n"
+            << "  interactions:        " << res.steps << "\n"
+            << "  rule fires:          " << stats.total_fires() << "\n"
+            << "  no-op interactions:  " << stats.noops() << "\n"
+            << "  convergence step:    ";
+  if (stats.convergence_step() == RunStats::kNoConvergence) std::cout << "never";
+  else std::cout << stats.convergence_step();
+  std::cout << "\n";
+  std::cout << "  final counts:       ";
+  const auto counts = engine->counts();
+  for (State q = 0; q < counts.size(); ++q) {
+    if (counts[q] > 0)
+      std::cout << ' ' << w.protocol->state_name(q) << '=' << counts[q];
+  }
+  std::cout << "\n  top rules:          ";
+  for (const auto& rule : stats.top_rules(3)) {
+    std::cout << " (" << w.protocol->state_name(rule.s) << ','
+              << w.protocol->state_name(rule.r) << ")x" << rule.count;
+  }
+  std::cout << "\n";
+  return res.converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +129,16 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
 
   try {
+    // --engine=native|batch switches to the plain engine-facade run form.
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && args[0].rfind("--engine=", 0) == 0) {
+      const std::string kind = args[0].substr(9);
+      if (args.size() > 1) workload = args[1];
+      n = args.size() > 2 ? std::stoul(args[2]) : 1'000'000;
+      if (args.size() > 3) seed = std::stoull(args[3]);
+      return run_with_engine(kind, workload, n, seed);
+    }
+
     if (argc > 1) workload = argv[1];
     if (argc > 2) simulator = argv[2];
     if (argc > 3) model_s = argv[3];

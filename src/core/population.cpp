@@ -34,6 +34,22 @@ std::vector<std::size_t> Population::counts() const {
   return c;
 }
 
+void Population::counts_into(std::vector<std::size_t>& out) const {
+  out.assign(protocol_->num_states(), 0);
+  for (State q : states_) ++out[q];
+}
+
+Population Population::from_counts(std::shared_ptr<const Protocol> protocol,
+                                   const std::vector<std::size_t>& counts) {
+  if (!protocol) throw std::invalid_argument("Population::from_counts: null protocol");
+  if (counts.size() != protocol->num_states())
+    throw std::invalid_argument("Population::from_counts: size mismatch");
+  std::vector<State> states;
+  for (State q = 0; q < counts.size(); ++q)
+    states.insert(states.end(), counts[q], q);
+  return Population(std::move(protocol), std::move(states));
+}
+
 std::size_t Population::count_of(State q) const {
   std::size_t c = 0;
   for (State s : states_)

@@ -27,7 +27,18 @@ class Population {
 
   // Multiset view: count of agents per state.
   [[nodiscard]] std::vector<std::size_t> counts() const;
+  // Allocation-free variant for hot probe loops: `out` is resized to
+  // num_states and overwritten.
+  void counts_into(std::vector<std::size_t>& out) const;
   [[nodiscard]] std::size_t count_of(State q) const;
+
+  // Count-view construction: the canonical population with the given
+  // per-state multiplicities, agents grouped by ascending state id. The
+  // inverse of counts() up to agent exchangeability; this is how the batch
+  // engine (engine/batch/) lowers its configurations back to populations.
+  [[nodiscard]] static Population from_counts(
+      std::shared_ptr<const Protocol> protocol,
+      const std::vector<std::size_t>& counts);
 
   // If every agent currently maps to the same non-negative output, returns
   // it; otherwise -1. This is the standard "stable output" probe.

@@ -1,0 +1,151 @@
+#include "engine/batch/batch_system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppfs {
+
+namespace {
+
+// Failures before the first success of a Bernoulli(W/T) sequence, capped
+// at `cap`. Exact integer trials when a success is cheap to wait for;
+// floating-point inversion when p < 1/64 (error ~1e-16, amortized over
+// >= 64 skipped interactions).
+std::size_t sample_noop_run(std::uint64_t w, std::uint64_t t, Rng& rng,
+                            std::size_t cap) {
+  if (w >= t) return 0;
+  if (w >= t / 64) {
+    std::size_t k = 0;
+    while (k < cap && rng.below(t) >= w) ++k;
+    return k;
+  }
+  const double p = static_cast<double>(w) / static_cast<double>(t);
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;  // uniform() is in [0, 1); keep log finite
+  const double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g >= static_cast<double>(cap)) return cap;
+  return static_cast<std::size_t>(g);
+}
+
+}  // namespace
+
+BatchSystem::BatchSystem(std::shared_ptr<const Protocol> protocol,
+                         std::vector<State> initial)
+    : BatchSystem(
+          Configuration::from_population(Population(std::move(protocol),
+                                                    std::move(initial)))) {}
+
+BatchSystem::BatchSystem(Configuration initial)
+    : conf_(std::move(initial)),
+      proto_(&conf_.protocol()),
+      q_(conf_.num_states()),
+      stats_(q_) {
+  if (conf_.size() < 2)
+    throw std::invalid_argument("BatchSystem: need at least two agents");
+}
+
+std::uint64_t BatchSystem::pair_weight(State s, State r) const noexcept {
+  const auto& c = conf_.counts();
+  const std::uint64_t cs = c[s];
+  const std::uint64_t cr = c[r] - static_cast<std::uint64_t>(s == r);
+  return cs == 0 ? 0 : cs * cr;
+}
+
+std::uint64_t BatchSystem::changing_weight() const noexcept {
+  std::uint64_t w = 0;
+  for (State s = 0; s < q_; ++s) {
+    if (conf_.counts()[s] == 0) continue;
+    for (State r = 0; r < q_; ++r) {
+      if (!proto_->is_noop(s, r)) w += pair_weight(s, r);
+    }
+  }
+  return w;
+}
+
+bool BatchSystem::silent() const { return changing_weight() == 0; }
+
+void BatchSystem::apply_fire(State s, State r, BatchDelta& d) {
+  d.fired = true;
+  d.s = s;
+  d.r = r;
+  d.out = proto_->delta(s, r);
+  conf_.apply_pair(s, r);
+  stats_.record_fire(s, r);
+}
+
+BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
+  BatchDelta d;
+  if (budget == 0) return d;
+  const std::uint64_t n = conf_.size();
+  const std::uint64_t t = n * (n - 1);
+  const std::uint64_t w = changing_weight();
+
+  if (w == 0) {
+    // Silent configuration: every scheduled interaction is a no-op.
+    d.interactions = d.noops = budget;
+    steps_ += budget;
+    stats_.record_noops(budget);
+    return d;
+  }
+
+  const std::size_t skipped = sample_noop_run(w, t, rng, budget);
+  d.noops = skipped;
+  d.interactions = skipped;
+  if (skipped < budget) {
+    const auto [s, r] = pick_changing_pair(w, rng);
+    apply_fire(s, r, d);
+    ++d.interactions;
+  }
+  steps_ += d.interactions;
+  stats_.record_noops(d.noops);
+  return d;
+}
+
+std::pair<State, State> BatchSystem::pick_changing_pair(std::uint64_t w,
+                                                        Rng& rng) const {
+  // Draw the firing pair proportionally to its weight (exact integers).
+  std::uint64_t pick = rng.below(w);
+  for (State s = 0; s < q_; ++s) {
+    for (State r = 0; r < q_; ++r) {
+      if (proto_->is_noop(s, r)) continue;
+      const std::uint64_t pw = pair_weight(s, r);
+      if (pick < pw) return {s, r};
+      pick -= pw;
+    }
+  }
+  throw std::logic_error("BatchSystem: weight scan exhausted");
+}
+
+BatchDelta BatchSystem::step(Rng& rng) {
+  BatchDelta d;
+  d.interactions = 1;
+  const std::size_t n = conf_.size();
+  const auto& c = conf_.counts();
+
+  // Starter: uniform over the n agents == categorical over counts.
+  std::uint64_t pick = rng.below(n);
+  State s = 0;
+  for (; s < q_; ++s) {
+    if (pick < c[s]) break;
+    pick -= c[s];
+  }
+  // Reactor: uniform over the remaining n-1 agents (starter removed).
+  pick = rng.below(n - 1);
+  State r = 0;
+  for (; r < q_; ++r) {
+    const std::uint64_t cr = c[r] - static_cast<std::uint64_t>(r == s);
+    if (pick < cr) break;
+    pick -= cr;
+  }
+
+  if (proto_->is_noop(s, r)) {
+    d.noops = 1;
+    stats_.record_noops(1);
+  } else {
+    apply_fire(s, r, d);
+  }
+  ++steps_;
+  return d;
+}
+
+}  // namespace ppfs

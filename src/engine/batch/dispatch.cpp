@@ -1,0 +1,155 @@
+#include "engine/batch/dispatch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppfs {
+
+namespace {
+
+class NativeEngine final : public Engine {
+ public:
+  NativeEngine(std::shared_ptr<const Protocol> protocol,
+               std::vector<State> initial)
+      : sys_(std::move(protocol), std::move(initial)),
+        stats_(sys_.population().protocol().num_states()) {}
+
+  [[nodiscard]] std::string kind() const override { return "native"; }
+  [[nodiscard]] const Protocol& protocol() const override {
+    return sys_.population().protocol();
+  }
+  [[nodiscard]] std::size_t size() const override { return sys_.size(); }
+  [[nodiscard]] std::size_t interactions() const override { return sys_.steps(); }
+
+  void counts_into(std::vector<std::size_t>& out) const override {
+    sys_.population().counts_into(out);
+  }
+
+  std::size_t advance(std::size_t budget, Scheduler& sched, Rng& rng) override {
+    const Population& pop = sys_.population();
+    for (std::size_t i = 0; i < budget; ++i) {
+      const Interaction ia = sched.next(rng, sys_.steps());
+      const State s = pop.state(ia.starter);
+      const State r = pop.state(ia.reactor);
+      // interact() may throw (e.g. an omissive interaction from an
+      // adversary scheduler); record only interactions that executed.
+      sys_.interact(ia);
+      if (pop.protocol().is_noop(s, r)) stats_.record_noops(1);
+      else stats_.record_fire(s, r);
+      if (trace_ != nullptr) trace_->append(ia);
+    }
+    return budget;
+  }
+
+  [[nodiscard]] RunStats& stats() noexcept override { return stats_; }
+
+  bool record_trace(Trace* sink) override {
+    trace_ = sink;
+    return true;
+  }
+
+ private:
+  NativeSystem sys_;
+  RunStats stats_;
+  Trace* trace_ = nullptr;
+};
+
+class BatchEngine final : public Engine {
+ public:
+  BatchEngine(std::shared_ptr<const Protocol> protocol,
+              std::vector<State> initial)
+      : sys_(std::move(protocol), std::move(initial)) {}
+
+  [[nodiscard]] std::string kind() const override { return "batch"; }
+  [[nodiscard]] const Protocol& protocol() const override {
+    return sys_.protocol();
+  }
+  [[nodiscard]] std::size_t size() const override { return sys_.size(); }
+  [[nodiscard]] std::size_t interactions() const override { return sys_.steps(); }
+
+  void counts_into(std::vector<std::size_t>& out) const override {
+    out = sys_.counts();
+  }
+
+  std::size_t advance(std::size_t budget, Scheduler& sched, Rng& rng) override {
+    if (!sched.uniform_batch_compatible())
+      throw std::invalid_argument(
+          "batch engine: scheduler is not the uniform distribution "
+          "(scripted/adversarial runs need the native engine)");
+    std::size_t covered = 0;
+    while (covered < budget) covered += sys_.advance(budget - covered, rng).interactions;
+    return covered;
+  }
+
+  [[nodiscard]] RunStats& stats() noexcept override { return sys_.stats(); }
+
+ private:
+  BatchSystem sys_;
+};
+
+}  // namespace
+
+bool Engine::record_trace(Trace* /*sink*/) { return false; }
+
+std::vector<std::size_t> Engine::counts() const {
+  std::vector<std::size_t> out;
+  counts_into(out);
+  return out;
+}
+
+int Engine::consensus_output() const {
+  std::vector<std::size_t> c;
+  counts_into(c);
+  return counts_consensus_output(c, protocol());
+}
+
+std::unique_ptr<Engine> make_engine(const std::string& kind,
+                                    std::shared_ptr<const Protocol> protocol,
+                                    std::vector<State> initial) {
+  if (kind == "native")
+    return std::make_unique<NativeEngine>(std::move(protocol), std::move(initial));
+  if (kind == "batch")
+    return std::make_unique<BatchEngine>(std::move(protocol), std::move(initial));
+  throw std::invalid_argument("make_engine: unknown engine kind '" + kind + "'");
+}
+
+const std::vector<std::string>& engine_kinds() {
+  static const std::vector<std::string> kinds = {"native", "batch"};
+  return kinds;
+}
+
+RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
+                           const CountsProbe& probe, const RunOptions& opt) {
+  RunResult res;
+  std::vector<std::size_t> counts;
+  std::size_t consecutive = 0;
+  while (res.steps < opt.max_steps) {
+    const std::size_t slice =
+        std::min(opt.check_every, opt.max_steps - res.steps);
+    res.steps += engine.advance(slice, sched, rng);
+    engine.counts_into(counts);
+    const bool holds = probe(counts, engine.protocol());
+    engine.stats().record_probe(engine.interactions(), holds);
+    if (holds) {
+      if (++consecutive >= opt.stable_checks) {
+        res.converged = true;
+        return res;
+      }
+    } else {
+      consecutive = 0;
+    }
+  }
+  engine.counts_into(counts);
+  res.converged = probe(counts, engine.protocol());
+  return res;
+}
+
+RunResult run_engine_steps(Engine& engine, Scheduler& sched, Rng& rng,
+                           std::size_t steps) {
+  RunResult res;
+  while (res.steps < steps)
+    res.steps += engine.advance(steps - res.steps, sched, rng);
+  return res;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,84 @@
+// EngineDispatch: one interface over the per-agent native engine and the
+// count-based batch engine, so the run loop, workload runner, stats, and
+// traces can drive either without caring which representation is
+// underneath. Benches and examples select an engine by name ("native" /
+// "batch"); make_engine is the single construction point.
+//
+// The scheduler contract differs between the two:
+//   * a native engine consumes interactions from the Scheduler it is
+//     given, so adversaries and scripted runs work as before;
+//   * a batch engine realizes the uniform scheduler's distribution
+//     internally (count-level sampling) and therefore only accepts
+//     schedulers that declare uniform_batch_compatible() — the Scheduler
+//     argument is a specification to validate, not a source of pairs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "engine/batch/batch_system.hpp"
+#include "engine/native.hpp"
+#include "engine/runner.hpp"
+#include "engine/stats.hpp"
+#include "engine/trace.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ppfs {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  [[nodiscard]] virtual std::string kind() const = 0;
+  [[nodiscard]] virtual const Protocol& protocol() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  // Uniform-scheduler interactions covered so far (a batch engine counts
+  // the no-ops it leapt over — they are scheduled interactions too).
+  [[nodiscard]] virtual std::size_t interactions() const = 0;
+  virtual void counts_into(std::vector<std::size_t>& out) const = 0;
+
+  // Advance by at most `budget` interactions; returns how many were
+  // covered (>= 1 for budget >= 1). A batch engine may cover the whole
+  // budget in O(q^2) work; a native engine drives them one at a time.
+  virtual std::size_t advance(std::size_t budget, Scheduler& sched,
+                              Rng& rng) = 0;
+
+  [[nodiscard]] virtual RunStats& stats() noexcept = 0;
+
+  // Agent-level trace recording. Engines without agent identities cannot
+  // attribute interactions and return false, leaving the sink unset.
+  virtual bool record_trace(Trace* sink);
+
+  [[nodiscard]] std::vector<std::size_t> counts() const;
+  [[nodiscard]] int consensus_output() const;  // from counts + outputs
+};
+
+// kind: "native" | "batch" (see engine_kinds()).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(
+    const std::string& kind, std::shared_ptr<const Protocol> protocol,
+    std::vector<State> initial);
+
+[[nodiscard]] const std::vector<std::string>& engine_kinds();
+
+// Probe over (counts, protocol) as produced by workload_counts_probe.
+using CountsProbe =
+    std::function<bool(const std::vector<std::size_t>&, const Protocol&)>;
+
+// Engine-agnostic counterpart of run_until (engine/runner.hpp): advance in
+// check_every-sized slices, evaluate the probe after each slice, stop once
+// it holds stable_checks times in a row. Also feeds the engine's RunStats
+// convergence tracking.
+RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
+                           const CountsProbe& probe, const RunOptions& opt = {});
+
+// Drive exactly `steps` interactions, no probe (advance never overshoots
+// its budget; a batch is truncated at the boundary, which the geometric
+// skip's memorylessness makes distribution-preserving).
+RunResult run_engine_steps(Engine& engine, Scheduler& sched, Rng& rng,
+                           std::size_t steps);
+
+}  // namespace ppfs

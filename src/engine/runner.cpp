@@ -1,5 +1,7 @@
 #include "engine/workload_runner.hpp"
 
+#include "engine/batch/dispatch.hpp"
+
 namespace ppfs {
 
 std::function<bool(const std::vector<std::size_t>&, const Protocol&)>
@@ -29,6 +31,18 @@ RunResult run_native_workload(const Workload& w, std::uint64_t seed,
     return counts_probe(s.population().counts(), s.population().protocol());
   };
   return run_until(sys, sched, rng, probe, opt);
+}
+
+RunResult run_workload_with_engine(const std::string& engine_kind,
+                                   const Workload& w, std::uint64_t seed,
+                                   const RunOptions& opt, RunStats* stats_out) {
+  auto engine = make_engine(engine_kind, w.protocol, w.initial);
+  UniformScheduler sched(w.initial.size());
+  Rng rng(seed);
+  const RunResult res =
+      run_engine_until(*engine, sched, rng, workload_counts_probe(w), opt);
+  if (stats_out != nullptr) *stats_out = engine->stats();
+  return res;
 }
 
 }  // namespace ppfs

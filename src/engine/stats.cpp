@@ -1,3 +1,66 @@
-// stats.hpp is header-only; translation unit reserved for the library
-// target (keeps every header owned by exactly one .cpp for build hygiene).
 #include "engine/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppfs {
+
+RunStats::RunStats(std::size_t num_states) { reset(num_states); }
+
+void RunStats::reset(std::size_t num_states) {
+  q_ = num_states;
+  fires_.assign(q_ * q_, 0);
+  total_fires_ = 0;
+  noops_ = 0;
+  first_holding_ = kNoConvergence;
+  holding_ = false;
+}
+
+void RunStats::record_fire(State s, State r, std::uint64_t times) {
+  if (s >= q_ || r >= q_)
+    throw std::invalid_argument("RunStats::record_fire: state out of range");
+  fires_[static_cast<std::size_t>(s) * q_ + r] += times;
+  total_fires_ += times;
+}
+
+void RunStats::record_probe(std::size_t step, bool holds) noexcept {
+  if (!holds) {
+    holding_ = false;
+    first_holding_ = kNoConvergence;
+    return;
+  }
+  if (!holding_) {
+    holding_ = true;
+    first_holding_ = step;
+  }
+}
+
+std::uint64_t RunStats::fires(State s, State r) const {
+  if (s >= q_ || r >= q_)
+    throw std::invalid_argument("RunStats::fires: state out of range");
+  return fires_[static_cast<std::size_t>(s) * q_ + r];
+}
+
+std::size_t RunStats::convergence_step() const noexcept {
+  return holding_ ? first_holding_ : kNoConvergence;
+}
+
+std::vector<RunStats::RuleCount> RunStats::top_rules(std::size_t k) const {
+  std::vector<RuleCount> all;
+  all.reserve(fires_.size());
+  for (State s = 0; s < q_; ++s) {
+    for (State r = 0; r < q_; ++r) {
+      const std::uint64_t c = fires_[static_cast<std::size_t>(s) * q_ + r];
+      if (c > 0) all.push_back({s, r, c});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const RuleCount& a, const RuleCount& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.s != b.s) return a.s < b.s;
+    return a.r < b.r;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace ppfs

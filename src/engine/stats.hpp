@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/types.hpp"
+
 namespace ppfs {
 
 // Streaming summary (count / mean / max) without storing samples.
@@ -32,6 +34,59 @@ struct RunResult {
   std::size_t steps = 0;        // physical interactions driven
   bool converged = false;       // probe held for the stability window
   std::size_t omissions = 0;    // omissive interactions delivered
+};
+
+// Per-run accounting fed by the engines: how often each ordered rule
+// (s, r) fired, how many scheduled interactions were no-ops, and when the
+// run's convergence probe started holding for good. The native engine
+// records one event per interaction; the batch engine feeds whole
+// BatchDeltas (engine/batch/configuration.hpp), so a single call may cover
+// millions of scheduler steps.
+class RunStats {
+ public:
+  RunStats() = default;
+  explicit RunStats(std::size_t num_states);
+
+  void reset(std::size_t num_states);
+
+  // A count-changing rule delta(s, r) fired `times` times.
+  void record_fire(State s, State r, std::uint64_t times = 1);
+  // `times` scheduled interactions left the configuration unchanged.
+  void record_noops(std::uint64_t times) noexcept { noops_ += times; }
+
+  // Convergence-step tracking: report each probe evaluation with the
+  // current interaction count. convergence_step() is the earliest step at
+  // which the probe held and never reported false again.
+  void record_probe(std::size_t step, bool holds) noexcept;
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return q_; }
+  [[nodiscard]] std::uint64_t fires(State s, State r) const;
+  [[nodiscard]] std::uint64_t total_fires() const noexcept { return total_fires_; }
+  [[nodiscard]] std::uint64_t noops() const noexcept { return noops_; }
+  [[nodiscard]] std::uint64_t interactions() const noexcept {
+    return total_fires_ + noops_;
+  }
+
+  // kNoConvergence if the probe never held (or broke and never re-held).
+  static constexpr std::size_t kNoConvergence = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t convergence_step() const noexcept;
+
+  // The `k` most-fired rules, descending; ties broken by (s, r) order.
+  struct RuleCount {
+    State s;
+    State r;
+    std::uint64_t count;
+    friend bool operator==(const RuleCount&, const RuleCount&) = default;
+  };
+  [[nodiscard]] std::vector<RuleCount> top_rules(std::size_t k) const;
+
+ private:
+  std::size_t q_ = 0;
+  std::vector<std::uint64_t> fires_;  // q_ * q_ dense, row = starter state
+  std::uint64_t total_fires_ = 0;
+  std::uint64_t noops_ = 0;
+  std::size_t first_holding_ = kNoConvergence;
+  bool holding_ = false;
 };
 
 }  // namespace ppfs

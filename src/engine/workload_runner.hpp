@@ -23,4 +23,14 @@ workload_counts_probe(const Workload& w);
 [[nodiscard]] RunResult run_native_workload(const Workload& w, std::uint64_t seed,
                                             const RunOptions& opt = {});
 
+// Same run, but through the EngineDispatch facade (engine/batch/dispatch.hpp)
+// with the engine chosen by name: "native" replays the per-agent loop,
+// "batch" advances the count chain under the uniform scheduler. If
+// `stats_out` is non-null the engine's RunStats are copied there.
+[[nodiscard]] RunResult run_workload_with_engine(const std::string& engine_kind,
+                                                 const Workload& w,
+                                                 std::uint64_t seed,
+                                                 const RunOptions& opt = {},
+                                                 RunStats* stats_out = nullptr);
+
 }  // namespace ppfs

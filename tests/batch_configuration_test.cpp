@@ -1,0 +1,91 @@
+#include "engine/batch/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/population.hpp"
+#include "protocols/logic.hpp"
+#include "protocols/majority.hpp"
+
+namespace ppfs {
+namespace {
+
+TEST(Configuration, RoundTripsThroughPopulation) {
+  auto p = make_exact_majority();
+  const auto st = exact_majority_states();
+  Population pop(p, make_initial({{st.big_x, 3}, {st.big_y, 2}}));
+  const Configuration conf = Configuration::from_population(pop);
+  EXPECT_EQ(conf.size(), 5u);
+  EXPECT_EQ(conf.count(st.big_x), 3u);
+  EXPECT_EQ(conf.count(st.big_y), 2u);
+  EXPECT_EQ(conf.to_population().counts(), pop.counts());
+}
+
+TEST(Configuration, ValidatesShape) {
+  auto p = make_or_protocol();  // 2 states
+  EXPECT_THROW(Configuration(p, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(Configuration(p, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(Configuration(nullptr, {1, 1}), std::invalid_argument);
+}
+
+TEST(Configuration, ApplyPairFiresDeltaAtCountLevel) {
+  auto p = make_exact_majority();
+  const auto st = exact_majority_states();
+  Configuration conf(p, [&] {
+    std::vector<std::size_t> c(p->num_states(), 0);
+    c[st.big_x] = 2;
+    c[st.big_y] = 2;
+    return c;
+  }());
+  conf.apply_pair(st.big_x, st.big_y);  // cancel to weak
+  EXPECT_EQ(conf.count(st.big_x), 1u);
+  EXPECT_EQ(conf.count(st.big_y), 1u);
+  EXPECT_EQ(conf.count(st.x) + conf.count(st.y), 2u);
+  EXPECT_EQ(conf.size(), 4u);  // population size is conserved
+}
+
+TEST(Configuration, ApplyPairRequiresOccupiedPreStates) {
+  auto p = make_or_protocol();
+  Configuration conf(p, {2, 0});
+  EXPECT_THROW(conf.apply_pair(0, 1), std::invalid_argument);
+}
+
+TEST(Configuration, SelfPairNeedsTwoAgents) {
+  auto p = make_or_protocol();
+  Configuration conf(p, {1, 1});
+  EXPECT_THROW(conf.apply_pair(1, 1), std::invalid_argument);
+}
+
+TEST(Configuration, MoveAndConsensus) {
+  auto p = make_or_protocol();  // outputs are the states themselves
+  Configuration conf(p, {3, 1});
+  EXPECT_EQ(conf.consensus_output(), -1);
+  conf.move(0, 1, 3);
+  EXPECT_EQ(conf.count(0), 0u);
+  EXPECT_EQ(conf.count(1), 4u);
+  EXPECT_EQ(conf.consensus_output(), 1);
+  EXPECT_THROW(conf.move(0, 1, 1), std::invalid_argument);
+}
+
+TEST(Population, FromCountsIsCanonicalInverseOfCounts) {
+  auto p = make_approximate_majority();
+  const Population pop =
+      Population::from_counts(p, {2, 1, 3});
+  EXPECT_EQ(pop.size(), 6u);
+  EXPECT_EQ(pop.counts(), (std::vector<std::size_t>{2, 1, 3}));
+  // Canonical: grouped by ascending state id.
+  EXPECT_EQ(pop.state(0), 0u);
+  EXPECT_EQ(pop.state(2), 1u);
+  EXPECT_EQ(pop.state(5), 2u);
+  EXPECT_THROW(Population::from_counts(p, {1, 2}), std::invalid_argument);
+}
+
+TEST(Population, CountsIntoReusesBuffer) {
+  auto p = make_or_protocol();
+  Population pop(p, {0, 1, 1});
+  std::vector<std::size_t> buf(17, 99);
+  pop.counts_into(buf);
+  EXPECT_EQ(buf, (std::vector<std::size_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace ppfs

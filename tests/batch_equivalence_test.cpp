@@ -1,0 +1,272 @@
+// Batch/native statistical equivalence. The count chain the batch engine
+// advances is the exact projection of the agent-level uniform-scheduler
+// chain, so:
+//   * for n <= 8 the set of reachable count configurations must agree
+//     exactly with an agent-level BFS (including self-pair gating: a rule
+//     (q, q) needs two agents in q);
+//   * over many independent runs, the distribution of the configuration
+//     after T interactions must match — checked with a two-sample
+//     chi-square homogeneity test over >= 100 trials per engine, for every
+//     registry protocol with <= 8 states and for random TableProtocols.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "engine/batch/batch_system.hpp"
+#include "engine/batch/dispatch.hpp"
+#include "engine/workload_runner.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/registry.hpp"
+#include "test_protocol_gen.hpp"
+
+namespace ppfs {
+namespace {
+
+using ppfs::testing::random_initial;
+using ppfs::testing::random_protocol;
+
+using Counts = std::vector<std::size_t>;
+
+// --- Exact reachable-set agreement (n <= 8) ---------------------------------
+
+// Agent-level BFS over explicit state tuples, projected to count vectors.
+std::set<Counts> native_reachable(const Protocol& p, const std::vector<State>& init,
+                                  std::size_t max_configs) {
+  std::set<std::vector<State>> seen;
+  std::vector<std::vector<State>> frontier{init};
+  seen.insert(init);
+  while (!frontier.empty() && seen.size() < max_configs) {
+    std::vector<std::vector<State>> next;
+    for (const auto& cfg : frontier) {
+      for (std::size_t a = 0; a < cfg.size(); ++a) {
+        for (std::size_t b = 0; b < cfg.size(); ++b) {
+          if (a == b) continue;
+          const StatePair out = p.delta(cfg[a], cfg[b]);
+          std::vector<State> succ = cfg;
+          succ[a] = out.starter;
+          succ[b] = out.reactor;
+          if (seen.insert(succ).second) next.push_back(std::move(succ));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::set<Counts> projected;
+  for (const auto& cfg : seen) {
+    Counts c(p.num_states(), 0);
+    for (State q : cfg) ++c[q];
+    projected.insert(std::move(c));
+  }
+  return projected;
+}
+
+// Count-level BFS through Configuration::apply_pair, exactly the moves the
+// batch engine can make.
+std::set<Counts> batch_reachable(std::shared_ptr<const Protocol> p,
+                                 const Counts& init, std::size_t max_configs) {
+  std::set<Counts> seen{init};
+  std::vector<Counts> frontier{init};
+  const std::size_t q = p->num_states();
+  while (!frontier.empty() && seen.size() < max_configs) {
+    std::vector<Counts> next;
+    for (const auto& c : frontier) {
+      for (State s = 0; s < q; ++s) {
+        for (State r = 0; r < q; ++r) {
+          const std::size_t need_s = 1 + static_cast<std::size_t>(s == r);
+          if (c[s] < need_s || c[r] < 1) continue;
+          Configuration conf(p, c);
+          conf.apply_pair(s, r);
+          if (seen.insert(conf.counts()).second) next.push_back(conf.counts());
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return seen;
+}
+
+TEST(BatchEquivalence, ReachableConfigurationSetsAgreeSmallN) {
+  Rng meta(101);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t states = 2 + meta.below(3);  // q <= 4
+    const std::size_t n = 4 + meta.below(3);       // n <= 6
+    auto p = random_protocol(states, meta);
+    const auto init = random_initial(n, states, meta);
+    Counts init_counts(states, 0);
+    for (State q : init) ++init_counts[q];
+
+    const auto native = native_reachable(*p, init, 200'000);
+    const auto batch = batch_reachable(p, init_counts, 200'000);
+    EXPECT_EQ(native, batch) << "round " << round << " states=" << states
+                             << " n=" << n;
+  }
+}
+
+TEST(BatchEquivalence, ReachableSetsAgreeOnRegistryProtocols) {
+  for (const Workload& w : standard_workloads(6)) {
+    if (w.protocol->num_states() > 8) continue;
+    Counts init_counts(w.protocol->num_states(), 0);
+    for (State q : w.initial) ++init_counts[q];
+    const auto native = native_reachable(*w.protocol, w.initial, 200'000);
+    const auto batch = batch_reachable(w.protocol, init_counts, 200'000);
+    EXPECT_EQ(native, batch) << w.name;
+  }
+}
+
+// --- Chi-square distributional equivalence ----------------------------------
+
+// Two-sample chi-square homogeneity over outcome categories, pooling rare
+// categories (expected count < 5) into one bucket. Returns (stat, df).
+std::pair<double, std::size_t> chi_square_homogeneity(
+    const std::map<Counts, std::size_t>& a, const std::map<Counts, std::size_t>& b,
+    std::size_t na, std::size_t nb) {
+  // Collect category totals, pool the rare tail.
+  std::map<Counts, std::size_t> totals;
+  for (const auto& [k, v] : a) totals[k] += v;
+  for (const auto& [k, v] : b) totals[k] += v;
+  const double n = static_cast<double>(na + nb);
+  std::vector<std::array<double, 2>> cells;  // [native, batch] per category
+  std::array<double, 2> pooled{0.0, 0.0};
+  double pooled_total = 0.0;
+  for (const auto& [k, total] : totals) {
+    const double oa = a.count(k) ? static_cast<double>(a.at(k)) : 0.0;
+    const double ob = b.count(k) ? static_cast<double>(b.at(k)) : 0.0;
+    // Expected count in the smaller sample if the distributions agree.
+    const double min_expected =
+        static_cast<double>(total) * std::min(na, nb) / n;
+    if (min_expected < 5.0) {
+      pooled[0] += oa;
+      pooled[1] += ob;
+      pooled_total += static_cast<double>(total);
+    } else {
+      cells.push_back({oa, ob});
+    }
+  }
+  if (pooled_total > 0.0) cells.push_back(pooled);
+  if (cells.size() < 2) return {0.0, 0};  // distributions essentially constant
+
+  double stat = 0.0;
+  const double frac_a = static_cast<double>(na) / n;
+  const double frac_b = static_cast<double>(nb) / n;
+  for (const auto& cell : cells) {
+    const double total = cell[0] + cell[1];
+    const double ea = total * frac_a;
+    const double eb = total * frac_b;
+    if (ea > 0.0) stat += (cell[0] - ea) * (cell[0] - ea) / ea;
+    if (eb > 0.0) stat += (cell[1] - eb) * (cell[1] - eb) / eb;
+  }
+  return {stat, cells.size() - 1};
+}
+
+// Generous acceptance threshold: mean + 5 sigma of a chi-square with `df`
+// degrees of freedom, plus slack for tiny df. With the fixed seeds below
+// the test is deterministic; the margin is against honest sampling noise,
+// not against real distribution mismatches, which blow far past it.
+double chi_square_limit(std::size_t df) {
+  const double d = static_cast<double>(df);
+  return d + 5.0 * std::sqrt(2.0 * d) + 8.0;
+}
+
+enum class Driver { NativeEngine, BatchEngine, BatchStep };
+
+std::map<Counts, std::size_t> final_config_distribution(
+    std::shared_ptr<const Protocol> p, const std::vector<State>& init,
+    Driver driver, std::size_t interactions, std::size_t trials,
+    std::uint64_t seed) {
+  std::map<Counts, std::size_t> dist;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(seed + trial * 7919);
+    if (driver == Driver::BatchStep) {
+      BatchSystem sys(p, init);
+      for (std::size_t i = 0; i < interactions; ++i) (void)sys.step(rng);
+      ++dist[sys.counts()];
+    } else {
+      auto e = make_engine(
+          driver == Driver::NativeEngine ? "native" : "batch", p, init);
+      UniformScheduler sched(init.size());
+      (void)run_engine_steps(*e, sched, rng, interactions);
+      ++dist[e->counts()];
+    }
+  }
+  return dist;
+}
+
+void expect_distributions_match(std::shared_ptr<const Protocol> p,
+                                const std::vector<State>& init, Driver other,
+                                std::size_t interactions, std::size_t trials,
+                                std::uint64_t seed, const std::string& label) {
+  const auto native = final_config_distribution(p, init, Driver::NativeEngine,
+                                                interactions, trials, seed);
+  const auto batch =
+      final_config_distribution(p, init, other, interactions, trials, seed + 1);
+  const auto [stat, df] = chi_square_homogeneity(native, batch, trials, trials);
+  EXPECT_LE(stat, chi_square_limit(df))
+      << label << ": chi2=" << stat << " df=" << df;
+}
+
+TEST(BatchEquivalence, ChiSquareOnAllRegistryProtocols) {
+  const std::size_t n = 8;
+  for (const Workload& w : standard_workloads(n)) {
+    if (w.protocol->num_states() > 8) continue;
+    expect_distributions_match(w.protocol, w.initial, Driver::BatchEngine,
+                               3 * n, 120, 2024, w.name);
+  }
+}
+
+TEST(BatchEquivalence, ChiSquareOnRandomProtocols) {
+  Rng meta(777);
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t states = 2 + meta.below(4);
+    const std::size_t n = 5 + meta.below(4);
+    auto p = random_protocol(states, meta);
+    const auto init = random_initial(n, states, meta);
+    expect_distributions_match(p, init, Driver::BatchEngine, 2 * n, 120,
+                               900 + round, "random round " + std::to_string(round));
+  }
+}
+
+TEST(BatchEquivalence, ChiSquareExactStepPathMatchesNative) {
+  // The per-interaction hypergeometric step (small-n fallback) must match
+  // the native chain too, not just the geometric batch path.
+  Rng meta(424);
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t states = 2 + meta.below(3);
+    const std::size_t n = 6;
+    auto p = random_protocol(states, meta);
+    const auto init = random_initial(n, states, meta);
+    expect_distributions_match(p, init, Driver::BatchStep, 2 * n, 150,
+                               1300 + round, "step round " + std::to_string(round));
+  }
+}
+
+TEST(BatchEquivalence, ConvergedOutputDistributionMatchesOnApproxMajority) {
+  // Run to convergence (one opinion extinct) under both engines and compare
+  // which opinion wins — a coarse but end-to-end distributional check.
+  const std::size_t n = 8;
+  const Workload w = standard_workloads(n)[2];  // approx-majority
+  auto probe = workload_counts_probe(w);
+  std::array<std::map<Counts, std::size_t>, 2> wins;
+  RunOptions opt;
+  opt.max_steps = 200'000;
+  for (int which = 0; which < 2; ++which) {
+    for (std::size_t trial = 0; trial < 150; ++trial) {
+      auto e = make_engine(which == 0 ? "native" : "batch", w.protocol, w.initial);
+      UniformScheduler sched(n);
+      Rng rng(5000 + trial * 13 + which);
+      const RunResult res = run_engine_until(*e, sched, rng, probe, opt);
+      ASSERT_TRUE(res.converged);
+      Counts c = e->counts();
+      // Category: which opinion survived (counts thresholded to win bits).
+      const auto st = approx_majority_states();
+      ++wins[which][Counts{c[st.x] > 0, c[st.y] > 0}];
+    }
+  }
+  const auto [stat, df] = chi_square_homogeneity(wins[0], wins[1], 150, 150);
+  EXPECT_LE(stat, chi_square_limit(df)) << "chi2=" << stat << " df=" << df;
+}
+
+}  // namespace
+}  // namespace ppfs

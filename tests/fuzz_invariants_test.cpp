@@ -103,7 +103,9 @@ TEST_P(Fuzz, NamingInvariantsUnderOmissions) {
       global_max = std::max(global_max, sim.my_id(a));
       held[sim.my_id(a)] = true;
       // Activated agents must believe max_id = n.
-      if (sim.activated(a)) ASSERT_EQ(sim.max_id(a), n);
+      if (sim.activated(a)) {
+        ASSERT_EQ(sim.max_id(a), n);
+      }
     }
     for (std::uint32_t v = 1; v <= global_max; ++v)
       ASSERT_TRUE(held[v]) << "value " << v << " vanished";

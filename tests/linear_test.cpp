@@ -10,7 +10,7 @@ namespace {
 TEST(LinearThreshold, Validates) {
   EXPECT_THROW(make_linear_threshold({{1}, 0}), std::invalid_argument);
   EXPECT_THROW(make_linear_threshold({{}, 2}), std::invalid_argument);
-  EXPECT_THROW(linear_threshold_input({{1, 2}, 3}, 5), std::out_of_range);
+  EXPECT_THROW((void)linear_threshold_input({{1, 2}, 3}, 5), std::out_of_range);
 }
 
 TEST(LinearThreshold, InputsTruncateAtK) {

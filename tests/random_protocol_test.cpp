@@ -10,43 +10,15 @@
 #include "sim/naming.hpp"
 #include "sim/sid.hpp"
 #include "sim/skno.hpp"
+#include "test_protocol_gen.hpp"
 #include "util/rng.hpp"
 #include "verify/matching.hpp"
 
 namespace ppfs {
 namespace {
 
-std::shared_ptr<const TableProtocol> random_protocol(std::size_t states,
-                                                     Rng& rng) {
-  std::vector<std::string> names;
-  std::vector<int> outputs;
-  std::vector<State> initial;
-  for (State q = 0; q < states; ++q) {
-    names.push_back("q" + std::to_string(q));
-    outputs.push_back(static_cast<int>(q % 2));
-    initial.push_back(q);
-  }
-  std::vector<StatePair> table(states * states);
-  for (State s = 0; s < states; ++s) {
-    for (State r = 0; r < states; ++r) {
-      // Mix of no-ops (to keep stable sets nontrivial) and random moves.
-      if (rng.chance(0.4)) {
-        table[s * states + r] = StatePair{s, r};
-      } else {
-        table[s * states + r] = StatePair{static_cast<State>(rng.below(states)),
-                                          static_cast<State>(rng.below(states))};
-      }
-    }
-  }
-  return std::make_shared<TableProtocol>("random", names, outputs, initial,
-                                         std::move(table));
-}
-
-std::vector<State> random_initial(std::size_t n, std::size_t states, Rng& rng) {
-  std::vector<State> init(n);
-  for (auto& q : init) q = static_cast<State>(rng.below(states));
-  return init;
-}
+using ppfs::testing::random_initial;
+using ppfs::testing::random_protocol;
 
 class RandomProtocols : public ::testing::TestWithParam<std::uint64_t> {};
 

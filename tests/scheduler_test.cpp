@@ -65,7 +65,7 @@ TEST(ScriptedScheduler, ThrowsWithoutFallback) {
   ScriptedScheduler s({{0, 1, false}}, nullptr);
   Rng rng(5);
   (void)s.next(rng, 0);
-  EXPECT_THROW(s.next(rng, 1), std::logic_error);
+  EXPECT_THROW((void)s.next(rng, 1), std::logic_error);
 }
 
 TEST(ScriptedScheduler, PreservesOmissionFlags) {

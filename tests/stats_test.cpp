@@ -1,0 +1,72 @@
+#include "engine/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppfs {
+namespace {
+
+TEST(StreamStat, TracksCountMeanMinMax) {
+  StreamStat s;
+  s.add(2.0);
+  s.add(6.0);
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(RunStats, CountsFiresPerRule) {
+  RunStats st(3);
+  st.record_fire(0, 1);
+  st.record_fire(0, 1, 4);
+  st.record_fire(2, 2);
+  st.record_noops(10);
+  EXPECT_EQ(st.fires(0, 1), 5u);
+  EXPECT_EQ(st.fires(2, 2), 1u);
+  EXPECT_EQ(st.fires(1, 0), 0u);
+  EXPECT_EQ(st.total_fires(), 6u);
+  EXPECT_EQ(st.noops(), 10u);
+  EXPECT_EQ(st.interactions(), 16u);
+  EXPECT_THROW(st.record_fire(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)st.fires(0, 3), std::invalid_argument);
+}
+
+TEST(RunStats, TopRulesSortedByCount) {
+  RunStats st(2);
+  st.record_fire(0, 1, 3);
+  st.record_fire(1, 0, 7);
+  st.record_fire(1, 1, 3);
+  const auto top = st.top_rules(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (RunStats::RuleCount{1, 0, 7}));
+  EXPECT_EQ(top[1], (RunStats::RuleCount{0, 1, 3}));  // tie: (0,1) before (1,1)
+}
+
+TEST(RunStats, ConvergenceStepIsFirstStepOfFinalHoldingStretch) {
+  RunStats st(2);
+  EXPECT_EQ(st.convergence_step(), RunStats::kNoConvergence);
+  st.record_probe(10, false);
+  st.record_probe(20, true);
+  st.record_probe(30, true);
+  EXPECT_EQ(st.convergence_step(), 20u);
+  st.record_probe(40, false);  // broke: earlier stretch does not count
+  EXPECT_EQ(st.convergence_step(), RunStats::kNoConvergence);
+  st.record_probe(50, true);
+  EXPECT_EQ(st.convergence_step(), 50u);
+}
+
+TEST(RunStats, ResetClearsEverything) {
+  RunStats st(2);
+  st.record_fire(0, 0);
+  st.record_noops(3);
+  st.record_probe(5, true);
+  st.reset(4);
+  EXPECT_EQ(st.num_states(), 4u);
+  EXPECT_EQ(st.total_fires(), 0u);
+  EXPECT_EQ(st.noops(), 0u);
+  EXPECT_EQ(st.convergence_step(), RunStats::kNoConvergence);
+}
+
+}  // namespace
+}  // namespace ppfs

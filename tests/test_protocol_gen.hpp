@@ -1,0 +1,48 @@
+// Shared random-protocol generator for property tests: arbitrary dense
+// delta tables with a tunable no-op fraction (no-ops keep stable sets
+// nontrivial), every state initial, outputs alternating by parity. Used by
+// the simulator fuzz tests and the batch/native equivalence tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace ppfs::testing {
+
+inline std::shared_ptr<const TableProtocol> random_protocol(
+    std::size_t states, Rng& rng, double noop_fraction = 0.4) {
+  std::vector<std::string> names;
+  std::vector<int> outputs;
+  std::vector<State> initial;
+  for (State q = 0; q < states; ++q) {
+    names.push_back("q" + std::to_string(q));
+    outputs.push_back(static_cast<int>(q % 2));
+    initial.push_back(q);
+  }
+  std::vector<StatePair> table(states * states);
+  for (State s = 0; s < states; ++s) {
+    for (State r = 0; r < states; ++r) {
+      if (rng.chance(noop_fraction)) {
+        table[s * states + r] = StatePair{s, r};
+      } else {
+        table[s * states + r] = StatePair{static_cast<State>(rng.below(states)),
+                                          static_cast<State>(rng.below(states))};
+      }
+    }
+  }
+  return std::make_shared<TableProtocol>("random", names, outputs, initial,
+                                         std::move(table));
+}
+
+inline std::vector<State> random_initial(std::size_t n, std::size_t states,
+                                         Rng& rng) {
+  std::vector<State> init(n);
+  for (auto& q : init) q = static_cast<State>(rng.below(states));
+  return init;
+}
+
+}  // namespace ppfs::testing
