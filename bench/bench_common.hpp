@@ -5,10 +5,13 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/runner.hpp"
 #include "engine/workload_runner.hpp"
@@ -88,5 +91,52 @@ inline std::unique_ptr<Scheduler> uo_adversary(std::size_t n, double rate) {
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
 }
+
+// Machine-readable bench output: construct with the bench's name and the
+// raw argv; if "--json" is among the arguments (or PPFS_BENCH_JSON is set)
+// every add()ed measurement is written to BENCH_<name>.json on
+// destruction, so the perf trajectory can be tracked across PRs:
+//
+//   { "bench": "engine_omissive", "results": [
+//     { "name": "...", "n": 1000000, "model": "I2",
+//       "interactions_per_sec": 1.2e9 }, ... ] }
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+    if (std::getenv("PPFS_BENCH_JSON") != nullptr) enabled_ = true;
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add(const std::string& name, std::size_t n, const std::string& model,
+           double interactions_per_sec) {
+    if (!enabled_) return;
+    std::ostringstream row;
+    row << "    { \"name\": \"" << name << "\", \"n\": " << n
+        << ", \"model\": \"" << model
+        << "\", \"interactions_per_sec\": " << interactions_per_sec << " }";
+    rows_.push_back(row.str());
+  }
+
+  ~JsonReport() {
+    if (!enabled_) return;
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    out << "{ \"bench\": \"" << bench_ << "\", \"results\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    out << "] }\n";
+    std::cout << "wrote " << path << " (" << rows_.size() << " rows)\n";
+  }
+
+ private:
+  std::string bench_;
+  bool enabled_ = false;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace ppfs::bench

@@ -3,26 +3,38 @@
 // summary statistics. With no arguments it runs a representative demo.
 //
 //   usage: ppfs_cli [workload] [simulator] [model] [n] [rate] [budget] [seed]
-//          ppfs_cli --engine=native|batch [workload] [n] [seed]
+//          ppfs_cli --engine=native|batch [--model=M] [--adversary=SPEC]
+//                   [workload] [n] [seed]
 //
 //     workload   or | and | approx-majority | exact-majority | leader |
 //                threshold-true | threshold-false | mod | pairing
+//                (one-way models: or | max | leader | exact-majority |
+//                 beacon-or)
 //     simulator  naive | skno | sid | naming
 //     model      TW T1 T2 T3 IT IO I1 I2 I3 I4
 //     n          population size (>= 4)
 //     rate       omission-insertion probability (0 disables the adversary)
 //     budget     max omissions (SKnO's known bound); "uo" = unlimited
 //     seed       RNG seed
+//     SPEC       none | uo[:rate] | no:quiet[:rate] | no1[:rate] |
+//                budget:B[:rate]   (default rate 0.1)
 //
-//   --engine selects a plain two-way run (no simulation layer, no
-//   omissions) through the EngineDispatch facade: "native" drives the
-//   per-agent loop, "batch" the count-based engine, which handles
-//   million-agent populations in milliseconds.
+//   --engine selects a direct run (no simulation layer) through the
+//   EngineDispatch facade: "native" drives the per-agent loop, "batch" the
+//   count-based engine, which handles million-agent populations in
+//   milliseconds — including one-way and omissive models and omission
+//   adversaries. Attaching an adversary to a non-omissive model lifts it
+//   to its omissive closure (TW -> T1, IT/IO -> I1): undetectable
+//   omissions, the Fig. 1 embedding. On one-way models, "exact-majority"
+//   resolves to the w.h.p.-exact cancellation majority (exact majority is
+//   not one-way-computable).
 //
 //   examples:
 //     ppfs_cli exact-majority skno I3 10 0.05 2 42
 //     ppfs_cli leader sid T3 12 0.3 uo 7
 //     ppfs_cli --engine=batch exact-majority 1000000 42
+//     ppfs_cli --engine=batch --model=IO --adversary=budget:1000
+//         exact-majority 1000000 42   (one command line)
 #include <iostream>
 #include <string>
 #include <vector>
@@ -46,7 +58,9 @@ int usage(const char* msg) {
   std::cerr << "ppfs_cli: " << msg
             << "\nusage: ppfs_cli [workload] [simulator] [model] [n] [rate] "
                "[budget] [seed]\n"
-               "       ppfs_cli --engine=native|batch [workload] [n] [seed]\n";
+               "       ppfs_cli --engine=native|batch [--model=M] "
+               "[--adversary=none|uo|no:Q|no1|budget:B[:rate]] "
+               "[workload] [n] [seed]\n";
   return 2;
 }
 
@@ -55,6 +69,22 @@ Workload find_workload(const std::string& name, std::size_t n) {
     if (w.name.rfind(name, 0) == 0) return w;
   }
   throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+OneWayWorkload find_one_way_workload(const std::string& name, std::size_t n,
+                                     Model model) {
+  for (OneWayWorkload& w : one_way_workloads(n)) {
+    // Prefix match; "exact-majority" resolves to "exact-majority-1way".
+    if (w.name.rfind(name, 0) == 0) {
+      if (model == Model::IO && !w.io)
+        throw std::invalid_argument("workload '" + w.name +
+                                    "' needs g != id, IO forbids it");
+      return w;
+    }
+  }
+  throw std::invalid_argument("unknown one-way workload '" + name +
+                              "' (try: or, max, leader, exact-majority, "
+                              "beacon-or)");
 }
 
 Model parse_model(const std::string& s) {
@@ -77,41 +107,86 @@ std::unique_ptr<Simulator> make_simulator(const std::string& kind,
   throw std::invalid_argument("unknown simulator '" + kind + "'");
 }
 
-// Plain two-way run through the engine facade; the batch engine makes
-// n = 10^6 populations practical from the command line.
-int run_with_engine(const std::string& kind, const std::string& workload,
-                    std::size_t n, std::uint64_t seed) {
-  const Workload w = find_workload(workload, n);
-  auto engine = make_engine(kind, w.protocol, w.initial);
+// Direct run through the engine facade; the batch engine makes n = 10^6
+// populations practical from the command line, in every model and under
+// every omission adversary.
+int run_with_engine(const std::string& kind, Model model,
+                    const std::string& adversary_spec,
+                    const std::string& workload, std::size_t n,
+                    std::uint64_t seed) {
+  EngineConfig config;
+  config.model = model;
+  const AdversaryParams adv = parse_adversary_spec(adversary_spec);
+  if (adv.rate > 0.0) config.adversary = adv;
+
+  std::unique_ptr<Engine> engine;
+  std::string workload_name;
+  CountsProbe probe;
+  if (is_one_way(model)) {
+    const OneWayWorkload w = find_one_way_workload(workload, n, model);
+    workload_name = w.name;
+    engine = make_engine(kind, w.protocol, w.initial, config);
+    auto conv = w.converged;
+    const int expect = w.expected_output;
+    probe = [conv, expect](const std::vector<std::size_t>& counts,
+                           const Protocol& p) {
+      if (conv) return conv(counts);
+      return counts_consensus_output(counts, p) == expect;
+    };
+  } else {
+    const Workload w = find_workload(workload, n);
+    workload_name = w.name;
+    engine = make_engine(kind, w.protocol, w.initial, config);
+    probe = workload_counts_probe(w);
+  }
+
   UniformScheduler sched(n);
   Rng rng(seed);
   RunOptions opt;
   // The batch engine leaps over no-op runs, so give it an interaction
-  // budget (and probe cadence) sized for n^2-scale convergence times.
-  opt.max_steps = kind == "batch" ? 1'000'000'000'000'000ULL : 100'000'000;
+  // budget (and probe cadence) sized for n^2-scale convergence times. A UO
+  // adversary never quiesces, so its omissive events cost O(1) each
+  // forever — cap those runs so a never-converging workload answers "NO"
+  // in bounded time instead of grinding toward 10^15.
+  const bool persistent_adversary =
+      config.adversary && config.adversary->kind == AdversaryKind::UO;
+  opt.max_steps = kind == "batch"
+                      ? (persistent_adversary ? 1'000'000'000'000ULL
+                                              : 1'000'000'000'000'000ULL)
+                      : 100'000'000;
   opt.check_every = kind == "batch" ? (1u << 22) : 4096;
-  const RunResult res =
-      run_engine_until(*engine, sched, rng, workload_counts_probe(w), opt);
+  const RunResult res = run_engine_until(*engine, sched, rng, probe, opt);
   const RunStats& stats = engine->stats();
-  std::cout << kind << " engine on " << w.name << "\n"
+  std::cout << kind << " engine on " << workload_name << " under "
+            << model_name(engine->model());
+  if (config.adversary) {
+    std::cout << " + " << adversary_kind_name(config.adversary->kind)
+              << " adversary (rate " << config.adversary->rate << ")";
+    if (engine->model() != model)
+      std::cout << " [lifted from " << model_name(model) << "]";
+  }
+  std::cout << "\n"
             << "  converged:           " << (res.converged ? "yes" : "NO") << "\n"
             << "  interactions:        " << res.steps << "\n"
             << "  rule fires:          " << stats.total_fires() << "\n"
             << "  no-op interactions:  " << stats.noops() << "\n"
+            << "  omissions delivered: " << stats.omissions() << " ("
+            << stats.omissive_fires() << " state-changing)\n"
             << "  convergence step:    ";
   if (stats.convergence_step() == RunStats::kNoConvergence) std::cout << "never";
   else std::cout << stats.convergence_step();
   std::cout << "\n";
   std::cout << "  final counts:       ";
   const auto counts = engine->counts();
+  const Protocol& proto = engine->protocol();
   for (State q = 0; q < counts.size(); ++q) {
     if (counts[q] > 0)
-      std::cout << ' ' << w.protocol->state_name(q) << '=' << counts[q];
+      std::cout << ' ' << proto.state_name(q) << '=' << counts[q];
   }
   std::cout << "\n  top rules:          ";
   for (const auto& rule : stats.top_rules(3)) {
-    std::cout << " (" << w.protocol->state_name(rule.s) << ','
-              << w.protocol->state_name(rule.r) << ")x" << rule.count;
+    std::cout << " (" << proto.state_name(rule.s) << ','
+              << proto.state_name(rule.r) << ")x" << rule.count;
   }
   std::cout << "\n";
   return res.converged ? 0 : 1;
@@ -129,14 +204,26 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
 
   try {
-    // --engine=native|batch switches to the plain engine-facade run form.
+    // --engine=native|batch switches to the engine-facade run form.
     std::vector<std::string> args(argv + 1, argv + argc);
     if (!args.empty() && args[0].rfind("--engine=", 0) == 0) {
       const std::string kind = args[0].substr(9);
-      if (args.size() > 1) workload = args[1];
-      n = args.size() > 2 ? std::stoul(args[2]) : 1'000'000;
-      if (args.size() > 3) seed = std::stoull(args[3]);
-      return run_with_engine(kind, workload, n, seed);
+      Model model = Model::TW;
+      std::string adversary = "none";
+      std::size_t pos = 1;
+      while (pos < args.size() && args[pos].rfind("--", 0) == 0) {
+        if (args[pos].rfind("--model=", 0) == 0)
+          model = parse_model(args[pos].substr(8));
+        else if (args[pos].rfind("--adversary=", 0) == 0)
+          adversary = args[pos].substr(12);
+        else
+          return usage(("unknown flag '" + args[pos] + "'").c_str());
+        ++pos;
+      }
+      if (pos < args.size()) workload = args[pos++];
+      n = pos < args.size() ? std::stoul(args[pos++]) : 1'000'000;
+      if (pos < args.size()) seed = std::stoull(args[pos++]);
+      return run_with_engine(kind, model, adversary, workload, n, seed);
     }
 
     if (argc > 1) workload = argv[1];

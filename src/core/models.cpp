@@ -42,6 +42,15 @@ ModelCaps model_caps(Model m) {
   throw std::invalid_argument("model_caps: bad model");
 }
 
+Model omissive_closure(Model m) {
+  switch (m) {
+    case Model::TW: return Model::T1;
+    case Model::IT:
+    case Model::IO: return Model::I1;
+    default: return m;
+  }
+}
+
 std::string arrow_reason_name(ArrowReason r) {
   switch (r) {
     case ArrowReason::Specialization: return "specialization";

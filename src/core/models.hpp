@@ -70,6 +70,13 @@ struct ModelCaps {
 [[nodiscard]] inline bool is_one_way(Model m) { return model_caps(m).one_way; }
 [[nodiscard]] inline bool is_omissive(Model m) { return model_caps(m).omissive; }
 
+// The weakest omissive model that embeds m with undetectable omissions:
+// TW -> T1, IT/IO -> I1, omissive models map to themselves. This is how an
+// omission adversary is attached to a protocol written for a non-omissive
+// model (the NoOpOmissions/Specialization arrows of Fig. 1 guarantee the
+// embedding changes nothing when the adversary stays silent).
+[[nodiscard]] Model omissive_closure(Model m);
+
 // --- Figure 1: arrows of the model hierarchy --------------------------------
 //
 // An arrow src -> dst means: the class of problems solvable in src is

@@ -1,6 +1,8 @@
 #include "engine/batch/batch_system.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace ppfs {
@@ -27,6 +29,73 @@ std::size_t sample_noop_run(std::uint64_t w, std::uint64_t t, Rng& rng,
   return static_cast<std::size_t>(g);
 }
 
+// Same, for a double success probability (used when the omission rate is
+// mixed into the per-delivery success): Bernoulli(p) trials when p is
+// large, inversion below 1/64.
+std::size_t sample_bernoulli_run(double p, Rng& rng, std::size_t cap) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return cap;
+  if (p >= 1.0 / 64) {
+    std::size_t k = 0;
+    while (k < cap && !rng.chance(p)) ++k;
+    return k;
+  }
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g >= static_cast<double>(cap)) return cap;
+  return static_cast<std::size_t>(g);
+}
+
+// Successes among n Bernoulli(p) trials, counted by skipping geometric
+// failure gaps — exact (up to the run samplers' ~1e-16 inversion
+// rounding) at O(np) cost regardless of n.
+std::size_t count_sparse_successes(std::size_t n, double p, Rng& rng) {
+  std::size_t k = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t gap = sample_bernoulli_run(p, rng, n - i);
+    i += gap;
+    if (i >= n) break;
+    ++k;
+    ++i;
+  }
+  return k;
+}
+
+// Binomial(n, p) draw, used to tally the omissive no-ops inside a leap
+// whose draws cannot change the configuration. Geometric-gap counting
+// whenever either outcome is sparse (mean <= 256), an exact Bernoulli
+// loop for small n otherwise, and a clamped normal approximation only
+// when both the success and failure counts are large — where its
+// relative error is negligible; it touches the omission tally and hence
+// only the *pacing* of a budget's exhaustion, never which rule fires.
+std::size_t sample_binomial(std::size_t n, double p, Rng& rng) {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  const double mean = static_cast<double>(n) * p;
+  const double anti_mean = static_cast<double>(n) * (1.0 - p);
+  if (mean <= 256.0) return count_sparse_successes(n, p, rng);
+  if (anti_mean <= 256.0) return n - count_sparse_successes(n, 1.0 - p, rng);
+  constexpr std::size_t kExactLimit = 4096;
+  if (n <= kExactLimit) {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) k += rng.chance(p) ? 1 : 0;
+    return k;
+  }
+  const double sigma = std::sqrt(mean * (1.0 - p));
+  // Box-Muller from two uniforms.
+  double u1 = rng.uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = rng.uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double v = std::round(mean + sigma * z);
+  if (v <= 0.0) return 0;
+  if (v >= static_cast<double>(n)) return n;
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace
 
 BatchSystem::BatchSystem(std::shared_ptr<const Protocol> protocol,
@@ -36,12 +105,31 @@ BatchSystem::BatchSystem(std::shared_ptr<const Protocol> protocol,
                                                     std::move(initial)))) {}
 
 BatchSystem::BatchSystem(Configuration initial)
-    : conf_(std::move(initial)),
-      proto_(&conf_.protocol()),
+    : BatchSystem(RuleMatrix::compile(initial.protocol_ptr(), Model::TW),
+                  initial.counts()) {}
+
+BatchSystem::BatchSystem(RuleMatrix rules, std::vector<std::size_t> counts)
+    : rules_(std::move(rules)),
+      conf_(rules_.protocol_ptr(), std::move(counts)),
       q_(conf_.num_states()),
       stats_(q_) {
   if (conf_.size() < 2)
     throw std::invalid_argument("BatchSystem: need at least two agents");
+}
+
+void BatchSystem::set_omission_process(const AdversaryParams& params) {
+  if (!rules_.omissive())
+    throw std::invalid_argument(
+        "BatchSystem: model " + model_name(rules_.model()) +
+        " has no omission adversary (lift it with omissive_closure first)");
+  if (params.rate < 0.0 || params.rate > 1.0)
+    throw std::invalid_argument("BatchSystem: omission rate must be in [0, 1]");
+  // The leap path cannot honor a finite burst cap; normalize it away here
+  // (not just in dispatch) so step() and advance() realize one process.
+  AdversaryParams normalized = params;
+  normalized.max_burst = std::numeric_limits<std::size_t>::max();
+  omit_.emplace(normalized);
+  weights_valid_ = false;
 }
 
 std::uint64_t BatchSystem::pair_weight(State s, State r) const noexcept {
@@ -51,63 +139,164 @@ std::uint64_t BatchSystem::pair_weight(State s, State r) const noexcept {
   return cs == 0 ? 0 : cs * cr;
 }
 
-std::uint64_t BatchSystem::changing_weight() const noexcept {
+std::uint64_t BatchSystem::changing_weight(InteractionClass c) const noexcept {
   std::uint64_t w = 0;
   for (State s = 0; s < q_; ++s) {
     if (conf_.counts()[s] == 0) continue;
     for (State r = 0; r < q_; ++r) {
-      if (!proto_->is_noop(s, r)) w += pair_weight(s, r);
+      if (!rules_.is_noop(c, s, r)) w += pair_weight(s, r);
     }
   }
   return w;
 }
 
-bool BatchSystem::silent() const { return changing_weight() == 0; }
+void BatchSystem::refresh_weights() const {
+  if (weights_valid_) return;
+  w_real_ = changing_weight(InteractionClass::Real);
+  w_omit_ = omit_ ? changing_weight(rules_.uniform_omission_class()) : 0;
+  weights_valid_ = true;
+}
 
-void BatchSystem::apply_fire(State s, State r, BatchDelta& d) {
+bool BatchSystem::silent() const {
+  refresh_weights();
+  if (w_real_ != 0) return false;
+  if (omit_ && omit_->active(steps_) && w_omit_ != 0) return false;
+  return true;
+}
+
+void BatchSystem::apply_fire(InteractionClass c, State s, State r,
+                             BatchDelta& d) {
   d.fired = true;
+  d.omissive = c != InteractionClass::Real;
   d.s = s;
   d.r = r;
-  d.out = proto_->delta(s, r);
-  conf_.apply_pair(s, r);
-  stats_.record_fire(s, r);
+  d.out = rules_.outcome(c, s, r);
+  conf_.apply_outcome(s, r, d.out);
+  if (d.omissive) stats_.record_omissive_fire(s, r);
+  else stats_.record_fire(s, r);
+  weights_valid_ = false;
 }
 
 BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
   BatchDelta d;
-  if (budget == 0) return d;
   const std::uint64_t n = conf_.size();
   const std::uint64_t t = n * (n - 1);
-  const std::uint64_t w = changing_weight();
 
-  if (w == 0) {
-    // Silent configuration: every scheduled interaction is a no-op.
-    d.interactions = d.noops = budget;
-    steps_ += budget;
-    stats_.record_noops(budget);
+  while (d.interactions < budget) {
+    const std::size_t remaining = budget - d.interactions;
+    refresh_weights();
+
+    if (!omit_ || !omit_->active(steps_)) {
+      // No insertable omissions now or ever again (inactivity is
+      // absorbing): the exact integer path of PR 1.
+      if (w_real_ == 0) {
+        d.interactions += remaining;
+        d.noops += remaining;
+        steps_ += remaining;
+        stats_.record_noops(remaining);
+        return d;
+      }
+      const std::size_t skipped = sample_noop_run(w_real_, t, rng, remaining);
+      d.noops += skipped;
+      d.interactions += skipped;
+      steps_ += skipped;
+      stats_.record_noops(skipped);
+      if (skipped < remaining) {
+        const auto [s, r] = pick_changing_pair(InteractionClass::Real, w_real_, rng);
+        apply_fire(InteractionClass::Real, s, r, d);
+        ++d.interactions;
+        ++steps_;
+      }
+      return d;
+    }
+
+    const double p = omit_->rate();
+    // Never leap across the NO quiet horizon: the omission probability
+    // flips to zero there, which the next loop iteration picks up.
+    std::size_t cap = remaining;
+    if (omit_->quiet_after() != std::numeric_limits<std::size_t>::max() &&
+        omit_->quiet_after() > steps_)
+      cap = std::min(cap, omit_->quiet_after() - steps_);
+
+    if (w_omit_ == 0 && omit_->remaining_budget() > cap) {
+      // Omissive draws are global no-ops and the budget cannot run out
+      // mid-leap: geometric run to the next (necessarily real) change,
+      // binomial split of the no-ops into real and omissive draws.
+      const double wr = static_cast<double>(w_real_) / static_cast<double>(t);
+      const double rho = (1.0 - p) * wr;  // per-delivery change probability
+      const std::size_t run = sample_bernoulli_run(rho, rng, cap);
+      if (run > 0) {
+        const double q_om = p / (1.0 - rho);  // P(omissive | no-op)
+        const std::size_t om = sample_binomial(run, q_om, rng);
+        omit_->note_omissions(om);
+        stats_.record_omissive_noops(om);
+        stats_.record_noops(run - om);
+        d.noops += run;
+        d.omissions += om;
+        d.interactions += run;
+        steps_ += run;
+      }
+      if (run == cap) {
+        if (cap == remaining) return d;  // budget exhausted
+        continue;                        // crossed the quiet horizon
+      }
+      const auto [s, r] = pick_changing_pair(InteractionClass::Real, w_real_, rng);
+      apply_fire(InteractionClass::Real, s, r, d);
+      ++d.interactions;
+      ++steps_;
+      return d;
+    }
+
+    // Event-punctuated leap: an "event" is an omissive delivery or a real
+    // count-change; the run of real no-ops before it is geometric.
+    const double wr = static_cast<double>(w_real_) / static_cast<double>(t);
+    const double sigma = p + (1.0 - p) * wr;
+    const std::size_t run = sample_bernoulli_run(sigma, rng, cap);
+    if (run > 0) {
+      stats_.record_noops(run);
+      d.noops += run;
+      d.interactions += run;
+      steps_ += run;
+    }
+    if (run == cap) {
+      if (cap == remaining) return d;
+      continue;
+    }
+    if (rng.chance(p / sigma)) {
+      // Omissive delivery; it changes counts with exact probability Wo/T.
+      omit_->note_omissions(1);
+      ++d.omissions;
+      if (w_omit_ > 0 && rng.below(t) < w_omit_) {
+        const InteractionClass c = rules_.uniform_omission_class();
+        const auto [s, r] = pick_changing_pair(c, w_omit_, rng);
+        apply_fire(c, s, r, d);
+        ++d.interactions;
+        ++steps_;
+        return d;
+      }
+      stats_.record_omissive_noops(1);
+      ++d.noops;
+      ++d.interactions;
+      ++steps_;
+      continue;  // budget/horizon state may have changed
+    }
+    const auto [s, r] = pick_changing_pair(InteractionClass::Real, w_real_, rng);
+    apply_fire(InteractionClass::Real, s, r, d);
+    ++d.interactions;
+    ++steps_;
     return d;
   }
-
-  const std::size_t skipped = sample_noop_run(w, t, rng, budget);
-  d.noops = skipped;
-  d.interactions = skipped;
-  if (skipped < budget) {
-    const auto [s, r] = pick_changing_pair(w, rng);
-    apply_fire(s, r, d);
-    ++d.interactions;
-  }
-  steps_ += d.interactions;
-  stats_.record_noops(d.noops);
   return d;
 }
 
-std::pair<State, State> BatchSystem::pick_changing_pair(std::uint64_t w,
+std::pair<State, State> BatchSystem::pick_changing_pair(InteractionClass c,
+                                                        std::uint64_t w,
                                                         Rng& rng) const {
   // Draw the firing pair proportionally to its weight (exact integers).
   std::uint64_t pick = rng.below(w);
   for (State s = 0; s < q_; ++s) {
     for (State r = 0; r < q_; ++r) {
-      if (proto_->is_noop(s, r)) continue;
+      if (rules_.is_noop(c, s, r)) continue;
       const std::uint64_t pw = pair_weight(s, r);
       if (pick < pw) return {s, r};
       pick -= pw;
@@ -121,6 +310,9 @@ BatchDelta BatchSystem::step(Rng& rng) {
   d.interactions = 1;
   const std::size_t n = conf_.size();
   const auto& c = conf_.counts();
+
+  const bool omissive = omit_ && omit_->should_omit(rng, steps_);
+  if (omissive) ++d.omissions;
 
   // Starter: uniform over the n agents == categorical over counts.
   std::uint64_t pick = rng.below(n);
@@ -138,11 +330,14 @@ BatchDelta BatchSystem::step(Rng& rng) {
     pick -= cr;
   }
 
-  if (proto_->is_noop(s, r)) {
+  const InteractionClass cls =
+      omissive ? rules_.uniform_omission_class() : InteractionClass::Real;
+  if (rules_.is_noop(cls, s, r)) {
     d.noops = 1;
-    stats_.record_noops(1);
+    if (omissive) stats_.record_omissive_noops(1);
+    else stats_.record_noops(1);
   } else {
-    apply_fire(s, r, d);
+    apply_fire(cls, s, r, d);
   }
   ++steps_;
   return d;

@@ -1,58 +1,88 @@
-// Count-based batch engine for the uniform scheduler.
+// Count-based batch engine for the uniform scheduler, generalized over the
+// whole model lattice (§2.2–2.3) and the omission adversaries (Def. 1–2).
 //
 // The uniform scheduler draws ordered agent pairs uniformly at random, so
 // the state-count vector is a Markov chain of its own: pick a starter
 // state s with probability C[s]/n, then a reactor state r with probability
 // (C[r] - [r == s]) / (n - 1) — sequential hypergeometric draws — and fire
-// delta(s, r). BatchSystem advances this chain directly, never touching a
-// per-agent array, and leaps over runs of no-op interactions in one step:
+// the interaction's outcome. BatchSystem advances this chain directly,
+// never touching a per-agent array, and leaps over runs of no-op
+// interactions in one step. Model semantics come from a compiled
+// RuleMatrix (core/rule_matrix.hpp) — the same tables the per-agent
+// InteractionSystem applies — so one-way and omissive models run in count
+// space with no second encoding of §2.2–2.3.
 //
-//   * the number of scheduled interactions until the next count-CHANGING
-//     one is geometric with success probability p = W / n(n-1), where W is
-//     the total weight of non-no-op ordered state pairs. One geometric
-//     sample replaces the whole run of no-op table lookups;
-//   * the firing pair is then drawn proportionally to its weight by an
-//     O(q^2) scan with exact integer arithmetic.
+// Without an omission process the leap is the exact integer path of PR 1:
+// the run of no-ops before the next count-changing interaction is
+// geometric with success probability W/T, W the total weight of
+// count-changing ordered pairs and T = n(n-1); exact Bernoulli trials when
+// W/T >= 1/64, floating-point inversion (error ~1e-16) below that.
 //
-// When p is large (small n, or far from convergence) the geometric sample
-// is produced by exact integer Bernoulli trials — rng.below(n(n-1)) < W —
-// so the chain is *exactly* the uniform scheduler's distribution; the
-// floating-point inversion sampler is used only when p < 1/64, where a
-// single trial would almost always fail. This is the "exact fallback for
-// small n" — there is no approximation anywhere in the batch path beyond
-// ~1e-16 rounding of the inversion branch.
+// With an omission process attached, each delivered interaction is
+// omissive with probability p = rate, independently, while the process is
+// active (budget remaining, before the NO quiet horizon) — the burst cap
+// of the step-wise path is treated as unbounded here (bursts are finite
+// a.s. for rate < 1; EngineDispatch normalizes max_burst away so both
+// engines realize the same distribution). Leaps split each no-op run into
+// real and omissive draws exactly:
 //
-// Compared to NativeSystem this trades O(1)-per-interaction work on an
-// O(n) array for O(q^2)-per-*batch* work on an O(q) vector: near
-// convergence a batch covers millions of interactions, and for n = 10^6
-// the count vector lives in a couple of cache lines instead of 4 MB.
+//   * omissions cannot change counts (their class weight Wo = 0) and the
+//     budget cannot run out mid-leap: the run until the next change is
+//     geometric with success (1-p)·Wr/T and the omissive draws inside it
+//     are recovered by binomial splitting — exact Bernoulli or
+//     geometric-gap sampling except when both binomial tails are heavy
+//     (mean >= 256 each side), where a normal approximation with
+//     negligible relative error tallies them; the split never decides
+//     which rule fires;
+//   * otherwise the leap is punctuated by "events" (omissive deliveries
+//     and real count-changes): the run of real no-ops before an event is
+//     geometric with success p + (1-p)·Wr/T, the event is classified
+//     omissive with probability p over that, and an omissive event changes
+//     counts with exact integer probability Wo/T. Each omissive delivery
+//     costs O(1), so Budget(o) adversaries add O(o) total work to a run.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "core/rule_matrix.hpp"
 #include "engine/batch/configuration.hpp"
 #include "engine/stats.hpp"
+#include "sched/omission_process.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
 
 class BatchSystem {
  public:
+  // Plain TW batch system (PR 1 behavior).
   BatchSystem(std::shared_ptr<const Protocol> protocol,
               std::vector<State> initial);
   explicit BatchSystem(Configuration initial);
 
+  // Model-generic batch system: any model in kAllModels, compiled rules.
+  BatchSystem(RuleMatrix rules, std::vector<std::size_t> counts);
+
+  // Attach an omission process (Def. 1–2). The rule matrix must belong to
+  // an omissive model; lift non-omissive models with omissive_closure()
+  // first. Must be called before the run starts.
+  void set_omission_process(const AdversaryParams& params);
+
   // Cover at most `budget` uniform-scheduler interactions in one batch:
-  // skip the geometric run of no-ops, then fire one count-changing rule
-  // (unless the budget ran out first, or no rule can fire at all). The
-  // geometric distribution is memoryless, so truncating a batch at the
-  // budget and resuming later leaves the process distribution unchanged.
+  // skip the geometric run of no-ops (splitting it into real and omissive
+  // draws when an omission process is attached), then fire one
+  // count-changing rule (unless the budget ran out first, or no rule can
+  // fire at all). The geometric distribution is memoryless, so truncating
+  // a batch at the budget and resuming later leaves the process
+  // distribution unchanged.
   BatchDelta advance(std::size_t budget, Rng& rng);
 
   // Exact single interaction of the count chain (the hypergeometric
-  // reference step). Used by equivalence tests and as a granular driver.
+  // reference step), consulting the omission process per delivery — the
+  // step-wise reference the equivalence tests compare against. Honors
+  // max_burst (it delegates to OmissionProcess::should_omit).
   BatchDelta step(Rng& rng);
 
   [[nodiscard]] const Configuration& configuration() const noexcept {
@@ -64,13 +94,20 @@ class BatchSystem {
   [[nodiscard]] const Protocol& protocol() const noexcept {
     return conf_.protocol();
   }
+  [[nodiscard]] const RuleMatrix& rules() const noexcept { return rules_; }
   [[nodiscard]] std::size_t size() const noexcept { return conf_.size(); }
   [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
   [[nodiscard]] int consensus_output() const { return conf_.consensus_output(); }
+  [[nodiscard]] const OmissionProcess* omission_process() const noexcept {
+    return omit_ ? &*omit_ : nullptr;
+  }
+  [[nodiscard]] std::size_t omissions() const noexcept {
+    return omit_ ? omit_->emitted() : 0;
+  }
 
-  // True when no reachable interaction can change the configuration: every
-  // ordered pair of occupied states is a no-op. advance() then consumes its
-  // whole budget in O(q^2).
+  // True when no reachable interaction — real or insertable omissive —
+  // can change the configuration. advance() then consumes its whole
+  // budget in O(q^2).
   [[nodiscard]] bool silent() const;
 
   [[nodiscard]] RunStats& stats() noexcept { return stats_; }
@@ -79,19 +116,26 @@ class BatchSystem {
  private:
   // Weight of ordered pair (s, r): C[s] * (C[r] - [s == r]).
   [[nodiscard]] std::uint64_t pair_weight(State s, State r) const noexcept;
-  // Total weight of count-changing ordered pairs.
-  [[nodiscard]] std::uint64_t changing_weight() const noexcept;
-  // Pre-states of a count-changing pair, drawn with probability
-  // pair_weight / w over the non-no-op pairs. `w` must be changing_weight().
-  [[nodiscard]] std::pair<State, State> pick_changing_pair(std::uint64_t w,
+  // Total weight of ordered pairs whose class-`c` outcome changes counts.
+  [[nodiscard]] std::uint64_t changing_weight(InteractionClass c) const noexcept;
+  // Cached (w_real, w_omit), refreshed after count changes.
+  void refresh_weights() const;
+  // Pre-states of a count-changing pair of class `c`, drawn with
+  // probability pair_weight / w. `w` must be changing_weight(c).
+  [[nodiscard]] std::pair<State, State> pick_changing_pair(InteractionClass c,
+                                                           std::uint64_t w,
                                                            Rng& rng) const;
-  void apply_fire(State s, State r, BatchDelta& d);
+  void apply_fire(InteractionClass c, State s, State r, BatchDelta& d);
 
+  RuleMatrix rules_;
   Configuration conf_;
-  const Protocol* proto_;  // borrowed from conf_
   std::size_t q_ = 0;
   std::size_t steps_ = 0;
   RunStats stats_;
+  std::optional<OmissionProcess> omit_;
+  mutable bool weights_valid_ = false;
+  mutable std::uint64_t w_real_ = 0;
+  mutable std::uint64_t w_omit_ = 0;
 };
 
 }  // namespace ppfs

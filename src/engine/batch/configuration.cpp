@@ -24,10 +24,15 @@ Population Configuration::to_population() const {
 }
 
 void Configuration::apply_pair(State s, State r) {
+  apply_outcome(s, r, protocol_->delta(s, r));
+}
+
+void Configuration::apply_outcome(State s, State r, StatePair out) {
   const std::size_t need_s = 1 + static_cast<std::size_t>(s == r);
   if (counts_.at(s) < need_s || (s != r && counts_.at(r) < 1))
-    throw std::invalid_argument("Configuration::apply_pair: pre-states empty");
-  const StatePair out = protocol_->delta(s, r);
+    throw std::invalid_argument("Configuration::apply_outcome: pre-states empty");
+  if (out.starter >= counts_.size() || out.reactor >= counts_.size())
+    throw std::invalid_argument("Configuration::apply_outcome: post-state range");
   --counts_[s];
   --counts_[r];
   ++counts_[out.starter];

@@ -23,10 +23,12 @@ namespace ppfs {
 struct BatchDelta {
   std::size_t interactions = 0;  // scheduler steps covered by the batch
   std::size_t noops = 0;         // of which left the configuration unchanged
+  std::size_t omissions = 0;     // of which were inserted omissive draws
   bool fired = false;            // did a count-changing rule fire?
+  bool omissive = false;         // ... as the outcome of an omissive draw?
   State s = kNoState;            // pre-states of the fired rule (ordered)
   State r = kNoState;
-  StatePair out{kNoState, kNoState};  // post-states delta(s, r)
+  StatePair out{kNoState, kNoState};  // post-states of the fired rule
 };
 
 // Common output of all occupied states in a count vector, or -1 if any
@@ -64,6 +66,11 @@ class Configuration {
   // Fire delta(s, r) once at the count level. Requires the pre-states to be
   // populated (count(s) >= 1, and >= 2 when s == r).
   void apply_pair(State s, State r);
+
+  // Fire an explicit outcome (s, r) -> out at the count level — the move a
+  // model-generic rule (including omissive classes, which need not equal
+  // the protocol's delta) makes. Same pre-state population requirement.
+  void apply_outcome(State s, State r, StatePair out);
 
   // Move `k` agents from state `from` to state `to` (count(from) >= k).
   void move(State from, State to, std::size_t k);

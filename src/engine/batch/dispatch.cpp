@@ -1,41 +1,83 @@
 #include "engine/batch/dispatch.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace ppfs {
 
 namespace {
 
+// Resolve the effective model for a (model, adversary) pair: attaching an
+// adversary to a non-omissive model lifts it to its omissive closure
+// (undetectable omissions — the Fig. 1 embedding); an adversary with rate
+// 0 is no adversary at all.
+struct ResolvedConfig {
+  Model model;
+  std::optional<AdversaryParams> adversary;
+};
+
+ResolvedConfig resolve(const EngineConfig& config) {
+  ResolvedConfig r{config.model, config.adversary};
+  if (r.adversary && r.adversary->rate <= 0.0) r.adversary.reset();
+  if (r.adversary) {
+    r.model = omissive_closure(config.model);
+    // Both engines must realize the same omission process; the batch path
+    // cannot honor a finite burst cap, so normalize it away (bursts are
+    // finite a.s. for rate < 1).
+    r.adversary->max_burst = std::numeric_limits<std::size_t>::max();
+  }
+  return r;
+}
+
 class NativeEngine final : public Engine {
  public:
-  NativeEngine(std::shared_ptr<const Protocol> protocol,
-               std::vector<State> initial)
-      : sys_(std::move(protocol), std::move(initial)),
-        stats_(sys_.population().protocol().num_states()) {}
+  NativeEngine(RuleMatrix rules, std::vector<State> initial,
+               const std::optional<AdversaryParams>& adversary)
+      : sys_(std::move(rules), std::move(initial)),
+        stats_(sys_.rules().num_states()) {
+    if (adversary) omit_.emplace(*adversary);
+  }
 
   [[nodiscard]] std::string kind() const override { return "native"; }
   [[nodiscard]] const Protocol& protocol() const override {
-    return sys_.population().protocol();
+    return sys_.rules().protocol();
   }
+  [[nodiscard]] Model model() const override { return sys_.rules().model(); }
   [[nodiscard]] std::size_t size() const override { return sys_.size(); }
   [[nodiscard]] std::size_t interactions() const override { return sys_.steps(); }
+  [[nodiscard]] std::size_t omissions() const override { return sys_.omissions(); }
 
   void counts_into(std::vector<std::size_t>& out) const override {
     sys_.population().counts_into(out);
   }
 
   std::size_t advance(std::size_t budget, Scheduler& sched, Rng& rng) override {
-    const Population& pop = sys_.population();
+    const RuleMatrix& rules = sys_.rules();
     for (std::size_t i = 0; i < budget; ++i) {
-      const Interaction ia = sched.next(rng, sys_.steps());
-      const State s = pop.state(ia.starter);
-      const State r = pop.state(ia.reactor);
-      // interact() may throw (e.g. an omissive interaction from an
-      // adversary scheduler); record only interactions that executed.
+      Interaction ia;
+      if (omit_ && omit_->should_omit(rng, sys_.steps())) {
+        // Uniform victim pair, marked omissive (side = Both).
+        ia = uniform_ordered_pair(rng, sys_.size());
+        ia.omissive = true;
+      } else {
+        ia = sched.next(rng, sys_.steps());
+      }
+      const State s = sys_.state(ia.starter);
+      const State r = sys_.state(ia.reactor);
+      const InteractionClass cls = rules.classify(ia);
+      // interact() may throw (e.g. an omissive interaction from a
+      // hand-built scheduler under a non-omissive model); record only
+      // interactions that executed.
       sys_.interact(ia);
-      if (pop.protocol().is_noop(s, r)) stats_.record_noops(1);
-      else stats_.record_fire(s, r);
+      if (rules.is_noop(cls, s, r)) {
+        if (ia.omissive) stats_.record_omissive_noops(1);
+        else stats_.record_noops(1);
+      } else {
+        if (ia.omissive) stats_.record_omissive_fire(s, r);
+        else stats_.record_fire(s, r);
+      }
       if (trace_ != nullptr) trace_->append(ia);
     }
     return budget;
@@ -49,33 +91,42 @@ class NativeEngine final : public Engine {
   }
 
  private:
-  NativeSystem sys_;
+  InteractionSystem sys_;
   RunStats stats_;
+  std::optional<OmissionProcess> omit_;
   Trace* trace_ = nullptr;
 };
 
 class BatchEngine final : public Engine {
  public:
-  BatchEngine(std::shared_ptr<const Protocol> protocol,
-              std::vector<State> initial)
-      : sys_(std::move(protocol), std::move(initial)) {}
+  BatchEngine(RuleMatrix rules, std::vector<std::size_t> counts,
+              const std::optional<AdversaryParams>& adversary)
+      : sys_(std::move(rules), std::move(counts)) {
+    if (adversary) sys_.set_omission_process(*adversary);
+  }
 
   [[nodiscard]] std::string kind() const override { return "batch"; }
   [[nodiscard]] const Protocol& protocol() const override {
     return sys_.protocol();
   }
+  [[nodiscard]] Model model() const override { return sys_.rules().model(); }
   [[nodiscard]] std::size_t size() const override { return sys_.size(); }
   [[nodiscard]] std::size_t interactions() const override { return sys_.steps(); }
+  [[nodiscard]] std::size_t omissions() const override { return sys_.omissions(); }
 
   void counts_into(std::vector<std::size_t>& out) const override {
     out = sys_.counts();
   }
 
   std::size_t advance(std::size_t budget, Scheduler& sched, Rng& rng) override {
-    if (!sched.uniform_batch_compatible())
+    // The batch engine realizes the uniform distribution internally; the
+    // scheduler argument is validated, not consumed.
+    const auto* uniform = dynamic_cast<const UniformScheduler*>(&sched);
+    if (uniform == nullptr || uniform->size() != sys_.size())
       throw std::invalid_argument(
-          "batch engine: scheduler is not the uniform distribution "
-          "(scripted/adversarial runs need the native engine)");
+          "batch engine: scheduler is not the uniform distribution over this "
+          "population (scripted/hand-built adversarial runs need the native "
+          "engine; omission adversaries attach via make_engine)");
     std::size_t covered = 0;
     while (covered < budget) covered += sys_.advance(budget - covered, rng).interactions;
     return covered;
@@ -86,6 +137,25 @@ class BatchEngine final : public Engine {
  private:
   BatchSystem sys_;
 };
+
+std::unique_ptr<Engine> build(const std::string& kind, RuleMatrix rules,
+                              std::vector<State> initial,
+                              const std::optional<AdversaryParams>& adversary) {
+  if (kind == "native")
+    return std::make_unique<NativeEngine>(std::move(rules), std::move(initial),
+                                          adversary);
+  if (kind == "batch") {
+    std::vector<std::size_t> counts(rules.num_states(), 0);
+    for (State q : initial) {
+      if (q >= rules.num_states())
+        throw std::invalid_argument("make_engine: initial state out of range");
+      ++counts[q];
+    }
+    return std::make_unique<BatchEngine>(std::move(rules), std::move(counts),
+                                         adversary);
+  }
+  throw std::invalid_argument("make_engine: unknown engine kind '" + kind + "'");
+}
 
 }  // namespace
 
@@ -106,11 +176,27 @@ int Engine::consensus_output() const {
 std::unique_ptr<Engine> make_engine(const std::string& kind,
                                     std::shared_ptr<const Protocol> protocol,
                                     std::vector<State> initial) {
-  if (kind == "native")
-    return std::make_unique<NativeEngine>(std::move(protocol), std::move(initial));
-  if (kind == "batch")
-    return std::make_unique<BatchEngine>(std::move(protocol), std::move(initial));
-  throw std::invalid_argument("make_engine: unknown engine kind '" + kind + "'");
+  return make_engine(kind, std::move(protocol), std::move(initial),
+                     EngineConfig{});
+}
+
+std::unique_ptr<Engine> make_engine(const std::string& kind,
+                                    std::shared_ptr<const Protocol> protocol,
+                                    std::vector<State> initial,
+                                    const EngineConfig& config) {
+  const ResolvedConfig r = resolve(config);
+  return build(kind,
+               RuleMatrix::compile(std::move(protocol), r.model, config.fns),
+               std::move(initial), r.adversary);
+}
+
+std::unique_ptr<Engine> make_engine(
+    const std::string& kind, std::shared_ptr<const OneWayProtocol> protocol,
+    std::vector<State> initial, const EngineConfig& config) {
+  const ResolvedConfig r = resolve(config);
+  RuleMatrix rules =
+      RuleMatrix::compile(std::move(protocol), r.model, initial, config.fns);
+  return build(kind, std::move(rules), std::move(initial), r.adversary);
 }
 
 const std::vector<std::string>& engine_kinds() {
@@ -133,6 +219,7 @@ RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
     if (holds) {
       if (++consecutive >= opt.stable_checks) {
         res.converged = true;
+        res.omissions = engine.omissions();
         return res;
       }
     } else {
@@ -141,6 +228,7 @@ RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
   }
   engine.counts_into(counts);
   res.converged = probe(counts, engine.protocol());
+  res.omissions = engine.omissions();
   return res;
 }
 
@@ -149,6 +237,7 @@ RunResult run_engine_steps(Engine& engine, Scheduler& sched, Rng& rng,
   RunResult res;
   while (res.steps < steps)
     res.steps += engine.advance(steps - res.steps, sched, rng);
+  res.omissions = engine.omissions();
   return res;
 }
 

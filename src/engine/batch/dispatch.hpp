@@ -1,29 +1,42 @@
 // EngineDispatch: one interface over the per-agent native engine and the
 // count-based batch engine, so the run loop, workload runner, stats, and
 // traces can drive either without caring which representation is
-// underneath. Benches and examples select an engine by name ("native" /
-// "batch"); make_engine is the single construction point.
+// underneath. Engines are selected by (model, engine kind, adversary)
+// triple: any model of the §2.2–2.3 lattice, "native" or "batch"
+// execution, and an optional omission adversary (Def. 1–2). make_engine is
+// the single construction point.
 //
 // The scheduler contract differs between the two:
-//   * a native engine consumes interactions from the Scheduler it is
-//     given, so adversaries and scripted runs work as before;
+//   * a native engine consumes real interactions from the Scheduler it is
+//     given and inserts omissions itself via its OmissionProcess;
 //   * a batch engine realizes the uniform scheduler's distribution
-//     internally (count-level sampling) and therefore only accepts
-//     schedulers that declare uniform_batch_compatible() — the Scheduler
-//     argument is a specification to validate, not a source of pairs.
+//     internally (count-level sampling) and therefore only accepts a
+//     UniformScheduler of matching size — the Scheduler argument is a
+//     specification to validate, not a source of pairs. Scripted and
+//     hand-written adversarial schedulers need the native engine.
+//
+// Attaching an adversary to a non-omissive model lifts the model to its
+// omissive closure (TW -> T1, IT/IO -> I1): omissions strike undetectably,
+// which is exactly the Fig. 1 embedding. Both engines realize the same
+// omission process (max_burst is normalized to unbounded here so that the
+// step-wise and count-space paths are distributionally identical).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/models.hpp"
 #include "core/protocol.hpp"
+#include "core/rule_matrix.hpp"
 #include "engine/batch/batch_system.hpp"
 #include "engine/native.hpp"
 #include "engine/runner.hpp"
 #include "engine/stats.hpp"
 #include "engine/trace.hpp"
+#include "sched/omission_process.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -35,10 +48,13 @@ class Engine {
 
   [[nodiscard]] virtual std::string kind() const = 0;
   [[nodiscard]] virtual const Protocol& protocol() const = 0;
+  [[nodiscard]] virtual Model model() const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
   // Uniform-scheduler interactions covered so far (a batch engine counts
   // the no-ops it leapt over — they are scheduled interactions too).
   [[nodiscard]] virtual std::size_t interactions() const = 0;
+  // Omissive interactions delivered so far.
+  [[nodiscard]] virtual std::size_t omissions() const = 0;
   virtual void counts_into(std::vector<std::size_t>& out) const = 0;
 
   // Advance by at most `budget` interactions; returns how many were
@@ -57,10 +73,31 @@ class Engine {
   [[nodiscard]] int consensus_output() const;  // from counts + outputs
 };
 
-// kind: "native" | "batch" (see engine_kinds()).
+// Model + adversary configuration for make_engine. Defaults reproduce the
+// historical plain-TW engines.
+struct EngineConfig {
+  Model model = Model::TW;
+  // Designer omission-reaction functions (validated against ModelCaps).
+  ModelFns fns{};
+  // Omission adversary; nullopt or rate 0 means none.
+  std::optional<AdversaryParams> adversary{};
+};
+
+// kind: "native" | "batch" (see engine_kinds()). Plain TW, no adversary.
 [[nodiscard]] std::unique_ptr<Engine> make_engine(
     const std::string& kind, std::shared_ptr<const Protocol> protocol,
     std::vector<State> initial);
+
+// Full (model, engine, adversary) triple over a two-way protocol. One-way
+// models require the protocol to fit the IT/IO shape of §2.2.
+[[nodiscard]] std::unique_ptr<Engine> make_engine(
+    const std::string& kind, std::shared_ptr<const Protocol> protocol,
+    std::vector<State> initial, const EngineConfig& config);
+
+// Same, over a native one-way protocol (config.model must be one-way).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(
+    const std::string& kind, std::shared_ptr<const OneWayProtocol> protocol,
+    std::vector<State> initial, const EngineConfig& config);
 
 [[nodiscard]] const std::vector<std::string>& engine_kinds();
 

@@ -1,101 +1,75 @@
 #include "engine/native.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace ppfs {
 
+InteractionSystem::InteractionSystem(RuleMatrix rules, std::vector<State> initial)
+    : rules_(std::move(rules)),
+      pop_(rules_.protocol_ptr(), std::move(initial)) {}
+
+void InteractionSystem::interact(const Interaction& ia) {
+  if (ia.starter == ia.reactor)
+    throw std::invalid_argument("InteractionSystem: self-interaction");
+  const InteractionClass cls = rules_.classify(ia);  // throws on bad omission
+  const State s = pop_.state(ia.starter);
+  const State r = pop_.state(ia.reactor);
+  const StatePair out = rules_.outcome(cls, s, r);
+  pop_.set_state(ia.starter, out.starter);
+  pop_.set_state(ia.reactor, out.reactor);
+  ++steps_;
+  if (ia.omissive) ++omissions_;
+}
+
+void InteractionSystem::set_rules(RuleMatrix rules) {
+  if (rules.num_states() != rules_.num_states())
+    throw std::invalid_argument("InteractionSystem: state-space size mismatch");
+  rules_ = std::move(rules);
+}
+
 NativeSystem::NativeSystem(std::shared_ptr<const Protocol> protocol,
                            std::vector<State> initial)
-    : pop_(std::move(protocol), std::move(initial)) {
-  if (const auto* tp = dynamic_cast<const TableProtocol*>(&pop_.protocol())) {
-    table_ = tp->raw_table();
-    q_ = tp->num_states();
-  }
-}
+    : sys_(RuleMatrix::compile(std::move(protocol), Model::TW),
+           std::move(initial)) {}
 
 void NativeSystem::interact(const Interaction& ia) {
   if (ia.omissive)
     throw std::invalid_argument("NativeSystem: TW has no omissive interactions");
-  ++steps_;
-  if (table_ != nullptr) {
-    auto& states = pop_;
-    const State s = states.state(ia.starter);
-    const State r = states.state(ia.reactor);
-    const StatePair out = table_[static_cast<std::size_t>(s) * q_ + r];
-    states.set_state(ia.starter, out.starter);
-    states.set_state(ia.reactor, out.reactor);
-    return;
-  }
-  pop_.interact(ia.starter, ia.reactor);
+  sys_.interact(ia);
 }
 
-OneWaySystem::OneWaySystem(std::shared_ptr<const OneWayProtocol> protocol, Model model,
-                           std::vector<State> initial)
-    : protocol_(std::move(protocol)), model_(model), states_(std::move(initial)) {
-  if (!protocol_) throw std::invalid_argument("OneWaySystem: null protocol");
-  if (!is_one_way(model_))
-    throw std::invalid_argument("OneWaySystem: model must be one-way");
-  if (model_ == Model::IO && !protocol_->is_io())
-    throw std::invalid_argument("OneWaySystem: protocol has g != id, IO forbids it");
-  for (State q : states_) {
-    if (q >= protocol_->num_states())
-      throw std::invalid_argument("OneWaySystem: state out of range");
-  }
+OneWaySystem::OneWaySystem(std::shared_ptr<const OneWayProtocol> protocol,
+                           Model model, std::vector<State> initial)
+    : protocol_(std::move(protocol)),
+      model_(model),
+      // Both arguments read `initial` and are indeterminately sequenced, so
+      // the second must copy, not move.
+      sys_(RuleMatrix::compile(protocol_, model_, initial), initial) {
+  // Null protocols and out-of-range initial states are rejected by
+  // RuleMatrix::compile and the Population inside sys_ respectively.
 }
 
 void OneWaySystem::set_starter_omission_fn(std::function<State(State)> o) {
   if (!model_caps(model_).starter_detects_omission)
-    throw std::invalid_argument("set_starter_omission_fn: model has no o function");
-  o_ = std::move(o);
+    throw std::invalid_argument("set_starter_omission_fn: model " +
+                                model_name(model_) + " has no o function");
+  fns_.o = std::move(o);
+  recompile();
 }
 
 void OneWaySystem::set_reactor_omission_fn(std::function<State(State)> h) {
   if (!model_caps(model_).reactor_detects_omission)
-    throw std::invalid_argument("set_reactor_omission_fn: model has no h function");
-  h_ = std::move(h);
+    throw std::invalid_argument("set_reactor_omission_fn: model " +
+                                model_name(model_) + " has no h function");
+  fns_.h = std::move(h);
+  recompile();
 }
 
-void OneWaySystem::interact(const Interaction& ia) {
-  if (ia.starter == ia.reactor)
-    throw std::invalid_argument("OneWaySystem: self-interaction");
-  const State s = states_.at(ia.starter);
-  const State r = states_.at(ia.reactor);
-  if (!ia.omissive) {
-    states_[ia.starter] = protocol_->g(s);
-    states_[ia.reactor] = protocol_->f(s, r);
-    return;
-  }
-  if (!is_omissive(model_))
-    throw std::invalid_argument("OneWaySystem: omission in a non-omissive model");
-  // Omissive outcome per the transition relations of §2.3.
-  switch (model_) {
-    case Model::I1:  // (g(as), ar)
-      states_[ia.starter] = protocol_->g(s);
-      break;
-    case Model::I2:  // (g(as), g(ar))
-      states_[ia.starter] = protocol_->g(s);
-      states_[ia.reactor] = protocol_->g(r);
-      break;
-    case Model::I3:  // (g(as), h(ar))
-      states_[ia.starter] = protocol_->g(s);
-      states_[ia.reactor] = h_ ? h_(r) : r;
-      break;
-    case Model::I4:  // (o(as), g(ar))
-      states_[ia.starter] = o_ ? o_(s) : s;
-      states_[ia.reactor] = protocol_->g(r);
-      break;
-    default:
-      throw std::logic_error("OneWaySystem: unexpected model");
-  }
+void OneWaySystem::recompile() {
+  sys_.set_rules(RuleMatrix::compile(protocol_, model_, sys_.states(), fns_));
 }
 
-int OneWaySystem::consensus_output() const {
-  const int first = protocol_->output(states_.front());
-  if (first < 0) return -1;
-  for (State q : states_) {
-    if (protocol_->output(q) != first) return -1;
-  }
-  return first;
-}
+int OneWaySystem::consensus_output() const { return sys_.consensus_output(); }
 
 }  // namespace ppfs

@@ -1,6 +1,13 @@
 // Native execution engines: run protocols directly under their own model,
 // with no simulation layer. These are the performance baseline for every
 // overhead experiment and the reference semantics for correctness checks.
+//
+// All per-agent execution goes through InteractionSystem, which applies a
+// compiled RuleMatrix (core/rule_matrix.hpp) — the same model-semantics
+// definition the count-based batch engine consumes — so the ten models of
+// §2.2–2.3 are encoded exactly once. NativeSystem (plain TW) and
+// OneWaySystem (IT/IO/I1..I4) are thin facades over it that keep the
+// historical construction ergonomics.
 #pragma once
 
 #include <functional>
@@ -10,29 +17,59 @@
 #include "core/models.hpp"
 #include "core/population.hpp"
 #include "core/protocol.hpp"
+#include "core/rule_matrix.hpp"
 #include "core/types.hpp"
 
 namespace ppfs {
 
+// Model-generic per-agent engine: one agent array, one RuleMatrix.
+class InteractionSystem {
+ public:
+  InteractionSystem(RuleMatrix rules, std::vector<State> initial);
+
+  void interact(const Interaction& ia);
+
+  [[nodiscard]] const RuleMatrix& rules() const noexcept { return rules_; }
+  [[nodiscard]] const Population& population() const noexcept { return pop_; }
+  [[nodiscard]] Population& population() noexcept { return pop_; }
+  [[nodiscard]] State state(AgentId a) const { return pop_.state(a); }
+  [[nodiscard]] const std::vector<State>& states() const noexcept {
+    return pop_.states();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return pop_.size(); }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t omissions() const noexcept { return omissions_; }
+  [[nodiscard]] int consensus_output() const { return pop_.consensus_output(); }
+
+  // Swap in a recompiled matrix over the same state space (used when
+  // omission-reaction functions are installed after construction).
+  void set_rules(RuleMatrix rules);
+
+ private:
+  RuleMatrix rules_;
+  Population pop_;  // states + the matrix's two-way protocol face
+  std::size_t steps_ = 0;
+  std::size_t omissions_ = 0;
+};
+
 // Two-way native engine. Rejects omissive interactions: the plain TW model
-// has no omissions (use a simulator plus an omissive model to study
-// faults, or OneWaySystem below for the one-way omissive semantics).
+// has no omissions (attach an omission adversary via EngineDispatch, or use
+// OneWaySystem below for the one-way omissive semantics).
 class NativeSystem {
  public:
   NativeSystem(std::shared_ptr<const Protocol> protocol, std::vector<State> initial);
 
   void interact(const Interaction& ia);
 
-  [[nodiscard]] const Population& population() const noexcept { return pop_; }
-  [[nodiscard]] Population& population() noexcept { return pop_; }
-  [[nodiscard]] std::size_t size() const noexcept { return pop_.size(); }
-  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] const Population& population() const noexcept {
+    return sys_.population();
+  }
+  [[nodiscard]] Population& population() noexcept { return sys_.population(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sys_.size(); }
+  [[nodiscard]] std::size_t steps() const noexcept { return sys_.steps(); }
 
  private:
-  Population pop_;
-  const StatePair* table_ = nullptr;  // fast path when TableProtocol
-  std::size_t q_ = 0;
-  std::size_t steps_ = 0;
+  InteractionSystem sys_;
 };
 
 // One-way native engine: runs a OneWayProtocol under IT/IO, or under the
@@ -43,28 +80,31 @@ class OneWaySystem {
   OneWaySystem(std::shared_ptr<const OneWayProtocol> protocol, Model model,
                std::vector<State> initial);
 
-  // Optional omission-reaction functions (must be set before running if
-  // the model grants the corresponding detection capability and the
-  // protocol wants to use it).
+  // Optional omission-reaction functions. Validated against ModelCaps at
+  // set-time: installing o on a model without starter-side omission
+  // detection (or h without reactor-side detection) throws.
   void set_starter_omission_fn(std::function<State(State)> o);
   void set_reactor_omission_fn(std::function<State(State)> h);
 
-  void interact(const Interaction& ia);
+  void interact(const Interaction& ia) { sys_.interact(ia); }
 
-  [[nodiscard]] State state(AgentId a) const { return states_.at(a); }
-  [[nodiscard]] const std::vector<State>& states() const noexcept { return states_; }
-  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] State state(AgentId a) const { return sys_.state(a); }
+  [[nodiscard]] const std::vector<State>& states() const noexcept {
+    return sys_.states();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return sys_.size(); }
   [[nodiscard]] const OneWayProtocol& protocol() const noexcept { return *protocol_; }
 
   // True if every agent maps to the same non-negative output.
   [[nodiscard]] int consensus_output() const;
 
  private:
+  void recompile();
+
   std::shared_ptr<const OneWayProtocol> protocol_;
   Model model_;
-  std::vector<State> states_;
-  std::function<State(State)> o_;  // starter-side omission update
-  std::function<State(State)> h_;  // reactor-side omission update
+  ModelFns fns_;
+  InteractionSystem sys_;
 };
 
 }  // namespace ppfs

@@ -12,8 +12,16 @@ void RunStats::reset(std::size_t num_states) {
   fires_.assign(q_ * q_, 0);
   total_fires_ = 0;
   noops_ = 0;
+  omissions_ = 0;
+  omissive_fires_ = 0;
   first_holding_ = kNoConvergence;
   holding_ = false;
+}
+
+void RunStats::record_omissive_fire(State s, State r) {
+  record_fire(s, r);
+  ++omissions_;
+  ++omissive_fires_;
 }
 
 void RunStats::record_fire(State s, State r, std::uint64_t times) {

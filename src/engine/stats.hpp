@@ -54,6 +54,17 @@ class RunStats {
   // `times` scheduled interactions left the configuration unchanged.
   void record_noops(std::uint64_t times) noexcept { noops_ += times; }
 
+  // --- per-model omission accounting ---------------------------------------
+  // An omissive interaction whose faulty outcome changed the configuration
+  // (counts toward fires(s, r) and the omission tally).
+  void record_omissive_fire(State s, State r);
+  // `times` omissive interactions whose faulty outcome was a no-op (counts
+  // toward noops and the omission tally).
+  void record_omissive_noops(std::uint64_t times) noexcept {
+    noops_ += times;
+    omissions_ += times;
+  }
+
   // Convergence-step tracking: report each probe evaluation with the
   // current interaction count. convergence_step() is the earliest step at
   // which the probe held and never reported false again.
@@ -65,6 +76,12 @@ class RunStats {
   [[nodiscard]] std::uint64_t noops() const noexcept { return noops_; }
   [[nodiscard]] std::uint64_t interactions() const noexcept {
     return total_fires_ + noops_;
+  }
+  // Omissive interactions delivered (no-op or not) and the subset that
+  // changed the configuration.
+  [[nodiscard]] std::uint64_t omissions() const noexcept { return omissions_; }
+  [[nodiscard]] std::uint64_t omissive_fires() const noexcept {
+    return omissive_fires_;
   }
 
   // kNoConvergence if the probe never held (or broke and never re-held).
@@ -85,6 +102,8 @@ class RunStats {
   std::vector<std::uint64_t> fires_;  // q_ * q_ dense, row = starter state
   std::uint64_t total_fires_ = 0;
   std::uint64_t noops_ = 0;
+  std::uint64_t omissions_ = 0;
+  std::uint64_t omissive_fires_ = 0;
   std::size_t first_holding_ = kNoConvergence;
   bool holding_ = false;
 };

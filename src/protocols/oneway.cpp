@@ -55,6 +55,20 @@ class ItOrBeacon final : public OneWayProtocol {
   int output(State q) const override { return static_cast<int>(q >> 1); }
 };
 
+class IoCancellationMajority final : public OneWayProtocol {
+ public:
+  // 0 = x (opinion 1), 1 = y (opinion 0), 2 = b (blank).
+  std::size_t num_states() const override { return 3; }
+  State g(State s) const override { return s; }
+  State f(State s, State r) const override {
+    if ((s == 0 && r == 1) || (s == 1 && r == 0)) return 2;  // cancel
+    if (r == 2 && (s == 0 || s == 1)) return s;              // recruit
+    return r;
+  }
+  std::string name() const override { return "io-majority"; }
+  int output(State q) const override { return q == 2 ? -1 : (q == 0 ? 1 : 0); }
+};
+
 }  // namespace
 
 std::shared_ptr<const OneWayProtocol> make_io_or() { return std::make_shared<IoOr>(); }
@@ -70,6 +84,12 @@ std::shared_ptr<const OneWayProtocol> make_io_leader() {
 std::shared_ptr<const OneWayProtocol> make_it_or_with_beacon() {
   return std::make_shared<ItOrBeacon>();
 }
+
+std::shared_ptr<const OneWayProtocol> make_io_cancellation_majority() {
+  return std::make_shared<IoCancellationMajority>();
+}
+
+IoMajorityStates io_majority_states() { return {0, 1, 2}; }
 
 std::shared_ptr<const TableProtocol> lower_to_two_way(const OneWayProtocol& p,
                                                       std::vector<State> initial) {

@@ -25,6 +25,24 @@ namespace ppfs {
 // Demonstrates starter-side proximity awareness, impossible in IO.
 [[nodiscard]] std::shared_ptr<const OneWayProtocol> make_it_or_with_beacon();
 
+// IO cancellation majority: states x, y, b; a reactor holding the opposing
+// opinion of the observed starter blanks itself, a blank reactor adopts the
+// observed opinion (the one-way restriction of Angluin-Aspnes-Eisenstat
+// approximate majority — only the reactor-side halves of its rules).
+// Converges to a consensus on one opinion a.s. under the uniform
+// scheduler, and to the initial majority w.h.p. for large margins. Exact
+// majority is not one-way-computable (one-way models compute only
+// counting predicates), so this is the canonical majority workload of the
+// IT/IO/I* family.
+[[nodiscard]] std::shared_ptr<const OneWayProtocol> make_io_cancellation_majority();
+
+struct IoMajorityStates {
+  State x;  // opinion 1
+  State y;  // opinion 0
+  State b;  // blank
+};
+[[nodiscard]] IoMajorityStates io_majority_states();
+
 // Lower a native one-way protocol to its equivalent two-way table
 // (delta(s,r) = (g(s), f(s,r))), e.g. to reuse two-way tooling.
 [[nodiscard]] std::shared_ptr<const TableProtocol> lower_to_two_way(

@@ -8,6 +8,7 @@
 #include "protocols/leader.hpp"
 #include "protocols/logic.hpp"
 #include "protocols/majority.hpp"
+#include "protocols/oneway.hpp"
 #include "protocols/pairing.hpp"
 #include "protocols/parity.hpp"
 
@@ -123,6 +124,56 @@ std::vector<Workload> core_workloads(std::size_t n) {
   out.push_back(make_exact_majority_workload(n));
   out.push_back(make_leader_workload(n));
   out.push_back(make_pairing_workload(n));
+  return out;
+}
+
+std::vector<OneWayWorkload> one_way_workloads(std::size_t n) {
+  if (n < 4) throw std::invalid_argument("one_way_workloads: n >= 4 required");
+  const std::string size = "(n=" + std::to_string(n) + ")";
+  std::vector<OneWayWorkload> out;
+
+  {
+    std::vector<State> init(n, 0);
+    init[0] = 1;
+    out.push_back({"or" + size, make_io_or(), std::move(init), true, 1, nullptr});
+  }
+  {
+    auto p = make_io_max(8);
+    std::vector<State> init(n, 0);
+    for (std::size_t i = 0; i < n; ++i) init[i] = static_cast<State>(i % 7);
+    init[0] = 7;  // unique maximum to spread
+    out.push_back({"max" + size, std::move(p), std::move(init), true, 7, nullptr});
+  }
+  {
+    auto conv = [](const std::vector<std::size_t>& counts) {
+      return counts[0] == 1;  // exactly one leader
+    };
+    out.push_back({"leader" + size, make_io_leader(), std::vector<State>(n, 0),
+                   true, -1, std::move(conv)});
+  }
+  {
+    // 2/3 majority for x; converged once one opinion is extinct. The
+    // workload stands in for exact majority on one-way models (see
+    // make_io_cancellation_majority).
+    const auto st = io_majority_states();
+    const std::size_t nx = std::max<std::size_t>(2 * n / 3, 1);
+    auto init = make_initial({{st.x, nx}, {st.y, n - nx}});
+    auto conv = [st](const std::vector<std::size_t>& counts) {
+      return counts[st.x] == 0 || counts[st.y] == 0;
+    };
+    out.push_back({"exact-majority-1way" + size, make_io_cancellation_majority(),
+                   std::move(init), true, -1, std::move(conv)});
+  }
+  {
+    // IT-only: non-identity g (beacon phase), OR over the bit halves.
+    std::vector<State> init(n, 0);
+    init[0] = 2;  // bit set, phase 0
+    auto conv = [](const std::vector<std::size_t>& counts) {
+      return counts[0] == 0 && counts[1] == 0;  // every bit is 1
+    };
+    out.push_back({"beacon-or" + size, make_it_or_with_beacon(), std::move(init),
+                   false, -1, std::move(conv)});
+  }
   return out;
 }
 

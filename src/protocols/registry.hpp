@@ -33,4 +33,23 @@ struct Workload {
 // A smaller suite for expensive sweeps (simulators under adversaries).
 [[nodiscard]] std::vector<Workload> core_workloads(std::size_t n);
 
+// A workload expressed directly in the one-way form (g, f) of §2.2, for
+// the IT/IO/I1..I4 engines. `io` marks protocols with g = id (runnable
+// under IO and every I-model; IT-only workloads have io = false).
+struct OneWayWorkload {
+  std::string name;
+  std::shared_ptr<const OneWayProtocol> protocol;
+  std::vector<State> initial;
+  bool io = true;
+  // Expected stable consensus output, or -1 with a custom probe.
+  int expected_output = -1;
+  std::function<bool(const std::vector<std::size_t>& counts)> converged;
+};
+
+// One-way workload suite: or / max epidemics, leader election, the IT
+// beacon-or, and the cancellation majority ("exact-majority" requests on
+// one-way models resolve here — exact majority is not one-way-computable,
+// so the w.h.p.-exact cancellation protocol stands in for it).
+[[nodiscard]] std::vector<OneWayWorkload> one_way_workloads(std::size_t n);
+
 }  // namespace ppfs

@@ -6,46 +6,26 @@ namespace ppfs {
 
 OmissionAdversary::OmissionAdversary(std::unique_ptr<Scheduler> base, std::size_t n,
                                      AdversaryParams params)
-    : base_(std::move(base)), n_(n), params_(params) {
+    : base_(std::move(base)), n_(n), process_(params) {
   if (!base_) throw std::invalid_argument("OmissionAdversary: null base scheduler");
   if (n_ < 2) throw std::invalid_argument("OmissionAdversary: n >= 2 required");
-  if (params_.kind == AdversaryKind::NO1) params_.max_omissions = 1;
 }
 
 void OmissionAdversary::set_victim_picker(VictimPicker picker) {
   picker_ = std::move(picker);
 }
 
-bool OmissionAdversary::may_insert(std::size_t step) const noexcept {
-  if (emitted_ >= params_.max_omissions) return false;
-  if (burst_ >= params_.max_burst) return false;
-  switch (params_.kind) {
-    case AdversaryKind::UO:
-      return true;
-    case AdversaryKind::NO:
-      return step < params_.quiet_after;
-    case AdversaryKind::NO1:
-    case AdversaryKind::Budget:
-      return true;  // bounded by max_omissions above
-  }
-  return false;
-}
-
 Interaction OmissionAdversary::next(Rng& rng, std::size_t step) {
-  if (may_insert(step) && rng.chance(params_.rate)) {
-    ++emitted_;
-    ++burst_;
+  if (process_.should_omit(rng, step)) {
     if (picker_) {
       Interaction ia = picker_(rng, step);
       ia.omissive = true;
       return ia;
     }
-    const auto s = static_cast<AgentId>(rng.below(n_));
-    auto r = static_cast<AgentId>(rng.below(n_ - 1));
-    if (r >= s) ++r;
-    return Interaction{s, r, /*omissive=*/true};
+    Interaction ia = uniform_ordered_pair(rng, n_);
+    ia.omissive = true;
+    return ia;
   }
-  burst_ = 0;
   return base_->next(rng, step);
 }
 

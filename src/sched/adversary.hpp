@@ -2,13 +2,11 @@
 //
 // An adversary wraps a base scheduler (whose output it must deliver
 // unchanged and in order — this preserves global fairness of the real
-// interactions) and inserts omissive interactions between base picks:
-//
-//   * UO  ("unfair omissive"): may insert omissions forever;
-//   * NO  ("eventually non-omissive"): stops inserting after a horizon;
-//   * NO1: inserts at most one omission in the whole run;
-//   * Budget(o): inserts at most o omissions (the knowledge-of-omissions
-//     assumption of §4.1 bounds the total number of omissions by o).
+// interactions) and inserts omissive interactions between base picks. The
+// insertion policy (UO / NO / NO1 / Budget) lives in OmissionProcess
+// (sched/omission_process.hpp), which the count-based batch engine consumes
+// directly; this wrapper is the step-wise Scheduler face of the same
+// process.
 //
 // The victims of inserted omissions are chosen uniformly unless a victim
 // picker is installed (targeted adversaries used by stress tests).
@@ -19,24 +17,10 @@
 #include <limits>
 #include <memory>
 
+#include "sched/omission_process.hpp"
 #include "sched/scheduler.hpp"
 
 namespace ppfs {
-
-enum class AdversaryKind : std::uint8_t { UO, NO, NO1, Budget };
-
-struct AdversaryParams {
-  AdversaryKind kind = AdversaryKind::UO;
-  // Probability of inserting an omissive interaction before each real one
-  // (re-rolled after each insertion, geometric burst lengths).
-  double rate = 0.1;
-  // NO: no omissions are inserted at or after this step index.
-  std::size_t quiet_after = std::numeric_limits<std::size_t>::max();
-  // Budget / NO1: maximum total omissions (NO1 forces 1).
-  std::size_t max_omissions = std::numeric_limits<std::size_t>::max();
-  // Cap on consecutive insertions (keeps bursts finite, Def. 1).
-  std::size_t max_burst = 8;
-};
 
 class OmissionAdversary final : public Scheduler {
  public:
@@ -51,17 +35,18 @@ class OmissionAdversary final : public Scheduler {
 
   [[nodiscard]] Interaction next(Rng& rng, std::size_t step) override;
 
-  [[nodiscard]] std::size_t omissions_emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::size_t omissions_emitted() const noexcept {
+    return process_.emitted();
+  }
+  [[nodiscard]] const OmissionProcess& process() const noexcept {
+    return process_;
+  }
 
  private:
-  [[nodiscard]] bool may_insert(std::size_t step) const noexcept;
-
   std::unique_ptr<Scheduler> base_;
   std::size_t n_;
-  AdversaryParams params_;
+  OmissionProcess process_;
   VictimPicker picker_;
-  std::size_t emitted_ = 0;
-  std::size_t burst_ = 0;
 };
 
 }  // namespace ppfs

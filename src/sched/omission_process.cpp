@@ -1,0 +1,124 @@
+#include "sched/omission_process.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ppfs {
+
+std::string adversary_kind_name(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::UO: return "uo";
+    case AdversaryKind::NO: return "no";
+    case AdversaryKind::NO1: return "no1";
+    case AdversaryKind::Budget: return "budget";
+  }
+  throw std::invalid_argument("adversary_kind_name: bad kind");
+}
+
+AdversaryParams parse_adversary_spec(const std::string& spec) {
+  AdversaryParams p;
+  if (spec == "none" || spec.empty()) {
+    p.rate = 0.0;
+    return p;
+  }
+  // Split on ':' into head and up to two numeric fields.
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t next = spec.find(':', pos);
+    if (next == std::string::npos) {
+      parts.push_back(spec.substr(pos));
+      break;
+    }
+    parts.push_back(spec.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  const auto number = [&](std::size_t i) -> double {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(parts.at(i), &used);
+      if (used != parts[i].size() || v < 0)
+        throw std::invalid_argument("trailing garbage");
+      return v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_adversary_spec: bad number '" +
+                                  parts.at(i) + "' in '" + spec + "'");
+    }
+  };
+  // Count fields (quiet_after, budget) must be plain integers: stoull, no
+  // float round-trip (a double->size_t cast is UB for huge inputs and
+  // silently truncates fractional ones).
+  const auto count = [&](std::size_t i) -> std::size_t {
+    try {
+      std::size_t used = 0;
+      const unsigned long long v = std::stoull(parts.at(i), &used);
+      if (used != parts[i].size())
+        throw std::invalid_argument("trailing garbage");
+      return static_cast<std::size_t>(v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_adversary_spec: bad count '" +
+                                  parts.at(i) + "' in '" + spec + "'");
+    }
+  };
+  const auto require_fields = [&](std::size_t min, std::size_t max) {
+    if (parts.size() < min || parts.size() > max)
+      throw std::invalid_argument("parse_adversary_spec: wrong number of "
+                                  "fields in '" + spec + "'");
+  };
+  const std::string& head = parts[0];
+  if (head == "uo") {
+    require_fields(1, 2);
+    p.kind = AdversaryKind::UO;
+    if (parts.size() > 1) p.rate = number(1);
+  } else if (head == "no") {
+    require_fields(2, 3);
+    p.kind = AdversaryKind::NO;
+    p.quiet_after = count(1);
+    if (parts.size() > 2) p.rate = number(2);
+  } else if (head == "no1") {
+    require_fields(1, 2);
+    p.kind = AdversaryKind::NO1;
+    p.max_omissions = 1;
+    if (parts.size() > 1) p.rate = number(1);
+  } else if (head == "budget") {
+    require_fields(2, 3);
+    p.kind = AdversaryKind::Budget;
+    p.max_omissions = count(1);
+    if (parts.size() > 2) p.rate = number(2);
+  } else {
+    throw std::invalid_argument("parse_adversary_spec: unknown kind '" + head +
+                                "' (want none|uo|no|no1|budget)");
+  }
+  if (p.rate < 0.0 || p.rate > 1.0)
+    throw std::invalid_argument("parse_adversary_spec: rate must be in [0, 1]");
+  return p;
+}
+
+OmissionProcess::OmissionProcess(AdversaryParams params) : params_(params) {
+  if (params_.kind == AdversaryKind::NO1) params_.max_omissions = 1;
+}
+
+bool OmissionProcess::active(std::size_t step) const noexcept {
+  if (params_.rate <= 0.0) return false;
+  if (emitted_ >= params_.max_omissions) return false;
+  if (params_.kind == AdversaryKind::NO && step >= params_.quiet_after)
+    return false;
+  return true;
+}
+
+std::size_t OmissionProcess::remaining_budget() const noexcept {
+  return emitted_ >= params_.max_omissions ? 0
+                                           : params_.max_omissions - emitted_;
+}
+
+bool OmissionProcess::should_omit(Rng& rng, std::size_t step) {
+  if (!active(step) || burst_ >= params_.max_burst || !rng.chance(params_.rate)) {
+    burst_ = 0;
+    return false;
+  }
+  ++emitted_;
+  ++burst_;
+  return true;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,87 @@
+// OmissionProcess: the omission-insertion state machine of Definitions 1–2,
+// factored out of the OmissionAdversary scheduler wrapper so that BOTH
+// execution paths consume one definition of the adversary classes:
+//
+//   * the step-wise path (OmissionAdversary, the dispatch native engine)
+//     asks should_omit() before delivering each interaction;
+//   * the count-based batch engine (engine/batch/) reads the process
+//     parameters (rate / remaining budget / quiet horizon) and splits each
+//     leap into real and omissive draws by exact geometric/binomial
+//     sampling, crediting the omissions back via note_omissions().
+//
+// Adversary classes:
+//   * UO  ("unfair omissive"): may insert omissions forever;
+//   * NO  ("eventually non-omissive"): stops inserting after a horizon;
+//   * NO1: inserts at most one omission in the whole run;
+//   * Budget(o): inserts at most o omissions (the knowledge-of-omissions
+//     assumption of §4.1 bounds the total number of omissions by o).
+//
+// The step-wise path additionally honors max_burst (a cap on consecutive
+// insertions). The batch path treats bursts as unbounded — for rate < 1
+// bursts are finite almost surely, so Def. 1 is still satisfied — and
+// engine dispatch normalizes max_burst away when an adversary is attached
+// to an engine, keeping the two engines distributionally identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ppfs {
+
+enum class AdversaryKind : std::uint8_t { UO, NO, NO1, Budget };
+
+[[nodiscard]] std::string adversary_kind_name(AdversaryKind k);
+
+struct AdversaryParams {
+  AdversaryKind kind = AdversaryKind::UO;
+  // Probability of inserting an omissive interaction before each real one
+  // (re-rolled after each insertion, geometric burst lengths).
+  double rate = 0.1;
+  // NO: no omissions are inserted at or after this step index.
+  std::size_t quiet_after = std::numeric_limits<std::size_t>::max();
+  // Budget / NO1: maximum total omissions (NO1 forces 1).
+  std::size_t max_omissions = std::numeric_limits<std::size_t>::max();
+  // Cap on consecutive insertions (step-wise path only; the batch path
+  // relies on rate < 1 keeping bursts finite almost surely).
+  std::size_t max_burst = 8;
+};
+
+// Parse a command-line adversary spec:
+//   "none" | "uo[:rate]" | "no:quiet[:rate]" | "no1[:rate]" |
+//   "budget:B[:rate]"
+// e.g. "budget:1000" or "uo:0.05". Returns kind UO with rate 0 for "none".
+[[nodiscard]] AdversaryParams parse_adversary_spec(const std::string& spec);
+
+class OmissionProcess {
+ public:
+  explicit OmissionProcess(AdversaryParams params);
+
+  // Step-wise draw: should the interaction delivered at `step` be an
+  // inserted omission? Updates the burst/budget state.
+  [[nodiscard]] bool should_omit(Rng& rng, std::size_t step);
+
+  // --- batch-side views -----------------------------------------------------
+  // Can any further omission be inserted at or after `step`? Inactivity is
+  // absorbing: once false for the current step it stays false forever.
+  [[nodiscard]] bool active(std::size_t step) const noexcept;
+  [[nodiscard]] double rate() const noexcept { return params_.rate; }
+  [[nodiscard]] std::size_t remaining_budget() const noexcept;
+  [[nodiscard]] std::size_t quiet_after() const noexcept {
+    return params_.quiet_after;
+  }
+  // Credit `k` omissions sampled by a batch leap.
+  void note_omissions(std::size_t k) noexcept { emitted_ += k; }
+
+  [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] const AdversaryParams& params() const noexcept { return params_; }
+
+ private:
+  AdversaryParams params_;
+  std::size_t emitted_ = 0;
+  std::size_t burst_ = 0;
+};
+
+}  // namespace ppfs

@@ -10,10 +10,7 @@ UniformScheduler::UniformScheduler(std::size_t n) : n_(n) {
 
 Interaction UniformScheduler::next(Rng& rng, std::size_t step) {
   (void)step;
-  const auto s = static_cast<AgentId>(rng.below(n_));
-  auto r = static_cast<AgentId>(rng.below(n_ - 1));
-  if (r >= s) ++r;  // uniform over ordered pairs with s != r
-  return Interaction{s, r, /*omissive=*/false};
+  return uniform_ordered_pair(rng, n_);
 }
 
 ScriptedScheduler::ScriptedScheduler(std::vector<Interaction> script,

@@ -16,30 +16,28 @@
 
 namespace ppfs {
 
+// Uniform draw over the n(n-1) ordered agent pairs with distinct members —
+// the one pair distribution shared by the uniform scheduler, the omission
+// adversaries' victim picks, and the dispatch engines' inserted omissions.
+[[nodiscard]] inline Interaction uniform_ordered_pair(Rng& rng, std::size_t n) {
+  const auto s = static_cast<AgentId>(rng.below(n));
+  auto r = static_cast<AgentId>(rng.below(n - 1));
+  if (r >= s) ++r;
+  return Interaction{s, r, /*omissive=*/false};
+}
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   // The step index is informational (for adversaries keyed on time).
   [[nodiscard]] virtual Interaction next(Rng& rng, std::size_t step) = 0;
-
-  // True iff this scheduler's interaction distribution is the memoryless
-  // uniform one over ordered agent pairs — the distribution the batch
-  // engine (engine/batch/) reproduces at the count level. Engines that
-  // replace the per-interaction loop with count-level sampling must refuse
-  // any scheduler that answers false here (scripted runs, adversaries, and
-  // anything keyed on agent identity or time).
-  [[nodiscard]] virtual bool uniform_batch_compatible() const noexcept {
-    return false;
-  }
 };
 
 class UniformScheduler final : public Scheduler {
  public:
   explicit UniformScheduler(std::size_t n);
   [[nodiscard]] Interaction next(Rng& rng, std::size_t step) override;
-  [[nodiscard]] bool uniform_batch_compatible() const noexcept override {
-    return true;
-  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
  private:
   std::size_t n_;

@@ -12,6 +12,8 @@
 
 #include <array>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -240,6 +242,180 @@ TEST(BatchEquivalence, ChiSquareExactStepPathMatchesNative) {
     expect_distributions_match(p, init, Driver::BatchStep, 2 * n, 150,
                                1300 + round, "step round " + std::to_string(round));
   }
+}
+
+// --- One-way & omissive models, with and without adversaries ---------------
+//
+// The native reference is the per-agent engine behind the same
+// EngineDispatch configuration (same RuleMatrix, same OmissionProcess
+// semantics), so these tests pin the count-space leap — geometric skip,
+// event-punctuated splitting, binomial omission tally — against the
+// step-wise execution. Where an adversary is on, the omissions-delivered
+// count is appended to the outcome category, so the chi-square also
+// checks that batch omission streams match the native adversary's.
+
+using EngineFactory = std::function<std::unique_ptr<Engine>()>;
+
+std::map<Counts, std::size_t> engine_distribution(
+    const EngineFactory& make, std::size_t n, std::size_t interactions,
+    std::size_t trials, std::uint64_t seed, bool with_omissions) {
+  std::map<Counts, std::size_t> dist;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(seed + trial * 7919);
+    auto e = make();
+    UniformScheduler sched(n);
+    (void)run_engine_steps(*e, sched, rng, interactions);
+    Counts key = e->counts();
+    if (with_omissions) key.push_back(e->omissions());
+    ++dist[key];
+  }
+  return dist;
+}
+
+void expect_engines_match(const EngineFactory& make_native,
+                          const EngineFactory& make_batch, std::size_t n,
+                          std::size_t interactions, std::size_t trials,
+                          std::uint64_t seed, bool with_omissions,
+                          const std::string& label) {
+  const auto native = engine_distribution(make_native, n, interactions, trials,
+                                          seed, with_omissions);
+  const auto batch = engine_distribution(make_batch, n, interactions, trials,
+                                         seed + 1, with_omissions);
+  const auto [stat, df] = chi_square_homogeneity(native, batch, trials, trials);
+  EXPECT_LE(stat, chi_square_limit(df))
+      << label << ": chi2=" << stat << " df=" << df;
+}
+
+void expect_one_way_match(std::shared_ptr<const OneWayProtocol> p,
+                          const std::vector<State>& init,
+                          const EngineConfig& config, std::size_t interactions,
+                          std::size_t trials, std::uint64_t seed,
+                          const std::string& label) {
+  const bool with_om = config.adversary.has_value();
+  expect_engines_match(
+      [&] { return make_engine("native", p, init, config); },
+      [&] { return make_engine("batch", p, init, config); }, init.size(),
+      interactions, trials, seed, with_om, label);
+}
+
+TEST(BatchEquivalence, OneWayChiSquareUnderItAndIo) {
+  Rng meta(271);
+  for (int round = 0; round < 4; ++round) {
+    const bool io = round % 2 == 0;
+    const std::size_t states = 2 + meta.below(3);
+    const std::size_t n = 6 + meta.below(3);
+    auto p = testing::random_one_way_protocol(states, meta, io);
+    const auto init = random_initial(n, states, meta);
+    EngineConfig config;
+    config.model = io ? Model::IO : Model::IT;
+    expect_one_way_match(p, init, config, 2 * n, 120, 3100 + round,
+                         std::string(io ? "IO" : "IT") + " round " +
+                             std::to_string(round));
+  }
+}
+
+TEST(BatchEquivalence, OneWayChiSquareUnderI2WithUoAdversary) {
+  // I2 omissions force g on both parties: with a random (non-identity) g
+  // they change counts, exercising the event-punctuated leap.
+  Rng meta(272);
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t states = 2 + meta.below(3);
+    const std::size_t n = 6 + meta.below(3);
+    auto p = testing::random_one_way_protocol(states, meta, /*io=*/false);
+    const auto init = random_initial(n, states, meta);
+    EngineConfig config;
+    config.model = Model::I2;
+    config.adversary = parse_adversary_spec("uo:0.2");
+    expect_one_way_match(p, init, config, 2 * n, 120, 3200 + round,
+                         "I2+uo round " + std::to_string(round));
+  }
+}
+
+TEST(BatchEquivalence, OneWayChiSquareUnderI3WithNoAdversary) {
+  // NO adversary with a horizon inside the run: the batch leap must not
+  // cross the quiet boundary. Random h exercises reactor-side detection.
+  Rng meta(273);
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t states = 2 + meta.below(3);
+    const std::size_t n = 6 + meta.below(2);
+    auto p = testing::random_one_way_protocol(states, meta, /*io=*/false);
+    const auto init = random_initial(n, states, meta);
+    EngineConfig config;
+    config.model = Model::I3;
+    config.fns.h = testing::as_fn(testing::random_unary(states, meta));
+    config.adversary = parse_adversary_spec("no:12:0.3");
+    expect_one_way_match(p, init, config, 3 * n, 120, 3300 + round,
+                         "I3+no round " + std::to_string(round));
+  }
+}
+
+TEST(BatchEquivalence, TwoWayChiSquareUnderT3WithBudgetAdversary) {
+  // T3 with random o/h: omissive outcomes differ per side; the uniform
+  // adversary emits side=Both, whose (o, h) outcome can change counts.
+  Rng meta(274);
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t states = 2 + meta.below(3);
+    const std::size_t n = 6 + meta.below(3);
+    auto p = random_protocol(states, meta);
+    const auto init = random_initial(n, states, meta);
+    EngineConfig config;
+    config.model = Model::T3;
+    config.fns.o = testing::as_fn(testing::random_unary(states, meta));
+    config.fns.h = testing::as_fn(testing::random_unary(states, meta));
+    config.adversary = parse_adversary_spec("budget:6:0.3");
+    expect_engines_match(
+        [&] { return make_engine("native", p, init, config); },
+        [&] { return make_engine("batch", p, init, config); }, n, 3 * n, 120,
+        3400 + round, /*with_omissions=*/true,
+        "T3+budget round " + std::to_string(round));
+  }
+}
+
+TEST(BatchEquivalence, LiftedIoUnderBudgetMatchesNative) {
+  // The omissive-closure lift (IO -> I1) must agree between engines,
+  // omission counts included.
+  Rng meta(275);
+  const std::size_t states = 3;
+  const std::size_t n = 8;
+  auto p = testing::random_one_way_protocol(states, meta, /*io=*/true);
+  const auto init = random_initial(n, states, meta);
+  EngineConfig config;
+  config.model = Model::IO;
+  config.adversary = parse_adversary_spec("budget:5:0.25");
+  expect_one_way_match(p, init, config, 3 * n, 150, 3500, "IO lifted + budget");
+}
+
+TEST(BatchEquivalence, OneWayStepPathMatchesNative) {
+  // The per-interaction hypergeometric step must agree on one-way models
+  // too, omission process included (step() honors should_omit).
+  Rng meta(276);
+  const std::size_t states = 3;
+  const std::size_t n = 6;
+  auto p = testing::random_one_way_protocol(states, meta, /*io=*/false);
+  const auto init = random_initial(n, states, meta);
+  AdversaryParams adv = parse_adversary_spec("uo:0.2");
+  adv.max_burst = std::numeric_limits<std::size_t>::max();
+  EngineConfig config;
+  config.model = Model::I2;
+  config.adversary = adv;
+
+  const auto native = engine_distribution(
+      [&] { return make_engine("native", p, init, config); }, n, 2 * n, 150,
+      3600, /*with_omissions=*/true);
+  std::map<Counts, std::size_t> stepped;
+  for (std::size_t trial = 0; trial < 150; ++trial) {
+    Rng rng(3601 + trial * 7919);
+    std::vector<std::size_t> counts(states, 0);
+    for (State q : init) ++counts[q];
+    BatchSystem sys(RuleMatrix::compile(p, Model::I2, init), counts);
+    sys.set_omission_process(adv);
+    for (std::size_t i = 0; i < 2 * n; ++i) (void)sys.step(rng);
+    Counts key = sys.counts();
+    key.push_back(sys.omissions());
+    ++stepped[key];
+  }
+  const auto [stat, df] = chi_square_homogeneity(native, stepped, 150, 150);
+  EXPECT_LE(stat, chi_square_limit(df)) << "chi2=" << stat << " df=" << df;
 }
 
 TEST(BatchEquivalence, ConvergedOutputDistributionMatchesOnApproxMajority) {
