@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_engine_test.dir/tests/batch_engine_test.cpp.o"
+  "CMakeFiles/batch_engine_test.dir/tests/batch_engine_test.cpp.o.d"
+  "batch_engine_test"
+  "batch_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

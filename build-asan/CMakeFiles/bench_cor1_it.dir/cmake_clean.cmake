@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cor1_it.dir/bench/bench_cor1_it.cpp.o"
+  "CMakeFiles/bench_cor1_it.dir/bench/bench_cor1_it.cpp.o.d"
+  "bench_cor1_it"
+  "bench_cor1_it.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cor1_it.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_omissive.dir/bench/bench_engine_omissive.cpp.o"
+  "CMakeFiles/bench_engine_omissive.dir/bench/bench_engine_omissive.cpp.o.d"
+  "bench_engine_omissive"
+  "bench_engine_omissive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_omissive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

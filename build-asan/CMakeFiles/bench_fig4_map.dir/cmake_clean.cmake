@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_map.dir/bench/bench_fig4_map.cpp.o"
+  "CMakeFiles/bench_fig4_map.dir/bench/bench_fig4_map.cpp.o.d"
+  "bench_fig4_map"
+  "bench_fig4_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

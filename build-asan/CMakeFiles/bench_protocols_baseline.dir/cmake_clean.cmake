@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocols_baseline.dir/bench/bench_protocols_baseline.cpp.o"
+  "CMakeFiles/bench_protocols_baseline.dir/bench/bench_protocols_baseline.cpp.o.d"
+  "bench_protocols_baseline"
+  "bench_protocols_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocols_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm41_skno.dir/bench/bench_thm41_skno.cpp.o"
+  "CMakeFiles/bench_thm41_skno.dir/bench/bench_thm41_skno.cpp.o.d"
+  "bench_thm41_skno"
+  "bench_thm41_skno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm41_skno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

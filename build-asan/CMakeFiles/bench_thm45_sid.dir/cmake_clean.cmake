@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm45_sid.dir/bench/bench_thm45_sid.cpp.o"
+  "CMakeFiles/bench_thm45_sid.dir/bench/bench_thm45_sid.cpp.o.d"
+  "bench_thm45_sid"
+  "bench_thm45_sid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm45_sid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

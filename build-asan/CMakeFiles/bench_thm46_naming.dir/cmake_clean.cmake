@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm46_naming.dir/bench/bench_thm46_naming.cpp.o"
+  "CMakeFiles/bench_thm46_naming.dir/bench/bench_thm46_naming.cpp.o.d"
+  "bench_thm46_naming"
+  "bench_thm46_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm46_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

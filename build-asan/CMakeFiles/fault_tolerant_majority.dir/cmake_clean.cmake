@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_majority.dir/examples/fault_tolerant_majority.cpp.o"
+  "CMakeFiles/fault_tolerant_majority.dir/examples/fault_tolerant_majority.cpp.o.d"
+  "fault_tolerant_majority"
+  "fault_tolerant_majority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_majority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

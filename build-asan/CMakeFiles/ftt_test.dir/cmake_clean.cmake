@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftt_test.dir/tests/ftt_test.cpp.o"
+  "CMakeFiles/ftt_test.dir/tests/ftt_test.cpp.o.d"
+  "ftt_test"
+  "ftt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

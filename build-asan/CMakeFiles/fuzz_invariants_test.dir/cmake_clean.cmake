@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_invariants_test.dir/tests/fuzz_invariants_test.cpp.o"
+  "CMakeFiles/fuzz_invariants_test.dir/tests/fuzz_invariants_test.cpp.o.d"
+  "fuzz_invariants_test"
+  "fuzz_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

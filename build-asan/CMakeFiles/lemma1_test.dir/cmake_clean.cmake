@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma1_test.dir/tests/lemma1_test.cpp.o"
+  "CMakeFiles/lemma1_test.dir/tests/lemma1_test.cpp.o.d"
+  "lemma1_test"
+  "lemma1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

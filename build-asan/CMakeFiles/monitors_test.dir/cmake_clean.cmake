@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitors_test.dir/tests/monitors_test.cpp.o"
+  "CMakeFiles/monitors_test.dir/tests/monitors_test.cpp.o.d"
+  "monitors_test"
+  "monitors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_test.dir/tests/naming_test.cpp.o"
+  "CMakeFiles/naming_test.dir/tests/naming_test.cpp.o.d"
+  "naming_test"
+  "naming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_engine_test.dir/tests/native_engine_test.cpp.o"
+  "CMakeFiles/native_engine_test.dir/tests/native_engine_test.cpp.o.d"
+  "native_engine_test"
+  "native_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omission_process_test.dir/tests/omission_process_test.cpp.o"
+  "CMakeFiles/omission_process_test.dir/tests/omission_process_test.cpp.o.d"
+  "omission_process_test"
+  "omission_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omission_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneway_workloads_test.dir/tests/oneway_workloads_test.cpp.o"
+  "CMakeFiles/oneway_workloads_test.dir/tests/oneway_workloads_test.cpp.o.d"
+  "oneway_workloads_test"
+  "oneway_workloads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneway_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

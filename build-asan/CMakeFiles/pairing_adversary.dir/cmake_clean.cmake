@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairing_adversary.dir/examples/pairing_adversary.cpp.o"
+  "CMakeFiles/pairing_adversary.dir/examples/pairing_adversary.cpp.o.d"
+  "pairing_adversary"
+  "pairing_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairing_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/ftt.cpp" "CMakeFiles/ppfs.dir/src/attack/ftt.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/attack/ftt.cpp.o.d"
+  "/root/repo/src/attack/lemma1.cpp" "CMakeFiles/ppfs.dir/src/attack/lemma1.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/attack/lemma1.cpp.o.d"
+  "/root/repo/src/attack/skno_attack.cpp" "CMakeFiles/ppfs.dir/src/attack/skno_attack.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/attack/skno_attack.cpp.o.d"
+  "/root/repo/src/attack/thm32.cpp" "CMakeFiles/ppfs.dir/src/attack/thm32.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/attack/thm32.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "CMakeFiles/ppfs.dir/src/core/models.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/core/models.cpp.o.d"
+  "/root/repo/src/core/population.cpp" "CMakeFiles/ppfs.dir/src/core/population.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/core/population.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "CMakeFiles/ppfs.dir/src/core/protocol.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/core/protocol.cpp.o.d"
+  "/root/repo/src/core/rule_matrix.cpp" "CMakeFiles/ppfs.dir/src/core/rule_matrix.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/core/rule_matrix.cpp.o.d"
+  "/root/repo/src/engine/batch/batch_system.cpp" "CMakeFiles/ppfs.dir/src/engine/batch/batch_system.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/engine/batch/batch_system.cpp.o.d"
+  "/root/repo/src/engine/batch/configuration.cpp" "CMakeFiles/ppfs.dir/src/engine/batch/configuration.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/engine/batch/configuration.cpp.o.d"
+  "/root/repo/src/engine/batch/dispatch.cpp" "CMakeFiles/ppfs.dir/src/engine/batch/dispatch.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/engine/batch/dispatch.cpp.o.d"
+  "/root/repo/src/engine/native.cpp" "CMakeFiles/ppfs.dir/src/engine/native.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/engine/native.cpp.o.d"
+  "/root/repo/src/engine/runner.cpp" "CMakeFiles/ppfs.dir/src/engine/runner.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/engine/runner.cpp.o.d"
+  "/root/repo/src/engine/stats.cpp" "CMakeFiles/ppfs.dir/src/engine/stats.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/engine/stats.cpp.o.d"
+  "/root/repo/src/engine/trace.cpp" "CMakeFiles/ppfs.dir/src/engine/trace.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/engine/trace.cpp.o.d"
+  "/root/repo/src/protocols/counting.cpp" "CMakeFiles/ppfs.dir/src/protocols/counting.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/counting.cpp.o.d"
+  "/root/repo/src/protocols/leader.cpp" "CMakeFiles/ppfs.dir/src/protocols/leader.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/leader.cpp.o.d"
+  "/root/repo/src/protocols/linear.cpp" "CMakeFiles/ppfs.dir/src/protocols/linear.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/linear.cpp.o.d"
+  "/root/repo/src/protocols/logic.cpp" "CMakeFiles/ppfs.dir/src/protocols/logic.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/logic.cpp.o.d"
+  "/root/repo/src/protocols/majority.cpp" "CMakeFiles/ppfs.dir/src/protocols/majority.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/majority.cpp.o.d"
+  "/root/repo/src/protocols/oneway.cpp" "CMakeFiles/ppfs.dir/src/protocols/oneway.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/oneway.cpp.o.d"
+  "/root/repo/src/protocols/pairing.cpp" "CMakeFiles/ppfs.dir/src/protocols/pairing.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/pairing.cpp.o.d"
+  "/root/repo/src/protocols/parity.cpp" "CMakeFiles/ppfs.dir/src/protocols/parity.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/parity.cpp.o.d"
+  "/root/repo/src/protocols/product.cpp" "CMakeFiles/ppfs.dir/src/protocols/product.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/product.cpp.o.d"
+  "/root/repo/src/protocols/registry.cpp" "CMakeFiles/ppfs.dir/src/protocols/registry.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/protocols/registry.cpp.o.d"
+  "/root/repo/src/sched/adversary.cpp" "CMakeFiles/ppfs.dir/src/sched/adversary.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sched/adversary.cpp.o.d"
+  "/root/repo/src/sched/fairness.cpp" "CMakeFiles/ppfs.dir/src/sched/fairness.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sched/fairness.cpp.o.d"
+  "/root/repo/src/sched/omission_process.cpp" "CMakeFiles/ppfs.dir/src/sched/omission_process.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sched/omission_process.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "CMakeFiles/ppfs.dir/src/sched/scheduler.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sim/naming.cpp" "CMakeFiles/ppfs.dir/src/sim/naming.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sim/naming.cpp.o.d"
+  "/root/repo/src/sim/sid.cpp" "CMakeFiles/ppfs.dir/src/sim/sid.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sim/sid.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/ppfs.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/skno.cpp" "CMakeFiles/ppfs.dir/src/sim/skno.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sim/skno.cpp.o.d"
+  "/root/repo/src/sim/tw_naive.cpp" "CMakeFiles/ppfs.dir/src/sim/tw_naive.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/sim/tw_naive.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/ppfs.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/ppfs.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/verify/matching.cpp" "CMakeFiles/ppfs.dir/src/verify/matching.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/verify/matching.cpp.o.d"
+  "/root/repo/src/verify/monitors.cpp" "CMakeFiles/ppfs.dir/src/verify/monitors.cpp.o" "gcc" "CMakeFiles/ppfs.dir/src/verify/monitors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

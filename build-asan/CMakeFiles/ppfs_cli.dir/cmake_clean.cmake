@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppfs_cli.dir/examples/ppfs_cli.cpp.o"
+  "CMakeFiles/ppfs_cli.dir/examples/ppfs_cli.cpp.o.d"
+  "ppfs_cli"
+  "ppfs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppfs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

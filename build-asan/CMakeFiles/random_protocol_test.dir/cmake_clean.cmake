@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_protocol_test.dir/tests/random_protocol_test.cpp.o"
+  "CMakeFiles/random_protocol_test.dir/tests/random_protocol_test.cpp.o.d"
+  "random_protocol_test"
+  "random_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

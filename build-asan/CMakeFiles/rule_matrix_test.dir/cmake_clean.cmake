@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_matrix_test.dir/tests/rule_matrix_test.cpp.o"
+  "CMakeFiles/rule_matrix_test.dir/tests/rule_matrix_test.cpp.o.d"
+  "rule_matrix_test"
+  "rule_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_flock.dir/examples/sensor_flock.cpp.o"
+  "CMakeFiles/sensor_flock.dir/examples/sensor_flock.cpp.o.d"
+  "sensor_flock"
+  "sensor_flock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_flock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

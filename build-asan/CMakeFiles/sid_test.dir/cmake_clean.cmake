@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sid_test.dir/tests/sid_test.cpp.o"
+  "CMakeFiles/sid_test.dir/tests/sid_test.cpp.o.d"
+  "sid_test"
+  "sid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

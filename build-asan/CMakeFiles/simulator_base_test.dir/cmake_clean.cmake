@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_base_test.dir/tests/simulator_base_test.cpp.o"
+  "CMakeFiles/simulator_base_test.dir/tests/simulator_base_test.cpp.o.d"
+  "simulator_base_test"
+  "simulator_base_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skno_attack_test.dir/tests/skno_attack_test.cpp.o"
+  "CMakeFiles/skno_attack_test.dir/tests/skno_attack_test.cpp.o.d"
+  "skno_attack_test"
+  "skno_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skno_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

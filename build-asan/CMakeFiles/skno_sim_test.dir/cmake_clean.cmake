@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skno_sim_test.dir/tests/skno_sim_test.cpp.o"
+  "CMakeFiles/skno_sim_test.dir/tests/skno_sim_test.cpp.o.d"
+  "skno_sim_test"
+  "skno_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skno_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

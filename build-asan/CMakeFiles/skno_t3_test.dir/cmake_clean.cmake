@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skno_t3_test.dir/tests/skno_t3_test.cpp.o"
+  "CMakeFiles/skno_t3_test.dir/tests/skno_t3_test.cpp.o.d"
+  "skno_t3_test"
+  "skno_t3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skno_t3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

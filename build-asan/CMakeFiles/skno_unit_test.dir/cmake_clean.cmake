@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skno_unit_test.dir/tests/skno_unit_test.cpp.o"
+  "CMakeFiles/skno_unit_test.dir/tests/skno_unit_test.cpp.o.d"
+  "skno_unit_test"
+  "skno_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skno_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_populations_test.dir/tests/small_populations_test.cpp.o"
+  "CMakeFiles/small_populations_test.dir/tests/small_populations_test.cpp.o.d"
+  "small_populations_test"
+  "small_populations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_populations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

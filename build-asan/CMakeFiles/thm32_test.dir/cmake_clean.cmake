@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm32_test.dir/tests/thm32_test.cpp.o"
+  "CMakeFiles/thm32_test.dir/tests/thm32_test.cpp.o.d"
+  "thm32_test"
+  "thm32_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

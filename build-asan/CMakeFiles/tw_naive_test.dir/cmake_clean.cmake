@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_naive_test.dir/tests/tw_naive_test.cpp.o"
+  "CMakeFiles/tw_naive_test.dir/tests/tw_naive_test.cpp.o.d"
+  "tw_naive_test"
+  "tw_naive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_naive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
