@@ -1,0 +1,150 @@
+// bench_sim_batch — step-wise vs count-space SIMULATOR throughput through
+// the make_sim_engine facade (engine/batch/sim_batch_system.hpp): the §4
+// simulators executed as open-universe protocols over interned wrapper
+// states.
+//
+// What to expect (and what the rows honestly show):
+//   * naive at n = 10^6: the wrapper adds no state, so the count-space
+//     engine leaps no-op oceans exactly like the bare batch engine —
+//     >= 10^2x step-wise throughput by orders of magnitude (the
+//     acceptance row; in practice >= 10^4x).
+//   * SKnO at n = 10^6: nearly every delivery moves a token, so there is
+//     almost nothing to leap — count space pays interning per fire and
+//     runs HONESTLY SLOWER per interaction than the step-wise loop. Its
+//     value at this scale is distribution-exact execution with bounded
+//     resident state (live wrapper states ~ n/4, id recycling), not
+//     speed. The row records both engines plus the live-state count.
+//   * SKnO at n = 10^2 to convergence: the paper-scale regime; the
+//     simulated-projection probe stabilizes on both engines.
+//   * SID at n = 4096: the pairing chain fires at rate ~1/n but its
+//     states embed partner identities, so the universe holds >= n states
+//     and count space degenerates gracefully to direct stepping.
+//
+// Usage: bench_sim_batch [--json]     (PPFS_SEED honored)
+//   --json writes BENCH_sim_batch.json with one row per (engine,
+//   workload) pair plus speedup:<workload> rows whose
+//   interactions_per_sec field carries the batch/step-wise ratio.
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "engine/batch/dispatch.hpp"
+#include "protocols/registry.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ppfs;
+
+struct Lane {
+  double ips = 0.0;           // scheduler interactions covered per second
+  std::size_t interactions = 0;
+  bool converged = false;
+  std::size_t live = 0;  // interned wrapper states (batch lanes only)
+};
+
+Workload find_workload(const std::string& name, std::size_t n) {
+  for (Workload& w : standard_workloads(n)) {
+    if (w.name.rfind(name, 0) == 0) return w;
+  }
+  throw std::invalid_argument("bench_sim_batch: unknown workload " + name);
+}
+
+// Drive `budget` interactions (or to convergence when `to_convergence`)
+// and report covered-interactions/sec.
+Lane run_lane(const std::string& kind, const std::string& spec,
+              const std::string& workload, std::size_t n, std::size_t budget,
+              bool to_convergence, std::uint64_t seed) {
+  const Workload w = find_workload(workload, n);
+  SimEngineConfig config;
+  config.spec = parse_sim_spec(spec);
+  auto engine = make_sim_engine(kind, w.protocol, w.initial, config);
+  UniformScheduler sched(n);
+  Rng rng(seed);
+  Lane lane;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (to_convergence) {
+    RunOptions opt;
+    opt.max_steps = budget;
+    opt.check_every = 1u << 18;
+    const RunResult res =
+        run_engine_until(*engine, sched, rng, workload_counts_probe(w), opt);
+    lane.converged = res.converged;
+  } else {
+    (void)run_engine_steps(*engine, sched, rng, budget);
+  }
+  const double dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  lane.interactions = engine->interactions();
+  lane.live = engine->universe_live();
+  lane.ips = dt > 0.0 ? static_cast<double>(lane.interactions) / dt : 0.0;
+  return lane;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ppfs::bench::JsonReport;
+  const std::uint64_t seed = ppfs::bench::bench_seed(20260730);
+  JsonReport json("sim_batch", argc, argv);
+
+  struct Case {
+    const char* label;
+    const char* spec;
+    const char* model;  // display only
+    const char* workload;
+    std::size_t n;
+    std::size_t stepwise_budget;  // fixed-interaction budget, step-wise lane
+    std::size_t batch_budget;     // budget (or max_steps) for the batch lane
+    bool to_convergence;          // batch lane runs the convergence probe
+  };
+  const Case cases[] = {
+      // The acceptance row: wrapper-free simulator at n = 10^6; the batch
+      // lane runs the margin-2 exact majority all the way to the simulated
+      // convergence probe, leaping the Theta(n^2)-scale no-op ocean.
+      {"naive-em-1M", "naive", "TW", "exact-majority(", 1'000'000, 4'000'000,
+       20'000'000'000'000ULL, true},
+      // SKnO at n = 10^6, bounded interaction budget: count space is
+      // honestly slower per interaction (token churn leaves no no-ops to
+      // leap) but stays distribution-exact in bounded memory.
+      {"skno-o8-gap-1M", "skno:o=8", "I3", "exact-majority-gap", 1'000'000,
+       2'000'000, 2'000'000, false},
+      // Paper-scale SKnO to convergence on the simulated projection (the
+      // step-wise lane stays a fixed-budget throughput probe).
+      {"skno-o2-gap-50", "skno:o=2", "I3", "exact-majority-gap", 50,
+       4'000'000, 40'000'000, true},
+      // SID: >= n live wrapper states (partner identities), direct-step
+      // degeneration.
+      {"sid-gap-4096", "sid", "IO", "exact-majority-gap", 4096, 2'000'000,
+       2'000'000, false},
+  };
+
+  ppfs::bench::banner("simulators: step-wise vs count-space (make_sim_engine)");
+  ppfs::TextTable table({"case", "n", "stepwise int/s", "batch int/s", "speedup",
+                     "batch live states", "batch converged"});
+  for (const Case& c : cases) {
+    const Lane stepwise = run_lane("native", c.spec, c.workload, c.n,
+                                   c.stepwise_budget, false, seed);
+    const Lane batch = run_lane("batch", c.spec, c.workload, c.n,
+                                c.batch_budget, c.to_convergence, seed + 1);
+    const double speedup = stepwise.ips > 0.0 ? batch.ips / stepwise.ips : 0.0;
+    table.add_row({c.label, std::to_string(c.n),
+                   ppfs::fmt_double(stepwise.ips),
+                   ppfs::fmt_double(batch.ips),
+                   ppfs::fmt_double(speedup),
+                   std::to_string(batch.live),
+                   c.to_convergence ? (batch.converged ? "yes" : "NO") : "n/a"});
+    json.add(std::string("stepwise-sim:") + c.label, c.n, c.model, stepwise.ips);
+    json.add(std::string("batch-sim:") + c.label, c.n, c.model, batch.ips);
+    json.add(std::string("speedup:") + c.label, c.n, c.model, speedup);
+  }
+  table.print(std::cout);
+  std::cout << "\nspeedup rows carry batch/step-wise covered-interaction "
+               "ratios; the naive row is the >= 10^2x acceptance case, the "
+               "SKnO/SID rows honestly show where wrapper churn leaves "
+               "nothing to leap.\n";
+  return 0;
+}

@@ -4,7 +4,7 @@
 //
 //   usage: ppfs_cli [workload] [simulator] [model] [n] [rate] [budget] [seed]
 //          ppfs_cli --engine=native|batch [--model=M] [--adversary=SPEC]
-//                   [workload] [n] [seed]
+//                   [--simulate=SIM] [workload] [n] [seed]
 //
 //     workload   or | and | approx-majority | exact-majority | leader |
 //                threshold-true | threshold-false | mod | pairing
@@ -17,7 +17,9 @@
 //     budget     max omissions (SKnO's known bound); "uo" = unlimited
 //     seed       RNG seed
 //     SPEC       none | uo[:rate] | no:quiet[:rate] | no1[:rate] |
-//                budget:B[:rate]   (default rate 0.1)
+//                budget:B[:rate]   (default rate 0.1; kind may carry a
+//                side suffix @starter|@reactor|@both for two-way models)
+//     SIM        naive | skno:o=K | sid | naming
 //
 //   --engine selects a direct run (no simulation layer) through the
 //   EngineDispatch facade: "native" drives the per-agent loop, "batch" the
@@ -29,12 +31,31 @@
 //   resolves to the w.h.p.-exact cancellation majority (exact majority is
 //   not one-way-computable).
 //
+//   --simulate wraps the workload in one of the paper's simulators and
+//   runs THAT through the chosen engine: "batch" executes the simulator in
+//   count space over interned wrapper states (engine/batch/
+//   sim_batch_system.hpp), which is how SKnO reaches n = 10^6; "native"
+//   drives the step-wise per-agent facade. Convergence is detected on the
+//   simulated projection. The default workload for --simulate runs is
+//   exact-majority-gap (margin Theta(n)) at n = 50: simulated no-ops
+//   cannot be leapt — the token machinery runs regardless — so the
+//   margin-2 instance would need Theta(n^2) simulated interactions at any
+//   speed, and simulator convergence cost is super-linear in n on ANY
+//   engine (see README). Convergence demos belong at the paper's n ~ 10^2
+//   with o <= 2; large-n / large-o runs demonstrate bounded-memory
+//   distribution-exact execution over a fixed budget instead (they answer
+//   "NO" once the budget runs out).
+//
 //   examples:
 //     ppfs_cli exact-majority skno I3 10 0.05 2 42
 //     ppfs_cli leader sid T3 12 0.3 uo 7
 //     ppfs_cli --engine=batch exact-majority 1000000 42
 //     ppfs_cli --engine=batch --model=IO --adversary=budget:1000
 //         exact-majority 1000000 42   (one command line)
+//     ppfs_cli --engine=batch --simulate=skno:o=2            (n = 50 SKnO)
+//     ppfs_cli --engine=batch --simulate=naive exact-majority 1000000
+//     ppfs_cli --engine=batch --simulate=sid --adversary=uo:0.2 or 256
+#include <optional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -59,8 +80,11 @@ int usage(const char* msg) {
             << "\nusage: ppfs_cli [workload] [simulator] [model] [n] [rate] "
                "[budget] [seed]\n"
                "       ppfs_cli --engine=native|batch [--model=M] "
-               "[--adversary=none|uo|no:Q|no1|budget:B[:rate]] "
-               "[workload] [n] [seed]\n";
+               "[--adversary=SPEC] [--simulate=SIM] [workload] [n] [seed]\n"
+               "       SPEC = none|uo|no:Q|no1|budget:B[:rate], kind may "
+               "carry @starter|@reactor|@both\n"
+               "       SIM  = naive|skno:o=K|sid|naming (count-space "
+               "simulator run; default workload exact-majority-gap, n=50)\n";
   return 2;
 }
 
@@ -192,6 +216,76 @@ int run_with_engine(const std::string& kind, Model model,
   return res.converged ? 0 : 1;
 }
 
+// A simulator wrapped around the workload, run through either engine. The
+// probe runs on the simulated projection; "batch" executes the simulator
+// in count space over interned wrapper states (n = 10^6 territory).
+int run_with_sim_engine(const std::string& kind, const std::string& sim_spec,
+                        std::optional<Model> model,
+                        const std::string& adversary_spec,
+                        const std::string& workload, std::size_t n,
+                        std::uint64_t seed) {
+  SimEngineConfig config;
+  config.spec = parse_sim_spec(sim_spec);
+  config.model = model;
+  const AdversaryParams adv = parse_adversary_spec(adversary_spec);
+  if (adv.rate > 0.0) config.adversary = adv;
+
+  const Workload w = find_workload(workload, n);
+  auto engine = make_sim_engine(kind, w.protocol, w.initial, config);
+  CountsProbe probe = workload_counts_probe(w);
+
+  UniformScheduler sched(n);
+  Rng rng(seed);
+  RunOptions opt;
+  // The naive wrapper adds no state, so its count-space runs leap bare-
+  // protocol no-op oceans — budget it like a plain batch run. The real
+  // simulators churn wrapper state on (nearly) every delivery and pay per
+  // fire on any engine, so their budget is sized in fires.
+  opt.max_steps =
+      config.spec.kind == "naive" ? 20'000'000'000'000ULL : 1'000'000'000ULL;
+  opt.check_every = 1u << 20;
+  const RunResult res = run_engine_until(*engine, sched, rng, probe, opt);
+  const RunStats& stats = engine->stats();
+  std::cout << kind << " engine simulating " << w.name << " via "
+            << config.spec.kind;
+  if (config.spec.kind == "skno")
+    std::cout << "(o=" << config.spec.omission_bound << ")";
+  std::cout << " under " << model_name(engine->model());
+  if (config.adversary) {
+    std::cout << " + " << adversary_kind_name(config.adversary->kind)
+              << " adversary (rate " << config.adversary->rate << ")";
+  }
+  std::cout << "\n"
+            << "  converged (pi_P):    " << (res.converged ? "yes" : "NO") << "\n"
+            << "  physical interactions: " << res.steps << "\n";
+  // The two kinds observe fires at different levels: the count-space
+  // engine counts wrapper count-changes, the step-wise facade counts
+  // interactions that emitted a simulated update. Label them accordingly
+  // (and only the count-space engine has an interned universe to report).
+  if (kind == "batch") {
+    std::cout << "  wrapper rule fires:  " << stats.total_fires() << "\n"
+              << "  no-op interactions:  " << stats.noops() << "\n"
+              << "  omissions delivered: " << stats.omissions() << "\n"
+              << "  live wrapper states: " << engine->universe_live() << "\n";
+  } else {
+    std::cout << "  simulating fires:    " << stats.total_fires() << "\n"
+              << "  sim-silent interactions: " << stats.noops() << "\n"
+              << "  omissions delivered: " << stats.omissions() << "\n";
+  }
+  std::cout << "  convergence step:    ";
+  if (stats.convergence_step() == RunStats::kNoConvergence) std::cout << "never";
+  else std::cout << stats.convergence_step();
+  std::cout << "\n  projected counts:   ";
+  const auto counts = engine->counts();
+  const Protocol& proto = engine->protocol();
+  for (State q = 0; q < counts.size(); ++q) {
+    if (counts[q] > 0)
+      std::cout << ' ' << proto.state_name(q) << '=' << counts[q];
+  }
+  std::cout << "\n";
+  return res.converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,22 +302,34 @@ int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
     if (!args.empty() && args[0].rfind("--engine=", 0) == 0) {
       const std::string kind = args[0].substr(9);
-      Model model = Model::TW;
+      std::optional<Model> model_opt;
       std::string adversary = "none";
+      std::string simulate;
       std::size_t pos = 1;
       while (pos < args.size() && args[pos].rfind("--", 0) == 0) {
         if (args[pos].rfind("--model=", 0) == 0)
-          model = parse_model(args[pos].substr(8));
+          model_opt = parse_model(args[pos].substr(8));
         else if (args[pos].rfind("--adversary=", 0) == 0)
           adversary = args[pos].substr(12);
+        else if (args[pos].rfind("--simulate=", 0) == 0)
+          simulate = args[pos].substr(11);
         else
           return usage(("unknown flag '" + args[pos] + "'").c_str());
         ++pos;
       }
+      // Simulated runs default to the margin-Theta(n) exact-majority
+      // instance at the paper's population scale (see the header comment:
+      // simulator convergence cost is super-linear in n on any engine).
+      if (!simulate.empty()) workload = "exact-majority-gap";
       if (pos < args.size()) workload = args[pos++];
-      n = pos < args.size() ? std::stoul(args[pos++]) : 1'000'000;
+      n = pos < args.size() ? std::stoul(args[pos++])
+                            : (simulate.empty() ? 1'000'000 : 50);
       if (pos < args.size()) seed = std::stoull(args[pos++]);
-      return run_with_engine(kind, model, adversary, workload, n, seed);
+      if (!simulate.empty())
+        return run_with_sim_engine(kind, simulate, model_opt, adversary,
+                                   workload, n, seed);
+      return run_with_engine(kind, model_opt.value_or(Model::TW), adversary,
+                             workload, n, seed);
     }
 
     if (argc > 1) workload = argv[1];

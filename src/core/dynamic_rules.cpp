@@ -1,0 +1,49 @@
+#include "core/dynamic_rules.hpp"
+
+#include <stdexcept>
+
+namespace ppfs {
+
+State StateUniverse::intern(std::string_view bytes) {
+  if (auto it = index_.find(bytes); it != index_.end()) return it->second;
+  State id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    if (slots_.size() >= static_cast<std::size_t>(kNoState))
+      throw std::length_error("StateUniverse: id space exhausted");
+    id = static_cast<State>(slots_.size());
+    slots_.push_back(nullptr);
+  }
+  const auto [it, inserted] = index_.emplace(std::string(bytes), id);
+  (void)inserted;
+  slots_[id] = &it->first;
+  return id;
+}
+
+const std::string& StateUniverse::encoding(State s) const {
+  if (!is_live(s))
+    throw std::out_of_range("StateUniverse: dead or out-of-range id");
+  return *slots_[s];
+}
+
+void StateUniverse::release(State s) {
+  if (!is_live(s))
+    throw std::out_of_range("StateUniverse: releasing dead id");
+  index_.erase(*slots_[s]);
+  slots_[s] = nullptr;
+  free_.push_back(s);
+}
+
+std::vector<State> MatrixRuleSource::intern_initial(
+    const std::vector<State>& sim) {
+  for (State q : sim) {
+    if (q >= rules_.num_states())
+      throw std::invalid_argument(
+          "MatrixRuleSource: initial state out of range");
+  }
+  return sim;
+}
+
+}  // namespace ppfs

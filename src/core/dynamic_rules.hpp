@@ -1,0 +1,177 @@
+// DynamicRuleSource: the open-universe generalization of RuleMatrix.
+//
+// A RuleMatrix (core/rule_matrix.hpp) is the *closed*-universe compiled form
+// of "what an interaction does": every state is known up front, so the four
+// per-class outcome tables are dense q x q arrays. The paper's simulators
+// (§4) break that assumption — a simulator's wrapper state carries queues,
+// debt lists and pairing records whose reachable set is unbounded a priori
+// and only discovered while running. DynamicRuleSource is the lazily
+// expanded counterpart: states live in a growing interned universe
+// (StateUniverse) and per-class outcome rows are computed on first contact
+// instead of precompiled, which is what lets the count-space batch engine
+// (engine/batch/sim_batch_system.hpp) execute a *simulator* as if it were
+// just another protocol.
+//
+// A source also declares structural facts the sparse engine exploits to
+// keep leap sampling exact as new states appear:
+//   * real_noop_factors(): the Real class is a no-op iff the starter is
+//     "silent" (transmits nothing), independent of the reactor — the
+//     one-way-simulator shape (SKnO). Changing weights then reduce to a
+//     silent-population counter instead of an O(universe^2) scan.
+//   * omission_transparent(): every omissive class is a global no-op
+//     (reactor-side-only simulators: SID, naming), so omissive draws can
+//     be tallied by binomial splitting without touching the configuration.
+//   * open_universe(): states whose count returns to zero may be released
+//     and their ids recycled (bounded-memory execution at n = 10^6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/models.hpp"
+#include "core/protocol.hpp"
+#include "core/rule_matrix.hpp"
+#include "core/types.hpp"
+
+namespace ppfs {
+
+// Interns canonical byte encodings of wrapper states into dense ids.
+// Released ids are recycled through a free list so long open-universe runs
+// hold memory proportional to the number of *live* states, not the number
+// of states ever seen.
+class StateUniverse {
+ public:
+  // Look up `bytes`, interning it if new. Returns the dense id.
+  State intern(std::string_view bytes);
+
+  // The canonical encoding of a live id.
+  [[nodiscard]] const std::string& encoding(State s) const;
+
+  // Forget a live id and recycle it. The caller must guarantee nothing
+  // references `s` anymore (the sparse engine releases only states whose
+  // count is zero).
+  void release(State s);
+
+  // Ids allocated so far (live + free); valid ids are < capacity().
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t live() const noexcept {
+    return slots_.size() - free_.size();
+  }
+  [[nodiscard]] bool is_live(State s) const {
+    return s < slots_.size() && slots_[s] != nullptr;
+  }
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view sv) const noexcept {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+
+  // Map nodes own the encoding bytes; slots_ points into them, so ids stay
+  // stable across rehashing and vector growth. Heterogeneous lookup keeps
+  // the hot intern path allocation-free on hits.
+  std::unordered_map<std::string, State, TransparentHash, std::equal_to<>>
+      index_;
+  std::vector<const std::string*> slots_;
+  std::vector<State> free_;
+};
+
+// The lazily-expanded rule source both engines can execute. States are ids
+// in an interned universe owned by the source; `outcome` discovers rows on
+// first contact. Implementations for the paper's simulators live in
+// sim/sim_rules.hpp; MatrixRuleSource below adapts any compiled RuleMatrix
+// (closed universes run through the same sparse engine unchanged).
+class DynamicRuleSource {
+ public:
+  virtual ~DynamicRuleSource() = default;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+  [[nodiscard]] virtual Model model() const = 0;
+
+  // The simulated protocol: projection target, output interpretation, and
+  // the state space convergence probes run over.
+  [[nodiscard]] virtual const Protocol& protocol() const = 0;
+  [[nodiscard]] virtual std::shared_ptr<const Protocol> protocol_ptr() const = 0;
+
+  // Ids handed out so far; every state mentioned by outcome()/project() is
+  // < universe_size() at the time it is returned.
+  [[nodiscard]] virtual std::size_t universe_size() const = 0;
+
+  // Intern the wrapper states of an initial population whose simulated
+  // states are `sim`; out[i] is agent i's wrapper state. (Simulators with
+  // per-agent identities — SID ids, naming — map equal simulated states to
+  // *distinct* wrapper states; exchangeable simulators collapse them.)
+  [[nodiscard]] virtual std::vector<State> intern_initial(
+      const std::vector<State>& sim) = 0;
+
+  // Post-states of a class-`c` interaction on wrapper pre-states (s, r).
+  // May intern new states (growing the universe).
+  [[nodiscard]] virtual StatePair outcome(InteractionClass c, State s,
+                                          State r) = 0;
+
+  [[nodiscard]] bool is_noop(InteractionClass c, State s, State r) {
+    const StatePair out = outcome(c, s, r);
+    return out.starter == s && out.reactor == r;
+  }
+
+  // pi_P: the simulated-protocol state a wrapper state projects to.
+  [[nodiscard]] virtual State project(State s) const = 0;
+
+  // --- structural hints (see file header) -----------------------------------
+  [[nodiscard]] virtual bool open_universe() const { return false; }
+  [[nodiscard]] virtual bool real_noop_factors() const { return false; }
+  // Meaningful only when real_noop_factors(): outcome(Real, s, r) == (s, r)
+  // for every r iff starter_silent(s).
+  [[nodiscard]] virtual bool starter_silent(State s) {
+    (void)s;
+    return false;
+  }
+  [[nodiscard]] virtual bool omission_transparent() const { return false; }
+
+  // Release hook for zero-count states (open universes only). Default: keep.
+  virtual void release(State s) { (void)s; }
+};
+
+// Closed-universe adapter: a compiled RuleMatrix as a DynamicRuleSource.
+// This is also the count-space form of the naive TW/T1..T3 simulator
+// (sim/tw_naive.hpp): with identity omission reactions the per-class tables
+// are exactly the faulty outcomes the naive wrapper realizes.
+class MatrixRuleSource final : public DynamicRuleSource {
+ public:
+  explicit MatrixRuleSource(RuleMatrix rules) : rules_(std::move(rules)) {}
+
+  [[nodiscard]] std::string describe() const override {
+    return "matrix(" + model_name(rules_.model()) + ", " +
+           rules_.protocol().name() + ")";
+  }
+  [[nodiscard]] Model model() const override { return rules_.model(); }
+  [[nodiscard]] const Protocol& protocol() const override {
+    return rules_.protocol();
+  }
+  [[nodiscard]] std::shared_ptr<const Protocol> protocol_ptr() const override {
+    return rules_.protocol_ptr();
+  }
+  [[nodiscard]] std::size_t universe_size() const override {
+    return rules_.num_states();
+  }
+  [[nodiscard]] std::vector<State> intern_initial(
+      const std::vector<State>& sim) override;
+  [[nodiscard]] StatePair outcome(InteractionClass c, State s,
+                                  State r) override {
+    return rules_.outcome(c, s, r);
+  }
+  [[nodiscard]] State project(State s) const override { return s; }
+
+  [[nodiscard]] const RuleMatrix& rules() const noexcept { return rules_; }
+
+ private:
+  RuleMatrix rules_;
+};
+
+}  // namespace ppfs

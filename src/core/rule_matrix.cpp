@@ -150,16 +150,25 @@ RuleMatrix RuleMatrix::compile(std::shared_ptr<const OneWayProtocol> protocol,
 
 InteractionClass RuleMatrix::classify(const Interaction& ia) const {
   if (!ia.omissive) return InteractionClass::Real;
-  if (!omissive())
-    throw std::invalid_argument("RuleMatrix: omissive interaction under the "
-                                "non-omissive model " + model_name(model_));
-  if (one_way()) return InteractionClass::OmitBoth;
-  switch (ia.side) {
+  return omission_class(ia.side);
+}
+
+InteractionClass RuleMatrix::omission_class(OmitSide side) const {
+  return omission_class_for(model_, side);
+}
+
+InteractionClass omission_class_for(Model model, OmitSide side) {
+  if (!is_omissive(model))
+    throw std::invalid_argument("omission_class_for: omissive interaction "
+                                "under the non-omissive model " +
+                                model_name(model));
+  if (is_one_way(model)) return InteractionClass::OmitBoth;
+  switch (side) {
     case OmitSide::Both: return InteractionClass::OmitBoth;
     case OmitSide::Starter: return InteractionClass::OmitStarter;
     case OmitSide::Reactor: return InteractionClass::OmitReactor;
   }
-  throw std::invalid_argument("RuleMatrix::classify: bad omission side");
+  throw std::invalid_argument("omission_class_for: bad omission side");
 }
 
 }  // namespace ppfs

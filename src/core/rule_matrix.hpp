@@ -47,6 +47,13 @@ inline constexpr std::size_t kNumInteractionClasses = 4;
 
 [[nodiscard]] std::string interaction_class_name(InteractionClass c);
 
+// The outcome class an omission striking `side` realizes under `model`:
+// the three faulty T-relation outcomes for two-way models; one-way models
+// transmit in one direction only, so every side collapses to OmitBoth.
+// Throws on non-omissive models. (RuleMatrix::omission_class and the
+// open-universe sim engine both delegate here.)
+[[nodiscard]] InteractionClass omission_class_for(Model model, OmitSide side);
+
 // Designer-chosen omission-reaction functions (Definitions of §2.3): `o` is
 // the starter-side update in a detected omission (T2/T3/I4), `h` the
 // reactor-side one (T3/I3). Null means identity. Supplying a function the
@@ -100,10 +107,12 @@ class RuleMatrix {
   // the side (all omissive classes coincide).
   [[nodiscard]] InteractionClass classify(const Interaction& ia) const;
 
-  // The class the uniform omission adversary emits (side = Both).
-  [[nodiscard]] InteractionClass uniform_omission_class() const {
-    return InteractionClass::OmitBoth;
-  }
+  // The outcome class an omission adversary striking `side` emits. Two-way
+  // models distinguish the three faulty outcomes of the T-relations;
+  // one-way models transmit in one direction only, so every side collapses
+  // to the single faulty outcome (same as classify()). Throws on
+  // non-omissive models.
+  [[nodiscard]] InteractionClass omission_class(OmitSide side) const;
 
  private:
   RuleMatrix() = default;

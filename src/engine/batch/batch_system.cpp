@@ -1,102 +1,13 @@
 #include "engine/batch/batch_system.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "engine/batch/leap_sampling.hpp"
+
 namespace ppfs {
 
-namespace {
-
-// Failures before the first success of a Bernoulli(W/T) sequence, capped
-// at `cap`. Exact integer trials when a success is cheap to wait for;
-// floating-point inversion when p < 1/64 (error ~1e-16, amortized over
-// >= 64 skipped interactions).
-std::size_t sample_noop_run(std::uint64_t w, std::uint64_t t, Rng& rng,
-                            std::size_t cap) {
-  if (w >= t) return 0;
-  if (w >= t / 64) {
-    std::size_t k = 0;
-    while (k < cap && rng.below(t) >= w) ++k;
-    return k;
-  }
-  const double p = static_cast<double>(w) / static_cast<double>(t);
-  double u = rng.uniform();
-  if (u <= 0.0) u = 0x1.0p-53;  // uniform() is in [0, 1); keep log finite
-  const double g = std::floor(std::log(u) / std::log1p(-p));
-  if (g >= static_cast<double>(cap)) return cap;
-  return static_cast<std::size_t>(g);
-}
-
-// Same, for a double success probability (used when the omission rate is
-// mixed into the per-delivery success): Bernoulli(p) trials when p is
-// large, inversion below 1/64.
-std::size_t sample_bernoulli_run(double p, Rng& rng, std::size_t cap) {
-  if (p >= 1.0) return 0;
-  if (p <= 0.0) return cap;
-  if (p >= 1.0 / 64) {
-    std::size_t k = 0;
-    while (k < cap && !rng.chance(p)) ++k;
-    return k;
-  }
-  double u = rng.uniform();
-  if (u <= 0.0) u = 0x1.0p-53;
-  const double g = std::floor(std::log(u) / std::log1p(-p));
-  if (g >= static_cast<double>(cap)) return cap;
-  return static_cast<std::size_t>(g);
-}
-
-// Successes among n Bernoulli(p) trials, counted by skipping geometric
-// failure gaps — exact (up to the run samplers' ~1e-16 inversion
-// rounding) at O(np) cost regardless of n.
-std::size_t count_sparse_successes(std::size_t n, double p, Rng& rng) {
-  std::size_t k = 0;
-  std::size_t i = 0;
-  while (i < n) {
-    const std::size_t gap = sample_bernoulli_run(p, rng, n - i);
-    i += gap;
-    if (i >= n) break;
-    ++k;
-    ++i;
-  }
-  return k;
-}
-
-// Binomial(n, p) draw, used to tally the omissive no-ops inside a leap
-// whose draws cannot change the configuration. Geometric-gap counting
-// whenever either outcome is sparse (mean <= 256), an exact Bernoulli
-// loop for small n otherwise, and a clamped normal approximation only
-// when both the success and failure counts are large — where its
-// relative error is negligible; it touches the omission tally and hence
-// only the *pacing* of a budget's exhaustion, never which rule fires.
-std::size_t sample_binomial(std::size_t n, double p, Rng& rng) {
-  if (p <= 0.0 || n == 0) return 0;
-  if (p >= 1.0) return n;
-  const double mean = static_cast<double>(n) * p;
-  const double anti_mean = static_cast<double>(n) * (1.0 - p);
-  if (mean <= 256.0) return count_sparse_successes(n, p, rng);
-  if (anti_mean <= 256.0) return n - count_sparse_successes(n, 1.0 - p, rng);
-  constexpr std::size_t kExactLimit = 4096;
-  if (n <= kExactLimit) {
-    std::size_t k = 0;
-    for (std::size_t i = 0; i < n; ++i) k += rng.chance(p) ? 1 : 0;
-    return k;
-  }
-  const double sigma = std::sqrt(mean * (1.0 - p));
-  // Box-Muller from two uniforms.
-  double u1 = rng.uniform();
-  if (u1 <= 0.0) u1 = 0x1.0p-53;
-  const double u2 = rng.uniform();
-  const double z =
-      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
-  const double v = std::round(mean + sigma * z);
-  if (v <= 0.0) return 0;
-  if (v >= static_cast<double>(n)) return n;
-  return static_cast<std::size_t>(v);
-}
-
-}  // namespace
 
 BatchSystem::BatchSystem(std::shared_ptr<const Protocol> protocol,
                          std::vector<State> initial)
@@ -129,6 +40,7 @@ void BatchSystem::set_omission_process(const AdversaryParams& params) {
   AdversaryParams normalized = params;
   normalized.max_burst = std::numeric_limits<std::size_t>::max();
   omit_.emplace(normalized);
+  omit_class_ = rules_.omission_class(params.side);
   weights_valid_ = false;
 }
 
@@ -153,7 +65,7 @@ std::uint64_t BatchSystem::changing_weight(InteractionClass c) const noexcept {
 void BatchSystem::refresh_weights() const {
   if (weights_valid_) return;
   w_real_ = changing_weight(InteractionClass::Real);
-  w_omit_ = omit_ ? changing_weight(rules_.uniform_omission_class()) : 0;
+  w_omit_ = omit_ ? changing_weight(omit_class_) : 0;
   weights_valid_ = true;
 }
 
@@ -196,7 +108,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
         stats_.record_noops(remaining);
         return d;
       }
-      const std::size_t skipped = sample_noop_run(w_real_, t, rng, remaining);
+      const std::size_t skipped = leap::sample_noop_run(w_real_, t, rng, remaining);
       d.noops += skipped;
       d.interactions += skipped;
       steps_ += skipped;
@@ -224,10 +136,10 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       // binomial split of the no-ops into real and omissive draws.
       const double wr = static_cast<double>(w_real_) / static_cast<double>(t);
       const double rho = (1.0 - p) * wr;  // per-delivery change probability
-      const std::size_t run = sample_bernoulli_run(rho, rng, cap);
+      const std::size_t run = leap::sample_bernoulli_run(rho, rng, cap);
       if (run > 0) {
         const double q_om = p / (1.0 - rho);  // P(omissive | no-op)
-        const std::size_t om = sample_binomial(run, q_om, rng);
+        const std::size_t om = leap::sample_binomial(run, q_om, rng);
         omit_->note_omissions(om);
         stats_.record_omissive_noops(om);
         stats_.record_noops(run - om);
@@ -251,7 +163,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
     // count-change; the run of real no-ops before it is geometric.
     const double wr = static_cast<double>(w_real_) / static_cast<double>(t);
     const double sigma = p + (1.0 - p) * wr;
-    const std::size_t run = sample_bernoulli_run(sigma, rng, cap);
+    const std::size_t run = leap::sample_bernoulli_run(sigma, rng, cap);
     if (run > 0) {
       stats_.record_noops(run);
       d.noops += run;
@@ -267,7 +179,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       omit_->note_omissions(1);
       ++d.omissions;
       if (w_omit_ > 0 && rng.below(t) < w_omit_) {
-        const InteractionClass c = rules_.uniform_omission_class();
+        const InteractionClass c = omit_class_;
         const auto [s, r] = pick_changing_pair(c, w_omit_, rng);
         apply_fire(c, s, r, d);
         ++d.interactions;
@@ -331,7 +243,7 @@ BatchDelta BatchSystem::step(Rng& rng) {
   }
 
   const InteractionClass cls =
-      omissive ? rules_.uniform_omission_class() : InteractionClass::Real;
+      omissive ? omit_class_ : InteractionClass::Real;
   if (rules_.is_noop(cls, s, r)) {
     d.noops = 1;
     if (omissive) stats_.record_omissive_noops(1);

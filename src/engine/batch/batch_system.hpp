@@ -133,6 +133,9 @@ class BatchSystem {
   std::size_t steps_ = 0;
   RunStats stats_;
   std::optional<OmissionProcess> omit_;
+  // Outcome class of inserted omissions, derived from the adversary's
+  // side (OmitStarter / OmitReactor / OmitBoth; collapses one-way).
+  InteractionClass omit_class_ = InteractionClass::OmitBoth;
   mutable bool weights_valid_ = false;
   mutable std::uint64_t w_real_ = 0;
   mutable std::uint64_t w_omit_ = 0;

@@ -58,9 +58,10 @@ class NativeEngine final : public Engine {
     for (std::size_t i = 0; i < budget; ++i) {
       Interaction ia;
       if (omit_ && omit_->should_omit(rng, sys_.steps())) {
-        // Uniform victim pair, marked omissive (side = Both).
+        // Uniform victim pair, struck on the adversary's configured side.
         ia = uniform_ordered_pair(rng, sys_.size());
         ia.omissive = true;
+        ia.side = omit_->params().side;
       } else {
         ia = sched.next(rng, sys_.steps());
       }
@@ -138,6 +139,122 @@ class BatchEngine final : public Engine {
   BatchSystem sys_;
 };
 
+// Step-wise simulator behind the Engine interface: the per-agent facade of
+// the (simulator x engine) lattice. Event recording is off — engine runs
+// are throughput/convergence runs; verification-grade runs use the
+// Simulator directly.
+class SimNativeEngine final : public Engine {
+ public:
+  SimNativeEngine(std::unique_ptr<Simulator> sim,
+                  const std::optional<AdversaryParams>& adversary)
+      : sim_(std::move(sim)), stats_(sim_->protocol().num_states()) {
+    if (adversary) omit_.emplace(*adversary);
+    sim_->record_events(false);
+  }
+
+  [[nodiscard]] std::string kind() const override { return "native"; }
+  [[nodiscard]] const Protocol& protocol() const override {
+    return sim_->protocol();
+  }
+  [[nodiscard]] Model model() const override { return sim_->model(); }
+  [[nodiscard]] std::size_t size() const override { return sim_->num_agents(); }
+  [[nodiscard]] std::size_t interactions() const override {
+    return sim_->interactions();
+  }
+  [[nodiscard]] std::size_t omissions() const override {
+    // Inserted by our own process, or delivered pre-marked by an
+    // adversarial scheduler — the simulator counts both.
+    return sim_->omissions();
+  }
+
+  void counts_into(std::vector<std::size_t>& out) const override {
+    out = sim_->projected_counts();
+  }
+
+  std::size_t advance(std::size_t budget, Scheduler& sched, Rng& rng) override {
+    const std::size_t n = sim_->num_agents();
+    for (std::size_t i = 0; i < budget; ++i) {
+      Interaction ia;
+      if (omit_ && omit_->should_omit(rng, sim_->interactions())) {
+        ia = uniform_ordered_pair(rng, n);
+        ia.omissive = true;
+        ia.side = omit_->params().side;
+      } else {
+        ia = sched.next(rng, sim_->interactions());
+      }
+      // Fire/no-op at the simulated level: did the interaction emit any
+      // simulated update? Recorded against the agents' projected
+      // pre-states.
+      const State ps = sim_->simulated_state(ia.starter);
+      const State pr = sim_->simulated_state(ia.reactor);
+      const std::uint64_t before = sim_->simulated_updates();
+      sim_->interact(ia);
+      const bool fired = sim_->simulated_updates() > before;
+      if (fired) {
+        if (ia.omissive) stats_.record_omissive_fire(ps, pr);
+        else stats_.record_fire(ps, pr);
+      } else {
+        if (ia.omissive) stats_.record_omissive_noops(1);
+        else stats_.record_noops(1);
+      }
+    }
+    return budget;
+  }
+
+  [[nodiscard]] RunStats& stats() noexcept override { return stats_; }
+
+ private:
+  std::unique_ptr<Simulator> sim_;
+  RunStats stats_;
+  std::optional<OmissionProcess> omit_;
+};
+
+// Count-space simulator engine over the open-universe SimBatchSystem.
+class SimBatchEngine final : public Engine {
+ public:
+  SimBatchEngine(std::shared_ptr<DynamicRuleSource> rules,
+                 const std::vector<State>& sim_initial,
+                 const std::optional<AdversaryParams>& adversary)
+      : sys_(std::move(rules), sim_initial) {
+    if (adversary) sys_.set_omission_process(*adversary);
+  }
+
+  [[nodiscard]] std::string kind() const override { return "batch"; }
+  [[nodiscard]] const Protocol& protocol() const override {
+    return sys_.protocol();
+  }
+  [[nodiscard]] Model model() const override { return sys_.rules().model(); }
+  [[nodiscard]] std::size_t size() const override { return sys_.size(); }
+  [[nodiscard]] std::size_t interactions() const override { return sys_.steps(); }
+  [[nodiscard]] std::size_t omissions() const override { return sys_.omissions(); }
+
+  void counts_into(std::vector<std::size_t>& out) const override {
+    out = sys_.projected_counts();
+  }
+
+  std::size_t advance(std::size_t budget, Scheduler& sched, Rng& rng) override {
+    const auto* uniform = dynamic_cast<const UniformScheduler*>(&sched);
+    if (uniform == nullptr || uniform->size() != sys_.size())
+      throw std::invalid_argument(
+          "sim batch engine: scheduler is not the uniform distribution over "
+          "this population (scripted/hand-built adversarial runs need the "
+          "native engine; omission adversaries attach via make_sim_engine)");
+    std::size_t covered = 0;
+    while (covered < budget)
+      covered += sys_.advance(budget - covered, rng).interactions;
+    return covered;
+  }
+
+  [[nodiscard]] RunStats& stats() noexcept override { return sys_.stats(); }
+
+  [[nodiscard]] std::size_t universe_live() const override {
+    return sys_.universe_live();
+  }
+
+ private:
+  SimBatchSystem sys_;
+};
+
 std::unique_ptr<Engine> build(const std::string& kind, RuleMatrix rules,
                               std::vector<State> initial,
                               const std::optional<AdversaryParams>& adversary) {
@@ -197,6 +314,35 @@ std::unique_ptr<Engine> make_engine(
   RuleMatrix rules =
       RuleMatrix::compile(std::move(protocol), r.model, initial, config.fns);
   return build(kind, std::move(rules), std::move(initial), r.adversary);
+}
+
+std::unique_ptr<Engine> make_sim_engine(const std::string& kind,
+                                        std::shared_ptr<const Protocol> protocol,
+                                        std::vector<State> initial,
+                                        const SimEngineConfig& config) {
+  Model model = config.model.value_or(default_sim_model(config.spec));
+  std::optional<AdversaryParams> adversary = config.adversary;
+  if (adversary && adversary->rate <= 0.0) adversary.reset();
+  if (adversary) {
+    // Same lifting and burst normalization as make_engine: both engine
+    // kinds realize one omission process.
+    if (!is_omissive(model)) model = omissive_closure(model);
+    adversary->max_burst = std::numeric_limits<std::size_t>::max();
+  }
+  if (kind == "native") {
+    return std::make_unique<SimNativeEngine>(
+        make_spec_simulator(config.spec, model, std::move(protocol),
+                            std::move(initial)),
+        adversary);
+  }
+  if (kind == "batch") {
+    auto rules = make_sim_rule_source(config.spec, model, std::move(protocol),
+                                      initial.size());
+    return std::make_unique<SimBatchEngine>(std::move(rules), initial,
+                                            adversary);
+  }
+  throw std::invalid_argument("make_sim_engine: unknown engine kind '" + kind +
+                              "'");
 }
 
 const std::vector<std::string>& engine_kinds() {

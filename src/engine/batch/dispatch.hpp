@@ -28,11 +28,14 @@
 #include <string>
 #include <vector>
 
+#include "core/dynamic_rules.hpp"
 #include "core/models.hpp"
 #include "core/protocol.hpp"
 #include "core/rule_matrix.hpp"
 #include "engine/batch/batch_system.hpp"
+#include "engine/batch/sim_batch_system.hpp"
 #include "engine/native.hpp"
+#include "sim/sim_rules.hpp"
 #include "engine/runner.hpp"
 #include "engine/stats.hpp"
 #include "engine/trace.hpp"
@@ -69,6 +72,13 @@ class Engine {
   // attribute interactions and return false, leaving the sink unset.
   virtual bool record_trace(Trace* sink);
 
+  // Diagnostic: live states of the engine's execution universe (the
+  // protocol's states for closed-universe engines; currently occupied
+  // interned wrapper states for simulator engines).
+  [[nodiscard]] virtual std::size_t universe_live() const {
+    return protocol().num_states();
+  }
+
   [[nodiscard]] std::vector<std::size_t> counts() const;
   [[nodiscard]] int consensus_output() const;  // from counts + outputs
 };
@@ -98,6 +108,29 @@ struct EngineConfig {
 [[nodiscard]] std::unique_ptr<Engine> make_engine(
     const std::string& kind, std::shared_ptr<const OneWayProtocol> protocol,
     std::vector<State> initial, const EngineConfig& config);
+
+// Simulator-engine configuration: which §4 simulator wraps the protocol
+// (sim/sim_rules.hpp), the physical model it runs under, and an optional
+// omission adversary striking the physical interactions.
+struct SimEngineConfig {
+  SimSpec spec{};
+  // Default: default_sim_model(spec) — the model each simulator is
+  // designed for. Attaching an adversary to a non-omissive model lifts it
+  // to the omissive closure, exactly as in make_engine.
+  std::optional<Model> model{};
+  std::optional<AdversaryParams> adversary{};
+};
+
+// A simulator run as an engine, behind the same Engine interface:
+// protocol(), counts_into() and consensus_output() are the SIMULATED
+// projection pi_P — run_engine_until therefore detects convergence on the
+// simulated configuration — while interactions()/omissions() count
+// physical events. kind "native" drives the step-wise Simulator facade
+// (per-agent, event recording off); "batch" the open-universe count-space
+// engine (SimBatchSystem), which is how SKnO/SID/naming reach n = 10^6.
+[[nodiscard]] std::unique_ptr<Engine> make_sim_engine(
+    const std::string& kind, std::shared_ptr<const Protocol> protocol,
+    std::vector<State> initial, const SimEngineConfig& config);
 
 [[nodiscard]] const std::vector<std::string>& engine_kinds();
 

@@ -1,0 +1,104 @@
+// Shared leap samplers for the count-space engines (BatchSystem over dense
+// closed universes, SimBatchSystem over sparse open ones): geometric no-op
+// run lengths with exact integer trials in the dense regime and
+// floating-point inversion in the sparse one, and the binomial splitter
+// that tallies omissive no-ops inside a leap. See the BatchSystem header
+// for the exactness discussion; these are the single implementation both
+// engines draw from.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ppfs::leap {
+
+// Failures before the first success of a Bernoulli(W/T) sequence, capped
+// at `cap`. Exact integer trials when a success is cheap to wait for;
+// floating-point inversion when p < 1/64 (error ~1e-16, amortized over
+// >= 64 skipped interactions).
+inline std::size_t sample_noop_run(std::uint64_t w, std::uint64_t t, Rng& rng,
+                                   std::size_t cap) {
+  if (w >= t) return 0;
+  if (w >= t / 64) {
+    std::size_t k = 0;
+    while (k < cap && rng.below(t) >= w) ++k;
+    return k;
+  }
+  const double p = static_cast<double>(w) / static_cast<double>(t);
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;  // uniform() is in [0, 1); keep log finite
+  const double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g >= static_cast<double>(cap)) return cap;
+  return static_cast<std::size_t>(g);
+}
+
+// Same, for a double success probability (used when the omission rate is
+// mixed into the per-delivery success): Bernoulli(p) trials when p is
+// large, inversion below 1/64.
+inline std::size_t sample_bernoulli_run(double p, Rng& rng, std::size_t cap) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return cap;
+  if (p >= 1.0 / 64) {
+    std::size_t k = 0;
+    while (k < cap && !rng.chance(p)) ++k;
+    return k;
+  }
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g >= static_cast<double>(cap)) return cap;
+  return static_cast<std::size_t>(g);
+}
+
+// Successes among n Bernoulli(p) trials, counted by skipping geometric
+// failure gaps — exact (up to the run samplers' ~1e-16 inversion
+// rounding) at O(np) cost regardless of n.
+inline std::size_t count_sparse_successes(std::size_t n, double p, Rng& rng) {
+  std::size_t k = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t gap = sample_bernoulli_run(p, rng, n - i);
+    i += gap;
+    if (i >= n) break;
+    ++k;
+    ++i;
+  }
+  return k;
+}
+
+// Binomial(n, p) draw, used to tally the omissive no-ops inside a leap
+// whose draws cannot change the configuration. Geometric-gap counting
+// whenever either outcome is sparse (mean <= 256), an exact Bernoulli
+// loop for small n otherwise, and a clamped normal approximation only
+// when both the success and failure counts are large — where its
+// relative error is negligible; it touches the omission tally and hence
+// only the *pacing* of a budget's exhaustion, never which rule fires.
+inline std::size_t sample_binomial(std::size_t n, double p, Rng& rng) {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  const double mean = static_cast<double>(n) * p;
+  const double anti_mean = static_cast<double>(n) * (1.0 - p);
+  if (mean <= 256.0) return count_sparse_successes(n, p, rng);
+  if (anti_mean <= 256.0) return n - count_sparse_successes(n, 1.0 - p, rng);
+  constexpr std::size_t kExactLimit = 4096;
+  if (n <= kExactLimit) {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) k += rng.chance(p) ? 1 : 0;
+    return k;
+  }
+  const double sigma = std::sqrt(mean * (1.0 - p));
+  // Box-Muller from two uniforms.
+  double u1 = rng.uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = rng.uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double v = std::round(mean + sigma * z);
+  if (v <= 0.0) return 0;
+  if (v >= static_cast<double>(n)) return n;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace ppfs::leap

@@ -1,0 +1,373 @@
+#include "engine/batch/sim_batch_system.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "engine/batch/leap_sampling.hpp"
+
+namespace ppfs {
+
+// --- SparseConfiguration ----------------------------------------------------
+
+void SparseConfiguration::grow_to(std::size_t universe_size) {
+  if (universe_size > counts_.size()) {
+    counts_.resize(universe_size, 0);
+    pos_.resize(universe_size, kNoPos);
+  }
+}
+
+void SparseConfiguration::add(State s, std::size_t k) {
+  if (k == 0) return;
+  grow_to(static_cast<std::size_t>(s) + 1);
+  if (counts_[s] == 0) {
+    pos_[s] = occupied_.size();
+    occupied_.push_back(s);
+  }
+  counts_[s] += k;
+  n_ += k;
+}
+
+void SparseConfiguration::remove(State s, std::size_t k) {
+  if (k == 0) return;
+  if (count(s) < k)
+    throw std::invalid_argument("SparseConfiguration: removing unpopulated state");
+  counts_[s] -= k;
+  n_ -= k;
+  if (counts_[s] == 0) {
+    // Swap-erase from the occupied list.
+    const std::size_t p = pos_[s];
+    const State last = occupied_.back();
+    occupied_[p] = last;
+    pos_[last] = p;
+    occupied_.pop_back();
+    pos_[s] = kNoPos;
+  }
+}
+
+// --- SimBatchSystem ---------------------------------------------------------
+
+SimBatchSystem::SimBatchSystem(std::shared_ptr<DynamicRuleSource> rules,
+                               const std::vector<State>& sim_initial)
+    : rules_(std::move(rules)) {
+  if (!rules_) throw std::invalid_argument("SimBatchSystem: null rule source");
+  if (sim_initial.size() < 2)
+    throw std::invalid_argument("SimBatchSystem: need at least two agents");
+  factored_ = rules_->real_noop_factors();
+  open_ = rules_->open_universe();
+  stats_.reset(rules_->protocol().num_states());
+  projected_.assign(rules_->protocol().num_states(), 0);
+  const std::vector<State> ids = rules_->intern_initial(sim_initial);
+  grow_to_universe();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    change_count(ids[i], +1);
+    ++projected_.at(sim_initial[i]);
+  }
+}
+
+void SimBatchSystem::set_omission_process(const AdversaryParams& params) {
+  if (!is_omissive(rules_->model()))
+    throw std::invalid_argument(
+        "SimBatchSystem: model " + model_name(rules_->model()) +
+        " has no omission adversary");
+  if (params.rate < 0.0 || params.rate > 1.0)
+    throw std::invalid_argument(
+        "SimBatchSystem: omission rate must be in [0, 1]");
+  if (steps_ != 0)
+    throw std::invalid_argument(
+        "SimBatchSystem: attach the omission process before the run starts");
+  // Leap parity with BatchSystem: the burst cap is normalized away.
+  AdversaryParams normalized = params;
+  normalized.max_burst = std::numeric_limits<std::size_t>::max();
+  omit_.emplace(normalized);
+  omit_class_ = omission_class_for(rules_->model(), params.side);
+}
+
+void SimBatchSystem::grow_to_universe() {
+  const std::size_t m = rules_->universe_size();
+  conf_.grow_to(m);
+  fw_all_.ensure(m);
+  if (factored_) {
+    fw_active_.ensure(m);
+    if (silent_known_.size() < m) silent_known_.resize(m, 0);
+  }
+}
+
+bool SimBatchSystem::silent(State s) {
+  if (!factored_) return false;
+  std::uint8_t& flag = silent_known_[s];
+  if (flag == 0) flag = rules_->starter_silent(s) ? 2 : 1;
+  return flag == 2;
+}
+
+void SimBatchSystem::change_count(State s, std::int64_t delta) {
+  if (delta > 0)
+    conf_.add(s, static_cast<std::size_t>(delta));
+  else
+    conf_.remove(s, static_cast<std::size_t>(-delta));
+  fw_all_.add(s, delta);
+  if (factored_) {
+    if (silent(s))
+      silent_count_ = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(silent_count_) + delta);
+    else
+      fw_active_.add(s, delta);
+  }
+}
+
+void SimBatchSystem::release_if_dead(State s) {
+  if (!open_ || conf_.count(s) != 0) return;
+  if (s < silent_known_.size()) silent_known_[s] = 0;
+  rules_->release(s);
+}
+
+std::pair<std::uint64_t, std::uint64_t> SimBatchSystem::real_weight() {
+  const std::uint64_t n = conf_.size();
+  if (factored_) return {n - silent_count_, n};
+  if (!weights_valid_) {
+    w_real_ = scan_changing_weight();
+    weights_valid_ = true;
+  }
+  return {w_real_, n * (n - 1)};
+}
+
+std::uint64_t SimBatchSystem::scan_changing_weight() {
+  std::uint64_t w = 0;
+  const auto& occ = conf_.occupied();
+  for (const State s : occ) {
+    const std::uint64_t cs = conf_.count(s);
+    for (const State r : occ) {
+      if (rules_->is_noop(InteractionClass::Real, s, r)) continue;
+      w += cs * (conf_.count(r) - static_cast<std::uint64_t>(s == r));
+    }
+  }
+  grow_to_universe();  // is_noop may have interned successor states
+  return w;
+}
+
+std::pair<State, State> SimBatchSystem::draw_any_pair(Rng& rng) {
+  const std::uint64_t n = conf_.size();
+  const State s = static_cast<State>(fw_all_.find(rng.below(n)));
+  fw_all_.add(s, -1);
+  const State r = static_cast<State>(fw_all_.find(rng.below(n - 1)));
+  fw_all_.add(s, +1);
+  return {s, r};
+}
+
+std::pair<State, State> SimBatchSystem::pick_changing_pair(std::uint64_t w,
+                                                           Rng& rng) {
+  if (factored_) {
+    // Starter proportional to counts over non-silent states, reactor over
+    // everyone else — every such pair changes counts (factored contract).
+    const State s = static_cast<State>(fw_active_.find(rng.below(fw_active_.total())));
+    fw_all_.add(s, -1);
+    const State r = static_cast<State>(fw_all_.find(rng.below(conf_.size() - 1)));
+    fw_all_.add(s, +1);
+    return {s, r};
+  }
+  const std::uint64_t n = conf_.size();
+  const std::uint64_t t = n * (n - 1);
+  if (w >= t / 16) {
+    // Dense regime: rejection against the count draw (expected <= 16
+    // tries), O(log universe) per try.
+    for (;;) {
+      const auto [s, r] = draw_any_pair(rng);
+      if (!rules_->is_noop(InteractionClass::Real, s, r)) return {s, r};
+    }
+  }
+  // Sparse regime: exact weighted scan over occupied pairs.
+  std::uint64_t pick = rng.below(w);
+  const auto& occ = conf_.occupied();
+  for (const State s : occ) {
+    const std::uint64_t cs = conf_.count(s);
+    for (const State r : occ) {
+      if (rules_->is_noop(InteractionClass::Real, s, r)) continue;
+      const std::uint64_t pw = cs * (conf_.count(r) - static_cast<std::uint64_t>(s == r));
+      if (pick < pw) return {s, r};
+      pick -= pw;
+    }
+  }
+  throw std::logic_error("SimBatchSystem: weight scan exhausted");
+}
+
+void SimBatchSystem::apply_fire(InteractionClass c, State s, State r,
+                                StatePair out, BatchDelta& d) {
+  grow_to_universe();  // `out` may reference freshly interned ids
+  const State ps = rules_->project(s);
+  const State pr = rules_->project(r);
+  const State pos = rules_->project(out.starter);
+  const State por = rules_->project(out.reactor);
+  d.fired = true;
+  d.omissive = c != InteractionClass::Real;
+  d.s = s;
+  d.r = r;
+  d.out = out;
+  change_count(s, -1);
+  change_count(r, -1);
+  change_count(out.starter, +1);
+  change_count(out.reactor, +1);
+  --projected_[ps];
+  --projected_[pr];
+  ++projected_[pos];
+  ++projected_[por];
+  // RunStats in projection space: the simulated pre-states of the fired
+  // wrapper rule (wrapper-level fires whose projection is unchanged still
+  // count — they are the simulator's bookkeeping traffic).
+  if (d.omissive) stats_.record_omissive_fire(ps, pr);
+  else stats_.record_fire(ps, pr);
+  weights_valid_ = false;
+  noop_streak_ = 0;
+  if (open_) {
+    release_if_dead(s);
+    if (r != s) release_if_dead(r);
+  }
+}
+
+void SimBatchSystem::fire_real(std::uint64_t w, Rng& rng, BatchDelta& d) {
+  const auto [s, r] = pick_changing_pair(w, rng);
+  const StatePair out = rules_->outcome(InteractionClass::Real, s, r);
+  if (out.starter == s && out.reactor == r)
+    throw std::logic_error(
+        "SimBatchSystem: rule source violated its no-op structure (picked "
+        "changing pair is a no-op)");
+  apply_fire(InteractionClass::Real, s, r, out, d);
+  ++d.interactions;
+  ++steps_;
+}
+
+BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
+  BatchDelta d;
+  // Dense adaptive path (general mode): while fires are frequent, direct
+  // steps beat weight maintenance — no O(occupied^2) scans at all. A
+  // no-op streak of kLeapThreshold hands over to the leap machinery below.
+  if (!factored_) {
+    const std::size_t threshold = leap_threshold();
+    while (d.interactions < budget && noop_streak_ < threshold) {
+      if (step_once(rng, d)) return d;
+    }
+    if (d.interactions >= budget) return d;
+  }
+  while (d.interactions < budget) {
+    const std::size_t remaining = budget - d.interactions;
+    const auto [w, t] = real_weight();
+
+    if (!omit_ || !omit_->active(steps_)) {
+      // No insertable omissions now or ever again (inactivity is
+      // absorbing): the exact integer leap.
+      if (w == 0) {
+        d.interactions += remaining;
+        d.noops += remaining;
+        steps_ += remaining;
+        stats_.record_noops(remaining);
+        return d;
+      }
+      const std::size_t skipped = leap::sample_noop_run(w, t, rng, remaining);
+      d.noops += skipped;
+      d.interactions += skipped;
+      steps_ += skipped;
+      stats_.record_noops(skipped);
+      if (skipped < remaining) fire_real(w, rng, d);
+      return d;
+    }
+
+    const double p = omit_->rate();
+    // Never leap across the NO quiet horizon: the omission probability
+    // flips to zero there, which the next loop iteration picks up.
+    std::size_t cap = remaining;
+    if (omit_->quiet_after() != std::numeric_limits<std::size_t>::max() &&
+        omit_->quiet_after() > steps_)
+      cap = std::min(cap, omit_->quiet_after() - steps_);
+
+    const double wr = static_cast<double>(w) / static_cast<double>(t);
+    if (rules_->omission_transparent() && omit_->remaining_budget() > cap) {
+      // Omissive draws are global no-ops (reactor-side-only simulators)
+      // and the budget cannot run out mid-leap: geometric run to the next
+      // (necessarily real) change, binomial split of the no-ops into real
+      // and omissive draws.
+      const double rho = (1.0 - p) * wr;
+      const std::size_t run = leap::sample_bernoulli_run(rho, rng, cap);
+      if (run > 0) {
+        const double q_om = p / (1.0 - rho);  // P(omissive | no-op)
+        const std::size_t om = leap::sample_binomial(run, q_om, rng);
+        omit_->note_omissions(om);
+        stats_.record_omissive_noops(om);
+        stats_.record_noops(run - om);
+        d.noops += run;
+        d.omissions += om;
+        d.interactions += run;
+        steps_ += run;
+      }
+      if (run == cap) {
+        if (cap == remaining) return d;  // budget exhausted
+        continue;                        // crossed the quiet horizon
+      }
+      fire_real(w, rng, d);
+      return d;
+    }
+
+    // Event-punctuated leap: an "event" is an omissive delivery or a real
+    // count-change; the run of real no-ops before it is geometric. Each
+    // omissive delivery draws its victim pair hypergeometrically and
+    // applies the omissive-class outcome, whatever it is — identical in
+    // distribution to BatchSystem's Wo/T split, O(log universe) per
+    // delivered omission.
+    const double sigma = p + (1.0 - p) * wr;
+    const std::size_t run = leap::sample_bernoulli_run(sigma, rng, cap);
+    if (run > 0) {
+      stats_.record_noops(run);
+      d.noops += run;
+      d.interactions += run;
+      steps_ += run;
+    }
+    if (run == cap) {
+      if (cap == remaining) return d;
+      continue;
+    }
+    if (rng.chance(p / sigma)) {
+      omit_->note_omissions(1);
+      ++d.omissions;
+      const auto [s, r] = draw_any_pair(rng);
+      const StatePair out = rules_->outcome(omit_class_, s, r);
+      if (out.starter == s && out.reactor == r) {
+        stats_.record_omissive_noops(1);
+        ++d.noops;
+        ++d.interactions;
+        ++steps_;
+        continue;  // budget/horizon state may have changed
+      }
+      apply_fire(omit_class_, s, r, out, d);
+      ++d.interactions;
+      ++steps_;
+      return d;
+    }
+    fire_real(w, rng, d);
+    return d;
+  }
+  return d;
+}
+
+bool SimBatchSystem::step_once(Rng& rng, BatchDelta& d) {
+  const bool omissive = omit_ && omit_->should_omit(rng, steps_);
+  if (omissive) ++d.omissions;
+  const auto [s, r] = draw_any_pair(rng);
+  const InteractionClass c = omissive ? omit_class_ : InteractionClass::Real;
+  const StatePair out = rules_->outcome(c, s, r);
+  ++d.interactions;
+  ++steps_;
+  if (out.starter == s && out.reactor == r) {
+    ++d.noops;
+    ++noop_streak_;
+    if (omissive) stats_.record_omissive_noops(1);
+    else stats_.record_noops(1);
+    return false;
+  }
+  apply_fire(c, s, r, out, d);
+  return true;
+}
+
+BatchDelta SimBatchSystem::step(Rng& rng) {
+  BatchDelta d;
+  (void)step_once(rng, d);
+  return d;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,198 @@
+// SimBatchSystem: count-space execution over an OPEN state universe — the
+// engine that runs the paper's simulators (exposed as DynamicRuleSources,
+// sim/sim_rules.hpp) on million-agent populations.
+//
+// The closed-universe BatchSystem precompiles dense q x q outcome tables
+// and rescans them for changing weights; neither is possible when states
+// are discovered while running. This engine instead keeps:
+//
+//   * a SparseConfiguration — counts over the interned ids the rule source
+//     hands out, tracking only the occupied subset (ids are dense by
+//     construction, so the "hash map over interned states" is a growing
+//     vector plus an occupied list; the hash map lives inside the
+//     interner);
+//   * two Fenwick trees over the same ids (all counts / non-silent
+//     counts), so drawing starters and reactors proportionally to counts
+//     is O(log universe) however many states have appeared;
+//   * incrementally maintained per-class changing weights, so the
+//     geometric no-op leap stays EXACT as the universe grows:
+//       - factored sources (real_noop_factors — SKnO): a Real interaction
+//         is a no-op iff the starter is silent, so the changing weight is
+//         (n - S)(n - 1) for S = silent population, maintained O(1) per
+//         count change with silence classified once per interned state;
+//       - general sources (SID, naming, closed matrices): adaptive. In
+//         the dense regime (fires frequent — the locking simulators
+//         change wrapper state on almost every delivery) the engine takes
+//         direct hypergeometric steps, which need no weights at all and
+//         cost O(log universe); only after kLeapThreshold consecutive
+//         no-ops does it pay the O(occupied^2) weight scan and switch to
+//         geometric leaping, re-entering the dense path on the next fire.
+//         Both paths are exact realizations of the same chain, so the
+//         trajectory-dependent switch introduces no bias.
+//
+// Omission adversaries (Def. 1–2) attach exactly as on BatchSystem, with
+// the same burst normalization. Leaps split into real and omissive draws:
+// omission-transparent sources (reactor-side-only simulators) use the
+// binomial split — omissive draws cannot change counts — while the
+// general path punctuates the leap per omissive delivery and draws the
+// victim pair hypergeometrically, applying whatever the omissive class
+// outcome is (distribution-identical to BatchSystem's Wo/T split, O(log)
+// per delivered omission).
+//
+// Open universes (rule sources with open_universe()) release states whose
+// count returns to zero: ids recycle through the interner's free list, so
+// resident memory tracks the number of LIVE states (<= n + transients),
+// not the states ever seen — the property that makes n = 10^6 SKnO runs
+// fit in memory.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/dynamic_rules.hpp"
+#include "engine/batch/configuration.hpp"
+#include "engine/stats.hpp"
+#include "sched/omission_process.hpp"
+#include "util/fenwick.hpp"
+#include "util/rng.hpp"
+
+namespace ppfs {
+
+// Counts over interned wrapper states, tracking the occupied subset.
+class SparseConfiguration {
+ public:
+  void grow_to(std::size_t universe_size);
+  void add(State s, std::size_t k);
+  void remove(State s, std::size_t k);
+
+  [[nodiscard]] std::size_t count(State s) const {
+    return s < counts_.size() ? counts_[s] : 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  // Occupied states, unordered; stable only until the next add/remove.
+  [[nodiscard]] const std::vector<State>& occupied() const noexcept {
+    return occupied_;
+  }
+
+ private:
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> counts_;
+  std::vector<std::size_t> pos_;  // state -> index in occupied_, or kNoPos
+  std::vector<State> occupied_;
+  std::size_t n_ = 0;
+};
+
+class SimBatchSystem {
+ public:
+  // `sim_initial` holds simulated-protocol states; the rule source interns
+  // the corresponding wrapper states.
+  SimBatchSystem(std::shared_ptr<DynamicRuleSource> rules,
+                 const std::vector<State>& sim_initial);
+
+  // Attach an omission process (Def. 1–2); the source's model must be
+  // omissive. Must be called before the run starts.
+  void set_omission_process(const AdversaryParams& params);
+
+  // Cover at most `budget` uniform-scheduler interactions: leap the
+  // geometric run of no-ops, then fire one count-changing rule (or stop at
+  // the budget). Same contract as BatchSystem::advance.
+  BatchDelta advance(std::size_t budget, Rng& rng);
+
+  // Exact single hypergeometric step (integer draws only — the
+  // platform-stable reference used by the regression tests).
+  BatchDelta step(Rng& rng);
+
+  [[nodiscard]] const DynamicRuleSource& rules() const noexcept {
+    return *rules_;
+  }
+  [[nodiscard]] const Protocol& protocol() const { return rules_->protocol(); }
+  [[nodiscard]] std::size_t size() const noexcept { return conf_.size(); }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] const SparseConfiguration& configuration() const noexcept {
+    return conf_;
+  }
+  // Counts of the simulated projection pi_P, maintained incrementally.
+  [[nodiscard]] const std::vector<std::size_t>& projected_counts()
+      const noexcept {
+    return projected_;
+  }
+  [[nodiscard]] int consensus_output() const {
+    return counts_consensus_output(projected_, rules_->protocol());
+  }
+  // Occupied (live) wrapper states right now.
+  [[nodiscard]] std::size_t universe_live() const noexcept {
+    return conf_.occupied().size();
+  }
+  [[nodiscard]] std::size_t omissions() const noexcept {
+    return omit_ ? omit_->emitted() : 0;
+  }
+  [[nodiscard]] const OmissionProcess* omission_process() const noexcept {
+    return omit_ ? &*omit_ : nullptr;
+  }
+
+  [[nodiscard]] RunStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+
+ private:
+  // (changing weight, total weight) of the Real class under the current
+  // counts; the no-op run before the next real count-change is geometric
+  // with success w/t.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> real_weight();
+  [[nodiscard]] std::uint64_t scan_changing_weight();
+
+  void grow_to_universe();
+  // Silence classification, cached per interned id (factored mode).
+  [[nodiscard]] bool silent(State s);
+  void change_count(State s, std::int64_t delta);
+  void release_if_dead(State s);
+
+  // Ordered pair drawn hypergeometrically from the counts.
+  [[nodiscard]] std::pair<State, State> draw_any_pair(Rng& rng);
+  // Pre-states of a Real-class count-changing pair, drawn with exact
+  // probability pair_weight / changing weight.
+  [[nodiscard]] std::pair<State, State> pick_changing_pair(std::uint64_t w,
+                                                           Rng& rng);
+  void apply_fire(InteractionClass c, State s, State r, StatePair out,
+                  BatchDelta& d);
+  void fire_real(std::uint64_t w, Rng& rng, BatchDelta& d);
+  // One exact hypergeometric interaction (shared by step() and the dense
+  // adaptive path); returns whether a rule fired.
+  bool step_once(Rng& rng, BatchDelta& d);
+
+  // Consecutive no-ops after which the general mode switches from direct
+  // stepping to weight-scan leaping. A streak of L suggests a changing
+  // fraction ~1/L, so a leap saves ~L direct steps per fire — but every
+  // fire invalidates the weights, and the rescan costs O(occupied^2)
+  // outcome evaluations. Leaping therefore only pays once L is of the
+  // order of occupied^2: small universes (converged naive/matrix runs)
+  // leap almost immediately, while large non-factored universes (SID at
+  // big n, whose nearly-silent pairing chain fires at rate ~1/n) stay on
+  // the O(log) stepping path instead of stalling in scans.
+  static constexpr std::size_t kLeapThreshold = 64;
+  [[nodiscard]] std::size_t leap_threshold() const noexcept {
+    const std::size_t occ = conf_.occupied().size();
+    return std::max(kLeapThreshold, occ * occ);
+  }
+
+  std::shared_ptr<DynamicRuleSource> rules_;
+  bool factored_ = false;
+  bool open_ = false;
+  SparseConfiguration conf_;
+  FenwickTree fw_all_;     // counts per id
+  FenwickTree fw_active_;  // counts of non-silent ids (factored mode)
+  std::vector<std::uint8_t> silent_known_;  // 0 unknown / 1 active / 2 silent
+  std::uint64_t silent_count_ = 0;          // agents in silent states
+  std::vector<std::size_t> projected_;
+  std::size_t steps_ = 0;
+  RunStats stats_;
+  std::optional<OmissionProcess> omit_;
+  InteractionClass omit_class_ = InteractionClass::OmitBoth;
+  bool weights_valid_ = false;  // general mode
+  std::uint64_t w_real_ = 0;    // general mode
+  std::size_t noop_streak_ = 0;  // general mode: dense/sparse switch
+};
+
+}  // namespace ppfs

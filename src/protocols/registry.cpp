@@ -56,6 +56,21 @@ Workload make_exact_majority_workload(std::size_t n) {
           nullptr};
 }
 
+Workload make_exact_majority_gap_workload(std::size_t n) {
+  auto p = make_exact_majority();
+  const auto st = exact_majority_states();
+  // Margin Theta(n): the simulator-at-scale instance of the same protocol.
+  // The margin-2 workload above needs Theta(n^2) *simulated* interactions
+  // to resolve the last cancellation, and no simulator can leap simulated
+  // no-ops (the token/locking machinery runs regardless of whether delta
+  // changes anything), so the count-space simulator demonstrations at
+  // n = 10^6 use this large-margin initial configuration.
+  const std::size_t nx = n / 2 + std::max<std::size_t>(1, n / 8);
+  auto init = make_initial({{st.big_x, nx}, {st.big_y, n - nx}});
+  return {"exact-majority-gap(n=" + std::to_string(n) + ")", p, std::move(init),
+          1, nullptr};
+}
+
 Workload make_leader_workload(std::size_t n) {
   auto p = make_leader_election();
   const auto st = leader_states();
@@ -109,6 +124,7 @@ std::vector<Workload> standard_workloads(std::size_t n) {
   out.push_back(make_and_workload(n));
   out.push_back(make_approx_majority_workload(n));
   out.push_back(make_exact_majority_workload(n));
+  out.push_back(make_exact_majority_gap_workload(n));
   out.push_back(make_leader_workload(n));
   out.push_back(make_threshold_workload(n, 3, true));
   out.push_back(make_threshold_workload(n, 3, false));

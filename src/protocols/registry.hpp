@@ -26,8 +26,10 @@ struct Workload {
 };
 
 // Standard workload suite, parameterized by population size (n >= 2).
-// Includes: or / and epidemics, approximate majority, exact majority,
-// leader election, threshold-k counting, mod-m counting, pairing.
+// Includes: or / and epidemics, approximate majority, exact majority
+// (margin-2, plus the margin-Theta(n) "exact-majority-gap" instance the
+// simulator-at-scale runs use), leader election, threshold-k counting,
+// mod-m counting, pairing.
 [[nodiscard]] std::vector<Workload> standard_workloads(std::size_t n);
 
 // A smaller suite for expensive sweeps (simulators under adversaries).

@@ -24,6 +24,7 @@ Interaction OmissionAdversary::next(Rng& rng, std::size_t step) {
     }
     Interaction ia = uniform_ordered_pair(rng, n_);
     ia.omissive = true;
+    ia.side = process_.params().side;
     return ia;
   }
   return base_->next(rng, step);

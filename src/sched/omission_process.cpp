@@ -65,7 +65,18 @@ AdversaryParams parse_adversary_spec(const std::string& spec) {
       throw std::invalid_argument("parse_adversary_spec: wrong number of "
                                   "fields in '" + spec + "'");
   };
-  const std::string& head = parts[0];
+  // Optional "@side" suffix on the kind ("uo@starter:0.2").
+  std::string head = parts[0];
+  if (const std::size_t at = head.find('@'); at != std::string::npos) {
+    const std::string side = head.substr(at + 1);
+    head.resize(at);
+    if (side == "starter") p.side = OmitSide::Starter;
+    else if (side == "reactor") p.side = OmitSide::Reactor;
+    else if (side == "both") p.side = OmitSide::Both;
+    else
+      throw std::invalid_argument("parse_adversary_spec: unknown side '" +
+                                  side + "' (want starter|reactor|both)");
+  }
   if (head == "uo") {
     require_fields(1, 2);
     p.kind = AdversaryKind::UO;

@@ -27,6 +27,7 @@
 #include <limits>
 #include <string>
 
+#include "core/types.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
@@ -47,12 +48,20 @@ struct AdversaryParams {
   // Cap on consecutive insertions (step-wise path only; the batch path
   // relies on rate < 1 keeping bursts finite almost surely).
   std::size_t max_burst = 8;
+  // Which side inserted omissions strike (two-way models; the T-relation
+  // faulty outcomes). One-way models have no side distinction and ignore
+  // it. Both engines honor this: the native path stamps it on inserted
+  // interactions, the batch path selects the matching RuleMatrix outcome
+  // class (OmitStarter / OmitReactor / OmitBoth).
+  OmitSide side = OmitSide::Both;
 };
 
 // Parse a command-line adversary spec:
 //   "none" | "uo[:rate]" | "no:quiet[:rate]" | "no1[:rate]" |
 //   "budget:B[:rate]"
 // e.g. "budget:1000" or "uo:0.05". Returns kind UO with rate 0 for "none".
+// The kind may carry a side suffix "@starter" | "@reactor" | "@both"
+// (default both), e.g. "uo@starter:0.2" or "budget@reactor:8".
 [[nodiscard]] AdversaryParams parse_adversary_spec(const std::string& spec);
 
 class OmissionProcess {

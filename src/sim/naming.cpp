@@ -40,29 +40,43 @@ bool NamingSimulator::all_activated() const {
                      [](const SidAgent& a) { return a.active; });
 }
 
-void NamingSimulator::do_interact(const Interaction& ia) {
-  // Reactor-side only; omissions deliver nothing (no-op under any model).
-  if (ia.omissive) return;
-  const Naming nsnap = naming_[ia.starter];
-  const SidAgent sid_snap = agents_[ia.starter];  // pre-interaction snapshot
+NamingSimulator::StepEffects NamingSimulator::naming_step(
+    const Protocol& p, const SidCore::Options& options, std::size_t n,
+    NamingState& me, SidAgent& sid_me, const NamingState& nsnap,
+    const SidAgent& sid_snap) {
+  StepEffects fx;
 
   // --- Nn layer (Lemma 3) ---
-  Naming& me = naming_[ia.reactor];
   if (nsnap.my_id == me.my_id) {
     ++me.my_id;
-    ++nstats_.id_increments;
+    fx.id_incremented = true;
   }
   me.max_id = std::max({me.max_id, me.my_id, nsnap.my_id, nsnap.max_id});
-  SidAgent& sid_me = agents_[ia.reactor];
-  if (!sid_me.active && me.max_id == num_agents()) {
+  if (!sid_me.active && me.max_id == n) {
     // start_sim(my_id): at this point all ids are unique and stable.
     sid_me.active = true;
     sid_me.id = me.my_id;
-    ++nstats_.activated;
+    fx.activated = true;
   }
 
   // --- SID layer (only between activated agents) ---
-  if (auto up = core_.react(protocol(), sid_me, sid_snap)) {
+  fx.sid = SidCore::react_value(p, options, sid_me, sid_snap);
+  return fx;
+}
+
+void NamingSimulator::do_interact(const Interaction& ia) {
+  // Reactor-side only; omissions deliver nothing (no-op under any model).
+  if (ia.omissive) return;
+  const NamingState nsnap = naming_[ia.starter];
+  const SidAgent sid_snap = agents_[ia.starter];  // pre-interaction snapshot
+  SidAgent& sid_me = agents_[ia.reactor];
+
+  const StepEffects fx =
+      naming_step(protocol(), core_.options(), num_agents(),
+                  naming_[ia.reactor], sid_me, nsnap, sid_snap);
+  if (fx.id_incremented) ++nstats_.id_increments;
+  if (fx.activated) ++nstats_.activated;
+  if (auto up = core_.commit(fx.sid, sid_me, sid_snap)) {
     emit(ia.reactor, up->before, up->after, up->half, up->key, up->partner);
   }
 }

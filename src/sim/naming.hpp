@@ -24,6 +24,28 @@ class NamingSimulator final : public Simulator {
     std::size_t activated = 0;  // agents that invoked start_sim
   };
 
+  // The Nn layer of one agent (Lemma 3).
+  struct NamingState {
+    std::uint32_t my_id = 1;
+    std::uint32_t max_id = 1;
+  };
+
+  struct StepEffects {
+    bool id_incremented = false;
+    bool activated = false;
+    SidCore::ValueUpdate sid{};
+  };
+
+  // Pure value-level reactor step (Nn layer + SID layer), shared by the
+  // step-wise simulator and the count-space rule source: mutate the
+  // reactor's naming and SID state given the starter's pre-interaction
+  // snapshots; `n` is the known population size gating start_sim.
+  static StepEffects naming_step(const Protocol& p,
+                                 const SidCore::Options& options, std::size_t n,
+                                 NamingState& me, SidAgent& sid_me,
+                                 const NamingState& nsnap,
+                                 const SidAgent& sid_snap);
+
   NamingSimulator(std::shared_ptr<const Protocol> protocol, Model model,
                   std::vector<State> initial);
 
@@ -43,12 +65,7 @@ class NamingSimulator final : public Simulator {
   void do_interact(const Interaction& ia) override;
 
  private:
-  struct Naming {
-    std::uint32_t my_id = 1;
-    std::uint32_t max_id = 1;
-  };
-
-  std::vector<Naming> naming_;
+  std::vector<NamingState> naming_;
   std::vector<SidAgent> agents_;  // SID layer; inactive until max_id == n
   SidCore core_;
   NamingStats nstats_;

@@ -5,9 +5,10 @@
 
 namespace ppfs {
 
-std::optional<SidCore::Update> SidCore::react(const Protocol& p, SidAgent& me,
-                                              const SidAgent& snap) {
-  if (!me.active || !snap.active) return std::nullopt;
+SidCore::ValueUpdate SidCore::react_value(const Protocol& p,
+                                          const Options& options, SidAgent& me,
+                                          const SidAgent& snap) {
+  if (!me.active || !snap.active) return {};
 
   // Lines 3-5: two available agents meet — the reactor soft-commits.
   if (me.status == SidAgent::Status::Available &&
@@ -15,8 +16,7 @@ std::optional<SidCore::Update> SidCore::react(const Protocol& p, SidAgent& me,
     me.status = SidAgent::Status::Pairing;
     me.other_id = snap.id;
     me.other_state = snap.sim_state;
-    ++stats_.pairings;
-    return std::nullopt;
+    return {Action::Pairing, kNoState, kNoState, Half::Starter, kNoState};
   }
 
   // Lines 6-9: the observed starter is pairing with me and its recorded
@@ -24,16 +24,15 @@ std::optional<SidCore::Update> SidCore::react(const Protocol& p, SidAgent& me,
   // starter half fs = delta[0] of the simulated interaction.
   if (me.status == SidAgent::Status::Available &&
       snap.status == SidAgent::Status::Pairing && snap.other_id == me.id &&
-      (!options_.guard_partner_state || snap.other_state == me.sim_state)) {
+      (!options.guard_partner_state || snap.other_state == me.sim_state)) {
     me.status = SidAgent::Status::Locked;
     me.other_id = snap.id;
     me.other_state = snap.sim_state;
-    me.txn = next_txn_++;
+    me.txn = 0;  // provenance assigned by the stateful wrapper, if any
     const State before = me.sim_state;
     const State after = p.delta(before, snap.sim_state).starter;
     me.sim_state = after;
-    ++stats_.locks;
-    return Update{before, after, Half::Starter, me.txn, snap.sim_state};
+    return {Action::Lock, before, after, Half::Starter, snap.sim_state};
   }
 
   // Lines 10-13: my partner is locked on me — I complete the reactor half
@@ -48,8 +47,7 @@ std::optional<SidCore::Update> SidCore::react(const Protocol& p, SidAgent& me,
     me.status = SidAgent::Status::Available;
     me.other_id = kNoId;
     me.other_state = kNoState;
-    ++stats_.completes;
-    return Update{before, after, Half::Reactor, snap.txn, partner};
+    return {Action::Complete, before, after, Half::Reactor, partner};
   }
 
   // Lines 14-16: the agent I am engaged with is engaged elsewhere (or has
@@ -58,8 +56,35 @@ std::optional<SidCore::Update> SidCore::react(const Protocol& p, SidAgent& me,
     me.status = SidAgent::Status::Available;
     me.other_id = kNoId;
     me.other_state = kNoState;
-    ++stats_.rollbacks;
-    return std::nullopt;
+    return {Action::Rollback, kNoState, kNoState, Half::Starter, kNoState};
+  }
+  return {};
+}
+
+std::optional<SidCore::Update> SidCore::react(const Protocol& p, SidAgent& me,
+                                              const SidAgent& snap) {
+  return commit(react_value(p, options_, me, snap), me, snap);
+}
+
+std::optional<SidCore::Update> SidCore::commit(const ValueUpdate& vu,
+                                               SidAgent& me,
+                                               const SidAgent& snap) {
+  switch (vu.action) {
+    case Action::Pairing:
+      ++stats_.pairings;
+      return std::nullopt;
+    case Action::Lock:
+      me.txn = next_txn_++;
+      ++stats_.locks;
+      return Update{vu.before, vu.after, vu.half, me.txn, vu.partner};
+    case Action::Complete:
+      ++stats_.completes;
+      return Update{vu.before, vu.after, vu.half, snap.txn, vu.partner};
+    case Action::Rollback:
+      ++stats_.rollbacks;
+      return std::nullopt;
+    case Action::None:
+      return std::nullopt;
   }
   return std::nullopt;
 }

@@ -73,12 +73,44 @@ class SidCore {
   SidCore() = default;
   explicit SidCore(Options options) : options_(options) {}
 
-  // `me` is the reactor, `snap` the starter's pre-interaction snapshot.
-  // Returns a simulated-state update if one happened.
+  // What a value-level reactor step did (see react_value).
+  enum class Action : std::uint8_t { None, Pairing, Lock, Complete, Rollback };
+  struct ValueUpdate {
+    Action action = Action::None;
+    State before = kNoState;  // simulated-state change, when Lock/Complete
+    State after = kNoState;
+    Half half = Half::Starter;
+    State partner = kNoState;
+  };
+
+  // The pure value-level reactor step of Figure 3, shared by the step-wise
+  // simulator and the count-space rule source (sim/sim_rules.hpp): mutate
+  // `me` given the starter's pre-interaction snapshot. Deliberately
+  // provenance-free — `txn` is neither read nor assigned (it is zeroed on
+  // Lock), so behavior is a function of value-level state only and agents
+  // with equal values are interchangeable under interning.
+  [[nodiscard]] static ValueUpdate react_value(const Protocol& p,
+                                               const Options& options,
+                                               SidAgent& me,
+                                               const SidAgent& snap);
+
+  // Stateful wrapper: react_value plus stats and lock-transaction ids for
+  // the matching verifier. `me` is the reactor, `snap` the starter's
+  // pre-interaction snapshot. Returns a simulated-state update if one
+  // happened.
   [[nodiscard]] std::optional<Update> react(const Protocol& p, SidAgent& me,
                                             const SidAgent& snap);
 
+  // Attach provenance and stats to a value-level result that already
+  // mutated `me` (assigns the lock txn on Lock, reads snap.txn on
+  // Complete). react() == react_value + commit; the naming simulator uses
+  // commit directly after its layered naming_step.
+  [[nodiscard]] std::optional<Update> commit(const ValueUpdate& vu,
+                                             SidAgent& me,
+                                             const SidAgent& snap);
+
   [[nodiscard]] const SidStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
  private:
   Options options_;

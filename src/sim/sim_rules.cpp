@@ -1,0 +1,382 @@
+#include "sim/sim_rules.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/tw_naive.hpp"
+
+namespace ppfs {
+
+namespace {
+
+// --- little-endian byte packing ---------------------------------------------
+
+void put8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+void put32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint8_t get8(const char*& p) { return static_cast<std::uint8_t>(*p++); }
+std::uint16_t get16(const char*& p) {
+  const auto lo = static_cast<std::uint8_t>(*p++);
+  const auto hi = static_cast<std::uint8_t>(*p++);
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+std::uint32_t get32(const char*& p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(*p++)) << (8 * i);
+  return v;
+}
+
+// --- SID / naming agent encodings -------------------------------------------
+
+void encode_sid_agent(std::string& out, const SidAgent& a) {
+  put8(out, a.active ? 1 : 0);
+  put32(out, a.id);
+  put32(out, a.sim_state);
+  put8(out, static_cast<std::uint8_t>(a.status));
+  put32(out, a.other_id);
+  put32(out, a.other_state);
+}
+
+SidAgent decode_sid_agent(const char*& p) {
+  SidAgent a;
+  a.active = get8(p) != 0;
+  a.id = get32(p);
+  a.sim_state = get32(p);
+  a.status = static_cast<SidAgent::Status>(get8(p));
+  a.other_id = get32(p);
+  a.other_state = get32(p);
+  a.txn = 0;  // provenance: excluded from the canonical encoding
+  return a;
+}
+
+// --- SKnO token packing ------------------------------------------------------
+//
+// kind 2 bits | q 12 bits | qr 12 bits | index 6 bits, kNoState -> 0xfff.
+
+constexpr std::uint32_t kNoStateField = 0xfff;
+
+std::uint32_t pack_state12(State q) {
+  return q == kNoState ? kNoStateField : static_cast<std::uint32_t>(q);
+}
+State unpack_state12(std::uint32_t f) {
+  return f == kNoStateField ? kNoState : static_cast<State>(f);
+}
+
+std::uint32_t pack_token(const SknoCore::Token& t) {
+  return static_cast<std::uint32_t>(t.kind) | (pack_state12(t.q) << 2) |
+         (pack_state12(t.qr) << 14) | (t.index << 26);
+}
+
+SknoCore::Token unpack_token(std::uint32_t v) {
+  SknoCore::Token t;
+  t.kind = static_cast<SknoCore::Token::Kind>(v & 0x3);
+  t.q = unpack_state12((v >> 2) & 0xfff);
+  t.qr = unpack_state12((v >> 14) & 0xfff);
+  t.index = v >> 26;
+  t.run = 0;  // provenance: excluded from the canonical encoding
+  return t;
+}
+
+}  // namespace
+
+// --- SidRuleSource ----------------------------------------------------------
+
+SidRuleSource::SidRuleSource(std::shared_ptr<const Protocol> protocol,
+                             Model model, std::size_t n,
+                             SidCore::Options options)
+    : protocol_(std::move(protocol)), model_(model), n_(n), options_(options) {
+  if (!protocol_) throw std::invalid_argument("SidRuleSource: null protocol");
+  if (n_ < 2) throw std::invalid_argument("SidRuleSource: n >= 2 required");
+}
+
+std::string SidRuleSource::describe() const {
+  return "SID(" + model_name(model_) + ", count-space)";
+}
+
+State SidRuleSource::intern_agent(const SidAgent& a) {
+  std::string bytes;
+  bytes.reserve(18);
+  encode_sid_agent(bytes, a);
+  return universe_.intern(bytes);
+}
+
+SidAgent SidRuleSource::decode_agent(State s) const {
+  const std::string& bytes = universe_.encoding(s);
+  const char* p = bytes.data();
+  return decode_sid_agent(p);
+}
+
+std::vector<State> SidRuleSource::intern_initial(const std::vector<State>& sim) {
+  if (sim.size() != n_)
+    throw std::invalid_argument("SidRuleSource: initial arity != n");
+  std::vector<State> out(sim.size());
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    SidAgent a;
+    a.active = true;
+    a.id = static_cast<std::uint32_t>(i);  // SidSimulator's default ids
+    a.sim_state = sim[i];
+    out[i] = intern_agent(a);
+  }
+  return out;
+}
+
+State SidRuleSource::react(State reactor, State starter_snap) {
+  SidAgent me = decode_agent(reactor);
+  const SidAgent snap = decode_agent(starter_snap);
+  (void)SidCore::react_value(*protocol_, options_, me, snap);
+  return intern_agent(me);
+}
+
+StatePair SidRuleSource::outcome(InteractionClass c, State s, State r) {
+  // Reactor-side only: omissions deliver nothing, under every model.
+  if (c != InteractionClass::Real) return {s, r};
+  const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | r;
+  if (auto it = cache_.find(key); it != cache_.end()) return {s, it->second};
+  const State r2 = react(r, s);
+  cache_.emplace(key, r2);
+  return {s, r2};
+}
+
+State SidRuleSource::project(State s) const {
+  return decode_agent(s).sim_state;
+}
+
+// --- NamingRuleSource -------------------------------------------------------
+
+NamingRuleSource::NamingRuleSource(std::shared_ptr<const Protocol> protocol,
+                                   Model model, std::size_t n,
+                                   SidCore::Options options)
+    : SidRuleSource(std::move(protocol), model, n, options) {}
+
+std::string NamingRuleSource::describe() const {
+  return "Nn+SID(" + model_name(model_) + ", n=" + std::to_string(n_) +
+         ", count-space)";
+}
+
+State NamingRuleSource::intern_full(const Full& f) {
+  std::string bytes;
+  bytes.reserve(26);
+  put32(bytes, f.naming.my_id);
+  put32(bytes, f.naming.max_id);
+  encode_sid_agent(bytes, f.sid);
+  return universe_.intern(bytes);
+}
+
+NamingRuleSource::Full NamingRuleSource::decode_full(State s) const {
+  const std::string& bytes = universe_.encoding(s);
+  const char* p = bytes.data();
+  Full f;
+  f.naming.my_id = get32(p);
+  f.naming.max_id = get32(p);
+  f.sid = decode_sid_agent(p);
+  return f;
+}
+
+std::vector<State> NamingRuleSource::intern_initial(
+    const std::vector<State>& sim) {
+  if (sim.size() != n_)
+    throw std::invalid_argument("NamingRuleSource: initial arity != n");
+  // Everyone starts my_id = max_id = 1 with an inactive SID layer: agents
+  // with equal simulated states share one wrapper state (no identities
+  // yet — naming is the knowledge-of-n column).
+  std::vector<State> out(sim.size());
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    Full f;
+    f.sid.active = false;
+    f.sid.id = kNoId;
+    f.sid.sim_state = sim[i];
+    out[i] = intern_full(f);
+  }
+  return out;
+}
+
+State NamingRuleSource::react(State reactor, State starter_snap) {
+  Full me = decode_full(reactor);
+  const Full snap = decode_full(starter_snap);
+  (void)NamingSimulator::naming_step(*protocol_, options_, n_, me.naming,
+                                     me.sid, snap.naming, snap.sid);
+  return intern_full(me);
+}
+
+State NamingRuleSource::project(State s) const {
+  return decode_full(s).sid.sim_state;
+}
+
+// --- SknoRuleSource ---------------------------------------------------------
+
+SknoRuleSource::SknoRuleSource(std::shared_ptr<const Protocol> protocol,
+                               Model model, std::size_t omission_bound,
+                               SknoCore::Options options)
+    : protocol_(std::move(protocol)),
+      core_(protocol_.get(), model, omission_bound, options,
+            /*track_provenance=*/false) {
+  if (!protocol_) throw std::invalid_argument("SknoRuleSource: null protocol");
+  if (protocol_->num_states() >= kNoStateField)
+    throw std::invalid_argument(
+        "SknoRuleSource: token packing supports < 4095 simulated states");
+  if (omission_bound > 62)
+    throw std::invalid_argument(
+        "SknoRuleSource: token packing supports o <= 62");
+}
+
+std::string SknoRuleSource::describe() const {
+  return "SKnO(" + model_name(core_.model()) +
+         ", o=" + std::to_string(core_.omission_bound()) + ", count-space)";
+}
+
+State SknoRuleSource::intern_agent(const SknoCore::Agent& a) {
+  if (a.sending.size() > 0xffff || a.joker_debt.size() > 0xffff)
+    throw std::length_error("SknoRuleSource: queue exceeds the u16 encoding");
+  std::string bytes;
+  bytes.reserve(5 + 4 * (a.sending.size() + a.joker_debt.size()) + 4);
+  put16(bytes, static_cast<std::uint16_t>(a.sim_state));
+  put8(bytes, a.pending ? 1 : 0);
+  put16(bytes, static_cast<std::uint16_t>(a.sending.size()));
+  for (const auto& t : a.sending) put32(bytes, pack_token(t));
+  // The debt list is looked up by value only — sort to canonicalize.
+  std::vector<std::uint32_t> debt;
+  debt.reserve(a.joker_debt.size());
+  for (const auto& t : a.joker_debt) debt.push_back(pack_token(t));
+  std::sort(debt.begin(), debt.end());
+  put16(bytes, static_cast<std::uint16_t>(debt.size()));
+  for (std::uint32_t v : debt) put32(bytes, v);
+  return universe_.intern(bytes);
+}
+
+SknoCore::Agent SknoRuleSource::decode_agent(State s) const {
+  const std::string& bytes = universe_.encoding(s);
+  const char* p = bytes.data();
+  SknoCore::Agent a;
+  a.sim_state = get16(p);
+  a.pending = get8(p) != 0;
+  const std::size_t nq = get16(p);
+  for (std::size_t i = 0; i < nq; ++i) a.sending.push_back(unpack_token(get32(p)));
+  const std::size_t nd = get16(p);
+  a.joker_debt.reserve(nd);
+  for (std::size_t i = 0; i < nd; ++i) a.joker_debt.push_back(unpack_token(get32(p)));
+  return a;
+}
+
+std::vector<State> SknoRuleSource::intern_initial(const std::vector<State>& sim) {
+  std::vector<State> out(sim.size());
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    SknoCore::Agent a;
+    a.sim_state = sim[i];
+    out[i] = intern_agent(a);
+  }
+  return out;
+}
+
+StatePair SknoRuleSource::outcome(InteractionClass c, State s, State r) {
+  SknoCore::Agent starter = decode_agent(s);
+  SknoCore::Agent reactor = decode_agent(r);
+  const bool omissive = c != InteractionClass::Real;
+  const OmitSide side = c == InteractionClass::OmitStarter ? OmitSide::Starter
+                        : c == InteractionClass::OmitReactor
+                            ? OmitSide::Reactor
+                            : OmitSide::Both;
+  core_.step(starter, reactor, omissive, side, nullptr, nullptr);
+  // Intern both successors before either pre-state could be released.
+  const State s2 = intern_agent(starter);
+  const State r2 = intern_agent(reactor);
+  return {s2, r2};
+}
+
+State SknoRuleSource::project(State s) const {
+  const std::string& bytes = universe_.encoding(s);
+  const char* p = bytes.data();
+  return get16(p);
+}
+
+bool SknoRuleSource::starter_silent(State s) {
+  // Header-only peek: pending with an empty queue transmits nothing.
+  const std::string& bytes = universe_.encoding(s);
+  const char* p = bytes.data() + 2;
+  const bool pending = get8(p) != 0;
+  const std::size_t nq = get16(p);
+  return pending && nq == 0;
+}
+
+// --- construction glue ------------------------------------------------------
+
+SimSpec parse_sim_spec(const std::string& spec) {
+  SimSpec s;
+  const std::size_t colon = spec.find(':');
+  s.kind = spec.substr(0, colon == std::string::npos ? spec.size() : colon);
+  if (s.kind != "naive" && s.kind != "skno" && s.kind != "sid" &&
+      s.kind != "naming")
+    throw std::invalid_argument("parse_sim_spec: unknown simulator '" + s.kind +
+                                "' (want naive|skno|sid|naming)");
+  if (colon == std::string::npos) return s;
+  const std::string rest = spec.substr(colon + 1);
+  if (rest.rfind("o=", 0) != 0 || s.kind != "skno")
+    throw std::invalid_argument("parse_sim_spec: bad option '" + rest +
+                                "' in '" + spec + "' (only skno:o=K)");
+  try {
+    std::size_t used = 0;
+    s.omission_bound = std::stoul(rest.substr(2), &used);
+    if (used != rest.size() - 2) throw std::invalid_argument("trailing");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_sim_spec: bad omission bound in '" +
+                                spec + "'");
+  }
+  return s;
+}
+
+Model default_sim_model(const SimSpec& spec) {
+  if (spec.kind == "naive") return Model::TW;
+  if (spec.kind == "skno") return spec.omission_bound == 0 ? Model::IT : Model::I3;
+  return Model::IO;  // sid / naming: the weakest model
+}
+
+std::unique_ptr<DynamicRuleSource> make_sim_rule_source(
+    const SimSpec& spec, Model model, std::shared_ptr<const Protocol> protocol,
+    std::size_t n) {
+  if (spec.kind == "naive") {
+    if (is_one_way(model))
+      throw std::invalid_argument(
+          "make_sim_rule_source: the naive simulator requires a two-way model");
+    return std::make_unique<MatrixRuleSource>(
+        RuleMatrix::compile(std::move(protocol), model));
+  }
+  if (spec.kind == "skno")
+    return std::make_unique<SknoRuleSource>(std::move(protocol), model,
+                                            spec.omission_bound);
+  if (spec.kind == "sid")
+    return std::make_unique<SidRuleSource>(std::move(protocol), model, n);
+  if (spec.kind == "naming")
+    return std::make_unique<NamingRuleSource>(std::move(protocol), model, n);
+  throw std::invalid_argument("make_sim_rule_source: unknown simulator '" +
+                              spec.kind + "'");
+}
+
+std::unique_ptr<Simulator> make_spec_simulator(
+    const SimSpec& spec, Model model, std::shared_ptr<const Protocol> protocol,
+    std::vector<State> initial) {
+  if (spec.kind == "naive")
+    return std::make_unique<TwSimulator>(std::move(protocol), model,
+                                         std::move(initial));
+  if (spec.kind == "skno")
+    return std::make_unique<SknoSimulator>(std::move(protocol), model,
+                                           spec.omission_bound,
+                                           std::move(initial));
+  if (spec.kind == "sid")
+    return std::make_unique<SidSimulator>(std::move(protocol), model,
+                                          std::move(initial));
+  if (spec.kind == "naming")
+    return std::make_unique<NamingSimulator>(std::move(protocol), model,
+                                             std::move(initial));
+  throw std::invalid_argument("make_spec_simulator: unknown simulator '" +
+                              spec.kind + "'");
+}
+
+}  // namespace ppfs

@@ -1,0 +1,184 @@
+// Count-space rule sources for the paper's simulators (§4): each simulator
+// is exposed as a DynamicRuleSource (core/dynamic_rules.hpp) — a pure
+// (wrapper_s, wrapper_r, class) -> outcome transition function over an
+// interned, lazily-discovered state universe — so the sparse batch engine
+// (engine/batch/sim_batch_system.hpp) executes the *simulator* in count
+// space exactly like any protocol. The value-level cores are shared with
+// the step-wise Simulator classes (SknoCore::step, SidCore::react_value,
+// NamingSimulator::naming_step), so both execution paths realize the
+// identical chain; only harness-side provenance (run/txn ids, SimEvents)
+// is step-wise-only.
+//
+// Canonical encodings (all fields little-endian):
+//   * naive    — no wrapper state: the simulated state IS the wrapper
+//                state, so the source is a plain MatrixRuleSource over the
+//                compiled RuleMatrix (identity o/h = the naive faulty
+//                outcomes).
+//   * SID      — [active u8][id u32][sim_state u32][status u8]
+//                [other_id u32][other_state u32]; the lock txn id is
+//                excluded (write-only provenance).
+//   * naming   — [my_id u32][max_id u32] followed by the SID fields.
+//   * SKnO     — [sim_state u16][pending u8][nq u16][queue tokens in FIFO
+//                order][nd u16][debt tokens sorted]; each token packs into
+//                a u32 (kind 2 | q 12 | qr 12 | index 6, kNoState -> 0xfff),
+//                run ids excluded. Requires num_states <= 4094 and
+//                o <= 62.
+//
+// SID and naming are reactor-side only: the starter's wrapper state never
+// changes and omissive interactions deliver nothing (omission_transparent).
+// Their per-agent unique ids make wrapper states non-exchangeable, so the
+// universe holds >= n live states — correct at any n, but count space pays
+// off mainly for SKnO (anonymous tokens, states collapse) and naive
+// (closed universe).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dynamic_rules.hpp"
+#include "sim/naming.hpp"
+#include "sim/sid.hpp"
+#include "sim/skno.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppfs {
+
+// Reactor-side-only shared base: starter untouched, omissions transparent,
+// outcomes cached per ordered pair (bounded universes, no release).
+class SidRuleSource : public DynamicRuleSource {
+ public:
+  // Ids 0..n-1, matching SidSimulator's default id assignment.
+  SidRuleSource(std::shared_ptr<const Protocol> protocol, Model model,
+                std::size_t n, SidCore::Options options = {});
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Model model() const override { return model_; }
+  [[nodiscard]] const Protocol& protocol() const override { return *protocol_; }
+  [[nodiscard]] std::shared_ptr<const Protocol> protocol_ptr() const override {
+    return protocol_;
+  }
+  [[nodiscard]] std::size_t universe_size() const override {
+    return universe_.capacity();
+  }
+  [[nodiscard]] std::vector<State> intern_initial(
+      const std::vector<State>& sim) override;
+  [[nodiscard]] StatePair outcome(InteractionClass c, State s,
+                                  State r) override;
+  [[nodiscard]] State project(State s) const override;
+  [[nodiscard]] bool omission_transparent() const override { return true; }
+
+ protected:
+  // The reactor's value-level step; overridden by the naming layer.
+  [[nodiscard]] virtual State react(State reactor, State starter_snap);
+
+  [[nodiscard]] State intern_agent(const SidAgent& a);
+  [[nodiscard]] SidAgent decode_agent(State s) const;
+
+  std::shared_ptr<const Protocol> protocol_;
+  Model model_;
+  std::size_t n_;
+  SidCore::Options options_;
+  StateUniverse universe_;
+  // (s << 32 | r) -> reactor post-state; the starter never changes.
+  std::unordered_map<std::uint64_t, State> cache_;
+};
+
+// Nn + SID composition (§4.3): the naming layer rides in front of the SID
+// fields; activation fires when max_id reaches the known n.
+class NamingRuleSource final : public SidRuleSource {
+ public:
+  NamingRuleSource(std::shared_ptr<const Protocol> protocol, Model model,
+                   std::size_t n, SidCore::Options options = {});
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::vector<State> intern_initial(
+      const std::vector<State>& sim) override;
+  [[nodiscard]] State project(State s) const override;
+
+ protected:
+  [[nodiscard]] State react(State reactor, State starter_snap) override;
+
+ private:
+  struct Full {
+    NamingSimulator::NamingState naming;
+    SidAgent sid;
+  };
+  [[nodiscard]] State intern_full(const Full& f);
+  [[nodiscard]] Full decode_full(State s) const;
+};
+
+// SKnO (§4.1) in count space: open universe (zero-count states are
+// released and ids recycled), one-way-factored no-op structure (the Real
+// class is a no-op iff the starter is pending with an empty queue).
+class SknoRuleSource final : public DynamicRuleSource {
+ public:
+  SknoRuleSource(std::shared_ptr<const Protocol> protocol, Model model,
+                 std::size_t omission_bound, SknoCore::Options options = {});
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] Model model() const override { return core_.model(); }
+  [[nodiscard]] const Protocol& protocol() const override { return *protocol_; }
+  [[nodiscard]] std::shared_ptr<const Protocol> protocol_ptr() const override {
+    return protocol_;
+  }
+  [[nodiscard]] std::size_t universe_size() const override {
+    return universe_.capacity();
+  }
+  [[nodiscard]] std::vector<State> intern_initial(
+      const std::vector<State>& sim) override;
+  [[nodiscard]] StatePair outcome(InteractionClass c, State s,
+                                  State r) override;
+  [[nodiscard]] State project(State s) const override;
+
+  [[nodiscard]] bool open_universe() const override { return true; }
+  [[nodiscard]] bool real_noop_factors() const override { return true; }
+  [[nodiscard]] bool starter_silent(State s) override;
+  void release(State s) override { universe_.release(s); }
+
+  [[nodiscard]] const SknoCore::Stats& core_stats() const noexcept {
+    return core_.stats();
+  }
+  [[nodiscard]] std::size_t live_states() const noexcept {
+    return universe_.live();
+  }
+
+ private:
+  [[nodiscard]] State intern_agent(const SknoCore::Agent& a);
+  [[nodiscard]] SknoCore::Agent decode_agent(State s) const;
+
+  std::shared_ptr<const Protocol> protocol_;
+  SknoCore core_;  // track_provenance = false: the canonical value chain
+  StateUniverse universe_;
+};
+
+// --- construction glue (dispatch + CLI) -------------------------------------
+
+// A parsed --simulate specification: "naive" | "sid" | "naming" |
+// "skno[:o=K]" (omission bound K, default 0).
+struct SimSpec {
+  std::string kind = "skno";
+  std::size_t omission_bound = 0;
+};
+
+[[nodiscard]] SimSpec parse_sim_spec(const std::string& spec);
+
+// The model each simulator is designed for, used when the caller does not
+// pick one: naive -> TW, skno -> I3, sid/naming -> IO (the weakest model).
+[[nodiscard]] Model default_sim_model(const SimSpec& spec);
+
+// Count-space rule source for the spec (n = population size; needed by
+// the per-agent id assignment of SID and the activation threshold of
+// naming).
+[[nodiscard]] std::unique_ptr<DynamicRuleSource> make_sim_rule_source(
+    const SimSpec& spec, Model model, std::shared_ptr<const Protocol> protocol,
+    std::size_t n);
+
+// Step-wise counterpart over the same spec (the event/matching-verifier
+// facade and the native engine path).
+[[nodiscard]] std::unique_ptr<Simulator> make_spec_simulator(
+    const SimSpec& spec, Model model, std::shared_ptr<const Protocol> protocol,
+    std::vector<State> initial);
+
+}  // namespace ppfs

@@ -13,9 +13,11 @@ Simulator::Simulator(std::shared_ptr<const Protocol> protocol, Model model,
       n_(initial_.size()) {
   if (!protocol_) throw std::invalid_argument("Simulator: null protocol");
   if (n_ < 1) throw std::invalid_argument("Simulator: empty population");
+  projected_counts_.assign(protocol_->num_states(), 0);
   for (State q : initial_) {
     if (q >= protocol_->num_states())
       throw std::invalid_argument("Simulator: initial state out of range");
+    ++projected_counts_[q];
   }
 }
 
@@ -40,8 +42,14 @@ std::vector<State> Simulator::projection() const {
 
 void Simulator::emit(AgentId agent, State before, State after, Half half,
                      std::uint64_t key, State partner) {
-  events_.push_back(SimEvent{seq_++, interactions_, agent, before, after, half, key,
-                             partner});
+  if (record_events_) {
+    events_.push_back(SimEvent{seq_, interactions_, agent, before, after, half,
+                               key, partner});
+  }
+  ++seq_;
+  ++updates_;
+  --projected_counts_[before];
+  ++projected_counts_[after];
 }
 
 }  // namespace ppfs

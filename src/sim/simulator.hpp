@@ -11,6 +11,22 @@
 // Matching keys attached to events are harness-side provenance (ground
 // truth for verification); the protocol logic itself never reads them, so
 // they do not strengthen the communication model.
+//
+// Count-space execution. Each simulator's transition logic is factored
+// into a pure value-level core, and sim/sim_rules.hpp exposes it as a
+// DynamicRuleSource (core/dynamic_rules.hpp): the full wrapper state of an
+// agent — simulated state plus simulator bookkeeping — is serialized into
+// a canonical byte encoding and interned into a growing state universe, so
+// the count-space batch engine (engine/batch/sim_batch_system.hpp) can run
+// the simulator as "just another protocol" over interned states. The
+// encodings (all little-endian fixed-width fields, documented per
+// simulator in sim_rules.hpp) deliberately EXCLUDE harness-side provenance
+// — SKnO token run ids, SID lock transaction ids — because provenance
+// never influences value-level behavior; that exclusion is what makes
+// agents with equal protocol-visible state collapse onto one interned id.
+// The step-wise Simulator classes below remain the facade that carries
+// provenance and SimEvents for the event/matching verifier; the
+// count-space path trades those away for million-agent populations.
 #pragma once
 
 #include <memory>
@@ -55,6 +71,18 @@ class Simulator {
   // pi_P(C): the projection of the current configuration onto Q_P.
   [[nodiscard]] std::vector<State> projection() const;
 
+  // Counts of pi_P(C), maintained incrementally by emit() — O(q_P) reads
+  // for convergence probes regardless of n and of event recording.
+  [[nodiscard]] const std::vector<std::size_t>& projected_counts()
+      const noexcept {
+    return projected_counts_;
+  }
+
+  // Toggle SimEvent storage (default on). Long throughput runs disable it
+  // — the event log grows linearly and exists only for the matching
+  // verifier. Counters (simulated_updates, projected counts) stay exact.
+  void record_events(bool on) noexcept { record_events_ = on; }
+
   [[nodiscard]] std::size_t num_agents() const noexcept { return n_; }
   [[nodiscard]] const Protocol& protocol() const noexcept { return *protocol_; }
   [[nodiscard]] std::shared_ptr<const Protocol> protocol_ptr() const {
@@ -70,7 +98,7 @@ class Simulator {
   [[nodiscard]] std::size_t interactions() const noexcept { return interactions_; }
   [[nodiscard]] std::size_t omissions() const noexcept { return omissions_; }
   [[nodiscard]] std::size_t simulated_updates() const noexcept {
-    return events_.size();
+    return updates_;
   }
 
   [[nodiscard]] virtual std::string describe() const = 0;
@@ -93,9 +121,12 @@ class Simulator {
   std::vector<State> initial_;
   std::size_t n_;
   std::vector<SimEvent> events_;
+  std::vector<std::size_t> projected_counts_;
   std::uint64_t seq_ = 0;
+  std::uint64_t updates_ = 0;
   std::size_t interactions_ = 0;
   std::size_t omissions_ = 0;
+  bool record_events_ = true;
 };
 
 }  // namespace ppfs

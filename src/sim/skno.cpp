@@ -17,82 +17,37 @@ constexpr std::size_t bits_for_count(std::size_t c) {
 }
 }  // namespace
 
-SknoSimulator::SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
-                             std::size_t omission_bound, std::vector<State> initial)
-    : SknoSimulator(std::move(protocol), model, omission_bound, std::move(initial),
-                    Options{}) {}
-
-SknoSimulator::SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
-                             std::size_t omission_bound, std::vector<State> initial,
-                             Options options)
-    : Simulator(std::move(protocol), model, std::move(initial)),
-      o_(omission_bound),
-      options_(options) {
+void validate_skno_model(Model model, std::size_t omission_bound) {
   if (model != Model::I3 && model != Model::I4 && model != Model::IT &&
       model != Model::T3 && model != Model::I1 && model != Model::I2)
     throw std::invalid_argument(
         "SknoSimulator: supported models are I3, I4 (omissive), IT (o = 0), "
         "T3 (via the I3 -> T3 embedding), and I1/I2 (as the Theorem 3.2 "
         "candidate only)");
-  if (model == Model::IT && o_ != 0)
+  if (model == Model::IT && omission_bound != 0)
     throw std::invalid_argument("SknoSimulator: IT is non-omissive, use o = 0");
-  agents_.resize(num_agents());
-  for (AgentId a = 0; a < num_agents(); ++a)
-    agents_[a].sim_state = initial_projection()[a];
 }
 
-std::unique_ptr<Simulator> SknoSimulator::clone() const {
-  return std::make_unique<SknoSimulator>(*this);
+SknoCore::SknoCore(const Protocol* protocol, Model model,
+                   std::size_t omission_bound, Options options,
+                   bool track_provenance)
+    : protocol_(protocol),
+      model_(model),
+      o_(omission_bound),
+      options_(options),
+      track_provenance_(track_provenance) {
+  validate_skno_model(model, omission_bound);
 }
 
-State SknoSimulator::simulated_state(AgentId a) const {
-  return agents_.at(a).sim_state;
-}
-
-std::string SknoSimulator::describe() const {
-  return "SKnO(" + model_name(model()) + ", o=" + std::to_string(o_) + ")";
-}
-
-std::size_t SknoSimulator::total_live_tokens() const {
-  std::size_t t = 0;
-  for (const auto& a : agents_) t += a.sending.size();
-  return t;
-}
-
-std::size_t SknoSimulator::live_jokers() const {
-  std::size_t t = 0;
-  for (const auto& a : agents_)
-    for (const auto& tok : a.sending)
-      if (tok.kind == Token::Kind::Joker) ++t;
-  return t;
-}
-
-std::size_t SknoSimulator::memory_bits(AgentId idx) const {
-  const Agent& a = agents_.at(idx);
-  // Counting representation: a counter per distinct token value held, plus
-  // the value tag itself (state ids + index), plus the simulator scalars.
-  std::map<std::tuple<std::uint8_t, State, State, std::uint32_t>, std::size_t> counts;
-  for (const auto& t : a.sending)
-    ++counts[{static_cast<std::uint8_t>(t.kind), t.q, t.qr, t.index}];
-  for (const auto& t : a.joker_debt)
-    ++counts[{static_cast<std::uint8_t>(t.kind), t.q, t.qr, t.index}];
-  const std::size_t state_bits = bits_for_count(protocol().num_states());
-  const std::size_t tag_bits = 2 + 2 * state_bits + bits_for_count(o_ + 1);
-  std::size_t bits = state_bits + 1;  // sim_state + pending flag
-  for (const auto& [value, c] : counts) bits += tag_bits + bits_for_count(c);
-  return bits;
-}
-
-void SknoSimulator::note_queue_size(const Agent& a) {
+void SknoCore::note_queue_size(const Agent& a) {
   stats_.max_queue = std::max(stats_.max_queue, a.sending.size());
 }
 
-std::optional<SknoSimulator::Token> SknoSimulator::apply_g(AgentId idx) {
-  Agent& a = agents_[idx];
+std::optional<SknoCore::Token> SknoCore::apply_g(Agent& a) {
   if (!a.pending && a.sending.empty()) {
     // available + empty queue: open a transaction for the current state.
     a.pending = true;
-    const std::uint64_t run = next_run_++;
+    const std::uint64_t run = track_provenance_ ? next_run_++ : 0;
     for (std::uint32_t i = 1; i <= o_ + 1; ++i)
       a.sending.push_back(Token{Token::Kind::StateRun, a.sim_state, kNoState, i, run});
     ++stats_.runs_generated;
@@ -104,15 +59,13 @@ std::optional<SknoSimulator::Token> SknoSimulator::apply_g(AgentId idx) {
   return t;
 }
 
-void SknoSimulator::mint_joker(AgentId idx) {
-  Agent& a = agents_[idx];
+void SknoCore::mint_joker(Agent& a) {
   a.sending.push_back(Token{Token::Kind::Joker, kNoState, kNoState, 0, 0});
   ++stats_.jokers_minted;
   note_queue_size(a);
 }
 
-void SknoSimulator::receive(AgentId idx, const std::optional<Token>& tok) {
-  Agent& a = agents_[idx];
+void SknoCore::receive(Agent& a, const std::optional<Token>& tok, Emits* emits) {
   if (tok) {
     // Joker-debt repayment: a late copy of a token we substituted with a
     // joker is destroyed and the joker regenerated (token conservation).
@@ -130,10 +83,10 @@ void SknoSimulator::receive(AgentId idx, const std::optional<Token>& tok) {
     }
     note_queue_size(a);
   }
-  run_checks(idx);
+  run_checks(a, emits);
 }
 
-std::optional<SknoSimulator::Consumed> SknoSimulator::try_consume(
+std::optional<SknoCore::Consumed> SknoCore::try_consume(
     Agent& a, Token::Kind kind, std::optional<State> q_filter) {
   // Candidate payloads in queue order (deterministic).
   std::vector<std::pair<State, State>> candidates;
@@ -150,28 +103,13 @@ std::optional<SknoSimulator::Consumed> SknoSimulator::try_consume(
 
   for (const auto& [q, qr] : candidates) {
     // Tokens of identical value are interchangeable, so which instances we
-    // remove is an implementation choice; we prefer drawing every index
-    // from a single originating run (the one contributing the most
-    // indices) so that verification provenance stays exact, and fill any
-    // index that run lacks from other runs, then jokers.
-    std::map<std::uint64_t, std::size_t> coverage;
-    for (const Token& t : a.sending) {
-      if (t.kind == kind && t.q == q && t.qr == qr && t.index >= 1 &&
-          t.index <= o_ + 1)
-        ++coverage[t.run];
-    }
-    std::uint64_t preferred = 0;
-    std::size_t best_cov = 0;
-    for (const auto& [run, cov] : coverage) {
-      if (cov > best_cov) {
-        best_cov = cov;
-        preferred = run;
-      }
-    }
-    // First queue position of each run index 1..o+1 for this payload,
-    // preferring tokens of the preferred run.
+    // remove is a free choice — but it must be a *value-level* choice, or
+    // the count-space rule source (whose states carry no run ids) would
+    // realize a different chain than the step-wise simulator. Canonical
+    // rule: consume the FIRST queue occurrence of each index 1..o+1, fill
+    // the rest from jokers. Provenance (verification only) is the run id
+    // of the token filling the smallest index.
     std::vector<std::ptrdiff_t> pos(o_ + 2, -1);
-    std::vector<bool> from_preferred(o_ + 2, false);
     std::size_t have = 0;
     for (std::size_t i = 0; i < a.sending.size(); ++i) {
       const Token& t = a.sending[i];
@@ -179,11 +117,7 @@ std::optional<SknoSimulator::Consumed> SknoSimulator::try_consume(
       if (t.index < 1 || t.index > o_ + 1) continue;
       if (pos[t.index] < 0) {
         pos[t.index] = static_cast<std::ptrdiff_t>(i);
-        from_preferred[t.index] = t.run == preferred;
         ++have;
-      } else if (!from_preferred[t.index] && t.run == preferred) {
-        pos[t.index] = static_cast<std::ptrdiff_t>(i);
-        from_preferred[t.index] = true;
       }
     }
     if (have == 0) continue;  // at least one real token required
@@ -193,15 +127,15 @@ std::optional<SknoSimulator::Consumed> SknoSimulator::try_consume(
     // Consume: remove the chosen real tokens and `missing` jokers; record
     // the substituted values in the joker-debt list.
     std::vector<bool> remove(a.sending.size(), false);
-    // Provenance: the run id of the token filling the smallest index. Two
-    // consumptions can never share a physical token, so in joker-free
-    // executions this primary id is globally unique per consumption.
     std::uint64_t primary = 0;
+    bool primary_set = false;
     for (std::uint32_t i = 1; i <= o_ + 1; ++i) {
       if (pos[i] >= 0) {
         remove[static_cast<std::size_t>(pos[i])] = true;
-        if (primary == 0)
+        if (!primary_set) {
           primary = a.sending[static_cast<std::size_t>(pos[i])].run;
+          primary_set = true;
+        }
       } else {
         a.joker_debt.push_back(Token{kind, q, qr, i, 0});
       }
@@ -225,8 +159,7 @@ std::optional<SknoSimulator::Consumed> SknoSimulator::try_consume(
   return std::nullopt;
 }
 
-void SknoSimulator::run_checks(AgentId idx) {
-  Agent& a = agents_[idx];
+void SknoCore::run_checks(Agent& a, Emits* emits) {
   bool acted = true;
   while (acted) {
     acted = false;
@@ -243,8 +176,9 @@ void SknoSimulator::run_checks(AgentId idx) {
       // starter half of the simulated interaction.
       if (auto c = try_consume(a, Token::Kind::ChangeRun, a.sim_state)) {
         const State before = a.sim_state;
-        const State after = protocol().delta(before, c->qr).starter;
-        emit(idx, before, after, Half::Starter, c->primary_run, c->qr);
+        const State after = protocol_->delta(before, c->qr).starter;
+        if (emits != nullptr)
+          emits->push_back(Emit{before, after, Half::Starter, c->primary_run, c->qr});
         a.sim_state = after;
         a.pending = false;
         ++stats_.change_runs_consumed;
@@ -256,9 +190,10 @@ void SknoSimulator::run_checks(AgentId idx) {
       // reactor half against a hypothetical partner in state q.
       if (auto c = try_consume(a, Token::Kind::StateRun, std::nullopt)) {
         const State before = a.sim_state;
-        const State after = protocol().delta(c->q, before).reactor;
-        const std::uint64_t change_run = next_run_++;
-        emit(idx, before, after, Half::Reactor, change_run, c->q);
+        const State after = protocol_->delta(c->q, before).reactor;
+        const std::uint64_t change_run = track_provenance_ ? next_run_++ : 0;
+        if (emits != nullptr)
+          emits->push_back(Emit{before, after, Half::Reactor, change_run, c->q});
         a.sim_state = after;
         for (std::uint32_t i = 1; i <= o_ + 1; ++i)
           a.sending.push_back(
@@ -272,13 +207,14 @@ void SknoSimulator::run_checks(AgentId idx) {
   }
 }
 
-void SknoSimulator::do_interact(const Interaction& ia) {
-  if (!ia.omissive) {
-    const auto tok = apply_g(ia.starter);
-    receive(ia.reactor, tok);
+void SknoCore::step(Agent& starter, Agent& reactor, bool omissive, OmitSide side,
+                    Emits* starter_emits, Emits* reactor_emits) {
+  if (!omissive) {
+    const auto tok = apply_g(starter);
+    receive(reactor, tok, reactor_emits);
     return;
   }
-  switch (model()) {
+  switch (model_) {
     case Model::T3: {
       // The I3 -> T3 embedding (Fig. 1 arrow): the wrapper only uses the
       // starter-to-reactor direction, with fs(s,r) := g(s) and o := g. A
@@ -286,9 +222,9 @@ void SknoSimulator::do_interact(const Interaction& ia) {
       // (o(as), fr(as,ar)) = (g(as), f(as,ar)) — indistinguishable from a
       // fault-free delivery; only a reactor-side (or both-sides) omission
       // actually loses the token, and the reactor detects it via h.
-      if (ia.side == OmitSide::Starter) {
-        const auto tok = apply_g(ia.starter);
-        receive(ia.reactor, tok);
+      if (side == OmitSide::Starter) {
+        const auto tok = apply_g(starter);
+        receive(reactor, tok, reactor_emits);
         break;
       }
       [[fallthrough]];
@@ -296,10 +232,10 @@ void SknoSimulator::do_interact(const Interaction& ia) {
     case Model::I3: {
       // Relation {(g,f),(g,h)}: the starter pops blindly (the in-flight
       // token dies), the reactor detects and mints a joker.
-      const auto tok = apply_g(ia.starter);
+      const auto tok = apply_g(starter);
       if (tok) ++stats_.tokens_killed;
-      mint_joker(ia.reactor);
-      run_checks(ia.reactor);
+      mint_joker(reactor);
+      run_checks(reactor, reactor_emits);
       break;
     }
     case Model::I4: {
@@ -307,9 +243,9 @@ void SknoSimulator::do_interact(const Interaction& ia) {
       // intact and mints the compensating joker; the reactor cannot
       // distinguish the event from acting as a starter and applies g,
       // popping its own front token into the void.
-      mint_joker(ia.starter);
-      run_checks(ia.starter);
-      const auto tok = apply_g(ia.reactor);
+      mint_joker(starter);
+      run_checks(starter, starter_emits);
+      const auto tok = apply_g(reactor);
       if (tok) ++stats_.tokens_killed;
       break;
     }
@@ -318,22 +254,93 @@ void SknoSimulator::do_interact(const Interaction& ia) {
       // reactor does not even notice the interaction. This variant is NOT
       // a correct simulator — it is the natural candidate that the
       // Theorem 3.2 experiments kill with a single omission.
-      const auto tok = apply_g(ia.starter);
+      const auto tok = apply_g(starter);
       if (tok) ++stats_.tokens_killed;
       break;
     }
     case Model::I2: {
       // Proximity but no omission detection: both parties apply g, so two
       // tokens die per omission and nobody can mint a compensating joker.
-      const auto s_tok = apply_g(ia.starter);
+      const auto s_tok = apply_g(starter);
       if (s_tok) ++stats_.tokens_killed;
-      const auto r_tok = apply_g(ia.reactor);
+      const auto r_tok = apply_g(reactor);
       if (r_tok) ++stats_.tokens_killed;
       break;
     }
     default:
-      throw std::logic_error("SknoSimulator: omission in non-omissive model");
+      throw std::logic_error("SknoCore: omission in non-omissive model");
   }
+}
+
+SknoSimulator::SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                             std::size_t omission_bound, std::vector<State> initial)
+    : SknoSimulator(std::move(protocol), model, omission_bound, std::move(initial),
+                    Options{}) {}
+
+SknoSimulator::SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
+                             std::size_t omission_bound, std::vector<State> initial,
+                             Options options)
+    : Simulator(std::move(protocol), model, std::move(initial)),
+      core_(&this->protocol(), model, omission_bound, options,
+            /*track_provenance=*/true) {
+  agents_.resize(num_agents());
+  for (AgentId a = 0; a < num_agents(); ++a)
+    agents_[a].sim_state = initial_projection()[a];
+}
+
+std::unique_ptr<Simulator> SknoSimulator::clone() const {
+  return std::make_unique<SknoSimulator>(*this);
+}
+
+State SknoSimulator::simulated_state(AgentId a) const {
+  return agents_.at(a).sim_state;
+}
+
+std::string SknoSimulator::describe() const {
+  return "SKnO(" + model_name(model()) +
+         ", o=" + std::to_string(core_.omission_bound()) + ")";
+}
+
+std::size_t SknoSimulator::total_live_tokens() const {
+  std::size_t t = 0;
+  for (const auto& a : agents_) t += a.sending.size();
+  return t;
+}
+
+std::size_t SknoSimulator::live_jokers() const {
+  std::size_t t = 0;
+  for (const auto& a : agents_)
+    for (const auto& tok : a.sending)
+      if (tok.kind == Token::Kind::Joker) ++t;
+  return t;
+}
+
+std::size_t SknoSimulator::memory_bits(AgentId idx) const {
+  const SknoCore::Agent& a = agents_.at(idx);
+  // Counting representation: a counter per distinct token value held, plus
+  // the value tag itself (state ids + index), plus the simulator scalars.
+  std::map<std::tuple<std::uint8_t, State, State, std::uint32_t>, std::size_t> counts;
+  for (const auto& t : a.sending)
+    ++counts[{static_cast<std::uint8_t>(t.kind), t.q, t.qr, t.index}];
+  for (const auto& t : a.joker_debt)
+    ++counts[{static_cast<std::uint8_t>(t.kind), t.q, t.qr, t.index}];
+  const std::size_t state_bits = bits_for_count(protocol().num_states());
+  const std::size_t tag_bits =
+      2 + 2 * state_bits + bits_for_count(core_.omission_bound() + 1);
+  std::size_t bits = state_bits + 1;  // sim_state + pending flag
+  for (const auto& [value, c] : counts) bits += tag_bits + bits_for_count(c);
+  return bits;
+}
+
+void SknoSimulator::do_interact(const Interaction& ia) {
+  SknoCore::Emits starter_emits;
+  SknoCore::Emits reactor_emits;
+  core_.step(agents_[ia.starter], agents_[ia.reactor], ia.omissive, ia.side,
+             &starter_emits, &reactor_emits);
+  for (const auto& e : starter_emits)
+    emit(ia.starter, e.before, e.after, e.half, e.key, e.partner);
+  for (const auto& e : reactor_emits)
+    emit(ia.reactor, e.before, e.after, e.half, e.key, e.partner);
 }
 
 }  // namespace ppfs

@@ -23,6 +23,25 @@
 // behaves as a starter, popping its own front token into the void), and
 // IT (o = 0, no omissions — Corollary 1).
 //
+// The token machinery is factored into SknoCore, a *value-level* step
+// function over per-agent Agent records: its behavior is a pure function
+// of (sim_state, pending flag, token-value queue, debt multiset) — token
+// run ids are write-only provenance for the matching verifier and are
+// never consulted by any decision (which instance of equal-valued tokens
+// a consumption removes is the canonical first-occurrence-per-index).
+// That purity is what lets sim/sim_rules.hpp serialize an Agent into a
+// canonical byte encoding and run SKnO through the count-space batch
+// engine over interned states: the step-wise SknoSimulator below and the
+// count-space SknoRuleSource realize the identical value-level chain.
+//
+// Canonical encoding (SknoRuleSource): little-endian fields
+//   [sim_state u16][pending u8][nq u16][queue tokens, in FIFO order]
+//   [nd u16][debt tokens, sorted ascending]
+// with each token packed into a u32 (kind 2 bits | q 12 | qr 12 | index
+// 6); run ids are excluded. The queue keeps FIFO order (transmission
+// order is semantic); the debt list is order-irrelevant (lookup is by
+// value) and is sorted to canonicalize.
+//
 // Documented deviations from the paper text (see DESIGN.md §3):
 //   * change tokens carry the reactor's *pre*-interaction state;
 //   * completing a run requires at least one real (non-joker) token.
@@ -30,12 +49,15 @@
 
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "sim/simulator.hpp"
 
 namespace ppfs {
 
-class SknoSimulator final : public Simulator {
+// The value-level SKnO token machinery, shared by the step-wise
+// SknoSimulator and the count-space SknoRuleSource (sim/sim_rules.hpp).
+class SknoCore {
  public:
   struct Token {
     enum class Kind : std::uint8_t { StateRun, ChangeRun, Joker };
@@ -50,6 +72,25 @@ class SknoSimulator final : public Simulator {
       return kind == t.kind && q == t.q && qr == t.qr && index == t.index;
     }
   };
+
+  // The full wrapper state of one agent.
+  struct Agent {
+    State sim_state = 0;
+    bool pending = false;
+    std::deque<Token> sending;
+    std::vector<Token> joker_debt;  // values owed after wildcard use
+  };
+
+  // A simulated-state update produced by a step (the caller attaches the
+  // agent identity and forwards to Simulator::emit).
+  struct Emit {
+    State before;
+    State after;
+    Half half;
+    std::uint64_t key;
+    State partner;
+  };
+  using Emits = std::vector<Emit>;
 
   struct Stats {
     std::uint64_t runs_generated = 0;       // pending transactions opened
@@ -71,6 +112,69 @@ class SknoSimulator final : public Simulator {
     bool joker_debt = true;
   };
 
+  // `track_provenance` mints fresh run ids for the matching verifier; the
+  // count-space path turns it off (all run ids 0) so equal-valued states
+  // stay canonical.
+  SknoCore(const Protocol* protocol, Model model, std::size_t omission_bound,
+           Options options, bool track_provenance);
+
+  // One physical interaction between `starter` and `reactor`. Simulated
+  // updates applied to the starter's record go to `starter_emits`, the
+  // reactor's to `reactor_emits` (either may be null).
+  void step(Agent& starter, Agent& reactor, bool omissive, OmitSide side,
+            Emits* starter_emits, Emits* reactor_emits);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t omission_bound() const noexcept { return o_; }
+  [[nodiscard]] Model model() const noexcept { return model_; }
+
+  // True iff the agent transmits nothing as a starter (pending with an
+  // empty queue) — the one no-op shape of the Real class, which is what
+  // lets the count-space engine leap with a silent-population counter.
+  [[nodiscard]] static bool silent_starter(const Agent& a) noexcept {
+    return a.pending && a.sending.empty();
+  }
+
+ private:
+  // Starter routine g: refill when available with an empty queue, then pop
+  // and return the front token (if any).
+  std::optional<Token> apply_g(Agent& a);
+
+  // Reactor receives a token (or nothing) and runs the preliminary + core
+  // checks of §4.1.
+  void receive(Agent& a, const std::optional<Token>& tok, Emits* emits);
+  void mint_joker(Agent& a);
+  void run_checks(Agent& a, Emits* emits);
+
+  // Searches `a.sending` for a complete run (indices 1..o+1) of the given
+  // kind/value, using jokers for missing indices (at least one real token
+  // required). On success removes the used tokens and returns the
+  // provenance run id of the token filling the smallest index.
+  struct Consumed {
+    std::uint64_t primary_run;
+    State q;
+    State qr;
+  };
+  std::optional<Consumed> try_consume(Agent& a, Token::Kind kind,
+                                      std::optional<State> q_filter);
+
+  void note_queue_size(const Agent& a);
+
+  const Protocol* protocol_;
+  Model model_;
+  std::size_t o_;
+  Options options_;
+  bool track_provenance_;
+  std::uint64_t next_run_ = 1;
+  Stats stats_;
+};
+
+class SknoSimulator final : public Simulator {
+ public:
+  using Token = SknoCore::Token;
+  using Stats = SknoCore::Stats;
+  using Options = SknoCore::Options;
+
   SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
                 std::size_t omission_bound, std::vector<State> initial);
   SknoSimulator(std::shared_ptr<const Protocol> protocol, Model model,
@@ -81,8 +185,10 @@ class SknoSimulator final : public Simulator {
   [[nodiscard]] State simulated_state(AgentId a) const override;
   [[nodiscard]] std::string describe() const override;
 
-  [[nodiscard]] std::size_t omission_bound() const noexcept { return o_; }
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t omission_bound() const noexcept {
+    return core_.omission_bound();
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return core_.stats(); }
 
   [[nodiscard]] bool is_pending(AgentId a) const { return agents_.at(a).pending; }
   [[nodiscard]] std::size_t queue_size(AgentId a) const {
@@ -100,42 +206,13 @@ class SknoSimulator final : public Simulator {
   void do_interact(const Interaction& ia) override;
 
  private:
-  struct Agent {
-    State sim_state = 0;
-    bool pending = false;
-    std::deque<Token> sending;
-    std::vector<Token> joker_debt;  // values owed after wildcard use
-  };
-
-  // Starter routine g: refill when available with an empty queue, then pop
-  // and return the front token (if any).
-  std::optional<Token> apply_g(AgentId idx);
-
-  // Reactor receives a token (or an omission notification) and runs the
-  // preliminary + core checks of §4.1.
-  void receive(AgentId idx, const std::optional<Token>& tok);
-  void mint_joker(AgentId idx);
-  void run_checks(AgentId idx);
-
-  // Searches `a.sending` for a complete run (indices 1..o+1) of the given
-  // kind/value, using jokers for missing indices (at least one real token
-  // required). On success removes the used tokens and returns the primary
-  // provenance run id (majority real token, ties toward smallest).
-  struct Consumed {
-    std::uint64_t primary_run;
-    State q;
-    State qr;
-  };
-  std::optional<Consumed> try_consume(Agent& a, Token::Kind kind,
-                                      std::optional<State> q_filter);
-
-  void note_queue_size(const Agent& a);
-
-  std::size_t o_;
-  Options options_;
-  std::vector<Agent> agents_;
-  std::uint64_t next_run_ = 1;
-  Stats stats_;
+  SknoCore core_;
+  std::vector<SknoCore::Agent> agents_;
 };
+
+// The model set SknoSimulator (and its rule source) accepts; throws
+// std::invalid_argument otherwise. Shared by the step-wise and count-space
+// construction paths.
+void validate_skno_model(Model model, std::size_t omission_bound);
 
 }  // namespace ppfs

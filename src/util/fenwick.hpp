@@ -1,0 +1,77 @@
+// Fenwick (binary indexed) tree over growing dense ids: prefix sums,
+// point updates and inverse-CDF sampling in O(log m). The sparse batch
+// engine keeps two of these over the interned state universe — one for all
+// occupied states, one for the non-silent subset — so drawing a starter or
+// reactor proportionally to counts stays logarithmic while states appear
+// and disappear.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ppfs {
+
+class FenwickTree {
+ public:
+  // Grow the index space to at least `m` slots (new slots zero).
+  void ensure(std::size_t m) {
+    if (m <= raw_.size()) return;
+    raw_.resize(m, 0);
+    if (m > cap_) {
+      cap_ = 1;
+      while (cap_ < m) cap_ <<= 1;
+      rebuild();
+    } else {
+      // Still within the allocated power-of-two span; tree_ already covers it.
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return raw_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t get(std::size_t i) const { return raw_.at(i); }
+
+  void add(std::size_t i, std::int64_t delta) {
+    raw_.at(i) = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(raw_[i]) + delta);
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) + delta);
+    for (std::size_t j = i + 1; j <= cap_; j += j & (~j + 1))
+      tree_[j] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(tree_[j]) + delta);
+  }
+
+  void set(std::size_t i, std::uint64_t v) {
+    add(i, static_cast<std::int64_t>(v) - static_cast<std::int64_t>(raw_.at(i)));
+  }
+
+  // Smallest index i with prefix_sum(0..i) > pick; requires pick < total().
+  [[nodiscard]] std::size_t find(std::uint64_t pick) const {
+    if (pick >= total_) throw std::out_of_range("FenwickTree::find: pick >= total");
+    std::size_t idx = 0;
+    for (std::size_t step = cap_; step > 0; step >>= 1) {
+      const std::size_t next = idx + step;
+      if (next <= cap_ && tree_[next] <= pick) {
+        pick -= tree_[next];
+        idx = next;
+      }
+    }
+    return idx;  // idx entries have cumulative <= original pick
+  }
+
+ private:
+  void rebuild() {
+    tree_.assign(cap_ + 1, 0);
+    for (std::size_t i = 0; i < raw_.size(); ++i) {
+      if (raw_[i] == 0) continue;
+      for (std::size_t j = i + 1; j <= cap_; j += j & (~j + 1))
+        tree_[j] += raw_[i];
+    }
+  }
+
+  std::vector<std::uint64_t> raw_;
+  std::vector<std::uint64_t> tree_;
+  std::uint64_t total_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace ppfs
