@@ -100,6 +100,10 @@ inline void banner(const std::string& title) {
 //   { "bench": "engine_omissive", "results": [
 //     { "name": "...", "n": 1000000, "model": "I2",
 //       "interactions_per_sec": 1.2e9 }, ... ] }
+//
+// Throughput rows carry "interactions_per_sec"; dimensionless ratio rows
+// (add_ratio — the "speedup:*" entries) carry "speedup" instead, so
+// consumers never mistake a ratio for a rate.
 class JsonReport {
  public:
   JsonReport(std::string bench_name, int argc, char** argv)
@@ -114,12 +118,13 @@ class JsonReport {
 
   void add(const std::string& name, std::size_t n, const std::string& model,
            double interactions_per_sec) {
-    if (!enabled_) return;
-    std::ostringstream row;
-    row << "    { \"name\": \"" << name << "\", \"n\": " << n
-        << ", \"model\": \"" << model
-        << "\", \"interactions_per_sec\": " << interactions_per_sec << " }";
-    rows_.push_back(row.str());
+    add_row(name, n, model, "interactions_per_sec", interactions_per_sec);
+  }
+
+  // A dimensionless ratio (e.g. batch/step-wise speedup).
+  void add_ratio(const std::string& name, std::size_t n,
+                 const std::string& model, double speedup) {
+    add_row(name, n, model, "speedup", speedup);
   }
 
   ~JsonReport() {
@@ -134,6 +139,16 @@ class JsonReport {
   }
 
  private:
+  void add_row(const std::string& name, std::size_t n, const std::string& model,
+               const char* key, double value) {
+    if (!enabled_) return;
+    std::ostringstream row;
+    row << "    { \"name\": \"" << name << "\", \"n\": " << n
+        << ", \"model\": \"" << model << "\", \"" << key << "\": " << value
+        << " }";
+    rows_.push_back(row.str());
+  }
+
   std::string bench_;
   bool enabled_ = false;
   std::vector<std::string> rows_;

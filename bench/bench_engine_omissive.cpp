@@ -7,9 +7,12 @@
 //   * IO or-epidemic and cancellation majority, plain and under a
 //     Budget(1000) omission adversary;
 //   * I2 or under a UO adversary (g = id makes every omissive draw a
-//     no-op: the geometric/binomial-split leap path), and I2 beacon-or
-//     under UO (non-identity g, omissive draws change counts: the
-//     event-punctuated leap path — dense, so batch ~ native);
+//     no-op) in both burst regimes: burst=inf takes the O(1)-per-leap
+//     geometric/binomial split, while the default burst cap of 8 runs the
+//     exact within-burst Markov leg at O(1) per burst episode — honestly
+//     slower, recorded separately; plus I2 beacon-or under UO
+//     (non-identity g, omissive draws change counts: the event-punctuated
+//     leap path — dense, so batch ~ native);
 //   * T3 exact majority under a Budget adversary (two-way omissive);
 //   * the headline: exact-majority-style convergence at n = 10^6 under
 //     --model=IO --adversary=budget:1000, which the native engine cannot
@@ -95,8 +98,10 @@ int main(int argc, char** argv) {
        2'000'000'000ULL},
       {"IO majority + budget:1000", Model::IO, "exact-majority",
        "budget:1000", 1'000'000, 2'000'000, 2'000'000'000ULL},
-      {"I2 or + uo:0.1", Model::I2, "or", "uo:0.1", 1'000'000, 2'000'000,
-       2'000'000'000ULL},
+      {"I2 or + uo:0.1 burst=inf", Model::I2, "or", "uo:0.1:burst=inf",
+       1'000'000, 2'000'000, 2'000'000'000ULL},
+      {"I2 or + uo:0.1 burst=8", Model::I2, "or", "uo:0.1", 1'000'000,
+       2'000'000, 200'000'000ULL},
       {"I2 beacon-or + uo:0.01 (dense)", Model::I2, "beacon-or", "uo:0.01",
        1'000'000, 2'000'000, 20'000'000},
       {"T3 exact-majority + budget:1000", Model::T3, "exact-majority",

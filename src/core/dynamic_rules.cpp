@@ -1,5 +1,6 @@
 #include "core/dynamic_rules.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ppfs {
@@ -22,6 +23,31 @@ State StateUniverse::intern(std::string_view bytes) {
   return id;
 }
 
+State StateUniverse::intern_patched(State base,
+                                    std::span<const ByteEdit> edits) {
+  scratch_ = encoding(base);  // throws on a dead id
+  for (const ByteEdit& e : edits) {
+    switch (e.op) {
+      case ByteEdit::Op::Replace:
+        if (e.offset + e.bytes.size() > scratch_.size())
+          throw std::out_of_range("intern_patched: replace past the end");
+        scratch_.replace(e.offset, e.bytes.size(), e.bytes);
+        break;
+      case ByteEdit::Op::Insert:
+        if (e.offset > scratch_.size())
+          throw std::out_of_range("intern_patched: insert past the end");
+        scratch_.insert(e.offset, e.bytes);
+        break;
+      case ByteEdit::Op::Erase:
+        if (e.offset + e.erase_len > scratch_.size())
+          throw std::out_of_range("intern_patched: erase past the end");
+        scratch_.erase(e.offset, e.erase_len);
+        break;
+    }
+  }
+  return intern(scratch_);
+}
+
 const std::string& StateUniverse::encoding(State s) const {
   if (!is_live(s))
     throw std::out_of_range("StateUniverse: dead or out-of-range id");
@@ -34,6 +60,98 @@ void StateUniverse::release(State s) {
   index_.erase(*slots_[s]);
   slots_[s] = nullptr;
   free_.push_back(s);
+}
+
+// --- OutcomeCache -----------------------------------------------------------
+
+void OutcomeCache::set_capacity(std::size_t capacity) {
+  keys_.clear();
+  payload_.clear();
+  set_mask_ = 0;
+  clock_ = 0;
+  gen_.clear();
+  if (capacity == 0) return;
+  std::size_t sets = 1;
+  while (sets * kWays < capacity) sets <<= 1;
+  keys_.assign(sets * kWays, 0);
+  payload_.assign(sets * kWays, Payload{});
+  set_mask_ = sets - 1;
+}
+
+const StatePair* OutcomeCache::find(InteractionClass c, State s, State r) {
+  const std::uint64_t k = key(c, s, r);
+  if (k == 0) return nullptr;
+  return find_validated(k, s, r);
+}
+
+const StatePair* OutcomeCache::find_raw(std::uint64_t key, State in) {
+  if (key == 0) return nullptr;
+  return find_validated(key, in, in);
+}
+
+const StatePair* OutcomeCache::find_validated(std::uint64_t k, State a,
+                                              State b) {
+  if (keys_.empty()) return nullptr;
+  const std::size_t base = set_of(k) * kWays;
+  const std::uint64_t* kp = keys_.data() + base;
+  for (std::size_t w = 0; w < kWays; ++w) {
+    if (kp[w] != k) continue;
+    Payload& e = payload_[base + w];
+    if (gen(a) != e.g[0] || gen(b) != e.g[1] ||
+        gen(e.out.starter) != e.g[2] || gen(e.out.reactor) != e.g[3]) {
+      keys_[base + w] = 0;
+      ++stats_.stale_drops;
+      break;
+    }
+    e.stamp = ++clock_;
+    ++stats_.hits;
+    return &e.out;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void OutcomeCache::insert(InteractionClass c, State s, State r, StatePair out) {
+  const std::uint64_t k = key(c, s, r);
+  if (k == 0) return;
+  insert_validated(k, s, r, out);
+}
+
+void OutcomeCache::insert_raw(std::uint64_t key, State in, StatePair out) {
+  if (key == 0) return;
+  insert_validated(key, in, in, out);
+}
+
+void OutcomeCache::insert_validated(std::uint64_t k, State a, State b,
+                                    StatePair out) {
+  if (keys_.empty()) return;
+  if ((out.starter | out.reactor) >> 31 != 0) return;
+  const std::size_t base = set_of(k) * kWays;
+  // Pick the slot: the key itself (stale refresh), an empty way, or the
+  // least recently touched way of the set.
+  std::size_t victim = base;
+  for (std::size_t w = 0; w < kWays; ++w) {
+    const std::uint64_t kw = keys_[base + w];
+    if (kw == k || kw == 0) {
+      victim = base + w;
+      break;
+    }
+    if (payload_[base + w].stamp < payload_[victim].stamp) victim = base + w;
+  }
+  if (keys_[victim] != 0 && keys_[victim] != k) ++stats_.evictions;
+  keys_[victim] = k;
+  payload_[victim] = Payload{
+      out, {gen(a), gen(b), gen(out.starter), gen(out.reactor)}, ++clock_};
+}
+
+void OutcomeCache::invalidate(State s) {
+  if (keys_.empty()) return;
+  if (s >= gen_.size()) gen_.resize(static_cast<std::size_t>(s) + 1, 0);
+  if ((++gen_[s] & 0xffff) == 0) {
+    // The truncated generation wrapped (65536th release of this id):
+    // clear the table so no stale entry can validate falsely.
+    std::fill(keys_.begin(), keys_.end(), 0);
+  }
 }
 
 std::vector<State> MatrixRuleSource::intern_initial(

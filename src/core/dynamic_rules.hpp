@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -39,6 +40,33 @@
 
 namespace ppfs {
 
+// One byte-level edit applied while deriving a successor encoding from a
+// base encoding (StateUniverse::intern_patched). Offsets address the
+// buffer *as edited so far*: edits are applied strictly in sequence, so a
+// rule source lists them in layout order and accounts for earlier
+// insertions/erasures itself (in practice SKnO's patches never overlap).
+// `bytes` is borrowed, not owned — callers keep the payload alive for the
+// duration of the intern_patched call only.
+struct ByteEdit {
+  enum class Op : std::uint8_t { Replace, Insert, Erase };
+  Op op = Op::Replace;
+  std::size_t offset = 0;
+  std::size_t erase_len = 0;    // Erase only
+  std::string_view bytes{};     // Replace / Insert payload
+
+  [[nodiscard]] static ByteEdit replace(std::size_t offset,
+                                        std::string_view bytes) {
+    return {Op::Replace, offset, 0, bytes};
+  }
+  [[nodiscard]] static ByteEdit insert(std::size_t offset,
+                                       std::string_view bytes) {
+    return {Op::Insert, offset, 0, bytes};
+  }
+  [[nodiscard]] static ByteEdit erase(std::size_t offset, std::size_t len) {
+    return {Op::Erase, offset, len, {}};
+  }
+};
+
 // Interns canonical byte encodings of wrapper states into dense ids.
 // Released ids are recycled through a free list so long open-universe runs
 // hold memory proportional to the number of *live* states, not the number
@@ -47,6 +75,13 @@ class StateUniverse {
  public:
   // Look up `bytes`, interning it if new. Returns the dense id.
   State intern(std::string_view bytes);
+
+  // Intern the successor obtained by patching the encoding of live id
+  // `base` with `edits` (applied in order into a reusable scratch buffer):
+  // the delta-encoded successor path — a fire touches only the bytes that
+  // change instead of re-serializing the whole record. Throws
+  // std::out_of_range on an edit that falls outside the evolving buffer.
+  State intern_patched(State base, std::span<const ByteEdit> edits);
 
   // The canonical encoding of a live id.
   [[nodiscard]] const std::string& encoding(State s) const;
@@ -80,6 +115,96 @@ class StateUniverse {
       index_;
   std::vector<const std::string*> slots_;
   std::vector<State> free_;
+  std::string scratch_;  // intern_patched working buffer, reused across calls
+};
+
+// Bounded LRU cache over (class, starter, reactor) -> successor pair, the
+// hot-path shortcut of the count-space engine: a hit skips the rule
+// source's decode -> core step -> re-serialize -> intern round trip
+// entirely. Laid out as a set-associative open-addressing table (8-way
+// sets, per-set LRU by access stamp) so a lookup is one cache line scan —
+// the hot path runs millions of probes per second and a node-based map
+// was measured to dominate it. Open universes recycle ids, so every id
+// carries a generation that release bumps (OutcomeCache::invalidate,
+// wired into DynamicRuleSource::release_state): entries are validated
+// against the generations of all four ids they mention and go stale — and
+// are dropped on touch or overwritten by set pressure — the moment any of
+// them is released. No entry can therefore resurrect a recycled id.
+class OutcomeCache {
+ public:
+  static constexpr std::size_t kWays = 8;
+
+  // Capacity 0 disables (and clears) the cache; otherwise rounded up to a
+  // power-of-two number of sets times kWays entries.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] bool enabled() const noexcept { return !keys_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
+
+  // Returns the cached successor pair, or nullptr on miss/stale. The
+  // pointer is invalidated by the next non-const call.
+  [[nodiscard]] const StatePair* find(InteractionClass c, State s, State r);
+  void insert(InteractionClass c, State s, State r, StatePair out);
+
+  // Raw-key variant for source-internal caches (e.g. SKnO's (transmitted
+  // token, reactor) table): the caller packs any non-zero key; `in` is
+  // the input state validated alongside both outcome states.
+  [[nodiscard]] const StatePair* find_raw(std::uint64_t key, State in);
+  void insert_raw(std::uint64_t key, State in, StatePair out);
+
+  // Mark every entry mentioning `s` (as pre- or post-state) stale.
+  void invalidate(State s);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;   // live entries overwritten by set pressure
+    std::uint64_t stale_drops = 0; // generation mismatches on touch
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  // 2-bit class | 31-bit starter | 31-bit reactor, biased by 1 so that 0
+  // means "empty slot"; ids >= 2^31 (never reached in practice) simply
+  // bypass the cache.
+  [[nodiscard]] static std::uint64_t key(InteractionClass c, State s, State r) {
+    if ((s | r) >> 31 != 0) return 0;
+    return ((static_cast<std::uint64_t>(c) << 62) |
+            (static_cast<std::uint64_t>(s) << 31) | r) +
+           1;
+  }
+  [[nodiscard]] std::size_t set_of(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           set_mask_;
+  }
+  [[nodiscard]] std::uint16_t gen(State s) const {
+    return s < gen_.size() ? static_cast<std::uint16_t>(gen_[s]) : 0;
+  }
+
+  // Keys and payloads live in parallel arrays: a lookup scans one
+  // 64-byte line of keys and touches the payload line only on a key
+  // match.
+  [[nodiscard]] const StatePair* find_validated(std::uint64_t k, State a,
+                                                State b);
+  void insert_validated(std::uint64_t k, State a, State b, StatePair out);
+
+  // Payloads store 16-bit generation truncations to keep the table small
+  // (latency on the hot path is bounded by how much of it stays in L2).
+  // Full generations live in gen_; whenever an id's generation crosses a
+  // 2^16 boundary (its 65536th release — effectively never) the whole
+  // table is cleared, so no entry can survive a truncated-generation
+  // wrap-around and validate falsely.
+  struct Payload {
+    StatePair out{};
+    std::uint16_t g[4] = {0, 0, 0, 0};  // gens of a, b, out.starter, out.reactor
+    std::uint32_t stamp = 0;            // access clock, per-set LRU order
+  };
+
+  std::vector<std::uint64_t> keys_;  // 0 = empty
+  std::vector<Payload> payload_;
+  std::size_t set_mask_ = 0;  // (#sets - 1); #sets = keys_.size() / kWays
+  std::uint32_t clock_ = 0;
+  std::vector<std::uint32_t> gen_;  // full generations, truncated into payloads
+  Stats stats_;
 };
 
 // The lazily-expanded rule source both engines can execute. States are ids
@@ -115,8 +240,31 @@ class DynamicRuleSource {
   [[nodiscard]] virtual StatePair outcome(InteractionClass c, State s,
                                           State r) = 0;
 
-  [[nodiscard]] bool is_noop(InteractionClass c, State s, State r) {
+  // Cached front door (the one the count-space engine calls): consult the
+  // bounded LRU outcome cache, fall through to outcome() on a miss. A hit
+  // returns successor ids that are guaranteed live — release_state bumps
+  // the generation of a released id, so entries mentioning it can never be
+  // served again.
+  [[nodiscard]] StatePair outcome_cached(InteractionClass c, State s, State r) {
+    if (!cache_.enabled()) return outcome(c, s, r);
+    if (const StatePair* hit = cache_.find(c, s, r)) return *hit;
     const StatePair out = outcome(c, s, r);
+    cache_.insert(c, s, r, out);
+    return out;
+  }
+
+  // Capacity 0 disables the cache (the engine default enables it; the
+  // equivalence suites run both ways — the cache must be invisible in
+  // distribution).
+  void set_outcome_cache_capacity(std::size_t capacity) {
+    cache_.set_capacity(capacity);
+  }
+  [[nodiscard]] const OutcomeCache::Stats& outcome_cache_stats() const noexcept {
+    return cache_.stats();
+  }
+
+  [[nodiscard]] bool is_noop(InteractionClass c, State s, State r) {
+    const StatePair out = outcome_cached(c, s, r);
     return out.starter == s && out.reactor == r;
   }
 
@@ -133,9 +281,27 @@ class DynamicRuleSource {
     return false;
   }
   [[nodiscard]] virtual bool omission_transparent() const { return false; }
+  // True when the source maintains internal successor caches (e.g. SKnO's
+  // per-side g/receive tables) that make the engine-level (class,
+  // starter, reactor) outcome cache redundant: the engine then leaves the
+  // outer cache off by default (an explicit capacity still wins).
+  [[nodiscard]] virtual bool self_caching() const { return false; }
 
-  // Release hook for zero-count states (open universes only). Default: keep.
-  virtual void release(State s) { (void)s; }
+  // Release front door for zero-count states (open universes only): evicts
+  // outcome-cache rows mentioning `s` — ids recycle, so this is the
+  // invalidation point the cache's correctness rests on — then hands the
+  // id back to the source.
+  void release_state(State s) {
+    cache_.invalidate(s);
+    do_release(s);
+  }
+
+ protected:
+  // Source-specific release (recycle the interned id). Default: keep.
+  virtual void do_release(State s) { (void)s; }
+
+ private:
+  OutcomeCache cache_;
 };
 
 // Closed-universe adapter: a compiled RuleMatrix as a DynamicRuleSource.

@@ -35,11 +35,10 @@ void BatchSystem::set_omission_process(const AdversaryParams& params) {
         " has no omission adversary (lift it with omissive_closure first)");
   if (params.rate < 0.0 || params.rate > 1.0)
     throw std::invalid_argument("BatchSystem: omission rate must be in [0, 1]");
-  // The leap path cannot honor a finite burst cap; normalize it away here
-  // (not just in dispatch) so step() and advance() realize one process.
-  AdversaryParams normalized = params;
-  normalized.max_burst = std::numeric_limits<std::size_t>::max();
-  omit_.emplace(normalized);
+  // max_burst is honored as-is: advance() samples the within-burst Markov
+  // chain exactly (leap::sample_capped_burst_leg / the event-punctuated
+  // loop), sharing the burst counter with step()'s should_omit.
+  omit_.emplace(params);
   omit_class_ = rules_.omission_class(params.side);
   weights_valid_ = false;
 }
@@ -130,10 +129,41 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
         omit_->quiet_after() > steps_)
       cap = std::min(cap, omit_->quiet_after() - steps_);
 
+    const bool capped = omit_->burst_cap_reachable();
+    if (w_omit_ == 0 && capped) {
+      // Omissive draws are global no-ops but the burst cap binds: sample
+      // the within-burst Markov chain exactly, one burst episode at a
+      // time (budget exhaustion is handled inside the leg).
+      std::size_t burst = omit_->burst();
+      const leap::BurstLeg leg = leap::sample_capped_burst_leg(
+          p, w_real_, t, omit_->max_burst(), burst, omit_->remaining_budget(),
+          cap, rng);
+      omit_->set_burst(burst);
+      omit_->note_omissions(leg.omissions);
+      const std::size_t noops = leg.deliveries - (leg.fire ? 1 : 0);
+      stats_.record_omissive_noops(leg.omissions);
+      stats_.record_noops(noops - leg.omissions);
+      d.noops += noops;
+      d.omissions += leg.omissions;
+      d.interactions += noops;
+      steps_ += noops;
+      if (leg.fire) {
+        const auto [s, r] =
+            pick_changing_pair(InteractionClass::Real, w_real_, rng);
+        apply_fire(InteractionClass::Real, s, r, d);
+        ++d.interactions;
+        ++steps_;
+        return d;
+      }
+      if (cap == remaining) return d;  // budget exhausted
+      continue;                        // crossed the quiet horizon
+    }
+
     if (w_omit_ == 0 && omit_->remaining_budget() > cap) {
-      // Omissive draws are global no-ops and the budget cannot run out
-      // mid-leap: geometric run to the next (necessarily real) change,
-      // binomial split of the no-ops into real and omissive draws.
+      // Omissive draws are global no-ops, the burst cap can never bind
+      // again, and the budget cannot run out mid-leap: geometric run to
+      // the next (necessarily real) change, binomial split of the no-ops
+      // into real and omissive draws.
       const double wr = static_cast<double>(w_real_) / static_cast<double>(t);
       const double rho = (1.0 - p) * wr;  // per-delivery change probability
       const std::size_t run = leap::sample_bernoulli_run(rho, rng, cap);
@@ -159,8 +189,26 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       return d;
     }
 
+    if (capped && omit_->burst() >= omit_->max_burst()) {
+      // A full burst forces the next delivery to be real (no rate coin).
+      omit_->set_burst(0);
+      ++d.interactions;
+      ++steps_;
+      if (w_real_ > 0 && rng.below(t) < w_real_) {
+        const auto [s, r] =
+            pick_changing_pair(InteractionClass::Real, w_real_, rng);
+        apply_fire(InteractionClass::Real, s, r, d);
+        return d;
+      }
+      stats_.record_noops(1);
+      ++d.noops;
+      continue;
+    }
+
     // Event-punctuated leap: an "event" is an omissive delivery or a real
-    // count-change; the run of real no-ops before it is geometric.
+    // count-change; the run of real no-ops before it is geometric (every
+    // real delivery resets the burst, so the omission probability is p
+    // throughout the run).
     const double wr = static_cast<double>(w_real_) / static_cast<double>(t);
     const double sigma = p + (1.0 - p) * wr;
     const std::size_t run = leap::sample_bernoulli_run(sigma, rng, cap);
@@ -169,6 +217,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       d.noops += run;
       d.interactions += run;
       steps_ += run;
+      omit_->set_burst(0);
     }
     if (run == cap) {
       if (cap == remaining) return d;
@@ -177,6 +226,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
     if (rng.chance(p / sigma)) {
       // Omissive delivery; it changes counts with exact probability Wo/T.
       omit_->note_omissions(1);
+      omit_->set_burst(omit_->burst() + 1);
       ++d.omissions;
       if (w_omit_ > 0 && rng.below(t) < w_omit_) {
         const InteractionClass c = omit_class_;
@@ -190,10 +240,11 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       ++d.noops;
       ++d.interactions;
       ++steps_;
-      continue;  // budget/horizon state may have changed
+      continue;  // budget/horizon/burst state may have changed
     }
     const auto [s, r] = pick_changing_pair(InteractionClass::Real, w_real_, rng);
     apply_fire(InteractionClass::Real, s, r, d);
+    omit_->set_burst(0);
     ++d.interactions;
     ++steps_;
     return d;

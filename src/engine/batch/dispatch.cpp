@@ -1,7 +1,6 @@
 #include "engine/batch/dispatch.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -21,13 +20,7 @@ struct ResolvedConfig {
 ResolvedConfig resolve(const EngineConfig& config) {
   ResolvedConfig r{config.model, config.adversary};
   if (r.adversary && r.adversary->rate <= 0.0) r.adversary.reset();
-  if (r.adversary) {
-    r.model = omissive_closure(config.model);
-    // Both engines must realize the same omission process; the batch path
-    // cannot honor a finite burst cap, so normalize it away (bursts are
-    // finite a.s. for rate < 1).
-    r.adversary->max_burst = std::numeric_limits<std::size_t>::max();
-  }
+  if (r.adversary) r.model = omissive_closure(config.model);
   return r;
 }
 
@@ -214,8 +207,9 @@ class SimBatchEngine final : public Engine {
  public:
   SimBatchEngine(std::shared_ptr<DynamicRuleSource> rules,
                  const std::vector<State>& sim_initial,
-                 const std::optional<AdversaryParams>& adversary)
-      : sys_(std::move(rules), sim_initial) {
+                 const std::optional<AdversaryParams>& adversary,
+                 std::optional<std::size_t> outcome_cache_capacity)
+      : sys_(std::move(rules), sim_initial, outcome_cache_capacity) {
     if (adversary) sys_.set_omission_process(*adversary);
   }
 
@@ -323,12 +317,10 @@ std::unique_ptr<Engine> make_sim_engine(const std::string& kind,
   Model model = config.model.value_or(default_sim_model(config.spec));
   std::optional<AdversaryParams> adversary = config.adversary;
   if (adversary && adversary->rate <= 0.0) adversary.reset();
-  if (adversary) {
-    // Same lifting and burst normalization as make_engine: both engine
-    // kinds realize one omission process.
-    if (!is_omissive(model)) model = omissive_closure(model);
-    adversary->max_burst = std::numeric_limits<std::size_t>::max();
-  }
+  // Same lifting as make_engine: both engine kinds realize one omission
+  // process (max_burst included — the batch path samples the within-burst
+  // chain exactly).
+  if (adversary && !is_omissive(model)) model = omissive_closure(model);
   if (kind == "native") {
     return std::make_unique<SimNativeEngine>(
         make_spec_simulator(config.spec, model, std::move(protocol),
@@ -339,7 +331,8 @@ std::unique_ptr<Engine> make_sim_engine(const std::string& kind,
     auto rules = make_sim_rule_source(config.spec, model, std::move(protocol),
                                       initial.size());
     return std::make_unique<SimBatchEngine>(std::move(rules), initial,
-                                            adversary);
+                                            adversary,
+                                            config.outcome_cache_capacity);
   }
   throw std::invalid_argument("make_sim_engine: unknown engine kind '" + kind +
                               "'");

@@ -18,8 +18,9 @@
 // Attaching an adversary to a non-omissive model lifts the model to its
 // omissive closure (TW -> T1, IT/IO -> I1): omissions strike undetectably,
 // which is exactly the Fig. 1 embedding. Both engines realize the same
-// omission process (max_burst is normalized to unbounded here so that the
-// step-wise and count-space paths are distributionally identical).
+// omission process, max_burst included: the step-wise path consults
+// should_omit per delivery, the batch path samples the identical
+// within-burst Markov chain in aggregate (leap::sample_capped_burst_leg).
 #pragma once
 
 #include <functional>
@@ -119,6 +120,12 @@ struct SimEngineConfig {
   // to the omissive closure, exactly as in make_engine.
   std::optional<Model> model{};
   std::optional<AdversaryParams> adversary{};
+  // Batch engines only: bound on the rule source's (class, starter,
+  // reactor) -> successors LRU cache. Default
+  // SimBatchSystem::kDefaultOutcomeCacheCapacity; 0 disables (the
+  // equivalence tests run both ways — the cache is invisible in
+  // distribution).
+  std::optional<std::size_t> outcome_cache_capacity{};
 };
 
 // A simulator run as an engine, behind the same Engine interface:

@@ -7,6 +7,7 @@
 // engines draw from.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -99,6 +100,107 @@ inline std::size_t sample_binomial(std::size_t n, double p, Rng& rng) {
   if (v <= 0.0) return 0;
   if (v >= static_cast<double>(n)) return n;
   return static_cast<std::size_t>(v);
+}
+
+// One leg of the exact BURST-CAPPED omission leap: the step-wise
+// adversary (OmissionProcess::should_omit) inserts omissions in bursts of
+// at most `max_burst` consecutive insertions — after a full burst the next
+// delivery is forcibly real and the burst counter resets. The chain over
+// the within-burst state b is:
+//
+//   b < max_burst: omission w.p. p (b -> b+1), else real (b -> 0), and a
+//                  real delivery changes counts w.p. w/t;
+//   b = max_burst: the next delivery is real with certainty (no rate
+//                  coin), b -> 0.
+//
+// This sampler covers the case where omissive deliveries are GLOBAL
+// NO-OPS (w_omit = 0 / omission-transparent sources): it walks the chain
+// one burst EPISODE at a time — runs of state-0 real no-ops aggregate
+// into one geometric draw, and the continuation of a burst into one
+// truncated-geometric draw — so the cost is O(1) per burst episode (not
+// per omission), exact at every delivery position including truncation at
+// `cap` and exhaustion of the omission budget. Callers with w_omit > 0
+// punctuate per omissive delivery anyway and only need the forced-real
+// branch, which they implement inline.
+struct BurstLeg {
+  std::size_t deliveries = 0;  // consumed, <= cap (includes the fire)
+  std::size_t omissions = 0;   // inserted among them (all global no-ops)
+  bool fire = false;           // ended by a count-changing real delivery
+};
+
+inline BurstLeg sample_capped_burst_leg(double p, std::uint64_t w,
+                                        std::uint64_t t, std::size_t max_burst,
+                                        std::size_t& burst,
+                                        std::size_t omission_budget,
+                                        std::size_t cap, Rng& rng) {
+  BurstLeg leg;
+  const double wr = static_cast<double>(w) / static_cast<double>(t);
+  while (leg.deliveries < cap) {
+    const std::size_t room = cap - leg.deliveries;
+    if (leg.omissions >= omission_budget || p <= 0.0) {
+      // No further insertions ever: a pure real-delivery geometric tail.
+      const std::size_t run = w == 0 ? room : sample_noop_run(w, t, rng, room);
+      leg.deliveries += run;
+      if (run > 0) burst = 0;
+      if (run < room) {
+        ++leg.deliveries;
+        leg.fire = true;
+        burst = 0;
+      }
+      return leg;
+    }
+    if (burst >= max_burst) {
+      // Forced real delivery (no rate coin is flipped).
+      ++leg.deliveries;
+      burst = 0;
+      if (rng.below(t) < w) {
+        leg.fire = true;
+        return leg;
+      }
+      continue;
+    }
+    // Insertions possible: each delivery is an omission w.p. p, else a
+    // real one that changes counts w.p. wr. Aggregate the run of real
+    // no-ops (every one of them resets the burst to 0, so the omission
+    // probability is p throughout).
+    const double sigma = p + (1.0 - p) * wr;
+    const std::size_t run = sample_bernoulli_run(sigma, rng, room);
+    leg.deliveries += run;
+    if (run > 0) burst = 0;
+    if (run >= room) return leg;  // cap reached mid-run
+    if (!rng.chance(p / sigma)) {
+      // The event is a real count-change.
+      ++leg.deliveries;
+      leg.fire = true;
+      burst = 0;
+      return leg;
+    }
+    // The event opens (or continues) a burst: the first omission plus its
+    // geometric continuation, truncated by the burst cap, the omission
+    // budget, and the delivery cap.
+    const std::size_t limit =
+        std::min({max_burst - burst, omission_budget - leg.omissions,
+                  cap - leg.deliveries});
+    const std::size_t k =
+        1 + sample_bernoulli_run(1.0 - p, rng, limit - 1);
+    leg.omissions += k;
+    leg.deliveries += k;
+    burst += k;
+    if (k < limit) {
+      // The burst ended because the rate coin came up "real": that
+      // delivery is already determined real — only change vs no-op is
+      // left to draw.
+      ++leg.deliveries;
+      burst = 0;
+      if (rng.below(t) < w) {
+        leg.fire = true;
+        return leg;
+      }
+    }
+    // k == limit: the loop head classifies what bound it (burst cap ->
+    // forced real, budget -> real tail, delivery cap -> return).
+  }
+  return leg;
 }
 
 }  // namespace ppfs::leap

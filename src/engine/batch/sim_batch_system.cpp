@@ -20,10 +20,10 @@ void SparseConfiguration::add(State s, std::size_t k) {
   if (k == 0) return;
   grow_to(static_cast<std::size_t>(s) + 1);
   if (counts_[s] == 0) {
-    pos_[s] = occupied_.size();
+    pos_[s] = static_cast<std::uint32_t>(occupied_.size());
     occupied_.push_back(s);
   }
-  counts_[s] += k;
+  counts_[s] += static_cast<std::uint32_t>(k);
   n_ += k;
 }
 
@@ -31,7 +31,7 @@ void SparseConfiguration::remove(State s, std::size_t k) {
   if (k == 0) return;
   if (count(s) < k)
     throw std::invalid_argument("SparseConfiguration: removing unpopulated state");
-  counts_[s] -= k;
+  counts_[s] -= static_cast<std::uint32_t>(k);
   n_ -= k;
   if (counts_[s] == 0) {
     // Swap-erase from the occupied list.
@@ -47,11 +47,18 @@ void SparseConfiguration::remove(State s, std::size_t k) {
 // --- SimBatchSystem ---------------------------------------------------------
 
 SimBatchSystem::SimBatchSystem(std::shared_ptr<DynamicRuleSource> rules,
-                               const std::vector<State>& sim_initial)
+                               const std::vector<State>& sim_initial,
+                               std::optional<std::size_t> outcome_cache_capacity)
     : rules_(std::move(rules)) {
   if (!rules_) throw std::invalid_argument("SimBatchSystem: null rule source");
   if (sim_initial.size() < 2)
     throw std::invalid_argument("SimBatchSystem: need at least two agents");
+  rules_->set_outcome_cache_capacity(outcome_cache_capacity.value_or(
+      rules_->self_caching()
+          ? 0
+          : std::min<std::size_t>(
+                kDefaultOutcomeCacheCapacity,
+                std::max<std::size_t>(sim_initial.size() * 4, 256))));
   factored_ = rules_->real_noop_factors();
   open_ = rules_->open_universe();
   stats_.reset(rules_->protocol().num_states());
@@ -75,28 +82,33 @@ void SimBatchSystem::set_omission_process(const AdversaryParams& params) {
   if (steps_ != 0)
     throw std::invalid_argument(
         "SimBatchSystem: attach the omission process before the run starts");
-  // Leap parity with BatchSystem: the burst cap is normalized away.
-  AdversaryParams normalized = params;
-  normalized.max_burst = std::numeric_limits<std::size_t>::max();
-  omit_.emplace(normalized);
+  // max_burst is honored as-is, exactly as on BatchSystem: advance()
+  // samples the within-burst Markov chain, sharing the burst counter with
+  // step()'s should_omit.
+  omit_.emplace(params);
   omit_class_ = omission_class_for(rules_->model(), params.side);
 }
 
 void SimBatchSystem::grow_to_universe() {
   const std::size_t m = rules_->universe_size();
   conf_.grow_to(m);
-  fw_all_.ensure(m);
-  if (factored_) {
-    fw_active_.ensure(m);
-    if (silent_known_.size() < m) silent_known_.resize(m, 0);
-  }
+  idx_.ensure(m);
+  if (factored_ && silent_known_.size() < m) silent_known_.resize(m, 0);
 }
 
 bool SimBatchSystem::silent(State s) {
   if (!factored_) return false;
+  if (s >= silent_known_.size()) silent_known_.resize(rules_->universe_size(), 0);
   std::uint8_t& flag = silent_known_[s];
   if (flag == 0) flag = rules_->starter_silent(s) ? 2 : 1;
   return flag == 2;
+}
+
+State SimBatchSystem::project_of(State s) {
+  if (s >= proj_memo_.size()) proj_memo_.resize(rules_->universe_size(), kNoState);
+  State& p = proj_memo_[s];
+  if (p == kNoState) p = rules_->project(s);
+  return p;
 }
 
 void SimBatchSystem::change_count(State s, std::int64_t delta) {
@@ -104,20 +116,17 @@ void SimBatchSystem::change_count(State s, std::int64_t delta) {
     conf_.add(s, static_cast<std::size_t>(delta));
   else
     conf_.remove(s, static_cast<std::size_t>(-delta));
-  fw_all_.add(s, delta);
-  if (factored_) {
-    if (silent(s))
-      silent_count_ = static_cast<std::uint64_t>(
-          static_cast<std::int64_t>(silent_count_) + delta);
-    else
-      fw_active_.add(s, delta);
-  }
+  idx_.add(s, delta);
+  if (factored_ && silent(s))
+    silent_count_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(silent_count_) + delta);
 }
 
 void SimBatchSystem::release_if_dead(State s) {
   if (!open_ || conf_.count(s) != 0) return;
   if (s < silent_known_.size()) silent_known_[s] = 0;
-  rules_->release(s);
+  if (s < proj_memo_.size()) proj_memo_[s] = kNoState;
+  rules_->release_state(s);
 }
 
 std::pair<std::uint64_t, std::uint64_t> SimBatchSystem::real_weight() {
@@ -144,25 +153,30 @@ std::uint64_t SimBatchSystem::scan_changing_weight() {
   return w;
 }
 
+State SimBatchSystem::draw_reactor_excluding(State s, Rng& rng) {
+  // Hypergeometric second draw: uniform over the n - 1 agents left after
+  // removing one starter copy of `s`.
+  return static_cast<State>(idx_.find_excluding(rng.below(conf_.size() - 1), s));
+}
+
 std::pair<State, State> SimBatchSystem::draw_any_pair(Rng& rng) {
-  const std::uint64_t n = conf_.size();
-  const State s = static_cast<State>(fw_all_.find(rng.below(n)));
-  fw_all_.add(s, -1);
-  const State r = static_cast<State>(fw_all_.find(rng.below(n - 1)));
-  fw_all_.add(s, +1);
-  return {s, r};
+  const State s = static_cast<State>(idx_.find(rng.below(conf_.size())));
+  return {s, draw_reactor_excluding(s, rng)};
 }
 
 std::pair<State, State> SimBatchSystem::pick_changing_pair(std::uint64_t w,
                                                            Rng& rng) {
   if (factored_) {
-    // Starter proportional to counts over non-silent states, reactor over
-    // everyone else — every such pair changes counts (factored contract).
-    const State s = static_cast<State>(fw_active_.find(rng.below(fw_active_.total())));
-    fw_all_.add(s, -1);
-    const State r = static_cast<State>(fw_all_.find(rng.below(conf_.size() - 1)));
-    fw_all_.add(s, +1);
-    return {s, r};
+    // Starter proportional to counts over non-silent states — drawn by
+    // rejection against the silence memo (a try accepts w.p. (n - S)/n,
+    // which is exactly the per-interaction fire rate, so rejections cost
+    // O(1) per covered interaction amortized) — reactor over everyone
+    // else: every such pair changes counts (factored contract).
+    State s;
+    do {
+      s = static_cast<State>(idx_.find(rng.below(conf_.size())));
+    } while (silent(s));
+    return {s, draw_reactor_excluding(s, rng)};
   }
   const std::uint64_t n = conf_.size();
   const std::uint64_t t = n * (n - 1);
@@ -191,11 +205,10 @@ std::pair<State, State> SimBatchSystem::pick_changing_pair(std::uint64_t w,
 
 void SimBatchSystem::apply_fire(InteractionClass c, State s, State r,
                                 StatePair out, BatchDelta& d) {
-  grow_to_universe();  // `out` may reference freshly interned ids
-  const State ps = rules_->project(s);
-  const State pr = rules_->project(r);
-  const State pos = rules_->project(out.starter);
-  const State por = rules_->project(out.reactor);
+  // No up-front universe growth: every array the hot path touches grows
+  // lazily (conf_/idx_ inside add, silence/projection memos on access).
+  const State ps = project_of(s);
+  const State pr = project_of(r);
   d.fired = true;
   d.omissive = c != InteractionClass::Real;
   d.s = s;
@@ -205,10 +218,7 @@ void SimBatchSystem::apply_fire(InteractionClass c, State s, State r,
   change_count(r, -1);
   change_count(out.starter, +1);
   change_count(out.reactor, +1);
-  --projected_[ps];
-  --projected_[pr];
-  ++projected_[pos];
-  ++projected_[por];
+  projected_valid_ = false;
   // RunStats in projection space: the simulated pre-states of the fired
   // wrapper rule (wrapper-level fires whose projection is unchanged still
   // count — they are the simulator's bookkeeping traffic).
@@ -222,9 +232,19 @@ void SimBatchSystem::apply_fire(InteractionClass c, State s, State r,
   }
 }
 
+const std::vector<std::size_t>& SimBatchSystem::projected_counts() const {
+  if (!projected_valid_) {
+    std::fill(projected_.begin(), projected_.end(), 0);
+    for (const State s : conf_.occupied())
+      projected_[rules_->project(s)] += conf_.count(s);
+    projected_valid_ = true;
+  }
+  return projected_;
+}
+
 void SimBatchSystem::fire_real(std::uint64_t w, Rng& rng, BatchDelta& d) {
   const auto [s, r] = pick_changing_pair(w, rng);
-  const StatePair out = rules_->outcome(InteractionClass::Real, s, r);
+  const StatePair out = rules_->outcome_cached(InteractionClass::Real, s, r);
   if (out.starter == s && out.reactor == r)
     throw std::logic_error(
         "SimBatchSystem: rule source violated its no-op structure (picked "
@@ -236,6 +256,37 @@ void SimBatchSystem::fire_real(std::uint64_t w, Rng& rng, BatchDelta& d) {
 
 BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
   BatchDelta d;
+  // Factored hot loop (SKnO without an active omission process): the
+  // whole slice alternates O(1)-weight leaps and fires inside one tight
+  // loop — the omission checks and general-mode machinery are hoisted out
+  // entirely.
+  if (factored_ && (!omit_ || !omit_->active(steps_))) {
+    const std::uint64_t n = conf_.size();
+    while (d.interactions < budget) {
+      const std::uint64_t w = n - silent_count_;
+      if (w == 0) {
+        const std::size_t remaining = budget - d.interactions;
+        d.interactions += remaining;
+        d.noops += remaining;
+        steps_ += remaining;
+        stats_.record_noops(remaining);
+        return d;
+      }
+      if (silent_count_ != 0) {
+        const std::size_t cap = budget - d.interactions;
+        const std::size_t skipped = leap::sample_noop_run(w, n, rng, cap);
+        if (skipped > 0) {
+          d.noops += skipped;
+          d.interactions += skipped;
+          steps_ += skipped;
+          stats_.record_noops(skipped);
+          if (skipped == cap) return d;
+        }
+      }
+      fire_real(w, rng, d);
+    }
+    return d;
+  }
   // Dense adaptive path (general mode): while fires are frequent, direct
   // steps beat weight maintenance — no O(occupied^2) scans at all. A
   // no-op streak of kLeapThreshold hands over to the leap machinery below.
@@ -265,7 +316,8 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
       d.interactions += skipped;
       steps_ += skipped;
       stats_.record_noops(skipped);
-      if (skipped < remaining) fire_real(w, rng, d);
+      if (skipped == remaining) return d;
+      fire_real(w, rng, d);
       return d;
     }
 
@@ -278,11 +330,38 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
       cap = std::min(cap, omit_->quiet_after() - steps_);
 
     const double wr = static_cast<double>(w) / static_cast<double>(t);
-    if (rules_->omission_transparent() && omit_->remaining_budget() > cap) {
+    const bool capped = omit_->burst_cap_reachable();
+    if (rules_->omission_transparent() && capped) {
       // Omissive draws are global no-ops (reactor-side-only simulators)
-      // and the budget cannot run out mid-leap: geometric run to the next
-      // (necessarily real) change, binomial split of the no-ops into real
-      // and omissive draws.
+      // but the burst cap binds: sample the within-burst Markov chain
+      // exactly, one burst episode at a time (budget exhaustion is
+      // handled inside the leg).
+      std::size_t burst = omit_->burst();
+      const leap::BurstLeg leg = leap::sample_capped_burst_leg(
+          p, w, t, omit_->max_burst(), burst, omit_->remaining_budget(), cap,
+          rng);
+      omit_->set_burst(burst);
+      omit_->note_omissions(leg.omissions);
+      const std::size_t noops = leg.deliveries - (leg.fire ? 1 : 0);
+      stats_.record_omissive_noops(leg.omissions);
+      stats_.record_noops(noops - leg.omissions);
+      d.noops += noops;
+      d.omissions += leg.omissions;
+      d.interactions += noops;
+      steps_ += noops;
+      if (leg.fire) {
+        fire_real(w, rng, d);
+        return d;
+      }
+      if (cap == remaining) return d;  // budget exhausted
+      continue;                        // crossed the quiet horizon
+    }
+
+    if (rules_->omission_transparent() && omit_->remaining_budget() > cap) {
+      // Omissive draws are global no-ops, the burst cap can never bind
+      // again, and the budget cannot run out mid-leap: geometric run to
+      // the next (necessarily real) change, binomial split of the no-ops
+      // into real and omissive draws.
       const double rho = (1.0 - p) * wr;
       const std::size_t run = leap::sample_bernoulli_run(rho, rng, cap);
       if (run > 0) {
@@ -304,12 +383,26 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
       return d;
     }
 
+    if (capped && omit_->burst() >= omit_->max_burst()) {
+      // A full burst forces the next delivery to be real (no rate coin).
+      omit_->set_burst(0);
+      if (w > 0 && rng.below(t) < w) {
+        fire_real(w, rng, d);
+        return d;
+      }
+      stats_.record_noops(1);
+      ++d.noops;
+      ++d.interactions;
+      ++steps_;
+      continue;
+    }
+
     // Event-punctuated leap: an "event" is an omissive delivery or a real
-    // count-change; the run of real no-ops before it is geometric. Each
-    // omissive delivery draws its victim pair hypergeometrically and
-    // applies the omissive-class outcome, whatever it is — identical in
-    // distribution to BatchSystem's Wo/T split, O(log universe) per
-    // delivered omission.
+    // count-change; the run of real no-ops before it is geometric (every
+    // real delivery resets the burst, so the omission probability is p
+    // throughout the run). Each omissive delivery draws its victim pair
+    // hypergeometrically and applies the omissive-class outcome, whatever
+    // it is — identical in distribution to BatchSystem's Wo/T split.
     const double sigma = p + (1.0 - p) * wr;
     const std::size_t run = leap::sample_bernoulli_run(sigma, rng, cap);
     if (run > 0) {
@@ -317,6 +410,7 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
       d.noops += run;
       d.interactions += run;
       steps_ += run;
+      omit_->set_burst(0);
     }
     if (run == cap) {
       if (cap == remaining) return d;
@@ -324,15 +418,16 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
     }
     if (rng.chance(p / sigma)) {
       omit_->note_omissions(1);
+      omit_->set_burst(omit_->burst() + 1);
       ++d.omissions;
       const auto [s, r] = draw_any_pair(rng);
-      const StatePair out = rules_->outcome(omit_class_, s, r);
+      const StatePair out = rules_->outcome_cached(omit_class_, s, r);
       if (out.starter == s && out.reactor == r) {
         stats_.record_omissive_noops(1);
         ++d.noops;
         ++d.interactions;
         ++steps_;
-        continue;  // budget/horizon state may have changed
+        continue;  // budget/horizon/burst state may have changed
       }
       apply_fire(omit_class_, s, r, out, d);
       ++d.interactions;
@@ -340,6 +435,7 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
       return d;
     }
     fire_real(w, rng, d);
+    omit_->set_burst(0);
     return d;
   }
   return d;
@@ -350,7 +446,7 @@ bool SimBatchSystem::step_once(Rng& rng, BatchDelta& d) {
   if (omissive) ++d.omissions;
   const auto [s, r] = draw_any_pair(rng);
   const InteractionClass c = omissive ? omit_class_ : InteractionClass::Real;
-  const StatePair out = rules_->outcome(c, s, r);
+  const StatePair out = rules_->outcome_cached(c, s, r);
   ++d.interactions;
   ++steps_;
   if (out.starter == s && out.reactor == r) {

@@ -11,9 +11,15 @@
 //     construction, so the "hash map over interned states" is a growing
 //     vector plus an occupied list; the hash map lives inside the
 //     interner);
-//   * two Fenwick trees over the same ids (all counts / non-silent
-//     counts), so drawing starters and reactors proportionally to counts
-//     is O(log universe) however many states have appeared;
+//   * one CountIndex over the same ids: O(1) point updates and
+//     early-exit linear-scan inverse-CDF draws that ride the heavy
+//     concentration of population mass on low ids (see the class
+//     comment). Factored starters (non-silent only) are drawn by
+//     rejection against the silence memo: a try succeeds w.p. (n - S)/n,
+//     and fires arrive at rate (n - S)/n per covered interaction, so the
+//     expected rejection work is O(1) PER COVERED INTERACTION regardless
+//     of the silent fraction — cheaper than maintaining a second
+//     non-silent index on every count change;
 //   * incrementally maintained per-class changing weights, so the
 //     geometric no-op leap stays EXACT as the universe grows:
 //       - factored sources (real_noop_factors — SKnO): a Real interaction
@@ -30,14 +36,16 @@
 //         Both paths are exact realizations of the same chain, so the
 //         trajectory-dependent switch introduces no bias.
 //
-// Omission adversaries (Def. 1–2) attach exactly as on BatchSystem, with
-// the same burst normalization. Leaps split into real and omissive draws:
+// Omission adversaries (Def. 1–2) attach exactly as on BatchSystem,
+// burst cap included (the exact within-burst Markov leap — see
+// BatchSystem's header). Leaps split into real and omissive draws:
 // omission-transparent sources (reactor-side-only simulators) use the
-// binomial split — omissive draws cannot change counts — while the
-// general path punctuates the leap per omissive delivery and draws the
-// victim pair hypergeometrically, applying whatever the omissive class
-// outcome is (distribution-identical to BatchSystem's Wo/T split, O(log)
-// per delivered omission).
+// burst-capped leg or, when the cap cannot bind, the binomial split —
+// omissive draws cannot change counts — while the general path punctuates
+// the leap per omissive delivery (tracking the shared burst counter) and
+// draws the victim pair hypergeometrically, applying whatever the
+// omissive class outcome is (distribution-identical to BatchSystem's
+// Wo/T split, O(1) index work per delivered omission).
 //
 // Open universes (rule sources with open_universe()) release states whose
 // count returns to zero: ids recycle through the interner's free list, so
@@ -56,12 +64,82 @@
 #include "engine/batch/configuration.hpp"
 #include "engine/stats.hpp"
 #include "sched/omission_process.hpp"
-#include "util/fenwick.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
 
+// Two-level count index over growing dense ids: per-id u32 counts plus
+// per-256-id bucket sums. Point updates are O(1) (two increments), and
+// inverse-CDF sampling / prefix sums are linear scans with early exit —
+// an open-universe run keeps its population mass heavily concentrated on
+// low ids (early states plus recycled ids), so the expected scan is a few
+// hot L1 cache lines. This replaced a Fenwick tree whose pointer-chasing
+// descent was measured to dominate the fire hot path (~140 ns per draw on
+// the reference box vs ~10-20 ns here). Per-id counts are u32: populations
+// beyond 2^32 agents in one state are out of scope for this engine.
+class CountIndex {
+ public:
+  void ensure(std::size_t m) {
+    if (m <= counts_.size()) return;
+    counts_.resize(m, 0);
+    buckets_.resize((m + kBucket - 1) / kBucket, 0);
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t get(std::size_t i) const { return counts_.at(i); }
+
+  void add(std::size_t i, std::int64_t delta) {
+    if (i >= counts_.size()) ensure(i + 1);  // freshly interned successor ids
+    counts_[i] = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(counts_[i]) + delta);
+    buckets_[i >> kShift] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(buckets_[i >> kShift]) + delta);
+    total_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(total_) + delta);
+  }
+
+  // Smallest id i with prefix_sum(0..i) > pick; requires pick < total().
+  [[nodiscard]] std::size_t find(std::uint64_t pick) const {
+    std::size_t b = 0;
+    while (pick >= buckets_[b]) pick -= buckets_[b++];
+    std::size_t i = b << kShift;
+    while (pick >= counts_[i]) pick -= counts_[i++];
+    return i;
+  }
+
+  // find() over the counts with one copy of id `excl` removed (the
+  // hypergeometric second draw); requires pick < total() - 1 and
+  // count(excl) >= 1. Single scan, no temporary mutation.
+  [[nodiscard]] std::size_t find_excluding(std::uint64_t pick,
+                                           std::size_t excl) const {
+    const std::size_t eb = excl >> kShift;
+    std::size_t b = 0;
+    for (;; ++b) {
+      const std::uint64_t w = buckets_[b] - (b == eb ? 1 : 0);
+      if (pick < w) break;
+      pick -= w;
+    }
+    std::size_t i = b << kShift;
+    for (;; ++i) {
+      const std::uint64_t w = counts_[i] - (i == excl ? 1 : 0);
+      if (pick < w) break;
+      pick -= w;
+    }
+    return i;
+  }
+
+ private:
+  static constexpr std::size_t kShift = 8;
+  static constexpr std::size_t kBucket = 1u << kShift;
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
 // Counts over interned wrapper states, tracking the occupied subset.
+// Per-state counts and occupied positions are u32 — populations beyond
+// 2^32 agents are out of scope — which keeps the arrays the hot path
+// touches on every fire L2-resident at n = 10^6.
 class SparseConfiguration {
  public:
   void grow_to(std::size_t universe_size);
@@ -78,27 +156,43 @@ class SparseConfiguration {
   }
 
  private:
-  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> counts_;
-  std::vector<std::size_t> pos_;  // state -> index in occupied_, or kNoPos
+  static constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint32_t> pos_;  // state -> index in occupied_, or kNoPos
   std::vector<State> occupied_;
   std::size_t n_ = 0;
 };
 
 class SimBatchSystem {
  public:
+  // Ceiling on the default outcome-cache bound (entries): sized so the
+  // hot pairs of an n = 10^6 SKnO run fit while the cache stays tens of
+  // MB. The constructor's default scales with the population (hot pairs
+  // scale with live states) so small test populations don't pay a
+  // megabyte-scale allocation per engine. Pass an explicit capacity to
+  // override; 0 runs uncached (the equivalence suites do both).
+  static constexpr std::size_t kDefaultOutcomeCacheCapacity = 1u << 20;
+
   // `sim_initial` holds simulated-protocol states; the rule source interns
-  // the corresponding wrapper states.
+  // the corresponding wrapper states. `outcome_cache_capacity` overrides
+  // the default LRU bound on the (class, starter, reactor) -> successors
+  // cache the hot path consults before touching the rule source's core.
   SimBatchSystem(std::shared_ptr<DynamicRuleSource> rules,
-                 const std::vector<State>& sim_initial);
+                 const std::vector<State>& sim_initial,
+                 std::optional<std::size_t> outcome_cache_capacity = {});
 
   // Attach an omission process (Def. 1–2); the source's model must be
   // omissive. Must be called before the run starts.
   void set_omission_process(const AdversaryParams& params);
 
   // Cover at most `budget` uniform-scheduler interactions: leap the
-  // geometric run of no-ops, then fire one count-changing rule (or stop at
-  // the budget). Same contract as BatchSystem::advance.
+  // geometric run of no-ops, then fire count-changing rules. Factored
+  // sources without an active omission process keep alternating leap/fire
+  // until the budget is exhausted (one call covers the whole slice — the
+  // per-call overhead would otherwise dominate the nearly-noop-free SKnO
+  // hot path); other paths return after the first fire exactly like
+  // BatchSystem::advance. The delta's fired/s/r/out describe the LAST
+  // fire of the call.
   BatchDelta advance(std::size_t budget, Rng& rng);
 
   // Exact single hypergeometric step (integer draws only — the
@@ -114,13 +208,10 @@ class SimBatchSystem {
   [[nodiscard]] const SparseConfiguration& configuration() const noexcept {
     return conf_;
   }
-  // Counts of the simulated projection pi_P, maintained incrementally.
-  [[nodiscard]] const std::vector<std::size_t>& projected_counts()
-      const noexcept {
-    return projected_;
-  }
+  // Counts of the simulated projection pi_P (rebuilt lazily on demand).
+  [[nodiscard]] const std::vector<std::size_t>& projected_counts() const;
   [[nodiscard]] int consensus_output() const {
-    return counts_consensus_output(projected_, rules_->protocol());
+    return counts_consensus_output(projected_counts(), rules_->protocol());
   }
   // Occupied (live) wrapper states right now.
   [[nodiscard]] std::size_t universe_live() const noexcept {
@@ -146,9 +237,16 @@ class SimBatchSystem {
   void grow_to_universe();
   // Silence classification, cached per interned id (factored mode).
   [[nodiscard]] bool silent(State s);
+  // pi_P per interned id, memoized (an id's encoding is immutable while
+  // live; reset on release).
+  [[nodiscard]] State project_of(State s);
   void change_count(State s, std::int64_t delta);
   void release_if_dead(State s);
 
+  // Reactor drawn from the n-1 agents other than one starter copy of `s`:
+  // one prefix query + at most one inverse-CDF search, no temporary count
+  // mutation.
+  [[nodiscard]] State draw_reactor_excluding(State s, Rng& rng);
   // Ordered pair drawn hypergeometrically from the counts.
   [[nodiscard]] std::pair<State, State> draw_any_pair(Rng& rng);
   // Pre-states of a Real-class count-changing pair, drawn with exact
@@ -181,11 +279,15 @@ class SimBatchSystem {
   bool factored_ = false;
   bool open_ = false;
   SparseConfiguration conf_;
-  FenwickTree fw_all_;     // counts per id
-  FenwickTree fw_active_;  // counts of non-silent ids (factored mode)
+  CountIndex idx_;  // counts per id (the sampling index)
   std::vector<std::uint8_t> silent_known_;  // 0 unknown / 1 active / 2 silent
   std::uint64_t silent_count_ = 0;          // agents in silent states
-  std::vector<std::size_t> projected_;
+  std::vector<State> proj_memo_;            // pi_P per id, kNoState = unknown
+  // Projected counts are rebuilt lazily from the occupied set (an O(live)
+  // scan per probe slice) instead of being maintained per fire — four
+  // random projection touches per fire were measurable on the hot path.
+  mutable std::vector<std::size_t> projected_;
+  mutable bool projected_valid_ = true;
   std::size_t steps_ = 0;
   RunStats stats_;
   std::optional<OmissionProcess> omit_;

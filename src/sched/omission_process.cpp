@@ -1,5 +1,6 @@
 #include "sched/omission_process.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -65,6 +66,30 @@ AdversaryParams parse_adversary_spec(const std::string& spec) {
       throw std::invalid_argument("parse_adversary_spec: wrong number of "
                                   "fields in '" + spec + "'");
   };
+  // Optional trailing "burst=K" / "burst=inf" field overriding the
+  // consecutive-insertion cap.
+  if (parts.size() > 1 && parts.back().rfind("burst=", 0) == 0) {
+    const std::string v = parts.back().substr(6);
+    if (v == "inf" || v == "none")
+      p.max_burst = std::numeric_limits<std::size_t>::max();
+    else {
+      try {
+        // stoull would wrap a negative value instead of throwing.
+        if (v.empty() || v[0] == '-' || v[0] == '+')
+          throw std::invalid_argument("bad burst");
+        std::size_t used = 0;
+        const unsigned long long b = std::stoull(v, &used);
+        if (used != v.size() || b == 0)
+          throw std::invalid_argument("bad burst");
+        p.max_burst = static_cast<std::size_t>(b);
+      } catch (const std::exception&) {
+        throw std::invalid_argument(
+            "parse_adversary_spec: bad burst cap '" + v + "' in '" + spec +
+            "' (want a positive integer or inf)");
+      }
+    }
+    parts.pop_back();
+  }
   // Optional "@side" suffix on the kind ("uo@starter:0.2").
   std::string head = parts[0];
   if (const std::size_t at = head.find('@'); at != std::string::npos) {

@@ -16,11 +16,16 @@
 //   * Budget(o): inserts at most o omissions (the knowledge-of-omissions
 //     assumption of §4.1 bounds the total number of omissions by o).
 //
-// The step-wise path additionally honors max_burst (a cap on consecutive
-// insertions). The batch path treats bursts as unbounded — for rate < 1
-// bursts are finite almost surely, so Def. 1 is still satisfied — and
-// engine dispatch normalizes max_burst away when an adversary is attached
-// to an engine, keeping the two engines distributionally identical.
+// Both paths honor max_burst (a cap on consecutive insertions): the
+// step-wise path through should_omit's burst counter, the batch path
+// through an exact Markov-chain leap over the same within-burst state
+// (leap::sample_capped_burst_leg and the engines' event-punctuated
+// loops), which reads and writes the shared counter via burst() /
+// set_burst(). When the cap cannot bind — unbounded max_burst, or too
+// little omission budget left to ever complete a burst
+// (burst_cap_reachable() false, an absorbing condition since
+// burst + remaining budget never increases) — the engines fall back to
+// the cheaper uncapped leaps, which are then exact as-is.
 #pragma once
 
 #include <cstdint>
@@ -45,8 +50,9 @@ struct AdversaryParams {
   std::size_t quiet_after = std::numeric_limits<std::size_t>::max();
   // Budget / NO1: maximum total omissions (NO1 forces 1).
   std::size_t max_omissions = std::numeric_limits<std::size_t>::max();
-  // Cap on consecutive insertions (step-wise path only; the batch path
-  // relies on rate < 1 keeping bursts finite almost surely).
+  // Cap on consecutive insertions, honored by BOTH engines (the batch
+  // path samples the within-burst Markov chain exactly). The spec suffix
+  // ":burst=K" / ":burst=inf" overrides it.
   std::size_t max_burst = 8;
   // Which side inserted omissions strike (two-way models; the T-relation
   // faulty outcomes). One-way models have no side distinction and ignore
@@ -61,7 +67,9 @@ struct AdversaryParams {
 //   "budget:B[:rate]"
 // e.g. "budget:1000" or "uo:0.05". Returns kind UO with rate 0 for "none".
 // The kind may carry a side suffix "@starter" | "@reactor" | "@both"
-// (default both), e.g. "uo@starter:0.2" or "budget@reactor:8".
+// (default both), e.g. "uo@starter:0.2" or "budget@reactor:8". A trailing
+// ":burst=K" (or ":burst=inf" for unbounded) overrides the default
+// consecutive-insertion cap of 8, e.g. "uo:0.2:burst=3".
 [[nodiscard]] AdversaryParams parse_adversary_spec(const std::string& spec);
 
 class OmissionProcess {
@@ -83,6 +91,20 @@ class OmissionProcess {
   }
   // Credit `k` omissions sampled by a batch leap.
   void note_omissions(std::size_t k) noexcept { emitted_ += k; }
+
+  // --- shared within-burst state (step-wise should_omit and the batch
+  // --- burst-capped leap drive one counter) -------------------------------
+  [[nodiscard]] std::size_t burst() const noexcept { return burst_; }
+  void set_burst(std::size_t b) noexcept { burst_ = b; }
+  [[nodiscard]] std::size_t max_burst() const noexcept {
+    return params_.max_burst;
+  }
+  // Can a burst ever reach the cap from the current state? Absorbing once
+  // false: burst + remaining budget never increases.
+  [[nodiscard]] bool burst_cap_reachable() const noexcept {
+    return params_.max_burst != std::numeric_limits<std::size_t>::max() &&
+           remaining_budget() > params_.max_burst - burst_;
+  }
 
   [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
   [[nodiscard]] const AdversaryParams& params() const noexcept { return params_; }

@@ -1,6 +1,7 @@
 #include "sim/sim_rules.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "sim/tw_naive.hpp"
@@ -20,6 +21,16 @@ void put16(std::string& out, std::uint16_t v) {
 }
 void put32(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+// Raw little-endian stores into stack buffers (the ByteEdit payloads of
+// the patch-based successor path).
+void put16_at(char* out, std::uint16_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>(v >> 8);
+}
+void put32_at(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
 }
 
 std::uint8_t get8(const char*& p) { return static_cast<std::uint8_t>(*p++); }
@@ -222,10 +233,18 @@ SknoRuleSource::SknoRuleSource(std::shared_ptr<const Protocol> protocol,
   if (!protocol_) throw std::invalid_argument("SknoRuleSource: null protocol");
   if (protocol_->num_states() >= kNoStateField)
     throw std::invalid_argument(
-        "SknoRuleSource: token packing supports < 4095 simulated states");
+        "SknoRuleSource: token packing supports at most 4094 simulated "
+        "states (kind 2 | q 12 | qr 12 | index 6 u32 packing, " +
+        std::to_string(protocol_->num_states()) + " given)");
   if (omission_bound > 62)
     throw std::invalid_argument(
-        "SknoRuleSource: token packing supports o <= 62");
+        "SknoRuleSource: token packing supports omission bounds o <= 62 "
+        "(run indices 1..o+1 in 6 bits, o = " +
+        std::to_string(omission_bound) + " given)");
+  // Source-internal caches (the decomposed delta path): (token, reactor)
+  // receive successors and per-state g successors. Default sized for
+  // test-scale populations; make_sim_rule_source scales them with n.
+  set_internal_cache_capacity(1u << 12);
 }
 
 std::string SknoRuleSource::describe() const {
@@ -233,29 +252,107 @@ std::string SknoRuleSource::describe() const {
          ", o=" + std::to_string(core_.omission_bound()) + ", count-space)";
 }
 
-State SknoRuleSource::intern_agent(const SknoCore::Agent& a) {
+void SknoRuleSource::encode_agent_into(const SknoCore::Agent& a,
+                                       std::string& bytes) const {
   if (a.sending.size() > 0xffff || a.joker_debt.size() > 0xffff)
     throw std::length_error("SknoRuleSource: queue exceeds the u16 encoding");
-  std::string bytes;
+  bytes.clear();
   bytes.reserve(5 + 4 * (a.sending.size() + a.joker_debt.size()) + 4);
   put16(bytes, static_cast<std::uint16_t>(a.sim_state));
   put8(bytes, a.pending ? 1 : 0);
   put16(bytes, static_cast<std::uint16_t>(a.sending.size()));
   for (const auto& t : a.sending) put32(bytes, pack_token(t));
   // The debt list is looked up by value only — sort to canonicalize.
-  std::vector<std::uint32_t> debt;
+  auto& debt = debt_scratch_;
+  debt.clear();
   debt.reserve(a.joker_debt.size());
   for (const auto& t : a.joker_debt) debt.push_back(pack_token(t));
   std::sort(debt.begin(), debt.end());
   put16(bytes, static_cast<std::uint16_t>(debt.size()));
   for (std::uint32_t v : debt) put32(bytes, v);
-  return universe_.intern(bytes);
 }
 
-SknoCore::Agent SknoRuleSource::decode_agent(State s) const {
+std::string SknoRuleSource::encode_agent(const SknoCore::Agent& a) const {
+  std::string bytes;
+  encode_agent_into(a, bytes);
+  return bytes;
+}
+
+State SknoRuleSource::intern_agent(const SknoCore::Agent& a) {
+  encode_agent_into(a, enc_scratch_);
+  return universe_.intern(enc_scratch_);
+}
+
+// Delta path helpers: the byte layout of the two starter-g successor
+// shapes lives here and nowhere else. Layout (see file header):
+// [sim u16 @0][pending u8 @2][nq u16 @3][queue @5, 4 bytes/token]
+// [nd u16 @5+4nq][debt ...].
+State SknoRuleSource::intern_pop_front(State base, std::uint16_t nq) {
+  char hdr[2];
+  put16_at(hdr, static_cast<std::uint16_t>(nq - 1));
+  const ByteEdit edits[] = {ByteEdit::replace(3, {hdr, 2}),
+                            ByteEdit::erase(5, 4)};
+  return universe_.intern_patched(base, edits);
+}
+
+State SknoRuleSource::intern_refilled(State base, State sim) {
+  // Pre-state is available with an empty queue; the successor is pending
+  // with the own-state run's indices 2..o+1 (index 1 was popped).
+  const std::size_t o = core_.omission_bound();
+  char hdr[3];
+  hdr[0] = 1;  // pending
+  put16_at(hdr + 1, static_cast<std::uint16_t>(o));
+  char toks[62 * 4];  // o <= 62
+  for (std::size_t i = 0; i < o; ++i)
+    put32_at(toks + 4 * i,
+             pack_token(SknoCore::Token{SknoCore::Token::Kind::StateRun, sim,
+                                        kNoState,
+                                        static_cast<std::uint32_t>(i + 2), 0}));
+  const ByteEdit edits[] = {ByteEdit::replace(2, {hdr, 3}),
+                            ByteEdit::insert(5, {toks, 4 * o})};
+  return universe_.intern_patched(base, edits);
+}
+
+// Delta path: the footprint names which of the frequent single-slot
+// mutations the step performed, and the successor encoding is derived from
+// the pre-state bytes by patching the header and at most one queue slot —
+// O(changed bytes + memmove) instead of decode-order-independent full
+// re-serialization.
+State SknoRuleSource::intern_successor(State base, const SknoCore::Agent& post,
+                                       const SknoCore::Footprint& fp) {
+  using Kind = SknoCore::Footprint::Kind;
+  if (fp.kind == Kind::Unchanged) return base;
+  State out = kNoState;
+  if (!use_patches_ || fp.kind == Kind::Complex) {
+    out = intern_agent(post);
+  } else if (fp.kind == Kind::PoppedFront) {
+    const char* p = universe_.encoding(base).data() + 3;
+    out = intern_pop_front(base, get16(p));
+  } else if (fp.kind == Kind::Appended) {
+    const char* p = universe_.encoding(base).data() + 3;
+    const std::uint16_t nq = get16(p);
+    char hdr[2];
+    put16_at(hdr, static_cast<std::uint16_t>(nq + 1));
+    char tok[4];
+    put32_at(tok, pack_token(fp.appended));
+    const ByteEdit edits[] = {
+        ByteEdit::replace(3, {hdr, 2}),
+        ByteEdit::insert(5 + 4 * static_cast<std::size_t>(nq), {tok, 4})};
+    out = universe_.intern_patched(base, edits);
+  } else {  // Kind::Refilled
+    out = intern_refilled(base, post.sim_state);
+  }
+  // The fuzz suite pins patch/full equality distributionally; this pins it
+  // on every step of every Debug test run.
+  assert(universe_.encoding(out) == encode_agent(post));
+  return out;
+}
+
+void SknoRuleSource::decode_agent_into(State s, SknoCore::Agent& a) const {
   const std::string& bytes = universe_.encoding(s);
   const char* p = bytes.data();
-  SknoCore::Agent a;
+  a.sending.clear();
+  a.joker_debt.clear();
   a.sim_state = get16(p);
   a.pending = get8(p) != 0;
   const std::size_t nq = get16(p);
@@ -263,6 +360,11 @@ SknoCore::Agent SknoRuleSource::decode_agent(State s) const {
   const std::size_t nd = get16(p);
   a.joker_debt.reserve(nd);
   for (std::size_t i = 0; i < nd; ++i) a.joker_debt.push_back(unpack_token(get32(p)));
+}
+
+SknoCore::Agent SknoRuleSource::decode_agent(State s) const {
+  SknoCore::Agent a;
+  decode_agent_into(s, a);
   return a;
 }
 
@@ -276,19 +378,141 @@ std::vector<State> SknoRuleSource::intern_initial(const std::vector<State>& sim)
   return out;
 }
 
-StatePair SknoRuleSource::outcome(InteractionClass c, State s, State r) {
-  SknoCore::Agent starter = decode_agent(s);
-  SknoCore::Agent reactor = decode_agent(r);
+State SknoRuleSource::starter_after_g(State s, SknoCore::Token& tok,
+                                      bool& transmits) {
+  const std::string& enc = universe_.encoding(s);
+  const char* p = enc.data();
+  const State sim = get16(p);
+  const bool pending = get8(p) != 0;
+  const std::uint16_t nq = get16(p);
+  if (nq > 0) {
+    // Pop the front token.
+    tok = unpack_token(get32(p));
+    transmits = true;
+    return intern_pop_front(s, nq);
+  }
+  if (pending) {
+    transmits = false;  // silent: pending with an empty queue
+    return s;
+  }
+  // Refill with the own-state run 1..o+1, then pop index 1.
+  tok = SknoCore::Token{SknoCore::Token::Kind::StateRun, sim, kNoState, 1, 0};
+  transmits = true;
+  return intern_refilled(s, sim);
+}
+
+// Packed-token sentinel for "silent" in g_tok_: kind bits 0x3 are never
+// produced by pack_token (Token::Kind has three values).
+constexpr std::uint32_t kSilentTok = 0xffffffffu;
+
+State SknoRuleSource::starter_after_g_cached(State s, SknoCore::Token& tok,
+                                             bool& transmits) {
+  const std::uint64_t key = static_cast<std::uint64_t>(s) + 1;
+  if (const StatePair* hit = g_cache_.find_raw(key, s)) {
+    const std::uint32_t packed = g_tok_[s];
+    if (packed == kSilentTok) {
+      transmits = false;
+      return s;
+    }
+    tok = unpack_token(packed);
+    transmits = true;
+    return hit->starter;
+  }
+  const State s2 = starter_after_g(s, tok, transmits);
+  if (s >> 31 == 0 && s2 >> 31 == 0) {
+    if (g_tok_.size() <= s) g_tok_.resize(universe_.capacity(), kSilentTok);
+    g_tok_[s] = transmits ? pack_token(tok) : kSilentTok;
+    g_cache_.insert_raw(key, s, {s2, s2});
+  }
+  return s2;
+}
+
+State SknoRuleSource::receive_cached(State r, const SknoCore::Token& tok) {
+  const std::uint64_t key =
+      r >> 31 == 0
+          ? ((static_cast<std::uint64_t>(pack_token(tok)) << 31) | r) + 1
+          : 0;
+  if (const StatePair* hit = recv_cache_.find_raw(key, r)) return hit->starter;
+  decode_agent_into(r, scratch_reactor_);
+  SknoCore::Footprint fp;
+  core_.receive_one(scratch_reactor_, tok, fp);
+  const State r2 = intern_successor(r, scratch_reactor_, fp);
+  recv_cache_.insert_raw(key, r, {r2, r2});
+  return r2;
+}
+
+StatePair SknoRuleSource::outcome_by_step(InteractionClass c, State s, State r) {
+  SknoCore::Agent& starter = scratch_starter_;
+  SknoCore::Agent& reactor = scratch_reactor_;
+  decode_agent_into(s, starter);
+  decode_agent_into(r, reactor);
   const bool omissive = c != InteractionClass::Real;
   const OmitSide side = c == InteractionClass::OmitStarter ? OmitSide::Starter
                         : c == InteractionClass::OmitReactor
                             ? OmitSide::Reactor
                             : OmitSide::Both;
   core_.step(starter, reactor, omissive, side, nullptr, nullptr);
-  // Intern both successors before either pre-state could be released.
-  const State s2 = intern_agent(starter);
-  const State r2 = intern_agent(reactor);
+  // Intern both successors (patch-based when the footprint allows) before
+  // either pre-state could be released.
+  const SknoCore::StepFootprint& fp = core_.last_footprint();
+  const State s2 = intern_successor(s, starter, fp.starter);
+  const State r2 = intern_successor(r, reactor, fp.reactor);
   return {s2, r2};
+}
+
+StatePair SknoRuleSource::outcome(InteractionClass c, State s, State r) {
+  // Reference path (and the fuzz suite's comparison baseline): run the
+  // shared value-level core wholesale.
+  if (!use_patches_) return outcome_by_step(c, s, r);
+
+  // Delta path: every step decomposes into the decode-free starter
+  // routine g (header peek + patch) and/or the (token, reactor)-cached
+  // receive half — the same value chain SknoCore::step realizes, pinned
+  // by the lockstep suites across all models and sides.
+  static const SknoCore::Token kJoker{SknoCore::Token::Kind::Joker, kNoState,
+                                      kNoState, 0, 0};
+  SknoCore::Token tok;
+  bool transmits = false;
+  const Model m = core_.model();
+  if (c == InteractionClass::Real ||
+      (m == Model::T3 && c == InteractionClass::OmitStarter)) {
+    // Fault-free delivery shape (a T3 starter-side omission is
+    // indistinguishable from one — see SknoCore::step): g, then receive.
+    // A silent starter transmits nothing and the reactor's checks cannot
+    // act (every interned state is check-stable), so the reactor is
+    // untouched.
+    const State s2 = starter_after_g_cached(s, tok, transmits);
+    const State r2 = transmits ? receive_cached(r, tok) : r;
+    return {s2, r2};
+  }
+  switch (m) {
+    case Model::T3:
+    case Model::I3: {
+      // Starter pops blindly (the in-flight token dies), reactor detects:
+      // minting the joker + checks == receiving a joker token.
+      const State s2 = starter_after_g_cached(s, tok, transmits);
+      const State r2 = receive_cached(r, kJoker);
+      return {s2, r2};
+    }
+    case Model::I4: {
+      // Starter detects (keeps its queue, gains the compensating joker);
+      // the reactor behaves as a starter, popping into the void.
+      const State s2 = receive_cached(s, kJoker);
+      const State r2 = starter_after_g_cached(r, tok, transmits);
+      return {s2, r2};
+    }
+    case Model::I1: {
+      const State s2 = starter_after_g_cached(s, tok, transmits);
+      return {s2, r};
+    }
+    case Model::I2: {
+      const State s2 = starter_after_g_cached(s, tok, transmits);
+      const State r2 = starter_after_g_cached(r, tok, transmits);
+      return {s2, r2};
+    }
+    default:
+      throw std::logic_error("SknoRuleSource: omission in non-omissive model");
+  }
 }
 
 State SknoRuleSource::project(State s) const {
@@ -348,9 +572,15 @@ std::unique_ptr<DynamicRuleSource> make_sim_rule_source(
     return std::make_unique<MatrixRuleSource>(
         RuleMatrix::compile(std::move(protocol), model));
   }
-  if (spec.kind == "skno")
-    return std::make_unique<SknoRuleSource>(std::move(protocol), model,
-                                            spec.omission_bound);
+  if (spec.kind == "skno") {
+    auto src = std::make_unique<SknoRuleSource>(std::move(protocol), model,
+                                                spec.omission_bound);
+    // Scale the internal (token, reactor) and g-successor caches with the
+    // population: live wrapper states track n.
+    src->set_internal_cache_capacity(std::min<std::size_t>(
+        1u << 16, std::max<std::size_t>(n * 2, 1u << 12)));
+    return src;
+  }
   if (spec.kind == "sid")
     return std::make_unique<SidRuleSource>(std::move(protocol), model, n);
   if (spec.kind == "naming")

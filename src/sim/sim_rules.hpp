@@ -68,6 +68,10 @@ class SidRuleSource : public DynamicRuleSource {
                                   State r) override;
   [[nodiscard]] State project(State s) const override;
   [[nodiscard]] bool omission_transparent() const override { return true; }
+  // The internal (s, r) -> post-state memo below is exact and permanent
+  // (bounded universe, no releases): the engine-level outcome cache would
+  // only duplicate it.
+  [[nodiscard]] bool self_caching() const override { return true; }
 
  protected:
   // The reactor's value-level step; overridden by the naming layer.
@@ -134,8 +138,8 @@ class SknoRuleSource final : public DynamicRuleSource {
 
   [[nodiscard]] bool open_universe() const override { return true; }
   [[nodiscard]] bool real_noop_factors() const override { return true; }
+  [[nodiscard]] bool self_caching() const override { return use_patches_; }
   [[nodiscard]] bool starter_silent(State s) override;
-  void release(State s) override { universe_.release(s); }
 
   [[nodiscard]] const SknoCore::Stats& core_stats() const noexcept {
     return core_.stats();
@@ -143,14 +147,89 @@ class SknoRuleSource final : public DynamicRuleSource {
   [[nodiscard]] std::size_t live_states() const noexcept {
     return universe_.live();
   }
+  // The canonical bytes of a live interned id (diagnostics and the
+  // encode/patch/decode fuzz suite, which pins patch-built successors
+  // byte-identical to full re-serialization).
+  [[nodiscard]] const std::string& state_encoding(State s) const {
+    return universe_.encoding(s);
+  }
+
+  // Successor construction strategy: with patches on (the default), each
+  // outcome() decomposes into the decode-free starter routine g (a header
+  // peek plus ByteEdits against the pre-state bytes, interned via
+  // StateUniverse::intern_patched) and the reactor receive half, cached
+  // on (transmitted token, reactor id) — so neither a repeated pair nor a
+  // fresh pair whose token/reactor combination was seen before ever
+  // re-serializes the whole [sim][pending][queue][debt] record. Complex
+  // receive steps (run consumption, debt traffic) fall back to full
+  // re-serialization. Off = always decode + SknoCore::step +
+  // re-serialize — the reference path the encode/patch/decode fuzz suite
+  // compares against. NOTE: with patches on, core_stats() no longer sees
+  // the steps served from patches/caches (they bypass the core).
+  void set_use_patches(bool on) noexcept { use_patches_ = on; }
+  [[nodiscard]] bool use_patches() const noexcept { return use_patches_; }
+
+  // Diagnostics for the (token, reactor) receive cache.
+  [[nodiscard]] const OutcomeCache::Stats& receive_cache_stats() const noexcept {
+    return recv_cache_.stats();
+  }
+
+  // Bound (entries) for the source-internal receive and g-successor
+  // caches; make_sim_rule_source scales it with the population.
+  void set_internal_cache_capacity(std::size_t capacity) {
+    recv_cache_.set_capacity(capacity);
+    g_cache_.set_capacity(capacity);
+  }
+
+ protected:
+  void do_release(State s) override {
+    recv_cache_.invalidate(s);
+    g_cache_.invalidate(s);
+    universe_.release(s);
+  }
 
  private:
+  void encode_agent_into(const SknoCore::Agent& a, std::string& out) const;
+  [[nodiscard]] std::string encode_agent(const SknoCore::Agent& a) const;
   [[nodiscard]] State intern_agent(const SknoCore::Agent& a);
+  [[nodiscard]] State intern_successor(State base, const SknoCore::Agent& post,
+                                       const SknoCore::Footprint& fp);
+  void decode_agent_into(State s, SknoCore::Agent& out) const;
   [[nodiscard]] SknoCore::Agent decode_agent(State s) const;
+
+  // The two byte-patch successor shapes of the starter routine g, shared
+  // by intern_successor and starter_after_g (the byte layout lives in
+  // exactly one place): remove the queue's front token (`nq` = pre-pop
+  // length), and refill an available empty-queue agent with its own-state
+  // run's indices 2..o+1.
+  [[nodiscard]] State intern_pop_front(State base, std::uint16_t nq);
+  [[nodiscard]] State intern_refilled(State base, State sim);
+  // Decode-free starter routine g on the interned encoding: silent states
+  // return themselves (`transmits` false); otherwise the successor is a
+  // PoppedFront/Refilled patch and `tok` is the transmitted token.
+  [[nodiscard]] State starter_after_g(State s, SknoCore::Token& tok,
+                                      bool& transmits);
+  // Same, memoized per state id (g depends on nothing else), so a hot
+  // starter pays one table probe instead of a patch + intern.
+  [[nodiscard]] State starter_after_g_cached(State s, SknoCore::Token& tok,
+                                             bool& transmits);
+  // Reactor receive half, cached on (token value, reactor id).
+  [[nodiscard]] State receive_cached(State r, const SknoCore::Token& tok);
+  // Reference path: decode both sides, run SknoCore::step, re-serialize.
+  [[nodiscard]] StatePair outcome_by_step(InteractionClass c, State s, State r);
 
   std::shared_ptr<const Protocol> protocol_;
   SknoCore core_;  // track_provenance = false: the canonical value chain
   StateUniverse universe_;
+  bool use_patches_ = true;
+  OutcomeCache recv_cache_;  // (token, reactor id) -> reactor successor
+  OutcomeCache g_cache_;     // starter id -> g successor
+  std::vector<std::uint32_t> g_tok_;  // packed transmitted token per id
+  // Hot-path scratch (reused across outcome() calls): per-call deque and
+  // string construction was measured to dominate the cache-miss cost.
+  SknoCore::Agent scratch_starter_, scratch_reactor_;
+  mutable std::string enc_scratch_;
+  mutable std::vector<std::uint32_t> debt_scratch_;
 };
 
 // --- construction glue (dispatch + CLI) -------------------------------------

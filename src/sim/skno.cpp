@@ -43,7 +43,7 @@ void SknoCore::note_queue_size(const Agent& a) {
   stats_.max_queue = std::max(stats_.max_queue, a.sending.size());
 }
 
-std::optional<SknoCore::Token> SknoCore::apply_g(Agent& a) {
+std::optional<SknoCore::Token> SknoCore::apply_g(Agent& a, Footprint& fp) {
   if (!a.pending && a.sending.empty()) {
     // available + empty queue: open a transaction for the current state.
     a.pending = true;
@@ -52,20 +52,33 @@ std::optional<SknoCore::Token> SknoCore::apply_g(Agent& a) {
       a.sending.push_back(Token{Token::Kind::StateRun, a.sim_state, kNoState, i, run});
     ++stats_.runs_generated;
     note_queue_size(a);
+    fp.kind = Footprint::Kind::Refilled;  // the pop below always follows
   }
   if (a.sending.empty()) return std::nullopt;
   Token t = a.sending.front();
   a.sending.pop_front();
+  if (fp.kind == Footprint::Kind::Unchanged)
+    fp.kind = Footprint::Kind::PoppedFront;
+  else if (fp.kind != Footprint::Kind::Refilled)
+    fp.kind = Footprint::Kind::Complex;
   return t;
 }
 
-void SknoCore::mint_joker(Agent& a) {
-  a.sending.push_back(Token{Token::Kind::Joker, kNoState, kNoState, 0, 0});
+void SknoCore::mint_joker(Agent& a, Footprint& fp) {
+  const Token joker{Token::Kind::Joker, kNoState, kNoState, 0, 0};
+  a.sending.push_back(joker);
   ++stats_.jokers_minted;
   note_queue_size(a);
+  if (fp.kind == Footprint::Kind::Unchanged) {
+    fp.kind = Footprint::Kind::Appended;
+    fp.appended = joker;
+  } else {
+    fp.kind = Footprint::Kind::Complex;
+  }
 }
 
-void SknoCore::receive(Agent& a, const std::optional<Token>& tok, Emits* emits) {
+void SknoCore::receive(Agent& a, const std::optional<Token>& tok, Emits* emits,
+                       Footprint& fp) {
   if (tok) {
     // Joker-debt repayment: a late copy of a token we substituted with a
     // joker is destroyed and the joker regenerated (token conservation).
@@ -78,18 +91,26 @@ void SknoCore::receive(Agent& a, const std::optional<Token>& tok, Emits* emits) 
       a.joker_debt.erase(debt);
       a.sending.push_back(Token{Token::Kind::Joker, kNoState, kNoState, 0, 0});
       ++stats_.debt_conversions;
+      fp.kind = Footprint::Kind::Complex;  // debt entry gone + joker pushed
     } else {
       a.sending.push_back(*tok);
+      if (fp.kind == Footprint::Kind::Unchanged) {
+        fp.kind = Footprint::Kind::Appended;
+        fp.appended = *tok;
+      } else {
+        fp.kind = Footprint::Kind::Complex;
+      }
     }
     note_queue_size(a);
   }
-  run_checks(a, emits);
+  run_checks(a, emits, fp);
 }
 
 std::optional<SknoCore::Consumed> SknoCore::try_consume(
     Agent& a, Token::Kind kind, std::optional<State> q_filter) {
   // Candidate payloads in queue order (deterministic).
-  std::vector<std::pair<State, State>> candidates;
+  auto& candidates = scratch_candidates_;
+  candidates.clear();
   for (const auto& t : a.sending) {
     if (t.kind != kind) continue;
     if (q_filter && t.q != *q_filter) continue;
@@ -109,7 +130,16 @@ std::optional<SknoCore::Consumed> SknoCore::try_consume(
     // rule: consume the FIRST queue occurrence of each index 1..o+1, fill
     // the rest from jokers. Provenance (verification only) is the run id
     // of the token filling the smallest index.
-    std::vector<std::ptrdiff_t> pos(o_ + 2, -1);
+    // Indices 1..o+1 fit the stack buffer for the token-packable range
+    // (o <= 62); the step-wise face accepts larger bounds, which fall
+    // back to the reused heap scratch.
+    std::ptrdiff_t pos_small[64];
+    std::ptrdiff_t* pos = pos_small;
+    if (o_ + 2 > 64) {
+      scratch_pos_.resize(o_ + 2);
+      pos = scratch_pos_.data();
+    }
+    std::fill(pos, pos + o_ + 2, -1);
     std::size_t have = 0;
     for (std::size_t i = 0; i < a.sending.size(); ++i) {
       const Token& t = a.sending[i];
@@ -126,12 +156,13 @@ std::optional<SknoCore::Consumed> SknoCore::try_consume(
 
     // Consume: remove the chosen real tokens and `missing` jokers; record
     // the substituted values in the joker-debt list.
-    std::vector<bool> remove(a.sending.size(), false);
+    auto& remove = scratch_remove_;
+    remove.assign(a.sending.size(), 0);
     std::uint64_t primary = 0;
     bool primary_set = false;
     for (std::uint32_t i = 1; i <= o_ + 1; ++i) {
       if (pos[i] >= 0) {
-        remove[static_cast<std::size_t>(pos[i])] = true;
+        remove[static_cast<std::size_t>(pos[i])] = 1;
         if (!primary_set) {
           primary = a.sending[static_cast<std::size_t>(pos[i])].run;
           primary_set = true;
@@ -143,24 +174,26 @@ std::optional<SknoCore::Consumed> SknoCore::try_consume(
     std::size_t jokers_needed = missing;
     for (std::size_t i = 0; i < a.sending.size() && jokers_needed > 0; ++i) {
       if (!remove[i] && a.sending[i].kind == Token::Kind::Joker) {
-        remove[i] = true;
+        remove[i] = 1;
         --jokers_needed;
       }
     }
     stats_.jokers_used += missing;
 
-    std::deque<Token> rest;
+    auto& rest = scratch_rest_;
+    rest.clear();
     for (std::size_t i = 0; i < a.sending.size(); ++i)
       if (!remove[i]) rest.push_back(a.sending[i]);
-    a.sending.swap(rest);
+    a.sending.assign(rest.begin(), rest.end());
 
     return Consumed{primary, q, qr};
   }
   return std::nullopt;
 }
 
-void SknoCore::run_checks(Agent& a, Emits* emits) {
+void SknoCore::run_checks(Agent& a, Emits* emits, Footprint& fp) {
   bool acted = true;
+  bool any = false;
   while (acted) {
     acted = false;
     if (a.pending) {
@@ -169,7 +202,7 @@ void SknoCore::run_checks(Agent& a, Emits* emits) {
       if (try_consume(a, Token::Kind::StateRun, a.sim_state)) {
         a.pending = false;
         ++stats_.cancels;
-        acted = true;
+        acted = any = true;
         continue;
       }
       // Core (pending): a complete change run ⟨(own, qr), *⟩ completes the
@@ -182,7 +215,7 @@ void SknoCore::run_checks(Agent& a, Emits* emits) {
         a.sim_state = after;
         a.pending = false;
         ++stats_.change_runs_consumed;
-        acted = true;
+        acted = any = true;
         continue;
       }
     } else {
@@ -200,18 +233,25 @@ void SknoCore::run_checks(Agent& a, Emits* emits) {
               Token{Token::Kind::ChangeRun, c->q, before, i, change_run});
         ++stats_.state_runs_consumed;
         note_queue_size(a);
-        acted = true;
+        acted = any = true;
         continue;
       }
     }
   }
+  // Any check consuming a run rewrites the queue (and possibly the debt
+  // list and sim_state) wholesale: the successor is built by full
+  // re-serialization, not by patching.
+  if (any) fp.kind = Footprint::Kind::Complex;
 }
 
 void SknoCore::step(Agent& starter, Agent& reactor, bool omissive, OmitSide side,
                     Emits* starter_emits, Emits* reactor_emits) {
+  footprint_ = StepFootprint{};
+  Footprint& sfp = footprint_.starter;
+  Footprint& rfp = footprint_.reactor;
   if (!omissive) {
-    const auto tok = apply_g(starter);
-    receive(reactor, tok, reactor_emits);
+    const auto tok = apply_g(starter, sfp);
+    receive(reactor, tok, reactor_emits, rfp);
     return;
   }
   switch (model_) {
@@ -223,8 +263,8 @@ void SknoCore::step(Agent& starter, Agent& reactor, bool omissive, OmitSide side
       // fault-free delivery; only a reactor-side (or both-sides) omission
       // actually loses the token, and the reactor detects it via h.
       if (side == OmitSide::Starter) {
-        const auto tok = apply_g(starter);
-        receive(reactor, tok, reactor_emits);
+        const auto tok = apply_g(starter, sfp);
+        receive(reactor, tok, reactor_emits, rfp);
         break;
       }
       [[fallthrough]];
@@ -232,10 +272,10 @@ void SknoCore::step(Agent& starter, Agent& reactor, bool omissive, OmitSide side
     case Model::I3: {
       // Relation {(g,f),(g,h)}: the starter pops blindly (the in-flight
       // token dies), the reactor detects and mints a joker.
-      const auto tok = apply_g(starter);
+      const auto tok = apply_g(starter, sfp);
       if (tok) ++stats_.tokens_killed;
-      mint_joker(reactor);
-      run_checks(reactor, reactor_emits);
+      mint_joker(reactor, rfp);
+      run_checks(reactor, reactor_emits, rfp);
       break;
     }
     case Model::I4: {
@@ -243,9 +283,9 @@ void SknoCore::step(Agent& starter, Agent& reactor, bool omissive, OmitSide side
       // intact and mints the compensating joker; the reactor cannot
       // distinguish the event from acting as a starter and applies g,
       // popping its own front token into the void.
-      mint_joker(starter);
-      run_checks(starter, starter_emits);
-      const auto tok = apply_g(reactor);
+      mint_joker(starter, sfp);
+      run_checks(starter, starter_emits, sfp);
+      const auto tok = apply_g(reactor, rfp);
       if (tok) ++stats_.tokens_killed;
       break;
     }
@@ -254,16 +294,16 @@ void SknoCore::step(Agent& starter, Agent& reactor, bool omissive, OmitSide side
       // reactor does not even notice the interaction. This variant is NOT
       // a correct simulator — it is the natural candidate that the
       // Theorem 3.2 experiments kill with a single omission.
-      const auto tok = apply_g(starter);
+      const auto tok = apply_g(starter, sfp);
       if (tok) ++stats_.tokens_killed;
       break;
     }
     case Model::I2: {
       // Proximity but no omission detection: both parties apply g, so two
       // tokens die per omission and nobody can mint a compensating joker.
-      const auto s_tok = apply_g(starter);
+      const auto s_tok = apply_g(starter, sfp);
       if (s_tok) ++stats_.tokens_killed;
-      const auto r_tok = apply_g(reactor);
+      const auto r_tok = apply_g(reactor, rfp);
       if (r_tok) ++stats_.tokens_killed;
       break;
     }

@@ -92,6 +92,32 @@ class SknoCore {
   };
   using Emits = std::vector<Emit>;
 
+  // Byte-level mutation footprint of the last step(), per agent — what the
+  // count-space rule source needs to build the successor encoding by
+  // PATCHING the pre-state bytes instead of re-serializing the record. The
+  // frequent shapes are exactly the ones §4.1 fires on almost every
+  // delivery: the starter pops its front token (possibly refilling first)
+  // and the reactor appends the received token. Anything that touches more
+  // than that — run consumption, cancellation, debt traffic — reports
+  // Complex, and the rule source re-serializes.
+  struct Footprint {
+    enum class Kind : std::uint8_t {
+      Unchanged,    // no field of the record changed
+      PoppedFront,  // queue front token removed, nothing else
+      Refilled,     // was available + empty: pending set, own state run
+                    // enqueued, front token popped — queue is now the run's
+                    // indices 2..o+1
+      Appended,     // `appended` pushed to the queue back, nothing else
+      Complex,      // anything else: fall back to full re-serialization
+    };
+    Kind kind = Kind::Unchanged;
+    Token appended{};  // Appended only
+  };
+  struct StepFootprint {
+    Footprint starter;
+    Footprint reactor;
+  };
+
   struct Stats {
     std::uint64_t runs_generated = 0;       // pending transactions opened
     std::uint64_t state_runs_consumed = 0;  // reactor halves simulated
@@ -124,6 +150,21 @@ class SknoCore {
   void step(Agent& starter, Agent& reactor, bool omissive, OmitSide side,
             Emits* starter_emits, Emits* reactor_emits);
 
+  // Footprint of the most recent step() (reset at each call).
+  [[nodiscard]] const StepFootprint& last_footprint() const noexcept {
+    return footprint_;
+  }
+
+  // Value-level reactor half of one delivery in isolation: receive `tok`
+  // (a transmitted token, or an omission-minted joker — receiving a joker
+  // is identical to detecting an omission, since debt entries never hold
+  // joker values) and run the §4.1 checks. The count-space rule source
+  // caches this on (token value, reactor encoding): every step of every
+  // model decomposes into this plus the decode-free starter routine g.
+  void receive_one(Agent& a, const Token& tok, Footprint& fp) {
+    receive(a, tok, nullptr, fp);
+  }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t omission_bound() const noexcept { return o_; }
   [[nodiscard]] Model model() const noexcept { return model_; }
@@ -137,14 +178,15 @@ class SknoCore {
 
  private:
   // Starter routine g: refill when available with an empty queue, then pop
-  // and return the front token (if any).
-  std::optional<Token> apply_g(Agent& a);
+  // and return the front token (if any). Records into `fp`.
+  std::optional<Token> apply_g(Agent& a, Footprint& fp);
 
   // Reactor receives a token (or nothing) and runs the preliminary + core
   // checks of §4.1.
-  void receive(Agent& a, const std::optional<Token>& tok, Emits* emits);
-  void mint_joker(Agent& a);
-  void run_checks(Agent& a, Emits* emits);
+  void receive(Agent& a, const std::optional<Token>& tok, Emits* emits,
+               Footprint& fp);
+  void mint_joker(Agent& a, Footprint& fp);
+  void run_checks(Agent& a, Emits* emits, Footprint& fp);
 
   // Searches `a.sending` for a complete run (indices 1..o+1) of the given
   // kind/value, using jokers for missing indices (at least one real token
@@ -167,6 +209,14 @@ class SknoCore {
   bool track_provenance_;
   std::uint64_t next_run_ = 1;
   Stats stats_;
+  StepFootprint footprint_;
+  // try_consume scratch, reused across calls: the count-space hot path
+  // runs millions of steps per second and per-call allocations were
+  // measured to dominate the outcome-cache miss cost.
+  std::vector<std::pair<State, State>> scratch_candidates_;
+  std::vector<std::ptrdiff_t> scratch_pos_;  // heap fallback for o > 62
+  std::vector<char> scratch_remove_;
+  std::vector<Token> scratch_rest_;
 };
 
 class SknoSimulator final : public Simulator {

@@ -322,6 +322,53 @@ TEST(BatchEquivalence, TwoWayChiSquareUnderT3WithBudgetAdversary) {
   }
 }
 
+TEST(BatchEquivalence, CappedBurstChiSquareOnTransparentOmissions) {
+  // A tight burst cap (2) at a high rate (0.6) under TW lifted to T1:
+  // T1 omissions are global no-ops (o = h = id), so the batch engine runs
+  // the exact within-burst Markov leg (leap::sample_capped_burst_leg).
+  // The omissions-delivered count is part of the chi-square category, so
+  // the burst-capped insertion stream itself must match the step-wise
+  // adversary's, not just the configuration.
+  Rng meta(276);
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t states = 2 + meta.below(3);
+    const std::size_t n = 6 + meta.below(3);
+    auto p = random_protocol(states, meta);
+    const auto init = random_initial(n, states, meta);
+    EngineConfig config;
+    config.model = Model::TW;  // lifted to T1 by the adversary
+    config.adversary = parse_adversary_spec("uo:0.6:burst=2");
+    expect_engines_match(
+        [&] { return make_engine("native", p, init, config); },
+        [&] { return make_engine("batch", p, init, config); }, n, 3 * n, 150,
+        3600 + round, /*with_omissions=*/true,
+        "T1 capped-burst round " + std::to_string(round));
+  }
+}
+
+TEST(BatchEquivalence, CappedBurstChiSquareUnderT3) {
+  // Burst cap with COUNT-CHANGING omissive outcomes (random o/h under
+  // T3): the event-punctuated loop's forced-real branch and burst
+  // bookkeeping must reproduce the step-wise chain.
+  Rng meta(277);
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t states = 2 + meta.below(3);
+    const std::size_t n = 6 + meta.below(2);
+    auto p = random_protocol(states, meta);
+    const auto init = random_initial(n, states, meta);
+    EngineConfig config;
+    config.model = Model::T3;
+    config.fns.o = testing::as_fn(testing::random_unary(states, meta));
+    config.fns.h = testing::as_fn(testing::random_unary(states, meta));
+    config.adversary = parse_adversary_spec("uo:0.5:burst=2");
+    expect_engines_match(
+        [&] { return make_engine("native", p, init, config); },
+        [&] { return make_engine("batch", p, init, config); }, n, 3 * n, 150,
+        3700 + round, /*with_omissions=*/true,
+        "T3 capped-burst round " + std::to_string(round));
+  }
+}
+
 TEST(BatchEquivalence, LiftedIoUnderBudgetMatchesNative) {
   // The omissive-closure lift (IO -> I1) must agree between engines,
   // omission counts included.

@@ -1,9 +1,16 @@
 // OmissionProcess: the extracted Def. 1–2 insertion state machine, its
-// batch-side views, and the CLI adversary-spec parser.
+// batch-side views, the CLI adversary-spec parser, and the exact
+// burst-capped leap sampler the batch engines use to honor max_burst.
 #include "sched/omission_process.hpp"
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "chi_square.hpp"
+#include "engine/batch/leap_sampling.hpp"
 #include "sched/adversary.hpp"
 
 namespace ppfs {
@@ -107,6 +114,90 @@ TEST(OmissionProcess, AdversaryWrapperDelegatesToTheProcess) {
   EXPECT_EQ(adv.omissions_emitted(), proc.emitted());
 }
 
+TEST(OmissionProcess, BurstCapReachability) {
+  AdversaryParams p = uo(0.5);
+  p.max_burst = 4;
+  {
+    OmissionProcess proc(p);  // unbounded budget: always reachable
+    EXPECT_TRUE(proc.burst_cap_reachable());
+  }
+  p.kind = AdversaryKind::Budget;
+  p.max_omissions = 3;  // 3 insertions can never fill a burst of 4
+  {
+    OmissionProcess proc(p);
+    EXPECT_FALSE(proc.burst_cap_reachable());
+  }
+  p.max_omissions = 5;
+  {
+    OmissionProcess proc(p);
+    EXPECT_TRUE(proc.burst_cap_reachable());
+    proc.note_omissions(2);  // remaining 3 < cap, burst 0: unreachable now
+    EXPECT_FALSE(proc.burst_cap_reachable());
+    proc.set_burst(2);  // ...unless a burst is already under way
+    EXPECT_TRUE(proc.burst_cap_reachable());
+  }
+  p.max_burst = std::numeric_limits<std::size_t>::max();
+  p.max_omissions = std::numeric_limits<std::size_t>::max();
+  OmissionProcess proc(p);
+  EXPECT_FALSE(proc.burst_cap_reachable());
+}
+
+// The exact burst-capped leg must realize the same joint distribution of
+// (deliveries, omissions, fired, end burst state) as simulating the
+// within-burst chain one delivery at a time with should_omit semantics.
+TEST(BurstLeap, CappedLegMatchesPerDeliverySimulation) {
+  using Counts = ppfs::testing::Counts;
+  struct Case {
+    double rate;
+    std::uint64_t w, t;
+    std::size_t max_burst, burst0, budget, cap;
+  };
+  const Case cases[] = {
+      {0.5, 3, 20, 2, 0, std::numeric_limits<std::size_t>::max(), 40},
+      {0.7, 1, 8, 3, 2, 5, 25},   // mid-burst entry + budget exhaustion
+      {0.3, 0, 10, 1, 0, std::numeric_limits<std::size_t>::max(), 12},  // w = 0
+      {1.0, 5, 9, 4, 1, std::numeric_limits<std::size_t>::max(), 30},   // rate 1
+      {0.9, 7, 50, 2, 0, 3, 18},
+  };
+  const std::size_t trials = 4000;
+  int case_idx = 0;
+  for (const Case& c : cases) {
+    std::map<Counts, std::size_t> leg_dist, ref_dist;
+    Rng rng_leg(5000 + case_idx), rng_ref(9000 + case_idx);
+    for (std::size_t i = 0; i < trials; ++i) {
+      std::size_t burst = c.burst0;
+      const leap::BurstLeg leg = leap::sample_capped_burst_leg(
+          c.rate, c.w, c.t, c.max_burst, burst, c.budget, c.cap, rng_leg);
+      ++leg_dist[Counts{leg.deliveries, leg.omissions, leg.fire ? 1u : 0u,
+                        burst}];
+      // Reference: one delivery at a time, should_omit semantics.
+      std::size_t b = c.burst0, deliveries = 0, omissions = 0;
+      bool fire = false;
+      while (deliveries < c.cap) {
+        const bool om =
+            omissions < c.budget && b < c.max_burst && rng_ref.chance(c.rate);
+        ++deliveries;
+        if (om) {
+          ++omissions;
+          ++b;
+          continue;
+        }
+        b = 0;
+        if (rng_ref.below(c.t) < c.w) {
+          fire = true;
+          break;
+        }
+      }
+      ++ref_dist[Counts{deliveries, omissions, fire ? 1u : 0u, b}];
+    }
+    const auto [stat, df] = ppfs::testing::chi_square_homogeneity(
+        leg_dist, ref_dist, trials, trials);
+    EXPECT_LE(stat, ppfs::testing::chi_square_limit(df))
+        << "case " << case_idx << ": chi2=" << stat << " df=" << df;
+    ++case_idx;
+  }
+}
+
 TEST(ParseAdversarySpec, AcceptsTheDocumentedForms) {
   EXPECT_EQ(parse_adversary_spec("none").rate, 0.0);
   const AdversaryParams u = parse_adversary_spec("uo:0.25");
@@ -124,13 +215,28 @@ TEST(ParseAdversarySpec, AcceptsTheDocumentedForms) {
   const AdversaryParams b = parse_adversary_spec("budget:1000");
   EXPECT_EQ(b.kind, AdversaryKind::Budget);
   EXPECT_EQ(b.max_omissions, 1000u);
+  EXPECT_EQ(b.max_burst, 8u);  // the documented default
+}
+
+TEST(ParseAdversarySpec, AcceptsBurstCapOverrides) {
+  const AdversaryParams a = parse_adversary_spec("uo:0.25:burst=3");
+  EXPECT_DOUBLE_EQ(a.rate, 0.25);
+  EXPECT_EQ(a.max_burst, 3u);
+  const AdversaryParams inf = parse_adversary_spec("uo:burst=inf");
+  EXPECT_EQ(inf.max_burst, std::numeric_limits<std::size_t>::max());
+  const AdversaryParams b = parse_adversary_spec("budget:12:0.5:burst=2");
+  EXPECT_EQ(b.max_omissions, 12u);
+  EXPECT_DOUBLE_EQ(b.rate, 0.5);
+  EXPECT_EQ(b.max_burst, 2u);
 }
 
 TEST(ParseAdversarySpec, RejectsMalformedSpecs) {
   for (const char* bad : {"warp", "uo:2.0", "no", "budget", "budget:x",
                           "uo:0.1:7", "uo:-1", "budget:1000:0.3:42",
                           "no1:0.1:7", "no:5:0.2:9", "budget:2.5",
-                          "budget:1e300", "no:1e300"}) {
+                          "budget:1e300", "no:1e300", "uo:0.1:burst=0",
+                          "uo:0.1:burst=x", "uo:0.1:burst=",
+                          "uo:0.1:burst=-1", "uo:0.1:burst=+2"}) {
     EXPECT_THROW((void)parse_adversary_spec(bad), std::invalid_argument)
         << bad;
   }

@@ -156,9 +156,52 @@ TEST(SimBatchEquivalence, OmissiveSknoMatchesStepwise) {
       3601, "skno/I3+budget");
 }
 
+TEST(SimBatchEquivalence, CappedBurstSknoMatchesStepwise) {
+  // Burst-capped adversary on SKnO (the non-transparent sim path): the
+  // event-punctuated loop's forced-real branch and burst bookkeeping must
+  // reproduce the step-wise adversary, omission stream included.
+  const std::size_t n = 8;
+  const Workload w = standard_workloads(n)[3];
+  expect_sim_engines_match(
+      w.protocol, w.initial,
+      spec_config("skno:o=3", std::nullopt,
+                  parse_adversary_spec("budget:8:0.6:burst=2")),
+      8 * n, 120, 3611, "skno/I3+capped-burst");
+}
+
+TEST(SimBatchEquivalence, CappedBurstSidMatchesStepwise) {
+  // Burst-capped UO on an omission-transparent source (SID): the batch
+  // engine runs the exact within-burst Markov leg instead of the binomial
+  // split, and the omission stream must still match.
+  const std::size_t n = 8;
+  const Workload w = standard_workloads(n)[0];  // or
+  expect_sim_engines_match(
+      w.protocol, w.initial,
+      spec_config("sid", std::nullopt, parse_adversary_spec("uo:0.5:burst=2")),
+      6 * n, 120, 3621, "sid/IO+capped-burst");
+}
+
+TEST(SimBatchEquivalence, SknoMatchesStepwiseWithOuterCacheOnAndOff) {
+  // The engine-level outcome cache and the delta path must be invisible
+  // in distribution: run the same SKnO workload with the outer cache
+  // forced on (explicit capacity) and forced off, against the step-wise
+  // engine.
+  const std::size_t n = 6;
+  auto p = make_pairing_protocol();
+  const auto st = pairing_states();
+  std::vector<State> init(n, st.consumer);
+  init[0] = init[1] = init[2] = st.producer;
+  SimEngineConfig on = spec_config("skno:o=1");
+  on.outcome_cache_capacity = 1u << 12;
+  expect_sim_engines_match(p, init, on, 8 * n, 100, 3631, "skno cache on");
+  SimEngineConfig off = spec_config("skno:o=1");
+  off.outcome_cache_capacity = 0;
+  expect_sim_engines_match(p, init, off, 8 * n, 100, 3641, "skno cache off");
+}
+
 TEST(SimBatchEquivalence, DeterministicSeedRegression) {
   // Pin the integer-only reference path (SimBatchSystem::step draws ids
-  // from Fenwick prefix searches and the omission process; no
+  // from CountIndex inverse-CDF scans and the omission process; no
   // floating-point leap sampling), so a behavior change in the interning,
   // the samplers or the SKnO core shows up as an exact mismatch on every
   // platform.

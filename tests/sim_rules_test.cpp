@@ -194,10 +194,137 @@ TEST(SknoRuleSource, FactoredNoopStructureHolds) {
   }
 }
 
+// Minimal protocol with an arbitrary state count (identity delta): only
+// used to probe the token-packing limits of the SKnO encoding.
+class WideProtocol final : public Protocol {
+ public:
+  explicit WideProtocol(std::size_t q) : q_(q), init_{0} {}
+  [[nodiscard]] std::size_t num_states() const override { return q_; }
+  [[nodiscard]] StatePair delta(State s, State r) const override {
+    return {s, r};
+  }
+  [[nodiscard]] std::string name() const override { return "wide"; }
+  [[nodiscard]] const std::vector<State>& initial_states() const override {
+    return init_;
+  }
+
+ private:
+  std::size_t q_;
+  std::vector<State> init_;
+};
+
 TEST(SknoRuleSource, RejectsUnpackableParameters) {
+  // The u32 token packing (kind 2 | q 12 | qr 12 | index 6) supports at
+  // most 4094 simulated states (0xfff is the kNoState sentinel) and
+  // omission bounds o <= 62 (run indices 1..o+1 in 6 bits). Construction
+  // must reject out-of-range protocols loudly instead of silently
+  // corrupting the packed fields.
   auto p = make_pairing_protocol();
   EXPECT_THROW(SknoRuleSource(p, Model::I3, 63), std::invalid_argument);
   EXPECT_NO_THROW(SknoRuleSource(p, Model::I3, 62));
+  try {
+    SknoRuleSource bad(p, Model::I3, 63);
+    FAIL() << "o = 63 must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("o <= 62"), std::string::npos)
+        << e.what();
+  }
+
+  EXPECT_NO_THROW(SknoRuleSource(std::make_shared<WideProtocol>(4094),
+                                 Model::I3, 1));
+  EXPECT_THROW(SknoRuleSource(std::make_shared<WideProtocol>(4095),
+                              Model::I3, 1),
+               std::invalid_argument);
+  try {
+    SknoRuleSource bad(std::make_shared<WideProtocol>(5000), Model::I3, 1);
+    FAIL() << "num_states = 5000 must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("4094"), std::string::npos)
+        << e.what();
+  }
+}
+
+// Encode/patch/decode fuzz: random SKnO step sequences must yield
+// byte-identical interned states whether successors are built through the
+// patch API (header tweak + queue-slot edits via
+// StateUniverse::intern_patched, g/receive caches on) or through full
+// re-serialization of the stepped agent records. Covers every supported
+// model, omissive draws with random sides, and several omission bounds.
+TEST(SknoRuleSource, PatchAndFullSerializationAgreeByteForByte) {
+  struct Case {
+    Model model;
+    std::size_t o;
+    double omission_rate;
+  };
+  const Case cases[] = {
+      {Model::I3, 2, 0.2},
+      {Model::I3, 0, 0.3},
+      {Model::I4, 1, 0.25},
+      {Model::T3, 1, 0.25},
+      {Model::IT, 0, 0.0},
+  };
+  const std::size_t n = 6;
+  const Workload w = standard_workloads(n)[3];  // exact-majority
+  int case_idx = 0;
+  for (const Case& c : cases) {
+    SknoRuleSource patched(w.protocol, c.model, c.o);
+    SknoRuleSource full(w.protocol, c.model, c.o);
+    full.set_use_patches(false);
+    ASSERT_TRUE(patched.use_patches());
+    std::vector<State> ids_p = patched.intern_initial(w.initial);
+    std::vector<State> ids_f = full.intern_initial(w.initial);
+    ASSERT_EQ(ids_p, ids_f);
+    Rng rng(4242 + case_idx);
+    for (int step = 0; step < 3000; ++step) {
+      Interaction ia = uniform_ordered_pair(rng, n);
+      InteractionClass cls = InteractionClass::Real;
+      if (c.omission_rate > 0.0 && rng.chance(c.omission_rate)) {
+        const std::uint64_t side = rng.below(3);
+        cls = omission_class_for(
+            c.model, side == 0 ? OmitSide::Both
+                               : side == 1 ? OmitSide::Starter
+                                           : OmitSide::Reactor);
+      }
+      const StatePair out_p =
+          patched.outcome(cls, ids_p[ia.starter], ids_p[ia.reactor]);
+      const StatePair out_f =
+          full.outcome(cls, ids_f[ia.starter], ids_f[ia.reactor]);
+      // No releases happen in this test, so new encodings are interned in
+      // the same order on both sides: ids AND bytes must agree.
+      ASSERT_EQ(out_p, out_f) << "case " << case_idx << " step " << step;
+      ASSERT_EQ(patched.state_encoding(out_p.starter),
+                full.state_encoding(out_f.starter))
+          << "case " << case_idx << " step " << step;
+      ASSERT_EQ(patched.state_encoding(out_p.reactor),
+                full.state_encoding(out_f.reactor))
+          << "case " << case_idx << " step " << step;
+      ids_p[ia.starter] = out_p.starter;
+      ids_p[ia.reactor] = out_p.reactor;
+      ids_f[ia.starter] = out_f.starter;
+      ids_f[ia.reactor] = out_f.reactor;
+    }
+    ++case_idx;
+  }
+}
+
+TEST(StateUniverse, InternPatchedMatchesManualEdits) {
+  StateUniverse u;
+  const State base = u.intern(std::string("\x01\x02\x03\x04\x05", 5));
+  // Replace byte 1, insert two bytes at 3 (post-replace offsets), erase
+  // the original trailing byte.
+  const ByteEdit edits[] = {ByteEdit::replace(1, {"\x09", 1}),
+                            ByteEdit::insert(3, {"\x0a\x0b", 2}),
+                            ByteEdit::erase(6, 1)};
+  const State patched = u.intern_patched(base, edits);
+  EXPECT_EQ(u.encoding(patched), std::string("\x01\x09\x03\x0a\x0b\x04", 6));
+  // Patching to an existing encoding dedupes onto the same id.
+  const ByteEdit noop_edits[] = {ByteEdit::replace(0, {"\x01", 1})};
+  EXPECT_EQ(u.intern_patched(base, noop_edits), base);
+  // Out-of-range edits are rejected.
+  const ByteEdit bad[] = {ByteEdit::erase(4, 2)};
+  EXPECT_THROW((void)u.intern_patched(base, bad), std::out_of_range);
+  const ByteEdit bad2[] = {ByteEdit::insert(6, {"x", 1})};
+  EXPECT_THROW((void)u.intern_patched(base, bad2), std::out_of_range);
 }
 
 }  // namespace
