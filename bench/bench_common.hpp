@@ -15,6 +15,9 @@
 
 #include "engine/runner.hpp"
 #include "engine/workload_runner.hpp"
+#include "exp/replica_runner.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
 #include "protocols/registry.hpp"
 #include "sched/adversary.hpp"
 #include "sim/simulator.hpp"
@@ -33,6 +36,21 @@ inline std::uint64_t bench_seed(std::uint64_t fallback) {
     if (end != s && *end == '\0') return v;
   }
   return fallback;
+}
+
+// Run a declarative grid on all cores and render it through the shared
+// report writer — the paper-table harnesses declare ScenarioGrids and call
+// this instead of hand-rolling sweep loops and table printing.
+inline exp::Report run_grid(const exp::ScenarioGrid& grid) {
+  return exp::ReplicaRunner().run_grid(grid);
+}
+
+// Registry workload names for a grid's workload axis.
+inline std::vector<std::string> workload_names(const std::vector<Workload>& ws) {
+  std::vector<std::string> names;
+  names.reserve(ws.size());
+  for (const Workload& w : ws) names.push_back(w.name);
+  return names;
 }
 
 struct SimMeasurement {
@@ -125,6 +143,13 @@ class JsonReport {
   void add_ratio(const std::string& name, std::size_t n,
                  const std::string& model, double speedup) {
     add_row(name, n, model, "speedup", speedup);
+  }
+
+  // A measurement in an explicitly named unit (rows that are neither
+  // interaction rates nor ratios — replica throughput, thread counts).
+  void add_metric(const std::string& name, std::size_t n,
+                  const std::string& model, const char* key, double value) {
+    add_row(name, n, model, key, value);
   }
 
   ~JsonReport() {

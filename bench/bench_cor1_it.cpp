@@ -2,6 +2,11 @@
 // two-way protocol in the (non-omissive) Immediate Transmission model with
 // Theta(|Q_P| log n) bits per agent.
 //
+// Tables 1–2 are declarative ScenarioGrids; Table 3 sweeps a programmatic
+// protocol family (linear thresholds of growing |Q_P|) through the same
+// experiment layer via ScenarioSpec::custom, so all three render through
+// the shared exp::Report writer.
+//
 //  Table 1: workload sweep in IT.
 //  Table 2: memory scaling in n for fixed |Q_P| (log-like growth of bits).
 //  Table 3: memory scaling in |Q_P| for fixed n, using the linear-
@@ -10,28 +15,23 @@
 
 #include "bench_common.hpp"
 #include "protocols/linear.hpp"
-#include "sim/skno.hpp"
 
 namespace ppfs {
 namespace {
 
 void workload_table() {
   bench::banner("COR 1 / Table 1: SKnO(IT, o=0) over the workload suite, n=8");
-  TextTable t({"workload", "converged", "interactions", "sim pairs", "overhead",
-               "matching"});
-  const std::size_t n = 8;
-  for (const Workload& w : standard_workloads(n)) {
-    SknoSimulator sim(w.protocol, Model::IT, 0, w.initial);
-    UniformScheduler sched(n);
-    Rng rng(111);
-    RunOptions opt;
-    opt.max_steps = 2'000'000;
-    const auto m = bench::measure_simulation(sim, w, sched, rng, opt, 4 * n);
-    t.add_row({w.name, fmt_bool(m.converged), std::to_string(m.interactions),
-               std::to_string(m.simulated_pairs), fmt_double(m.overhead, 1),
-               m.matching_ok ? "ok" : "FAILED"});
-  }
-  t.print(std::cout);
+  exp::ScenarioGrid g;
+  g.workloads = bench::workload_names(standard_workloads(8));
+  g.sizes = {8};
+  g.models = {"IT"};
+  g.sims = {"skno:o=0"};
+  g.engines = {"native"};
+  g.verify_matching = true;
+  g.max_steps = 2'000'000;
+  g.trials = 4;
+  g.seed = bench::bench_seed(111);
+  bench::run_grid(g).print_table(std::cout);
   std::cout << "\nWith constant memory IT is strictly weaker than TW "
                "(Angluin et al. 2005); Corollary 1's point is that "
                "Theta(|Q_P| log n) extra bits close the gap.\n";
@@ -39,44 +39,56 @@ void workload_table() {
 
 void memory_vs_n() {
   bench::banner("COR 1 / Table 2: bits per agent vs n (|Q_P| fixed)");
-  TextTable t({"n", "max tokens/agent", "max bits/agent", "log2(n)"});
-  for (std::size_t n : {4, 8, 16, 32, 64, 128, 256}) {
-    const Workload w = core_workloads(n)[3];  // pairing, |Q_P| = 4
-    SknoSimulator sim(w.protocol, Model::IT, 0, w.initial);
-    UniformScheduler sched(n);
-    Rng rng(222 + n);
-    (void)run_steps(sim, sched, rng, 40'000 + 400 * n);
-    std::size_t max_bits = 0;
-    for (AgentId a = 0; a < n; ++a)
-      max_bits = std::max(max_bits, sim.memory_bits(a));
-    t.add_row({std::to_string(n), std::to_string(sim.stats().max_queue),
-               std::to_string(max_bits),
-               fmt_double(std::log2(static_cast<double>(n)), 1)});
+  // The mixing budget grows with n (40'000 + 400 n in the original
+  // harness), so each size is its own one-point grid stitched into one
+  // report.
+  exp::Report report;
+  for (const std::size_t n : {4, 8, 16, 32, 64, 128, 256}) {
+    exp::ScenarioGrid g;
+    g.workloads = {"pairing"};  // |Q_P| = 4
+    g.sizes = {n};
+    g.models = {"IT"};
+    g.sims = {"skno:o=0"};
+    g.engines = {"native"};
+    g.fixed_steps = 40'000 + 400 * n;
+    g.trials = 2;
+    g.seed = bench::bench_seed(222) + n;
+    report.extend(bench::run_grid(g));
   }
-  t.print(std::cout);
+  report.print_table(std::cout);
+  std::cout << "\nCompare max_bits against log2(n): 2.0 at n=4 up to 8.0 at "
+               "n=256.\n";
 }
 
 void memory_vs_qp() {
   bench::banner("COR 1 / Table 3: bits per agent vs |Q_P| (n fixed at 16)");
-  TextTable t({"protocol", "|Q_P|", "max bits/agent"});
   const std::size_t n = 16;
-  for (std::uint32_t k : {2, 4, 8, 16, 32}) {
+  exp::Report report;
+  exp::ReplicaRunner runner;
+  for (const std::uint32_t k : {2, 4, 8, 16, 32}) {
     const LinearThresholdSpec spec{{0, 1}, k};
     auto p = make_linear_threshold(spec);
-    std::vector<State> init;
+    auto w = std::make_shared<Workload>();
+    w->name = p->name() + "(|Q|=" + std::to_string(p->num_states()) + ")";
+    w->protocol = p;
     for (std::size_t i = 0; i < n; ++i)
-      init.push_back(linear_threshold_input(spec, i % 2));
-    SknoSimulator sim(p, Model::IT, 0, init);
-    UniformScheduler sched(n);
-    Rng rng(333 + k);
-    (void)run_steps(sim, sched, rng, 60'000);
-    std::size_t max_bits = 0;
-    for (AgentId a = 0; a < n; ++a)
-      max_bits = std::max(max_bits, sim.memory_bits(a));
-    t.add_row({p->name(), std::to_string(p->num_states()),
-               std::to_string(max_bits)});
+      w->initial.push_back(linear_threshold_input(spec, i % 2));
+
+    exp::ScenarioSpec s;
+    s.workload = w->name;
+    s.custom = std::move(w);
+    s.n = n;
+    s.model = Model::IT;
+    s.sim = "skno:o=0";
+    s.engine = "native";
+    s.fixed_steps = 60'000;
+    s.trials = 2;
+    s.seed = bench::bench_seed(333) + k;
+    auto outcome = runner.run(s);
+    report.add(std::move(s), std::move(outcome.aggregate),
+               std::move(outcome.replicas));
   }
-  t.print(std::cout);
+  report.print_table(std::cout);
   std::cout << "\nShape to observe: bits grow with the simulated state-space "
                "size (token tags) and only logarithmically with n.\n";
 }

@@ -7,9 +7,10 @@
 //           outcome-set equality, omission-avoidance/no-op embeddings for
 //           the corresponding inclusion).
 //  Table 3: native computability spot checks — what the weak models run
-//           directly, without any simulator (OR/max/leader in IO, beacon
-//           protocol in IT), and that two-way tables like Pairing do not
-//           even fit the one-way shape.
+//           directly, without any simulator, as a declarative ScenarioGrid
+//           over the one-way workload registry (OR/max/leader in IO, the
+//           beacon protocol in IT), plus the shape check that two-way
+//           tables like Pairing do not even fit the one-way form.
 #include "bench_common.hpp"
 #include "engine/native.hpp"
 #include "protocols/oneway.hpp"
@@ -46,65 +47,37 @@ void arrows_table() {
   t.print(std::cout);
 }
 
-bool run_io_native(const std::shared_ptr<const OneWayProtocol>& p,
-                   std::vector<State> init, int expected) {
-  OneWaySystem sys(p, Model::IO, std::move(init));
-  UniformScheduler sched(sys.size());
-  Rng rng(17);
-  const auto res = run_until(sys, sched, rng, [&](const OneWaySystem& s) {
-    return s.consensus_output() == expected;
-  });
-  return res.converged;
-}
-
 void native_computability() {
   bench::banner("FIG1 / Table 3: native computability in the weak models");
-  TextTable t({"protocol", "model", "task", "result"});
-
-  t.add_row({"io-or", "IO", "or-epidemic, n=16",
-             run_io_native(make_io_or(),
-                           [] {
-                             std::vector<State> v(16, 0);
-                             v[7] = 1;
-                             return v;
-                           }(),
-                           1)
-                 ? "converged"
-                 : "FAILED"});
-  t.add_row({"io-max", "IO", "max of inputs, n=12",
-             run_io_native(make_io_max(8), {0, 3, 7, 1, 2, 5, 0, 4, 6, 1, 0, 2}, 7)
-                 ? "converged"
-                 : "FAILED"});
+  exp::Report report;
   {
-    OneWaySystem sys(make_io_leader(), Model::IO, std::vector<State>(10, 0));
-    UniformScheduler sched(10);
-    Rng rng(23);
-    const auto res = run_until(sys, sched, rng, [](const OneWaySystem& s) {
-      std::size_t leaders = 0;
-      for (State q : s.states())
-        if (q == 0) ++leaders;
-      return leaders == 1;
-    });
-    t.add_row({"io-leader", "IO", "elect exactly one leader, n=10",
-               res.converged ? "converged" : "FAILED"});
+    // IO runs everything with g = id: or/max epidemics, leader election,
+    // the cancellation majority standing in for exact majority.
+    exp::ScenarioGrid g;
+    g.workloads = {"or", "max", "leader", "exact-majority"};
+    g.sizes = {16};
+    g.models = {"IO"};
+    g.engines = {"native"};
+    g.trials = 4;
+    g.seed = bench::bench_seed(1701);
+    report.extend(bench::run_grid(g));
   }
   {
-    auto p = make_it_or_with_beacon();
-    std::vector<State> init(12, 0);
-    init[3] = 2;  // bit set, phase 0
-    OneWaySystem sys(p, Model::IT, init);
-    UniformScheduler sched(12);
-    Rng rng(29);
-    const auto res = run_until(sys, sched, rng, [&](const OneWaySystem& s) {
-      return s.consensus_output() == 1;
-    });
-    t.add_row({"it-or-beacon", "IT", "or with starter-side beacon, n=12",
-               res.converged ? "converged" : "FAILED"});
+    // IT additionally admits non-identity g: the starter-side beacon.
+    exp::ScenarioGrid g;
+    g.workloads = {"beacon-or"};
+    g.sizes = {16};
+    g.models = {"IT"};
+    g.engines = {"native"};
+    g.trials = 4;
+    g.seed = bench::bench_seed(1702);
+    report.extend(bench::run_grid(g));
   }
-  t.add_row({"pairing", "IT/IO", "fits one-way transition shape?",
-             fits_it_shape(*make_pairing_protocol()) ? "yes (unexpected!)"
-                                                     : "no (two-way only)"});
-  t.print(std::cout);
+  report.print_table(std::cout);
+  std::cout << "\npairing fits the one-way transition shape? "
+            << (fits_it_shape(*make_pairing_protocol()) ? "yes (unexpected!)"
+                                                        : "no (two-way only)")
+            << "\n";
 }
 
 }  // namespace

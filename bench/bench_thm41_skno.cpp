@@ -2,6 +2,12 @@
 // every two-way protocol in I3/I4 when the total number of omissions is
 // bounded by the known o.
 //
+// Each table is a declarative ScenarioGrid (src/exp/scenario.hpp) executed
+// on all cores by the replica runner and rendered through the shared
+// exp::Report writer; matching verification and the simulator memory
+// counters arrive as report extras (matching_ok / overhead / max_bits /
+// max_queue).
+//
 //  Table 1: workload sweep under I3 with a budgeted adversary — verified
 //           convergence + matching for every library workload.
 //  Table 2: interaction overhead (physical interactions per simulated
@@ -14,82 +20,77 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "sim/skno.hpp"
 
 namespace ppfs {
 namespace {
 
 void workload_table() {
   bench::banner("THM 4.1 / Table 1: SKnO(I3) over the workload suite, n=8, o=2");
-  TextTable t({"workload", "converged", "interactions", "omissions",
-               "sim pairs", "matching"});
-  const std::size_t n = 8, o = 2;
-  for (const Workload& w : standard_workloads(n)) {
-    SknoSimulator sim(w.protocol, Model::I3, o, w.initial);
-    auto sched = bench::budget_adversary(n, 0.05, o);
-    Rng rng(4100);
-    RunOptions opt;
-    opt.max_steps = 2'000'000;
-    const auto m = bench::measure_simulation(sim, w, *sched, rng, opt, 4 * n);
-    t.add_row({w.name, fmt_bool(m.converged), std::to_string(m.interactions),
-               std::to_string(m.omissions), std::to_string(m.simulated_pairs),
-               m.matching_ok ? "ok" : "FAILED"});
-  }
-  t.print(std::cout);
+  exp::ScenarioGrid g;
+  g.workloads = bench::workload_names(standard_workloads(8));
+  g.sizes = {8};
+  g.models = {"I3"};
+  g.adversaries = {"budget:2:0.05"};
+  g.sims = {"skno:o=2"};
+  g.engines = {"native"};
+  g.verify_matching = true;
+  g.max_steps = 2'000'000;
+  g.trials = 4;
+  g.seed = bench::bench_seed(4100);
+  bench::run_grid(g).print_table(std::cout);
 }
 
 void overhead_table() {
   bench::banner("THM 4.1 / Table 2: overhead (interactions per simulated step)");
-  TextTable t({"model", "n", "o", "overhead", "sim pairs"});
-  for (Model model : {Model::I3, Model::I4}) {
-    for (std::size_t n : {4, 8, 16}) {
-      for (std::size_t o : {0, 1, 2, 3}) {
-        if (model == Model::I4 && o == 0) continue;  // same as I3 fault-free
-        const Workload w = core_workloads(n)[3];     // pairing
-        SknoSimulator sim(w.protocol, model, o, w.initial);
-        auto sched = bench::budget_adversary(n, 0.02, o);
-        Rng rng(4200 + n * 10 + o);
-        RunOptions opt;
-        opt.max_steps = 12'000'000;
-        const auto m = bench::measure_simulation(sim, w, *sched, rng, opt, 4 * n);
-        t.add_row({model_name(model), std::to_string(n), std::to_string(o),
-                   m.converged ? fmt_double(m.overhead, 1) : "no-conv",
-                   std::to_string(m.simulated_pairs)});
-      }
-    }
+  exp::Report report;
+  for (const std::size_t o : {0, 1, 2, 3}) {
+    exp::ScenarioGrid g;
+    g.workloads = {"pairing"};
+    g.sizes = {4, 8, 16};
+    // I4 with o = 0 is the same chain as I3 fault-free; skip the duplicate.
+    g.models = o == 0 ? std::vector<std::string>{"I3"}
+                      : std::vector<std::string>{"I3", "I4"};
+    g.adversaries = {"budget:" + std::to_string(o) + ":0.02"};
+    g.sims = {"skno:o=" + std::to_string(o)};
+    g.engines = {"native"};
+    g.verify_matching = true;
+    g.max_steps = 12'000'000;
+    g.trials = 2;
+    g.seed = bench::bench_seed(4200) + o;
+    report.extend(bench::run_grid(g));
   }
-  t.print(std::cout);
+  report.print_table(std::cout);
   std::cout << "\nShape to observe: overhead grows with o (token redundancy) "
                "and with n (relayed token routing).\n";
 }
 
 void memory_table() {
   bench::banner("THM 4.1 / Table 3: memory vs the Theta(log n |Q_P| (o+1)) bound");
-  TextTable t({"n", "o", "|Q_P|", "max tokens/agent", "max bits/agent",
-               "bound ~ log2(n)*|Q_P|*(o+1)"});
-  for (std::size_t n : {4, 8, 16, 32, 64}) {
-    for (std::size_t o : {1, 2}) {
-      const Workload w = core_workloads(n)[3];  // pairing, |Q_P| = 4
-      SknoSimulator sim(w.protocol, Model::I3, o, w.initial);
-      auto sched = bench::budget_adversary(n, 0.02, o);
-      Rng rng(4300 + n + o);
-      (void)run_steps(sim, *sched, rng, 100'000);
-      std::size_t max_bits = 0;
-      for (AgentId a = 0; a < n; ++a)
-        max_bits = std::max(max_bits, sim.memory_bits(a));
-      const double bound = std::log2(static_cast<double>(n)) *
-                           static_cast<double>(w.protocol->num_states()) *
-                           static_cast<double>(o + 1);
-      t.add_row({std::to_string(n), std::to_string(o),
-                 std::to_string(w.protocol->num_states()),
-                 std::to_string(sim.stats().max_queue), std::to_string(max_bits),
-                 fmt_double(bound, 0)});
-    }
+  exp::Report report;
+  for (const std::size_t o : {1, 2}) {
+    exp::ScenarioGrid g;
+    g.workloads = {"pairing"};  // |Q_P| = 4
+    g.sizes = {4, 8, 16, 32, 64};
+    g.models = {"I3"};
+    g.adversaries = {"budget:" + std::to_string(o) + ":0.02"};
+    g.sims = {"skno:o=" + std::to_string(o)};
+    g.engines = {"native"};
+    g.fixed_steps = 100'000;
+    g.trials = 2;
+    g.seed = bench::bench_seed(4300) + o;
+    report.extend(bench::run_grid(g));
   }
-  t.print(std::cout);
-  std::cout << "\nShape to observe: bits grow slowly (logarithmically) in n "
-               "for fixed |Q_P| and o — the counting representation of the "
-               "paper's Theta(log n |Q_P| (o+1)) bound.\n";
+  report.print_table(std::cout);
+  std::cout << "\nBound ~ log2(n) * |Q_P| * (o+1) bits, |Q_P| = 4:";
+  for (const std::size_t n : {4, 8, 16, 32, 64}) {
+    std::cout << "  n=" << n << ": o=1 -> "
+              << fmt_double(std::log2(static_cast<double>(n)) * 4 * 2, 0)
+              << ", o=2 -> "
+              << fmt_double(std::log2(static_cast<double>(n)) * 4 * 3, 0);
+  }
+  std::cout << "\nShape to observe: max_bits grows slowly (logarithmically) "
+               "in n for fixed |Q_P| and o — the counting representation of "
+               "the paper's Theta(log n |Q_P| (o+1)) bound.\n";
 }
 
 }  // namespace

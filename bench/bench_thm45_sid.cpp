@@ -3,56 +3,54 @@
 // reactor-side and omissions are global no-ops, in ALL ten models, under
 // the unrestricted (malignant) UO adversary.
 //
+// Every table is a declarative ScenarioGrid run by the experiment layer;
+// matching verification and the rollback counter ride along as report
+// extras.
+//
 //  Table 1: workload sweep in IO (fault-free weakest model).
 //  Table 2: the full model sweep under UO omissions at 30% rate.
 //  Table 3: overhead and rollback rate vs n.
 #include "bench_common.hpp"
-#include "sim/sid.hpp"
 
 namespace ppfs {
 namespace {
 
 void workload_table() {
   bench::banner("THM 4.5 / Table 1: SID over the workload suite in IO, n=8");
-  TextTable t({"workload", "converged", "interactions", "sim pairs", "overhead",
-               "matching"});
-  const std::size_t n = 8;
-  for (const Workload& w : standard_workloads(n)) {
-    SidSimulator sim(w.protocol, Model::IO, w.initial);
-    UniformScheduler sched(n);
-    Rng rng(4501);
-    RunOptions opt;
-    opt.max_steps = 2'000'000;
-    const auto m = bench::measure_simulation(sim, w, sched, rng, opt, 2 * n);
-    t.add_row({w.name, fmt_bool(m.converged), std::to_string(m.interactions),
-               std::to_string(m.simulated_pairs), fmt_double(m.overhead, 1),
-               m.matching_ok ? "ok" : "FAILED"});
-  }
-  t.print(std::cout);
+  exp::ScenarioGrid g;
+  g.workloads = bench::workload_names(standard_workloads(8));
+  g.sizes = {8};
+  g.models = {"IO"};
+  g.sims = {"sid"};
+  g.engines = {"native"};
+  g.verify_matching = true;
+  g.max_unmatched_per_n = 2;  // SID/naming hold the tighter historical bar
+  g.max_steps = 2'000'000;
+  g.trials = 4;
+  g.seed = bench::bench_seed(4501);
+  bench::run_grid(g).print_table(std::cout);
 }
 
 void model_sweep() {
   bench::banner(
       "THM 4.5 / Table 2: SID under every model, UO adversary at rate 0.3");
-  TextTable t({"model", "converged", "interactions", "omissions", "sim pairs",
-               "matching"});
-  const std::size_t n = 8;
-  for (Model model : kAllModels) {
-    const Workload w = core_workloads(n)[1];  // exact majority
-    SidSimulator sim(w.protocol, model, w.initial);
-    std::unique_ptr<Scheduler> sched =
-        is_omissive(model) ? bench::uo_adversary(n, 0.3)
-                           : std::make_unique<UniformScheduler>(n);
-    Rng rng(4502);
-    RunOptions opt;
-    opt.max_steps = 2'000'000;
-    const auto m = bench::measure_simulation(sim, w, *sched, rng, opt, 2 * n);
-    t.add_row({model_name(model), fmt_bool(m.converged),
-               std::to_string(m.interactions), std::to_string(m.omissions),
-               std::to_string(m.simulated_pairs),
-               m.matching_ok ? "ok" : "FAILED"});
+  exp::Report report;
+  for (const Model model : kAllModels) {
+    exp::ScenarioGrid g;
+    g.workloads = {"exact-majority"};
+    g.sizes = {8};
+    g.models = {model_name(model)};
+    g.adversaries = {is_omissive(model) ? "uo:0.3" : "none"};
+    g.sims = {"sid"};
+    g.engines = {"native"};
+    g.verify_matching = true;
+    g.max_unmatched_per_n = 2;  // SID/naming hold the tighter historical bar
+    g.max_steps = 2'000'000;
+    g.trials = 4;
+    g.seed = bench::bench_seed(4502);
+    report.extend(bench::run_grid(g));
   }
-  t.print(std::cout);
+  report.print_table(std::cout);
   std::cout << "\nThe entire IDs column of Figure 4 is green: omissions are "
                "no-ops for a reactor-side-only protocol, so even the "
                "malignant UO adversary only slows SID down.\n";
@@ -60,25 +58,18 @@ void model_sweep() {
 
 void overhead_table() {
   bench::banner("THM 4.5 / Table 3: overhead and rollbacks vs n (IO, pairing)");
-  TextTable t({"n", "overhead", "sim pairs", "rollbacks", "rollbacks/pair"});
-  for (std::size_t n : {4, 8, 16, 32, 64}) {
-    const Workload w = core_workloads(n)[3];
-    SidSimulator sim(w.protocol, Model::IO, w.initial);
-    UniformScheduler sched(n);
-    Rng rng(4503 + n);
-    RunOptions opt;
-    opt.max_steps = 4'000'000;
-    const auto m = bench::measure_simulation(sim, w, sched, rng, opt, 2 * n);
-    const auto& st = sim.stats();
-    t.add_row({std::to_string(n), m.converged ? fmt_double(m.overhead, 1) : "no-conv",
-               std::to_string(m.simulated_pairs), std::to_string(st.rollbacks),
-               m.simulated_pairs
-                   ? fmt_double(static_cast<double>(st.rollbacks) /
-                                    static_cast<double>(m.simulated_pairs),
-                                2)
-                   : "-"});
-  }
-  t.print(std::cout);
+  exp::ScenarioGrid g;
+  g.workloads = {"pairing"};
+  g.sizes = {4, 8, 16, 32, 64};
+  g.models = {"IO"};
+  g.sims = {"sid"};
+  g.engines = {"native"};
+  g.verify_matching = true;
+  g.max_unmatched_per_n = 2;  // SID/naming hold the tighter historical bar
+  g.max_steps = 4'000'000;
+  g.trials = 2;
+  g.seed = bench::bench_seed(4503);
+  bench::run_grid(g).print_table(std::cout);
   std::cout << "\nShape to observe: overhead grows with n — the lock "
                "handshake costs ~3 targeted observations, and the uniform "
                "scheduler needs Theta(n^2) interactions to deliver each.\n";

@@ -5,6 +5,8 @@
 //   usage: ppfs_cli [workload] [simulator] [model] [n] [rate] [budget] [seed]
 //          ppfs_cli --engine=native|batch [--model=M] [--adversary=SPEC]
 //                   [--simulate=SIM] [workload] [n] [seed]
+//          ppfs_cli --sweep=GRID [--trials=N] [--threads=K] [--seed=S]
+//                   [--out=table|json|csv] [--out-file=PATH]
 //
 //     workload   or | and | approx-majority | exact-majority | leader |
 //                threshold-true | threshold-false | mod | pairing
@@ -46,7 +48,24 @@
 //   distribution-exact execution over a fixed budget instead (they answer
 //   "NO" once the budget runs out).
 //
+//   --sweep runs a declarative scenario grid (src/exp/) instead of a single
+//   trajectory: the GRID string crosses axes (comma-separated values for
+//   n / model / engine / adv / sim) into concrete run points, executes
+//   `trials` replicas of every point on a --threads-sized worker pool, and
+//   reports mergeable aggregate statistics (convergence rate, interaction
+//   mean and p50/p90/p99, omission totals) through the shared exp::Report
+//   writer. Replica RNG streams are keyed per (point, trial), so the
+//   aggregate output is bit-identical for any --threads value. Grammar:
+//
+//     workload[,workload...]@key=value[:key=value...]
+//     axis keys   n (1e6 ok), model, engine, adv, sim   (comma = list)
+//     scalar keys trials, seed, steps (fixed-step runs), maxsteps,
+//                 checkevery, stable, probe=workload|activation, verify=0|1
+//
 //   examples:
+//     ppfs_cli --sweep='exact-majority@n=1e6:model=T3:adv=budget:1000:engine=batch'
+//              --trials=64 --threads=8 --out=json
+//     ppfs_cli --sweep='or,exact-majority@n=1000,10000:engine=batch:trials=32'
 //     ppfs_cli exact-majority skno I3 10 0.05 2 42
 //     ppfs_cli leader sid T3 12 0.3 uo 7
 //     ppfs_cli --engine=batch exact-majority 1000000 42
@@ -60,9 +79,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "engine/batch/dispatch.hpp"
 #include "engine/runner.hpp"
 #include "engine/workload_runner.hpp"
+#include "exp/replica_runner.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
 #include "protocols/registry.hpp"
 #include "sched/adversary.hpp"
 #include "sim/naming.hpp"
@@ -81,34 +105,74 @@ int usage(const char* msg) {
                "[budget] [seed]\n"
                "       ppfs_cli --engine=native|batch [--model=M] "
                "[--adversary=SPEC] [--simulate=SIM] [workload] [n] [seed]\n"
+               "       ppfs_cli --sweep=GRID [--trials=N] [--threads=K] "
+               "[--seed=S] [--out=table|json|csv] [--out-file=PATH]\n"
                "       SPEC = none|uo|no:Q|no1|budget:B[:rate], kind may "
                "carry @starter|@reactor|@both\n"
                "       SIM  = naive|skno:o=K|sid|naming (count-space "
-               "simulator run; default workload exact-majority-gap, n=50)\n";
+               "simulator run; default workload exact-majority-gap, n=50)\n"
+               "       GRID = workload[,workload...]@key=value[:key=value...]"
+               "\n"
+               "              axis keys (comma = list): n, model, engine, "
+               "adv, sim\n"
+               "              scalar keys: trials, seed, steps, maxsteps, "
+               "checkevery, stable, probe, verify\n"
+               "              e.g. 'or,exact-majority@n=1000,1e4:engine="
+               "batch:adv=budget:1000:trials=32'\n";
   return 2;
 }
 
-Workload find_workload(const std::string& name, std::size_t n) {
-  for (Workload& w : standard_workloads(n)) {
-    if (w.name.rfind(name, 0) == 0) return w;
-  }
-  throw std::invalid_argument("unknown workload '" + name + "'");
-}
+// Declarative grid sweep through the experiment layer: expand the grid,
+// run trials on the worker pool, emit one report. Exit 0 when no replica
+// failed (failure = a replica threw, not non-convergence).
+int run_sweep(const std::string& grid_text, std::optional<std::size_t> trials,
+              std::optional<std::size_t> threads,
+              std::optional<std::uint64_t> seed, const std::string& out_format,
+              const std::string& out_file) {
+  if (out_format != "table" && out_format != "json" && out_format != "csv")
+    return usage(("unknown --out format '" + out_format +
+                  "' (want table, json or csv)")
+                     .c_str());
+  exp::ScenarioGrid grid = exp::parse_grid(grid_text);
+  if (trials) grid.trials = *trials;
+  if (seed) grid.seed = *seed;
+  if (grid.trials == 0) return usage("--trials must be >= 1");
 
-OneWayWorkload find_one_way_workload(const std::string& name, std::size_t n,
-                                     Model model) {
-  for (OneWayWorkload& w : one_way_workloads(n)) {
-    // Prefix match; "exact-majority" resolves to "exact-majority-1way".
-    if (w.name.rfind(name, 0) == 0) {
-      if (model == Model::IO && !w.io)
-        throw std::invalid_argument("workload '" + w.name +
-                                    "' needs g != id, IO forbids it");
-      return w;
-    }
+  // Fail on an unwritable --out-file before the sweep runs, not after
+  // hours of replicas have nowhere to go.
+  std::ofstream file_out;
+  if (!out_file.empty()) {
+    file_out.open(out_file);
+    if (!file_out) return usage(("cannot write '" + out_file + "'").c_str());
   }
-  throw std::invalid_argument("unknown one-way workload '" + name +
-                              "' (try: or, max, leader, exact-majority, "
-                              "beacon-or)");
+
+  const std::vector<exp::ScenarioSpec> points = grid.expand();
+  const std::size_t total = points.size() * grid.trials;
+  std::size_t done = 0;
+  exp::RunnerOptions ropt;
+  if (threads) ropt.threads = *threads;
+  ropt.on_replica = [&](const exp::ScenarioSpec&, std::size_t,
+                        const exp::ReplicaResult& r) {
+    ++done;
+    std::cerr << "\r[" << done << "/" << total << " replicas]"
+              << (r.failed() ? " FAILED: " + r.error : "") << std::flush;
+    if (r.failed()) std::cerr << "\n";
+  };
+
+  exp::ReplicaRunner runner(ropt);
+  const exp::Report report = runner.run_points(points);
+  std::cerr << "\r" << std::string(40, ' ') << "\r";
+  std::cerr << points.size() << " grid points x " << grid.trials
+            << " trials on " << runner.threads() << " threads\n";
+
+  if (!out_file.empty()) {
+    report.write(file_out, out_format == "table" ? "json" : out_format);
+    std::cerr << "wrote " << out_file << "\n";
+    report.print_table(std::cout);
+  } else {
+    report.write(std::cout, out_format);
+  }
+  return report.any_failed() ? 1 : 0;
 }
 
 Model parse_model(const std::string& s) {
@@ -298,8 +362,42 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
 
   try {
-    // --engine=native|batch switches to the engine-facade run form.
+    // --sweep=GRID switches to the declarative grid form (src/exp/).
     std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && args[0].rfind("--sweep=", 0) == 0) {
+      const std::string grid_text = args[0].substr(8);
+      std::optional<std::size_t> trials;
+      std::optional<std::size_t> threads;
+      std::optional<std::uint64_t> sweep_seed;
+      std::string out_format = "table";
+      std::string out_file;
+      // stoul would silently wrap "--trials=-1" to a huge count and stop
+      // at trailing garbage ("--trials=8x" -> 8); demand digits only.
+      const auto parse_count = [](const std::string& flag,
+                                  const std::string& v) -> std::uint64_t {
+        if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+          throw std::invalid_argument("bad value '" + v + "' for " + flag);
+        return std::stoull(v);
+      };
+      for (std::size_t pos = 1; pos < args.size(); ++pos) {
+        if (args[pos].rfind("--trials=", 0) == 0)
+          trials = parse_count("--trials", args[pos].substr(9));
+        else if (args[pos].rfind("--threads=", 0) == 0)
+          threads = parse_count("--threads", args[pos].substr(10));
+        else if (args[pos].rfind("--seed=", 0) == 0)
+          sweep_seed = parse_count("--seed", args[pos].substr(7));
+        else if (args[pos].rfind("--out=", 0) == 0)
+          out_format = args[pos].substr(6);
+        else if (args[pos].rfind("--out-file=", 0) == 0)
+          out_file = args[pos].substr(11);
+        else
+          return usage(("unknown sweep flag '" + args[pos] + "'").c_str());
+      }
+      return run_sweep(grid_text, trials, threads, sweep_seed, out_format,
+                       out_file);
+    }
+
+    // --engine=native|batch switches to the engine-facade run form.
     if (!args.empty() && args[0].rfind("--engine=", 0) == 0) {
       const std::string kind = args[0].substr(9);
       std::optional<Model> model_opt;

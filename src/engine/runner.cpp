@@ -1,6 +1,6 @@
 #include "engine/workload_runner.hpp"
 
-#include "engine/batch/dispatch.hpp"
+#include "exp/scenario.hpp"
 
 namespace ppfs {
 
@@ -36,13 +36,16 @@ RunResult run_native_workload(const Workload& w, std::uint64_t seed,
 RunResult run_workload_with_engine(const std::string& engine_kind,
                                    const Workload& w, std::uint64_t seed,
                                    const RunOptions& opt, RunStats* stats_out) {
-  auto engine = make_engine(engine_kind, w.protocol, w.initial);
-  UniformScheduler sched(w.initial.size());
-  Rng rng(seed);
-  const RunResult res =
-      run_engine_until(*engine, sched, rng, workload_counts_probe(w), opt);
-  if (stats_out != nullptr) *stats_out = engine->stats();
-  return res;
+  exp::ScenarioSpec spec;
+  spec.workload = w.name;
+  spec.custom = std::make_shared<Workload>(w);
+  spec.n = w.initial.size();
+  spec.engine = engine_kind;
+  spec.seed = seed;
+  spec.max_steps = opt.max_steps;
+  spec.check_every = opt.check_every;
+  spec.stable_checks = opt.stable_checks;
+  return exp::run_replica(spec, /*trial=*/0, stats_out).run;
 }
 
 }  // namespace ppfs

@@ -19,9 +19,28 @@ class StreamStat {
     min_ = count_ == 1 ? v : std::min(min_, v);
   }
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double mean() const noexcept { return count_ ? sum_ / count_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return max_; }
   [[nodiscard]] double min() const noexcept { return min_; }
+
+  // Fold another summary in. Associative, and order-insensitive whenever
+  // the summed values make floating addition exact (integer-valued samples
+  // below 2^53 — interaction counts, token counts, rollback tallies — which
+  // is what the experiment layer feeds it).
+  void merge(const StreamStat& o) noexcept {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    max_ = std::max(max_, o.max_);
+    min_ = std::min(min_, o.min_);
+  }
+
+  friend bool operator==(const StreamStat&, const StreamStat&) = default;
 
  private:
   std::size_t count_ = 0;

@@ -23,10 +23,13 @@ workload_counts_probe(const Workload& w);
 [[nodiscard]] RunResult run_native_workload(const Workload& w, std::uint64_t seed,
                                             const RunOptions& opt = {});
 
-// Same run, but through the EngineDispatch facade (engine/batch/dispatch.hpp)
-// with the engine chosen by name: "native" replays the per-agent loop,
-// "batch" advances the count chain under the uniform scheduler. If
-// `stats_out` is non-null the engine's RunStats are copied there.
+// Same run, but through the experiment layer (exp/scenario.hpp): the
+// workload is wrapped in a single-trial ScenarioSpec and executed by
+// exp::run_replica with the engine chosen by name — "native" replays the
+// per-agent loop, "batch" advances the count chain under the uniform
+// scheduler. The replica RNG stream is keyed off (spec, seed, trial 0), so
+// the run is reproducible but not stream-compatible with a raw Rng(seed).
+// If `stats_out` is non-null the engine's RunStats are copied there.
 [[nodiscard]] RunResult run_workload_with_engine(const std::string& engine_kind,
                                                  const Workload& w,
                                                  std::uint64_t seed,

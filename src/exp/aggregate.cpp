@@ -1,0 +1,79 @@
+#include "exp/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ppfs::exp {
+
+void AggregateStats::add(const ReplicaResult& r) {
+  ++trials_;
+  if (r.failed()) {
+    ++failed_;
+    return;
+  }
+  const auto steps = static_cast<std::uint64_t>(r.run.steps);
+  samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), steps),
+                  steps);
+  interactions_.add(static_cast<double>(steps));
+  if (r.run.converged) {
+    ++converged_;
+    if (r.convergence_step != RunStats::kNoConvergence)
+      convergence_steps_.add(static_cast<double>(r.convergence_step));
+  }
+  omissions_ += r.run.omissions;
+  fires_ += r.fires;
+  noops_ += r.noops;
+  omissive_fires_ += r.omissive_fires;
+  for (const auto& [key, value] : r.extras) extras_[key].add(value);
+}
+
+void AggregateStats::merge(const AggregateStats& o) {
+  trials_ += o.trials_;
+  converged_ += o.converged_;
+  failed_ += o.failed_;
+  std::vector<std::uint64_t> merged;
+  merged.reserve(samples_.size() + o.samples_.size());
+  std::merge(samples_.begin(), samples_.end(), o.samples_.begin(),
+             o.samples_.end(), std::back_inserter(merged));
+  samples_ = std::move(merged);
+  interactions_.merge(o.interactions_);
+  convergence_steps_.merge(o.convergence_steps_);
+  omissions_ += o.omissions_;
+  fires_ += o.fires_;
+  noops_ += o.noops_;
+  omissive_fires_ += o.omissive_fires_;
+  for (const auto& [key, stat] : o.extras_) extras_[key].merge(stat);
+}
+
+std::uint64_t AggregateStats::interactions_quantile(double q) const {
+  if (samples_.empty()) return 0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: the smallest sample with rank >= ceil(q * count).
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+std::string AggregateStats::fingerprint() const {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "trials=" << trials_ << ";converged=" << converged_
+      << ";failed=" << failed_ << ";omissions=" << omissions_
+      << ";fires=" << fires_ << ";noops=" << noops_
+      << ";omissive_fires=" << omissive_fires_;
+  out << ";samples=";
+  for (const std::uint64_t s : samples_) out << s << ',';
+  out << ";interactions=" << interactions_.count() << ':' << interactions_.sum()
+      << ':' << interactions_.min() << ':' << interactions_.max();
+  out << ";conv_steps=" << convergence_steps_.count() << ':'
+      << convergence_steps_.sum() << ':' << convergence_steps_.min() << ':'
+      << convergence_steps_.max();
+  for (const auto& [key, stat] : extras_) {
+    out << ";extra." << key << '=' << stat.count() << ':' << stat.sum() << ':'
+        << stat.min() << ':' << stat.max();
+  }
+  return out.str();
+}
+
+}  // namespace ppfs::exp

@@ -1,0 +1,97 @@
+#include "exp/replica_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ppfs::exp {
+
+ReplicaRunner::ReplicaRunner(RunnerOptions options)
+    : options_(std::move(options)) {
+  threads_ = options_.threads;
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+ScenarioOutcome ReplicaRunner::run(const ScenarioSpec& spec) {
+  Report report = run_points({spec});
+  ScenarioOutcome out;
+  out.aggregate = report.rows().front().aggregate;
+  out.replicas = std::move(report.rows_mutable().front().replicas);
+  return out;
+}
+
+Report ReplicaRunner::run_points(const std::vector<ScenarioSpec>& points) {
+  struct Job {
+    std::size_t point;
+    std::size_t trial;
+  };
+  std::vector<Job> jobs;
+  std::vector<std::vector<ReplicaResult>> results(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const std::size_t trials = std::max<std::size_t>(1, points[p].trials);
+    results[p].resize(trials);
+    for (std::size_t t = 0; t < trials; ++t) jobs.push_back({p, t});
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex callback_mutex;
+
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
+      if (j >= jobs.size()) return;
+      const Job job = jobs[j];
+      ReplicaResult& slot = results[job.point][job.trial];
+      if (cancelled.load(std::memory_order_relaxed)) {
+        slot.error = "cancelled";
+      } else {
+        try {
+          slot = run_replica(points[job.point], job.trial);
+        } catch (const std::exception& e) {
+          slot.error = e.what();
+        } catch (...) {
+          slot.error = "unknown error";
+        }
+        if (slot.failed() && options_.cancel_on_failure)
+          cancelled.store(true, std::memory_order_relaxed);
+      }
+      if (options_.on_replica) {
+        const std::lock_guard<std::mutex> lock(callback_mutex);
+        options_.on_replica(points[job.point], job.trial, slot);
+      }
+    }
+  };
+
+  const std::size_t pool = std::min(threads_, std::max<std::size_t>(1, jobs.size()));
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t i = 0; i < pool; ++i) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Fold in trial order — the merge order is fixed by construction, never
+  // by scheduling, which is what keeps aggregates byte-identical across
+  // thread counts.
+  Report report;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    AggregateStats agg;
+    for (const ReplicaResult& r : results[p]) agg.add(r);
+    report.add(points[p], std::move(agg), std::move(results[p]));
+  }
+  return report;
+}
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                             const RunnerOptions& options) {
+  return ReplicaRunner(options).run(spec);
+}
+
+}  // namespace ppfs::exp

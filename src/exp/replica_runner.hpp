@@ -1,0 +1,80 @@
+// Multi-threaded replica execution for scenario sweeps.
+//
+// ReplicaRunner owns a fixed-size worker pool that drains a flattened
+// (point, trial) job list. Replica RNG streams are keyed — trial t of a
+// point runs with Rng(point_seed).split(t) — and every replica writes into
+// its own preallocated slot, so results and the per-point aggregates are
+// bit-identical no matter how many threads run or how the scheduler
+// interleaves them. Aggregation always folds completed replicas in trial
+// order.
+//
+// "Failure" means a replica threw (bad spec, engine invariant violation) —
+// not that it failed to converge; non-convergence is a legitimate
+// distributional outcome that convergence_rate reports. With
+// cancel_on_failure set, the first failure stops NEW replicas from
+// starting (in-flight ones finish); skipped replicas are recorded as
+// failed with error "cancelled". Which replicas get skipped depends on
+// scheduling, so the bit-identical guarantee above holds unconditionally
+// only for cancel_on_failure = false (the default) — or trivially on
+// failure-free sweeps, where cancellation never fires.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+
+namespace ppfs::exp {
+
+struct RunnerOptions {
+  // 0 = std::thread::hardware_concurrency (min 1). With threads == 1 no
+  // worker threads are spawned; replicas run inline on the caller.
+  std::size_t threads = 0;
+  bool cancel_on_failure = false;
+  // Invoked once per replica — completed or skipped-as-cancelled —
+  // serialized under a mutex (may be called from worker threads, but never
+  // concurrently); a progress counter driven by it always reaches the
+  // total replica count.
+  std::function<void(const ScenarioSpec&, std::size_t trial,
+                     const ReplicaResult&)>
+      on_replica;
+};
+
+// The outcome of one scenario point: the aggregate plus the per-replica
+// results it was folded from (trial order).
+struct ScenarioOutcome {
+  AggregateStats aggregate;
+  std::vector<ReplicaResult> replicas;
+};
+
+class ReplicaRunner {
+ public:
+  explicit ReplicaRunner(RunnerOptions options = {});
+
+  // Number of worker threads the pool will use.
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  // All trials of one point.
+  [[nodiscard]] ScenarioOutcome run(const ScenarioSpec& spec);
+
+  // A set of points (typically ScenarioGrid::expand()); the whole job list
+  // is drained by one pool, so small-trial points still saturate the
+  // machine. Report rows are in `points` order.
+  [[nodiscard]] Report run_points(const std::vector<ScenarioSpec>& points);
+
+  [[nodiscard]] Report run_grid(const ScenarioGrid& grid) {
+    return run_points(grid.expand());
+  }
+
+ private:
+  RunnerOptions options_;
+  std::size_t threads_;
+};
+
+// Convenience: run one scenario with default-constructed runner options
+// (override via `options`).
+[[nodiscard]] ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                                           const RunnerOptions& options = {});
+
+}  // namespace ppfs::exp

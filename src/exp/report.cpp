@@ -1,0 +1,212 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace ppfs::exp {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // specs never carry control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+[[nodiscard]] std::string fmt_num(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+// The union of extras keys across rows, in sorted order — the dynamic
+// column set for table/CSV output.
+[[nodiscard]] std::vector<std::string> extras_keys(
+    const std::vector<ReportRow>& rows) {
+  std::set<std::string> keys;
+  for (const ReportRow& row : rows)
+    for (const auto& [key, stat] : row.aggregate.extras()) keys.insert(key);
+  return {keys.begin(), keys.end()};
+}
+
+void write_summary_json(std::ostream& os, const char* key,
+                        const StreamStat& s) {
+  os << '"' << key << "\": ";
+  if (s.count() == 0) {
+    os << "null";
+    return;
+  }
+  os << "{ \"count\": " << s.count() << ", \"mean\": " << fmt_num(s.mean())
+     << ", \"min\": " << fmt_num(s.min()) << ", \"max\": " << fmt_num(s.max())
+     << " }";
+}
+
+}  // namespace
+
+void Report::add(ScenarioSpec spec, AggregateStats aggregate,
+                 std::vector<ReplicaResult> replicas) {
+  rows_.push_back(
+      {std::move(spec), std::move(aggregate), std::move(replicas)});
+}
+
+void Report::extend(Report other) {
+  for (ReportRow& row : other.rows_) rows_.push_back(std::move(row));
+}
+
+bool Report::any_failed() const noexcept {
+  return std::any_of(rows_.begin(), rows_.end(), [](const ReportRow& r) {
+    return r.aggregate.failed() > 0;
+  });
+}
+
+bool Report::all_converged() const noexcept {
+  return std::all_of(rows_.begin(), rows_.end(), [](const ReportRow& r) {
+    return r.aggregate.converged() == r.aggregate.completed();
+  });
+}
+
+void Report::print_table(std::ostream& os) const {
+  const std::vector<std::string> extra_cols = extras_keys(rows_);
+  std::vector<std::string> header = {"workload", "n",     "engine", "model",
+                                     "adv",      "sim",   "trials", "conv",
+                                     "int mean", "p50",   "p90",    "p99",
+                                     "omissions"};
+  for (const std::string& key : extra_cols) header.push_back(key);
+  TextTable t(std::move(header));
+  for (const ReportRow& row : rows_) {
+    const AggregateStats& a = row.aggregate;
+    std::vector<std::string> cells = {
+        row.spec.workload,
+        std::to_string(row.spec.n),
+        row.spec.engine,
+        row.spec.model ? model_name(*row.spec.model) : "default",
+        row.spec.adversary,
+        row.spec.sim.empty() ? "-" : row.spec.sim,
+        std::to_string(a.trials()) +
+            (a.failed() > 0 ? " (" + std::to_string(a.failed()) + " failed)"
+                            : ""),
+        // Fixed-step scenarios have no probe; a convergence fraction would
+        // just read 0.
+        row.spec.fixed_steps > 0
+            ? "-"
+            : std::to_string(a.converged()) + "/" + std::to_string(a.completed()),
+        fmt_double(a.interactions().mean(), 0),
+        std::to_string(a.interactions_quantile(0.50)),
+        std::to_string(a.interactions_quantile(0.90)),
+        std::to_string(a.interactions_quantile(0.99)),
+        std::to_string(a.omissions()),
+    };
+    for (const std::string& key : extra_cols) {
+      const auto it = a.extras().find(key);
+      cells.push_back(it == a.extras().end() ? "-"
+                                             : fmt_double(it->second.mean(), 2));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(os);
+}
+
+void Report::write_json(std::ostream& os) const {
+  os << "{ \"points\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const ReportRow& row = rows_[i];
+    const AggregateStats& a = row.aggregate;
+    os << "  { \"spec\": \"" << json_escape(row.spec.to_string()) << "\",\n"
+       << "    \"workload\": \"" << json_escape(row.spec.workload)
+       << "\", \"n\": " << row.spec.n << ", \"engine\": \""
+       << json_escape(row.spec.engine) << "\", \"model\": \""
+       << (row.spec.model ? model_name(*row.spec.model) : "default")
+       << "\", \"adversary\": \"" << json_escape(row.spec.adversary)
+       << "\", \"sim\": \"" << json_escape(row.spec.sim) << "\",\n"
+       << "    \"trials\": " << a.trials() << ", \"completed\": "
+       << a.completed() << ", \"converged\": " << a.converged()
+       << ", \"failed\": " << a.failed()
+       << ", \"convergence_rate\": " << fmt_num(a.convergence_rate()) << ",\n"
+       << "    \"interactions\": { \"mean\": "
+       << fmt_num(a.interactions().mean())
+       << ", \"min\": " << fmt_num(a.interactions().min())
+       << ", \"max\": " << fmt_num(a.interactions().max())
+       << ", \"p50\": " << a.interactions_quantile(0.50)
+       << ", \"p90\": " << a.interactions_quantile(0.90)
+       << ", \"p99\": " << a.interactions_quantile(0.99) << " },\n    ";
+    write_summary_json(os, "convergence_step", a.convergence_steps());
+    os << ",\n    \"omissions\": " << a.omissions()
+       << ", \"fires\": " << a.fires() << ", \"noops\": " << a.noops()
+       << ", \"omissive_fires\": " << a.omissive_fires();
+    os << ",\n    \"extras\": {";
+    bool first = true;
+    for (const auto& [key, stat] : a.extras()) {
+      if (!first) os << ",";
+      first = false;
+      os << ' ';
+      write_summary_json(os, key.c_str(), stat);
+    }
+    os << (first ? "}" : " }");
+    os << " }" << (i + 1 < rows_.size() ? ",\n" : "\n");
+  }
+  os << "] }\n";
+}
+
+void Report::write_csv(std::ostream& os) const {
+  const std::vector<std::string> extra_cols = extras_keys(rows_);
+  os << "spec,workload,n,engine,model,adversary,sim,trials,completed,"
+        "converged,failed,convergence_rate,int_mean,int_min,int_max,int_p50,"
+        "int_p90,int_p99,conv_step_mean,omissions,fires,noops,omissive_fires";
+  for (const std::string& key : extra_cols) os << ',' << key << "_mean";
+  os << '\n';
+  for (const ReportRow& row : rows_) {
+    const AggregateStats& a = row.aggregate;
+    os << '"' << row.spec.to_string() << '"' << ',' << row.spec.workload << ','
+       << row.spec.n << ',' << row.spec.engine << ','
+       << (row.spec.model ? model_name(*row.spec.model) : "default") << ','
+       << row.spec.adversary << ',' << (row.spec.sim.empty() ? "-" : row.spec.sim)
+       << ',' << a.trials() << ',' << a.completed() << ',' << a.converged()
+       << ',' << a.failed() << ',' << fmt_num(a.convergence_rate()) << ','
+       << fmt_num(a.interactions().mean()) << ','
+       << fmt_num(a.interactions().min()) << ','
+       << fmt_num(a.interactions().max()) << ','
+       << a.interactions_quantile(0.50) << ',' << a.interactions_quantile(0.90)
+       << ',' << a.interactions_quantile(0.99) << ','
+       << (a.convergence_steps().count() > 0
+               ? fmt_num(a.convergence_steps().mean())
+               : std::string())
+       << ',' << a.omissions() << ',' << a.fires() << ',' << a.noops() << ','
+       << a.omissive_fires();
+    for (const std::string& key : extra_cols) {
+      const auto it = a.extras().find(key);
+      os << ',';
+      if (it != a.extras().end()) os << fmt_num(it->second.mean());
+    }
+    os << '\n';
+  }
+}
+
+void Report::write(std::ostream& os, const std::string& format) const {
+  if (format == "table") print_table(os);
+  else if (format == "json") write_json(os);
+  else if (format == "csv") write_csv(os);
+  else
+    throw std::invalid_argument("unknown report format '" + format +
+                                "' (want table, json or csv)");
+}
+
+std::string Report::fingerprint() const {
+  std::ostringstream out;
+  for (const ReportRow& row : rows_)
+    out << row.spec.to_string() << " => " << row.aggregate.fingerprint()
+        << '\n';
+  return out.str();
+}
+
+}  // namespace ppfs::exp

@@ -193,4 +193,27 @@ std::vector<OneWayWorkload> one_way_workloads(std::size_t n) {
   return out;
 }
 
+Workload find_workload(const std::string& name, std::size_t n) {
+  for (Workload& w : standard_workloads(n)) {
+    if (w.name.rfind(name, 0) == 0) return w;
+  }
+  throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+OneWayWorkload find_one_way_workload(const std::string& name, std::size_t n,
+                                     Model model) {
+  for (OneWayWorkload& w : one_way_workloads(n)) {
+    // Prefix match; "exact-majority" resolves to "exact-majority-1way".
+    if (w.name.rfind(name, 0) == 0) {
+      if (model == Model::IO && !w.io)
+        throw std::invalid_argument("workload '" + w.name +
+                                    "' needs g != id, IO forbids it");
+      return w;
+    }
+  }
+  throw std::invalid_argument("unknown one-way workload '" + name +
+                              "' (try: or, max, leader, exact-majority, "
+                              "beacon-or)");
+}
+
 }  // namespace ppfs

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/models.hpp"
 #include "core/protocol.hpp"
 #include "core/types.hpp"
 
@@ -53,5 +54,16 @@ struct OneWayWorkload {
 // one-way models resolve here — exact majority is not one-way-computable,
 // so the w.h.p.-exact cancellation protocol stands in for it).
 [[nodiscard]] std::vector<OneWayWorkload> one_way_workloads(std::size_t n);
+
+// Name resolution shared by the CLI and the experiment layer: the first
+// standard workload whose name starts with `name` (names carry an "(n=...)"
+// suffix, so "exact-majority" matches before "exact-majority-gap"). Throws
+// std::invalid_argument for unknown names.
+[[nodiscard]] Workload find_workload(const std::string& name, std::size_t n);
+
+// One-way counterpart ("exact-majority" resolves to the cancellation
+// majority). Throws if the workload needs g != id under IO.
+[[nodiscard]] OneWayWorkload find_one_way_workload(const std::string& name,
+                                                   std::size_t n, Model model);
 
 }  // namespace ppfs

@@ -26,7 +26,8 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit constexpr Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+  explicit constexpr Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+      : seed_(seed) {
     std::uint64_t s = seed;
     for (auto& w : state_) w = splitmix64(s);
   }
@@ -69,13 +70,30 @@ class Rng {
   // Bernoulli trial with success probability p.
   [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
 
-  // Split off an independent stream (for sub-experiments).
-  [[nodiscard]] Rng split() noexcept { return Rng(operator()() ^ 0x9e3779b97f4a7c15ULL); }
+  // Keyed, non-mutating stream derivation: the generator for stream
+  // `stream_id`, a pure function of (seed, stream_id) — independent of how
+  // many values the parent has produced. splitmix64 is a bijection, so
+  // distinct stream ids under one seed never collide. Replica runners
+  // (exp/replica_runner.hpp) key one stream per trial, which is what makes
+  // multi-threaded sweeps bit-identical at any thread count.
+  [[nodiscard]] constexpr Rng split(std::uint64_t stream_id) const noexcept {
+    std::uint64_t s = seed_ ^ stream_id;
+    return Rng(splitmix64(s));
+  }
+
+  // Deprecated stateful form: advances this generator and seeds a child
+  // from the draw, so the child depends on the parent's position. Kept as
+  // an alias for old call sites; new code wants the keyed overload.
+  [[deprecated("use the keyed split(stream_id) const overload")]] [[nodiscard]]
+  Rng split() noexcept {
+    return Rng(operator()() ^ 0x9e3779b97f4a7c15ULL);
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
+  std::uint64_t seed_ = 0;  // retained for keyed split()
   std::array<std::uint64_t, 4> state_{};
 };
 

@@ -70,11 +70,55 @@ TEST(Rng, ChanceMatchesProbability) {
 
 TEST(Rng, SplitProducesIndependentStream) {
   Rng a(23);
-  Rng b = a.split();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Rng b = a.split();  // legacy stateful form, kept as a deprecated alias
+#pragma GCC diagnostic pop
   int equal = 0;
   for (int i = 0; i < 64; ++i)
     if (a() == b()) ++equal;
   EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, KeyedSplitIsReproducible) {
+  // Same (seed, stream) -> same stream, no matter what the parent did in
+  // between: the keyed form is a pure function of the constructor seed.
+  Rng a(23);
+  Rng before = a.split(7);
+  for (int i = 0; i < 1000; ++i) (void)a();
+  Rng after = a.split(7);
+  Rng fresh = Rng(23).split(7);
+  for (int i = 0; i < 256; ++i) {
+    const auto v = fresh();
+    EXPECT_EQ(before(), v);
+    EXPECT_EQ(after(), v);
+  }
+}
+
+TEST(Rng, KeyedSplitStreamsAreIndependent) {
+  // Distinct stream ids produce streams that disagree essentially
+  // everywhere, and none echoes the parent.
+  Rng parent(29);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  Rng s2 = parent.split(0xdeadbeefULL);
+  int equal01 = 0, equal02 = 0, equal0p = 0;
+  for (int i = 0; i < 256; ++i) {
+    const auto v0 = s0(), v1 = s1(), v2 = s2(), vp = parent();
+    if (v0 == v1) ++equal01;
+    if (v0 == v2) ++equal02;
+    if (v0 == vp) ++equal0p;
+  }
+  EXPECT_LT(equal01, 4);
+  EXPECT_LT(equal02, 4);
+  EXPECT_LT(equal0p, 4);
+}
+
+TEST(Rng, KeyedSplitDoesNotMutateParent) {
+  Rng a(31), b(31);
+  (void)a.split(1);
+  (void)a.split(2);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
 }
 
 TEST(Rng, SplitMix64Advances) {

@@ -16,6 +16,40 @@ TEST(StreamStat, TracksCountMeanMinMax) {
   EXPECT_DOUBLE_EQ(s.max(), 6.0);
 }
 
+TEST(StreamStat, MergeFoldsSummariesAssociatively) {
+  StreamStat a, b, c;
+  a.add(2.0);
+  a.add(6.0);
+  b.add(1.0);
+  c.add(9.0);
+  c.add(3.0);
+
+  StreamStat ab = a;
+  ab.merge(b);
+  StreamStat ab_c = ab;
+  ab_c.merge(c);
+
+  StreamStat bc = b;
+  bc.merge(c);
+  StreamStat a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c.count(), 5u);
+  EXPECT_DOUBLE_EQ(ab_c.sum(), 21.0);
+  EXPECT_DOUBLE_EQ(ab_c.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ab_c.max(), 9.0);
+
+  // Merging an empty summary on either side is the identity.
+  StreamStat empty;
+  StreamStat a_copy = a;
+  a_copy.merge(empty);
+  EXPECT_EQ(a_copy, a);
+  StreamStat lhs_empty;
+  lhs_empty.merge(a);
+  EXPECT_EQ(lhs_empty, a);
+}
+
 TEST(RunStats, CountsFiresPerRule) {
   RunStats st(3);
   st.record_fire(0, 1);
