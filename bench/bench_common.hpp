@@ -11,9 +11,11 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/runner.hpp"
+#include "obs/metrics.hpp"
 #include "engine/workload_runner.hpp"
 #include "exp/replica_runner.hpp"
 #include "exp/report.hpp"
@@ -156,11 +158,46 @@ class JsonReport {
     if (!enabled_) return;
     const std::string path = "BENCH_" + bench_ + ".json";
     std::ofstream out(path);
-    out << "{ \"bench\": \"" << bench_ << "\", \"results\": [\n";
+    out << "{ \"bench\": \"" << bench_ << "\",\n  \"provenance\": "
+        << provenance_json() << ",\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i)
       out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
     out << "] }\n";
     std::cout << "wrote " << path << " (" << rows_.size() << " rows)\n";
+  }
+
+  // Build provenance: perf numbers are only comparable across PRs when the
+  // toolchain and build mode are pinned alongside them. The macros come
+  // from CMake (per-bench-target compile definitions); a build outside
+  // CMake degrades to "unknown" instead of breaking.
+  [[nodiscard]] static std::string provenance_json() {
+#ifdef PPFS_GIT_COMMIT
+    const char* commit = PPFS_GIT_COMMIT;
+#else
+    const char* commit = "unknown";
+#endif
+#ifdef PPFS_BUILD_TYPE
+    const char* build_type = PPFS_BUILD_TYPE;
+#else
+    const char* build_type = "unknown";
+#endif
+#ifdef PPFS_COMPILER
+    const char* compiler = PPFS_COMPILER;
+#else
+    const char* compiler = "unknown";
+#endif
+#ifdef PPFS_CXX_FLAGS
+    const char* flags = PPFS_CXX_FLAGS;
+#else
+    const char* flags = "unknown";
+#endif
+    std::ostringstream out;
+    out << "{ \"commit\": \"" << commit << "\", \"build_type\": \""
+        << build_type << "\", \"compiler\": \"" << compiler
+        << "\", \"cxx_flags\": \"" << flags << "\", \"metrics\": "
+        << (PPFS_METRICS ? "true" : "false") << ", \"hw_concurrency\": "
+        << std::thread::hardware_concurrency() << " }";
+    return out.str();
   }
 
  private:

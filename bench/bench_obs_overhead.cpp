@@ -1,0 +1,100 @@
+// bench_obs_overhead — cost of the observability layer on the hottest
+// path we have: the SKnO count-space engine over its acceptance window
+// (the same skno-o8-gap-1M configuration bench_sim_batch reports).
+//
+// Two lanes through ONE binary (metrics compiled in, PPFS_METRICS=1):
+//   * off: no registry attached — every hook is a null-check, the
+//     shipping default;
+//   * on:  enable_metrics() + a FlightRecorder at a 2^16-interaction
+//     cadence — the full telemetry stack the CLI's --metrics-out drives.
+//
+// The ratio on/off is the runtime-attach overhead. The compile-time story
+// (PPFS_METRICS=0 erases the hooks entirely) is covered by the OFF-build
+// equivalence job in CI, not here. Acceptance: speedup:obs-overhead
+// >= 0.95, i.e. attached telemetry costs at most ~5% on the worst-case
+// hot path. Lanes run identical interaction windows from identical seeds
+// (instrumentation never consumes Rng draws), best-of-3, interleaved so
+// neither lane owns the warm cache.
+//
+// Usage: bench_obs_overhead [--json]     (PPFS_SEED honored)
+//   --json writes BENCH_obs_overhead.json with both lane rates and the
+//   speedup:obs-overhead ratio row.
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "engine/batch/dispatch.hpp"
+#include "obs/flight_recorder.hpp"
+#include "protocols/registry.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ppfs;
+
+constexpr std::size_t kN = 1'000'000;
+constexpr std::size_t kWindow = 500'000;  // the SKnO acceptance window
+constexpr int kReps = 3;
+
+Workload find_workload(std::size_t n) {
+  for (Workload& w : standard_workloads(n)) {
+    if (w.name.rfind("exact-majority-gap", 0) == 0) return w;
+  }
+  throw std::invalid_argument("bench_obs_overhead: no exact-majority-gap");
+}
+
+// One timed window; `with_metrics` attaches the registry + recorder.
+double run_lane(const Workload& w, bool with_metrics, std::uint64_t seed) {
+  SimEngineConfig config;
+  config.spec = parse_sim_spec("skno:o=8");
+  auto engine = make_sim_engine("batch", w.protocol, w.initial, config);
+  obs::FlightRecorder recorder(
+      {.every = std::uint64_t{1} << 16, .top_k = 8});
+  if (with_metrics) engine->enable_metrics();
+  UniformScheduler sched(kN);
+  Rng rng(seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)run_engine_steps(*engine, sched, rng, kWindow,
+                         with_metrics ? &recorder : nullptr);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return dt > 0.0 ? static_cast<double>(engine->interactions()) / dt : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ppfs::bench::JsonReport;
+  const std::uint64_t seed = ppfs::bench::bench_seed(20260730);
+  JsonReport json("obs_overhead", argc, argv);
+
+  const Workload w = find_workload(kN);
+
+  ppfs::bench::banner("observability overhead: metrics attached vs detached");
+  double best_off = 0.0;
+  double best_on = 0.0;
+  // Interleaved best-of-N: rep r runs off then on, both from the same
+  // seed, so page cache and frequency scaling hit both lanes alike.
+  for (int r = 0; r < kReps; ++r) {
+    best_off = std::max(best_off, run_lane(w, false, seed + r));
+    best_on = std::max(best_on, run_lane(w, true, seed + r));
+  }
+  const double ratio = best_off > 0.0 ? best_on / best_off : 0.0;
+
+  ppfs::TextTable table({"lane", "n", "int/s"});
+  table.add_row({"metrics off (detached)", std::to_string(kN),
+                 ppfs::fmt_double(best_off)});
+  table.add_row({"metrics on (registry+recorder)", std::to_string(kN),
+                 ppfs::fmt_double(best_on)});
+  table.print(std::cout);
+  std::cout << "\nspeedup:obs-overhead = " << ppfs::fmt_double(ratio, 4)
+            << "  (acceptance: >= 0.95 — attached telemetry costs at most "
+               "~5% on the SKnO hot path)\n";
+
+  json.add("obs-off:skno-o8-gap-1M", kN, "I3", best_off);
+  json.add("obs-on:skno-o8-gap-1M", kN, "I3", best_on);
+  json.add_ratio("speedup:obs-overhead", kN, "I3", ratio);
+  return 0;
+}

@@ -55,7 +55,17 @@
 //   reports mergeable aggregate statistics (convergence rate, interaction
 //   mean and p50/p90/p99, omission totals) through the shared exp::Report
 //   writer. Replica RNG streams are keyed per (point, trial), so the
-//   aggregate output is bit-identical for any --threads value. Grammar:
+//   aggregate output is bit-identical for any --threads value.
+//
+//   Observability (src/obs): --metrics-out=FILE writes every replica's
+//   flight-recorder timeline — one JSONL header line per replica
+//   ({"schema":"ppfs.flight.v1","point":...,"trial":...,"every":...})
+//   followed by its delta-encoded snapshots — in (grid point, trial)
+//   order, bit-identical for any --threads value. --metrics-every=N sets
+//   the snapshot cadence in interactions (default 2^20; enabling metrics
+//   never changes results — instrumentation consumes no Rng draws).
+//   --progress swaps the \r counter for one serialized JSON heartbeat
+//   line per replica on stderr (machine-tailable). Grammar:
 //
 //     workload[,workload...]@key=value[:key=value...]
 //     axis keys   n (1e6 ok), model, engine, adv, sim   (comma = list)
@@ -107,6 +117,8 @@ int usage(const char* msg) {
                "[--adversary=SPEC] [--simulate=SIM] [workload] [n] [seed]\n"
                "       ppfs_cli --sweep=GRID [--trials=N] [--threads=K] "
                "[--seed=S] [--out=table|json|csv] [--out-file=PATH]\n"
+               "                [--metrics-out=FILE] [--metrics-every=N] "
+               "[--progress]\n"
                "       SPEC = none|uo|no:Q|no1|budget:B[:rate], kind may "
                "carry @starter|@reactor|@both\n"
                "       SIM  = naive|skno:o=K|sid|naming (count-space "
@@ -122,13 +134,27 @@ int usage(const char* msg) {
   return 2;
 }
 
+// Minimal JSON string escaping for spec strings (quotes/backslashes;
+// specs never carry control characters).
+std::string json_escape_min(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 // Declarative grid sweep through the experiment layer: expand the grid,
 // run trials on the worker pool, emit one report. Exit 0 when no replica
 // failed (failure = a replica threw, not non-convergence).
 int run_sweep(const std::string& grid_text, std::optional<std::size_t> trials,
               std::optional<std::size_t> threads,
               std::optional<std::uint64_t> seed, const std::string& out_format,
-              const std::string& out_file) {
+              const std::string& out_file,
+              std::optional<std::size_t> metrics_every,
+              const std::string& metrics_out, bool progress) {
   if (out_format != "table" && out_format != "json" && out_format != "csv")
     return usage(("unknown --out format '" + out_format +
                   "' (want table, json or csv)")
@@ -137,13 +163,27 @@ int run_sweep(const std::string& grid_text, std::optional<std::size_t> trials,
   if (trials) grid.trials = *trials;
   if (seed) grid.seed = *seed;
   if (grid.trials == 0) return usage("--trials must be >= 1");
+  // --metrics-out implies telemetry; default to the recorder's standard
+  // 2^20-interaction cadence unless --metrics-every overrides it.
+  if (!metrics_out.empty() && !metrics_every)
+    metrics_every = std::size_t{1} << 20;
+  if (metrics_every) {
+    if (*metrics_every == 0) return usage("--metrics-every must be >= 1");
+    grid.metrics_every = *metrics_every;
+  }
 
-  // Fail on an unwritable --out-file before the sweep runs, not after
-  // hours of replicas have nowhere to go.
+  // Fail on an unwritable --out-file / --metrics-out before the sweep
+  // runs, not after hours of replicas have nowhere to go.
   std::ofstream file_out;
   if (!out_file.empty()) {
     file_out.open(out_file);
     if (!file_out) return usage(("cannot write '" + out_file + "'").c_str());
+  }
+  std::ofstream metrics_file;
+  if (!metrics_out.empty()) {
+    metrics_file.open(metrics_out);
+    if (!metrics_file)
+      return usage(("cannot write '" + metrics_out + "'").c_str());
   }
 
   const std::vector<exp::ScenarioSpec> points = grid.expand();
@@ -151,9 +191,22 @@ int run_sweep(const std::string& grid_text, std::optional<std::size_t> trials,
   std::size_t done = 0;
   exp::RunnerOptions ropt;
   if (threads) ropt.threads = *threads;
-  ropt.on_replica = [&](const exp::ScenarioSpec&, std::size_t,
+  // on_replica is serialized by the runner, so both progress styles write
+  // whole lines/updates atomically even with many worker threads.
+  ropt.on_replica = [&](const exp::ScenarioSpec& spec, std::size_t trial,
                         const exp::ReplicaResult& r) {
     ++done;
+    if (progress) {
+      std::cerr << "{\"done\":" << done << ",\"total\":" << total
+                << ",\"point\":\"" << json_escape_min(spec.point_key())
+                << "\",\"trial\":" << trial << ",\"converged\":"
+                << (r.run.converged ? "true" : "false")
+                << ",\"interactions\":" << r.run.steps
+                << (r.failed() ? ",\"error\":\"" + json_escape_min(r.error) + "\""
+                               : std::string())
+                << "}\n";
+      return;
+    }
     std::cerr << "\r[" << done << "/" << total << " replicas]"
               << (r.failed() ? " FAILED: " + r.error : "") << std::flush;
     if (r.failed()) std::cerr << "\n";
@@ -161,9 +214,26 @@ int run_sweep(const std::string& grid_text, std::optional<std::size_t> trials,
 
   exp::ReplicaRunner runner(ropt);
   const exp::Report report = runner.run_points(points);
-  std::cerr << "\r" << std::string(40, ' ') << "\r";
+  if (!progress) std::cerr << "\r" << std::string(40, ' ') << "\r";
   std::cerr << points.size() << " grid points x " << grid.trials
             << " trials on " << runner.threads() << " threads\n";
+
+  if (!metrics_out.empty()) {
+    // Flight timelines, multiplexed: one header line per replica (schema,
+    // point identity, trial, cadence), then that replica's snapshot lines.
+    // Rows are in grid order and replicas in trial order, so the file is
+    // bit-identical for any --threads value.
+    for (const exp::ReportRow& row : report.rows()) {
+      for (std::size_t t = 0; t < row.replicas.size(); ++t) {
+        metrics_file << "{\"schema\":\"ppfs.flight.v1\",\"point\":\""
+                     << json_escape_min(row.spec.point_key())
+                     << "\",\"trial\":" << t
+                     << ",\"every\":" << grid.metrics_every << "}\n"
+                     << row.replicas[t].flight;
+      }
+    }
+    std::cerr << "wrote " << metrics_out << "\n";
+  }
 
   if (!out_file.empty()) {
     report.write(file_out, out_format == "table" ? "json" : out_format);
@@ -371,6 +441,9 @@ int main(int argc, char** argv) {
       std::optional<std::uint64_t> sweep_seed;
       std::string out_format = "table";
       std::string out_file;
+      std::optional<std::size_t> metrics_every;
+      std::string metrics_out;
+      bool progress = false;
       // stoul would silently wrap "--trials=-1" to a huge count and stop
       // at trailing garbage ("--trials=8x" -> 8); demand digits only.
       const auto parse_count = [](const std::string& flag,
@@ -390,11 +463,17 @@ int main(int argc, char** argv) {
           out_format = args[pos].substr(6);
         else if (args[pos].rfind("--out-file=", 0) == 0)
           out_file = args[pos].substr(11);
+        else if (args[pos].rfind("--metrics-every=", 0) == 0)
+          metrics_every = parse_count("--metrics-every", args[pos].substr(16));
+        else if (args[pos].rfind("--metrics-out=", 0) == 0)
+          metrics_out = args[pos].substr(14);
+        else if (args[pos] == "--progress")
+          progress = true;
         else
           return usage(("unknown sweep flag '" + args[pos] + "'").c_str());
       }
       return run_sweep(grid_text, trials, threads, sweep_seed, out_format,
-                       out_file);
+                       out_file, metrics_every, metrics_out, progress);
     }
 
     // --engine=native|batch switches to the engine-facade run form.

@@ -5,8 +5,21 @@
 
 namespace ppfs {
 
+void StateUniverse::set_metrics(obs::MetricRegistry* reg) {
+  m_intern_new_ = reg ? &reg->counter("universe.intern_new") : nullptr;
+  m_intern_hit_ = reg ? &reg->counter("universe.intern_hit") : nullptr;
+  m_patched_ = reg ? &reg->counter("universe.intern_patched") : nullptr;
+  m_released_ = reg ? &reg->counter("universe.released") : nullptr;
+  m_time_intern_ = reg ? &reg->timer("time.intern") : nullptr;
+}
+
 State StateUniverse::intern(std::string_view bytes) {
-  if (auto it = index_.find(bytes); it != index_.end()) return it->second;
+  if (auto it = index_.find(bytes); it != index_.end()) {
+    PPFS_METRIC(m_intern_hit_, add());
+    return it->second;
+  }
+  PPFS_METRIC(m_intern_new_, add());
+  PPFS_TIMER_BEGIN(t0, m_time_intern_);
   State id;
   if (!free_.empty()) {
     id = free_.back();
@@ -20,11 +33,13 @@ State StateUniverse::intern(std::string_view bytes) {
   const auto [it, inserted] = index_.emplace(std::string(bytes), id);
   (void)inserted;
   slots_[id] = &it->first;
+  PPFS_TIMER_END(t0, m_time_intern_);
   return id;
 }
 
 State StateUniverse::intern_patched(State base,
                                     std::span<const ByteEdit> edits) {
+  PPFS_METRIC(m_patched_, add());
   scratch_ = encoding(base);  // throws on a dead id
   for (const ByteEdit& e : edits) {
     switch (e.op) {
@@ -60,6 +75,7 @@ void StateUniverse::release(State s) {
   index_.erase(*slots_[s]);
   slots_[s] = nullptr;
   free_.push_back(s);
+  PPFS_METRIC(m_released_, add());
 }
 
 // --- OutcomeCache -----------------------------------------------------------

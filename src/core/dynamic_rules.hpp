@@ -37,6 +37,7 @@
 #include "core/protocol.hpp"
 #include "core/rule_matrix.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppfs {
 
@@ -100,6 +101,10 @@ class StateUniverse {
     return s < slots_.size() && slots_[s] != nullptr;
   }
 
+  // Wire intern/patch/GC instrumentation handles (obs/metrics.hpp); null
+  // detaches. Purely observational — never changes interning behavior.
+  void set_metrics(obs::MetricRegistry* reg);
+
  private:
   struct TransparentHash {
     using is_transparent = void;
@@ -116,6 +121,12 @@ class StateUniverse {
   std::vector<const std::string*> slots_;
   std::vector<State> free_;
   std::string scratch_;  // intern_patched working buffer, reused across calls
+
+  obs::Counter* m_intern_new_ = nullptr;   // encodings first seen
+  obs::Counter* m_intern_hit_ = nullptr;   // lookups that found a live id
+  obs::Counter* m_patched_ = nullptr;      // delta-encode (patch) interns
+  obs::Counter* m_released_ = nullptr;     // ids recycled (GC reclaim)
+  obs::SampledTimer* m_time_intern_ = nullptr;
 };
 
 // Bounded LRU cache over (class, starter, reactor) -> successor pair, the
@@ -248,7 +259,9 @@ class DynamicRuleSource {
   [[nodiscard]] StatePair outcome_cached(InteractionClass c, State s, State r) {
     if (!cache_.enabled()) return outcome(c, s, r);
     if (const StatePair* hit = cache_.find(c, s, r)) return *hit;
+    PPFS_TIMER_BEGIN(t0, m_time_miss_);
     const StatePair out = outcome(c, s, r);
+    PPFS_TIMER_END(t0, m_time_miss_);
     cache_.insert(c, s, r, out);
     return out;
   }
@@ -261,6 +274,26 @@ class DynamicRuleSource {
   }
   [[nodiscard]] const OutcomeCache::Stats& outcome_cache_stats() const noexcept {
     return cache_.stats();
+  }
+
+  // --- observability --------------------------------------------------------
+  // Wire hot-path instrumentation (outcome-cache miss timer, GC timer,
+  // plus whatever the concrete source instruments via wire_metrics — its
+  // own StateUniverse, typically). Null detaches. Purely observational.
+  void set_metrics(obs::MetricRegistry* reg) {
+    m_time_miss_ = reg ? &reg->timer("time.outcome_miss") : nullptr;
+    m_time_gc_ = reg ? &reg->timer("time.gc", 4) : nullptr;
+    wire_metrics(reg);
+  }
+  // Push pull-style statistics (the outcome-cache Stats; overrides add
+  // source-internal caches) into `reg` as absolute counters. Called at
+  // snapshot/sync time only, so tracking them costs the hot path nothing.
+  virtual void export_metrics(obs::MetricRegistry& reg) const {
+    const OutcomeCache::Stats& s = cache_.stats();
+    reg.counter("cache.outcome.hits").set(s.hits);
+    reg.counter("cache.outcome.misses").set(s.misses);
+    reg.counter("cache.outcome.evictions").set(s.evictions);
+    reg.counter("cache.outcome.stale_drops").set(s.stale_drops);
   }
 
   [[nodiscard]] bool is_noop(InteractionClass c, State s, State r) {
@@ -292,16 +325,23 @@ class DynamicRuleSource {
   // invalidation point the cache's correctness rests on — then hands the
   // id back to the source.
   void release_state(State s) {
+    PPFS_TIMER_BEGIN(t0, m_time_gc_);
     cache_.invalidate(s);
     do_release(s);
+    PPFS_TIMER_END(t0, m_time_gc_);
   }
 
  protected:
   // Source-specific release (recycle the interned id). Default: keep.
   virtual void do_release(State s) { (void)s; }
+  // Source-specific instrumentation wiring (e.g. the source's own
+  // StateUniverse). Default: nothing.
+  virtual void wire_metrics(obs::MetricRegistry* reg) { (void)reg; }
 
  private:
   OutcomeCache cache_;
+  obs::SampledTimer* m_time_miss_ = nullptr;
+  obs::SampledTimer* m_time_gc_ = nullptr;
 };
 
 // Closed-universe adapter: a compiled RuleMatrix as a DynamicRuleSource.

@@ -28,6 +28,13 @@ BatchSystem::BatchSystem(RuleMatrix rules, std::vector<std::size_t> counts)
     throw std::invalid_argument("BatchSystem: need at least two agents");
 }
 
+void BatchSystem::set_metrics(obs::MetricRegistry* reg) {
+  metrics_reg_ = reg;
+  m_leap_len_ = reg ? &reg->histogram("engine.leap_len") : nullptr;
+  m_weight_refreshes_ = reg ? &reg->counter("engine.weight_refreshes") : nullptr;
+  if (omit_) omit_->set_metrics(reg);
+}
+
 void BatchSystem::set_omission_process(const AdversaryParams& params) {
   if (!rules_.omissive())
     throw std::invalid_argument(
@@ -39,6 +46,7 @@ void BatchSystem::set_omission_process(const AdversaryParams& params) {
   // chain exactly (leap::sample_capped_burst_leg / the event-punctuated
   // loop), sharing the burst counter with step()'s should_omit.
   omit_.emplace(params);
+  omit_->set_metrics(metrics_reg_);
   omit_class_ = rules_.omission_class(params.side);
   weights_valid_ = false;
 }
@@ -63,6 +71,7 @@ std::uint64_t BatchSystem::changing_weight(InteractionClass c) const noexcept {
 
 void BatchSystem::refresh_weights() const {
   if (weights_valid_) return;
+  PPFS_METRIC(m_weight_refreshes_, add());
   w_real_ = changing_weight(InteractionClass::Real);
   w_omit_ = omit_ ? changing_weight(omit_class_) : 0;
   weights_valid_ = true;
@@ -108,6 +117,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
         return d;
       }
       const std::size_t skipped = leap::sample_noop_run(w_real_, t, rng, remaining);
+      PPFS_METRIC(m_leap_len_, record(skipped));
       d.noops += skipped;
       d.interactions += skipped;
       steps_ += skipped;
@@ -167,6 +177,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       const double wr = static_cast<double>(w_real_) / static_cast<double>(t);
       const double rho = (1.0 - p) * wr;  // per-delivery change probability
       const std::size_t run = leap::sample_bernoulli_run(rho, rng, cap);
+      PPFS_METRIC(m_leap_len_, record(run));
       if (run > 0) {
         const double q_om = p / (1.0 - rho);  // P(omissive | no-op)
         const std::size_t om = leap::sample_binomial(run, q_om, rng);
@@ -212,6 +223,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
     const double wr = static_cast<double>(w_real_) / static_cast<double>(t);
     const double sigma = p + (1.0 - p) * wr;
     const std::size_t run = leap::sample_bernoulli_run(sigma, rng, cap);
+    PPFS_METRIC(m_leap_len_, record(run));
     if (run > 0) {
       stats_.record_noops(run);
       d.noops += run;

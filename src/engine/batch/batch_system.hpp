@@ -50,6 +50,7 @@
 #include "core/rule_matrix.hpp"
 #include "engine/batch/configuration.hpp"
 #include "engine/stats.hpp"
+#include "obs/metrics.hpp"
 #include "sched/omission_process.hpp"
 #include "util/rng.hpp"
 
@@ -113,6 +114,11 @@ class BatchSystem {
   [[nodiscard]] RunStats& stats() noexcept { return stats_; }
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
 
+  // Wire hot-path instrumentation (leap-length histogram, weight-refresh
+  // counter, burst-episode histogram on the omission process). Null
+  // detaches. Purely observational: never consumes Rng draws.
+  void set_metrics(obs::MetricRegistry* reg);
+
  private:
   // Weight of ordered pair (s, r): C[s] * (C[r] - [s == r]).
   [[nodiscard]] std::uint64_t pair_weight(State s, State r) const noexcept;
@@ -139,6 +145,10 @@ class BatchSystem {
   mutable bool weights_valid_ = false;
   mutable std::uint64_t w_real_ = 0;
   mutable std::uint64_t w_omit_ = 0;
+
+  obs::Histogram* m_leap_len_ = nullptr;      // no-op runs leapt in one draw
+  obs::Counter* m_weight_refreshes_ = nullptr;  // O(q^2) table rescans
+  obs::MetricRegistry* metrics_reg_ = nullptr;  // re-wire late-attached omit_
 };
 
 }  // namespace ppfs

@@ -1,6 +1,7 @@
 #include "engine/batch/dispatch.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -22,6 +23,18 @@ ResolvedConfig resolve(const EngineConfig& config) {
   if (r.adversary && r.adversary->rate <= 0.0) r.adversary.reset();
   if (r.adversary) r.model = omissive_closure(config.model);
   return r;
+}
+
+// Pull-style adversary accounting, shared by every adapter that owns an
+// omission process: total emitted omissions, and the remaining budget as a
+// gauge when the adversary class bounds it (UO's unbounded budget is not a
+// meaningful gauge).
+void sync_adversary_metrics(obs::MetricRegistry& reg,
+                            const OmissionProcess& omit) {
+  reg.counter("adv.omissions").set(omit.emitted());
+  const std::size_t budget = omit.remaining_budget();
+  if (budget != std::numeric_limits<std::size_t>::max())
+    reg.gauge("adv.budget_remaining").set(static_cast<double>(budget));
 }
 
 class NativeEngine final : public Engine {
@@ -84,6 +97,18 @@ class NativeEngine final : public Engine {
     return true;
   }
 
+  void sync_metrics() override {
+    Engine::sync_metrics();
+    if (metrics() != nullptr && omit_)
+      sync_adversary_metrics(*metrics(), *omit_);
+  }
+
+ protected:
+  void wire_metrics(obs::MetricRegistry& reg) override {
+    sys_.set_metrics(&reg);
+    if (omit_) omit_->set_metrics(&reg);
+  }
+
  private:
   InteractionSystem sys_;
   RunStats stats_;
@@ -127,6 +152,18 @@ class BatchEngine final : public Engine {
   }
 
   [[nodiscard]] RunStats& stats() noexcept override { return sys_.stats(); }
+
+  void sync_metrics() override {
+    Engine::sync_metrics();
+    if (metrics() == nullptr) return;
+    if (const OmissionProcess* o = sys_.omission_process())
+      sync_adversary_metrics(*metrics(), *o);
+  }
+
+ protected:
+  void wire_metrics(obs::MetricRegistry& reg) override {
+    sys_.set_metrics(&reg);
+  }
 
  private:
   BatchSystem sys_;
@@ -196,6 +233,19 @@ class SimNativeEngine final : public Engine {
 
   [[nodiscard]] RunStats& stats() noexcept override { return stats_; }
 
+  void sync_metrics() override {
+    Engine::sync_metrics();
+    if (metrics() != nullptr && omit_)
+      sync_adversary_metrics(*metrics(), *omit_);
+  }
+
+ protected:
+  // The step-wise Simulator facade carries no hot-path hooks (it is the
+  // verification path, not the throughput path); only the adversary wires.
+  void wire_metrics(obs::MetricRegistry& reg) override {
+    if (omit_) omit_->set_metrics(&reg);
+  }
+
  private:
   std::unique_ptr<Simulator> sim_;
   RunStats stats_;
@@ -245,6 +295,32 @@ class SimBatchEngine final : public Engine {
     return sys_.universe_live();
   }
 
+  void sync_metrics() override {
+    Engine::sync_metrics();
+    if (metrics() == nullptr) return;
+    obs::MetricRegistry& reg = *metrics();
+    sys_.rules().export_metrics(reg);
+    reg.gauge("universe.live").set(static_cast<double>(sys_.universe_live()));
+    reg.gauge("universe.size")
+        .set(static_cast<double>(sys_.rules().universe_size()));
+    if (const OmissionProcess* o = sys_.omission_process())
+      sync_adversary_metrics(reg, *o);
+  }
+
+  void fill_summary(obs::ConfigSummary& out, std::size_t top_k) const override {
+    Engine::fill_summary(out, top_k);
+    // top_counts stay the simulated projection (those labels mean
+    // something to a reader); the distinct-state count tracks the
+    // execution universe instead — dispersion then measures wrapper-state
+    // growth, the quantity the open-universe design exists to bound.
+    out.distinct_states = sys_.universe_live();
+  }
+
+ protected:
+  void wire_metrics(obs::MetricRegistry& reg) override {
+    sys_.set_metrics(&reg);
+  }
+
  private:
   SimBatchSystem sys_;
 };
@@ -271,6 +347,62 @@ std::unique_ptr<Engine> build(const std::string& kind, RuleMatrix rules,
 }  // namespace
 
 bool Engine::record_trace(Trace* /*sink*/) { return false; }
+
+obs::MetricRegistry& Engine::enable_metrics() {
+  if (!metrics_) {
+    metrics_ = std::make_unique<obs::MetricRegistry>();
+    wire_metrics(*metrics_);
+  }
+  return *metrics_;
+}
+
+void Engine::sync_metrics() {
+  if (!metrics_) return;
+  metrics_->counter("run.interactions").set(interactions());
+  metrics_->counter("run.omissions").set(omissions());
+  const RunStats& st = stats();
+  metrics_->counter("run.fires").set(st.total_fires());
+  metrics_->counter("run.noops").set(st.noops());
+}
+
+void Engine::fill_summary(obs::ConfigSummary& out, std::size_t top_k) const {
+  out.interactions = interactions();
+  std::vector<std::size_t> c;
+  counts_into(c);
+  std::vector<std::pair<std::size_t, std::size_t>> occupied;  // (count, state)
+  for (std::size_t q = 0; q < c.size(); ++q)
+    if (c[q] != 0) occupied.emplace_back(c[q], q);
+  out.distinct_states = occupied.size();
+  std::sort(occupied.begin(), occupied.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  if (occupied.size() > top_k) occupied.resize(top_k);
+  out.top_counts.clear();
+  const Protocol& p = protocol();
+  for (const auto& [cnt, q] : occupied)
+    out.top_counts.push_back({p.state_name(static_cast<State>(q)), cnt});
+}
+
+namespace {
+
+// Snapshot the engine into the recorder if a slice boundary crossed its
+// cadence. Metrics need not be enabled: the timeline then carries only the
+// configuration summary (an empty shared registry keeps record()'s delta
+// encoding trivial).
+void maybe_snapshot(Engine& engine, obs::FlightRecorder* recorder) {
+  if (recorder == nullptr || !recorder->due(engine.interactions())) return;
+  engine.sync_metrics();
+  obs::ConfigSummary summary;
+  engine.fill_summary(summary, recorder->options().top_k);
+  if (engine.metrics() != nullptr) {
+    recorder->record(*engine.metrics(), summary);
+  } else {
+    static const obs::MetricRegistry kEmpty;
+    recorder->record(kEmpty, summary);
+  }
+}
+
+}  // namespace
 
 std::vector<std::size_t> Engine::counts() const {
   std::vector<std::size_t> out;
@@ -344,7 +476,8 @@ const std::vector<std::string>& engine_kinds() {
 }
 
 RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
-                           const CountsProbe& probe, const RunOptions& opt) {
+                           const CountsProbe& probe, const RunOptions& opt,
+                           obs::FlightRecorder* recorder) {
   RunResult res;
   std::vector<std::size_t> counts;
   std::size_t consecutive = 0;
@@ -352,6 +485,7 @@ RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
     const std::size_t slice =
         std::min(opt.check_every, opt.max_steps - res.steps);
     res.steps += engine.advance(slice, sched, rng);
+    maybe_snapshot(engine, recorder);
     engine.counts_into(counts);
     const bool holds = probe(counts, engine.protocol());
     engine.stats().record_probe(engine.interactions(), holds);
@@ -372,10 +506,12 @@ RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
 }
 
 RunResult run_engine_steps(Engine& engine, Scheduler& sched, Rng& rng,
-                           std::size_t steps) {
+                           std::size_t steps, obs::FlightRecorder* recorder) {
   RunResult res;
-  while (res.steps < steps)
+  while (res.steps < steps) {
     res.steps += engine.advance(steps - res.steps, sched, rng);
+    maybe_snapshot(engine, recorder);
+  }
   res.omissions = engine.omissions();
   return res;
 }

@@ -36,6 +36,8 @@
 #include "engine/batch/batch_system.hpp"
 #include "engine/batch/sim_batch_system.hpp"
 #include "engine/native.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sim_rules.hpp"
 #include "engine/runner.hpp"
 #include "engine/stats.hpp"
@@ -82,6 +84,34 @@ class Engine {
 
   [[nodiscard]] std::vector<std::size_t> counts() const;
   [[nodiscard]] int consensus_output() const;  // from counts + outputs
+
+  // --- observability (src/obs) ---------------------------------------------
+  // Opt-in engine-wide telemetry. enable_metrics() allocates the registry
+  // and wires the underlying systems' cached metric handles; detached
+  // (the default) every hook is one predictable null-check, and with
+  // PPFS_METRICS=0 the hooks compile away entirely. Instrumentation never
+  // consumes Rng draws, so the interaction trajectory is bit-identical
+  // with metrics attached or not.
+  obs::MetricRegistry& enable_metrics();
+  [[nodiscard]] obs::MetricRegistry* metrics() noexcept {
+    return metrics_.get();
+  }
+  // Copy pull-style statistics (run totals, cache hit counts, universe
+  // occupancy, adversary budget) into the registry — cheap, called at
+  // snapshot/read time, never on the hot path. No-op when detached.
+  virtual void sync_metrics();
+  // Configuration summary for the flight recorder: distinct occupied
+  // states and the top_k largest counts, labeled. The base implementation
+  // summarizes the projected protocol space via counts_into(); engines
+  // with larger execution universes override.
+  virtual void fill_summary(obs::ConfigSummary& out, std::size_t top_k) const;
+
+ protected:
+  // Engine-specific handle wiring, invoked once by enable_metrics().
+  virtual void wire_metrics(obs::MetricRegistry& reg) { (void)reg; }
+
+ private:
+  std::unique_ptr<obs::MetricRegistry> metrics_;
 };
 
 // Model + adversary configuration for make_engine. Defaults reproduce the
@@ -149,13 +179,22 @@ using CountsProbe =
 // check_every-sized slices, evaluate the probe after each slice, stop once
 // it holds stable_checks times in a row. Also feeds the engine's RunStats
 // convergence tracking.
+//
+// An optional FlightRecorder snapshots the engine (sync_metrics +
+// fill_summary) whenever a slice boundary crosses its cadence. Slicing is
+// NOT adjusted to the cadence: the recorder observes the run the probe
+// loop was going to make anyway, so attaching it changes neither the
+// trajectory nor the Rng stream.
 RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
-                           const CountsProbe& probe, const RunOptions& opt = {});
+                           const CountsProbe& probe, const RunOptions& opt = {},
+                           obs::FlightRecorder* recorder = nullptr);
 
 // Drive exactly `steps` interactions, no probe (advance never overshoots
 // its budget; a batch is truncated at the boundary, which the geometric
-// skip's memorylessness makes distribution-preserving).
+// skip's memorylessness makes distribution-preserving). The recorder, if
+// any, snapshots after each advance() return.
 RunResult run_engine_steps(Engine& engine, Scheduler& sched, Rng& rng,
-                           std::size_t steps);
+                           std::size_t steps,
+                           obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace ppfs

@@ -71,6 +71,17 @@ SimBatchSystem::SimBatchSystem(std::shared_ptr<DynamicRuleSource> rules,
   }
 }
 
+void SimBatchSystem::set_metrics(obs::MetricRegistry* reg) {
+  metrics_reg_ = reg;
+  m_leap_len_ = reg ? &reg->histogram("engine.leap_len") : nullptr;
+  m_weight_scans_ = reg ? &reg->counter("engine.weight_scans") : nullptr;
+  m_direct_steps_ = reg ? &reg->counter("engine.direct_steps") : nullptr;
+  m_time_fire_ = reg ? &reg->timer("time.fire") : nullptr;
+  idx_.set_metrics(reg);
+  rules_->set_metrics(reg);
+  if (omit_) omit_->set_metrics(reg);
+}
+
 void SimBatchSystem::set_omission_process(const AdversaryParams& params) {
   if (!is_omissive(rules_->model()))
     throw std::invalid_argument(
@@ -86,6 +97,7 @@ void SimBatchSystem::set_omission_process(const AdversaryParams& params) {
   // samples the within-burst Markov chain, sharing the burst counter with
   // step()'s should_omit.
   omit_.emplace(params);
+  omit_->set_metrics(metrics_reg_);
   omit_class_ = omission_class_for(rules_->model(), params.side);
 }
 
@@ -140,6 +152,7 @@ std::pair<std::uint64_t, std::uint64_t> SimBatchSystem::real_weight() {
 }
 
 std::uint64_t SimBatchSystem::scan_changing_weight() {
+  PPFS_METRIC(m_weight_scans_, add());
   std::uint64_t w = 0;
   const auto& occ = conf_.occupied();
   for (const State s : occ) {
@@ -243,6 +256,7 @@ const std::vector<std::size_t>& SimBatchSystem::projected_counts() const {
 }
 
 void SimBatchSystem::fire_real(std::uint64_t w, Rng& rng, BatchDelta& d) {
+  PPFS_TIMER_BEGIN(t0, m_time_fire_);
   const auto [s, r] = pick_changing_pair(w, rng);
   const StatePair out = rules_->outcome_cached(InteractionClass::Real, s, r);
   if (out.starter == s && out.reactor == r)
@@ -252,6 +266,7 @@ void SimBatchSystem::fire_real(std::uint64_t w, Rng& rng, BatchDelta& d) {
   apply_fire(InteractionClass::Real, s, r, out, d);
   ++d.interactions;
   ++steps_;
+  PPFS_TIMER_END(t0, m_time_fire_);
 }
 
 BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
@@ -275,6 +290,7 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
       if (silent_count_ != 0) {
         const std::size_t cap = budget - d.interactions;
         const std::size_t skipped = leap::sample_noop_run(w, n, rng, cap);
+        PPFS_METRIC(m_leap_len_, record(skipped));
         if (skipped > 0) {
           d.noops += skipped;
           d.interactions += skipped;
@@ -312,6 +328,7 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
         return d;
       }
       const std::size_t skipped = leap::sample_noop_run(w, t, rng, remaining);
+      PPFS_METRIC(m_leap_len_, record(skipped));
       d.noops += skipped;
       d.interactions += skipped;
       steps_ += skipped;
@@ -364,6 +381,7 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
       // into real and omissive draws.
       const double rho = (1.0 - p) * wr;
       const std::size_t run = leap::sample_bernoulli_run(rho, rng, cap);
+      PPFS_METRIC(m_leap_len_, record(run));
       if (run > 0) {
         const double q_om = p / (1.0 - rho);  // P(omissive | no-op)
         const std::size_t om = leap::sample_binomial(run, q_om, rng);
@@ -405,6 +423,7 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
     // it is — identical in distribution to BatchSystem's Wo/T split.
     const double sigma = p + (1.0 - p) * wr;
     const std::size_t run = leap::sample_bernoulli_run(sigma, rng, cap);
+    PPFS_METRIC(m_leap_len_, record(run));
     if (run > 0) {
       stats_.record_noops(run);
       d.noops += run;
@@ -442,6 +461,7 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
 }
 
 bool SimBatchSystem::step_once(Rng& rng, BatchDelta& d) {
+  PPFS_METRIC(m_direct_steps_, add());
   const bool omissive = omit_ && omit_->should_omit(rng, steps_);
   if (omissive) ++d.omissions;
   const auto [s, r] = draw_any_pair(rng);

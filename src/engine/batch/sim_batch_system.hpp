@@ -63,6 +63,7 @@
 #include "core/dynamic_rules.hpp"
 #include "engine/batch/configuration.hpp"
 #include "engine/stats.hpp"
+#include "obs/metrics.hpp"
 #include "sched/omission_process.hpp"
 #include "util/rng.hpp"
 
@@ -104,6 +105,7 @@ class CountIndex {
     while (pick >= buckets_[b]) pick -= buckets_[b++];
     std::size_t i = b << kShift;
     while (pick >= counts_[i]) pick -= counts_[i++];
+    record_probe_depth(b, i);
     return i;
   }
 
@@ -125,15 +127,36 @@ class CountIndex {
       if (pick < w) break;
       pick -= w;
     }
+    record_probe_depth(b, i);
     return i;
+  }
+
+  // Wire the inverse-CDF probe-depth histogram (obs layer); null
+  // detaches. Depths are subsampled 1-in-16 — two finds per fire would
+  // otherwise make this the most expensive hook on the hot path.
+  void set_metrics(obs::MetricRegistry* reg) {
+    m_probe_depth_ = reg ? &reg->histogram("index.probe_depth") : nullptr;
   }
 
  private:
   static constexpr std::size_t kShift = 8;
   static constexpr std::size_t kBucket = 1u << kShift;
+
+  void record_probe_depth(std::size_t b, std::size_t i) const {
+#if PPFS_METRICS
+    if (m_probe_depth_ && (probe_tick_++ & 15u) == 0)
+      m_probe_depth_->record(b + (i - (b << kShift)) + 1);
+#else
+    (void)b;
+    (void)i;
+#endif
+  }
+
   std::vector<std::uint32_t> counts_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
+  obs::Histogram* m_probe_depth_ = nullptr;
+  mutable std::uint64_t probe_tick_ = 0;
 };
 
 // Counts over interned wrapper states, tracking the occupied subset.
@@ -227,6 +250,13 @@ class SimBatchSystem {
   [[nodiscard]] RunStats& stats() noexcept { return stats_; }
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
 
+  // Wire hot-path instrumentation across the whole stack this system
+  // owns: leap-length histogram, direct-step / weight-scan counters, fire
+  // timer, CountIndex probe depths, the rule source's universe counters
+  // and the omission process's burst histogram. Null detaches. Purely
+  // observational — never consumes Rng draws or changes trajectories.
+  void set_metrics(obs::MetricRegistry* reg);
+
  private:
   // (changing weight, total weight) of the Real class under the current
   // counts; the no-op run before the next real count-change is geometric
@@ -295,6 +325,12 @@ class SimBatchSystem {
   bool weights_valid_ = false;  // general mode
   std::uint64_t w_real_ = 0;    // general mode
   std::size_t noop_streak_ = 0;  // general mode: dense/sparse switch
+
+  obs::Histogram* m_leap_len_ = nullptr;    // no-op runs leapt in one draw
+  obs::Counter* m_weight_scans_ = nullptr;  // O(occupied^2) changing scans
+  obs::Counter* m_direct_steps_ = nullptr;  // dense-path hypergeometric steps
+  obs::SampledTimer* m_time_fire_ = nullptr;
+  obs::MetricRegistry* metrics_reg_ = nullptr;  // re-wire late-attached omit_
 };
 
 }  // namespace ppfs

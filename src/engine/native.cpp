@@ -12,6 +12,7 @@ InteractionSystem::InteractionSystem(RuleMatrix rules, std::vector<State> initia
 void InteractionSystem::interact(const Interaction& ia) {
   if (ia.starter == ia.reactor)
     throw std::invalid_argument("InteractionSystem: self-interaction");
+  PPFS_TIMER_BEGIN(t0, m_time_interact_);
   const InteractionClass cls = rules_.classify(ia);  // throws on bad omission
   const State s = pop_.state(ia.starter);
   const State r = pop_.state(ia.reactor);
@@ -20,6 +21,13 @@ void InteractionSystem::interact(const Interaction& ia) {
   pop_.set_state(ia.reactor, out.reactor);
   ++steps_;
   if (ia.omissive) ++omissions_;
+#if PPFS_METRICS
+  if (m_fires_) {
+    if (out.starter != s || out.reactor != r) m_fires_->add();
+    else m_noops_->add();
+  }
+#endif
+  PPFS_TIMER_END(t0, m_time_interact_);
 }
 
 void InteractionSystem::set_rules(RuleMatrix rules) {

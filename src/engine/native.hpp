@@ -19,6 +19,7 @@
 #include "core/protocol.hpp"
 #include "core/rule_matrix.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppfs {
 
@@ -45,11 +46,22 @@ class InteractionSystem {
   // omission-reaction functions are installed after construction).
   void set_rules(RuleMatrix rules);
 
+  // Wire per-delivery counters + the sampled interact timer (obs layer);
+  // null detaches. Purely observational.
+  void set_metrics(obs::MetricRegistry* reg) {
+    m_fires_ = reg ? &reg->counter("native.fires") : nullptr;
+    m_noops_ = reg ? &reg->counter("native.noops") : nullptr;
+    m_time_interact_ = reg ? &reg->timer("time.interact") : nullptr;
+  }
+
  private:
   RuleMatrix rules_;
   Population pop_;  // states + the matrix's two-way protocol face
   std::size_t steps_ = 0;
   std::size_t omissions_ = 0;
+  obs::Counter* m_fires_ = nullptr;  // deliveries that changed some state
+  obs::Counter* m_noops_ = nullptr;
+  obs::SampledTimer* m_time_interact_ = nullptr;
 };
 
 // Two-way native engine. Rejects omissive interactions: the plain TW model

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -9,12 +10,17 @@
 
 namespace ppfs {
 
-// Streaming summary (count / mean / max) without storing samples.
+// Streaming summary (count / mean / variance / max) without storing
+// samples. Second moments use Welford's update with Chan et al.'s pairwise
+// merge, so merging partial summaries is numerically stable and (up to
+// floating rounding) order-insensitive.
 class StreamStat {
  public:
   void add(double v) noexcept {
+    const double mean_old = count_ ? sum_ / static_cast<double>(count_) : 0.0;
     ++count_;
     sum_ += v;
+    m2_ += (v - mean_old) * (v - sum_ / static_cast<double>(count_));
     max_ = std::max(max_, v);
     min_ = count_ == 1 ? v : std::min(min_, v);
   }
@@ -23,17 +29,27 @@ class StreamStat {
   [[nodiscard]] double mean() const noexcept { return count_ ? sum_ / count_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return max_; }
   [[nodiscard]] double min() const noexcept { return min_; }
+  // Population variance (and its root). 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
 
-  // Fold another summary in. Associative, and order-insensitive whenever
-  // the summed values make floating addition exact (integer-valued samples
-  // below 2^53 — interaction counts, token counts, rollback tallies — which
-  // is what the experiment layer feeds it).
+  // Fold another summary in. Count/sum/extrema are exact whenever the
+  // summed values make floating addition exact (integer-valued samples
+  // below 2^53 — interaction counts, token counts, rollback tallies, which
+  // is what the experiment layer feeds it); the second moment uses Chan's
+  // parallel combination, associative up to floating rounding.
   void merge(const StreamStat& o) noexcept {
     if (o.count_ == 0) return;
     if (count_ == 0) {
       *this = o;
       return;
     }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(o.count_);
+    const double delta = o.sum_ / nb - sum_ / na;
+    m2_ += o.m2_ + delta * delta * (na * nb / (na + nb));
     count_ += o.count_;
     sum_ += o.sum_;
     max_ = std::max(max_, o.max_);
@@ -45,6 +61,7 @@ class StreamStat {
  private:
   std::size_t count_ = 0;
   double sum_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
   double max_ = 0.0;
   double min_ = 0.0;
 };

@@ -72,4 +72,20 @@ Trace Trace::parse_string(const std::string& text) {
   return parse(is);
 }
 
+RecordingScheduler::RecordingScheduler(std::unique_ptr<Scheduler> inner,
+                                       Trace* sink)
+    : inner_(std::move(inner)), sink_(sink) {
+  if (!inner_)
+    throw std::invalid_argument("RecordingScheduler: null inner scheduler");
+}
+
+Interaction RecordingScheduler::next(Rng& rng, std::size_t step) {
+  const Interaction ia = inner_->next(rng, step);
+  if (sink_ != nullptr) {
+    sink_->append(ia);
+    ++recorded_;
+  }
+  return ia;
+}
+
 }  // namespace ppfs

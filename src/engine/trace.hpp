@@ -9,10 +9,12 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "sched/scheduler.hpp"
 
 namespace ppfs {
 
@@ -47,7 +49,29 @@ class Trace {
   std::vector<Interaction> interactions_;
 };
 
-// A scheduler decorator that records everything it hands out.
-class Scheduler;  // fwd (sched/scheduler.hpp)
+// A scheduler decorator that records everything it hands out: wrap any
+// inner scheduler, run as usual, and the sink accumulates the exact
+// physical sequence — ready to save() and replay() bit-for-bit. The
+// decorator is transparent: it forwards the Rng and step index to the
+// inner scheduler untouched, so a wrapped run consumes the same draws and
+// produces the same interactions as an unwrapped one. This is how engines
+// without record_trace support (and raw Scheduler-driven runs generally)
+// get archival traces.
+class RecordingScheduler final : public Scheduler {
+ public:
+  // `sink` may be null (transparent pass-through, nothing recorded) and
+  // must otherwise outlive the scheduler. The inner scheduler must be
+  // non-null.
+  RecordingScheduler(std::unique_ptr<Scheduler> inner, Trace* sink);
+
+  [[nodiscard]] Interaction next(Rng& rng, std::size_t step) override;
+
+  [[nodiscard]] std::size_t recorded() const noexcept { return recorded_; }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  Trace* sink_;
+  std::size_t recorded_ = 0;
+};
 
 }  // namespace ppfs

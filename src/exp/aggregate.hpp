@@ -32,6 +32,11 @@ struct ReplicaResult {
   std::uint64_t noops = 0;
   std::uint64_t omissive_fires = 0;
   std::map<std::string, double> extras;
+  // Flight-recorder timeline (newline-terminated JSONL, schema
+  // ppfs.flight.v1); empty unless the scenario set metrics_every > 0.
+  // Carried per replica, not aggregated — consumers (ppfs_cli
+  // --metrics-out) concatenate them in trial order.
+  std::string flight;
   // Non-empty = the replica threw (or was cancelled); excluded from every
   // distributional column, counted in failed().
   std::string error;

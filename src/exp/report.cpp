@@ -48,6 +48,7 @@ void write_summary_json(std::ostream& os, const char* key,
     return;
   }
   os << "{ \"count\": " << s.count() << ", \"mean\": " << fmt_num(s.mean())
+     << ", \"stddev\": " << fmt_num(s.stddev())
      << ", \"min\": " << fmt_num(s.min()) << ", \"max\": " << fmt_num(s.max())
      << " }";
 }
@@ -135,6 +136,7 @@ void Report::write_json(std::ostream& os) const {
        << ", \"convergence_rate\": " << fmt_num(a.convergence_rate()) << ",\n"
        << "    \"interactions\": { \"mean\": "
        << fmt_num(a.interactions().mean())
+       << ", \"stddev\": " << fmt_num(a.interactions().stddev())
        << ", \"min\": " << fmt_num(a.interactions().min())
        << ", \"max\": " << fmt_num(a.interactions().max())
        << ", \"p50\": " << a.interactions_quantile(0.50)

@@ -218,14 +218,33 @@ void harvest_sim_extras(const Simulator& sim, ReplicaResult& out) {
   UniformScheduler sched(spec.n);
   ReplicaResult out;
   const RunOptions opt = resolve_run_options(spec);
+  std::optional<obs::FlightRecorder> recorder;
+  if (spec.metrics_every > 0) {
+    engine->enable_metrics();
+    obs::FlightRecorderOptions fopt;
+    fopt.every = spec.metrics_every;
+    recorder.emplace(fopt);
+  }
+  obs::FlightRecorder* rec = recorder ? &*recorder : nullptr;
   if (spec.fixed_steps > 0) {
-    out.run = run_engine_steps(*engine, sched, rng, spec.fixed_steps);
+    out.run = run_engine_steps(*engine, sched, rng, spec.fixed_steps, rec);
   } else {
-    out.run = run_engine_until(*engine, sched, rng, probe, opt);
+    out.run = run_engine_until(*engine, sched, rng, probe, opt, rec);
   }
   fill_from_stats(out, engine->stats());
   if (!spec.sim.empty())
     out.extras["live_states"] = static_cast<double>(engine->universe_live());
+  if (recorder) {
+    engine->sync_metrics();
+    out.flight = recorder->to_jsonl();
+    // Deterministic registry content only: counters and gauges aggregate
+    // into "m.*" extras columns. Sampled timers are wall-clock estimates
+    // and stay out — extras must be bit-identical across thread counts.
+    for (const auto& [name, c] : engine->metrics()->counters())
+      out.extras["m." + name] = static_cast<double>(c.value());
+    for (const auto& [name, g] : engine->metrics()->gauges())
+      out.extras["m." + name] = g.value();
+  }
   if (stats_out != nullptr) *stats_out = engine->stats();
   return out;
 }
@@ -287,6 +306,7 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
               spec.probe = probe;
               spec.verify_matching = verify_matching;
               spec.max_unmatched_per_n = max_unmatched_per_n;
+              spec.metrics_every = metrics_every;
               out.push_back(std::move(spec));
             }
           }

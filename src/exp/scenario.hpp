@@ -75,6 +75,15 @@ struct ScenarioSpec {
   // harnesses historically allowed 4, SID/naming the tighter 2.
   std::size_t max_unmatched_per_n = 4;
 
+  // Flight-recorder cadence in interactions; 0 = telemetry off. Engine
+  // replicas with metrics_every > 0 enable the engine's MetricRegistry,
+  // attach an obs::FlightRecorder and report the timeline in
+  // ReplicaResult::flight plus deterministic registry totals as "m.*"
+  // extras. Deliberately NOT part of point_key(): instrumentation never
+  // consumes Rng draws, so attaching a recorder cannot change any result —
+  // a point's identity must not depend on whether it was observed.
+  std::size_t metrics_every = 0;
+
   // Registry bypass for programmatic scenarios (benches sweeping custom
   // protocols). When set, `workload` is just the display label.
   std::shared_ptr<const Workload> custom{};
@@ -108,6 +117,7 @@ struct ScenarioGrid {
   std::string probe = "workload";
   bool verify_matching = false;
   std::size_t max_unmatched_per_n = 4;
+  std::size_t metrics_every = 0;
 
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
   [[nodiscard]] std::size_t points() const noexcept {

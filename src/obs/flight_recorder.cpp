@@ -1,0 +1,166 @@
+#include "obs/flight_recorder.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ppfs::obs {
+
+namespace {
+
+// State labels come from Protocol::state_name — plain identifiers in
+// practice, but escape defensively.
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out << c;
+  }
+  out << '"';
+}
+
+void append_double(std::ostringstream& out, double v) {
+  std::ostringstream num;
+  num.precision(12);
+  num << v;
+  out << num.str();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions opt)
+    : opt_(opt), next_(opt.every) {
+  if (opt_.every == 0) opt_.every = next_ = 1;
+}
+
+void FlightRecorder::record(const MetricRegistry& reg,
+                            const ConfigSummary& summary) {
+  const std::uint64_t i = summary.interactions;
+  const std::uint64_t di = i - last_interactions_;
+
+  std::ostringstream out;
+  out << "{\"i\":" << i << ",\"di\":" << di
+      << ",\"states\":" << summary.distinct_states;
+
+  if (di > 0) {
+    const double disp =
+        (static_cast<double>(summary.distinct_states) -
+         static_cast<double>(last_distinct_)) /
+        static_cast<double>(di);
+    out << ",\"disp\":";
+    append_double(out, disp);
+  }
+
+  out << ",\"top\":[";
+  {
+    bool first = true;
+    std::size_t emitted = 0;
+    for (const TopState& t : summary.top_counts) {
+      if (emitted++ >= opt_.top_k) break;
+      if (!first) out << ',';
+      first = false;
+      out << '[';
+      append_json_string(out, t.state);
+      out << ',' << t.count << ']';
+    }
+  }
+  out << ']';
+
+  // Counter deltas: only counters whose value changed since the last
+  // snapshot (new counters count as changed-from-0).
+  {
+    bool open = false;
+    for (const auto& [name, c] : reg.counters()) {
+      const std::uint64_t prev = last_counters_[name];
+      if (c.value() == prev) continue;
+      out << (open ? "," : ",\"c\":{");
+      open = true;
+      append_json_string(out, name);
+      // Counters are monotone in practice; emit a signed delta anyway so
+      // set()-style counters (synced from external Stats) stay honest.
+      out << ':'
+          << (c.value() >= prev
+                  ? static_cast<std::int64_t>(c.value() - prev)
+                  : -static_cast<std::int64_t>(prev - c.value()));
+      last_counters_[name] = c.value();
+    }
+    if (open) out << '}';
+  }
+
+  // Gauges: absolute values, changed only.
+  {
+    bool open = false;
+    for (const auto& [name, g] : reg.gauges()) {
+      const auto it = last_gauges_.find(name);
+      if (it != last_gauges_.end() && it->second == g.value()) continue;
+      out << (open ? "," : ",\"g\":{");
+      open = true;
+      append_json_string(out, name);
+      out << ':';
+      append_double(out, g.value());
+      last_gauges_[name] = g.value();
+    }
+    if (open) out << '}';
+  }
+
+  // Histogram bucket deltas: name -> [[bucket_floor, added_count], ...].
+  {
+    bool open = false;
+    for (const auto& [name, h] : reg.histograms()) {
+      auto& prev = last_buckets_[name];
+      bool any = false;
+      std::ostringstream hb;
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t d = h.bucket(b) - prev[b];
+        if (d == 0) continue;
+        if (any) hb << ',';
+        any = true;
+        hb << '[' << Histogram::bucket_floor(b) << ',' << d << ']';
+        prev[b] = h.bucket(b);
+      }
+      if (!any) continue;
+      out << (open ? "," : ",\"h\":{");
+      open = true;
+      append_json_string(out, name);
+      out << ":[" << hb.str() << ']';
+    }
+    if (open) out << '}';
+  }
+
+  if (opt_.include_timings) {
+    bool open = false;
+    for (const auto& [name, t] : reg.timers()) {
+      if (t.events() == 0) continue;
+      out << (open ? "," : ",\"wall\":{");
+      open = true;
+      append_json_string(out, name);
+      out << ":{\"events\":" << t.events() << ",\"sampled\":" << t.sampled()
+          << ",\"est_s\":";
+      append_double(out, t.estimated_seconds());
+      out << '}';
+    }
+    if (open) out << '}';
+  }
+
+  out << '}';
+  lines_.push_back(out.str());
+
+  last_interactions_ = i;
+  last_distinct_ = summary.distinct_states;
+  next_ = (i / opt_.every + 1) * opt_.every;
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void FlightRecorder::write(std::ostream& os) const {
+  for (const std::string& line : lines_) os << line << '\n';
+}
+
+}  // namespace ppfs::obs

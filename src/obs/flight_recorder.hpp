@@ -1,0 +1,104 @@
+// obs::FlightRecorder: a cheap per-run timeline. On an interaction-count
+// cadence it snapshots a MetricRegistry plus a caller-filled configuration
+// summary (distinct-state count, top-k state counts) into delta-encoded
+// JSONL — one object per line, only changed values emitted, so long runs
+// stay small and diffs between snapshots are the payload.
+//
+// The recorder is engine-agnostic: it knows registries and summaries, not
+// engines (obs/ sits below engine/ in the layering; the run loop in
+// engine/batch/dispatch.cpp does the engine-side gathering). Snapshots
+// happen at run-loop slice boundaries — the recorder never slices the run
+// itself, so attaching one does not change the interaction trajectory or
+// Rng stream; the effective cadence is `every` rounded up to the run
+// loop's check_every granularity.
+//
+// Timeline schema ("ppfs.flight.v1"), one JSON object per line:
+//   i      absolute interaction count at the snapshot
+//   di     interactions since the previous snapshot
+//   states distinct live states
+//   disp   dispersion rate: (states - prev states) / di
+//   top    [[state_label, count], ...] descending, <= top_k entries
+//   c      counter DELTAS since the previous snapshot (changed only)
+//   g      gauge values (changed only)
+//   h      histogram bucket deltas: name -> [[bucket_floor, delta], ...]
+//   wall   sampled-timer estimates (only when include_timings — wall
+//          clocks are nondeterministic and excluded from artifacts that
+//          must be bit-identical across thread counts / machines)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ppfs::obs {
+
+struct TopState {
+  std::string state;
+  std::uint64_t count = 0;
+  friend bool operator==(const TopState&, const TopState&) = default;
+};
+
+// Caller-filled (engines know their own universes; see
+// Engine::fill_summary in engine/batch/dispatch.hpp).
+struct ConfigSummary {
+  std::uint64_t interactions = 0;
+  std::uint64_t distinct_states = 0;
+  std::vector<TopState> top_counts;  // descending by count
+};
+
+struct FlightRecorderOptions {
+  // Snapshot cadence in interactions (rounded up to the run loop's slice
+  // granularity — see header comment).
+  std::uint64_t every = std::uint64_t{1} << 20;
+  std::size_t top_k = 8;
+  // Emit wall-clock timer estimates. Off by default: timelines are then
+  // deterministic (bit-identical across --threads settings).
+  bool include_timings = false;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions opt = {});
+
+  [[nodiscard]] const FlightRecorderOptions& options() const noexcept {
+    return opt_;
+  }
+
+  // Is a snapshot due at this interaction count? The run loop asks after
+  // each slice; record() advances the next-due point to the following
+  // multiple of `every` past `summary.interactions`.
+  [[nodiscard]] bool due(std::uint64_t interactions) const noexcept {
+    return interactions >= next_;
+  }
+
+  void record(const MetricRegistry& reg, const ConfigSummary& summary);
+
+  [[nodiscard]] std::size_t snapshots() const noexcept { return lines_.size(); }
+  [[nodiscard]] const std::vector<std::string>& lines() const noexcept {
+    return lines_;
+  }
+  // All snapshot lines, newline-terminated (no header; callers that
+  // multiplex replicas into one file prepend their own header lines).
+  [[nodiscard]] std::string to_jsonl() const;
+  void write(std::ostream& os) const;
+
+ private:
+  FlightRecorderOptions opt_;
+  std::uint64_t next_;
+  std::vector<std::string> lines_;
+
+  // Previous-snapshot state for delta encoding.
+  std::uint64_t last_interactions_ = 0;
+  std::uint64_t last_distinct_ = 0;
+  std::map<std::string, std::uint64_t> last_counters_;
+  std::map<std::string, double> last_gauges_;
+  std::map<std::string, std::array<std::uint64_t, Histogram::kBuckets>>
+      last_buckets_;
+};
+
+}  // namespace ppfs::obs

@@ -1,0 +1,39 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace ppfs::obs {
+
+void MetricRegistry::merge(const MetricRegistry& o) {
+  for (const auto& [name, c] : o.counters_) counters_[name].merge(c);
+  for (const auto& [name, g] : o.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : o.histograms_) histograms_[name].merge(h);
+  for (const auto& [name, t] : o.timers_)
+    timers_.try_emplace(name, SampledTimer(0)).first->second.merge(t);
+}
+
+std::string MetricRegistry::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_)
+    out << name << " = " << c.value() << '\n';
+  for (const auto& [name, g] : gauges_) out << name << " = " << g.value() << '\n';
+  for (const auto& [name, h] : histograms_) {
+    out << name << " = { n=" << h.count() << " mean=" << h.mean()
+        << " min=" << (h.count() ? h.min() : 0) << " max=" << h.max()
+        << " buckets=[";
+    bool first = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket(b) == 0) continue;
+      if (!first) out << ' ';
+      first = false;
+      out << Histogram::bucket_floor(b) << ':' << h.bucket(b);
+    }
+    out << "] }\n";
+  }
+  for (const auto& [name, t] : timers_)
+    out << name << " = { events=" << t.events() << " sampled=" << t.sampled()
+        << " est_s=" << t.estimated_seconds() << " }\n";
+  return out.str();
+}
+
+}  // namespace ppfs::obs

@@ -1,0 +1,276 @@
+// obs::MetricRegistry: named counters, gauges, log2-bucket streaming
+// histograms and sampled wall-clock timers — the sensing layer under the
+// engines. Design constraints, in order:
+//
+//   1. Zero overhead when off. "Off" exists at two levels: the CMake
+//      option PPFS_METRICS=OFF compiles every PPFS_METRIC() hot-path hook
+//      to nothing, and with metrics compiled in, a system whose
+//      set_metrics() was never called keeps null handles, so each hook is
+//      one predictable branch. Instrumentation must NEVER consume Rng
+//      draws or change control flow: a metrics-on run follows the exact
+//      interaction trajectory of a metrics-off run.
+//
+//   2. Mergeable, like exp::AggregateStats. Per-replica registries fold
+//      associatively (counters sum, histogram buckets sum, gauges keep
+//      the max), so telemetry rides the existing deterministic
+//      trial-order fold of the experiment layer.
+//
+//   3. Stable handles + deterministic iteration. Metrics live in
+//      std::map (node-based: inserting never moves existing entries), so
+//      systems resolve a Counter*/Histogram* once at set_metrics() time
+//      and snapshots serialize in name order.
+//
+// Wall-clock timers are the one non-deterministic instrument. They are
+// sampled (one timed event per 2^shift, counter-based — never RNG-based)
+// and are excluded by default from deterministic artifacts (flight
+// recorder timelines, exp extras).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#ifndef PPFS_METRICS
+#define PPFS_METRICS 1
+#endif
+
+// PPFS_METRIC(handle, call): the hot-path hook. `handle` is a cached
+// pointer member resolved by set_metrics() (null until then); `call` is
+// the member call to make on it, e.g.
+//
+//   PPFS_METRIC(m_leap_len_, record(skipped));
+//
+// Compiles to nothing under PPFS_METRICS=OFF; to `if (h) h->record(..)`
+// when on. Arguments are NOT evaluated when compiled out — keep them free
+// of side effects.
+#if PPFS_METRICS
+#define PPFS_METRIC(handle, ...)           \
+  do {                                     \
+    if (handle) (handle)->__VA_ARGS__;     \
+  } while (0)
+#else
+#define PPFS_METRIC(handle, ...) \
+  do {                           \
+  } while (0)
+#endif
+
+// Sampled-timer bracket around a phase. `var` names a local holding the
+// begin() stamp; both sides compile out together under PPFS_METRICS=OFF.
+//
+//   PPFS_TIMER_BEGIN(t0, m_time_fire_);
+//   ... phase ...
+//   PPFS_TIMER_END(t0, m_time_fire_);
+#if PPFS_METRICS
+#define PPFS_TIMER_BEGIN(var, handle) \
+  const std::int64_t var = (handle) ? (handle)->begin() : 0
+#define PPFS_TIMER_END(var, handle)    \
+  do {                                 \
+    if (handle) (handle)->end(var);    \
+  } while (0)
+#else
+#define PPFS_TIMER_BEGIN(var, handle) \
+  do {                                \
+  } while (0)
+#define PPFS_TIMER_END(var, handle) \
+  do {                              \
+  } while (0)
+#endif
+
+namespace ppfs::obs {
+
+// Monotonic event count. merge() sums.
+class Counter {
+ public:
+  void add(std::uint64_t k = 1) noexcept { value_ += k; }
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void merge(const Counter& o) noexcept { value_ += o.value_; }
+  friend bool operator==(const Counter&, const Counter&) = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Point-in-time level (universe size, remaining budget). merge() keeps
+// the max — the only associative, order-insensitive fold for levels.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void merge(const Gauge& o) noexcept { value_ = std::max(value_, o.value_); }
+  friend bool operator==(const Gauge&, const Gauge&) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+// Streaming histogram over log2 buckets: value v lands in bucket
+// bit_width(v), so bucket 0 holds exactly {0}, bucket b >= 1 holds
+// [2^(b-1), 2^b). 65 buckets cover all of uint64. record() is a handful
+// of arithmetic ops — cheap enough for hot paths; merge() sums buckets
+// (exact, integer counts).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v) noexcept {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    min_ = count_ == 1 ? v : std::min(min_, v);
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  // Smallest value that lands in bucket b (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const { return buckets_.at(b); }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  void merge(const Histogram& o) noexcept {
+    if (o.count_ == 0) return;
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+    max_ = std::max(max_, o.max_);
+    min_ = count_ == 0 ? o.min_ : std::min(min_, o.min_);
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = 0;
+};
+
+// Sampled wall-clock phase timer: times one event in 2^sample_shift
+// (counter-based, so the sampling decision costs one increment + mask and
+// never touches the Rng), scales the measured nanoseconds back up in
+// estimated_seconds(). shift 0 times every event — reserve that for
+// per-slice phases, not per-fire ones. Timings are wall-clock and hence
+// non-deterministic; they never enter fingerprints, extras or default
+// flight-recorder timelines.
+class SampledTimer {
+ public:
+  explicit SampledTimer(unsigned sample_shift = 6) noexcept
+      : mask_((std::uint64_t{1} << sample_shift) - 1) {}
+
+  // Returns 0 for unsampled events (end() then ignores them).
+  [[nodiscard]] std::int64_t begin() noexcept {
+    return (events_++ & mask_) == 0 ? now_ns() : 0;
+  }
+  void end(std::int64_t t0) noexcept {
+    if (t0 == 0) return;
+    ++sampled_;
+    ns_ += now_ns() - t0;
+  }
+
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] std::uint64_t sampled() const noexcept { return sampled_; }
+  [[nodiscard]] double sampled_seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  // Total-phase estimate: measured time scaled by events/sampled.
+  [[nodiscard]] double estimated_seconds() const noexcept {
+    if (sampled_ == 0) return 0.0;
+    return sampled_seconds() * (static_cast<double>(events_) /
+                                static_cast<double>(sampled_));
+  }
+
+  void merge(const SampledTimer& o) noexcept {
+    events_ += o.events_;
+    sampled_ += o.sampled_;
+    ns_ += o.ns_;
+  }
+
+ private:
+  [[nodiscard]] static std::int64_t now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::uint64_t mask_;
+  std::uint64_t events_ = 0;
+  std::uint64_t sampled_ = 0;
+  std::int64_t ns_ = 0;
+};
+
+// The registry: named metric families with stable addresses. Lookup by
+// name is a map walk — done once per run at set_metrics() time; the hot
+// path only ever touches the returned pointers.
+class MetricRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+  [[nodiscard]] SampledTimer& timer(const std::string& name,
+                                    unsigned sample_shift = 6) {
+    return timers_.try_emplace(name, SampledTimer(sample_shift)).first->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+  [[nodiscard]] const std::map<std::string, SampledTimer>& timers()
+      const noexcept {
+    return timers_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           timers_.empty();
+  }
+
+  // Associative fold; names union, values merge per kind.
+  void merge(const MetricRegistry& o);
+
+  // One line per metric, name-sorted — debugging / golden-file friendly.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const MetricRegistry& a, const MetricRegistry& b) {
+    return a.counters_ == b.counters_ && a.gauges_ == b.gauges_ &&
+           a.histograms_ == b.histograms_;
+    // timers are wall-clock noise, excluded from equality by design
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, SampledTimer> timers_;
+};
+
+}  // namespace ppfs::obs

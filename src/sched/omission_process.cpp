@@ -149,6 +149,9 @@ std::size_t OmissionProcess::remaining_budget() const noexcept {
 
 bool OmissionProcess::should_omit(Rng& rng, std::size_t step) {
   if (!active(step) || burst_ >= params_.max_burst || !rng.chance(params_.rate)) {
+#if PPFS_METRICS
+    if (m_burst_len_ && burst_ > 0) m_burst_len_->record(burst_);
+#endif
     burst_ = 0;
     return false;
   }

@@ -33,6 +33,7 @@
 #include <string>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
@@ -95,7 +96,15 @@ class OmissionProcess {
   // --- shared within-burst state (step-wise should_omit and the batch
   // --- burst-capped leap drive one counter) -------------------------------
   [[nodiscard]] std::size_t burst() const noexcept { return burst_; }
-  void set_burst(std::size_t b) noexcept { burst_ = b; }
+  void set_burst(std::size_t b) noexcept {
+#if PPFS_METRICS
+    // A reset from a non-zero burst closes one burst episode — both paths
+    // (should_omit and the batch leaps) end episodes through here or
+    // through should_omit's own reset.
+    if (m_burst_len_ && b == 0 && burst_ > 0) m_burst_len_->record(burst_);
+#endif
+    burst_ = b;
+  }
   [[nodiscard]] std::size_t max_burst() const noexcept {
     return params_.max_burst;
   }
@@ -109,10 +118,18 @@ class OmissionProcess {
   [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
   [[nodiscard]] const AdversaryParams& params() const noexcept { return params_; }
 
+  // Wire the burst-episode-length histogram (obs layer); null detaches.
+  // Budget drain is pull-style: engines gauge remaining_budget() at
+  // snapshot time instead of instrumenting the draw path.
+  void set_metrics(obs::MetricRegistry* reg) {
+    m_burst_len_ = reg ? &reg->histogram("adv.burst_len") : nullptr;
+  }
+
  private:
   AdversaryParams params_;
   std::size_t emitted_ = 0;
   std::size_t burst_ = 0;
+  obs::Histogram* m_burst_len_ = nullptr;
 };
 
 }  // namespace ppfs

@@ -73,7 +73,16 @@ class SidRuleSource : public DynamicRuleSource {
   // only duplicate it.
   [[nodiscard]] bool self_caching() const override { return true; }
 
+  void export_metrics(obs::MetricRegistry& reg) const override {
+    DynamicRuleSource::export_metrics(reg);
+    reg.counter("cache.react_memo.entries").set(cache_.size());
+  }
+
  protected:
+  void wire_metrics(obs::MetricRegistry* reg) override {
+    universe_.set_metrics(reg);
+  }
+
   // The reactor's value-level step; overridden by the naming layer.
   [[nodiscard]] virtual State react(State reactor, State starter_snap);
 
@@ -181,7 +190,25 @@ class SknoRuleSource final : public DynamicRuleSource {
     g_cache_.set_capacity(capacity);
   }
 
+  void export_metrics(obs::MetricRegistry& reg) const override {
+    DynamicRuleSource::export_metrics(reg);
+    const OutcomeCache::Stats& rs = recv_cache_.stats();
+    reg.counter("cache.recv.hits").set(rs.hits);
+    reg.counter("cache.recv.misses").set(rs.misses);
+    reg.counter("cache.recv.evictions").set(rs.evictions);
+    reg.counter("cache.recv.stale_drops").set(rs.stale_drops);
+    const OutcomeCache::Stats& gs = g_cache_.stats();
+    reg.counter("cache.g.hits").set(gs.hits);
+    reg.counter("cache.g.misses").set(gs.misses);
+    reg.counter("cache.g.evictions").set(gs.evictions);
+    reg.counter("cache.g.stale_drops").set(gs.stale_drops);
+  }
+
  protected:
+  void wire_metrics(obs::MetricRegistry* reg) override {
+    universe_.set_metrics(reg);
+  }
+
   void do_release(State s) override {
     recv_cache_.invalidate(s);
     g_cache_.invalidate(s);

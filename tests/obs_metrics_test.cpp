@@ -1,0 +1,186 @@
+// Unit tests for the obs metrics layer: log2-bucket histogram boundaries,
+// exact merge under arbitrary partitions (the property the multi-threaded
+// sweep fold relies on), registry merge semantics, and the null-handle
+// hot-path hook.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ppfs::obs {
+namespace {
+
+TEST(Histogram, BucketOfIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);  // bucket 0 holds exactly {0}
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  // Every power of two opens a new bucket; its predecessor closes the old
+  // one — bucket b >= 1 is exactly [2^(b-1), 2^b).
+  for (unsigned k = 1; k < 64; ++k) {
+    const std::uint64_t p = std::uint64_t{1} << k;
+    EXPECT_EQ(Histogram::bucket_of(p), k + 1);
+    EXPECT_EQ(Histogram::bucket_of(p - 1), k);
+  }
+  // The top of uint64 lands in the last of the 65 buckets.
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, BucketFloorIsTheLeftEdgeOfItsOwnBucket) {
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  for (std::size_t b = 1; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_floor(b), std::uint64_t{1} << (b - 1));
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_floor(b)), b);
+    // One below the floor belongs to the previous bucket.
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_floor(b) - 1), b - 1);
+  }
+}
+
+TEST(Histogram, RecordTracksCountSumExtrema) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.record(0);
+  h.record(5);
+  h.record(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 8.0 / 3.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket(2), 1u);  // 3 in [2,4)
+  EXPECT_EQ(h.bucket(3), 1u);  // 5 in [4,8)
+}
+
+TEST(Histogram, MergeFuzzMatchesSinglePassExactly) {
+  // Any partition of the sample, merged back, must be bit-identical to one
+  // sequential pass: bucket counts are integers, and the double sum stays
+  // exact because all values and partial sums fit in 53 bits.
+  Rng rng(20260808);
+  std::vector<std::uint64_t> vs;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned width = static_cast<unsigned>(rng.below(38));
+    vs.push_back(rng.below((std::uint64_t{1} << width) + 1));
+  }
+  Histogram whole;
+  for (const std::uint64_t v : vs) whole.record(v);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t k = 2 + rng.below(7);
+    std::vector<Histogram> parts(k);
+    for (const std::uint64_t v : vs)
+      parts[static_cast<std::size_t>(rng.below(k))].record(v);
+    Histogram merged;
+    for (const Histogram& p : parts) merged.merge(p);
+    EXPECT_EQ(merged, whole);
+  }
+
+  // Merging an empty histogram is the identity in either direction.
+  Histogram empty, a = whole;
+  a.merge(empty);
+  EXPECT_EQ(a, whole);
+  Histogram b;
+  b.merge(whole);
+  EXPECT_EQ(b, whole);
+}
+
+TEST(MetricRegistry, MergeSumsCountersSumsHistogramsMaxesGauges) {
+  MetricRegistry a, b;
+  a.counter("fires").add(3);
+  b.counter("fires").add(4);
+  b.counter("only_b").add(1);
+  a.gauge("live").set(10.0);
+  b.gauge("live").set(7.0);
+  a.histogram("leap").record(5);
+  b.histogram("leap").record(9);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("fires").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("live").value(), 10.0);
+  EXPECT_EQ(a.histogram("leap").count(), 2u);
+  EXPECT_EQ(a.histogram("leap").max(), 9u);
+}
+
+TEST(MetricRegistry, MergeIsAssociative) {
+  auto make = [](std::uint64_t c, double g, std::uint64_t h) {
+    MetricRegistry r;
+    r.counter("c").add(c);
+    r.gauge("g").set(g);
+    r.histogram("h").record(h);
+    return r;
+  };
+  const MetricRegistry a = make(1, 3.0, 2);
+  const MetricRegistry b = make(5, 9.0, 70);
+  const MetricRegistry c = make(2, 1.0, 2);
+
+  MetricRegistry ab = a;
+  ab.merge(b);
+  MetricRegistry ab_c = ab;
+  ab_c.merge(c);
+
+  MetricRegistry bc = b;
+  bc.merge(c);
+  MetricRegistry a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c, a_bc);  // integer counts + max-fold gauges: exact
+}
+
+TEST(MetricRegistry, EqualityIgnoresWallClockTimers) {
+  MetricRegistry a, b;
+  a.counter("x").add(1);
+  b.counter("x").add(1);
+  // Different timer activity must not break equality — timers are
+  // nondeterministic by nature and excluded from artifacts by design.
+  const std::int64_t t0 = a.timer("phase", 0).begin();
+  a.timer("phase", 0).end(t0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Metrics, NullHandleHookIsANoOp) {
+  // The shipping default: metrics compiled in but never attached. Every
+  // PPFS_METRIC hook must be safe (and do nothing) on a null handle.
+  Counter* h = nullptr;
+  PPFS_METRIC(h, add(1));
+  Histogram* hist = nullptr;
+  PPFS_METRIC(hist, record(42));
+  SampledTimer* timer = nullptr;
+  PPFS_TIMER_BEGIN(t0, timer);
+  PPFS_TIMER_END(t0, timer);
+
+  MetricRegistry reg;
+  h = &reg.counter("x");
+  PPFS_METRIC(h, add(2));
+#if PPFS_METRICS
+  EXPECT_EQ(reg.counter("x").value(), 2u);
+#else
+  EXPECT_EQ(reg.counter("x").value(), 0u);  // hooks compiled out entirely
+#endif
+}
+
+TEST(SampledTimer, SamplesOneEventPerWindow) {
+  SampledTimer t(2);  // 1 in 4
+  for (int i = 0; i < 8; ++i) {
+    const std::int64_t t0 = t.begin();
+    t.end(t0);
+  }
+  EXPECT_EQ(t.events(), 8u);
+  EXPECT_EQ(t.sampled(), 2u);  // events 0 and 4
+  EXPECT_GE(t.estimated_seconds(), 0.0);
+
+  SampledTimer every(0);  // shift 0: time everything
+  const std::int64_t t0 = every.begin();
+  every.end(t0);
+  EXPECT_EQ(every.events(), 1u);
+  EXPECT_EQ(every.sampled(), 1u);
+}
+
+}  // namespace
+}  // namespace ppfs::obs

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace ppfs {
 namespace {
 
@@ -14,6 +19,32 @@ TEST(StreamStat, TracksCountMeanMinMax) {
   EXPECT_DOUBLE_EQ(s.mean(), 4.0);
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(StreamStat, VarianceMatchesTwoPassComputation) {
+  const std::vector<double> xs = {2.0, 6.0, 4.0, 4.0, 9.0, 1.0, 5.0};
+  StreamStat s;
+  double sum = 0.0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  const double expect = m2 / static_cast<double>(xs.size());
+  EXPECT_NEAR(s.variance(), expect, 1e-12 * expect);
+  EXPECT_NEAR(s.stddev(), std::sqrt(expect), 1e-12);
+  // Degenerate cases: no samples and one sample both read 0.
+  StreamStat empty;
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  StreamStat one;
+  one.add(7.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+  // Constant samples have exactly zero spread (Welford keeps this exact).
+  StreamStat flat;
+  for (int i = 0; i < 100; ++i) flat.add(3.5);
+  EXPECT_DOUBLE_EQ(flat.variance(), 0.0);
 }
 
 TEST(StreamStat, MergeFoldsSummariesAssociatively) {
@@ -34,13 +65,21 @@ TEST(StreamStat, MergeFoldsSummariesAssociatively) {
   StreamStat a_bc = a;
   a_bc.merge(bc);
 
-  EXPECT_EQ(ab_c, a_bc);
+  // Count/sum/extrema are integer-exact; the second moment is Chan's
+  // parallel combination, associative up to floating rounding.
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_DOUBLE_EQ(ab_c.sum(), a_bc.sum());
+  EXPECT_DOUBLE_EQ(ab_c.min(), a_bc.min());
+  EXPECT_DOUBLE_EQ(ab_c.max(), a_bc.max());
+  EXPECT_NEAR(ab_c.variance(), a_bc.variance(),
+              1e-12 * (1.0 + ab_c.variance()));
   EXPECT_EQ(ab_c.count(), 5u);
   EXPECT_DOUBLE_EQ(ab_c.sum(), 21.0);
   EXPECT_DOUBLE_EQ(ab_c.min(), 1.0);
   EXPECT_DOUBLE_EQ(ab_c.max(), 9.0);
 
-  // Merging an empty summary on either side is the identity.
+  // Merging an empty summary on either side is the identity (bit-exact:
+  // these paths copy rather than recombine).
   StreamStat empty;
   StreamStat a_copy = a;
   a_copy.merge(empty);
@@ -48,6 +87,43 @@ TEST(StreamStat, MergeFoldsSummariesAssociatively) {
   StreamStat lhs_empty;
   lhs_empty.merge(a);
   EXPECT_EQ(lhs_empty, a);
+}
+
+TEST(StreamStat, MergedVarianceMatchesSinglePassOverConcatenation) {
+  // Chan's combination across arbitrary partitions must agree with one
+  // sequential pass over the whole sample — the property that makes
+  // multi-threaded sweep aggregation trustworthy.
+  Rng rng(20260808);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i)
+    xs.push_back(static_cast<double>(rng.below(1'000'000)));
+
+  StreamStat whole;
+  for (const double x : xs) whole.add(x);
+
+  // Partition into uneven chunks, merge left-to-right and pairwise.
+  const std::size_t cuts[] = {0, 7, 8, 250, 251, 700, 1000};
+  std::vector<StreamStat> parts;
+  for (std::size_t i = 0; i + 1 < std::size(cuts); ++i) {
+    StreamStat p;
+    for (std::size_t j = cuts[i]; j < cuts[i + 1]; ++j) p.add(xs[j]);
+    parts.push_back(p);
+  }
+  StreamStat fold;
+  for (const StreamStat& p : parts) fold.merge(p);
+  const double tol = 1e-9 * (1.0 + whole.variance());
+  EXPECT_EQ(fold.count(), whole.count());
+  EXPECT_DOUBLE_EQ(fold.sum(), whole.sum());
+  EXPECT_NEAR(fold.variance(), whole.variance(), tol);
+
+  StreamStat pairwise;
+  for (std::size_t i = 0; i < parts.size(); i += 2) {
+    StreamStat pair = parts[i];
+    if (i + 1 < parts.size()) pair.merge(parts[i + 1]);
+    pairwise.merge(pair);
+  }
+  EXPECT_EQ(pairwise.count(), whole.count());
+  EXPECT_NEAR(pairwise.variance(), whole.variance(), tol);
 }
 
 TEST(RunStats, CountsFiresPerRule) {
