@@ -3,7 +3,7 @@
 // summary statistics. With no arguments it runs a representative demo.
 //
 //   usage: ppfs_cli [workload] [simulator] [model] [n] [rate] [budget] [seed]
-//          ppfs_cli --engine=native|batch [--model=M] [--adversary=SPEC]
+//          ppfs_cli --engine=native|batch|auto [--model=M] [--adversary=SPEC]
 //                   [--simulate=SIM] [workload] [n] [seed]
 //          ppfs_cli --sweep=GRID [--trials=N] [--threads=K] [--seed=S]
 //                   [--out=table|json|csv] [--out-file=PATH]
@@ -37,8 +37,11 @@
 //   runs THAT through the chosen engine: "batch" executes the simulator in
 //   count space over interned wrapper states (engine/batch/
 //   sim_batch_system.hpp), which is how SKnO reaches n = 10^6; "native"
-//   drives the step-wise per-agent facade. Convergence is detected on the
-//   simulated projection. The default workload for --simulate runs is
+//   drives the step-wise per-agent facade; "auto" starts on whichever
+//   representation the run's dispersion favors and may switch between
+//   count space and a direct agent-space driver mid-run (engine/batch/
+//   regime.hpp) — the right default when the regime is not known up
+//   front. Convergence is detected on the simulated projection. The default workload for --simulate runs is
 //   exact-majority-gap (margin Theta(n)) at n = 50: simulated no-ops
 //   cannot be leapt — the token machinery runs regardless — so the
 //   margin-2 instance would need Theta(n^2) simulated interactions at any
@@ -113,7 +116,7 @@ int usage(const char* msg) {
   std::cerr << "ppfs_cli: " << msg
             << "\nusage: ppfs_cli [workload] [simulator] [model] [n] [rate] "
                "[budget] [seed]\n"
-               "       ppfs_cli --engine=native|batch [--model=M] "
+               "       ppfs_cli --engine=native|batch|auto [--model=M] "
                "[--adversary=SPEC] [--simulate=SIM] [workload] [n] [seed]\n"
                "       ppfs_cli --sweep=GRID [--trials=N] [--threads=K] "
                "[--seed=S] [--out=table|json|csv] [--out-file=PATH]\n"
@@ -308,11 +311,11 @@ int run_with_engine(const std::string& kind, Model model,
   // in bounded time instead of grinding toward 10^15.
   const bool persistent_adversary =
       config.adversary && config.adversary->kind == AdversaryKind::UO;
-  opt.max_steps = kind == "batch"
+  opt.max_steps = kind != "native"
                       ? (persistent_adversary ? 1'000'000'000'000ULL
                                               : 1'000'000'000'000'000ULL)
                       : 100'000'000;
-  opt.check_every = kind == "batch" ? (1u << 22) : 4096;
+  opt.check_every = kind != "native" ? (1u << 22) : 4096;
   const RunResult res = run_engine_until(*engine, sched, rng, probe, opt);
   const RunStats& stats = engine->stats();
   std::cout << kind << " engine on " << workload_name << " under "
@@ -380,8 +383,9 @@ int run_with_sim_engine(const std::string& kind, const std::string& sim_spec,
   opt.check_every = 1u << 20;
   const RunResult res = run_engine_until(*engine, sched, rng, probe, opt);
   const RunStats& stats = engine->stats();
-  std::cout << kind << " engine simulating " << w.name << " via "
-            << config.spec.kind;
+  std::cout << kind << " engine";
+  if (kind == "auto") std::cout << " [active: " << engine->active_kind() << "]";
+  std::cout << " simulating " << w.name << " via " << config.spec.kind;
   if (config.spec.kind == "skno")
     std::cout << "(o=" << config.spec.omission_bound << ")";
   std::cout << " under " << model_name(engine->model());
@@ -396,7 +400,7 @@ int run_with_sim_engine(const std::string& kind, const std::string& sim_spec,
   // engine counts wrapper count-changes, the step-wise facade counts
   // interactions that emitted a simulated update. Label them accordingly
   // (and only the count-space engine has an interned universe to report).
-  if (kind == "batch") {
+  if (kind != "native") {
     std::cout << "  wrapper rule fires:  " << stats.total_fires() << "\n"
               << "  no-op interactions:  " << stats.noops() << "\n"
               << "  omissions delivered: " << stats.omissions() << "\n"
@@ -476,7 +480,7 @@ int main(int argc, char** argv) {
                        out_file, metrics_every, metrics_out, progress);
     }
 
-    // --engine=native|batch switches to the engine-facade run form.
+    // --engine=native|batch|auto switches to the engine-facade run form.
     if (!args.empty() && args[0].rfind("--engine=", 0) == 0) {
       const std::string kind = args[0].substr(9);
       std::optional<Model> model_opt;

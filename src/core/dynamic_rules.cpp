@@ -13,10 +13,66 @@ void StateUniverse::set_metrics(obs::MetricRegistry* reg) {
   m_time_intern_ = reg ? &reg->timer("time.intern") : nullptr;
 }
 
+// --- StateUniverse group-probe index ----------------------------------------
+//
+// Probe sequence: home group from the upper hash bits, then quadratic
+// steps (g += 1, 2, 3, ... mod #groups) — with a power-of-two group count
+// the triangular increments visit every group, and the load-factor bound
+// below guarantees an empty slot terminates every probe. A lookup stops at
+// the first group containing a truly-empty slot (a deleted slot means the
+// key could have been pushed past it, so probing continues); an insert
+// reuses the first tombstone seen on the way.
+
+std::size_t StateUniverse::find_free_slot(std::uint64_t h) const {
+  constexpr std::size_t kW = simd::ProbeGroup::kWidth;
+  std::size_t g = home_group(h);
+  for (std::size_t step = 0;; ++step) {
+    const simd::ProbeGroup grp(ctrl_.data() + g * kW);
+    if (auto m = grp.match_empty_or_deleted(); m.any())
+      return g * kW + m.first();
+    g = (g + step + 1) & group_mask_;
+  }
+}
+
+void StateUniverse::place(State id, std::size_t slot) {
+  ctrl_[slot] = tag_of(hash_[id]);
+  ids_[slot] = id;
+  slot_of_[id] = slot;
+  ++full_;
+}
+
+void StateUniverse::rehash(std::size_t groups) {
+  constexpr std::size_t kW = simd::ProbeGroup::kWidth;
+  ctrl_.assign(groups * kW, simd::kCtrlEmpty);
+  ids_.assign(groups * kW, 0);
+  group_mask_ = groups - 1;
+  full_ = 0;
+  tombstones_ = 0;
+  for (std::size_t id = 0; id < slots_.size(); ++id)
+    if (slots_[id]) place(static_cast<State>(id), find_free_slot(hash_[id]));
+}
+
 State StateUniverse::intern(std::string_view bytes) {
-  if (auto it = index_.find(bytes); it != index_.end()) {
-    PPFS_METRIC(m_intern_hit_, add());
-    return it->second;
+  constexpr std::size_t kW = simd::ProbeGroup::kWidth;
+  if (ctrl_.empty()) rehash(64 / kW);  // lazy init: 64 slots
+  const std::uint64_t h = hash_bytes(bytes);
+  const std::uint8_t tag = tag_of(h);
+  std::size_t g = home_group(h);
+  std::size_t insert_slot = kNoSlot;
+  for (std::size_t step = 0;; ++step) {
+    const simd::ProbeGroup grp(ctrl_.data() + g * kW);
+    for (auto m = grp.match(tag); m.any(); m.pop()) {
+      const State id = ids_[g * kW + m.first()];
+      if (*slots_[id] == bytes) {
+        PPFS_METRIC(m_intern_hit_, add());
+        return id;
+      }
+    }
+    if (auto m = grp.match_empty_or_deleted(); m.any()) {
+      if (insert_slot == kNoSlot) insert_slot = g * kW + m.first();
+      if (grp.match_empty().any()) break;  // miss confirmed
+    }
+    g = (g + step + 1) & group_mask_;
   }
   PPFS_METRIC(m_intern_new_, add());
   PPFS_TIMER_BEGIN(t0, m_time_intern_);
@@ -28,11 +84,26 @@ State StateUniverse::intern(std::string_view bytes) {
     if (slots_.size() >= static_cast<std::size_t>(kNoState))
       throw std::length_error("StateUniverse: id space exhausted");
     id = static_cast<State>(slots_.size());
-    slots_.push_back(nullptr);
+    slots_.emplace_back();
+    hash_.push_back(0);
+    slot_of_.push_back(kNoSlot);
   }
-  const auto [it, inserted] = index_.emplace(std::string(bytes), id);
-  (void)inserted;
-  slots_[id] = &it->first;
+  hash_[id] = h;
+  if (ctrl_[insert_slot] == simd::kCtrlDeleted) {
+    --tombstones_;  // tombstone reuse keeps the load factor flat
+  } else if ((full_ + tombstones_ + 1) * 8 > table_slots() * 7) {
+    // Load (live + tombstones) crossing 7/8: grow when genuinely full,
+    // otherwise rehash in place to sweep tombstones. The new id's slots_
+    // entry MUST still be null here: rehash() re-places every id with a
+    // non-null encoding, and a premature assignment would get the id
+    // placed twice (once by rehash, once below) — the stale duplicate
+    // slot would outlive a later release() and serve a dead id.
+    const std::size_t groups = group_mask_ + 1;
+    rehash(full_ * 8 > table_slots() * 5 ? groups * 2 : groups);
+    insert_slot = find_free_slot(h);
+  }
+  slots_[id] = std::make_unique<std::string>(bytes);
+  place(id, insert_slot);
   PPFS_TIMER_END(t0, m_time_intern_);
   return id;
 }
@@ -72,8 +143,11 @@ const std::string& StateUniverse::encoding(State s) const {
 void StateUniverse::release(State s) {
   if (!is_live(s))
     throw std::out_of_range("StateUniverse: releasing dead id");
-  index_.erase(*slots_[s]);
-  slots_[s] = nullptr;
+  const std::size_t slot = slot_of_[s];
+  ctrl_[slot] = simd::kCtrlDeleted;
+  ++tombstones_;
+  --full_;
+  slots_[s].reset();
   free_.push_back(s);
   PPFS_METRIC(m_released_, add());
 }

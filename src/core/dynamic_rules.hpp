@@ -26,11 +26,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/models.hpp"
@@ -38,6 +38,7 @@
 #include "core/rule_matrix.hpp"
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
+#include "util/group_probe.hpp"
 
 namespace ppfs {
 
@@ -106,19 +107,47 @@ class StateUniverse {
   void set_metrics(obs::MetricRegistry* reg);
 
  private:
-  struct TransparentHash {
-    using is_transparent = void;
-    [[nodiscard]] std::size_t operator()(std::string_view sv) const noexcept {
-      return std::hash<std::string_view>{}(sv);
-    }
-  };
+  // Index: a SwissTable-style open-addressing table probed one SIMD group
+  // at a time (util/group_probe.hpp). One control byte per slot — the
+  // 7-bit upper hash tag for full slots, empty/deleted sentinels otherwise
+  // — so a lookup broadcasts the probe tag, compares a whole cache-line
+  // group of candidates at once, and touches ids_/the encoding only on tag
+  // hits. Quadratic probing over groups; deletions leave tombstones that
+  // the next load-factor rehash sweeps. This replaced a node-based
+  // unordered_map: the intern probe is the residual hot-path cost of the
+  // delta-successor architecture (every patched fire ends in one), and the
+  // group probe turns its per-miss chain of node hops into one tag
+  // broadcast per 16 slots.
+  static constexpr std::size_t kNoSlot = ~static_cast<std::size_t>(0);
 
-  // Map nodes own the encoding bytes; slots_ points into them, so ids stay
-  // stable across rehashing and vector growth. Heterogeneous lookup keeps
-  // the hot intern path allocation-free on hits.
-  std::unordered_map<std::string, State, TransparentHash, std::equal_to<>>
-      index_;
-  std::vector<const std::string*> slots_;
+  [[nodiscard]] static std::uint64_t hash_bytes(std::string_view bytes) noexcept {
+    return std::hash<std::string_view>{}(bytes);
+  }
+  [[nodiscard]] static std::uint8_t tag_of(std::uint64_t h) noexcept {
+    return static_cast<std::uint8_t>(h & 0x7f);
+  }
+  [[nodiscard]] std::size_t home_group(std::uint64_t h) const noexcept {
+    return static_cast<std::size_t>(h >> 7) & group_mask_;
+  }
+  [[nodiscard]] std::size_t table_slots() const noexcept { return ctrl_.size(); }
+  // First empty-or-deleted slot along h's probe path (the insert position
+  // after a confirmed miss or during rehash).
+  [[nodiscard]] std::size_t find_free_slot(std::uint64_t h) const;
+  void place(State id, std::size_t slot);
+  void rehash(std::size_t groups);
+
+  std::vector<std::uint8_t> ctrl_;  // 1 byte/slot; size = groups * kWidth
+  std::vector<State> ids_;          // slot -> id, valid on full slots only
+  std::size_t group_mask_ = 0;      // #groups - 1 (power of two)
+  std::size_t full_ = 0;            // occupied slots
+  std::size_t tombstones_ = 0;      // deleted slots awaiting a rehash
+
+  // Ids own their encoding bytes on the heap (stable addresses across
+  // table rehashes and slot growth); slot_of_ lets release() find the
+  // table slot without re-probing.
+  std::vector<std::unique_ptr<std::string>> slots_;
+  std::vector<std::uint64_t> hash_;     // id -> full hash (rehash, no re-hash)
+  std::vector<std::size_t> slot_of_;    // id -> table slot
   std::vector<State> free_;
   std::string scratch_;  // intern_patched working buffer, reused across calls
 
@@ -319,6 +348,16 @@ class DynamicRuleSource {
   // starter, reactor) outcome cache redundant: the engine then leaves the
   // outer cache off by default (an explicit capacity still wins).
   [[nodiscard]] virtual bool self_caching() const { return false; }
+  // Estimated cost of one native/agent-space value step divided by the
+  // cost of one count-space cached fire — the regime monitor's fire
+  // signal (engine/batch/regime.hpp): count space is only favored while
+  // the windowed fire fraction stays at/below this ratio. Sources whose
+  // value step is expensive relative to a cached fire (SKnO's token-queue
+  // machinery) return > 1, making the signal inert; sources whose step is
+  // a trivial struct update next to a patched intern (SID/naming) return
+  // < 1, conceding fire-heavy windows to agent space. The default is
+  // inert.
+  [[nodiscard]] virtual double fire_cost_ratio() const { return 8.0; }
 
   // Release front door for zero-count states (open universes only): evicts
   // outcome-cache rows mentioning `s` — ids recycle, so this is the

@@ -1,0 +1,278 @@
+#include "engine/batch/agent_space.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sched/scheduler.hpp"
+#include "sim/sim_rules.hpp"
+
+namespace ppfs {
+
+namespace {
+
+// splitmix64-style avalanche for the distinct-wrapper estimate; fields are
+// folded value-by-value (run ids and other provenance excluded, matching
+// the canonical encodings).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t h, std::uint64_t v) noexcept {
+  h += v + 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+[[nodiscard]] std::uint64_t hash_sid_agent(std::uint64_t h,
+                                           const SidAgent& a) noexcept {
+  h = mix64(h, (static_cast<std::uint64_t>(a.active) << 32) | a.id);
+  h = mix64(h, (static_cast<std::uint64_t>(a.sim_state) << 8) |
+                   static_cast<std::uint64_t>(a.status));
+  h = mix64(h, (static_cast<std::uint64_t>(a.other_id) << 32) | a.other_state);
+  return h;
+}
+
+template <typename Agents, typename HashFn>
+[[nodiscard]] std::size_t count_distinct(const Agents& agents, HashFn hash) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(agents.size());
+  for (const auto& a : agents) seen.insert(hash(a));
+  return seen.size();
+}
+
+// --- SID ---------------------------------------------------------------------
+
+// Direct per-agent SID execution: one SidCore::react_value per delivered
+// interaction, no decode/intern/cache machinery. SID is
+// omission-transparent, so an omissive delivery is a global no-op.
+class SidAgentSim final : public AgentSpaceSim {
+ public:
+  explicit SidAgentSim(SidRuleSource& src) : src_(src) {}
+
+  [[nodiscard]] std::size_t size() const override { return agents_.size(); }
+
+  void advance(std::size_t budget, Rng& rng, RunStats& stats,
+               OmissionProcess* omit, std::size_t steps_base) override {
+    const Protocol& p = src_.protocol();
+    const SidCore::Options& opt = src_.sid_options();
+    const std::size_t n = agents_.size();
+    for (std::size_t i = 0; i < budget; ++i) {
+      if (omit != nullptr && omit->should_omit(rng, steps_base + i)) {
+        // Omission-transparent: the delivery is a global no-op, no victim
+        // pair needs drawing.
+        stats.record_omissive_noops(1);
+        continue;
+      }
+      const Interaction ia = uniform_ordered_pair(rng, n);
+      const SidAgent& snap = agents_[ia.starter];
+      SidAgent& me = agents_[ia.reactor];
+      const State ps = snap.sim_state;
+      const State pr = me.sim_state;
+      const SidCore::ValueUpdate vu = SidCore::react_value(p, opt, me, snap);
+      if (vu.action == SidCore::Action::None) stats.record_noops(1);
+      else stats.record_fire(ps, pr);
+    }
+  }
+
+  void projected_counts(std::vector<std::size_t>& out) const override {
+    out.assign(src_.protocol().num_states(), 0);
+    for (const SidAgent& a : agents_) ++out[a.sim_state];
+  }
+
+  void load(const std::vector<std::pair<State, std::uint32_t>>& wrapper_counts)
+      override {
+    agents_.clear();
+    for (const auto& [id, k] : wrapper_counts) {
+      const SidAgent a = src_.decode_wrapper(id);
+      agents_.insert(agents_.end(), k, a);
+    }
+  }
+
+  void store(std::vector<State>& out) override {
+    out.clear();
+    out.reserve(agents_.size());
+    for (const SidAgent& a : agents_) out.push_back(src_.intern_wrapper(a));
+  }
+
+  [[nodiscard]] std::size_t distinct_wrapper_estimate() const override {
+    return count_distinct(agents_, [](const SidAgent& a) {
+      return hash_sid_agent(0x51d, a);
+    });
+  }
+
+ private:
+  SidRuleSource& src_;
+  std::vector<SidAgent> agents_;
+};
+
+// --- naming ------------------------------------------------------------------
+
+class NamingAgentSim final : public AgentSpaceSim {
+ public:
+  explicit NamingAgentSim(NamingRuleSource& src) : src_(src) {}
+
+  [[nodiscard]] std::size_t size() const override { return agents_.size(); }
+
+  void advance(std::size_t budget, Rng& rng, RunStats& stats,
+               OmissionProcess* omit, std::size_t steps_base) override {
+    const Protocol& p = src_.protocol();
+    const SidCore::Options& opt = src_.sid_options();
+    const std::size_t n_pop = src_.population();
+    const std::size_t n = agents_.size();
+    for (std::size_t i = 0; i < budget; ++i) {
+      if (omit != nullptr && omit->should_omit(rng, steps_base + i)) {
+        stats.record_omissive_noops(1);
+        continue;
+      }
+      const Interaction ia = uniform_ordered_pair(rng, n);
+      const NamingRuleSource::Full& snap = agents_[ia.starter];
+      NamingRuleSource::Full& me = agents_[ia.reactor];
+      const State ps = snap.sid.sim_state;
+      const State pr = me.sid.sim_state;
+      const NamingSimulator::StepEffects fx = NamingSimulator::naming_step(
+          p, opt, n_pop, me.naming, me.sid, snap.naming, snap.sid);
+      const bool fired = fx.id_incremented || fx.max_id_changed ||
+                         fx.activated ||
+                         fx.sid.action != SidCore::Action::None;
+      if (fired) stats.record_fire(ps, pr);
+      else stats.record_noops(1);
+    }
+  }
+
+  void projected_counts(std::vector<std::size_t>& out) const override {
+    out.assign(src_.protocol().num_states(), 0);
+    for (const auto& a : agents_) ++out[a.sid.sim_state];
+  }
+
+  void load(const std::vector<std::pair<State, std::uint32_t>>& wrapper_counts)
+      override {
+    agents_.clear();
+    for (const auto& [id, k] : wrapper_counts) {
+      const NamingRuleSource::Full a = src_.decode_wrapper_full(id);
+      agents_.insert(agents_.end(), k, a);
+    }
+  }
+
+  void store(std::vector<State>& out) override {
+    out.clear();
+    out.reserve(agents_.size());
+    for (const auto& a : agents_) out.push_back(src_.intern_wrapper_full(a));
+  }
+
+  [[nodiscard]] std::size_t distinct_wrapper_estimate() const override {
+    return count_distinct(agents_, [](const NamingRuleSource::Full& a) {
+      std::uint64_t h = mix64(0x4e6d, (static_cast<std::uint64_t>(
+                                           a.naming.my_id)
+                                       << 32) |
+                                          a.naming.max_id);
+      return hash_sid_agent(h, a.sid);
+    });
+  }
+
+ private:
+  NamingRuleSource& src_;
+  std::vector<NamingRuleSource::Full> agents_;
+};
+
+// --- SKnO --------------------------------------------------------------------
+
+// Owns a sibling SknoCore (provenance off, like the rule source's) and
+// steps both sides of each pair directly; omissive deliveries run the
+// model's detection machinery inside the core.
+class SknoAgentSim final : public AgentSpaceSim {
+ public:
+  explicit SknoAgentSim(SknoRuleSource& src)
+      : src_(src),
+        core_(&src.protocol(), src.core().model(),
+              src.core().omission_bound(), src.core().options(),
+              /*track_provenance=*/false) {}
+
+  [[nodiscard]] std::size_t size() const override { return agents_.size(); }
+
+  void advance(std::size_t budget, Rng& rng, RunStats& stats,
+               OmissionProcess* omit, std::size_t steps_base) override {
+    using FK = SknoCore::Footprint::Kind;
+    const std::size_t n = agents_.size();
+    for (std::size_t i = 0; i < budget; ++i) {
+      Interaction ia = uniform_ordered_pair(rng, n);
+      if (omit != nullptr && omit->should_omit(rng, steps_base + i)) {
+        ia.omissive = true;
+        ia.side = omit->params().side;
+      }
+      SknoCore::Agent& st = agents_[ia.starter];
+      SknoCore::Agent& re = agents_[ia.reactor];
+      const State ps = st.sim_state;
+      const State pr = re.sim_state;
+      core_.step(st, re, ia.omissive, ia.side, nullptr, nullptr);
+      const SknoCore::StepFootprint& fp = core_.last_footprint();
+      const bool fired =
+          fp.starter.kind != FK::Unchanged || fp.reactor.kind != FK::Unchanged;
+      if (ia.omissive) {
+        if (fired) stats.record_omissive_fire(ps, pr);
+        else stats.record_omissive_noops(1);
+      } else {
+        if (fired) stats.record_fire(ps, pr);
+        else stats.record_noops(1);
+      }
+    }
+  }
+
+  void projected_counts(std::vector<std::size_t>& out) const override {
+    out.assign(src_.protocol().num_states(), 0);
+    for (const auto& a : agents_) ++out[a.sim_state];
+  }
+
+  void load(const std::vector<std::pair<State, std::uint32_t>>& wrapper_counts)
+      override {
+    agents_.clear();
+    SknoCore::Agent a;
+    for (const auto& [id, k] : wrapper_counts) {
+      src_.decode_wrapper_into(id, a);
+      agents_.insert(agents_.end(), k, a);
+    }
+  }
+
+  void store(std::vector<State>& out) override {
+    out.clear();
+    out.reserve(agents_.size());
+    for (const auto& a : agents_) out.push_back(src_.intern_wrapper(a));
+  }
+
+  [[nodiscard]] std::size_t distinct_wrapper_estimate() const override {
+    return count_distinct(agents_, [](const SknoCore::Agent& a) {
+      std::uint64_t h = mix64(0x5f40, (static_cast<std::uint64_t>(a.sim_state)
+                                       << 1) |
+                                          static_cast<std::uint64_t>(
+                                              a.pending));
+      // Queue order is semantic (FIFO); debt order is not — fold debt
+      // commutatively so permuted-but-equal records hash together.
+      for (const SknoCore::Token& t : a.sending) h = mix64(h, pack(t));
+      std::uint64_t debt = 0;
+      for (const SknoCore::Token& t : a.joker_debt) debt += mix64(0x0deb, pack(t));
+      return mix64(h, debt);
+    });
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t pack(const SknoCore::Token& t) noexcept {
+    return (static_cast<std::uint64_t>(t.kind) << 56) |
+           (static_cast<std::uint64_t>(t.q & 0xfff) << 44) |
+           (static_cast<std::uint64_t>(t.qr & 0xfff) << 32) | t.index;
+  }
+
+  SknoRuleSource& src_;
+  SknoCore core_;
+  std::vector<SknoCore::Agent> agents_;
+};
+
+}  // namespace
+
+std::unique_ptr<AgentSpaceSim> make_agent_space_sim(DynamicRuleSource& rules) {
+  // Naming derives from SID: test the derived class first.
+  if (auto* nm = dynamic_cast<NamingRuleSource*>(&rules))
+    return std::make_unique<NamingAgentSim>(*nm);
+  if (auto* sid = dynamic_cast<SidRuleSource*>(&rules))
+    return std::make_unique<SidAgentSim>(*sid);
+  if (auto* sk = dynamic_cast<SknoRuleSource*>(&rules))
+    return std::make_unique<SknoAgentSim>(*sk);
+  return nullptr;
+}
+
+}  // namespace ppfs

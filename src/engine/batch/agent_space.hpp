@@ -1,0 +1,82 @@
+// Agent-space execution strategy for simulator rule sources — the second
+// representation the auto engine (engine/batch/dispatch.hpp, engine=auto)
+// switches between. Count space (SimBatchSystem) wins when wrapper states
+// collapse onto few interned ids (SKnO's anonymous tokens at large n);
+// once the live universe disperses toward one state per agent — SID's
+// unique ids from step 0, naming after its ids spread, SKnO at small n —
+// every interned id carries count 1 and the count-space machinery (intern
+// probes, CountIndex draws, occupied bookkeeping) is pure overhead per
+// interaction. An AgentSpaceSim drives the same value-level chain over a
+// plain per-agent record vector instead: one uniform ordered pair and one
+// core step per interaction, no interning on the hot path at all.
+//
+// The bridge contract that makes mid-run switching distribution-exact:
+// wrapper states are exchangeable under the uniform scheduler (which agent
+// index holds which record never influences the chain's law), so
+// distributing a wrapper-state multiset over agent indices in any
+// deterministic order (load), or collapsing the records back into a
+// multiset (store), consumes zero Rng draws and preserves the trajectory
+// distribution. Stats are recorded at the simulated-projection level with
+// the exact fire/no-op semantics of SimBatchSystem — a "fire" is a
+// wrapper-state change — so the auto engine can fold per-representation
+// slices into one RunStats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "engine/stats.hpp"
+#include "sched/omission_process.hpp"
+#include "util/rng.hpp"
+
+namespace ppfs {
+
+class DynamicRuleSource;
+
+class AgentSpaceSim {
+ public:
+  virtual ~AgentSpaceSim() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  // Drive `budget` uniform-scheduler interactions, recording into `stats`
+  // at the simulated-projection level (fires keyed by the pair's projected
+  // pre-states, exactly like SimBatchSystem::apply_fire). `omit`, when
+  // non-null, is asked before each delivery with the global step index
+  // `steps_base + i` — the auto engine owns the process so its burst/budget
+  // state is representation-independent.
+  virtual void advance(std::size_t budget, Rng& rng, RunStats& stats,
+                       OmissionProcess* omit, std::size_t steps_base) = 0;
+
+  // Counts of the simulated projection pi_P (indexed by protocol state).
+  virtual void projected_counts(std::vector<std::size_t>& out) const = 0;
+
+  // --- representation bridge ----------------------------------------------
+  // Adopt a wrapper population: each (live wrapper id, count) pair becomes
+  // `count` per-agent records decoded from the id's canonical bytes, laid
+  // out in the given order (deterministic — zero Rng draws; exchangeability
+  // makes any fixed order distribution-exact).
+  virtual void load(
+      const std::vector<std::pair<State, std::uint32_t>>& wrapper_counts) = 0;
+  // Re-intern every agent's record, one wrapper id per agent in index
+  // order (the inverse bridge; equal-valued agents intern to the same id).
+  virtual void store(std::vector<State>& out) = 0;
+
+  // Estimated number of distinct wrapper values currently held (the
+  // regime monitor's dispersion numerator in agent space). Hash-based:
+  // 64-bit collisions may undercount, which is fine for a control signal.
+  // Costs O(n); callers amortize it over observation cadences.
+  [[nodiscard]] virtual std::size_t distinct_wrapper_estimate() const = 0;
+};
+
+// The agent-space strategy for `rules`, or nullptr when the source has
+// none (naive/matrix sources are closed-universe: count space is already
+// the right representation at every dispersion). The driver shares the
+// source's interner through the bridge calls but owns its record vector.
+[[nodiscard]] std::unique_ptr<AgentSpaceSim> make_agent_space_sim(
+    DynamicRuleSource& rules);
+
+}  // namespace ppfs

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/batch/agent_space.hpp"
+#include "engine/batch/regime.hpp"
+
 namespace ppfs {
 
 namespace {
@@ -325,13 +328,284 @@ class SimBatchEngine final : public Engine {
   SimBatchSystem sys_;
 };
 
+// engine=auto: one rule source, two execution strategies — the count-space
+// SimBatchSystem and the direct per-agent AgentSpaceSim driver — with a
+// RegimeMonitor (engine/batch/regime.hpp) choosing between them. The run
+// starts on whichever representation the initial dispersion favors and may
+// switch at internal slice boundaries; the representation bridge moves the
+// wrapper-state MULTISET (counts -> records in sorted-id order, records ->
+// counts by re-interning), which consumes zero Rng draws and is
+// distribution-exact because wrapper states are exchangeable under the
+// uniform scheduler. Stats from both strategies fold into one master
+// RunStats at the simulated-projection level.
+//
+// With an omission adversary the favored START representation is locked
+// for the whole run: the process's burst/budget state is live mid-run and
+// is not transferred across representations.
+class AutoSimEngine final : public Engine {
+ public:
+  AutoSimEngine(std::shared_ptr<DynamicRuleSource> rules,
+                const std::vector<State>& sim_initial,
+                const std::optional<AdversaryParams>& adversary,
+                std::optional<std::size_t> outcome_cache_capacity,
+                std::optional<std::size_t> force_switch_at)
+      : rules_(std::move(rules)),
+        stats_(rules_->protocol().num_states()),
+        cache_cap_(outcome_cache_capacity),
+        force_switch_at_(force_switch_at) {
+    driver_ = make_agent_space_sim(*rules_);
+    sys_ = std::make_unique<SimBatchSystem>(rules_, sim_initial, cache_cap_);
+    n_ = sys_->size();
+    const double d0 = static_cast<double>(sys_->universe_live()) /
+                      static_cast<double>(n_);
+    RegimeMonitor::Thresholds thr;
+    thr.fire_cost_ratio = rules_->fire_cost_ratio();
+    monitor_.emplace(driver_ ? RegimeMonitor::favored(d0, thr)
+                             : RegimeMonitor::Space::Count,
+                     thr);
+    if (adversary) {
+      adv_ = adversary;
+      locked_ = true;
+    }
+    if (driver_ && monitor_->current() == RegimeMonitor::Space::Agent)
+      to_agent_space();
+    if (adv_) {
+      if (in_agent_) omit_.emplace(*adv_);
+      else sys_->set_omission_process(*adv_);
+    }
+    // The monitor reads its signals (dispersion, windowed cache hit rate)
+    // from the engine registry; enabling it up front is free on the hot
+    // path — everything it needs is pull-style.
+    enable_metrics();
+  }
+
+  [[nodiscard]] std::string kind() const override { return "auto"; }
+  [[nodiscard]] std::string active_kind() const override {
+    return in_agent_ ? "agent" : "count";
+  }
+  [[nodiscard]] const Protocol& protocol() const override {
+    return rules_->protocol();
+  }
+  [[nodiscard]] Model model() const override { return rules_->model(); }
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] std::size_t interactions() const override { return steps_; }
+  [[nodiscard]] std::size_t omissions() const override {
+    if (!adv_) return 0;
+    return in_agent_ ? omit_->emitted() : sys_->omissions();
+  }
+
+  void counts_into(std::vector<std::size_t>& out) const override {
+    if (in_agent_) driver_->projected_counts(out);
+    else out = sys_->projected_counts();
+  }
+
+  std::size_t advance(std::size_t budget, Scheduler& sched, Rng& rng) override {
+    const auto* uniform = dynamic_cast<const UniformScheduler*>(&sched);
+    if (uniform == nullptr || uniform->size() != n_)
+      throw std::invalid_argument(
+          "auto engine: scheduler is not the uniform distribution over this "
+          "population (scripted/hand-built adversarial runs need the native "
+          "engine; omission adversaries attach via make_sim_engine)");
+    std::size_t covered = 0;
+    while (covered < budget) {
+      const std::size_t slice = std::min(kSlice, budget - covered);
+      if (in_agent_) {
+        driver_->advance(slice, rng, stats_, omit_ ? &*omit_ : nullptr,
+                         steps_);
+        steps_ += slice;
+        covered += slice;
+      } else {
+        std::size_t c = 0;
+        while (c < slice) c += sys_->advance(slice - c, rng).interactions;
+        fold_count_stats();
+        steps_ += c;
+        covered += c;
+      }
+      maybe_switch();
+    }
+    return covered;
+  }
+
+  [[nodiscard]] RunStats& stats() noexcept override { return stats_; }
+
+  [[nodiscard]] std::size_t universe_live() const override {
+    return in_agent_ ? last_distinct_ : sys_->universe_live();
+  }
+
+  void sync_metrics() override {
+    Engine::sync_metrics();
+    if (metrics() == nullptr) return;
+    obs::MetricRegistry& reg = *metrics();
+    rules_->export_metrics(reg);
+    reg.gauge("universe.live").set(static_cast<double>(universe_live()));
+    reg.gauge("universe.size")
+        .set(static_cast<double>(rules_->universe_size()));
+    reg.gauge("auto.agent_space").set(in_agent_ ? 1.0 : 0.0);
+    reg.gauge("auto.switches")
+        .set(static_cast<double>(monitor_->switches()));
+    const OmissionProcess* o =
+        in_agent_ ? (omit_ ? &*omit_ : nullptr) : sys_->omission_process();
+    if (o != nullptr) sync_adversary_metrics(reg, *o);
+  }
+
+  void fill_summary(obs::ConfigSummary& out, std::size_t top_k) const override {
+    Engine::fill_summary(out, top_k);
+    out.distinct_states = universe_live();
+  }
+
+ protected:
+  void wire_metrics(obs::MetricRegistry& reg) override {
+    rules_->set_metrics(&reg);
+    if (sys_) sys_->set_metrics(&reg);
+    if (omit_) omit_->set_metrics(&reg);
+  }
+
+ private:
+  using Space = RegimeMonitor::Space;
+
+  // Internal slice between regime checks — independent of the caller's
+  // advance() granularity, so run_engine_steps(2M) still re-evaluates the
+  // regime along the way.
+  static constexpr std::size_t kSlice = 1u << 16;
+
+  void fold_count_stats() {
+    stats_.merge(sys_->stats());
+    sys_->stats().reset(stats_.num_states());
+  }
+
+  // Count space observes every slice (dispersion is an O(1) gauge); agent
+  // space amortizes its O(n) distinct-hash estimate over >= n covered
+  // interactions.
+  void maybe_switch() {
+    if (driver_ == nullptr) return;
+    if (force_switch_at_ && !forced_done_ && steps_ >= *force_switch_at_) {
+      forced_done_ = true;
+      if (in_agent_) to_count_space();
+      else to_agent_space();
+      monitor_->note_forced(in_agent_ ? Space::Agent : Space::Count);
+      return;
+    }
+    if (locked_) return;
+    if (in_agent_ && steps_ < next_obs_) return;
+    next_obs_ = steps_ + std::max(kSlice, n_);
+    double live;
+    if (in_agent_) {
+      last_distinct_ = driver_->distinct_wrapper_estimate();
+      live = static_cast<double>(last_distinct_);
+    } else {
+      live = static_cast<double>(sys_->universe_live());
+    }
+    const RegimeMonitor::Signals s{live / static_cast<double>(n_),
+                                   windowed_hit_rate(),
+                                   windowed_fire_fraction()};
+    const Space want = monitor_->observe(s);
+    if (want == Space::Agent && !in_agent_) to_agent_space();
+    else if (want == Space::Count && in_agent_) to_count_space();
+  }
+
+  // Hit rate of the source-internal outcome caches since the last
+  // observation; 1.0 (neutral) when nothing moved. The counter names
+  // cover both reactor-side sources (cache.react.*) and SKnO
+  // (cache.recv.*); absent names read as 0.
+  [[nodiscard]] double windowed_hit_rate() {
+    obs::MetricRegistry& reg = *metrics();
+    rules_->export_metrics(reg);
+    const std::uint64_t hits = reg.counter("cache.react.hits").value() +
+                               reg.counter("cache.recv.hits").value();
+    const std::uint64_t misses = reg.counter("cache.react.misses").value() +
+                                 reg.counter("cache.recv.misses").value();
+    const std::uint64_t dh = hits - last_hits_;
+    const std::uint64_t dm = misses - last_misses_;
+    last_hits_ = hits;
+    last_misses_ = misses;
+    return dh + dm == 0
+               ? 1.0
+               : static_cast<double>(dh) / static_cast<double>(dh + dm);
+  }
+
+  // Fires (real + omissive) per interaction covered since the last
+  // observation, from the master RunStats — count-space slices fold in
+  // before maybe_switch() and the agent driver records directly, so the
+  // deltas are representation-independent (and deterministic per seed,
+  // unlike wall-clock probing — reproducibility survives).
+  [[nodiscard]] double windowed_fire_fraction() {
+    const std::uint64_t fires = stats_.total_fires() + stats_.omissive_fires();
+    const std::uint64_t df = fires - last_fires_;
+    const std::uint64_t dsteps = steps_ - last_fire_steps_;
+    last_fires_ = fires;
+    last_fire_steps_ = steps_;
+    return dsteps == 0 ? 0.0
+                       : static_cast<double>(df) / static_cast<double>(dsteps);
+  }
+
+  void to_agent_space() {
+    fold_count_stats();
+    const SparseConfiguration& conf = sys_->configuration();
+    std::vector<std::pair<State, std::uint32_t>> pairs;
+    pairs.reserve(conf.occupied().size());
+    for (const State s : conf.occupied())
+      pairs.emplace_back(s, static_cast<std::uint32_t>(conf.count(s)));
+    std::sort(pairs.begin(), pairs.end());  // deterministic record layout
+    driver_->load(pairs);
+    last_distinct_ = pairs.size();
+    sys_.reset();
+    // Open universes: the records now live in the driver, so release the
+    // ids — the interner's footprint keeps tracking the live set, and the
+    // generation bumps guard the outcome caches for when ids recycle.
+    if (rules_->open_universe())
+      for (const auto& [s, k] : pairs) rules_->release_state(s);
+    in_agent_ = true;
+    next_obs_ = steps_ + std::max(kSlice, n_);
+  }
+
+  void to_count_space() {
+    std::vector<State> ids;
+    driver_->store(ids);
+    std::sort(ids.begin(), ids.end());
+    std::vector<std::pair<State, std::uint32_t>> pairs;
+    for (std::size_t i = 0; i < ids.size();) {
+      std::size_t j = i;
+      while (j < ids.size() && ids[j] == ids[i]) ++j;
+      pairs.emplace_back(ids[i], static_cast<std::uint32_t>(j - i));
+      i = j;
+    }
+    sys_ = std::make_unique<SimBatchSystem>(
+        rules_, SimBatchSystem::AdoptWrappers{}, pairs, cache_cap_);
+    if (metrics() != nullptr) sys_->set_metrics(metrics());
+    in_agent_ = false;
+  }
+
+  std::shared_ptr<DynamicRuleSource> rules_;
+  std::unique_ptr<SimBatchSystem> sys_;    // live in count space only
+  std::unique_ptr<AgentSpaceSim> driver_;  // null: count-only source
+  std::optional<RegimeMonitor> monitor_;
+  RunStats stats_;  // master record; per-strategy slices fold in
+  std::optional<std::size_t> cache_cap_;
+  std::optional<std::size_t> force_switch_at_;
+  bool forced_done_ = false;
+  std::optional<AdversaryParams> adv_;
+  std::optional<OmissionProcess> omit_;  // agent-space-locked runs only
+  bool locked_ = false;
+  bool in_agent_ = false;
+  std::size_t n_ = 0;
+  std::size_t steps_ = 0;
+  std::size_t next_obs_ = 0;
+  std::size_t last_distinct_ = 0;
+  std::uint64_t last_hits_ = 0;
+  std::uint64_t last_misses_ = 0;
+  std::uint64_t last_fires_ = 0;
+  std::uint64_t last_fire_steps_ = 0;
+};
+
 std::unique_ptr<Engine> build(const std::string& kind, RuleMatrix rules,
                               std::vector<State> initial,
                               const std::optional<AdversaryParams>& adversary) {
   if (kind == "native")
     return std::make_unique<NativeEngine>(std::move(rules), std::move(initial),
                                           adversary);
-  if (kind == "batch") {
+  // Closed-universe protocols have no regime to monitor (the state space
+  // is fixed and dense counts always win), so "auto" resolves statically.
+  if (kind == "batch" || kind == "auto") {
     std::vector<std::size_t> counts(rules.num_states(), 0);
     for (State q : initial) {
       if (q >= rules.num_states())
@@ -466,12 +740,20 @@ std::unique_ptr<Engine> make_sim_engine(const std::string& kind,
                                             adversary,
                                             config.outcome_cache_capacity);
   }
+  if (kind == "auto") {
+    std::shared_ptr<DynamicRuleSource> rules = make_sim_rule_source(
+        config.spec, model, std::move(protocol), initial.size());
+    return std::make_unique<AutoSimEngine>(std::move(rules), initial,
+                                           adversary,
+                                           config.outcome_cache_capacity,
+                                           config.auto_force_switch_at);
+  }
   throw std::invalid_argument("make_sim_engine: unknown engine kind '" + kind +
                               "'");
 }
 
 const std::vector<std::string>& engine_kinds() {
-  static const std::vector<std::string> kinds = {"native", "batch"};
+  static const std::vector<std::string> kinds = {"native", "batch", "auto"};
   return kinds;
 }
 

@@ -53,6 +53,10 @@ class Engine {
   virtual ~Engine() = default;
 
   [[nodiscard]] virtual std::string kind() const = 0;
+  // The execution representation currently underneath. Equal to kind()
+  // for every fixed engine; the auto engine reports which strategy is
+  // live right now ("count" or "agent").
+  [[nodiscard]] virtual std::string active_kind() const { return kind(); }
   [[nodiscard]] virtual const Protocol& protocol() const = 0;
   [[nodiscard]] virtual Model model() const = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
@@ -124,7 +128,10 @@ struct EngineConfig {
   std::optional<AdversaryParams> adversary{};
 };
 
-// kind: "native" | "batch" (see engine_kinds()). Plain TW, no adversary.
+// kind: "native" | "batch" | "auto" (see engine_kinds()). Plain TW, no
+// adversary. For closed-universe protocols "auto" resolves statically to
+// "batch": the state space is fixed and dense counts always win, so there
+// is no regime to monitor.
 [[nodiscard]] std::unique_ptr<Engine> make_engine(
     const std::string& kind, std::shared_ptr<const Protocol> protocol,
     std::vector<State> initial);
@@ -156,6 +163,12 @@ struct SimEngineConfig {
   // equivalence tests run both ways — the cache is invisible in
   // distribution).
   std::optional<std::size_t> outcome_cache_capacity{};
+  // engine=auto only, test/diagnostic hook: force one representation
+  // switch (whichever direction) at the first internal slice boundary at
+  // or after this many interactions, bypassing the regime monitor. The
+  // mid-run-switch equivalence suite uses it to pin the bridge
+  // distribution-exact at a deterministic point.
+  std::optional<std::size_t> auto_force_switch_at{};
 };
 
 // A simulator run as an engine, behind the same Engine interface:
@@ -164,7 +177,14 @@ struct SimEngineConfig {
 // simulated configuration — while interactions()/omissions() count
 // physical events. kind "native" drives the step-wise Simulator facade
 // (per-agent, event recording off); "batch" the open-universe count-space
-// engine (SimBatchSystem), which is how SKnO/SID/naming reach n = 10^6.
+// engine (SimBatchSystem), which is how SKnO/SID/naming reach n = 10^6;
+// "auto" starts on whichever representation the initial dispersion favors
+// and may switch between count space and a direct agent-space driver at
+// slice boundaries, steered by a RegimeMonitor (engine/batch/regime.hpp)
+// with hysteresis — the contract is that auto is never materially slower
+// than the best fixed choice. With an adversary attached, auto picks the
+// favored start representation and locks it (omission-process state does
+// not transfer across representations).
 [[nodiscard]] std::unique_ptr<Engine> make_sim_engine(
     const std::string& kind, std::shared_ptr<const Protocol> protocol,
     std::vector<State> initial, const SimEngineConfig& config);

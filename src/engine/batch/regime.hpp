@@ -1,0 +1,113 @@
+// RegimeMonitor: the decision core of engine=auto (dispatch.hpp). Simulator
+// runs live in one of two execution representations — count space
+// (SimBatchSystem over interned wrapper states) or agent space
+// (AgentSpaceSim over per-agent records) — and which one is faster is a
+// property of the RUN'S REGIME, not the protocol: SKnO at n = 10^6 keeps
+// ~5% dispersion and count space leaps; SKnO at n = 50 disperses to ~1
+// state per agent and count space pays intern/index overhead per
+// interaction for nothing; naming STARTS collapsed (everyone my_id = 1)
+// and disperses mid-run as ids spread.
+//
+// The monitor reads the signals the engines already export into the
+// MetricRegistry (dispatch syncs them at slice boundaries):
+//
+//   * dispersion  = universe.live / n   (count space: the live-universe
+//     gauge; agent space: the driver's hashed distinct-wrapper estimate).
+//     The primary signal: >= to_agent favors per-agent records, <=
+//     to_count favors counts and leaping.
+//   * fire fraction over the last observation window (master RunStats
+//     deltas) against the SOURCE'S fire-cost ratio
+//     (DynamicRuleSource::fire_cost_ratio — estimated native value-step
+//     cost over count-space cached-fire cost). Dispersion alone cannot
+//     tell these regimes apart: SKnO at n = 10^6 and naming at n = 4096
+//     both run collapsed universes with fire-heavy windows, but SKnO's
+//     value step (token-queue machinery) costs several cached fires, so
+//     count space wins 10x, while naming's value step is a trivial struct
+//     update, so count space paying a patched intern per fire LOSES 5x to
+//     plain stepping. Count space is therefore only tenable while
+//     fire_fraction <= fire_cost_ratio — above it, fires dominate the
+//     window and each one is cheaper executed as a record step.
+//   * cache hit rate over the last observation window (cache.react.* /
+//     cache.recv.* counters). A secondary, mid-band accelerator only: a
+//     missing cache does not rescue a dispersed run (SKnO at n = 50 runs
+//     ~99% hit rates and still loses 4x in count space — the per-
+//     interaction index machinery, not outcome evaluation, dominates), so
+//     high dispersion switches regardless; but a collapsing hit rate in
+//     the mid band is evidence the pair working set outgrew the cache and
+//     agent space will win sooner.
+//
+// Switch discipline (the no-flap contract): `hysteresis` consecutive
+// out-of-band observations are required before a switch, and `cooldown`
+// observations after one before the next may even be considered. Signals
+// drift monotonically in these protocols (dispersion rises as ids/tokens
+// spread), so in practice at most one or two switches happen per run; the
+// hysteresis exists for the noisy neighborhood of a threshold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppfs {
+
+class RegimeMonitor {
+ public:
+  enum class Space : std::uint8_t { Count, Agent };
+
+  struct Thresholds {
+    double to_agent = 0.5;     // dispersion at/above which agent space wins
+    double to_count = 0.125;   // dispersion at/below which count space wins
+    double mid_hit_floor = 0.5;  // mid-band: hit rate below this => agent
+    // Source's native-step / cached-fire cost estimate
+    // (DynamicRuleSource::fire_cost_ratio). Count space holds only while
+    // the windowed fire fraction stays at/below it; the default is inert
+    // (fractions never exceed 1).
+    double fire_cost_ratio = 8.0;
+    int hysteresis = 2;        // consecutive out-of-band obs to switch
+    int cooldown = 4;          // observations after a switch with no change
+  };
+
+  struct Signals {
+    double dispersion = 0.0;       // distinct wrapper states / n
+    double cache_hit_rate = 1.0;   // windowed; 1.0 = no signal/neutral
+    double fire_fraction = 0.0;    // windowed fires / interactions covered
+  };
+
+  explicit RegimeMonitor(Space start) : space_(start) {}
+  RegimeMonitor(Space start, const Thresholds& t) : t_(t), space_(start) {}
+
+  // The representation favored a priori at dispersion `d` (run start: no
+  // cache history yet).
+  [[nodiscard]] static Space favored(double d, const Thresholds& t) {
+    return d >= t.to_agent ? Space::Agent : Space::Count;
+  }
+  [[nodiscard]] static Space favored(double d) {
+    return favored(d, Thresholds());
+  }
+
+  // Feed one observation; returns the representation to run in from now
+  // on (== current() — the monitor never demands a mid-slice switch).
+  Space observe(const Signals& s);
+
+  // An externally-forced switch happened (the auto engine's test hook):
+  // adopt the new space and start a cooldown so the monitor does not
+  // immediately fight it.
+  void note_forced(Space now) {
+    space_ = now;
+    streak_ = 0;
+    cooldown_left_ = t_.cooldown;
+    ++switches_;
+  }
+
+  [[nodiscard]] Space current() const noexcept { return space_; }
+  [[nodiscard]] std::size_t switches() const noexcept { return switches_; }
+  [[nodiscard]] const Thresholds& thresholds() const noexcept { return t_; }
+
+ private:
+  Thresholds t_;
+  Space space_;
+  int streak_ = 0;           // consecutive observations favoring !space_
+  int cooldown_left_ = 0;
+  std::size_t switches_ = 0;
+};
+
+}  // namespace ppfs

@@ -71,6 +71,33 @@ SimBatchSystem::SimBatchSystem(std::shared_ptr<DynamicRuleSource> rules,
   }
 }
 
+SimBatchSystem::SimBatchSystem(
+    std::shared_ptr<DynamicRuleSource> rules, AdoptWrappers,
+    const std::vector<std::pair<State, std::uint32_t>>& wrappers,
+    std::optional<std::size_t> outcome_cache_capacity)
+    : rules_(std::move(rules)) {
+  if (!rules_) throw std::invalid_argument("SimBatchSystem: null rule source");
+  std::size_t n = 0;
+  for (const auto& [s, k] : wrappers) n += k;
+  if (n < 2)
+    throw std::invalid_argument("SimBatchSystem: need at least two agents");
+  rules_->set_outcome_cache_capacity(outcome_cache_capacity.value_or(
+      rules_->self_caching()
+          ? 0
+          : std::min<std::size_t>(kDefaultOutcomeCacheCapacity,
+                                  std::max<std::size_t>(n * 4, 256))));
+  factored_ = rules_->real_noop_factors();
+  open_ = rules_->open_universe();
+  stats_.reset(rules_->protocol().num_states());
+  projected_.assign(rules_->protocol().num_states(), 0);
+  grow_to_universe();
+  for (const auto& [s, k] : wrappers) {
+    if (k == 0) continue;
+    change_count(s, static_cast<std::int64_t>(k));
+    projected_.at(rules_->project(s)) += k;
+  }
+}
+
 void SimBatchSystem::set_metrics(obs::MetricRegistry* reg) {
   metrics_reg_ = reg;
   m_leap_len_ = reg ? &reg->histogram("engine.leap_len") : nullptr;

@@ -204,6 +204,16 @@ class SimBatchSystem {
                  const std::vector<State>& sim_initial,
                  std::optional<std::size_t> outcome_cache_capacity = {});
 
+  // Bridge constructor (engine=auto): adopt an ALREADY-INTERNED wrapper
+  // population — pairs of (live wrapper id, agent count) — instead of
+  // interning fresh simulated initial states. Trajectory bookkeeping
+  // (steps, stats, omission process) starts empty; the auto engine carries
+  // those across representation switches itself.
+  struct AdoptWrappers {};
+  SimBatchSystem(std::shared_ptr<DynamicRuleSource> rules, AdoptWrappers,
+                 const std::vector<std::pair<State, std::uint32_t>>& wrappers,
+                 std::optional<std::size_t> outcome_cache_capacity = {});
+
   // Attach an omission process (Def. 1–2); the source's model must be
   // omissive. Must be called before the run starts.
   void set_omission_process(const AdversaryParams& params);

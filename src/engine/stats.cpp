@@ -43,6 +43,23 @@ void RunStats::record_probe(std::size_t step, bool holds) noexcept {
   }
 }
 
+void RunStats::merge(const RunStats& o) {
+  if (o.q_ == 0) {
+    // A state-less record can still carry no-op/omission tallies.
+    noops_ += o.noops_;
+    omissions_ += o.omissions_;
+    return;
+  }
+  if (q_ == 0) reset(o.q_);
+  if (o.q_ != q_)
+    throw std::invalid_argument("RunStats::merge: num_states mismatch");
+  for (std::size_t i = 0; i < fires_.size(); ++i) fires_[i] += o.fires_[i];
+  total_fires_ += o.total_fires_;
+  noops_ += o.noops_;
+  omissions_ += o.omissions_;
+  omissive_fires_ += o.omissive_fires_;
+}
+
 std::uint64_t RunStats::fires(State s, State r) const {
   if (s >= q_ || r >= q_)
     throw std::invalid_argument("RunStats::fires: state out of range");

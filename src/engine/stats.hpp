@@ -106,6 +106,13 @@ class RunStats {
   // which the probe held and never reported false again.
   void record_probe(std::size_t step, bool holds) noexcept;
 
+  // Fold another run's fire/no-op/omission accounting in (the auto engine
+  // accumulates per-representation slices into one master record). Probe
+  // and convergence tracking are deliberately NOT merged: only the stats
+  // owner sees probe evaluations, and the folded-in slices never do.
+  // Requires matching num_states (an empty *this adopts o's).
+  void merge(const RunStats& o);
+
   [[nodiscard]] std::size_t num_states() const noexcept { return q_; }
   [[nodiscard]] std::uint64_t fires(State s, State r) const;
   [[nodiscard]] std::uint64_t total_fires() const noexcept { return total_fires_; }

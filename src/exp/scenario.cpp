@@ -362,7 +362,7 @@ ScenarioGrid parse_grid(const std::string& text) {
         const auto& kinds = engine_kinds();
         if (std::find(kinds.begin(), kinds.end(), e) == kinds.end())
           throw std::invalid_argument("parse_grid: unknown engine '" + e +
-                                      "' (want native or batch)");
+                                      "' (want native, batch or auto)");
       }
     } else if (key == "adv") {
       g.adversaries = split(value, ',');
@@ -423,8 +423,9 @@ RunOptions resolve_run_options(const ScenarioSpec& spec) {
     // The batch engine leaps over no-op runs, so give it an interaction
     // budget sized for n^2-scale convergence times; a UO adversary never
     // quiesces and costs O(1) per omission forever, so those runs get a
-    // finite cap instead.
-    if (spec.engine == "batch") {
+    // finite cap instead. engine=auto gets batch-class budgets: it either
+    // resolves to batch (closed protocols) or can reach count space.
+    if (spec.engine != "native") {
       opt.max_steps = persistent_adversary ? 1'000'000'000'000ULL
                                            : 1'000'000'000'000'000ULL;
       opt.check_every = scaled(4096, 1u << 22);
@@ -432,7 +433,7 @@ RunOptions resolve_run_options(const ScenarioSpec& spec) {
       opt.max_steps = 100'000'000;
       opt.check_every = std::clamp<std::size_t>(spec.n, 64, 4096);
     }
-  } else if (spec.engine == "batch") {
+  } else if (spec.engine != "native") {
     // Naive wrappers add no state (bare-protocol no-op oceans can be
     // leapt); the real simulators pay per fire on any engine.
     const bool naive = parse_sim_spec(spec.sim).kind == "naive";

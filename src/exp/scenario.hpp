@@ -50,7 +50,7 @@ namespace ppfs::exp {
 struct ScenarioSpec {
   std::string workload = "exact-majority";
   std::size_t n = 100;
-  std::string engine = "batch";    // "native" | "batch"
+  std::string engine = "batch";    // "native" | "batch" | "auto"
   std::optional<Model> model{};    // unset -> TW, or the simulator's model
   std::string adversary = "none";  // parse_adversary_spec form
   std::string sim;                 // empty = direct run; parse_sim_spec form

@@ -51,7 +51,9 @@ NamingSimulator::StepEffects NamingSimulator::naming_step(
     ++me.my_id;
     fx.id_incremented = true;
   }
+  const std::uint32_t max_before = me.max_id;
   me.max_id = std::max({me.max_id, me.my_id, nsnap.my_id, nsnap.max_id});
+  fx.max_id_changed = me.max_id != max_before;
   if (!sid_me.active && me.max_id == n) {
     // start_sim(my_id): at this point all ids are unique and stable.
     sid_me.active = true;

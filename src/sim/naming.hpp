@@ -30,8 +30,14 @@ class NamingSimulator final : public Simulator {
     std::uint32_t max_id = 1;
   };
 
+  // What a value-level step did — also the mutation footprint the
+  // count-space rule source's delta path patches from: the Nn fields
+  // (my_id, max_id) move iff id_incremented || max_id_changed, activation
+  // writes the SID layer's active/id fields, and fx.sid.action names the
+  // SID-layer footprint (see SidCore::writes_sim_state).
   struct StepEffects {
     bool id_incremented = false;
+    bool max_id_changed = false;
     bool activated = false;
     SidCore::ValueUpdate sid{};
   };

@@ -94,6 +94,17 @@ class SidCore {
                                                SidAgent& me,
                                                const SidAgent& snap);
 
+  // The mutation footprint of a value step, keyed by the returned Action —
+  // the count-space rule source's delta path patches exactly these
+  // SidAgent fields (active and id never change after construction /
+  // activation; txn is provenance, excluded from canonical encodings):
+  //   None               -> nothing (the reactor's encoding is unchanged)
+  //   Pairing / Rollback -> status, other_id, other_state
+  //   Lock / Complete    -> sim_state, status, other_id, other_state
+  [[nodiscard]] static constexpr bool writes_sim_state(Action a) noexcept {
+    return a == Action::Lock || a == Action::Complete;
+  }
+
   // Stateful wrapper: react_value plus stats and lock-transaction ids for
   // the matching verifier. `me` is the reactor, `snap` the starter's
   // pre-interaction snapshot. Returns a simulated-state update if one

@@ -69,6 +69,37 @@ SidAgent decode_sid_agent(const char*& p) {
   return a;
 }
 
+// Delta path: the SidCore Action footprint names exactly which SidAgent
+// fields react_value wrote, and they are contiguous in the encoding above —
+// Pairing/Rollback rewrite [status u8][other_id u32][other_state u32] at
+// +9, Lock/Complete extend left to [sim_state u32] at +5. `off` shifts the
+// range for naming's layered record; `buf` (>= 13 bytes) must outlive the
+// edit's application.
+ByteEdit sid_action_edit(const SidAgent& me, SidCore::Action action,
+                         std::size_t off, char* buf) {
+  char* p = buf;
+  std::size_t at = off + 9;
+  if (SidCore::writes_sim_state(action)) {
+    at = off + 5;
+    put32_at(p, me.sim_state);
+    p += 4;
+  }
+  *p++ = static_cast<char>(static_cast<std::uint8_t>(me.status));
+  put32_at(p, me.other_id);
+  p += 4;
+  put32_at(p, me.other_state);
+  p += 4;
+  return ByteEdit::replace(at, {buf, static_cast<std::size_t>(p - buf)});
+}
+
+// Reactor-half cache key shared by SID and naming: the ordered (starter
+// id, reactor id) pair, biased so 0 stays the "uncacheable" sentinel.
+std::uint64_t sid_pair_key(State s, State r) {
+  return ((s | r) >> 31) == 0
+             ? ((static_cast<std::uint64_t>(s) << 31) | r) + 1
+             : 0;
+}
+
 // --- SKnO token packing ------------------------------------------------------
 //
 // kind 2 bits | q 12 bits | qr 12 bits | index 6 bits, kNoState -> 0xfff.
@@ -107,6 +138,9 @@ SidRuleSource::SidRuleSource(std::shared_ptr<const Protocol> protocol,
     : protocol_(std::move(protocol)), model_(model), n_(n), options_(options) {
   if (!protocol_) throw std::invalid_argument("SidRuleSource: null protocol");
   if (n_ < 2) throw std::invalid_argument("SidRuleSource: n >= 2 required");
+  // Reactor-half cache default, sized for test-scale populations;
+  // make_sim_rule_source scales it with n.
+  set_internal_cache_capacity(1u << 12);
 }
 
 std::string SidRuleSource::describe() const {
@@ -143,17 +177,34 @@ std::vector<State> SidRuleSource::intern_initial(const std::vector<State>& sim) 
 State SidRuleSource::react(State reactor, State starter_snap) {
   SidAgent me = decode_agent(reactor);
   const SidAgent snap = decode_agent(starter_snap);
-  (void)SidCore::react_value(*protocol_, options_, me, snap);
-  return intern_agent(me);
+  const SidCore::ValueUpdate vu =
+      SidCore::react_value(*protocol_, options_, me, snap);
+  if (vu.action == SidCore::Action::None) return reactor;
+  if (!use_patches_) return intern_agent(me);
+  char buf[13];
+  const ByteEdit edits[] = {sid_action_edit(me, vu.action, 0, buf)};
+  const State out = universe_.intern_patched(reactor, edits);
+  // The fuzz suite pins patch/full equality distributionally; this pins it
+  // on every step of every Debug test run.
+  assert([&] {
+    std::string full;
+    full.reserve(18);
+    encode_sid_agent(full, me);
+    return universe_.encoding(out) == full;
+  }());
+  return out;
 }
 
 StatePair SidRuleSource::outcome(InteractionClass c, State s, State r) {
   // Reactor-side only: omissions deliver nothing, under every model.
   if (c != InteractionClass::Real) return {s, r};
-  const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | r;
-  if (auto it = cache_.find(key); it != cache_.end()) return {s, it->second};
+  // Reactor half, cached on the ordered (starter, reactor) id pair and
+  // generation-validated on the reactor; the starter half is the identity.
+  const std::uint64_t key = sid_pair_key(s, r);
+  if (const StatePair* hit = react_cache_.find_raw(key, r))
+    return {s, hit->reactor};
   const State r2 = react(r, s);
-  cache_.emplace(key, r2);
+  react_cache_.insert_raw(key, r, {r2, r2});
   return {s, r2};
 }
 
@@ -213,9 +264,46 @@ std::vector<State> NamingRuleSource::intern_initial(
 State NamingRuleSource::react(State reactor, State starter_snap) {
   Full me = decode_full(reactor);
   const Full snap = decode_full(starter_snap);
-  (void)NamingSimulator::naming_step(*protocol_, options_, n_, me.naming,
-                                     me.sid, snap.naming, snap.sid);
-  return intern_full(me);
+  const NamingSimulator::StepEffects fx = NamingSimulator::naming_step(
+      *protocol_, options_, n_, me.naming, me.sid, snap.naming, snap.sid);
+  const bool naming_changed = fx.id_incremented || fx.max_id_changed;
+  if (!naming_changed && !fx.activated &&
+      fx.sid.action == SidCore::Action::None)
+    return reactor;
+  if (!use_patches_) return intern_full(me);
+  // Layered footprint, up to two non-overlapping edits in offset order:
+  // [my_id u32 @0][max_id u32 @4] when the Nn layer moved; activation
+  // (rare: n events per run) rewrites the whole SID record at @8 — it
+  // writes active/id, and in the same step the SID layer may act too;
+  // otherwise the SID action patches its usual range shifted by +8.
+  ByteEdit edits[2];
+  std::size_t ne = 0;
+  char head[8];
+  if (naming_changed) {
+    put32_at(head, me.naming.my_id);
+    put32_at(head + 4, me.naming.max_id);
+    edits[ne++] = ByteEdit::replace(0, {head, 8});
+  }
+  char sid_buf[18];
+  if (fx.activated) {
+    std::string full;
+    full.reserve(18);
+    encode_sid_agent(full, me.sid);
+    full.copy(sid_buf, full.size());
+    edits[ne++] = ByteEdit::replace(8, {sid_buf, full.size()});
+  } else if (fx.sid.action != SidCore::Action::None) {
+    edits[ne++] = sid_action_edit(me.sid, fx.sid.action, 8, sid_buf);
+  }
+  const State out = universe_.intern_patched(reactor, {edits, ne});
+  assert([&] {
+    std::string full;
+    full.reserve(26);
+    put32(full, me.naming.my_id);
+    put32(full, me.naming.max_id);
+    encode_sid_agent(full, me.sid);
+    return universe_.encoding(out) == full;
+  }());
+  return out;
 }
 
 State NamingRuleSource::project(State s) const {
@@ -581,10 +669,23 @@ std::unique_ptr<DynamicRuleSource> make_sim_rule_source(
         1u << 16, std::max<std::size_t>(n * 2, 1u << 12)));
     return src;
   }
-  if (spec.kind == "sid")
-    return std::make_unique<SidRuleSource>(std::move(protocol), model, n);
-  if (spec.kind == "naming")
-    return std::make_unique<NamingRuleSource>(std::move(protocol), model, n);
+  // SID/naming reactor-half caches: the hot key space is the ordered pair
+  // of per-agent wrapper ids, so give it more headroom than SKnO's
+  // token-keyed caches (still bounded — at large n the pair space outruns
+  // any cache and the regime monitor sends such runs to agent space).
+  const std::size_t sid_cache = std::min<std::size_t>(
+      1u << 20, std::max<std::size_t>(n * 8, 1u << 12));
+  if (spec.kind == "sid") {
+    auto src = std::make_unique<SidRuleSource>(std::move(protocol), model, n);
+    src->set_internal_cache_capacity(sid_cache);
+    return src;
+  }
+  if (spec.kind == "naming") {
+    auto src =
+        std::make_unique<NamingRuleSource>(std::move(protocol), model, n);
+    src->set_internal_cache_capacity(sid_cache);
+    return src;
+  }
   throw std::invalid_argument("make_sim_rule_source: unknown simulator '" +
                               spec.kind + "'");
 }

@@ -34,7 +34,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/dynamic_rules.hpp"
@@ -46,7 +45,11 @@
 namespace ppfs {
 
 // Reactor-side-only shared base: starter untouched, omissions transparent,
-// outcomes cached per ordered pair (bounded universes, no release).
+// reactor successors delta-patched from the pre-state bytes (the SidCore
+// Action footprint names the changed range) and cached per ordered pair in
+// a bounded, generation-validated OutcomeCache (no releases here — the
+// wrapper population per agent id is closed — so validation only guards
+// hypothetical recycling subclasses).
 class SidRuleSource : public DynamicRuleSource {
  public:
   // Ids 0..n-1, matching SidSimulator's default id assignment.
@@ -68,14 +71,70 @@ class SidRuleSource : public DynamicRuleSource {
                                   State r) override;
   [[nodiscard]] State project(State s) const override;
   [[nodiscard]] bool omission_transparent() const override { return true; }
-  // The internal (s, r) -> post-state memo below is exact and permanent
-  // (bounded universe, no releases): the engine-level outcome cache would
-  // only duplicate it.
+  // The internal reactor-half cache below covers the only non-trivial
+  // outcome half (the starter half is the identity): the engine-level
+  // outcome cache would only duplicate it.
   [[nodiscard]] bool self_caching() const override { return true; }
+  // A SID (and naming) value step is a handful of struct-field updates; a
+  // count-space cached fire (probe + patched intern + count moves) costs
+  // ~50 of them (measured on naming-gap at n = 4096: ~0.58M fires/s in
+  // count space vs ~29M value steps/s native), so count space only pays
+  // off in >= ~98% no-op windows where leaping carries the load. (Covers
+  // NamingRuleSource too.)
+  [[nodiscard]] double fire_cost_ratio() const override { return 0.02; }
+
+  // Successor construction strategy: with patches on (the default), react()
+  // turns the SidCore Action footprint into one ByteEdit against the
+  // pre-state bytes (Pairing/Rollback rewrite [status][other_id]
+  // [other_state], Lock/Complete extend left to [sim_state]) interned via
+  // StateUniverse::intern_patched. Off = always decode + react_value +
+  // re-serialize — the reference path the encode/patch/decode fuzz suite
+  // compares against.
+  void set_use_patches(bool on) noexcept { use_patches_ = on; }
+  [[nodiscard]] bool use_patches() const noexcept { return use_patches_; }
+
+  // The canonical bytes of a live interned id (diagnostics and the
+  // encode/patch/decode fuzz suite, which pins patch-built successors
+  // byte-identical to full re-serialization).
+  [[nodiscard]] const std::string& state_encoding(State s) const {
+    return universe_.encoding(s);
+  }
+
+  // Bound (entries) for the reactor-half cache; make_sim_rule_source
+  // scales it with the population.
+  void set_internal_cache_capacity(std::size_t capacity) {
+    react_cache_.set_capacity(capacity);
+  }
+
+  // Diagnostics for the (starter id, reactor id) reactor-half cache.
+  [[nodiscard]] const OutcomeCache::Stats& react_cache_stats() const noexcept {
+    return react_cache_.stats();
+  }
+
+  // --- agent-space bridge (engine=auto) ------------------------------------
+  // Decode a live wrapper id into its per-agent record / intern a record
+  // back: the auto engine's representation switch, kept here so the byte
+  // layout stays private to the source.
+  [[nodiscard]] SidAgent decode_wrapper(State s) const {
+    return decode_agent(s);
+  }
+  [[nodiscard]] State intern_wrapper(const SidAgent& a) {
+    return intern_agent(a);
+  }
+  [[nodiscard]] const SidCore::Options& sid_options() const noexcept {
+    return options_;
+  }
+  // The population size the source was built for (SID id range / naming
+  // activation threshold).
+  [[nodiscard]] std::size_t population() const noexcept { return n_; }
 
   void export_metrics(obs::MetricRegistry& reg) const override {
     DynamicRuleSource::export_metrics(reg);
-    reg.counter("cache.react_memo.entries").set(cache_.size());
+    const OutcomeCache::Stats& s = react_cache_.stats();
+    reg.counter("cache.react.hits").set(s.hits);
+    reg.counter("cache.react.misses").set(s.misses);
+    reg.counter("cache.react.evictions").set(s.evictions);
+    reg.counter("cache.react.stale_drops").set(s.stale_drops);
   }
 
  protected:
@@ -94,8 +153,10 @@ class SidRuleSource : public DynamicRuleSource {
   std::size_t n_;
   SidCore::Options options_;
   StateUniverse universe_;
-  // (s << 32 | r) -> reactor post-state; the starter never changes.
-  std::unordered_map<std::uint64_t, State> cache_;
+  bool use_patches_ = true;
+  // ((s << 31) | r) + 1 -> reactor post-state (payload duplicated into
+  // both halves, like SKnO's receive cache); the starter never changes.
+  OutcomeCache react_cache_;
 };
 
 // Nn + SID composition (§4.3): the naming layer rides in front of the SID
@@ -110,14 +171,24 @@ class NamingRuleSource final : public SidRuleSource {
       const std::vector<State>& sim) override;
   [[nodiscard]] State project(State s) const override;
 
- protected:
-  [[nodiscard]] State react(State reactor, State starter_snap) override;
-
- private:
+  // The full two-layer record of one agent (Nn head + SID body).
   struct Full {
     NamingSimulator::NamingState naming;
     SidAgent sid;
   };
+
+  // Agent-space bridge (engine=auto), layered analogue of the SID one.
+  [[nodiscard]] Full decode_wrapper_full(State s) const {
+    return decode_full(s);
+  }
+  [[nodiscard]] State intern_wrapper_full(const Full& f) {
+    return intern_full(f);
+  }
+
+ protected:
+  [[nodiscard]] State react(State reactor, State starter_snap) override;
+
+ private:
   [[nodiscard]] State intern_full(const Full& f);
   [[nodiscard]] Full decode_full(State s) const;
 };
@@ -148,6 +219,11 @@ class SknoRuleSource final : public DynamicRuleSource {
   [[nodiscard]] bool open_universe() const override { return true; }
   [[nodiscard]] bool real_noop_factors() const override { return true; }
   [[nodiscard]] bool self_caching() const override { return use_patches_; }
+  // An SKnO value step runs the full token-queue machinery (dequeue,
+  // receive, debt bookkeeping) — measured ~10x the cost of a cached
+  // delta-fire on the o=8 acceptance window — so fire-heavy windows do
+  // NOT argue against count space here.
+  [[nodiscard]] double fire_cost_ratio() const override { return 8.0; }
   [[nodiscard]] bool starter_silent(State s) override;
 
   [[nodiscard]] const SknoCore::Stats& core_stats() const noexcept {
@@ -181,6 +257,17 @@ class SknoRuleSource final : public DynamicRuleSource {
   // Diagnostics for the (token, reactor) receive cache.
   [[nodiscard]] const OutcomeCache::Stats& receive_cache_stats() const noexcept {
     return recv_cache_.stats();
+  }
+
+  // --- agent-space bridge (engine=auto) ------------------------------------
+  // The value core (model/omission bound/options for a sibling agent-space
+  // core) and the decode/intern pair the representation switch rides on.
+  [[nodiscard]] const SknoCore& core() const noexcept { return core_; }
+  void decode_wrapper_into(State s, SknoCore::Agent& out) const {
+    decode_agent_into(s, out);
+  }
+  [[nodiscard]] State intern_wrapper(const SknoCore::Agent& a) {
+    return intern_agent(a);
   }
 
   // Bound (entries) for the source-internal receive and g-successor

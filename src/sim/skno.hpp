@@ -168,6 +168,7 @@ class SknoCore {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t omission_bound() const noexcept { return o_; }
   [[nodiscard]] Model model() const noexcept { return model_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
   // True iff the agent transmits nothing as a starter (pending with an
   // empty queue) — the one no-op shape of the Real class, which is what

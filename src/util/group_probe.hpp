@@ -1,0 +1,170 @@
+// SwissTable-style control-byte probe groups: the SIMD kernel under
+// StateUniverse's interning table (core/dynamic_rules.hpp). The table keeps
+// one control byte per slot — a 7-bit hash tag for full slots, or one of
+// two sentinels — and a lookup inspects a whole cache-line-resident group
+// of slots at once: broadcast the probe tag, compare byte-wise, and reduce
+// to a bitmask of candidate lanes. Three implementations sit behind the
+// same ProbeGroup/GroupMask shape:
+//
+//   * SSE2  — 16-byte groups, _mm_cmpeq_epi8 + _mm_movemask_epi8
+//             (baseline x86-64: always available, no -m flags needed);
+//   * NEON  — 16-byte groups, vceqq_u8 + the vshrn_n_u16 nibble-narrowing
+//             movemask (one mask bit per lane at stride 4);
+//   * scalar — 8-byte groups, SWAR over one u64 load. match() may report
+//             false positives (the classic zero-byte trick borrows across
+//             byte lanes), which is part of the contract: callers confirm
+//             every candidate against the full key anyway. The two
+//             sentinel masks are exact (per-byte bit tests, no borrows).
+//
+// Build-time switch mirroring PPFS_METRICS: cmake -DPPFS_SIMD=OFF defines
+// PPFS_SIMD=0 and forces the portable scalar group on every architecture,
+// so the fallback is CI-testable on x86.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#ifndef PPFS_SIMD
+#define PPFS_SIMD 1
+#endif
+
+#if PPFS_SIMD && defined(__SSE2__)
+#define PPFS_GROUP_PROBE_IMPL "sse2"
+#include <emmintrin.h>
+#elif PPFS_SIMD && defined(__ARM_NEON)
+#define PPFS_GROUP_PROBE_IMPL "neon"
+#include <arm_neon.h>
+#else
+#define PPFS_GROUP_PROBE_IMPL "scalar"
+#endif
+
+namespace ppfs::simd {
+
+// Control-byte values. Full slots hold the 7-bit tag (high bit clear);
+// both sentinels have the high bit set, and they differ in low bits chosen
+// so the sentinel masks below are single-instruction-exact:
+//   empty   = 0b1000'0000 (bit 1 and bit 0 clear)
+//   deleted = 0b1111'1110 (bit 1 set, bit 0 clear)
+inline constexpr std::uint8_t kCtrlEmpty = 0x80;
+inline constexpr std::uint8_t kCtrlDeleted = 0xFE;
+
+// A set of candidate lanes: one bit per lane at compile-time stride
+// `Stride` (1 for movemask-style masks, 4 for the NEON nibble mask, 8 for
+// SWAR byte-MSB masks). Iterate with `for (auto m = ...; m.any(); m.pop())`.
+template <unsigned Stride>
+class GroupMask {
+ public:
+  explicit constexpr GroupMask(std::uint64_t bits) noexcept : bits_(bits) {}
+  [[nodiscard]] constexpr bool any() const noexcept { return bits_ != 0; }
+  // Lowest candidate lane index; only valid when any().
+  [[nodiscard]] constexpr unsigned first() const noexcept {
+    return static_cast<unsigned>(std::countr_zero(bits_)) / Stride;
+  }
+  // Drop the lowest candidate.
+  constexpr void pop() noexcept { bits_ &= bits_ - 1; }
+
+ private:
+  std::uint64_t bits_;
+};
+
+#if PPFS_SIMD && defined(__SSE2__)
+
+class ProbeGroup {
+ public:
+  static constexpr std::size_t kWidth = 16;
+  using Mask = GroupMask<1>;
+
+  explicit ProbeGroup(const std::uint8_t* ctrl) noexcept
+      : g_(_mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl))) {}
+
+  // Lanes whose control byte equals the 7-bit tag (exact on this impl).
+  [[nodiscard]] Mask match(std::uint8_t tag) const noexcept {
+    return Mask(static_cast<std::uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(g_, _mm_set1_epi8(static_cast<char>(tag))))));
+  }
+  [[nodiscard]] Mask match_empty() const noexcept {
+    return match(kCtrlEmpty);
+  }
+  // Both sentinels carry the byte sign bit; full slots never do.
+  [[nodiscard]] Mask match_empty_or_deleted() const noexcept {
+    return Mask(static_cast<std::uint32_t>(_mm_movemask_epi8(g_)));
+  }
+
+ private:
+  __m128i g_;
+};
+
+#elif PPFS_SIMD && defined(__ARM_NEON)
+
+class ProbeGroup {
+ public:
+  static constexpr std::size_t kWidth = 16;
+  using Mask = GroupMask<4>;
+
+  explicit ProbeGroup(const std::uint8_t* ctrl) noexcept
+      : g_(vld1q_u8(ctrl)) {}
+
+  [[nodiscard]] Mask match(std::uint8_t tag) const noexcept {
+    return to_mask(vceqq_u8(g_, vdupq_n_u8(tag)));
+  }
+  [[nodiscard]] Mask match_empty() const noexcept {
+    return match(kCtrlEmpty);
+  }
+  [[nodiscard]] Mask match_empty_or_deleted() const noexcept {
+    // Sign-bit test: 0x80 <= byte for both sentinels only.
+    return to_mask(vcgeq_u8(g_, vdupq_n_u8(0x80)));
+  }
+
+ private:
+  // Narrow each 16-bit pair of 0x00/0xFF compare lanes to a nibble: the
+  // resulting u64 holds one 0x0/0xF nibble per lane, i.e. a stride-4 mask.
+  [[nodiscard]] static Mask to_mask(uint8x16_t eq) noexcept {
+    const uint8x8_t n = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+    return Mask(vget_lane_u64(vreinterpret_u64_u8(n), 0));
+  }
+
+  uint8x16_t g_;
+};
+
+#else  // portable scalar SWAR
+
+class ProbeGroup {
+ public:
+  static constexpr std::size_t kWidth = 8;
+  using Mask = GroupMask<8>;
+
+  explicit ProbeGroup(const std::uint8_t* ctrl) noexcept {
+    std::memcpy(&g_, ctrl, sizeof(g_));  // little-endian assumed (as is
+                                         // the project's byte encodings)
+  }
+
+  // Zero-byte SWAR trick on g ^ broadcast(tag). May set the MSB of a byte
+  // adjacent to a true match (borrow propagation) — candidates must be
+  // confirmed against the full key, which every caller does anyway.
+  // Sentinels never alias a tag: tags have the high bit clear.
+  [[nodiscard]] Mask match(std::uint8_t tag) const noexcept {
+    const std::uint64_t x = g_ ^ (kLsbs * tag);
+    return Mask((x - kLsbs) & ~x & kMsbs);
+  }
+  // Exact: MSB set and bit 1 clear identifies kCtrlEmpty (the shift stays
+  // within each byte for the tested bit position).
+  [[nodiscard]] Mask match_empty() const noexcept {
+    return Mask(g_ & ~(g_ << 6) & kMsbs);
+  }
+  // Exact: MSB set and bit 0 clear covers both sentinels, no full slots.
+  [[nodiscard]] Mask match_empty_or_deleted() const noexcept {
+    return Mask(g_ & ~(g_ << 7) & kMsbs);
+  }
+
+ private:
+  static constexpr std::uint64_t kLsbs = 0x0101010101010101ull;
+  static constexpr std::uint64_t kMsbs = 0x8080808080808080ull;
+
+  std::uint64_t g_;
+};
+
+#endif
+
+}  // namespace ppfs::simd

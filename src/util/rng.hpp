@@ -81,14 +81,6 @@ class Rng {
     return Rng(splitmix64(s));
   }
 
-  // Deprecated stateful form: advances this generator and seeds a child
-  // from the draw, so the child depends on the parent's position. Kept as
-  // an alias for old call sites; new code wants the keyed overload.
-  [[deprecated("use the keyed split(stream_id) const overload")]] [[nodiscard]]
-  Rng split() noexcept {
-    return Rng(operator()() ^ 0x9e3779b97f4a7c15ULL);
-  }
-
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

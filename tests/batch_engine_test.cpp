@@ -87,12 +87,15 @@ TEST(BatchSystem, RejectsSingletonPopulations) {
 // --- EngineDispatch facade --------------------------------------------------
 
 TEST(EngineDispatch, KindsAndFactory) {
-  EXPECT_EQ(engine_kinds(), (std::vector<std::string>{"native", "batch"}));
+  EXPECT_EQ(engine_kinds(),
+            (std::vector<std::string>{"native", "batch", "auto"}));
   EXPECT_THROW((void)make_engine("warp", make_or_protocol(), {0, 1}),
                std::invalid_argument);
   for (const auto& kind : engine_kinds()) {
     auto e = make_engine(kind, make_or_protocol(), {0, 1, 1});
-    EXPECT_EQ(e->kind(), kind);
+    // Closed-universe protocols have no regime to monitor: auto resolves
+    // to the batch engine outright.
+    EXPECT_EQ(e->kind(), kind == "auto" ? "batch" : kind);
     EXPECT_EQ(e->size(), 3u);
     EXPECT_EQ(e->counts(), (std::vector<std::size_t>{1, 2}));
     EXPECT_EQ(e->interactions(), 0u);

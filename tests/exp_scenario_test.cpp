@@ -190,6 +190,34 @@ TEST(RunReplica, OneWayModelsResolveTheOneWayRegistry) {
   EXPECT_TRUE(r.run.converged);
 }
 
+TEST(ParseGrid, EngineAutoIsAnAxisValue) {
+  const ScenarioGrid g = parse_grid("or@n=16:engine=native,batch,auto:sim=sid");
+  ASSERT_EQ(g.engines,
+            (std::vector<std::string>{"native", "batch", "auto"}));
+  EXPECT_THROW((void)parse_grid("or@engine=warp"), std::invalid_argument);
+}
+
+TEST(RunReplica, EngineAutoRunsSimPoints) {
+  // engine=auto through the replica runner: deterministic per (point,
+  // trial), and the auto gauges surface in extras alongside the rest of
+  // the registry.
+  ScenarioSpec spec;
+  spec.workload = "exact-majority";
+  spec.n = 24;
+  spec.engine = "auto";
+  spec.sim = "sid";
+  spec.fixed_steps = 4000;
+  spec.metrics_every = 1000;
+  const ReplicaResult a = run_replica(spec, 1);
+  const ReplicaResult b = run_replica(spec, 1);
+  EXPECT_EQ(a.run.steps, 4000u);
+  EXPECT_EQ(a.fires, b.fires);
+  EXPECT_EQ(a.extras, b.extras);
+  // SID disperses fully from step 0: auto must be running agent space.
+  ASSERT_TRUE(a.extras.count("m.auto.agent_space"));
+  EXPECT_EQ(a.extras.at("m.auto.agent_space"), 1.0);
+}
+
 TEST(RunReplica, FixedStepsRunsExactlyThatManyInteractions) {
   ScenarioSpec spec;
   spec.workload = "or";

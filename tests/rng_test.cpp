@@ -70,10 +70,7 @@ TEST(Rng, ChanceMatchesProbability) {
 
 TEST(Rng, SplitProducesIndependentStream) {
   Rng a(23);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Rng b = a.split();  // legacy stateful form, kept as a deprecated alias
-#pragma GCC diagnostic pop
+  Rng b = a.split(1);
   int equal = 0;
   for (int i = 0; i < 64; ++i)
     if (a() == b()) ++equal;

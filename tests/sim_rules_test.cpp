@@ -11,6 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "protocols/majority.hpp"
 #include "protocols/pairing.hpp"
 #include "protocols/registry.hpp"
@@ -305,6 +310,208 @@ TEST(SknoRuleSource, PatchAndFullSerializationAgreeByteForByte) {
     }
     ++case_idx;
   }
+}
+
+// Generic encode/patch/decode fuzz: drive a patch-building source and a
+// full-reserialization reference through the same interaction script; ids
+// AND canonical bytes must agree at every step (no releases happen, so new
+// encodings intern in the same order on both sides). Shared by the SID and
+// naming suites below — the SKnO case above predates it and keeps its
+// model/omission-bound matrix.
+template <typename Source>
+void expect_patch_matches_full(Source& patched, Source& full,
+                               const std::vector<State>& initial, Model model,
+                               double omission_rate, std::uint64_t seed,
+                               int steps, const std::string& label) {
+  full.set_use_patches(false);
+  ASSERT_TRUE(patched.use_patches());
+  ASSERT_FALSE(full.use_patches());
+  std::vector<State> ids_p = patched.intern_initial(initial);
+  std::vector<State> ids_f = full.intern_initial(initial);
+  ASSERT_EQ(ids_p, ids_f);
+  const std::size_t n = initial.size();
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    const Interaction ia = uniform_ordered_pair(rng, n);
+    InteractionClass cls = InteractionClass::Real;
+    if (omission_rate > 0.0 && rng.chance(omission_rate)) {
+      const std::uint64_t side = rng.below(3);
+      cls = omission_class_for(model, side == 0 ? OmitSide::Both
+                                     : side == 1 ? OmitSide::Starter
+                                                 : OmitSide::Reactor);
+    }
+    const StatePair out_p =
+        patched.outcome(cls, ids_p[ia.starter], ids_p[ia.reactor]);
+    const StatePair out_f =
+        full.outcome(cls, ids_f[ia.starter], ids_f[ia.reactor]);
+    ASSERT_EQ(out_p, out_f) << label << " step " << step;
+    ASSERT_EQ(patched.state_encoding(out_p.starter),
+              full.state_encoding(out_f.starter))
+        << label << " step " << step;
+    ASSERT_EQ(patched.state_encoding(out_p.reactor),
+              full.state_encoding(out_f.reactor))
+        << label << " step " << step;
+    ids_p[ia.starter] = out_p.starter;
+    ids_p[ia.reactor] = out_p.reactor;
+    ids_f[ia.starter] = out_f.starter;
+    ids_f[ia.reactor] = out_f.reactor;
+  }
+}
+
+TEST(SidRuleSource, PatchAndFullSerializationAgreeByteForByte) {
+  const std::size_t n = 8;
+  const Workload w = standard_workloads(n)[3];  // exact-majority
+  {
+    // Fault-free IO: Pairing/Rollback/Lock/Complete all exercised.
+    SidRuleSource patched(w.protocol, Model::IO, n);
+    SidRuleSource full(w.protocol, Model::IO, n);
+    expect_patch_matches_full(patched, full, w.initial, Model::IO, 0.0, 5150,
+                              4000, "sid/IO");
+  }
+  {
+    // Omissive T3: the omission classes route through the same patch
+    // builder (SID is omission-transparent — faulty outcomes are
+    // identities or plain one-sided reactions).
+    SidRuleSource patched(w.protocol, Model::T3, n);
+    SidRuleSource full(w.protocol, Model::T3, n);
+    expect_patch_matches_full(patched, full, w.initial, Model::T3, 0.3, 5151,
+                              4000, "sid/T3+om");
+  }
+}
+
+TEST(NamingRuleSource, PatchAndFullSerializationAgreeByteForByte) {
+  const std::size_t n = 6;
+  const Workload w = standard_workloads(n)[3];
+  {
+    // The two-layer record: Nn head edits (my_id/max_id) compose with the
+    // SID body footprint in one patched intern.
+    NamingRuleSource patched(w.protocol, Model::IO, n);
+    NamingRuleSource full(w.protocol, Model::IO, n);
+    expect_patch_matches_full(patched, full, w.initial, Model::IO, 0.0, 5250,
+                              6000, "naming/IO");
+  }
+  {
+    NamingRuleSource patched(w.protocol, Model::T3, n);
+    NamingRuleSource full(w.protocol, Model::T3, n);
+    expect_patch_matches_full(patched, full, w.initial, Model::T3, 0.25, 5251,
+                              6000, "naming/T3+om");
+  }
+}
+
+TEST(StateUniverse, GrowthRehashDoesNotDuplicateTheTriggeringId) {
+  // Regression: the intern that TRIGGERS a growth rehash used to assign
+  // its encoding before the load-factor check, so rehash() re-placed the
+  // brand-new id and the post-rehash place() inserted it a second time.
+  // The duplicate slot outlived a later release(): the next probe whose
+  // tag matched it dereferenced a dead id's null encoding (the engine=auto
+  // SKnO bench segfault). Force the exact sequence deterministically: the
+  // lazy table has 64 slots and grows when (full + tombstones + 1) * 8
+  // exceeds 7/8 capacity, i.e. on the 57th insert with no tombstones.
+  StateUniverse u;
+  for (int i = 0; i < 56; ++i)
+    (void)u.intern("pre" + std::to_string(i));
+  ASSERT_EQ(u.live(), 56u);
+  const State trigger = u.intern("trigger");  // takes the growth-rehash path
+  ASSERT_EQ(u.live(), 57u);
+  u.release(trigger);
+  // Pre-fix: this probe walks "trigger"'s own path, matches the stale
+  // duplicate slot first, and dereferences the released id's null slot.
+  const State again = u.intern("trigger");
+  ASSERT_TRUE(u.is_live(again));
+  EXPECT_EQ(u.encoding(again), "trigger");
+  EXPECT_EQ(u.live(), 57u);
+  // The table must still dedup correctly after the episode.
+  EXPECT_EQ(u.intern("trigger"), again);
+  for (int i = 0; i < 56; ++i)
+    EXPECT_EQ(u.encoding(u.intern("pre" + std::to_string(i))),
+              "pre" + std::to_string(i));
+  EXPECT_EQ(u.live(), 57u);
+}
+
+TEST(StateUniverse, ChurnStressMatchesReferenceModel) {
+  // Randomized differential test of the group-probe interning table
+  // (util/group_probe.hpp) against a plain map reference: heavy
+  // intern/release churn over a deliberately small encoding alphabet so
+  // dedup hits, tombstone reuse, id recycling and load-factor rehashes all
+  // trigger many times, in both the SIMD and scalar probe configurations.
+  StateUniverse u;
+  std::map<std::string, State> by_enc;  // reference: live encoding -> id
+  std::vector<std::pair<State, std::string>> live;  // flat view for sampling
+  Rng rng(20260808);
+  const char alphabet[] = {'a', 'b', 'c', 'd'};
+  auto random_enc = [&] {
+    std::string s;
+    const std::size_t len = 1 + rng.below(8);
+    for (std::size_t i = 0; i < len; ++i)
+      s.push_back(alphabet[rng.below(4)]);
+    return s;
+  };
+  for (int op = 0; op < 30000; ++op) {
+    const std::uint64_t kind = rng.below(10);
+    if (kind < 5 || live.empty()) {
+      // Intern a random encoding: dedupes onto the live id if present.
+      const std::string enc = random_enc();
+      const State id = u.intern(enc);
+      const auto it = by_enc.find(enc);
+      if (it != by_enc.end()) {
+        ASSERT_EQ(id, it->second) << "op " << op << " enc " << enc;
+      } else {
+        by_enc.emplace(enc, id);
+        live.emplace_back(id, enc);
+      }
+    } else if (kind < 8) {
+      // Release a random live id; its slot becomes a tombstone and the id
+      // recycles.
+      const std::size_t pick = rng.below(live.size());
+      const auto [id, enc] = live[pick];
+      u.release(id);
+      ASSERT_FALSE(u.is_live(id));
+      by_enc.erase(enc);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      // Patch a random live base with one random in-range edit.
+      const auto& [base, enc] = live[rng.below(live.size())];
+      std::string expected = enc;
+      std::vector<ByteEdit> edits;
+      const char b = alphabet[rng.below(4)];
+      // An earlier erase can leave an empty encoding live; only insert is
+      // in-range against it.
+      const std::uint64_t which = expected.empty() ? 1 : rng.below(3);
+      if (which == 0) {
+        const std::size_t pos = rng.below(expected.size());
+        expected[pos] = b;
+        edits.push_back(ByteEdit::replace(pos, {&b, 1}));
+      } else if (which == 1) {
+        const std::size_t pos = rng.below(expected.size() + 1);
+        expected.insert(pos, 1, b);
+        edits.push_back(ByteEdit::insert(pos, {&b, 1}));
+      } else {
+        const std::size_t pos = rng.below(expected.size());
+        expected.erase(pos, 1);
+        edits.push_back(ByteEdit::erase(pos, 1));
+      }
+      const State id = u.intern_patched(base, edits);
+      const auto it = by_enc.find(expected);
+      if (it != by_enc.end()) {
+        ASSERT_EQ(id, it->second) << "op " << op << " patched " << expected;
+      } else {
+        ASSERT_EQ(u.encoding(id), expected) << "op " << op;
+        by_enc.emplace(expected, id);
+        live.emplace_back(id, expected);
+      }
+    }
+    ASSERT_EQ(u.live(), by_enc.size()) << "op " << op;
+    // Periodic full audit: every reference encoding still finds its id.
+    if (op % 4096 == 0) {
+      for (const auto& [enc2, id2] : by_enc) {
+        ASSERT_TRUE(u.is_live(id2));
+        ASSERT_EQ(u.encoding(id2), enc2);
+        ASSERT_EQ(u.intern(enc2), id2);
+      }
+    }
+  }
+  EXPECT_GT(u.capacity(), 0u);
 }
 
 TEST(StateUniverse, InternPatchedMatchesManualEdits) {
