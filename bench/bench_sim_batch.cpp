@@ -136,6 +136,13 @@ int main(int argc, char** argv) {
       // speedup target on this row — it is the honest sustained number).
       {"skno-o8-gap-1M-sustained", "batch", "skno:o=8", "I3",
        "exact-majority-gap", 1'000'000, 2'000'000, 2'000'000, false},
+      // The same dense window under engine=auto (the PR 8 dense-regime
+      // guard): SKnO mid-convergence is fire-heavy with a collapsed
+      // universe, the mislead-prone cell for the monitor's measured
+      // fire-cost estimate — auto must stay at least as fast as stepping
+      // (CI floor on speedup:dense-skno-auto: >= 1.0).
+      {"dense-skno-auto", "auto", "skno:o=8", "I3", "exact-majority-gap",
+       1'000'000, 500'000, 500'000, false},
       // Paper-scale SKnO to convergence on the simulated projection, under
       // auto: at n = 50 the universe disperses to ~1 state per agent and
       // the monitor sends the run to agent space (pure count space

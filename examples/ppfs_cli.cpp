@@ -254,6 +254,20 @@ Model parse_model(const std::string& s) {
   throw std::invalid_argument("unknown model '" + s + "'");
 }
 
+// Population sizes up to 10^9 are routine for the count-space engines, so
+// accept the sweep grammar's scientific shorthand ("1e9") alongside plain
+// digits, in full 64-bit range (stoul would be fine on LP64, but say what
+// we mean).
+std::size_t parse_population(const std::string& s) {
+  const std::size_t e = s.find_first_of("eE");
+  if (e == std::string::npos) return std::stoull(s);
+  const std::uint64_t base = std::stoull(s.substr(0, e));
+  const std::uint64_t exp = std::stoull(s.substr(e + 1));
+  std::uint64_t out = base;
+  for (std::uint64_t i = 0; i < exp; ++i) out *= 10;
+  return out;
+}
+
 std::unique_ptr<Simulator> make_simulator(const std::string& kind,
                                           const Workload& w, Model model,
                                           std::size_t budget) {
@@ -283,10 +297,16 @@ int run_with_engine(const std::string& kind, Model model,
   std::unique_ptr<Engine> engine;
   std::string workload_name;
   CountsProbe probe;
+  // Above kPerAgentLimit the registry hands out counts instead of a
+  // per-agent vector (n = 10^9 runs) and only the count-space engines
+  // apply — make_engine_from_counts rejects "native" with a clear error.
   if (is_one_way(model)) {
     const OneWayWorkload w = find_one_way_workload(workload, n, model);
     workload_name = w.name;
-    engine = make_engine(kind, w.protocol, w.initial, config);
+    engine = w.initial_counts.empty()
+                 ? make_engine(kind, w.protocol, w.initial, config)
+                 : make_engine_from_counts(kind, w.protocol, w.initial_counts,
+                                           config);
     auto conv = w.converged;
     const int expect = w.expected_output;
     probe = [conv, expect](const std::vector<std::size_t>& counts,
@@ -297,7 +317,10 @@ int run_with_engine(const std::string& kind, Model model,
   } else {
     const Workload w = find_workload(workload, n);
     workload_name = w.name;
-    engine = make_engine(kind, w.protocol, w.initial, config);
+    engine = w.initial_counts.empty()
+                 ? make_engine(kind, w.protocol, w.initial, config)
+                 : make_engine_from_counts(kind, w.protocol, w.initial_counts,
+                                           config);
     probe = workload_counts_probe(w);
   }
 
@@ -318,7 +341,9 @@ int run_with_engine(const std::string& kind, Model model,
   opt.check_every = kind != "native" ? (1u << 22) : 4096;
   const RunResult res = run_engine_until(*engine, sched, rng, probe, opt);
   const RunStats& stats = engine->stats();
-  std::cout << kind << " engine on " << workload_name << " under "
+  std::cout << kind << " engine";
+  if (kind == "auto") std::cout << " [active: " << engine->active_kind() << "]";
+  std::cout << " on " << workload_name << " under "
             << model_name(engine->model());
   if (config.adversary) {
     std::cout << " + " << adversary_kind_name(config.adversary->kind)
@@ -503,7 +528,7 @@ int main(int argc, char** argv) {
       // simulator convergence cost is super-linear in n on any engine).
       if (!simulate.empty()) workload = "exact-majority-gap";
       if (pos < args.size()) workload = args[pos++];
-      n = pos < args.size() ? std::stoul(args[pos++])
+      n = pos < args.size() ? parse_population(args[pos++])
                             : (simulate.empty() ? 1'000'000 : 50);
       if (pos < args.size()) seed = std::stoull(args[pos++]);
       if (!simulate.empty())

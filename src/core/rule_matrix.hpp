@@ -114,6 +114,17 @@ class RuleMatrix {
   // non-omissive models.
   [[nodiscard]] InteractionClass omission_class(OmitSide side) const;
 
+  // Enumerate the ordered pre-state pairs whose class-`c` outcome changes
+  // the configuration, in (s, r) row-major order — the fixed pair universe
+  // the count-space engines build their dynamic samplers over (is_noop
+  // depends only on the compiled tables, never on counts).
+  template <class Fn>
+  void for_each_changing_pair(InteractionClass c, Fn&& fn) const {
+    for (State s = 0; s < q_; ++s)
+      for (State r = 0; r < q_; ++r)
+        if (!is_noop(c, s, r)) fn(s, r);
+  }
+
  private:
   RuleMatrix() = default;
 

@@ -26,6 +26,9 @@ BatchSystem::BatchSystem(RuleMatrix rules, std::vector<std::size_t> counts)
       stats_(q_) {
   if (conf_.size() < 2)
     throw std::invalid_argument("BatchSystem: need at least two agents");
+  dirty_flag_.assign(q_, 0);
+  build_pair_table(InteractionClass::Real, real_pairs_);
+  w_real_ = real_pairs_.sampler.total();
 }
 
 void BatchSystem::set_metrics(obs::MetricRegistry* reg) {
@@ -48,7 +51,9 @@ void BatchSystem::set_omission_process(const AdversaryParams& params) {
   omit_.emplace(params);
   omit_->set_metrics(metrics_reg_);
   omit_class_ = rules_.omission_class(params.side);
-  weights_valid_ = false;
+  omit_pairs_.emplace();
+  build_pair_table(omit_class_, *omit_pairs_);
+  w_omit_ = omit_pairs_->sampler.total();
 }
 
 std::uint64_t BatchSystem::pair_weight(State s, State r) const noexcept {
@@ -58,7 +63,8 @@ std::uint64_t BatchSystem::pair_weight(State s, State r) const noexcept {
   return cs == 0 ? 0 : cs * cr;
 }
 
-std::uint64_t BatchSystem::changing_weight(InteractionClass c) const noexcept {
+std::uint64_t BatchSystem::audit_changing_weight(
+    InteractionClass c) const noexcept {
   std::uint64_t w = 0;
   for (State s = 0; s < q_; ++s) {
     if (conf_.counts()[s] == 0) continue;
@@ -69,16 +75,67 @@ std::uint64_t BatchSystem::changing_weight(InteractionClass c) const noexcept {
   return w;
 }
 
-void BatchSystem::refresh_weights() const {
-  if (weights_valid_) return;
+void BatchSystem::build_pair_table(InteractionClass c, PairTable& table) const {
+  table.pairs.clear();
+  table.adj.assign(q_, {});
+  rules_.for_each_changing_pair(c, [&](State s, State r) {
+    const auto idx = static_cast<std::uint32_t>(table.pairs.size());
+    table.pairs.emplace_back(s, r);
+    table.adj[s].push_back(idx);
+    if (r != s) table.adj[r].push_back(idx);
+  });
+  table.sampler.reset(table.pairs.size());
+  for (std::size_t i = 0; i < table.pairs.size(); ++i)
+    table.sampler.set(
+        i, pair_weight(table.pairs[i].first, table.pairs[i].second));
+}
+
+void BatchSystem::mark_dirty(State s) const {
+  if (s >= q_ || dirty_flag_[s]) return;
+  dirty_flag_[s] = 1;
+  dirty_.push_back(s);
+}
+
+void BatchSystem::flush_weights() const {
+  if (dirty_.empty()) return;
   PPFS_METRIC(m_weight_refreshes_, add());
-  w_real_ = changing_weight(InteractionClass::Real);
-  w_omit_ = omit_ ? changing_weight(omit_class_) : 0;
-  weights_valid_ = true;
+  for (const State s : dirty_) {
+    dirty_flag_[s] = 0;
+    for (const std::uint32_t i : real_pairs_.adj[s]) {
+      const auto [ps, pr] = real_pairs_.pairs[i];
+      real_pairs_.sampler.set(i, pair_weight(ps, pr));
+    }
+    if (omit_pairs_) {
+      for (const std::uint32_t i : omit_pairs_->adj[s]) {
+        const auto [ps, pr] = omit_pairs_->pairs[i];
+        omit_pairs_->sampler.set(i, pair_weight(ps, pr));
+      }
+    }
+  }
+  dirty_.clear();
+  w_real_ = real_pairs_.sampler.total();
+  w_omit_ = omit_pairs_ ? omit_pairs_->sampler.total() : 0;
+}
+
+std::uint64_t BatchSystem::changing_weight(InteractionClass c) const {
+  flush_weights();
+  if (c == InteractionClass::Real) return w_real_;
+  if (omit_pairs_ && c == omit_class_) return w_omit_;
+  return audit_changing_weight(c);
+}
+
+double BatchSystem::fire_density() const {
+  flush_weights();
+  const double t = static_cast<double>(conf_.size()) *
+                   static_cast<double>(conf_.size() - 1);
+  const double wr = static_cast<double>(w_real_);
+  if (!omit_ || !omit_->active(steps_)) return wr / t;
+  const double p = omit_->rate();
+  return ((1.0 - p) * wr + p * static_cast<double>(w_omit_)) / t;
 }
 
 bool BatchSystem::silent() const {
-  refresh_weights();
+  flush_weights();
   if (w_real_ != 0) return false;
   if (omit_ && omit_->active(steps_) && w_omit_ != 0) return false;
   return true;
@@ -94,7 +151,24 @@ void BatchSystem::apply_fire(InteractionClass c, State s, State r,
   conf_.apply_outcome(s, r, d.out);
   if (d.omissive) stats_.record_omissive_fire(s, r);
   else stats_.record_fire(s, r);
-  weights_valid_ = false;
+  mark_dirty(s);
+  mark_dirty(r);
+  mark_dirty(d.out.starter);
+  mark_dirty(d.out.reactor);
+}
+
+void BatchSystem::bulk_fire(InteractionClass c, State s, State r,
+                            std::size_t times) {
+  if (times == 0) return;
+  const StatePair out = rules_.outcome(c, s, r);
+  conf_.move(s, out.starter, times);
+  conf_.move(r, out.reactor, times);
+  if (c == InteractionClass::Real) stats_.record_fire(s, r, times);
+  else stats_.record_omissive_fire(s, r, times);
+  mark_dirty(s);
+  mark_dirty(r);
+  mark_dirty(out.starter);
+  mark_dirty(out.reactor);
 }
 
 BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
@@ -104,7 +178,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
 
   while (d.interactions < budget) {
     const std::size_t remaining = budget - d.interactions;
-    refresh_weights();
+    flush_weights();
 
     if (!omit_ || !omit_->active(steps_)) {
       // No insertable omissions now or ever again (inactivity is
@@ -123,7 +197,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       steps_ += skipped;
       stats_.record_noops(skipped);
       if (skipped < remaining) {
-        const auto [s, r] = pick_changing_pair(InteractionClass::Real, w_real_, rng);
+        const auto [s, r] = pick_changing_pair(InteractionClass::Real, rng);
         apply_fire(InteractionClass::Real, s, r, d);
         ++d.interactions;
         ++steps_;
@@ -159,7 +233,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       steps_ += noops;
       if (leg.fire) {
         const auto [s, r] =
-            pick_changing_pair(InteractionClass::Real, w_real_, rng);
+            pick_changing_pair(InteractionClass::Real, rng);
         apply_fire(InteractionClass::Real, s, r, d);
         ++d.interactions;
         ++steps_;
@@ -193,7 +267,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
         if (cap == remaining) return d;  // budget exhausted
         continue;                        // crossed the quiet horizon
       }
-      const auto [s, r] = pick_changing_pair(InteractionClass::Real, w_real_, rng);
+      const auto [s, r] = pick_changing_pair(InteractionClass::Real, rng);
       apply_fire(InteractionClass::Real, s, r, d);
       ++d.interactions;
       ++steps_;
@@ -207,7 +281,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       ++steps_;
       if (w_real_ > 0 && rng.below(t) < w_real_) {
         const auto [s, r] =
-            pick_changing_pair(InteractionClass::Real, w_real_, rng);
+            pick_changing_pair(InteractionClass::Real, rng);
         apply_fire(InteractionClass::Real, s, r, d);
         return d;
       }
@@ -242,7 +316,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       ++d.omissions;
       if (w_omit_ > 0 && rng.below(t) < w_omit_) {
         const InteractionClass c = omit_class_;
-        const auto [s, r] = pick_changing_pair(c, w_omit_, rng);
+        const auto [s, r] = pick_changing_pair(c, rng);
         apply_fire(c, s, r, d);
         ++d.interactions;
         ++steps_;
@@ -254,7 +328,7 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
       ++steps_;
       continue;  // budget/horizon/burst state may have changed
     }
-    const auto [s, r] = pick_changing_pair(InteractionClass::Real, w_real_, rng);
+    const auto [s, r] = pick_changing_pair(InteractionClass::Real, rng);
     apply_fire(InteractionClass::Real, s, r, d);
     omit_->set_burst(0);
     ++d.interactions;
@@ -265,19 +339,13 @@ BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
 }
 
 std::pair<State, State> BatchSystem::pick_changing_pair(InteractionClass c,
-                                                        std::uint64_t w,
                                                         Rng& rng) const {
-  // Draw the firing pair proportionally to its weight (exact integers).
-  std::uint64_t pick = rng.below(w);
-  for (State s = 0; s < q_; ++s) {
-    for (State r = 0; r < q_; ++r) {
-      if (rules_.is_noop(c, s, r)) continue;
-      const std::uint64_t pw = pair_weight(s, r);
-      if (pick < pw) return {s, r};
-      pick -= pw;
-    }
-  }
-  throw std::logic_error("BatchSystem: weight scan exhausted");
+  // Draw the firing pair proportionally to its weight (exact integers);
+  // an exhausted pick surfaces as the samplers' shared structured
+  // invariant failure instead of the old terminal linear-scan throw.
+  PairTable& table =
+      c == InteractionClass::Real ? real_pairs_ : *omit_pairs_;
+  return table.pairs[table.sampler.draw(rng)];
 }
 
 BatchDelta BatchSystem::step(Rng& rng) {

@@ -40,6 +40,17 @@
 //     omissive with probability p over that, and an omissive event changes
 //     counts with exact integer probability Wo/T. Each omissive delivery
 //     costs O(1), so Budget(o) adversaries add O(o) total work to a run.
+//
+// The changing weights Wr / Wo are maintained INCREMENTALLY: each class
+// keeps a fixed enumeration of its count-changing pairs (is_noop depends
+// only on the compiled rules) inside a DynamicPairSampler
+// (alias_sampler.hpp), a fire dirties at most four states, and flushing a
+// dirty state re-sets only the pairs adjacent to it. Totals are O(1)
+// reads and the firing pair is drawn in O(log q) (Fenwick) or O(1)
+// (alias) instead of the former O(q^2) rescan + linear walk — the fix for
+// dense regimes where every delivery fires and leaping degenerates. The
+// round engine (round_system.hpp) batches those regimes further and runs
+// as a friend over this state.
 #pragma once
 
 #include <memory>
@@ -48,6 +59,7 @@
 #include <vector>
 
 #include "core/rule_matrix.hpp"
+#include "engine/batch/alias_sampler.hpp"
 #include "engine/batch/configuration.hpp"
 #include "engine/stats.hpp"
 #include "obs/metrics.hpp"
@@ -108,8 +120,21 @@ class BatchSystem {
 
   // True when no reachable interaction — real or insertable omissive —
   // can change the configuration. advance() then consumes its whole
-  // budget in O(q^2).
+  // budget in one leap.
   [[nodiscard]] bool silent() const;
+
+  // Total weight of count-changing ordered pairs of class `c` —
+  // incrementally maintained (dirty-state flush), an O(1) read between
+  // fires. Classes without a live sampler (neither Real nor the attached
+  // adversary's class) fall back to the audit scan.
+  [[nodiscard]] std::uint64_t changing_weight(InteractionClass c) const;
+  // Reference O(q^2) rescan of the same quantity, for audits and tests.
+  [[nodiscard]] std::uint64_t audit_changing_weight(InteractionClass c)
+      const noexcept;
+  // P(a delivered interaction changes counts): ((1-p)·Wr + p·Wo)/T while
+  // the adversary is active, Wr/T otherwise — the density signal the
+  // adaptive engine feeds the regime monitor.
+  [[nodiscard]] double fire_density() const;
 
   [[nodiscard]] RunStats& stats() noexcept { return stats_; }
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
@@ -120,18 +145,36 @@ class BatchSystem {
   void set_metrics(obs::MetricRegistry* reg);
 
  private:
+  friend class RoundSystem;  // the round-dense face shares this state
+
   // Weight of ordered pair (s, r): C[s] * (C[r] - [s == r]).
   [[nodiscard]] std::uint64_t pair_weight(State s, State r) const noexcept;
-  // Total weight of ordered pairs whose class-`c` outcome changes counts.
-  [[nodiscard]] std::uint64_t changing_weight(InteractionClass c) const noexcept;
-  // Cached (w_real, w_omit), refreshed after count changes.
-  void refresh_weights() const;
+
+  // Fixed enumeration of one class's count-changing pairs plus the
+  // dynamic sampler over their current weights. The pair list and the
+  // per-state adjacency never change after construction; only weights do.
+  struct PairTable {
+    std::vector<std::pair<State, State>> pairs;
+    std::vector<std::vector<std::uint32_t>> adj;  // per state: pair indices
+    DynamicPairSampler sampler;
+  };
+  void build_pair_table(InteractionClass c, PairTable& table) const;
+
+  // Push dirty-state count changes into the samplers (only the pairs
+  // adjacent to a dirty state are re-set) and refresh the cached totals.
+  void flush_weights() const;
+  void mark_dirty(State s) const;
+
   // Pre-states of a count-changing pair of class `c`, drawn with
-  // probability pair_weight / w. `w` must be changing_weight(c).
+  // probability pair_weight / changing_weight(c) by the class sampler.
+  // Requires flushed weights (every advance path flushes first).
   [[nodiscard]] std::pair<State, State> pick_changing_pair(InteractionClass c,
-                                                           std::uint64_t w,
                                                            Rng& rng) const;
   void apply_fire(InteractionClass c, State s, State r, BatchDelta& d);
+  // Fire (s, r) -> outcome(c, s, r) `times` times as one count move — the
+  // round face's bulk credit. The pairs cover distinct agents, so the
+  // moves compose; records stats and marks the touched states dirty.
+  void bulk_fire(InteractionClass c, State s, State r, std::size_t times);
 
   RuleMatrix rules_;
   Configuration conf_;
@@ -142,7 +185,12 @@ class BatchSystem {
   // Outcome class of inserted omissions, derived from the adversary's
   // side (OmitStarter / OmitReactor / OmitBoth; collapses one-way).
   InteractionClass omit_class_ = InteractionClass::OmitBoth;
-  mutable bool weights_valid_ = false;
+  // Mutable: flushing the dirty list is a cache refresh reachable from
+  // const observers (silent(), changing_weight()).
+  mutable PairTable real_pairs_;
+  mutable std::optional<PairTable> omit_pairs_;
+  mutable std::vector<State> dirty_;
+  mutable std::vector<std::uint8_t> dirty_flag_;
   mutable std::uint64_t w_real_ = 0;
   mutable std::uint64_t w_omit_ = 0;
 

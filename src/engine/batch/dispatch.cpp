@@ -7,6 +7,7 @@
 
 #include "engine/batch/agent_space.hpp"
 #include "engine/batch/regime.hpp"
+#include "engine/batch/round_system.hpp"
 
 namespace ppfs {
 
@@ -170,6 +171,115 @@ class BatchEngine final : public Engine {
 
  private:
   BatchSystem sys_;
+};
+
+// engine=auto over a closed universe: two faces — the count-leap face
+// (BatchSystem::advance, wins when almost no delivery changes counts) and
+// the round-dense face (RoundSystem, wins when almost every delivery
+// does) — over ONE BatchSystem. The faces share the configuration, stats,
+// step counter and omission process, so switching moves no state and
+// consumes no Rng draws; the trajectory distribution is identical on both
+// (each is an exact sampler of the same count chain). A RegimeMonitor
+// arbitrates on the fire density ((1-p)Wr + p·Wo)/T — an O(1) read off
+// the incrementally-maintained class weights — with Space::Agent mapped
+// to the round face: at or above `kToRound` density rounds win (the leap
+// degenerates to one draw per interaction), at or below `kToLeap` leaping
+// wins (rounds pay O(q^2) per ~sqrt(n) mostly-noop interactions), and the
+// monitor's hysteresis/cooldown keeps the boundary from flapping.
+class AdaptiveBatchEngine final : public Engine {
+ public:
+  AdaptiveBatchEngine(RuleMatrix rules, std::vector<std::size_t> counts,
+                      const std::optional<AdversaryParams>& adversary)
+      : sys_(std::move(rules), std::move(counts)), round_(sys_) {
+    if (adversary) sys_.set_omission_process(*adversary);
+    RegimeMonitor::Thresholds thr;
+    thr.to_agent = kToRound;
+    thr.to_count = kToLeap;
+    monitor_.emplace(RegimeMonitor::favored(sys_.fire_density(), thr), thr);
+  }
+
+  [[nodiscard]] std::string kind() const override { return "auto"; }
+  [[nodiscard]] std::string active_kind() const override {
+    return in_round() ? "round" : "leap";
+  }
+  [[nodiscard]] const Protocol& protocol() const override {
+    return sys_.protocol();
+  }
+  [[nodiscard]] Model model() const override { return sys_.rules().model(); }
+  [[nodiscard]] std::size_t size() const override { return sys_.size(); }
+  [[nodiscard]] std::size_t interactions() const override { return sys_.steps(); }
+  [[nodiscard]] std::size_t omissions() const override { return sys_.omissions(); }
+
+  void counts_into(std::vector<std::size_t>& out) const override {
+    out = sys_.counts();
+  }
+
+  std::size_t advance(std::size_t budget, Scheduler& sched, Rng& rng) override {
+    const auto* uniform = dynamic_cast<const UniformScheduler*>(&sched);
+    if (uniform == nullptr || uniform->size() != sys_.size())
+      throw std::invalid_argument(
+          "auto engine: scheduler is not the uniform distribution over this "
+          "population (scripted/hand-built adversarial runs need the native "
+          "engine; omission adversaries attach via make_engine)");
+    std::size_t covered = 0;
+    while (covered < budget) {
+      // Internal slice between regime checks, independent of the caller's
+      // advance() granularity. Truncating a round or a leap at the slice
+      // boundary is exact (i.i.d. pairs / memoryless geometric).
+      const std::size_t slice = std::min(kSlice, budget - covered);
+      std::size_t c = 0;
+      if (in_round()) {
+        while (c < slice) c += round_.advance(slice - c, rng).interactions;
+      } else {
+        while (c < slice) c += sys_.advance(slice - c, rng).interactions;
+      }
+      covered += c;
+      // Density is the exact per-delivery fire probability, so the
+      // monitor's dispersion channel carries it directly; the cache
+      // channel is neutral (no cache here) and the fire-cost override
+      // stays cold (both faces already ARE count space).
+      (void)monitor_->observe(
+          RegimeMonitor::Signals{sys_.fire_density(), 1.0, 0.0});
+    }
+    return covered;
+  }
+
+  [[nodiscard]] RunStats& stats() noexcept override { return sys_.stats(); }
+
+  void sync_metrics() override {
+    Engine::sync_metrics();
+    if (metrics() == nullptr) return;
+    obs::MetricRegistry& reg = *metrics();
+    reg.gauge("auto.round_face").set(in_round() ? 1.0 : 0.0);
+    reg.gauge("auto.switches")
+        .set(static_cast<double>(monitor_->switches()));
+    if (const OmissionProcess* o = sys_.omission_process())
+      sync_adversary_metrics(reg, *o);
+  }
+
+ protected:
+  void wire_metrics(obs::MetricRegistry& reg) override {
+    sys_.set_metrics(&reg);
+    round_.set_metrics(&reg);
+  }
+
+ private:
+  // Fire density at/above which the round face runs, at/below which the
+  // leap face runs; the band between is sticky. At density d the leap
+  // covers 1/d interactions per draw, so below ~1/16 leaping is already
+  // an order of magnitude ahead; above ~1/4 rounds of ~sqrt(n) amortize
+  // their O(q^2) table work to sub-constant per interaction.
+  static constexpr double kToRound = 0.25;
+  static constexpr double kToLeap = 1.0 / 16;
+  static constexpr std::size_t kSlice = 1u << 16;
+
+  [[nodiscard]] bool in_round() const {
+    return monitor_->current() == RegimeMonitor::Space::Agent;
+  }
+
+  BatchSystem sys_;
+  RoundSystem round_;  // second face over sys_'s state
+  std::optional<RegimeMonitor> monitor_;
 };
 
 // Step-wise simulator behind the Engine interface: the per-agent facade of
@@ -597,25 +707,56 @@ class AutoSimEngine final : public Engine {
   std::uint64_t last_fire_steps_ = 0;
 };
 
+// Count-vector construction point, shared by build() below and the
+// make_engine_from_counts overloads (populations too large to enumerate
+// per agent). "native" has no counts path by design.
+std::unique_ptr<Engine> build_from_counts(
+    const std::string& kind, RuleMatrix rules, std::vector<std::size_t> counts,
+    const std::optional<AdversaryParams>& adversary) {
+  if (counts.size() > rules.num_states())
+    throw std::invalid_argument(
+        "make_engine: counts vector longer than the protocol's state space");
+  counts.resize(rules.num_states(), 0);
+  if (kind == "batch")
+    return std::make_unique<BatchEngine>(std::move(rules), std::move(counts),
+                                         adversary);
+  // Closed universes still have a regime — not dispersion (the state
+  // space is fixed) but fire DENSITY: sparse runs want the leap face,
+  // dense runs the round face. "auto" arbitrates between them.
+  if (kind == "auto")
+    return std::make_unique<AdaptiveBatchEngine>(std::move(rules),
+                                                 std::move(counts), adversary);
+  if (kind == "native")
+    throw std::invalid_argument(
+        "make_engine_from_counts: the native engine is per-agent; populations "
+        "built from counts exist to avoid materializing agents — use "
+        "make_engine, or kind \"batch\"/\"auto\"");
+  throw std::invalid_argument("make_engine: unknown engine kind '" + kind + "'");
+}
+
 std::unique_ptr<Engine> build(const std::string& kind, RuleMatrix rules,
                               std::vector<State> initial,
                               const std::optional<AdversaryParams>& adversary) {
   if (kind == "native")
     return std::make_unique<NativeEngine>(std::move(rules), std::move(initial),
                                           adversary);
-  // Closed-universe protocols have no regime to monitor (the state space
-  // is fixed and dense counts always win), so "auto" resolves statically.
-  if (kind == "batch" || kind == "auto") {
-    std::vector<std::size_t> counts(rules.num_states(), 0);
-    for (State q : initial) {
-      if (q >= rules.num_states())
-        throw std::invalid_argument("make_engine: initial state out of range");
-      ++counts[q];
-    }
-    return std::make_unique<BatchEngine>(std::move(rules), std::move(counts),
-                                         adversary);
+  std::vector<std::size_t> counts(rules.num_states(), 0);
+  for (State q : initial) {
+    if (q >= rules.num_states())
+      throw std::invalid_argument("make_engine: initial state out of range");
+    ++counts[q];
   }
-  throw std::invalid_argument("make_engine: unknown engine kind '" + kind + "'");
+  return build_from_counts(kind, std::move(rules), std::move(counts),
+                           adversary);
+}
+
+// Deduped occupied states of a counts vector — the Q'_P seed a one-way
+// compile needs (it seeds reachable states, multiplicity is irrelevant).
+std::vector<State> occupied_states(const std::vector<std::size_t>& counts) {
+  std::vector<State> seed;
+  for (std::size_t q = 0; q < counts.size(); ++q)
+    if (counts[q] != 0) seed.push_back(static_cast<State>(q));
+  return seed;
 }
 
 }  // namespace
@@ -714,6 +855,32 @@ std::unique_ptr<Engine> make_engine(
   RuleMatrix rules =
       RuleMatrix::compile(std::move(protocol), r.model, initial, config.fns);
   return build(kind, std::move(rules), std::move(initial), r.adversary);
+}
+
+std::unique_ptr<Engine> make_engine_from_counts(
+    const std::string& kind, std::shared_ptr<const Protocol> protocol,
+    std::vector<std::size_t> counts) {
+  return make_engine_from_counts(kind, std::move(protocol), std::move(counts),
+                                 EngineConfig{});
+}
+
+std::unique_ptr<Engine> make_engine_from_counts(
+    const std::string& kind, std::shared_ptr<const Protocol> protocol,
+    std::vector<std::size_t> counts, const EngineConfig& config) {
+  const ResolvedConfig r = resolve(config);
+  return build_from_counts(
+      kind, RuleMatrix::compile(std::move(protocol), r.model, config.fns),
+      std::move(counts), r.adversary);
+}
+
+std::unique_ptr<Engine> make_engine_from_counts(
+    const std::string& kind, std::shared_ptr<const OneWayProtocol> protocol,
+    std::vector<std::size_t> counts, const EngineConfig& config) {
+  const ResolvedConfig r = resolve(config);
+  RuleMatrix rules = RuleMatrix::compile(std::move(protocol), r.model,
+                                         occupied_states(counts), config.fns);
+  return build_from_counts(kind, std::move(rules), std::move(counts),
+                           r.adversary);
 }
 
 std::unique_ptr<Engine> make_sim_engine(const std::string& kind,

@@ -129,9 +129,10 @@ struct EngineConfig {
 };
 
 // kind: "native" | "batch" | "auto" (see engine_kinds()). Plain TW, no
-// adversary. For closed-universe protocols "auto" resolves statically to
-// "batch": the state space is fixed and dense counts always win, so there
-// is no regime to monitor.
+// adversary. For closed-universe protocols "auto" is the adaptive batch
+// engine: two exact faces over one BatchSystem — the count-leap face and
+// the round-dense face (round_system.hpp) — arbitrated by a RegimeMonitor
+// on the fire density, with active_kind() reporting "leap" or "round".
 [[nodiscard]] std::unique_ptr<Engine> make_engine(
     const std::string& kind, std::shared_ptr<const Protocol> protocol,
     std::vector<State> initial);
@@ -146,6 +147,26 @@ struct EngineConfig {
 [[nodiscard]] std::unique_ptr<Engine> make_engine(
     const std::string& kind, std::shared_ptr<const OneWayProtocol> protocol,
     std::vector<State> initial, const EngineConfig& config);
+
+// Count-vector construction point: counts[q] agents start in state q, the
+// population is sum(counts). This is how n = 10^9 runs are built — a
+// per-agent initial vector would cost gigabytes before the engine even
+// starts, while the count-space engines never materialize agents at all.
+// Only "batch" and "auto" have a counts path; "native" throws. All
+// arithmetic downstream is 64-bit-safe through n(n-1) for n <= ~2^31.
+[[nodiscard]] std::unique_ptr<Engine> make_engine_from_counts(
+    const std::string& kind, std::shared_ptr<const Protocol> protocol,
+    std::vector<std::size_t> counts);
+
+[[nodiscard]] std::unique_ptr<Engine> make_engine_from_counts(
+    const std::string& kind, std::shared_ptr<const Protocol> protocol,
+    std::vector<std::size_t> counts, const EngineConfig& config);
+
+// One-way: the occupied states of `counts` seed the lowered two-way face
+// (multiplicity is irrelevant to the Q'_P closure).
+[[nodiscard]] std::unique_ptr<Engine> make_engine_from_counts(
+    const std::string& kind, std::shared_ptr<const OneWayProtocol> protocol,
+    std::vector<std::size_t> counts, const EngineConfig& config);
 
 // Simulator-engine configuration: which §4 simulator wraps the protocol
 // (sim/sim_rules.hpp), the physical model it runs under, and an optional

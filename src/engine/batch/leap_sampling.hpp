@@ -203,4 +203,149 @@ inline BurstLeg sample_capped_burst_leg(double p, std::uint64_t w,
   return leg;
 }
 
+namespace detail {
+
+inline double lchoose(double n, double k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+// Mode-centered two-sided inversion of Hypergeometric(N, K, m): one
+// uniform, the mode pmf from lgamma, and the exact ratio recurrence
+//   pmf(k+1)/pmf(k) = (K-k)(m-k) / ((k+1)(N-K-m+k+1))
+// expanding outward until the cdf mass covers u. Tail fp error ~1e-12;
+// exhaustion clamps to the support edge.
+inline std::uint64_t hypergeometric_inversion(std::uint64_t N,
+                                              std::uint64_t K,
+                                              std::uint64_t m, Rng& rng) {
+  const double dN = static_cast<double>(N);
+  const double dK = static_cast<double>(K);
+  const double dm = static_cast<double>(m);
+  const std::uint64_t lo = K + m > N ? K + m - N : 0;
+  const std::uint64_t hi = std::min(K, m);
+  std::uint64_t mode =
+      static_cast<std::uint64_t>((dm + 1.0) * (dK + 1.0) / (dN + 2.0));
+  mode = std::min(std::max(mode, lo), hi);
+  const double lp0 = lchoose(dK, static_cast<double>(mode)) +
+                     lchoose(dN - dK, dm - static_cast<double>(mode)) -
+                     lchoose(dN, dm);
+  const double u = rng.uniform();
+  double pl = std::exp(lp0);
+  double pr = pl;
+  double acc = pl;
+  if (u < acc) return mode;
+  std::uint64_t l = mode;
+  std::uint64_t r = mode;
+  while (l > lo || r < hi) {
+    if (r < hi) {
+      const double dr = static_cast<double>(r);
+      pr *= (dK - dr) * (dm - dr) /
+            ((dr + 1.0) * (dN - dK - dm + dr + 1.0));
+      ++r;
+      acc += pr;
+      if (u < acc) return r;
+    }
+    if (l > lo) {
+      const double dl = static_cast<double>(l);
+      pl *= dl * (dN - dK - dm + dl) /
+            ((dK - dl + 1.0) * (dm - dl + 1.0));
+      --l;
+      acc += pl;
+      if (u < acc) return l;
+    }
+  }
+  return hi;
+}
+
+}  // namespace detail
+
+// Hypergeometric(pool, succ, m): successes among m items drawn without
+// replacement from `pool` items of which `succ` are successes — the
+// univariate link in the round engine's chained multivariate draws.
+//
+// The problem is first reduced by its two symmetries — drawing the
+// complement (m -> pool - m, result = succ - k) and exchanging the roles
+// of succ and m — until the drawn side is smallest; when that is <= 64
+// the draw runs as exact integer without-replacement trials (so the
+// small-n equivalence suites exercise a fully exact path), otherwise the
+// lgamma inversion above.
+inline std::uint64_t sample_hypergeometric(std::uint64_t pool,
+                                           std::uint64_t succ, std::uint64_t m,
+                                           Rng& rng) {
+  if (succ == 0 || m == 0) return 0;
+  if (succ >= pool) return m;
+  if (m >= pool) return succ;
+  std::uint64_t flip = 0;
+  bool negate = false;
+  if (m > pool - m) {
+    flip = succ;
+    negate = true;
+    m = pool - m;
+  }
+  if (succ < m) {
+    const std::uint64_t tmp = succ;
+    succ = m;
+    m = tmp;
+  }
+  std::uint64_t k;
+  if (m <= 64) {
+    std::uint64_t left = pool;
+    std::uint64_t good = succ;
+    k = 0;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      if (rng.below(left) < good) {
+        ++k;
+        --good;
+      }
+      --left;
+    }
+  } else {
+    k = detail::hypergeometric_inversion(pool, succ, m, rng);
+  }
+  return negate ? flip - k : k;
+}
+
+// Length of the collision-free prefix of a uniform interaction round:
+// pair i+1 is collision-free iff it draws two of the U = n - 2i untouched
+// agents, so P(L >= i) = n! / ((n-2i)! * (n(n-1))^i). Returns min(L, cap);
+// truncation at `cap` (interaction budget or omission quiet horizon) is
+// exact because scheduler pairs are i.i.d. — the discarded suffix is
+// independent of the prefix, and the next round restarts fresh.
+inline std::size_t sample_round_length(std::uint64_t n, Rng& rng,
+                                       std::size_t cap) {
+  if (n < 2 || cap == 0) return 0;
+  const std::uint64_t t = n * (n - 1);
+  const std::size_t max_len =
+      std::min(cap, static_cast<std::size_t>(n / 2));
+  if (n <= (1u << 16)) {
+    // Sequential exact integer trials; the first pair never collides.
+    std::size_t i = 1;
+    while (i < max_len) {
+      const std::uint64_t u = n - 2 * i;
+      if (u < 2 || rng.below(t) >= u * (u - 1)) return i;
+      ++i;
+    }
+    return max_len;
+  }
+  // One uniform inverted through the monotone survival function in log
+  // space: L is the unique i with S(i+1) <= u < S(i).
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double lu = std::log(u);
+  const double lg_n = std::lgamma(static_cast<double>(n) + 1.0);
+  const double lt = std::log(static_cast<double>(t));
+  const auto ls = [&](std::size_t i) {
+    return lg_n - std::lgamma(static_cast<double>(n - 2 * i) + 1.0) -
+           static_cast<double>(i) * lt;
+  };
+  if (ls(max_len) > lu) return max_len;
+  std::size_t lo = 1;  // ls(1) = 0 > lu, so the invariant holds
+  std::size_t hi = max_len;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    (ls(mid) > lu ? lo : hi) = mid;
+  }
+  return lo;
+}
+
 }  // namespace ppfs::leap

@@ -13,11 +13,16 @@ RegimeMonitor::Space RegimeMonitor::observe(const Signals& s) {
   // breaks the tie toward agent space (see the header).
   bool wants_agent = s.dispersion >= t_.to_agent;
   bool wants_count = s.dispersion <= t_.to_count;
-  if (s.fire_fraction > t_.fire_cost_ratio) {
-    // Fires dominate the window and each one is cheaper stepped as a
+  if (s.fire_fraction * measured_fire_cost(s.cache_hit_rate, t_) >
+      t_.fire_cost_ratio) {
+    // The window's measured count-space fire cost exceeds the native
+    // per-step cost: fires dominate and each one is cheaper stepped as a
     // record than cached+interned as a count move — collapsed or not,
     // count space loses this regime (see the header: naming's early
-    // id-assignment phase vs SKnO's expensive value step).
+    // id-assignment phase vs SKnO's expensive value step). With a fully
+    // warm cache this is the classic fire_fraction > fire_cost_ratio
+    // test; a measured miss rate scales the left side up, because every
+    // miss re-runs the native value step on top of the count move.
     wants_agent = true;
     wants_count = false;
   }

@@ -58,9 +58,13 @@ class RegimeMonitor {
     double to_count = 0.125;   // dispersion at/below which count space wins
     double mid_hit_floor = 0.5;  // mid-band: hit rate below this => agent
     // Source's native-step / cached-fire cost estimate
-    // (DynamicRuleSource::fire_cost_ratio). Count space holds only while
-    // the windowed fire fraction stays at/below it; the default is inert
-    // (fractions never exceed 1).
+    // (DynamicRuleSource::fire_cost_ratio) — the COLD-START PRIOR of the
+    // measured cost model: count space holds only while the windowed
+    // fire fraction times measured_fire_cost(hit_rate) stays at/below
+    // it. With a warm cache that reduces to fire_fraction <=
+    // fire_cost_ratio; a measured miss rate inflates the per-fire cost
+    // by the prior, since every miss re-runs the native value step. The
+    // default is inert (fractions never exceed 1).
     double fire_cost_ratio = 8.0;
     int hysteresis = 2;        // consecutive out-of-band obs to switch
     int cooldown = 4;          // observations after a switch with no change
@@ -82,6 +86,18 @@ class RegimeMonitor {
   }
   [[nodiscard]] static Space favored(double d) {
     return favored(d, Thresholds());
+  }
+
+  // MEASURED per-fire count-space cost for the window, in cached-fire
+  // units: a cache hit costs one unit, a miss re-runs the native value
+  // step (the source's fire_cost_ratio — now a cold-start PRIOR for the
+  // miss cost, not the whole story) on top of it. Deterministic and
+  // draw-free: the hit rate comes from counters the engines already
+  // export. With hit_rate = 1 (warm cache, or no cache signal at all)
+  // this is exactly the pre-measurement constant model.
+  [[nodiscard]] static double measured_fire_cost(double hit_rate,
+                                                 const Thresholds& t) {
+    return 1.0 + (1.0 - hit_rate) * t.fire_cost_ratio;
   }
 
   // Feed one observation; returns the representation to run in from now

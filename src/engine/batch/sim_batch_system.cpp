@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "engine/batch/alias_sampler.hpp"
 #include "engine/batch/leap_sampling.hpp"
 
 namespace ppfs {
@@ -228,8 +229,12 @@ std::pair<State, State> SimBatchSystem::pick_changing_pair(std::uint64_t w,
       if (!rules_->is_noop(InteractionClass::Real, s, r)) return {s, r};
     }
   }
-  // Sparse regime: exact weighted scan over occupied pairs.
+  // Sparse regime: exact weighted scan over occupied pairs. An exhausted
+  // pick (stale w, or a rounding edge walking past the last pair) funnels
+  // through the samplers' shared structured invariant check, which
+  // preserves the pick and the weight actually covered.
   std::uint64_t pick = rng.below(w);
+  std::uint64_t covered = 0;
   const auto& occ = conf_.occupied();
   for (const State s : occ) {
     const std::uint64_t cs = conf_.count(s);
@@ -238,9 +243,11 @@ std::pair<State, State> SimBatchSystem::pick_changing_pair(std::uint64_t w,
       const std::uint64_t pw = cs * (conf_.count(r) - static_cast<std::uint64_t>(s == r));
       if (pick < pw) return {s, r};
       pick -= pw;
+      covered += pw;
     }
   }
-  throw std::logic_error("SimBatchSystem: weight scan exhausted");
+  sampler_invariant_failure("SimBatchSystem::pick_changing_pair",
+                            covered + pick, covered);
 }
 
 void SimBatchSystem::apply_fire(InteractionClass c, State s, State r,

@@ -18,10 +18,10 @@ void RunStats::reset(std::size_t num_states) {
   holding_ = false;
 }
 
-void RunStats::record_omissive_fire(State s, State r) {
-  record_fire(s, r);
-  ++omissions_;
-  ++omissive_fires_;
+void RunStats::record_omissive_fire(State s, State r, std::uint64_t times) {
+  record_fire(s, r, times);
+  omissions_ += times;
+  omissive_fires_ += times;
 }
 
 void RunStats::record_fire(State s, State r, std::uint64_t times) {

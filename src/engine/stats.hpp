@@ -91,9 +91,9 @@ class RunStats {
   void record_noops(std::uint64_t times) noexcept { noops_ += times; }
 
   // --- per-model omission accounting ---------------------------------------
-  // An omissive interaction whose faulty outcome changed the configuration
-  // (counts toward fires(s, r) and the omission tally).
-  void record_omissive_fire(State s, State r);
+  // `times` omissive interactions whose faulty outcome changed the
+  // configuration (counts toward fires(s, r) and the omission tally).
+  void record_omissive_fire(State s, State r, std::uint64_t times = 1);
   // `times` omissive interactions whose faulty outcome was a no-op (counts
   // toward noops and the omission tally).
   void record_omissive_noops(std::uint64_t times) noexcept {

@@ -16,20 +16,41 @@ namespace ppfs {
 
 namespace {
 
+// Initial configuration from ordered (state, count) groups: a per-agent
+// vector below kPerAgentLimit (groups concatenated in order — layouts
+// stay byte-identical to the historical ones), a counts vector above it
+// (the n = 10^9 path; only the count-space engines can run it).
+template <class W>
+void set_initial(W& w,
+                 const std::vector<std::pair<State, std::size_t>>& groups) {
+  std::size_t n = 0;
+  std::size_t top = 0;
+  for (const auto& [q, k] : groups) {
+    n += k;
+    top = std::max<std::size_t>(top, q);
+  }
+  if (n <= kPerAgentLimit) {
+    w.initial = make_initial(groups);
+    return;
+  }
+  w.initial_counts.assign(top + 1, 0);
+  for (const auto& [q, k] : groups) w.initial_counts[q] += k;
+}
+
 Workload make_or_workload(std::size_t n) {
-  auto p = make_or_protocol();
   // One agent holds a 1; OR must spread to everyone.
-  std::vector<State> init(n, 0);
-  init[0] = 1;
-  return {"or(n=" + std::to_string(n) + ")", p, std::move(init), 1, nullptr};
+  Workload w{"or(n=" + std::to_string(n) + ")", make_or_protocol(), {}, 1,
+             nullptr};
+  set_initial(w, {{1, 1}, {0, n - 1}});
+  return w;
 }
 
 Workload make_and_workload(std::size_t n) {
-  auto p = make_and_protocol();
   // One agent holds a 0; AND must converge to 0.
-  std::vector<State> init(n, 1);
-  init[0] = 0;
-  return {"and(n=" + std::to_string(n) + ")", p, std::move(init), 0, nullptr};
+  Workload w{"and(n=" + std::to_string(n) + ")", make_and_protocol(), {}, 0,
+             nullptr};
+  set_initial(w, {{0, 1}, {1, n - 1}});
+  return w;
 }
 
 Workload make_approx_majority_workload(std::size_t n) {
@@ -39,21 +60,22 @@ Workload make_approx_majority_workload(std::size_t n) {
   // opinion only w.h.p. for large margins, so the stable criterion — one
   // opinion extinct (consensus) — is what the workload checks.
   const std::size_t nx = std::max<std::size_t>(2 * n / 3, 1);
-  auto init = make_initial({{st.x, nx}, {st.y, n - nx}});
   auto conv = [st](const std::vector<std::size_t>& counts) {
     return counts[st.x] == 0 || counts[st.y] == 0;
   };
-  return {"approx-majority(n=" + std::to_string(n) + ")", p, std::move(init), -1,
-          std::move(conv)};
+  Workload w{"approx-majority(n=" + std::to_string(n) + ")", p, {}, -1,
+             std::move(conv)};
+  set_initial(w, {{st.x, nx}, {st.y, n - nx}});
+  return w;
 }
 
 Workload make_exact_majority_workload(std::size_t n) {
   auto p = make_exact_majority();
   const auto st = exact_majority_states();
   std::size_t nx = n / 2 + 1;  // strict majority for opinion 1
-  auto init = make_initial({{st.big_x, nx}, {st.big_y, n - nx}});
-  return {"exact-majority(n=" + std::to_string(n) + ")", p, std::move(init), 1,
-          nullptr};
+  Workload w{"exact-majority(n=" + std::to_string(n) + ")", p, {}, 1, nullptr};
+  set_initial(w, {{st.big_x, nx}, {st.big_y, n - nx}});
+  return w;
 }
 
 Workload make_exact_majority_gap_workload(std::size_t n) {
@@ -66,20 +88,21 @@ Workload make_exact_majority_gap_workload(std::size_t n) {
   // changes anything), so the count-space simulator demonstrations at
   // n = 10^6 use this large-margin initial configuration.
   const std::size_t nx = n / 2 + std::max<std::size_t>(1, n / 8);
-  auto init = make_initial({{st.big_x, nx}, {st.big_y, n - nx}});
-  return {"exact-majority-gap(n=" + std::to_string(n) + ")", p, std::move(init),
-          1, nullptr};
+  Workload w{"exact-majority-gap(n=" + std::to_string(n) + ")", p, {}, 1,
+             nullptr};
+  set_initial(w, {{st.big_x, nx}, {st.big_y, n - nx}});
+  return w;
 }
 
 Workload make_leader_workload(std::size_t n) {
   auto p = make_leader_election();
   const auto st = leader_states();
-  auto init = make_initial({{st.leader, n}});
   auto conv = [st](const std::vector<std::size_t>& counts) {
     return counts[st.leader] == 1;
   };
-  return {"leader(n=" + std::to_string(n) + ")", p, std::move(init), -1,
-          std::move(conv)};
+  Workload w{"leader(n=" + std::to_string(n) + ")", p, {}, -1, std::move(conv)};
+  set_initial(w, {{st.leader, n}});
+  return w;
 }
 
 Workload make_threshold_workload(std::size_t n, std::size_t k, bool above) {
@@ -87,18 +110,20 @@ Workload make_threshold_workload(std::size_t n, std::size_t k, bool above) {
   // `above`: k ones present (predicate true); else k-1 ones (false).
   const std::size_t ones = above ? k : k - 1;
   if (ones > n) throw std::invalid_argument("threshold workload: ones > n");
-  auto init = make_initial({{1, ones}, {0, n - ones}});
-  return {"threshold" + std::to_string(k) + (above ? "-true" : "-false") +
-              "(n=" + std::to_string(n) + ")",
-          p, std::move(init), above ? 1 : 0, nullptr};
+  Workload w{"threshold" + std::to_string(k) + (above ? "-true" : "-false") +
+                 "(n=" + std::to_string(n) + ")",
+             p, {}, above ? 1 : 0, nullptr};
+  set_initial(w, {{1, ones}, {0, n - ones}});
+  return w;
 }
 
 Workload make_mod_workload(std::size_t n, std::size_t m) {
   const std::size_t ones = std::max<std::size_t>(1, n / 2);
   auto p = make_mod_counting(m, ones % m);
-  auto init = make_initial({{1, ones}, {0, n - ones}});
-  return {"mod" + std::to_string(m) + "(n=" + std::to_string(n) + ")", p,
-          std::move(init), 1, nullptr};
+  Workload w{"mod" + std::to_string(m) + "(n=" + std::to_string(n) + ")", p, {},
+             1, nullptr};
+  set_initial(w, {{1, ones}, {0, n - ones}});
+  return w;
 }
 
 Workload make_pairing_workload(std::size_t n) {
@@ -106,13 +131,14 @@ Workload make_pairing_workload(std::size_t n) {
   const auto st = pairing_states();
   const std::size_t producers = n / 2;
   const std::size_t consumers = n - producers;
-  auto init = make_initial({{st.consumer, consumers}, {st.producer, producers}});
   const std::size_t expect_cs = std::min(consumers, producers);
   auto conv = [st, expect_cs](const std::vector<std::size_t>& counts) {
     return counts[st.critical] == expect_cs;
   };
-  return {"pairing(n=" + std::to_string(n) + ")", p, std::move(init), -1,
-          std::move(conv)};
+  Workload w{"pairing(n=" + std::to_string(n) + ")", p, {}, -1,
+             std::move(conv)};
+  set_initial(w, {{st.consumer, consumers}, {st.producer, producers}});
+  return w;
 }
 
 }  // namespace
@@ -149,23 +175,35 @@ std::vector<OneWayWorkload> one_way_workloads(std::size_t n) {
   std::vector<OneWayWorkload> out;
 
   {
-    std::vector<State> init(n, 0);
-    init[0] = 1;
-    out.push_back({"or" + size, make_io_or(), std::move(init), true, 1, nullptr});
+    OneWayWorkload w{"or" + size, make_io_or(), {}, true, 1, nullptr};
+    set_initial(w, {{1, 1}, {0, n - 1}});
+    out.push_back(std::move(w));
   }
   {
-    auto p = make_io_max(8);
-    std::vector<State> init(n, 0);
-    for (std::size_t i = 0; i < n; ++i) init[i] = static_cast<State>(i % 7);
-    init[0] = 7;  // unique maximum to spread
-    out.push_back({"max" + size, std::move(p), std::move(init), true, 7, nullptr});
+    OneWayWorkload w{"max" + size, make_io_max(8), {}, true, 7, nullptr};
+    if (n <= kPerAgentLimit) {
+      std::vector<State> init(n, 0);
+      for (std::size_t i = 0; i < n; ++i) init[i] = static_cast<State>(i % 7);
+      init[0] = 7;  // unique maximum to spread
+      w.initial = std::move(init);
+    } else {
+      // Counts form of the same i % 7 spread with agent 0 lifted to 7.
+      w.initial_counts.assign(8, 0);
+      for (std::size_t q = 0; q < 7; ++q)
+        w.initial_counts[q] = n / 7 + (q < n % 7 ? 1 : 0);
+      --w.initial_counts[0];
+      w.initial_counts[7] = 1;
+    }
+    out.push_back(std::move(w));
   }
   {
     auto conv = [](const std::vector<std::size_t>& counts) {
       return counts[0] == 1;  // exactly one leader
     };
-    out.push_back({"leader" + size, make_io_leader(), std::vector<State>(n, 0),
-                   true, -1, std::move(conv)});
+    OneWayWorkload w{"leader" + size, make_io_leader(), {}, true, -1,
+                     std::move(conv)};
+    set_initial(w, {{0, n}});
+    out.push_back(std::move(w));
   }
   {
     // 2/3 majority for x; converged once one opinion is extinct. The
@@ -173,22 +211,24 @@ std::vector<OneWayWorkload> one_way_workloads(std::size_t n) {
     // make_io_cancellation_majority).
     const auto st = io_majority_states();
     const std::size_t nx = std::max<std::size_t>(2 * n / 3, 1);
-    auto init = make_initial({{st.x, nx}, {st.y, n - nx}});
     auto conv = [st](const std::vector<std::size_t>& counts) {
       return counts[st.x] == 0 || counts[st.y] == 0;
     };
-    out.push_back({"exact-majority-1way" + size, make_io_cancellation_majority(),
-                   std::move(init), true, -1, std::move(conv)});
+    OneWayWorkload w{"exact-majority-1way" + size,
+                     make_io_cancellation_majority(), {}, true, -1,
+                     std::move(conv)};
+    set_initial(w, {{st.x, nx}, {st.y, n - nx}});
+    out.push_back(std::move(w));
   }
   {
     // IT-only: non-identity g (beacon phase), OR over the bit halves.
-    std::vector<State> init(n, 0);
-    init[0] = 2;  // bit set, phase 0
     auto conv = [](const std::vector<std::size_t>& counts) {
       return counts[0] == 0 && counts[1] == 0;  // every bit is 1
     };
-    out.push_back({"beacon-or" + size, make_it_or_with_beacon(), std::move(init),
-                   false, -1, std::move(conv)});
+    OneWayWorkload w{"beacon-or" + size, make_it_or_with_beacon(), {}, false,
+                     -1, std::move(conv)};
+    set_initial(w, {{2, 1}, {0, n - 1}});
+    out.push_back(std::move(w));
   }
   return out;
 }

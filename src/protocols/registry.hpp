@@ -14,6 +14,13 @@
 
 namespace ppfs {
 
+// Largest population the registry will enumerate agent-by-agent. Above
+// it (n = 10^9 runs) a per-agent State vector costs gigabytes before any
+// engine starts, so workloads carry `initial_counts` instead and run on
+// the count-space engines via make_engine_from_counts. Below it the
+// per-agent layouts are byte-identical to the historical ones.
+inline constexpr std::size_t kPerAgentLimit = std::size_t{1} << 27;
+
 struct Workload {
   std::string name;
   std::shared_ptr<const Protocol> protocol;
@@ -24,6 +31,10 @@ struct Workload {
   // Convergence probe: true once the configuration (by state counts) has
   // reached the expected stable set. Null means "use consensus_output".
   std::function<bool(const std::vector<std::size_t>& counts)> converged;
+  // Count-vector form of the initial configuration, populated INSTEAD of
+  // `initial` when n > kPerAgentLimit: initial_counts[q] agents start in
+  // state q. Exactly one of the two is non-empty.
+  std::vector<std::size_t> initial_counts = {};
 };
 
 // Standard workload suite, parameterized by population size (n >= 2).
@@ -47,6 +58,8 @@ struct OneWayWorkload {
   // Expected stable consensus output, or -1 with a custom probe.
   int expected_output = -1;
   std::function<bool(const std::vector<std::size_t>& counts)> converged;
+  // As in Workload: the counts form, for n > kPerAgentLimit.
+  std::vector<std::size_t> initial_counts = {};
 };
 
 // One-way workload suite: or / max epidemics, leader election, the IT

@@ -1,8 +1,11 @@
 #include "sched/omission_process.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "engine/batch/leap_sampling.hpp"
 
 namespace ppfs {
 
@@ -145,6 +148,71 @@ bool OmissionProcess::active(std::size_t step) const noexcept {
 std::size_t OmissionProcess::remaining_budget() const noexcept {
   return emitted_ >= params_.max_omissions ? 0
                                            : params_.max_omissions - emitted_;
+}
+
+std::size_t OmissionProcess::sample_round_omissions(std::size_t deliveries,
+                                                    std::size_t step,
+                                                    Rng& rng) {
+  if (deliveries == 0) return 0;
+  if (!active(step)) {
+    // Every delivery is real; the first one closes any open burst episode,
+    // exactly as should_omit would.
+    set_burst(0);
+    return 0;
+  }
+  const double p = params_.rate;
+  if (!burst_cap_reachable() && remaining_budget() >= deliveries) {
+    // The cap can never bind again (absorbing) and the budget cannot run
+    // out mid-round: every delivery is an independent rate coin. Burst
+    // bookkeeping is irrelevant from here on, as in the uncapped leaps.
+    const std::size_t k = leap::sample_binomial(deliveries, p, rng);
+    emitted_ += k;
+    return k;
+  }
+  // Exact episode walk over the within-burst Markov chain, one burst
+  // episode per iteration (the mark-only sibling of
+  // leap::sample_capped_burst_leg).
+  std::size_t om = 0;
+  std::size_t i = 0;
+  while (i < deliveries) {
+    if (!active(step)) {  // budget exhausted mid-round
+      set_burst(0);
+      break;
+    }
+    if (burst_ >= params_.max_burst) {
+      // A full burst forces the next delivery real (no rate coin).
+      set_burst(0);
+      ++i;
+      continue;
+    }
+    // Run of real deliveries before the next insertion (each resets the
+    // burst, so the insertion probability is p throughout).
+    const std::size_t room = deliveries - i;
+    const std::size_t run = leap::sample_bernoulli_run(p, rng, room);
+    if (run > 0) set_burst(0);
+    i += run;
+    if (run >= room) break;
+    // The next delivery opens (or continues) a burst: the first insertion
+    // plus its geometric continuation, truncated by the burst cap, the
+    // budget, and the round end.
+    const std::size_t limit = std::min(
+        {params_.max_burst - burst_, remaining_budget(), deliveries - i});
+    const std::size_t k =
+        1 + leap::sample_bernoulli_run(1.0 - p, rng, limit - 1);
+    om += k;
+    emitted_ += k;
+    burst_ += k;
+    i += k;
+    if (k < limit) {
+      // The burst ended because the rate coin came up real: consume that
+      // real delivery and reset.
+      set_burst(0);
+      ++i;
+    }
+    // k == limit: the loop head classifies what bound it (burst cap ->
+    // forced real, budget -> real tail, round end -> exit).
+  }
+  return om;
 }
 
 bool OmissionProcess::should_omit(Rng& rng, std::size_t step) {

@@ -93,6 +93,19 @@ class OmissionProcess {
   // Credit `k` omissions sampled by a batch leap.
   void note_omissions(std::size_t k) noexcept { emitted_ += k; }
 
+  // Exact per-ROUND accounting (the round engine's counterpart of the
+  // per-leap splits): the number of omissive marks among `deliveries`
+  // consecutive deliveries starting at `step`, advancing the burst/budget
+  // state exactly as that many should_omit() calls would, in O(burst
+  // episodes) draws instead of O(deliveries). The caller must keep the
+  // round short of the NO quiet horizon (the round engine caps its length
+  // there), so activity changes mid-round only through budget exhaustion,
+  // which the walk handles; when the burst cap is unreachable and the
+  // budget covers the whole round the count collapses to one
+  // Binomial(deliveries, rate) draw.
+  [[nodiscard]] std::size_t sample_round_omissions(std::size_t deliveries,
+                                                   std::size_t step, Rng& rng);
+
   // --- shared within-burst state (step-wise should_omit and the batch
   // --- burst-capped leap drive one counter) -------------------------------
   [[nodiscard]] std::size_t burst() const noexcept { return burst_; }

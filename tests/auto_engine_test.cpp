@@ -109,6 +109,43 @@ TEST(RegimeMonitor, FireHeavyWindowsOverrideCollapsedDispersion) {
   EXPECT_EQ(skno.switches(), 0u);
 }
 
+TEST(RegimeMonitor, MeasuredFireCostReducesToPriorAtWarmCache) {
+  // The windowed cost model: a hit costs one cached-fire unit, a miss
+  // re-runs the native value step (the source's fire_cost_ratio, now the
+  // cold-start PRIOR for the miss cost). With a warm cache the model is
+  // exactly the pre-measurement constant one.
+  const RegimeMonitor::Thresholds t;  // fire_cost_ratio = 8
+  EXPECT_DOUBLE_EQ(RegimeMonitor::measured_fire_cost(1.0, t), 1.0);
+  EXPECT_DOUBLE_EQ(RegimeMonitor::measured_fire_cost(0.0, t),
+                   1.0 + t.fire_cost_ratio);
+  EXPECT_DOUBLE_EQ(RegimeMonitor::measured_fire_cost(0.5, t),
+                   1.0 + 0.5 * t.fire_cost_ratio);
+}
+
+TEST(RegimeMonitor, MisleadProneRegimeConvergesViaMeasuredCost) {
+  // The regression the measured model exists for: an expensive-step
+  // source (ratio 8) in a mid-band, fire-heavy window. The static
+  // constant model says count space holds (ff 0.95 <= 8, dispersion in
+  // band) — but when the window's cache is COLD every fire re-runs the
+  // native step on top of the count move, so count space is the wrong
+  // face. The measured model (0.95 * (1 + 8) > 8) converges to agent
+  // space within hysteresis.
+  const RegimeMonitor::Thresholds t;
+  RegimeMonitor cold(Space::Count, t);
+  const RegimeMonitor::Signals misled{0.3, 0.0, 0.95};
+  EXPECT_EQ(cold.observe(misled), Space::Count);  // hysteresis obs 1
+  EXPECT_EQ(cold.observe(misled), Space::Agent);  // converged
+  EXPECT_EQ(cold.switches(), 1u);
+  // Identical window with a warm cache is genuinely count-space-friendly
+  // (fires cost one cached unit each) and must NOT switch. This pins
+  // backward compatibility: hit_rate = 1 reduces the measured model to
+  // the old fire_fraction <= fire_cost_ratio test.
+  RegimeMonitor warm(Space::Count, t);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(warm.observe({0.3, 1.0, 0.95}), Space::Count);
+  EXPECT_EQ(warm.switches(), 0u);
+}
+
 TEST(RegimeMonitor, NoteForcedAdoptsSpaceAndStartsCooldown) {
   RegimeMonitor m(Space::Count);
   m.note_forced(Space::Agent);
@@ -303,14 +340,17 @@ TEST(AutoEngine, NamingSwitchesToAgentSpaceMidRun) {
   EXPECT_GE(engine->metrics()->gauge("auto.switches").value(), 1.0);
 }
 
-TEST(AutoEngine, ClosedUniverseAutoResolvesToBatch) {
-  // Closed protocols have no regime to monitor: make_engine("auto", ...)
-  // resolves statically to the dense batch engine.
+TEST(AutoEngine, ClosedUniverseAutoArbitratesLeapAndRound) {
+  // Closed protocols have no dispersion to monitor, but they do have a
+  // fire-density regime: make_engine("auto", ...) is the adaptive batch
+  // engine, running the count-leap or round-dense face over one
+  // BatchSystem.
   const std::size_t n = 8;
   const Workload w = standard_workloads(n)[3];
   auto engine = make_engine("auto", w.protocol, w.initial);
-  EXPECT_EQ(engine->kind(), "batch");
-  EXPECT_EQ(engine->active_kind(), "batch");
+  EXPECT_EQ(engine->kind(), "auto");
+  EXPECT_TRUE(engine->active_kind() == "leap" ||
+              engine->active_kind() == "round");
   const auto& kinds = engine_kinds();
   EXPECT_NE(std::find(kinds.begin(), kinds.end(), "auto"), kinds.end());
 }

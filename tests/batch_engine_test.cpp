@@ -93,9 +93,7 @@ TEST(EngineDispatch, KindsAndFactory) {
                std::invalid_argument);
   for (const auto& kind : engine_kinds()) {
     auto e = make_engine(kind, make_or_protocol(), {0, 1, 1});
-    // Closed-universe protocols have no regime to monitor: auto resolves
-    // to the batch engine outright.
-    EXPECT_EQ(e->kind(), kind == "auto" ? "batch" : kind);
+    EXPECT_EQ(e->kind(), kind);
     EXPECT_EQ(e->size(), 3u);
     EXPECT_EQ(e->counts(), (std::vector<std::size_t>{1, 2}));
     EXPECT_EQ(e->interactions(), 0u);

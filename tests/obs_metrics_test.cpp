@@ -147,11 +147,11 @@ TEST(MetricRegistry, EqualityIgnoresWallClockTimers) {
 TEST(Metrics, NullHandleHookIsANoOp) {
   // The shipping default: metrics compiled in but never attached. Every
   // PPFS_METRIC hook must be safe (and do nothing) on a null handle.
-  Counter* h = nullptr;
+  [[maybe_unused]] Counter* h = nullptr;
   PPFS_METRIC(h, add(1));
-  Histogram* hist = nullptr;
+  [[maybe_unused]] Histogram* hist = nullptr;
   PPFS_METRIC(hist, record(42));
-  SampledTimer* timer = nullptr;
+  [[maybe_unused]] SampledTimer* timer = nullptr;
   PPFS_TIMER_BEGIN(t0, timer);
   PPFS_TIMER_END(t0, timer);
 
