@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string_view>
+#include <unordered_map>
 
 namespace ppfs {
 
@@ -152,6 +154,80 @@ void StateUniverse::release(State s) {
   PPFS_METRIC(m_released_, add());
 }
 
+void StateUniverse::audit_invariants(const char* who) const {
+  // Tallies first: the control bytes are the ground truth the SIMD probes
+  // run over, so full_/tombstones_ drifting from them corrupts both the
+  // load-factor bound and every match loop.
+  std::size_t full = 0;
+  std::size_t deleted = 0;
+  for (const std::uint8_t c : ctrl_) {
+    if (c == simd::kCtrlEmpty) continue;
+    if (c == simd::kCtrlDeleted) ++deleted;
+    else ++full;
+  }
+  audit::check(full == full_, who, "full_ matches occupied control bytes",
+               audit::expected_got(full, full_));
+  audit::check(deleted == tombstones_, who,
+               "tombstones_ matches deleted control bytes",
+               audit::expected_got(deleted, tombstones_));
+
+  // Differential reference map over the live encodings: every live id
+  // must round-trip through its recorded slot, and no two live ids may
+  // share an encoding (a duplicate means some lookup path can return a
+  // stale — possibly later-released — id for live bytes).
+  std::size_t live_ids = 0;
+  std::unordered_map<std::string_view, State> ref;
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (!slots_[id]) continue;
+    ++live_ids;
+    const auto [it, inserted] =
+        ref.emplace(std::string_view(*slots_[id]), static_cast<State>(id));
+    audit::check(inserted, who, "live encodings are unique",
+                 "ids " + std::to_string(it->second) + " and " +
+                     std::to_string(id) + " share an encoding");
+    audit::check(hash_[id] == hash_bytes(*slots_[id]), who,
+                 "stored hash matches the encoding", "id " + std::to_string(id));
+    const std::size_t slot = slot_of_[id];
+    audit::check(slot < ctrl_.size(), who, "live id has a valid table slot",
+                 "id " + std::to_string(id));
+    audit::check(ctrl_[slot] == tag_of(hash_[id]), who,
+                 "slot control byte carries the id's tag",
+                 "id " + std::to_string(id));
+    audit::check(ids_[slot] == static_cast<State>(id), who,
+                 "table slot points back at the id",
+                 "id " + std::to_string(id) + ", slot " + std::to_string(slot));
+  }
+  audit::check(live_ids == full_, who, "live ids match occupied slots",
+               audit::expected_got(live_ids, full_));
+
+  // Every FULL slot must belong to a live id whose recorded slot is that
+  // slot — the stale-duplicate-slot shape of the double-place bug class
+  // (see the rehash comment in intern()): a second FULL slot for the same
+  // id passes every per-id check above but fails here.
+  for (std::size_t slot = 0; slot < ctrl_.size(); ++slot) {
+    if (ctrl_[slot] == simd::kCtrlEmpty || ctrl_[slot] == simd::kCtrlDeleted)
+      continue;
+    const State id = ids_[slot];
+    audit::check(is_live(id), who, "FULL slot references a live id",
+                 "slot " + std::to_string(slot) + ", id " + std::to_string(id));
+    audit::check(slot_of_[id] == slot, who,
+                 "FULL slot is the id's recorded slot",
+                 "slot " + std::to_string(slot) + ", id " + std::to_string(id));
+  }
+
+  // The free list holds exactly the dead ids, each once.
+  std::vector<std::uint8_t> freed(slots_.size(), 0);
+  for (const State s : free_) {
+    audit::check(s < slots_.size() && !slots_[s], who,
+                 "free-list entry is a dead id", "id " + std::to_string(s));
+    audit::check(!freed[s]++, who, "free-list entries are unique",
+                 "id " + std::to_string(s));
+  }
+  audit::check(free_.size() == slots_.size() - live_ids, who,
+               "free list covers every dead id",
+               audit::expected_got(slots_.size() - live_ids, free_.size()));
+}
+
 // --- OutcomeCache -----------------------------------------------------------
 
 void OutcomeCache::set_capacity(std::size_t capacity) {
@@ -241,6 +317,22 @@ void OutcomeCache::invalidate(State s) {
     // The truncated generation wrapped (65536th release of this id):
     // clear the table so no stale entry can validate falsely.
     std::fill(keys_.begin(), keys_.end(), 0);
+  }
+}
+
+void OutcomeCache::audit_live_outputs(
+    const char* who, const std::function<bool(State)>& live) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == 0) continue;
+    const Payload& e = payload_[i];
+    // Only currently-valid entries matter: a stale one (any generation
+    // truncation off) is dropped on touch and can never be served.
+    if (gen(e.out.starter) != e.g[2] || gen(e.out.reactor) != e.g[3]) continue;
+    audit::check(live(e.out.starter) && live(e.out.reactor), who,
+                 "valid cache entry references only live output ids",
+                 "entry " + std::to_string(i) + " -> (" +
+                     std::to_string(e.out.starter) + ", " +
+                     std::to_string(e.out.reactor) + ")");
   }
 }
 

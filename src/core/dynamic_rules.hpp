@@ -38,6 +38,7 @@
 #include "core/rule_matrix.hpp"
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
+#include "util/audit.hpp"
 #include "util/group_probe.hpp"
 
 namespace ppfs {
@@ -106,7 +107,20 @@ class StateUniverse {
   // detaches. Purely observational — never changes interning behavior.
   void set_metrics(obs::MetricRegistry* reg);
 
+  // Runtime-contract audit (util/audit.hpp), differential against a
+  // reference map rebuilt from the live encodings: live/tombstone tallies
+  // match the control bytes, every live id round-trips through its table
+  // slot (tag, id, stored hash — the double-place bug class of the
+  // intern() rehash path serves a dead id through exactly the stale slot
+  // this catches), every FULL slot belongs to a live id, the free list
+  // holds exactly the dead ids, and no two live ids share an encoding.
+  // Cold code, always compiled; rule sources invoke it under
+  // -DPPFS_AUDIT=ON. Throws AuditError.
+  void audit_invariants(const char* who = "StateUniverse") const;
+
  private:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   // Index: a SwissTable-style open-addressing table probed one SIMD group
   // at a time (util/group_probe.hpp). One control byte per slot — the
   // 7-bit upper hash tag for full slots, empty/deleted sentinels otherwise
@@ -202,7 +216,18 @@ class OutcomeCache {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  // Runtime-contract audit (util/audit.hpp): no currently-valid entry —
+  // one whose stored generation truncations all match the live
+  // generations — may reference a dead output id. A release that skipped
+  // invalidate() leaves exactly such an entry behind, ready to resurrect
+  // a recycled id. `live` is the owner's liveness predicate. Cold code,
+  // always compiled. Throws AuditError.
+  void audit_live_outputs(const char* who,
+                          const std::function<bool(State)>& live) const;
+
  private:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   // 2-bit class | 31-bit starter | 31-bit reactor, biased by 1 so that 0
   // means "empty slot"; ids >= 2^31 (never reached in practice) simply
   // bypass the cache.
@@ -359,6 +384,16 @@ class DynamicRuleSource {
   // inert.
   [[nodiscard]] virtual double fire_cost_ratio() const { return 8.0; }
 
+  // Runtime-contract audit (util/audit.hpp): re-check source-internal
+  // invariants — the interning universe's table consistency and the
+  // generation validity of every cache (no valid row referencing a dead
+  // id). Default: nothing (a closed universe has no recycled ids to
+  // resurrect). Open-universe overrides audit their StateUniverse and
+  // call audit_outcome_cache() with its liveness predicate. Cold code,
+  // always compiled; SimBatchSystem folds this into its slice-boundary
+  // audit under -DPPFS_AUDIT=ON. Throws AuditError.
+  virtual void audit_invariants() const {}
+
   // Release front door for zero-count states (open universes only): evicts
   // outcome-cache rows mentioning `s` — ids recycle, so this is the
   // invalidation point the cache's correctness rests on — then hands the
@@ -371,6 +406,13 @@ class DynamicRuleSource {
   }
 
  protected:
+  // Audit the engine-level outcome cache against the owner's liveness
+  // predicate (see OutcomeCache::audit_live_outputs).
+  void audit_outcome_cache(const char* who,
+                           const std::function<bool(State)>& live) const {
+    cache_.audit_live_outputs(who, live);
+  }
+
   // Source-specific release (recycle the interned id). Default: keep.
   virtual void do_release(State s) { (void)s; }
   // Source-specific instrumentation wiring (e.g. the source's own

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
@@ -139,6 +140,46 @@ class DynamicPairSampler {
     return fenwick_pick(rng.below(total_));
   }
 
+  // Runtime-contract audit (util/audit.hpp): recompute every derived
+  // structure from the weight vector and compare. Cold code, always
+  // compiled; the engines invoke it at slice boundaries under
+  // -DPPFS_AUDIT=ON. Checks, in order: total_ is the exact weight sum,
+  // the Fenwick tree is the tree a fresh build would produce, and a
+  // valid alias table redistributes exactly w_i * k mass to slot i.
+  void audit_invariants(const char* who = "DynamicPairSampler") const {
+    const std::size_t k = w_.size();
+    unsigned __int128 sum = 0;
+    for (const std::uint64_t w : w_) sum += w;
+    audit::check(sum == static_cast<unsigned __int128>(total_), who,
+                 "total() == sum of slot weights",
+                 audit::expected_got(static_cast<std::uint64_t>(sum), total_));
+    std::vector<std::uint64_t> ref(k + 1, 0);
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = i + 1; j <= k; j += j & (0 - j)) ref[j] += w_[i];
+    for (std::size_t j = 1; j <= k; ++j)
+      audit::check(ref[j] == tree_[j], who,
+                   "Fenwick node agrees with rebuild from weights",
+                   "node " + std::to_string(j) + ": " +
+                       audit::expected_got(ref[j], tree_[j]));
+    if (alias_valid_) {
+      const unsigned __int128 cap = total_;
+      std::vector<unsigned __int128> mass(k, 0);
+      for (std::size_t b = 0; b < k; ++b) {
+        audit::check(cut_[b] <= total_, who,
+                     "alias threshold within bucket capacity",
+                     "bucket " + std::to_string(b));
+        audit::check(to_[b] < k, who, "alias donation target in range",
+                     "bucket " + std::to_string(b));
+        mass[b] += cut_[b];
+        mass[to_[b]] += cap - cut_[b];
+      }
+      for (std::size_t i = 0; i < k; ++i)
+        audit::check(mass[i] == static_cast<unsigned __int128>(w_[i]) * k,
+                     who, "alias table redistributes exact slot mass",
+                     "slot " + std::to_string(i));
+    }
+  }
+
   // Telemetry for tests and the bench harness.
   [[nodiscard]] std::size_t alias_builds() const noexcept {
     return alias_builds_;
@@ -151,6 +192,8 @@ class DynamicPairSampler {
   }
 
  private:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   // Fenwick descent: smallest i with prefix(i+1) > pick, exact.
   std::size_t fenwick_pick(std::uint64_t pick) const {
     std::size_t idx = 0;

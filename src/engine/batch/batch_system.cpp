@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "engine/batch/leap_sampling.hpp"
+#include "util/audit.hpp"
 
 namespace ppfs {
 
@@ -56,6 +57,9 @@ void BatchSystem::set_omission_process(const AdversaryParams& params) {
   w_omit_ = omit_pairs_->sampler.total();
 }
 
+// ppfs-lint: allow(weight-mul): both factors are counts <= n and the
+// engine bounds n < 2^32 (the changing weight <= n(n-1) must itself fit
+// u64); the alias table's larger per-slot mass products go through u128.
 std::uint64_t BatchSystem::pair_weight(State s, State r) const noexcept {
   const auto& c = conf_.counts();
   const std::uint64_t cs = c[s];
@@ -141,6 +145,47 @@ bool BatchSystem::silent() const {
   return true;
 }
 
+void BatchSystem::audit_invariants() const {
+  static constexpr const char* kWho = "BatchSystem";
+  // Count conservation: the count vector still sums to n.
+  std::uint64_t total = 0;
+  for (const std::size_t c : conf_.counts()) total += c;
+  audit::check(total == conf_.size(), kWho, "counts sum to population size",
+               audit::expected_got(conf_.size(), total));
+  // Incremental weights vs the O(q^2) reference rescan. flush_weights()
+  // first: between fires the dirty list legitimately holds pending
+  // deltas — the contract is agreement *after* a flush.
+  flush_weights();
+  audit::check(dirty_.empty(), kWho, "dirty list empty after flush");
+  for (const std::uint8_t f : dirty_flag_)
+    audit::check(f == 0, kWho, "dirty flags clear after flush");
+  audit::check(w_real_ == audit_changing_weight(InteractionClass::Real), kWho,
+               "incremental real changing-weight agrees with rescan",
+               audit::expected_got(
+                   audit_changing_weight(InteractionClass::Real), w_real_));
+  if (omit_pairs_)
+    audit::check(w_omit_ == audit_changing_weight(omit_class_), kWho,
+                 "incremental omissive changing-weight agrees with rescan",
+                 audit::expected_got(audit_changing_weight(omit_class_),
+                                     w_omit_));
+  // Per-slot sampler weights against the live count vector, then the
+  // samplers' own derived structures (Fenwick / alias).
+  const auto audit_table = [&](const PairTable& table, const char* name) {
+    for (std::size_t i = 0; i < table.pairs.size(); ++i) {
+      const auto [s, r] = table.pairs[i];
+      audit::check(table.sampler.weight(i) == pair_weight(s, r), name,
+                   "slot weight agrees with pair_weight over counts",
+                   "slot " + std::to_string(i) + ": " +
+                       audit::expected_got(pair_weight(s, r),
+                                           table.sampler.weight(i)));
+    }
+    table.sampler.audit_invariants(name);
+  };
+  audit_table(real_pairs_, "BatchSystem.real_pairs");
+  if (omit_pairs_) audit_table(*omit_pairs_, "BatchSystem.omit_pairs");
+  if (omit_) omit_->audit_invariants();
+}
+
 void BatchSystem::apply_fire(InteractionClass c, State s, State r,
                              BatchDelta& d) {
   d.fired = true;
@@ -174,6 +219,7 @@ void BatchSystem::bulk_fire(InteractionClass c, State s, State r,
 BatchDelta BatchSystem::advance(std::size_t budget, Rng& rng) {
   BatchDelta d;
   const std::uint64_t n = conf_.size();
+  // ppfs-lint: allow(weight-mul): n < 2^32 keeps the pair total in u64.
   const std::uint64_t t = n * (n - 1);
 
   while (d.interactions < budget) {

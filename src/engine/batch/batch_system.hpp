@@ -144,8 +144,17 @@ class BatchSystem {
   // detaches. Purely observational: never consumes Rng draws.
   void set_metrics(obs::MetricRegistry* reg);
 
+  // Runtime-contract audit (util/audit.hpp): flush, then check count
+  // conservation, incremental-vs-rescan changing-weight agreement for
+  // every live class, per-slot sampler weights against the count vector,
+  // the samplers' own derived structures, and the adversary's budget /
+  // burst state. Cold code, always compiled; engines invoke it at slice
+  // boundaries under -DPPFS_AUDIT=ON. Throws AuditError.
+  void audit_invariants() const;
+
  private:
-  friend class RoundSystem;  // the round-dense face shares this state
+  friend class RoundSystem;    // the round-dense face shares this state
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
 
   // Weight of ordered pair (s, r): C[s] * (C[r] - [s == r]).
   [[nodiscard]] std::uint64_t pair_weight(State s, State r) const noexcept;

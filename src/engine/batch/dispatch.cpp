@@ -8,6 +8,7 @@
 #include "engine/batch/agent_space.hpp"
 #include "engine/batch/regime.hpp"
 #include "engine/batch/round_system.hpp"
+#include "util/audit.hpp"
 
 namespace ppfs {
 
@@ -152,6 +153,7 @@ class BatchEngine final : public Engine {
           "engine; omission adversaries attach via make_engine)");
     std::size_t covered = 0;
     while (covered < budget) covered += sys_.advance(budget - covered, rng).interactions;
+    PPFS_AUDIT_INVOKE(sys_.audit_invariants());
     return covered;
   }
 
@@ -234,12 +236,18 @@ class AdaptiveBatchEngine final : public Engine {
         while (c < slice) c += sys_.advance(slice - c, rng).interactions;
       }
       covered += c;
+      PPFS_AUDIT_INVOKE(sys_.audit_invariants());
       // Density is the exact per-delivery fire probability, so the
       // monitor's dispersion channel carries it directly; the cache
       // channel is neutral (no cache here) and the fire-cost override
-      // stays cold (both faces already ARE count space).
-      (void)monitor_->observe(
-          RegimeMonitor::Signals{sys_.fire_density(), 1.0, 0.0});
+      // stays cold (both faces already ARE count space). Arbitration is
+      // deterministic — the draw ledger pins that no Rng draw hides here
+      // (a draw would silently shift the trajectory across face switches).
+      {
+        PPFS_DRAW_FREE(rng, "AdaptiveBatchEngine regime arbitration");
+        (void)monitor_->observe(
+            RegimeMonitor::Signals{sys_.fire_density(), 1.0, 0.0});
+      }
     }
     return covered;
   }
@@ -399,6 +407,7 @@ class SimBatchEngine final : public Engine {
     std::size_t covered = 0;
     while (covered < budget)
       covered += sys_.advance(budget - covered, rng).interactions;
+    PPFS_AUDIT_INVOKE(sys_.audit_invariants());
     return covered;
   }
 
@@ -530,8 +539,16 @@ class AutoSimEngine final : public Engine {
         fold_count_stats();
         steps_ += c;
         covered += c;
+        PPFS_AUDIT_INVOKE(sys_->audit_invariants());
       }
-      maybe_switch();
+      // Arbitration AND the representation bridges it may trigger are
+      // draw-free by design (the bridge moves the wrapper multiset, which
+      // is exchangeable — see the class comment); the draw ledger turns
+      // that design claim into a checked contract.
+      {
+        PPFS_DRAW_FREE(rng, "AutoSimEngine regime arbitration/bridge");
+        maybe_switch();
+      }
     }
     return covered;
   }
@@ -934,7 +951,12 @@ RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
     const std::size_t slice =
         std::min(opt.check_every, opt.max_steps - res.steps);
     res.steps += engine.advance(slice, sched, rng);
-    maybe_snapshot(engine, recorder);
+    {
+      // Observability must never perturb the trajectory: snapshotting
+      // (metrics sync + summary) draws nothing from the run's stream.
+      PPFS_DRAW_FREE(rng, "flight-recorder snapshot");
+      maybe_snapshot(engine, recorder);
+    }
     engine.counts_into(counts);
     const bool holds = probe(counts, engine.protocol());
     engine.stats().record_probe(engine.interactions(), holds);
@@ -959,7 +981,10 @@ RunResult run_engine_steps(Engine& engine, Scheduler& sched, Rng& rng,
   RunResult res;
   while (res.steps < steps) {
     res.steps += engine.advance(steps - res.steps, sched, rng);
-    maybe_snapshot(engine, recorder);
+    {
+      PPFS_DRAW_FREE(rng, "flight-recorder snapshot");
+      maybe_snapshot(engine, recorder);
+    }
   }
   res.omissions = engine.omissions();
   return res;

@@ -314,6 +314,7 @@ inline std::uint64_t sample_hypergeometric(std::uint64_t pool,
 inline std::size_t sample_round_length(std::uint64_t n, Rng& rng,
                                        std::size_t cap) {
   if (n < 2 || cap == 0) return 0;
+  // ppfs-lint: allow(weight-mul): n < 2^32 keeps the pair total in u64.
   const std::uint64_t t = n * (n - 1);
   const std::size_t max_len =
       std::min(cap, static_cast<std::size_t>(n / 2));
@@ -322,6 +323,7 @@ inline std::size_t sample_round_length(std::uint64_t n, Rng& rng,
     std::size_t i = 1;
     while (i < max_len) {
       const std::uint64_t u = n - 2 * i;
+      // ppfs-lint: allow(weight-mul): u <= n < 2^32, so u(u-1) fits u64.
       if (u < 2 || rng.below(t) >= u * (u - 1)) return i;
       ++i;
     }

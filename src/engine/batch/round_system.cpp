@@ -35,11 +35,35 @@ void RoundSystem::set_metrics(obs::MetricRegistry* reg) {
   m_rounds_ = reg ? &reg->counter("engine.rounds") : nullptr;
 }
 
+void RoundSystem::audit_round(std::uint64_t len, std::uint64_t k_om) const {
+  static constexpr const char* kWho = "RoundSystem";
+  std::uint64_t cells = 0;
+  for (const std::uint64_t c : cells_) cells += c;
+  audit::check(cells == len, kWho, "contingency cells sum to round length",
+               audit::expected_got(len, cells));
+  std::uint64_t omits = 0;
+  for (const std::uint64_t o : omits_) omits += o;
+  audit::check(omits == k_om, kWho,
+               "omissive split sums to sampled omission count",
+               audit::expected_got(k_om, omits));
+  std::uint64_t touched = 0;
+  for (const std::uint64_t t : touched_) touched += t;
+  audit::check(touched == 2 * len, kWho,
+               "post-state multiset covers every touched agent",
+               audit::expected_got(2 * len, touched));
+  std::uint64_t total = 0;
+  for (const std::size_t c : base_.conf_.counts()) total += c;
+  audit::check(total == base_.conf_.size(), kWho,
+               "round application conserves population size",
+               audit::expected_got(base_.conf_.size(), total));
+}
+
 BatchDelta RoundSystem::advance(std::size_t budget, Rng& rng) {
   BatchDelta d;
   if (budget == 0) return d;
   const std::size_t q = base_.q_;
   const std::uint64_t n = base_.conf_.size();
+  // ppfs-lint: allow(weight-mul): n < 2^32 keeps the pair total in u64.
   const std::uint64_t t = n * (n - 1);
   OmissionProcess* omit = base_.omit_ && base_.omit_->active(base_.steps_)
                               ? &*base_.omit_
@@ -180,16 +204,20 @@ BatchDelta RoundSystem::advance(std::size_t budget, Rng& rng) {
   d.interactions += len;
   d.omissions += k_om;
   base_.steps_ += len;
+  PPFS_AUDIT_INVOKE(audit_round(len, k_om));
 
   // 7. The collision interaction — pair l+1, uniform over ordered pairs
   // not entirely untouched — unless the round was truncated at the cap.
   if (len < cap) {
     const auto& cnow = base_.conf_.counts();
     const std::uint64_t untouched = n - len2;
+    // ppfs-lint: allow(weight-mul): untouched <= n and 2l <= n with
+    // n < 2^32, so both ordered-pair products stay inside u64.
     const std::uint64_t m_all = t - untouched * (untouched - 1);
     const std::uint64_t v = rng.below(m_all);
     State s2;
     State r2;
+    // ppfs-lint: allow(weight-mul): see the m_all bound above.
     if (v < len2 * (n - 1)) {
       // Starter touched, reactor anyone else.
       s2 = pick_state(q, rng.below(len2), "RoundSystem::collision_starter",

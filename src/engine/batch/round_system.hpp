@@ -81,6 +81,17 @@ class RoundSystem {
   void set_metrics(obs::MetricRegistry* reg);
 
  private:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
+  // Runtime-contract audit (util/audit.hpp): MVHG split totals must
+  // recompose the round — cells sum to the round length, omissive marks
+  // to the sampled omission count, the post-state multiset to 2*len —
+  // and the base configuration still conserves n. Invoked at the end of
+  // the bulk application (phase 6) while the scratch is live, under
+  // -DPPFS_AUDIT=ON; always compiled for the mutation smokes. Throws
+  // AuditError.
+  void audit_round(std::uint64_t len, std::uint64_t k_om) const;
+
   BatchSystem& base_;
   std::size_t rounds_ = 0;
 

@@ -45,6 +45,30 @@ void SparseConfiguration::remove(State s, std::size_t k) {
   }
 }
 
+void SparseConfiguration::audit_invariants(const char* who) const {
+  std::uint64_t total = 0;
+  std::size_t nonzero = 0;
+  for (std::size_t s = 0; s < counts_.size(); ++s) {
+    total += counts_[s];
+    if (counts_[s] == 0) {
+      audit::check(pos_[s] == kNoPos, who,
+                   "zero-count state has no occupied position",
+                   "state " + std::to_string(s));
+      continue;
+    }
+    ++nonzero;
+    audit::check(pos_[s] < occupied_.size() &&
+                     occupied_[pos_[s]] == static_cast<State>(s),
+                 who, "occupied position round-trips",
+                 "state " + std::to_string(s));
+  }
+  audit::check(nonzero == occupied_.size(), who,
+               "occupied list covers exactly the nonzero counts",
+               audit::expected_got(nonzero, occupied_.size()));
+  audit::check(total == n_, who, "counts sum to population size",
+               audit::expected_got(total, n_));
+}
+
 // --- SimBatchSystem ---------------------------------------------------------
 
 SimBatchSystem::SimBatchSystem(std::shared_ptr<DynamicRuleSource> rules,
@@ -176,6 +200,7 @@ std::pair<std::uint64_t, std::uint64_t> SimBatchSystem::real_weight() {
     w_real_ = scan_changing_weight();
     weights_valid_ = true;
   }
+  // ppfs-lint: allow(weight-mul): n < 2^32 keeps the pair total in u64.
   return {w_real_, n * (n - 1)};
 }
 
@@ -187,6 +212,8 @@ std::uint64_t SimBatchSystem::scan_changing_weight() {
     const std::uint64_t cs = conf_.count(s);
     for (const State r : occ) {
       if (rules_->is_noop(InteractionClass::Real, s, r)) continue;
+      // ppfs-lint: allow(weight-mul): counts <= n < 2^32, and the sum is
+      // bounded by the u64 pair total n(n-1).
       w += cs * (conf_.count(r) - static_cast<std::uint64_t>(s == r));
     }
   }
@@ -220,6 +247,7 @@ std::pair<State, State> SimBatchSystem::pick_changing_pair(std::uint64_t w,
     return {s, draw_reactor_excluding(s, rng)};
   }
   const std::uint64_t n = conf_.size();
+  // ppfs-lint: allow(weight-mul): n < 2^32 keeps the pair total in u64.
   const std::uint64_t t = n * (n - 1);
   if (w >= t / 16) {
     // Dense regime: rejection against the count draw (expected <= 16
@@ -240,6 +268,7 @@ std::pair<State, State> SimBatchSystem::pick_changing_pair(std::uint64_t w,
     const std::uint64_t cs = conf_.count(s);
     for (const State r : occ) {
       if (rules_->is_noop(InteractionClass::Real, s, r)) continue;
+      // ppfs-lint: allow(weight-mul): counts <= n < 2^32, product < n(n-1).
       const std::uint64_t pw = cs * (conf_.count(r) - static_cast<std::uint64_t>(s == r));
       if (pick < pw) return {s, r};
       pick -= pw;
@@ -492,6 +521,55 @@ BatchDelta SimBatchSystem::advance(std::size_t budget, Rng& rng) {
     return d;
   }
   return d;
+}
+
+void SimBatchSystem::audit_invariants() {
+  static constexpr const char* kWho = "SimBatchSystem";
+  conf_.audit_invariants("SimBatchSystem.conf");
+  idx_.audit_invariants("SimBatchSystem.idx");
+  audit::check(conf_.size() == idx_.total(), kWho,
+               "configuration and count index agree on n",
+               audit::expected_got(conf_.size(), idx_.total()));
+  std::uint64_t silent_sum = 0;
+  for (const State s : conf_.occupied()) {
+    audit::check(conf_.count(s) == idx_.get(s), kWho,
+                 "configuration and count index agree per state",
+                 "state " + std::to_string(s) + ": " +
+                     audit::expected_got(conf_.count(s), idx_.get(s)));
+    // Occupied states must be decodable — a released-but-still-counted id
+    // throws from the source's projection, which we surface structurally.
+    try {
+      (void)rules_->project(s);
+    } catch (const std::exception& e) {
+      audit::check(false, kWho, "occupied state is live in the rule source",
+                   "state " + std::to_string(s) + ": " + e.what());
+    }
+    if (factored_ && s < silent_known_.size()) {
+      audit::check(silent_known_[s] != 0, kWho,
+                   "occupied state has a silence classification",
+                   "state " + std::to_string(s));
+      if (silent_known_[s] == 2) silent_sum += conf_.count(s);
+    }
+  }
+  if (factored_)
+    audit::check(silent_sum == silent_count_, kWho,
+                 "silent-population counter agrees with classification",
+                 audit::expected_got(silent_sum, silent_count_));
+  if (!factored_ && weights_valid_) {
+    const std::uint64_t ref = scan_changing_weight();
+    audit::check(w_real_ == ref, kWho,
+                 "incremental changing-weight agrees with rescan",
+                 audit::expected_got(ref, w_real_));
+  }
+  if (projected_valid_) {
+    std::uint64_t proj = 0;
+    for (const std::size_t c : projected_) proj += c;
+    audit::check(proj == conf_.size(), kWho,
+                 "projected counts conserve population size",
+                 audit::expected_got(conf_.size(), proj));
+  }
+  rules_->audit_invariants();
+  if (omit_) omit_->audit_invariants();
 }
 
 bool SimBatchSystem::step_once(Rng& rng, BatchDelta& d) {

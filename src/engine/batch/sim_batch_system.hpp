@@ -65,6 +65,7 @@
 #include "engine/stats.hpp"
 #include "obs/metrics.hpp"
 #include "sched/omission_process.hpp"
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
@@ -138,13 +139,37 @@ class CountIndex {
     m_probe_depth_ = reg ? &reg->histogram("index.probe_depth") : nullptr;
   }
 
+  // Runtime-contract audit (util/audit.hpp): every bucket sum and the
+  // grand total recomputed from the per-id counts. Throws AuditError.
+  void audit_invariants(const char* who = "CountIndex") const {
+    std::uint64_t sum = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      std::uint64_t bucket = 0;
+      const std::size_t lo = b << kShift;
+      const std::size_t hi = std::min(counts_.size(), lo + kBucket);
+      for (std::size_t i = lo; i < hi; ++i) bucket += counts_[i];
+      audit::check(bucket == buckets_[b], who,
+                   "bucket sum agrees with per-id counts",
+                   "bucket " + std::to_string(b) + ": " +
+                       audit::expected_got(bucket, buckets_[b]));
+      sum += bucket;
+    }
+    audit::check(sum == total_, who, "total agrees with per-id counts",
+                 audit::expected_got(sum, total_));
+  }
+
  private:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   static constexpr std::size_t kShift = 8;
   static constexpr std::size_t kBucket = 1u << kShift;
 
   void record_probe_depth(std::size_t b, std::size_t i) const {
 #if PPFS_METRICS
     if (m_probe_depth_ && (probe_tick_++ & 15u) == 0)
+      // ppfs-lint: allow(metric-macro): the 1-in-16 subsample gate must
+      // share probe_tick_'s compile-out with the emission, which the
+      // single-call PPFS_METRIC macro cannot express.
       m_probe_depth_->record(b + (i - (b << kShift)) + 1);
 #else
     (void)b;
@@ -178,7 +203,14 @@ class SparseConfiguration {
     return occupied_;
   }
 
+  // Runtime-contract audit (util/audit.hpp): the occupied list and the
+  // position index describe exactly the nonzero counts, which sum to n.
+  // Throws AuditError.
+  void audit_invariants(const char* who = "SparseConfiguration") const;
+
  private:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   static constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
   std::vector<std::uint32_t> counts_;
   std::vector<std::uint32_t> pos_;  // state -> index in occupied_, or kNoPos
@@ -267,7 +299,19 @@ class SimBatchSystem {
   // observational — never consumes Rng draws or changes trajectories.
   void set_metrics(obs::MetricRegistry* reg);
 
+  // Runtime-contract audit (util/audit.hpp): the configuration, the
+  // count index and their agreement; silent-population and incremental
+  // changing-weight agreement with reference rescans; projected counts
+  // conserving n; occupied states decodable (live) in the rule source;
+  // then the rule source's and adversary's own audits. Non-const because
+  // the reference weight rescan may intern successor states (exactly as
+  // the hot path would). Cold code, always compiled; engines invoke it
+  // at slice boundaries under -DPPFS_AUDIT=ON. Throws AuditError.
+  void audit_invariants();
+
  private:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   // (changing weight, total weight) of the Real class under the current
   // counts; the no-op run before the next real count-change is geometric
   // with success w/t.

@@ -30,6 +30,8 @@ std::size_t FairnessAuditor::pairs_covered() const {
 }
 
 bool FairnessAuditor::all_pairs_covered() const {
+  // ppfs-lint: allow(weight-mul): the auditor tracks per-agent pairs, so
+  // n_ is a small test-scale population; n_(n_-1) is nowhere near 2^64.
   return pairs_covered() == n_ * (n_ - 1);
 }
 

@@ -217,9 +217,7 @@ std::size_t OmissionProcess::sample_round_omissions(std::size_t deliveries,
 
 bool OmissionProcess::should_omit(Rng& rng, std::size_t step) {
   if (!active(step) || burst_ >= params_.max_burst || !rng.chance(params_.rate)) {
-#if PPFS_METRICS
-    if (m_burst_len_ && burst_ > 0) m_burst_len_->record(burst_);
-#endif
+    if (burst_ > 0) PPFS_METRIC(m_burst_len_, record(burst_));
     burst_ = 0;
     return false;
   }

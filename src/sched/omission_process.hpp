@@ -34,6 +34,7 @@
 
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
@@ -110,12 +111,10 @@ class OmissionProcess {
   // --- burst-capped leap drive one counter) -------------------------------
   [[nodiscard]] std::size_t burst() const noexcept { return burst_; }
   void set_burst(std::size_t b) noexcept {
-#if PPFS_METRICS
     // A reset from a non-zero burst closes one burst episode — both paths
     // (should_omit and the batch leaps) end episodes through here or
     // through should_omit's own reset.
-    if (m_burst_len_ && b == 0 && burst_ > 0) m_burst_len_->record(burst_);
-#endif
+    if (b == 0 && burst_ > 0) PPFS_METRIC(m_burst_len_, record(burst_));
     burst_ = b;
   }
   [[nodiscard]] std::size_t max_burst() const noexcept {
@@ -138,7 +137,27 @@ class OmissionProcess {
     m_burst_len_ = reg ? &reg->histogram("adv.burst_len") : nullptr;
   }
 
+  // Runtime-contract audit (util/audit.hpp): the emitted total never
+  // exceeds the omission budget, and the shared within-burst counter
+  // never exceeds a finite burst cap. Cold code, always compiled; the
+  // batch systems fold this into their slice-boundary audits under
+  // -DPPFS_AUDIT=ON. Throws AuditError.
+  void audit_invariants() const {
+    static constexpr const char* kWho = "OmissionProcess";
+    audit::check(emitted_ <= params_.max_omissions, kWho,
+                 "emitted omissions within budget",
+                 "budget " + std::to_string(params_.max_omissions) +
+                     ", emitted " + std::to_string(emitted_));
+    if (params_.max_burst != std::numeric_limits<std::size_t>::max())
+      audit::check(burst_ <= params_.max_burst, kWho,
+                   "burst counter within the consecutive-insertion cap",
+                   "cap " + std::to_string(params_.max_burst) + ", burst " +
+                       std::to_string(burst_));
+  }
+
  private:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   AdversaryParams params_;
   std::size_t emitted_ = 0;
   std::size_t burst_ = 0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sim/tw_naive.hpp"
+#include "util/audit.hpp"
 
 namespace ppfs {
 
@@ -185,13 +186,14 @@ State SidRuleSource::react(State reactor, State starter_snap) {
   const ByteEdit edits[] = {sid_action_edit(me, vu.action, 0, buf)};
   const State out = universe_.intern_patched(reactor, edits);
   // The fuzz suite pins patch/full equality distributionally; this pins it
-  // on every step of every Debug test run.
-  assert([&] {
-    std::string full;
-    full.reserve(18);
-    encode_sid_agent(full, me);
-    return universe_.encoding(out) == full;
-  }());
+  // on every step of every Debug or audit-enabled test run.
+  PPFS_AUDIT_ASSERT("SidRuleSource",
+                    "patched successor matches full re-serialization", [&] {
+                      std::string full;
+                      full.reserve(18);
+                      encode_sid_agent(full, me);
+                      return universe_.encoding(out) == full;
+                    }());
   return out;
 }
 
@@ -295,14 +297,15 @@ State NamingRuleSource::react(State reactor, State starter_snap) {
     edits[ne++] = sid_action_edit(me.sid, fx.sid.action, 8, sid_buf);
   }
   const State out = universe_.intern_patched(reactor, {edits, ne});
-  assert([&] {
-    std::string full;
-    full.reserve(26);
-    put32(full, me.naming.my_id);
-    put32(full, me.naming.max_id);
-    encode_sid_agent(full, me.sid);
-    return universe_.encoding(out) == full;
-  }());
+  PPFS_AUDIT_ASSERT("NamingRuleSource",
+                    "patched successor matches full re-serialization", [&] {
+                      std::string full;
+                      full.reserve(26);
+                      put32(full, me.naming.my_id);
+                      put32(full, me.naming.max_id);
+                      encode_sid_agent(full, me.sid);
+                      return universe_.encoding(out) == full;
+                    }());
   return out;
 }
 
@@ -431,8 +434,10 @@ State SknoRuleSource::intern_successor(State base, const SknoCore::Agent& post,
     out = intern_refilled(base, post.sim_state);
   }
   // The fuzz suite pins patch/full equality distributionally; this pins it
-  // on every step of every Debug test run.
-  assert(universe_.encoding(out) == encode_agent(post));
+  // on every step of every Debug or audit-enabled test run.
+  PPFS_AUDIT_ASSERT("SknoRuleSource",
+                    "patched successor matches full re-serialization",
+                    universe_.encoding(out) == encode_agent(post));
   return out;
 }
 

@@ -137,7 +137,21 @@ class SidRuleSource : public DynamicRuleSource {
     reg.counter("cache.react.stale_drops").set(s.stale_drops);
   }
 
+  // Runtime-contract audit: universe table consistency plus generation
+  // validity of the engine-level and reactor-half caches against its
+  // liveness. The id population here is closed (no releases), so the
+  // cache audits guard the hypothetical recycling subclasses the
+  // generation machinery exists for. Covers NamingRuleSource too.
+  void audit_invariants() const override {
+    universe_.audit_invariants("SidRuleSource.universe");
+    const auto live = [this](State s) { return universe_.is_live(s); };
+    audit_outcome_cache("SidRuleSource.outcome_cache", live);
+    react_cache_.audit_live_outputs("SidRuleSource.react_cache", live);
+  }
+
  protected:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   void wire_metrics(obs::MetricRegistry* reg) override {
     universe_.set_metrics(reg);
   }
@@ -291,7 +305,22 @@ class SknoRuleSource final : public DynamicRuleSource {
     reg.counter("cache.g.stale_drops").set(gs.stale_drops);
   }
 
+  // Runtime-contract audit: universe table consistency (ids here really
+  // do recycle) plus generation validity of every cache layer against
+  // its liveness — a do_release that skipped an invalidate leaves a
+  // valid-looking entry behind, ready to resurrect a recycled id; this
+  // is the auditor that catches it.
+  void audit_invariants() const override {
+    universe_.audit_invariants("SknoRuleSource.universe");
+    const auto live = [this](State s) { return universe_.is_live(s); };
+    audit_outcome_cache("SknoRuleSource.outcome_cache", live);
+    recv_cache_.audit_live_outputs("SknoRuleSource.recv_cache", live);
+    g_cache_.audit_live_outputs("SknoRuleSource.g_cache", live);
+  }
+
  protected:
+  friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
+
   void wire_metrics(obs::MetricRegistry* reg) override {
     universe_.set_metrics(reg);
   }

@@ -1,0 +1,177 @@
+// Runtime-contract audit layer: the invariants the fast paths ride on,
+// turned from comments into machine-checked contracts. Mirrors the
+// zero-overhead-off design of src/obs/metrics.hpp:
+//
+//   * The CMake option PPFS_AUDIT=OFF (the default) compiles every
+//     PPFS_AUDIT_INVOKE() / PPFS_DRAW_FREE() hook in the hot paths to
+//     nothing — the default build is byte-identical in behavior.
+//   * The audit *methods* themselves (each subsystem's
+//     audit_invariants()) are always compiled: they are cold code, and
+//     the mutation-smoke tests (tests/audit_test.cpp) call them directly
+//     in every build configuration.
+//   * Under -DPPFS_AUDIT=ON the hooks re-check subsystem invariants at
+//     slice boundaries and the draw-free scopes assert the zero-draw
+//     bridge contracts. This is a verification build: expect a large
+//     constant-factor slowdown (several audits are O(q^2) rescans).
+//
+// Failures throw AuditError — a structured diagnostic naming the
+// subsystem, the violated invariant, and the observed numbers — modeled
+// on the samplers' SamplerInvariantError, and deliberately an exception
+// rather than an abort so the mutation-smoke tests can assert that each
+// auditor fires on a hand-corrupted state.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+#ifndef PPFS_AUDIT
+#define PPFS_AUDIT 0
+#endif
+
+namespace ppfs {
+
+// A violated runtime contract. `subsystem` names the audited component
+// ("DynamicPairSampler", "StateUniverse", ...), `invariant` the specific
+// broken contract, `detail` the observed values.
+class AuditError : public std::logic_error {
+ public:
+  AuditError(const std::string& subsystem, const std::string& invariant,
+             const std::string& detail)
+      : std::logic_error("audit[" + subsystem + "]: " + invariant +
+                         (detail.empty() ? "" : " (" + detail + ")")),
+        subsystem_(subsystem),
+        invariant_(invariant) {}
+
+  [[nodiscard]] const std::string& subsystem() const noexcept {
+    return subsystem_;
+  }
+  [[nodiscard]] const std::string& invariant() const noexcept {
+    return invariant_;
+  }
+
+ private:
+  std::string subsystem_;
+  std::string invariant_;
+};
+
+namespace audit {
+
+// Check helper for audit_invariants() bodies: throw a structured
+// AuditError unless `ok`. The detail string is built by the caller only
+// on the failure path when it is expensive; passing it eagerly is fine
+// for cheap formatting.
+inline void check(bool ok, const char* subsystem, const char* invariant,
+                  const std::string& detail = {}) {
+  if (!ok) throw AuditError(subsystem, invariant, detail);
+}
+
+// Convenience formatter for the ubiquitous "expected X, got Y" detail.
+inline std::string expected_got(std::uint64_t expected, std::uint64_t got) {
+  return "expected " + std::to_string(expected) + ", got " +
+         std::to_string(got);
+}
+
+}  // namespace audit
+
+// Scope guard asserting that a region consumes zero Rng draws — the
+// checked form of the "consumes no draws / bit-identical replay"
+// contracts on regime-monitor arbitration, engine-switch bridges, and
+// metrics/flight-recorder hooks. Always compiled (the draw-ledger tests
+// use it in every build); hot-path instantiation goes through
+// PPFS_DRAW_FREE below, which compiles out with the audit layer.
+//
+// The destructor throws AuditError when the ledger moved. A throwing
+// destructor is deliberate — it is what lets EXPECT_THROW-style mutation
+// smokes seed a draw inside a guarded region and watch the guard fire —
+// and is suppressed while an exception is already in flight.
+class DrawFreeScope {
+ public:
+  DrawFreeScope(const Rng& rng, const char* context) noexcept
+      : rng_(rng),
+        context_(context),
+        entry_draws_(rng.draw_count()),
+        entry_exceptions_(std::uncaught_exceptions()) {}
+
+  DrawFreeScope(const DrawFreeScope&) = delete;
+  DrawFreeScope& operator=(const DrawFreeScope&) = delete;
+
+  ~DrawFreeScope() noexcept(false) {
+    if (std::uncaught_exceptions() != entry_exceptions_) return;
+    const std::uint64_t now = rng_.draw_count();
+    if (now != entry_draws_)
+      throw AuditError("DrawFreeScope", context_,
+                       std::to_string(now - entry_draws_) +
+                           " draw(s) consumed in a draw-free region");
+  }
+
+ private:
+  const Rng& rng_;
+  const char* context_;
+  std::uint64_t entry_draws_;
+  int entry_exceptions_;
+};
+
+}  // namespace ppfs
+
+// Hot-path hook: run an audit expression (typically a call to some
+// subsystem's audit_invariants()) only under -DPPFS_AUDIT=ON.
+//
+//   PPFS_AUDIT_INVOKE(sys_.audit_invariants());
+//
+// The expression is NOT evaluated when compiled out.
+#if PPFS_AUDIT
+#define PPFS_AUDIT_INVOKE(...) \
+  do {                         \
+    __VA_ARGS__;               \
+  } while (0)
+#else
+#define PPFS_AUDIT_INVOKE(...) \
+  do {                         \
+  } while (0)
+#endif
+
+// Structured assert: the promotion target for bare assert() calls on
+// semantic contracts. Three-way behavior:
+//   * PPFS_AUDIT=ON  — evaluate the condition and throw AuditError on
+//                      failure, in every build type (survives NDEBUG);
+//   * PPFS_AUDIT=OFF, assertions enabled — plain assert();
+//   * PPFS_AUDIT=OFF, NDEBUG — compiled out, condition not evaluated.
+// The condition is the variadic tail so commas inside it (template
+// argument lists, init-lists) never split macro arguments.
+#if PPFS_AUDIT
+#define PPFS_AUDIT_ASSERT(subsystem, invariant, ...)            \
+  do {                                                          \
+    if (!(__VA_ARGS__))                                         \
+      throw ::ppfs::AuditError((subsystem), (invariant), {});   \
+  } while (0)
+#elif !defined(NDEBUG)
+#define PPFS_AUDIT_ASSERT(subsystem, invariant, ...) \
+  assert((subsystem) && (invariant) && (__VA_ARGS__))
+#else
+#define PPFS_AUDIT_ASSERT(subsystem, invariant, ...) \
+  do {                                               \
+  } while (0)
+#endif
+
+// PPFS_DRAW_FREE(rng, context): instantiate an anonymous DrawFreeScope
+// guarding the rest of the enclosing block under -DPPFS_AUDIT=ON;
+// nothing otherwise. Wrap the guarded call and the guard together in a
+// brace scope so both configurations parse identically:
+//
+//   { PPFS_DRAW_FREE(rng, "AutoSimEngine::maybe_switch"); maybe_switch(); }
+#define PPFS_AUDIT_CAT2(a, b) a##b
+#define PPFS_AUDIT_CAT(a, b) PPFS_AUDIT_CAT2(a, b)
+#if PPFS_AUDIT
+#define PPFS_DRAW_FREE(rng, context)                                  \
+  const ::ppfs::DrawFreeScope PPFS_AUDIT_CAT(ppfs_draw_free_guard_,   \
+                                             __LINE__)((rng), (context))
+#else
+#define PPFS_DRAW_FREE(rng, context) \
+  do {                               \
+  } while (0)
+#endif

@@ -36,6 +36,7 @@ class Rng {
   static constexpr result_type max() noexcept { return ~0ULL; }
 
   constexpr result_type operator()() noexcept {
+    ++draws_;
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -70,6 +71,19 @@ class Rng {
   // Bernoulli trial with success probability p.
   [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
 
+  // Draw ledger: raw 64-bit generator invocations made so far. Every
+  // random quantity in the library funnels through operator() (below()
+  // may consume more than one draw via Lemire rejection), so this is a
+  // complete account of entropy consumption. The count is part of no
+  // output and influences no control flow; it exists so audit scopes
+  // (util/audit.hpp PPFS_DRAW_FREE) can check the zero-draw contracts of
+  // regime arbitration, engine bridges, and observability hooks, and so
+  // tests can pin a fixed-seed run's exact draw budget. split() children
+  // start their own ledger at zero.
+  [[nodiscard]] constexpr std::uint64_t draw_count() const noexcept {
+    return draws_;
+  }
+
   // Keyed, non-mutating stream derivation: the generator for stream
   // `stream_id`, a pure function of (seed, stream_id) — independent of how
   // many values the parent has produced. splitmix64 is a bijection, so
@@ -87,6 +101,7 @@ class Rng {
   }
   std::uint64_t seed_ = 0;  // retained for keyed split()
   std::array<std::uint64_t, 4> state_{};
+  std::uint64_t draws_ = 0;  // see draw_count()
 };
 
 }  // namespace ppfs

@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Domain lint rules clang-tidy cannot express, run by the CI lint lane.
+
+Four rules, each encoding a project-wide contract the engine's correctness
+arguments lean on:
+
+  rng-source    Every random draw flows through ppfs::Rng (src/util/rng.hpp).
+                A stray std::mt19937 / rand() breaks seed-reproducibility
+                and punches a hole in the Rng draw ledger that the
+                PPFS_DRAW_FREE contracts audit.
+  weight-mul    Raw 64-bit multiplies on weight/pair-count paths overflow
+                silently near the n*(n-1) ~ 2^64 boundary. Products must go
+                through the u128 helpers, or carry an allow comment stating
+                the bound that keeps them in range.
+  metric-macro  Metric emission goes through the PPFS_METRIC macros so the
+                metrics layer compiles out entirely; a direct m_*_->
+                dereference survives -DPPFS_METRICS=OFF builds.
+  bare-assert   Semantic contracts use PPFS_AUDIT_ASSERT (util/audit.hpp),
+                which survives NDEBUG under -DPPFS_AUDIT=ON; a bare
+                assert() silently vanishes from Release verification runs.
+
+Suppression: a `ppfs-lint: allow(<rule>)` comment suppresses the rule on
+its own line; on a pure comment line it suppresses the rule on following
+lines until the first blank line (so a justification block above a
+statement covers the whole statement). Allows should state WHY the line
+is safe.
+
+Exit status: 0 clean, 1 findings, 2 usage error. `--self-test` runs each
+rule against embedded violating and allowed snippets and fails loudly if
+any rule has gone blind — the CI lane runs it before the tree scan.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_SCAN = ["src", "bench", "examples", "tests", "tools"]
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+ALLOW_RE = re.compile(r"ppfs-lint:\s*allow\(([a-z-]+)\)")
+COMMENT_LINE_RE = re.compile(r"^\s*//")
+
+# --- rule predicates --------------------------------------------------------
+
+RNG_SOURCE_RE = re.compile(
+    r"std::(mt19937|random_device|default_random_engine|minstd_rand|ranlux)"
+    r"|\bdrand48\b|\barc4random\b|(?<![\w:.>])s?rand\s*\("
+)
+
+# A binary multiply (identifier/paren/bracket on both sides). The spaces
+# are load-bearing: the tree's format always spaces binary operators, and
+# requiring them keeps pointer declarations (`Histogram* m_`) and
+# dereferences out of scope.
+MUL_RE = re.compile(r"[A-Za-z0-9_)\]] \* [A-Za-z_(]")
+# ... on a line that names a weight-path quantity: the class weights and
+# per-slot weights (w_, w, wr, weight...), per-state count factors
+# (cs/cr/pw), alias-table mass/cut, or the x*(x-1) ordered-pair-count shape.
+WEIGHTISH_RE = re.compile(
+    r"weight|\bw_\w*|\bw\b|\bwr\b|\bcs\b|\bcr\b|\bpw\b|total_|cut_|\bmass\b"
+    r"|\w+ \* \(\w+ - 1\)"
+)
+# Floating-point and u128 arithmetic are out of scope for weight-mul.
+WEIGHT_MUL_SKIP_RE = re.compile(r"128|\bdouble\b|\d\.\d")
+
+METRIC_DEREF_RE = re.compile(r"\bm_\w+_->")
+
+BARE_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+
+def in_dir(relpath: str, top: str) -> bool:
+    return relpath == top or relpath.startswith(top + "/")
+
+
+def check_rng_source(relpath: str, line: str) -> bool:
+    if relpath in ("src/util/rng.hpp", "src/util/rng.cpp"):
+        return False
+    return bool(RNG_SOURCE_RE.search(line))
+
+
+def check_weight_mul(relpath: str, line: str) -> bool:
+    if not in_dir(relpath, "src"):
+        return False
+    if WEIGHT_MUL_SKIP_RE.search(line):
+        return False
+    return bool(MUL_RE.search(line)) and bool(WEIGHTISH_RE.search(line))
+
+
+def check_metric_macro(relpath: str, line: str) -> bool:
+    if not in_dir(relpath, "src") or in_dir(relpath, "src/obs"):
+        return False
+    return bool(METRIC_DEREF_RE.search(line)) and "PPFS_METRIC" not in line
+
+
+def check_bare_assert(relpath: str, line: str) -> bool:
+    # audit.hpp defines the assert() fallback of PPFS_AUDIT_ASSERT itself.
+    if not in_dir(relpath, "src") or relpath == "src/util/audit.hpp":
+        return False
+    if "static_assert" in line:
+        line = line.replace("static_assert", "")
+    return bool(BARE_ASSERT_RE.search(line))
+
+
+RULES = {
+    "rng-source": (
+        check_rng_source,
+        "randomness outside ppfs::Rng (util/rng.hpp) breaks seeded "
+        "reproducibility and the draw ledger",
+    ),
+    "weight-mul": (
+        check_weight_mul,
+        "raw 64-bit multiply on a weight path: use the u128 helpers or "
+        "add an allow comment stating the overflow bound",
+    ),
+    "metric-macro": (
+        check_metric_macro,
+        "direct metric-handle dereference: emit via PPFS_METRIC so the "
+        "metrics layer compiles out",
+    ),
+    "bare-assert": (
+        check_bare_assert,
+        "bare assert() vanishes under NDEBUG: promote semantic contracts "
+        "to PPFS_AUDIT_ASSERT (util/audit.hpp)",
+    ),
+}
+
+# --- scanning ---------------------------------------------------------------
+
+
+def scan_lines(relpath: str, lines):
+    """Yield (lineno, rule, message) findings for one file's lines."""
+    block_allows: set = set()  # from a comment block, until a blank line
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            block_allows.clear()
+            continue
+        line_allows = set(ALLOW_RE.findall(line))
+        if COMMENT_LINE_RE.match(line):
+            block_allows |= line_allows
+            continue
+        allows = block_allows | line_allows
+        for rule, (predicate, message) in RULES.items():
+            if rule in allows:
+                continue
+            if predicate(relpath, line):
+                yield lineno, rule, message
+
+
+def scan_file(path: Path):
+    relpath = path.resolve().relative_to(REPO_ROOT).as_posix()
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        yield 0, "io", f"unreadable: {e}"
+        return
+    yield from scan_lines(relpath, lines)
+
+
+def collect_targets(args_paths):
+    roots = [Path(p) for p in args_paths] if args_paths else [
+        REPO_ROOT / d for d in DEFAULT_SCAN
+    ]
+    for root in roots:
+        if root.is_file():
+            yield root
+        elif root.is_dir():
+            yield from sorted(
+                p for p in root.rglob("*") if p.suffix in SOURCE_SUFFIXES
+            )
+
+
+# --- self-test --------------------------------------------------------------
+
+# Each rule: a snippet that MUST fire and one that MUST stay silent (the
+# allow mechanism or an exempted location). Keeps the lane honest: a regex
+# edit that blinds a rule fails here before it silently passes the tree.
+SELF_TEST = {
+    "rng-source": (
+        ("src/engine/foo.cpp", ["static std::mt19937 gen(42);"]),
+        ("src/util/rng.cpp", ["// std::mt19937 reference in docs"]),
+    ),
+    "weight-mul": (
+        ("src/engine/foo.cpp", ["const std::uint64_t x = w_real_ * cr;"]),
+        (
+            "src/engine/foo.cpp",
+            [
+                "// ppfs-lint: allow(weight-mul): counts bounded by n <= 2^31",
+                "const std::uint64_t x = w_real_ * cr;",
+            ],
+        ),
+    ),
+    "metric-macro": (
+        ("src/engine/foo.cpp", ["m_fires_->add();"]),
+        ("src/engine/foo.cpp", ["PPFS_METRIC(m_fires_, add());"]),
+    ),
+    "bare-assert": (
+        ("src/engine/foo.cpp", ["assert(total == expected);"]),
+        ("src/engine/foo.cpp", ["static_assert(sizeof(x) == 8);"]),
+    ),
+}
+
+
+def self_test() -> int:
+    failures = []
+    for rule, (firing, silent) in SELF_TEST.items():
+        relpath, lines = firing
+        hits = [r for (_, r, _) in scan_lines(relpath, lines)]
+        if rule not in hits:
+            failures.append(f"{rule}: did not fire on its violating snippet")
+        relpath, lines = silent
+        hits = [r for (_, r, _) in scan_lines(relpath, lines)]
+        if rule in hits:
+            failures.append(f"{rule}: fired on its allowed snippet")
+    # Blank lines end an allow block.
+    hits = [
+        r
+        for (_, r, _) in scan_lines(
+            "src/engine/foo.cpp",
+            [
+                "// ppfs-lint: allow(metric-macro): scoped to next stmt",
+                "m_fires_->add();",
+                "",
+                "m_noops_->add();",
+            ],
+        )
+    ]
+    if hits != ["metric-macro"]:
+        failures.append(f"allow-block scoping broken: {hits}")
+    for f in failures:
+        print(f"self-test FAILED: {f}", file=sys.stderr)
+    if not failures:
+        print(f"self-test OK: {len(SELF_TEST)} rules armed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files/dirs (default: tree)")
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify every rule fires on a seeded violation, then exit",
+    )
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    findings = 0
+    files = 0
+    for path in collect_targets(args.paths):
+        files += 1
+        rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+        for lineno, rule, message in scan_file(path):
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+            findings += 1
+    print(
+        f"ppfs-lint: {files} files, {findings} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
