@@ -1,0 +1,141 @@
+// SWEEP SERVICE — wall-clock scaling of sharded sweep execution across
+// PROCESSES (fork + partial files + merge), the deployment shape the
+// shard/merge contract exists for: k independent single-threaded workers,
+// each writing a mergeable binary partial, folded back into one report.
+//
+// The grid is an embarrassingly parallel batch-engine sweep (count-space
+// replicas at n = 10^6; every replica is a fat independent chunk). The
+// bench times (a) the 1-process single-threaded drain and (b) four forked
+// shard processes — shard i/4 each, --threads=1 — including the partial
+// writes and the final merge_partials fold. Both paths must produce
+// byte-identical report fingerprints (the tentpole contract; the bench
+// FAILS on divergence, it does not just report it). The
+// speedup:sweep-shard-1to4 ratio lands in BENCH_sweep_shard.json (--json /
+// PPFS_BENCH_JSON); on a 4-vCPU runner it is expected >= 2x — CI enforces
+// that floor — and near-4x on idle hardware.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "exp/sweep_service.hpp"
+#include "util/binio.hpp"
+
+namespace ppfs {
+namespace {
+
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kN = 1'000'000;
+
+exp::SweepProvenance shard_prov(std::size_t index, std::size_t count) {
+  exp::SweepProvenance prov;
+  // 8 replicas of count-space exact majority at n = 10^6: 2 fat jobs per
+  // shard at k = 4, enough to amortize fork/exec against real work.
+  prov.grid = "exact-majority@n=1000000:engine=batch:trials=8";
+  prov.trials = 8;
+  prov.seed = bench::bench_seed(20260808);
+  prov.shard_index = index;
+  prov.shard_count = count;
+  return prov;
+}
+
+std::string partial_path(std::size_t index) {
+  return "bench_sweep_shard_partial_" + std::to_string(index) + ".bin";
+}
+
+// One shard's work, exactly as a `ppfs_cli --sweep --shard=i/k
+// --threads=1` process would run it: drain the slice, write the partial
+// atomically, exit.
+void run_shard_process(std::size_t index) {
+  exp::SweepServiceOptions opt;
+  opt.threads = 1;
+  const exp::SweepRun run = exp::run_sweep_shard(shard_prov(index, kShards), opt);
+  const std::string image = exp::encode_partial(
+      shard_prov(index, kShards), run.points, run.results, run.owned);
+  bin::atomic_write_file(partial_path(index), image);
+}
+
+}  // namespace
+}  // namespace ppfs
+
+int main(int argc, char** argv) {
+  using namespace ppfs;
+  using clock = std::chrono::steady_clock;
+  bench::JsonReport json("sweep_shard", argc, argv);
+  bench::banner("Sharded sweep service: 1 process vs 4 forked shards");
+
+  std::cout << "grid: " << shard_prov(0, 1).grid
+            << "; hardware threads: " << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  // Baseline: the whole job list in one single-threaded process.
+  const auto t1_start = clock::now();
+  exp::SweepRun whole = [] {
+    exp::SweepServiceOptions opt;
+    opt.threads = 1;
+    return exp::run_sweep_shard(shard_prov(0, 1), opt);
+  }();
+  const exp::Report reference =
+      exp::fold_report(whole.points, std::move(whole.results));
+  const double t1 =
+      std::chrono::duration<double>(clock::now() - t1_start).count();
+  std::cout << "1 process  x 1 thread : " << t1 << " s\n";
+
+  // Sharded: fork 4 workers, each drains shard i/4 and writes a partial;
+  // the parent waits, reads the partials and folds them. The timed span is
+  // the user-visible end-to-end path: fork -> drain -> partial I/O ->
+  // merge.
+  const auto t4_start = clock::now();
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      run_shard_process(i);
+      _exit(0);
+    }
+    if (pid < 0) {
+      std::cerr << "fork failed\n";
+      return 1;
+    }
+    children.push_back(pid);
+  }
+  bool child_failed = false;
+  for (const pid_t pid : children) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) child_failed = true;
+  }
+  if (child_failed) {
+    std::cerr << "a shard process failed\n";
+    return 1;
+  }
+  std::vector<std::string> images;
+  for (std::size_t i = 0; i < kShards; ++i)
+    images.push_back(bin::read_file(partial_path(i)));
+  const exp::Report merged = exp::merge_partials(images);
+  const double t4 =
+      std::chrono::duration<double>(clock::now() - t4_start).count();
+  for (std::size_t i = 0; i < kShards; ++i)
+    std::remove(partial_path(i).c_str());
+  std::cout << kShards << " processes x 1 thread : " << t4
+            << " s  (fork + drain + partial I/O + merge)\n";
+
+  // The contract first, the number second.
+  if (merged.fingerprint() != reference.fingerprint()) {
+    std::cerr << "FAIL: merged shard report is not byte-identical to the "
+                 "1-process run\n";
+    return 1;
+  }
+  std::cout << "merge byte-identity: ok\n";
+
+  const double speedup = t4 > 0.0 ? t1 / t4 : 0.0;
+  std::cout << "speedup 1 -> " << kShards << " shards: " << speedup << "x\n";
+
+  json.add_metric("sweep-shard:1proc", kN, "TW", "seconds", t1);
+  json.add_metric("sweep-shard:4shards", kN, "TW", "seconds", t4);
+  json.add_ratio("speedup:sweep-shard-1to4", kN, "TW", speedup);
+  return 0;
+}

@@ -7,6 +7,10 @@
 //                   [--simulate=SIM] [workload] [n] [seed]
 //          ppfs_cli --sweep=GRID [--trials=N] [--threads=K] [--seed=S]
 //                   [--out=table|json|csv] [--out-file=PATH]
+//                   [--shard=i/k] [--checkpoint=FILE] [--checkpoint-every=N]
+//                   [--resume=FILE] [--traj-out=FILE] [--traj-every=N]
+//          ppfs_cli --merge PARTIAL... [--out=FMT] [--out-file=PATH]
+//                   [--metrics-out=FILE] [--traj-out=FILE]
 //
 //     workload   or | and | approx-majority | exact-majority | leader |
 //                threshold-true | threshold-false | mod | pairing
@@ -68,7 +72,24 @@
 //   the snapshot cadence in interactions (default 2^20; enabling metrics
 //   never changes results — instrumentation consumes no Rng draws).
 //   --progress swaps the \r counter for one serialized JSON heartbeat
-//   line per replica on stderr (machine-tailable). Grammar:
+//   line per replica on stderr (machine-tailable).
+//
+//   Sweep service (src/exp/sweep_service.hpp): --shard=i/k runs only the
+//   round-robin slice i of the flattened (point, trial) job list and
+//   writes a binary PARTIAL (provenance + per-point aggregates + raw
+//   replica results) to --out-file; `--merge a b c ...` folds k partials
+//   back into the full report — byte-identical to the 1-process run at
+//   any thread count. --checkpoint=FILE atomically rewrites a resume
+//   checkpoint after every completed replica; --checkpoint-every=N
+//   additionally embeds mid-replica engine snapshots captured at probe
+//   slice boundaries every N interactions (--threads=1 drains only);
+//   --resume=FILE continues a killed sweep from its checkpoint to the
+//   byte-identical final output. --traj-out=FILE persists per-replica
+//   count trajectories (--traj-every cadence, default 2^20) as a
+//   delta-encoded store; ppfs_trajcat merges shard stores and decodes
+//   them to JSONL. All file outputs (--out-file, --metrics-out,
+//   --traj-out, checkpoints, partials) are written atomically: temp file
+//   + rename, so a SIGKILL never leaves a torn file. Grammar:
 //
 //     workload[,workload...]@key=value[:key=value...]
 //     axis keys   n (1e6 ok), model, engine, adv, sim   (comma = list)
@@ -89,10 +110,9 @@
 //     ppfs_cli --engine=batch --simulate=sid --adversary=uo:0.2 or 256
 #include <optional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
-
-#include <fstream>
 
 #include "engine/batch/dispatch.hpp"
 #include "engine/runner.hpp"
@@ -100,6 +120,9 @@
 #include "exp/replica_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sweep_service.hpp"
+#include "util/binio.hpp"
+#include "util/trajectory.hpp"
 #include "protocols/registry.hpp"
 #include "sched/adversary.hpp"
 #include "sim/naming.hpp"
@@ -122,6 +145,11 @@ int usage(const char* msg) {
                "[--seed=S] [--out=table|json|csv] [--out-file=PATH]\n"
                "                [--metrics-out=FILE] [--metrics-every=N] "
                "[--progress]\n"
+               "                [--shard=i/k] [--checkpoint=FILE] "
+               "[--checkpoint-every=N] [--resume=FILE]\n"
+               "                [--traj-out=FILE] [--traj-every=N]\n"
+               "       ppfs_cli --merge PARTIAL... [--out=FMT] "
+               "[--out-file=PATH] [--metrics-out=FILE] [--traj-out=FILE]\n"
                "       SPEC = none|uo|no:Q|no1|budget:B[:rate], kind may "
                "carry @starter|@reactor|@both\n"
                "       SIM  = naive|skno:o=K|sid|naming (count-space "
@@ -149,56 +177,138 @@ std::string json_escape_min(const std::string& s) {
   return out;
 }
 
-// Declarative grid sweep through the experiment layer: expand the grid,
-// run trials on the worker pool, emit one report. Exit 0 when no replica
-// failed (failure = a replica threw, not non-convergence).
-int run_sweep(const std::string& grid_text, std::optional<std::size_t> trials,
-              std::optional<std::size_t> threads,
-              std::optional<std::uint64_t> seed, const std::string& out_format,
-              const std::string& out_file,
-              std::optional<std::size_t> metrics_every,
-              const std::string& metrics_out, bool progress) {
-  if (out_format != "table" && out_format != "json" && out_format != "csv")
-    return usage(("unknown --out format '" + out_format +
+// Atomic file emission (temp + rename, util/binio.hpp): readers — and a
+// resumed sweep after SIGKILL — see either the old complete file or the
+// new complete file, never a torn mix.
+bool emit_file(const std::string& path, std::string_view data) {
+  if (!bin::atomic_write_file(path, data)) {
+    std::cerr << "ppfs_cli: cannot write '" << path << "'\n";
+    return false;
+  }
+  std::cerr << "wrote " << path << "\n";
+  return true;
+}
+
+// Flight timelines, multiplexed: one header line per replica (schema,
+// point identity, trial, cadence), then that replica's snapshot lines.
+// Rows are in grid order and replicas in trial order, so the file is
+// bit-identical for any --threads value (and across shard/merge).
+std::string multiplex_flight(const exp::Report& report, std::size_t every) {
+  std::ostringstream os;
+  for (const exp::ReportRow& row : report.rows()) {
+    for (std::size_t t = 0; t < row.replicas.size(); ++t) {
+      os << "{\"schema\":\"ppfs.flight.v1\",\"point\":\""
+         << json_escape_min(row.spec.point_key()) << "\",\"trial\":" << t
+         << ",\"every\":" << every << "}\n"
+         << row.replicas[t].flight;
+    }
+  }
+  return std::move(os).str();
+}
+
+// The full-sweep trajectory records of a merged/1-process report, global
+// (point, trial) order.
+std::vector<TrajectoryRecord> report_trajectories(const exp::Report& report,
+                                                  std::size_t every) {
+  std::vector<TrajectoryRecord> records;
+  for (std::size_t p = 0; p < report.rows().size(); ++p) {
+    const exp::ReportRow& row = report.rows()[p];
+    for (std::size_t t = 0; t < row.replicas.size(); ++t) {
+      if (row.replicas[t].traj.empty()) continue;
+      records.push_back(
+          {p, row.spec.point_key(), t, every, row.replicas[t].traj});
+    }
+  }
+  return records;
+}
+
+struct SweepCliOptions {
+  std::string grid_text;
+  std::optional<std::size_t> trials;
+  std::optional<std::size_t> threads;
+  std::optional<std::uint64_t> seed;
+  std::string out_format = "table";
+  std::string out_file;
+  std::optional<std::size_t> metrics_every;
+  std::string metrics_out;
+  bool progress = false;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::string checkpoint_file;
+  std::size_t checkpoint_every = 0;  // in-flight snapshot cadence
+  std::string resume_file;
+  std::string traj_out;
+  std::optional<std::size_t> traj_every;
+};
+
+// Declarative grid sweep through the sweep service: expand the grid, run
+// this process's shard of the flattened job list (all of it by default),
+// emit one report — or, for --shard=i/k, one mergeable binary partial.
+// Exit 0 when no replica failed (failure = a replica threw, not
+// non-convergence).
+int run_sweep(const SweepCliOptions& cli) {
+  if (cli.out_format != "table" && cli.out_format != "json" &&
+      cli.out_format != "csv")
+    return usage(("unknown --out format '" + cli.out_format +
                   "' (want table, json or csv)")
                      .c_str());
-  exp::ScenarioGrid grid = exp::parse_grid(grid_text);
-  if (trials) grid.trials = *trials;
-  if (seed) grid.seed = *seed;
+  exp::ScenarioGrid grid = exp::parse_grid(cli.grid_text);
+  if (cli.trials) grid.trials = *cli.trials;
+  if (cli.seed) grid.seed = *cli.seed;
   if (grid.trials == 0) return usage("--trials must be >= 1");
-  // --metrics-out implies telemetry; default to the recorder's standard
-  // 2^20-interaction cadence unless --metrics-every overrides it.
-  if (!metrics_out.empty() && !metrics_every)
+  // --metrics-out / --traj-out imply their capture; default both to the
+  // recorder's standard 2^20-interaction cadence unless overridden.
+  std::optional<std::size_t> metrics_every = cli.metrics_every;
+  if (!cli.metrics_out.empty() && !metrics_every)
     metrics_every = std::size_t{1} << 20;
   if (metrics_every) {
     if (*metrics_every == 0) return usage("--metrics-every must be >= 1");
     grid.metrics_every = *metrics_every;
   }
-
-  // Fail on an unwritable --out-file / --metrics-out before the sweep
-  // runs, not after hours of replicas have nowhere to go.
-  std::ofstream file_out;
-  if (!out_file.empty()) {
-    file_out.open(out_file);
-    if (!file_out) return usage(("cannot write '" + out_file + "'").c_str());
-  }
-  std::ofstream metrics_file;
-  if (!metrics_out.empty()) {
-    metrics_file.open(metrics_out);
-    if (!metrics_file)
-      return usage(("cannot write '" + metrics_out + "'").c_str());
+  std::optional<std::size_t> traj_every = cli.traj_every;
+  if (!cli.traj_out.empty() && !traj_every) traj_every = std::size_t{1} << 20;
+  if (traj_every) {
+    if (*traj_every == 0) return usage("--traj-every must be >= 1");
+    grid.traj_every = *traj_every;
   }
 
-  const std::vector<exp::ScenarioSpec> points = grid.expand();
-  const std::size_t total = points.size() * grid.trials;
-  std::size_t done = 0;
-  exp::RunnerOptions ropt;
-  if (threads) ropt.threads = *threads;
-  // on_replica is serialized by the runner, so both progress styles write
+  const bool sharded = cli.shard_count > 1;
+  if (sharded && cli.out_file.empty())
+    return usage("--shard=i/k writes a binary partial; name it with "
+                 "--out-file=PATH");
+  if (sharded && !cli.metrics_out.empty())
+    return usage("--metrics-out is a whole-sweep output; partials carry the "
+                 "timelines — write it from `ppfs_cli --merge`");
+
+  exp::SweepProvenance prov;
+  prov.grid = cli.grid_text;
+  prov.trials = grid.trials;
+  prov.seed = grid.seed;
+  prov.metrics_every = grid.metrics_every;
+  prov.traj_every = grid.traj_every;
+  prov.shard_index = cli.shard_index;
+  prov.shard_count = cli.shard_count;
+
+  exp::SweepServiceOptions sopt;
+  if (cli.threads) sopt.threads = *cli.threads;
+  sopt.checkpoint_file = cli.checkpoint_file;
+  sopt.snapshot_every = cli.checkpoint_every;
+  exp::SweepCheckpoint resume_ck;
+  if (!cli.resume_file.empty()) {
+    resume_ck = exp::decode_checkpoint(bin::read_file(cli.resume_file));
+    sopt.resume = &resume_ck;
+    // Keep checkpointing into the file we resumed from unless redirected.
+    if (sopt.checkpoint_file.empty()) sopt.checkpoint_file = cli.resume_file;
+  }
+  if (sopt.snapshot_every > 0 && sopt.checkpoint_file.empty())
+    return usage("--checkpoint-every needs --checkpoint=FILE (or --resume)");
+
+  // on_replica is serialized by the service, so both progress styles write
   // whole lines/updates atomically even with many worker threads.
-  ropt.on_replica = [&](const exp::ScenarioSpec& spec, std::size_t trial,
-                        const exp::ReplicaResult& r) {
-    ++done;
+  const bool progress = cli.progress;
+  sopt.on_replica = [progress](std::size_t done, std::size_t total,
+                               const exp::ScenarioSpec& spec,
+                               std::size_t trial, const exp::ReplicaResult& r) {
     if (progress) {
       std::cerr << "{\"done\":" << done << ",\"total\":" << total
                 << ",\"point\":\"" << json_escape_min(spec.point_key())
@@ -215,32 +325,82 @@ int run_sweep(const std::string& grid_text, std::optional<std::size_t> trials,
     if (r.failed()) std::cerr << "\n";
   };
 
-  exp::ReplicaRunner runner(ropt);
-  const exp::Report report = runner.run_points(points);
+  exp::SweepRun run = exp::run_sweep_shard(prov, sopt);
   if (!progress) std::cerr << "\r" << std::string(40, ' ') << "\r";
-  std::cerr << points.size() << " grid points x " << grid.trials
-            << " trials on " << runner.threads() << " threads\n";
+  std::cerr << run.points.size() << " grid points x " << grid.trials
+            << " trials";
+  if (sharded)
+    std::cerr << ", shard " << cli.shard_index << "/" << cli.shard_count
+              << " (" << run.owned.size() << " replicas)";
+  std::cerr << "\n";
 
-  if (!metrics_out.empty()) {
-    // Flight timelines, multiplexed: one header line per replica (schema,
-    // point identity, trial, cadence), then that replica's snapshot lines.
-    // Rows are in grid order and replicas in trial order, so the file is
-    // bit-identical for any --threads value.
-    for (const exp::ReportRow& row : report.rows()) {
-      for (std::size_t t = 0; t < row.replicas.size(); ++t) {
-        metrics_file << "{\"schema\":\"ppfs.flight.v1\",\"point\":\""
-                     << json_escape_min(row.spec.point_key())
-                     << "\",\"trial\":" << t
-                     << ",\"every\":" << grid.metrics_every << "}\n"
-                     << row.replicas[t].flight;
-      }
+  if (sharded) {
+    bool failed = false;
+    for (const exp::ReplicaJob& job : run.owned)
+      failed = failed || run.results[job.point][job.trial].failed();
+    if (!cli.traj_out.empty()) {
+      const auto records = exp::trajectory_records(run, grid.traj_every);
+      if (!emit_file(cli.traj_out, encode_trajectory_store(records))) return 2;
     }
-    std::cerr << "wrote " << metrics_out << "\n";
+    const std::string image =
+        exp::encode_partial(prov, run.points, run.results, run.owned);
+    if (!emit_file(cli.out_file, image)) return 2;
+    return failed ? 1 : 0;
   }
 
+  const exp::Report report =
+      exp::fold_report(run.points, std::move(run.results));
+  if (!cli.metrics_out.empty() &&
+      !emit_file(cli.metrics_out,
+                 multiplex_flight(report, grid.metrics_every)))
+    return 2;
+  if (!cli.traj_out.empty() &&
+      !emit_file(cli.traj_out,
+                 encode_trajectory_store(
+                     report_trajectories(report, grid.traj_every))))
+    return 2;
+  if (!cli.out_file.empty()) {
+    std::ostringstream os;
+    report.write(os, cli.out_format == "table" ? "json" : cli.out_format);
+    if (!emit_file(cli.out_file, os.str())) return 2;
+    report.print_table(std::cout);
+  } else {
+    report.write(std::cout, cli.out_format);
+  }
+  return report.any_failed() ? 1 : 0;
+}
+
+// Fold shard partials back into the full-sweep report (and optionally its
+// flight-timeline / trajectory-store side files). Byte-identical to the
+// 1-process run of the same grid.
+int run_merge(const std::vector<std::string>& files,
+              const std::string& out_format, const std::string& out_file,
+              const std::string& metrics_out, const std::string& traj_out) {
+  if (out_format != "table" && out_format != "json" && out_format != "csv")
+    return usage(("unknown --out format '" + out_format +
+                  "' (want table, json or csv)")
+                     .c_str());
+  if (files.empty()) return usage("--merge needs at least one partial file");
+  std::vector<std::string> images;
+  images.reserve(files.size());
+  for (const std::string& f : files) images.push_back(bin::read_file(f));
+  const exp::SweepProvenance prov = exp::partial_provenance(images.front());
+  const exp::Report report = exp::merge_partials(images);
+  std::cerr << "merged " << images.size() << " partial(s): "
+            << report.rows().size() << " grid points x " << prov.trials
+            << " trials\n";
+
+  if (!metrics_out.empty() &&
+      !emit_file(metrics_out, multiplex_flight(report, prov.metrics_every)))
+    return 2;
+  if (!traj_out.empty() &&
+      !emit_file(traj_out, encode_trajectory_store(report_trajectories(
+                               report, prov.traj_every))))
+    return 2;
   if (!out_file.empty()) {
-    report.write(file_out, out_format == "table" ? "json" : out_format);
-    std::cerr << "wrote " << out_file << "\n";
+    std::ostringstream os;
+    report.write(os, out_format == "table" ? "json" : out_format);
+    if (!emit_file(out_file, os.str())) return 2;
     report.print_table(std::cout);
   } else {
     report.write(std::cout, out_format);
@@ -463,46 +623,83 @@ int main(int argc, char** argv) {
   try {
     // --sweep=GRID switches to the declarative grid form (src/exp/).
     std::vector<std::string> args(argv + 1, argv + argc);
+    // stoul would silently wrap "--trials=-1" to a huge count and stop
+    // at trailing garbage ("--trials=8x" -> 8); demand digits only.
+    const auto parse_count = [](const std::string& flag,
+                                const std::string& v) -> std::uint64_t {
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+        throw std::invalid_argument("bad value '" + v + "' for " + flag);
+      return std::stoull(v);
+    };
     if (!args.empty() && args[0].rfind("--sweep=", 0) == 0) {
-      const std::string grid_text = args[0].substr(8);
-      std::optional<std::size_t> trials;
-      std::optional<std::size_t> threads;
-      std::optional<std::uint64_t> sweep_seed;
-      std::string out_format = "table";
-      std::string out_file;
-      std::optional<std::size_t> metrics_every;
-      std::string metrics_out;
-      bool progress = false;
-      // stoul would silently wrap "--trials=-1" to a huge count and stop
-      // at trailing garbage ("--trials=8x" -> 8); demand digits only.
-      const auto parse_count = [](const std::string& flag,
-                                  const std::string& v) -> std::uint64_t {
-        if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
-          throw std::invalid_argument("bad value '" + v + "' for " + flag);
-        return std::stoull(v);
-      };
+      SweepCliOptions cli;
+      cli.grid_text = args[0].substr(8);
       for (std::size_t pos = 1; pos < args.size(); ++pos) {
         if (args[pos].rfind("--trials=", 0) == 0)
-          trials = parse_count("--trials", args[pos].substr(9));
+          cli.trials = parse_count("--trials", args[pos].substr(9));
         else if (args[pos].rfind("--threads=", 0) == 0)
-          threads = parse_count("--threads", args[pos].substr(10));
+          cli.threads = parse_count("--threads", args[pos].substr(10));
         else if (args[pos].rfind("--seed=", 0) == 0)
-          sweep_seed = parse_count("--seed", args[pos].substr(7));
+          cli.seed = parse_count("--seed", args[pos].substr(7));
         else if (args[pos].rfind("--out=", 0) == 0)
-          out_format = args[pos].substr(6);
+          cli.out_format = args[pos].substr(6);
         else if (args[pos].rfind("--out-file=", 0) == 0)
-          out_file = args[pos].substr(11);
+          cli.out_file = args[pos].substr(11);
         else if (args[pos].rfind("--metrics-every=", 0) == 0)
-          metrics_every = parse_count("--metrics-every", args[pos].substr(16));
+          cli.metrics_every =
+              parse_count("--metrics-every", args[pos].substr(16));
         else if (args[pos].rfind("--metrics-out=", 0) == 0)
-          metrics_out = args[pos].substr(14);
+          cli.metrics_out = args[pos].substr(14);
+        else if (args[pos].rfind("--shard=", 0) == 0) {
+          const std::string spec = args[pos].substr(8);
+          const std::size_t slash = spec.find('/');
+          if (slash == std::string::npos)
+            return usage("--shard wants i/k, e.g. --shard=0/4");
+          cli.shard_index = parse_count("--shard", spec.substr(0, slash));
+          cli.shard_count = parse_count("--shard", spec.substr(slash + 1));
+          if (cli.shard_count == 0 || cli.shard_index >= cli.shard_count)
+            return usage("--shard=i/k needs 0 <= i < k");
+        } else if (args[pos].rfind("--checkpoint=", 0) == 0)
+          cli.checkpoint_file = args[pos].substr(13);
+        else if (args[pos].rfind("--checkpoint-every=", 0) == 0)
+          cli.checkpoint_every =
+              parse_count("--checkpoint-every", args[pos].substr(19));
+        else if (args[pos].rfind("--resume=", 0) == 0)
+          cli.resume_file = args[pos].substr(9);
+        else if (args[pos].rfind("--traj-out=", 0) == 0)
+          cli.traj_out = args[pos].substr(11);
+        else if (args[pos].rfind("--traj-every=", 0) == 0)
+          cli.traj_every = parse_count("--traj-every", args[pos].substr(13));
         else if (args[pos] == "--progress")
-          progress = true;
+          cli.progress = true;
         else
           return usage(("unknown sweep flag '" + args[pos] + "'").c_str());
       }
-      return run_sweep(grid_text, trials, threads, sweep_seed, out_format,
-                       out_file, metrics_every, metrics_out, progress);
+      return run_sweep(cli);
+    }
+
+    // --merge folds shard partials back into the full-sweep report.
+    if (!args.empty() && args[0] == "--merge") {
+      std::vector<std::string> files;
+      std::string out_format = "table";
+      std::string out_file;
+      std::string metrics_out;
+      std::string traj_out;
+      for (std::size_t pos = 1; pos < args.size(); ++pos) {
+        if (args[pos].rfind("--out=", 0) == 0)
+          out_format = args[pos].substr(6);
+        else if (args[pos].rfind("--out-file=", 0) == 0)
+          out_file = args[pos].substr(11);
+        else if (args[pos].rfind("--metrics-out=", 0) == 0)
+          metrics_out = args[pos].substr(14);
+        else if (args[pos].rfind("--traj-out=", 0) == 0)
+          traj_out = args[pos].substr(11);
+        else if (args[pos].rfind("--", 0) == 0)
+          return usage(("unknown merge flag '" + args[pos] + "'").c_str());
+        else
+          files.push_back(args[pos]);
+      }
+      return run_merge(files, out_format, out_file, metrics_out, traj_out);
     }
 
     // --engine=native|batch|auto switches to the engine-facade run form.

@@ -1,0 +1,110 @@
+// ppfs_trajcat — merge and decode sweep trajectory stores.
+//
+//   usage: ppfs_trajcat STORE... [--merge-out=FILE] [--no-decode]
+//
+// Sharded sweeps (`ppfs_cli --sweep ... --shard=i/k --traj-out=shard_i.trj`)
+// leave one delta-encoded trajectory store per shard, each internally
+// ordered by (point, trial) but covering only that shard's round-robin
+// slice. This tool k-way-merges the stores back into global (point, trial)
+// order — a linear scan, since every input is already sorted — and decodes
+// the frames to JSONL on stdout for post-hoc queries (jq, python, etc.):
+//
+//   {"point":0,"point_key":"or@n=256:...","trial":3,"every":1048576,
+//    "step":0,"counts":[255,1]}
+//
+// one line per captured frame, absolute step and fully reconstituted count
+// vector (the delta decoding happens here, not in the consumer). With
+// --merge-out the merged store itself is also written — atomically, temp
+// file + rename — so shard stores can be consolidated without decoding.
+// --no-decode skips the JSONL dump (merge only).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/binio.hpp"
+#include "util/trajectory.hpp"
+
+using namespace ppfs;
+
+namespace {
+
+int usage(const char* msg) {
+  std::cerr << "ppfs_trajcat: " << msg
+            << "\nusage: ppfs_trajcat STORE... [--merge-out=FILE] "
+               "[--no-decode]\n"
+               "       merges per-shard trajectory stores into global "
+               "(point, trial) order\n"
+               "       and decodes them to JSONL on stdout\n";
+  return 2;
+}
+
+// Frontmatter keys are point_key strings (spec grammar: no quotes or
+// control characters in practice, but escape defensively).
+std::string json_escape_min(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string merge_out;
+  bool decode = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--merge-out=", 0) == 0)
+      merge_out = arg.substr(12);
+    else if (arg == "--no-decode")
+      decode = false;
+    else if (arg.rfind("--", 0) == 0)
+      return usage(("unknown flag '" + arg + "'").c_str());
+    else
+      files.push_back(arg);
+  }
+  if (files.empty()) return usage("no store files given");
+
+  try {
+    std::vector<std::vector<TrajectoryRecord>> stores;
+    stores.reserve(files.size());
+    for (const std::string& f : files)
+      stores.push_back(decode_trajectory_store(bin::read_file(f)));
+    const std::vector<TrajectoryRecord> merged =
+        merge_trajectory_stores(std::move(stores));
+
+    if (!merge_out.empty()) {
+      if (!bin::atomic_write_file(merge_out, encode_trajectory_store(merged)))
+        return usage(("cannot write '" + merge_out + "'").c_str());
+      std::cerr << "wrote " << merge_out << " (" << merged.size()
+                << " trajectories)\n";
+    }
+
+    if (decode) {
+      std::string prefix;
+      for (const TrajectoryRecord& rec : merged) {
+        prefix = "{\"point\":" + std::to_string(rec.point) +
+                 ",\"point_key\":\"" + json_escape_min(rec.point_key) +
+                 "\",\"trial\":" + std::to_string(rec.trial) +
+                 ",\"every\":" + std::to_string(rec.every) + ",\"step\":";
+        TrajectoryDecoder dec(rec.blob);
+        TrajectoryFrame frame;
+        while (dec.next(frame)) {
+          std::cout << prefix << frame.step << ",\"counts\":[";
+          for (std::size_t q = 0; q < frame.counts.size(); ++q) {
+            if (q) std::cout << ',';
+            std::cout << frame.counts[q];
+          }
+          std::cout << "]}\n";
+        }
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+}

@@ -154,6 +154,53 @@ void StateUniverse::release(State s) {
   PPFS_METRIC(m_released_, add());
 }
 
+void StateUniverse::save_state(bin::Writer& w) const {
+  w.var(slots_.size());
+  for (const auto& slot : slots_) {
+    w.u8(slot ? 1 : 0);
+    if (slot) w.str(*slot);
+  }
+  // The free-list ORDER is load-bearing: intern() recycles free_.back()
+  // first, so future encodings must receive the same recycled ids.
+  w.var(free_.size());
+  for (const State s : free_) w.var(s);
+}
+
+void StateUniverse::restore_state(bin::Reader& r) {
+  const std::size_t cap = r.var();
+  slots_.clear();
+  slots_.resize(cap);
+  hash_.assign(cap, 0);
+  slot_of_.assign(cap, kNoSlot);
+  for (std::size_t id = 0; id < cap; ++id) {
+    if (r.u8()) {
+      slots_[id] = std::make_unique<std::string>(r.str());
+      hash_[id] = hash_bytes(*slots_[id]);
+    }
+  }
+  const std::size_t nfree = r.var();
+  free_.resize(nfree);
+  for (auto& f : free_) f = static_cast<State>(r.var());
+  scratch_.clear();
+  if (cap == 0) {
+    // Match a freshly-constructed universe: the table lazy-inits on the
+    // first intern.
+    ctrl_.clear();
+    ids_.clear();
+    group_mask_ = 0;
+    full_ = 0;
+    tombstones_ = 0;
+    return;
+  }
+  // Rebuild the probe table at a size under the grow threshold for the
+  // live count; layout and growth timing are invisible to callers.
+  constexpr std::size_t kW = simd::ProbeGroup::kWidth;
+  std::size_t groups = 64 / kW;
+  const std::size_t live_n = cap - nfree;
+  while (live_n * 8 > groups * kW * 5) groups *= 2;
+  rehash(groups);
+}
+
 void StateUniverse::audit_invariants(const char* who) const {
   // Tallies first: the control bytes are the ground truth the SIMD probes
   // run over, so full_/tombstones_ drifting from them corrupts both the
@@ -242,6 +289,14 @@ void OutcomeCache::set_capacity(std::size_t capacity) {
   keys_.assign(sets * kWays, 0);
   payload_.assign(sets * kWays, Payload{});
   set_mask_ = sets - 1;
+}
+
+void OutcomeCache::clear() {
+  std::fill(keys_.begin(), keys_.end(), 0);
+  std::fill(payload_.begin(), payload_.end(), Payload{});
+  clock_ = 0;
+  gen_.clear();
+  stats_ = Stats{};
 }
 
 const StatePair* OutcomeCache::find(InteractionClass c, State s, State r) {

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
 #include "util/audit.hpp"
+#include "util/binio.hpp"
 #include "util/group_probe.hpp"
 
 namespace ppfs {
@@ -106,6 +108,16 @@ class StateUniverse {
   // Wire intern/patch/GC instrumentation handles (obs/metrics.hpp); null
   // detaches. Purely observational — never changes interning behavior.
   void set_metrics(obs::MetricRegistry* reg);
+
+  // Checkpoint round-trip: the live encodings (by id) plus the free-list
+  // ORDER — intern() recycles free_.back() first, so a restored universe
+  // must hand out the same ids to the same future encodings. The probe
+  // table is NOT serialized: it is an index, rebuilt by rehash(), and its
+  // layout (slot assignment, tombstones, growth timing) is invisible to
+  // every caller — lookups return ids, not slots, and no Rng draw ever
+  // depends on the table shape.
+  void save_state(bin::Writer& w) const;
+  void restore_state(bin::Reader& r);
 
   // Runtime-contract audit (util/audit.hpp), differential against a
   // reference map rebuilt from the live encodings: live/tombstone tallies
@@ -191,6 +203,13 @@ class OutcomeCache {
   // Capacity 0 disables (and clears) the cache; otherwise rounded up to a
   // power-of-two number of sets times kWays entries.
   void set_capacity(std::size_t capacity);
+
+  // Drop every entry (and reset generations/stats) but keep the capacity:
+  // the restore-from-checkpoint path. Caches are distribution- and
+  // trajectory-invisible (a cold miss re-derives the outcome from live
+  // universe state and re-interns only ids that already exist), so a
+  // restored run starts cold without perturbing byte-identity.
+  void clear();
   [[nodiscard]] bool enabled() const noexcept { return !keys_.empty(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
 
@@ -394,6 +413,26 @@ class DynamicRuleSource {
   // audit under -DPPFS_AUDIT=ON. Throws AuditError.
   virtual void audit_invariants() const {}
 
+  // --- checkpoint/restore ---------------------------------------------------
+  // Sources that can serialize their mutable state (interned universe +
+  // whatever per-source bookkeeping exists beyond caches) opt in here.
+  // Caches and memo tables are NEVER serialized: restore_checkpoint clears
+  // them and correctness rests on the cache-invisibility contract (a cold
+  // miss recomputes the same outcome from the same live state, and every
+  // id it interns is already live, so intern() degenerates to a lookup).
+  [[nodiscard]] virtual bool checkpointable() const { return false; }
+  void save_checkpoint(bin::Writer& w) const {
+    if (!checkpointable())
+      throw std::logic_error("DynamicRuleSource: source is not checkpointable");
+    do_save_source(w);
+  }
+  void restore_checkpoint(bin::Reader& r) {
+    if (!checkpointable())
+      throw std::logic_error("DynamicRuleSource: source is not checkpointable");
+    cache_.clear();
+    do_restore_source(r);
+  }
+
   // Release front door for zero-count states (open universes only): evicts
   // outcome-cache rows mentioning `s` — ids recycle, so this is the
   // invalidation point the cache's correctness rests on — then hands the
@@ -418,6 +457,9 @@ class DynamicRuleSource {
   // Source-specific instrumentation wiring (e.g. the source's own
   // StateUniverse). Default: nothing.
   virtual void wire_metrics(obs::MetricRegistry* reg) { (void)reg; }
+  // Source-specific checkpoint payload; called only when checkpointable().
+  virtual void do_save_source(bin::Writer& w) const { (void)w; }
+  virtual void do_restore_source(bin::Reader& r) { (void)r; }
 
  private:
   OutcomeCache cache_;
@@ -454,6 +496,10 @@ class MatrixRuleSource final : public DynamicRuleSource {
     return rules_.outcome(c, s, r);
   }
   [[nodiscard]] State project(State s) const override { return s; }
+
+  // Closed universe, no mutable source state: the checkpoint payload is
+  // empty and restore is a cache clear.
+  [[nodiscard]] bool checkpointable() const override { return true; }
 
   [[nodiscard]] const RuleMatrix& rules() const noexcept { return rules_; }
 

@@ -37,6 +37,45 @@ template <typename Agents, typename HashFn>
   return seen.size();
 }
 
+// Record serialization shared by the SID and naming drivers (the naming
+// record embeds a SidAgent). txn is provenance, but a checkpoint must
+// reproduce the run verbatim, so it rides along.
+void write_sid_agent(bin::Writer& w, const SidAgent& a) {
+  w.u8(a.active ? 1 : 0);
+  w.u32(a.id);
+  w.u32(a.sim_state);
+  w.u8(static_cast<std::uint8_t>(a.status));
+  w.u32(a.other_id);
+  w.u32(a.other_state);
+  w.u64(a.txn);
+}
+
+void read_sid_agent(bin::Reader& r, SidAgent& a) {
+  a.active = r.u8() != 0;
+  a.id = r.u32();
+  a.sim_state = r.u32();
+  a.status = static_cast<SidAgent::Status>(r.u8());
+  a.other_id = r.u32();
+  a.other_state = r.u32();
+  a.txn = r.u64();
+}
+
+void write_skno_token(bin::Writer& w, const SknoCore::Token& t) {
+  w.u8(static_cast<std::uint8_t>(t.kind));
+  w.u32(t.q);
+  w.u32(t.qr);
+  w.u32(t.index);
+  w.u64(t.run);
+}
+
+void read_skno_token(bin::Reader& r, SknoCore::Token& t) {
+  t.kind = static_cast<SknoCore::Token::Kind>(r.u8());
+  t.q = r.u32();
+  t.qr = r.u32();
+  t.index = r.u32();
+  t.run = r.u64();
+}
+
 // --- SID ---------------------------------------------------------------------
 
 // Direct per-agent SID execution: one SidCore::react_value per delivered
@@ -95,6 +134,16 @@ class SidAgentSim final : public AgentSpaceSim {
     return count_distinct(agents_, [](const SidAgent& a) {
       return hash_sid_agent(0x51d, a);
     });
+  }
+
+  void save_records(bin::Writer& w) const override {
+    w.var(agents_.size());
+    for (const SidAgent& a : agents_) write_sid_agent(w, a);
+  }
+
+  void restore_records(bin::Reader& r) override {
+    agents_.assign(r.var(), SidAgent{});
+    for (SidAgent& a : agents_) read_sid_agent(r, a);
   }
 
  private:
@@ -164,6 +213,24 @@ class NamingAgentSim final : public AgentSpaceSim {
                                           a.naming.max_id);
       return hash_sid_agent(h, a.sid);
     });
+  }
+
+  void save_records(bin::Writer& w) const override {
+    w.var(agents_.size());
+    for (const auto& a : agents_) {
+      w.u32(a.naming.my_id);
+      w.u32(a.naming.max_id);
+      write_sid_agent(w, a.sid);
+    }
+  }
+
+  void restore_records(bin::Reader& r) override {
+    agents_.assign(r.var(), NamingRuleSource::Full{});
+    for (auto& a : agents_) {
+      a.naming.my_id = r.u32();
+      a.naming.max_id = r.u32();
+      read_sid_agent(r, a.sid);
+    }
   }
 
  private:
@@ -248,6 +315,30 @@ class SknoAgentSim final : public AgentSpaceSim {
       for (const SknoCore::Token& t : a.joker_debt) debt += mix64(0x0deb, pack(t));
       return mix64(h, debt);
     });
+  }
+
+  void save_records(bin::Writer& w) const override {
+    w.var(agents_.size());
+    for (const auto& a : agents_) {
+      w.u32(a.sim_state);
+      w.u8(a.pending ? 1 : 0);
+      w.var(a.sending.size());
+      for (const SknoCore::Token& t : a.sending) write_skno_token(w, t);
+      w.var(a.joker_debt.size());
+      for (const SknoCore::Token& t : a.joker_debt) write_skno_token(w, t);
+    }
+  }
+
+  void restore_records(bin::Reader& r) override {
+    agents_.assign(r.var(), SknoCore::Agent{});
+    for (auto& a : agents_) {
+      a.sim_state = r.u32();
+      a.pending = r.u8() != 0;
+      a.sending.resize(r.var());
+      for (SknoCore::Token& t : a.sending) read_skno_token(r, t);
+      a.joker_debt.resize(r.var());
+      for (SknoCore::Token& t : a.joker_debt) read_skno_token(r, t);
+    }
   }
 
  private:

@@ -30,6 +30,7 @@
 #include "core/types.hpp"
 #include "engine/stats.hpp"
 #include "sched/omission_process.hpp"
+#include "util/binio.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
@@ -70,6 +71,14 @@ class AgentSpaceSim {
   // 64-bit collisions may undercount, which is fine for a control signal.
   // Costs O(n); callers amortize it over observation cadences.
   [[nodiscard]] virtual std::size_t distinct_wrapper_estimate() const = 0;
+
+  // --- checkpoint ----------------------------------------------------------
+  // Serialize / restore the per-agent record vector verbatim, in index
+  // order. Provenance fields (SID lock txn ids, SKnO run ids) are included:
+  // a restored replica must continue the exact trajectory, not merely an
+  // equal-in-law one, and provenance feeds the verification monitors.
+  virtual void save_records(bin::Writer& w) const = 0;
+  virtual void restore_records(bin::Reader& r) = 0;
 };
 
 // The agent-space strategy for `rules`, or nullptr when the source has

@@ -180,6 +180,25 @@ class DynamicPairSampler {
     }
   }
 
+  // Checkpoint face. The weights themselves are rebuilt deterministically
+  // by the owning system (flush_weights from restored counts); what must
+  // survive a round-trip is the draw-policy state — which face would serve
+  // the next draw, and how far the amortization counter has run — because
+  // the alias face consumes a different number of Rng draws per pick than
+  // the Fenwick face. build_alias() is a pure function of the weights, so
+  // re-running it reproduces the exact table.
+  [[nodiscard]] bool alias_face() const noexcept { return alias_valid_; }
+  [[nodiscard]] std::size_t draws_since_update() const noexcept {
+    return draws_since_update_;
+  }
+  void restore_face(bool alias_valid, std::size_t draws_since_update) {
+    draws_since_update_ = draws_since_update;
+    if (alias_valid && w_.size() >= 2)
+      build_alias();
+    else
+      alias_valid_ = false;
+  }
+
   // Telemetry for tests and the bench harness.
   [[nodiscard]] std::size_t alias_builds() const noexcept {
     return alias_builds_;

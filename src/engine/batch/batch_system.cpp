@@ -432,4 +432,56 @@ BatchDelta BatchSystem::step(Rng& rng) {
   return d;
 }
 
+void BatchSystem::save_state(bin::Writer& w) const {
+  // Flush first so the sampler faces saved below describe the same weight
+  // tables a restore's mark-all + flush will rebuild.
+  flush_weights();
+  const std::vector<std::size_t>& c = conf_.counts();
+  w.var(c.size());
+  for (const std::size_t k : c) w.var(k);
+  w.var(steps_);
+  stats_.save_state(w);
+  w.u8(omit_ ? 1 : 0);
+  if (omit_) omit_->save_state(w);
+  w.u8(real_pairs_.sampler.alias_face() ? 1 : 0);
+  w.var(real_pairs_.sampler.draws_since_update());
+  w.u8(omit_pairs_ ? 1 : 0);
+  if (omit_pairs_) {
+    w.u8(omit_pairs_->sampler.alias_face() ? 1 : 0);
+    w.var(omit_pairs_->sampler.draws_since_update());
+  }
+}
+
+void BatchSystem::restore_state(bin::Reader& r) {
+  const std::size_t q = r.var();
+  if (q != q_)
+    throw std::runtime_error("BatchSystem::restore_state: state-count mismatch");
+  std::vector<std::size_t> counts(q);
+  for (auto& k : counts) k = r.var();
+  conf_ = Configuration(conf_.protocol_ptr(), std::move(counts));
+  steps_ = r.var();
+  stats_.restore_state(r);
+  const bool had_omit = r.u8() != 0;
+  if (had_omit != omit_.has_value())
+    throw std::runtime_error(
+        "BatchSystem::restore_state: omission-process mismatch");
+  if (omit_) omit_->restore_state(r);
+  // Rebuild every sampler weight from the restored counts, then restore
+  // the draw-policy faces (build_alias is a pure function of the weights).
+  for (State s = 0; s < q_; ++s) mark_dirty(s);
+  flush_weights();
+  const bool real_alias = r.u8() != 0;
+  const std::size_t real_draws = r.var();
+  real_pairs_.sampler.restore_face(real_alias, real_draws);
+  const bool had_omit_pairs = r.u8() != 0;
+  if (had_omit_pairs != omit_pairs_.has_value())
+    throw std::runtime_error(
+        "BatchSystem::restore_state: omissive pair-table mismatch");
+  if (omit_pairs_) {
+    const bool omit_alias = r.u8() != 0;
+    const std::size_t omit_draws = r.var();
+    omit_pairs_->sampler.restore_face(omit_alias, omit_draws);
+  }
+}
+
 }  // namespace ppfs

@@ -152,6 +152,15 @@ class BatchSystem {
   // boundaries under -DPPFS_AUDIT=ON. Throws AuditError.
   void audit_invariants() const;
 
+  // Checkpoint round-trip. Persists the count vector, step/stat/adversary
+  // state, and the sampler draw-policy faces; the pair tables and weights
+  // are rebuilt deterministically from the restored counts (mark-all +
+  // flush), so the byte payload is O(q), not O(q^2). The restoring system
+  // must be constructed over the same rules/protocol (and with the same
+  // attached adversary params) — only mutable run state round-trips.
+  void save_state(bin::Writer& w) const;
+  void restore_state(bin::Reader& r);
+
  private:
   friend class RoundSystem;    // the round-dense face shares this state
   friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)

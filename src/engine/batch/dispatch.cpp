@@ -159,6 +159,10 @@ class BatchEngine final : public Engine {
 
   [[nodiscard]] RunStats& stats() noexcept override { return sys_.stats(); }
 
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void save_state(bin::Writer& w) const override { sys_.save_state(w); }
+  void restore_state(bin::Reader& r) override { sys_.restore_state(r); }
+
   void sync_metrics() override {
     Engine::sync_metrics();
     if (metrics() == nullptr) return;
@@ -253,6 +257,20 @@ class AdaptiveBatchEngine final : public Engine {
   }
 
   [[nodiscard]] RunStats& stats() noexcept override { return sys_.stats(); }
+
+  // Both faces share one BatchSystem; the only face-private state is the
+  // round counter and the monitor's hysteresis face.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void save_state(bin::Writer& w) const override {
+    sys_.save_state(w);
+    round_.save_state(w);
+    monitor_->save_state(w);
+  }
+  void restore_state(bin::Reader& r) override {
+    sys_.restore_state(r);
+    round_.restore_state(r);
+    monitor_->restore_state(r);
+  }
 
   void sync_metrics() override {
     Engine::sync_metrics();
@@ -413,6 +431,12 @@ class SimBatchEngine final : public Engine {
 
   [[nodiscard]] RunStats& stats() noexcept override { return sys_.stats(); }
 
+  [[nodiscard]] bool checkpointable() const override {
+    return sys_.rules().checkpointable();
+  }
+  void save_state(bin::Writer& w) const override { sys_.save_state(w); }
+  void restore_state(bin::Reader& r) override { sys_.restore_state(r); }
+
   [[nodiscard]] std::size_t universe_live() const override {
     return sys_.universe_live();
   }
@@ -554,6 +578,82 @@ class AutoSimEngine final : public Engine {
   }
 
   [[nodiscard]] RunStats& stats() noexcept override { return stats_; }
+
+  [[nodiscard]] bool checkpointable() const override {
+    return rules_->checkpointable();
+  }
+  // Arbitration reads windowed cache-counter deltas (windowed_hit_rate)
+  // that reset with the process — a restored replica would observe a cold
+  // window the uninterrupted run never saw and could switch differently.
+  // Exactness therefore requires arbitration to be inert: adversary-locked
+  // runs never switch, and a count-only source has nothing to switch to.
+  [[nodiscard]] bool checkpoint_exact() const override {
+    return checkpointable() && (locked_ || driver_ == nullptr);
+  }
+
+  void save_state(bin::Writer& w) const override {
+    w.u8(in_agent_ ? 1 : 0);
+    if (in_agent_) {
+      // Agent face: the interner plus the per-agent records ARE the
+      // population; the adversary chain lives engine-side here.
+      rules_->save_checkpoint(w);
+      driver_->save_records(w);
+      if (adv_) omit_->save_state(w);
+    } else {
+      // Count face: the SimBatchSystem payload embeds the rule-source
+      // checkpoint and the omission process it owns.
+      sys_->save_state(w);
+    }
+    stats_.save_state(w);
+    monitor_->save_state(w);
+    w.u8(forced_done_ ? 1 : 0);
+    w.var(steps_);
+    w.var(next_obs_);
+    w.var(last_distinct_);
+    w.var(last_fires_);
+    w.var(last_fire_steps_);
+  }
+
+  void restore_state(bin::Reader& r) override {
+    const bool agent = r.u8() != 0;
+    if (agent && driver_ == nullptr)
+      throw std::runtime_error(
+          "auto engine restore: checkpoint is in agent space but this rule "
+          "source has no agent-space driver (mismatched construction)");
+    // Align the live representation with the checkpoint's BEFORE reading
+    // its payload; the bridge's placeholder contents are overwritten
+    // wholesale below (rules_->restore_checkpoint resets the interner,
+    // restore_records / sys_->restore_state reset the population).
+    if (agent && !in_agent_) {
+      to_agent_space();
+    } else if (!agent && in_agent_) {
+      to_count_space();
+      if (adv_) sys_->set_omission_process(*adv_);
+    }
+    if (agent) {
+      rules_->restore_checkpoint(r);
+      driver_->restore_records(r);
+      if (adv_) {
+        if (!omit_) omit_.emplace(*adv_);
+        omit_->restore_state(r);
+      }
+    } else {
+      sys_->restore_state(r);
+    }
+    stats_.restore_state(r);
+    monitor_->restore_state(r);
+    forced_done_ = r.u8() != 0;
+    steps_ = r.var();
+    next_obs_ = r.var();
+    last_distinct_ = r.var();
+    last_fires_ = r.var();
+    last_fire_steps_ = r.var();
+    // The windowed cache-hit baseline is deliberately NOT serialized: the
+    // underlying counters reset with the process, so the window restarts
+    // cold (harmless exactly when checkpoint_exact() held at save time).
+    last_hits_ = 0;
+    last_misses_ = 0;
+  }
 
   [[nodiscard]] std::size_t universe_live() const override {
     return in_agent_ ? last_distinct_ : sys_->universe_live();
@@ -780,6 +880,14 @@ std::vector<State> occupied_states(const std::vector<std::size_t>& counts) {
 
 bool Engine::record_trace(Trace* /*sink*/) { return false; }
 
+void Engine::save_state(bin::Writer& /*w*/) const {
+  throw std::logic_error("engine '" + kind() + "' is not checkpointable");
+}
+
+void Engine::restore_state(bin::Reader& /*r*/) {
+  throw std::logic_error("engine '" + kind() + "' is not checkpointable");
+}
+
 obs::MetricRegistry& Engine::enable_metrics() {
   if (!metrics_) {
     metrics_ = std::make_unique<obs::MetricRegistry>();
@@ -944,9 +1052,19 @@ const std::vector<std::string>& engine_kinds() {
 RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
                            const CountsProbe& probe, const RunOptions& opt,
                            obs::FlightRecorder* recorder) {
+  RunProgress progress;
+  return run_engine_until(engine, sched, rng, probe, opt, progress, nullptr,
+                          recorder);
+}
+
+RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
+                           const CountsProbe& probe, const RunOptions& opt,
+                           RunProgress& progress, const SliceHook& on_slice,
+                           obs::FlightRecorder* recorder) {
   RunResult res;
+  res.steps = progress.steps;
   std::vector<std::size_t> counts;
-  std::size_t consecutive = 0;
+  std::size_t consecutive = progress.consecutive;
   while (res.steps < opt.max_steps) {
     const std::size_t slice =
         std::min(opt.check_every, opt.max_steps - res.steps);
@@ -964,15 +1082,24 @@ RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
       if (++consecutive >= opt.stable_checks) {
         res.converged = true;
         res.omissions = engine.omissions();
+        progress.steps = res.steps;
+        progress.consecutive = consecutive;
         return res;
       }
     } else {
       consecutive = 0;
     }
+    // The slice hook fires with the probe already recorded: engine state
+    // saved here plus this progress restores to a byte-identical run.
+    progress.steps = res.steps;
+    progress.consecutive = consecutive;
+    if (on_slice) on_slice(engine, progress);
   }
   engine.counts_into(counts);
   res.converged = probe(counts, engine.protocol());
   res.omissions = engine.omissions();
+  progress.steps = res.steps;
+  progress.consecutive = consecutive;
   return res;
 }
 

@@ -44,6 +44,7 @@
 #include "engine/trace.hpp"
 #include "sched/omission_process.hpp"
 #include "sched/scheduler.hpp"
+#include "util/binio.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
@@ -88,6 +89,26 @@ class Engine {
 
   [[nodiscard]] std::vector<std::size_t> counts() const;
   [[nodiscard]] int consensus_output() const;  // from counts + outputs
+
+  // --- checkpoint / restore (sweep service) --------------------------------
+  // Engines that can serialize their in-flight run state opt in. The
+  // restoring engine must be freshly constructed with the IDENTICAL
+  // make_engine*/make_sim_engine arguments — only mutable run state
+  // round-trips; rules, protocol and adversary parameters come back from
+  // the construction path. checkpoint_exact() additionally guarantees the
+  // restored replica's FUTURE trajectory (and therefore every downstream
+  // aggregate) is byte-identical to the uninterrupted run. The auto
+  // simulator engine arbitrates representations on windowed cache-counter
+  // deltas that do not survive a process restart, so it reports exact
+  // only once arbitration is inert (adversary-locked or count-only rule
+  // source); everything else that is checkpointable is exact.
+  [[nodiscard]] virtual bool checkpointable() const { return false; }
+  [[nodiscard]] virtual bool checkpoint_exact() const {
+    return checkpointable();
+  }
+  // Both throw std::logic_error on a non-checkpointable engine.
+  virtual void save_state(bin::Writer& w) const;
+  virtual void restore_state(bin::Reader& r);
 
   // --- observability (src/obs) ---------------------------------------------
   // Opt-in engine-wide telemetry. enable_metrics() allocates the registry
@@ -228,6 +249,29 @@ using CountsProbe =
 // trajectory nor the Rng stream.
 RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
                            const CountsProbe& probe, const RunOptions& opt = {},
+                           obs::FlightRecorder* recorder = nullptr);
+
+// Probe-loop progress that must survive a checkpoint alongside the
+// engine's own state: interactions covered by this probe loop so far and
+// the current consecutive-holds streak. (The engine's RunStats carries
+// the convergence bookkeeping; these two scalars are the harness's.)
+struct RunProgress {
+  std::size_t steps = 0;
+  std::size_t consecutive = 0;
+};
+
+// Invoked after each probe slice (probe evaluated, RunStats updated,
+// `progress` current) — the checkpoint capture point: engine state saved
+// here plus the passed progress resumes to a byte-identical run.
+using SliceHook = std::function<void(Engine&, const RunProgress&)>;
+
+// Resume-capable probe loop: identical to run_engine_until above when
+// `progress` starts zeroed, but picks up mid-run when it carries restored
+// state (with the engine, Rng and scheduler restored to match). The hook,
+// if any, fires at every slice boundary before convergence is declared.
+RunResult run_engine_until(Engine& engine, Scheduler& sched, Rng& rng,
+                           const CountsProbe& probe, const RunOptions& opt,
+                           RunProgress& progress, const SliceHook& on_slice,
                            obs::FlightRecorder* recorder = nullptr);
 
 // Drive exactly `steps` interactions, no probe (advance never overshoots

@@ -47,6 +47,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/binio.hpp"
+
 namespace ppfs {
 
 class RegimeMonitor {
@@ -117,6 +119,22 @@ class RegimeMonitor {
   [[nodiscard]] Space current() const noexcept { return space_; }
   [[nodiscard]] std::size_t switches() const noexcept { return switches_; }
   [[nodiscard]] const Thresholds& thresholds() const noexcept { return t_; }
+
+  // Checkpoint round-trip of the decision face (thresholds come back from
+  // the engine config). The streak/cooldown counters matter: a resumed run
+  // must make the same switch decisions at the same observation indices.
+  void save_state(bin::Writer& w) const {
+    w.u8(space_ == Space::Agent ? 1 : 0);
+    w.zig(streak_);
+    w.zig(cooldown_left_);
+    w.var(switches_);
+  }
+  void restore_state(bin::Reader& r) {
+    space_ = r.u8() ? Space::Agent : Space::Count;
+    streak_ = static_cast<int>(r.zig());
+    cooldown_left_ = static_cast<int>(r.zig());
+    switches_ = r.var();
+  }
 
  private:
   Thresholds t_;

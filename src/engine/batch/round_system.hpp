@@ -77,6 +77,12 @@ class RoundSystem {
   [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
   [[nodiscard]] const BatchSystem& base() const noexcept { return base_; }
 
+  // Checkpoint round-trip: the round counter is the only cross-advance
+  // state here (everything else is per-round scratch); the shared chain
+  // state lives in the base BatchSystem, serialized by its owner.
+  void save_state(bin::Writer& w) const { w.var(rounds_); }
+  void restore_state(bin::Reader& r) { rounds_ = r.var(); }
+
   // Wire round-length histogram + round counter; null detaches.
   void set_metrics(obs::MetricRegistry* reg);
 

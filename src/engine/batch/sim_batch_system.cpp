@@ -598,4 +598,56 @@ BatchDelta SimBatchSystem::step(Rng& rng) {
   return d;
 }
 
+void SimBatchSystem::save_state(bin::Writer& w) const {
+  rules_->save_checkpoint(w);
+  const std::vector<State>& occ = conf_.occupied();
+  w.var(occ.size());
+  for (const State s : occ) {
+    w.var(s);
+    w.var(conf_.count(s));
+  }
+  w.var(steps_);
+  stats_.save_state(w);
+  w.u8(omit_ ? 1 : 0);
+  if (omit_) omit_->save_state(w);
+  w.u8(weights_valid_ ? 1 : 0);
+  w.var(w_real_);
+  w.var(noop_streak_);
+}
+
+void SimBatchSystem::restore_state(bin::Reader& r) {
+  rules_->restore_checkpoint(r);
+  const std::size_t nocc = r.var();
+  std::vector<std::pair<State, std::uint64_t>> occ(nocc);
+  for (auto& [s, k] : occ) {
+    s = static_cast<State>(r.var());
+    k = r.var();
+  }
+  // Rebuild the derived index stack by replaying the saved (state, count)
+  // pairs through change_count in occupied-list order: reconstructs conf_
+  // (same occupied order — pick_changing_pair's sparse scan walks it),
+  // idx_, and the silent tally; the silence/projection memos refill
+  // lazily (pure per encoding).
+  conf_ = SparseConfiguration{};
+  idx_ = CountIndex{};
+  silent_known_.clear();
+  silent_count_ = 0;
+  proj_memo_.clear();
+  grow_to_universe();
+  for (const auto& [s, k] : occ) change_count(s, static_cast<std::int64_t>(k));
+  projected_valid_ = false;
+  steps_ = r.var();
+  stats_.restore_state(r);
+  const bool had_omit = r.u8() != 0;
+  if (had_omit != omit_.has_value())
+    throw std::runtime_error(
+        "SimBatchSystem::restore_state: omission-process mismatch");
+  if (omit_) omit_->restore_state(r);
+  weights_valid_ = r.u8() != 0;
+  w_real_ = r.var();
+  noop_streak_ = r.var();
+  // idx_ was reconstructed from scratch: re-wire instrumentation handles.
+  if (metrics_reg_) set_metrics(metrics_reg_);
+}
+
 }  // namespace ppfs

@@ -309,6 +309,17 @@ class SimBatchSystem {
   // at slice boundaries under -DPPFS_AUDIT=ON. Throws AuditError.
   void audit_invariants();
 
+  // Checkpoint round-trip. The payload embeds the rule source's checkpoint
+  // (interned universe, free-list order) followed by the occupied
+  // (state, count) pairs IN OCCUPIED-LIST ORDER — pick_changing_pair's
+  // sparse weighted scan walks that list, so its order is part of the draw
+  // sequence — then the scalar trajectory state. Derived structures
+  // (CountIndex, silence memo, projection memo, projected counts) rebuild
+  // deterministically; the requirements on the restoring system are a
+  // matching rule-source construction and adversary attachment.
+  void save_state(bin::Writer& w) const;
+  void restore_state(bin::Reader& r);
+
  private:
   friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
 

@@ -70,6 +70,31 @@ std::size_t RunStats::convergence_step() const noexcept {
   return holding_ ? first_holding_ : kNoConvergence;
 }
 
+void RunStats::save_state(bin::Writer& w) const {
+  w.var(q_);
+  // The fires matrix is q² dense but mostly zeros for large alphabets;
+  // varints keep the common zero cell to one byte.
+  for (const std::uint64_t c : fires_) w.var(c);
+  w.var(total_fires_);
+  w.var(noops_);
+  w.var(omissions_);
+  w.var(omissive_fires_);
+  w.var(first_holding_);
+  w.u8(holding_ ? 1 : 0);
+}
+
+void RunStats::restore_state(bin::Reader& r) {
+  q_ = r.var();
+  fires_.assign(q_ * q_, 0);
+  for (auto& c : fires_) c = r.var();
+  total_fires_ = r.var();
+  noops_ = r.var();
+  omissions_ = r.var();
+  omissive_fires_ = r.var();
+  first_holding_ = r.var();
+  holding_ = r.u8() != 0;
+}
+
 std::vector<RunStats::RuleCount> RunStats::top_rules(std::size_t k) const {
   std::vector<RuleCount> all;
   all.reserve(fires_.size());

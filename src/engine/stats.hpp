@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/binio.hpp"
 
 namespace ppfs {
 
@@ -57,6 +58,22 @@ class StreamStat {
   }
 
   friend bool operator==(const StreamStat&, const StreamStat&) = default;
+
+  // Bit-exact checkpoint round-trip (doubles as raw IEEE-754 words).
+  void save_state(bin::Writer& w) const {
+    w.var(count_);
+    w.f64(sum_);
+    w.f64(m2_);
+    w.f64(max_);
+    w.f64(min_);
+  }
+  void restore_state(bin::Reader& r) {
+    count_ = r.var();
+    sum_ = r.f64();
+    m2_ = r.f64();
+    max_ = r.f64();
+    min_ = r.f64();
+  }
 
  private:
   std::size_t count_ = 0;
@@ -139,6 +156,12 @@ class RunStats {
     friend bool operator==(const RuleCount&, const RuleCount&) = default;
   };
   [[nodiscard]] std::vector<RuleCount> top_rules(std::size_t k) const;
+
+  // Checkpoint round-trip: the full accounting state, including the probe
+  // face (first_holding_/holding_) so a resumed run's convergence_step()
+  // matches the uninterrupted run exactly.
+  void save_state(bin::Writer& w) const;
+  void restore_state(bin::Reader& r);
 
  private:
   std::size_t q_ = 0;

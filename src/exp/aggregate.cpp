@@ -76,4 +76,43 @@ std::string AggregateStats::fingerprint() const {
   return out.str();
 }
 
+void AggregateStats::save_state(bin::Writer& w) const {
+  w.var(trials_);
+  w.var(converged_);
+  w.var(failed_);
+  w.var(samples_.size());
+  for (const std::uint64_t s : samples_) w.var(s);
+  interactions_.save_state(w);
+  convergence_steps_.save_state(w);
+  w.var(omissions_);
+  w.var(fires_);
+  w.var(noops_);
+  w.var(omissive_fires_);
+  w.var(extras_.size());
+  for (const auto& [key, stat] : extras_) {
+    w.str(key);
+    stat.save_state(w);
+  }
+}
+
+void AggregateStats::restore_state(bin::Reader& r) {
+  trials_ = r.var();
+  converged_ = r.var();
+  failed_ = r.var();
+  samples_.resize(r.var());
+  for (auto& s : samples_) s = r.var();
+  interactions_.restore_state(r);
+  convergence_steps_.restore_state(r);
+  omissions_ = r.var();
+  fires_ = r.var();
+  noops_ = r.var();
+  omissive_fires_ = r.var();
+  extras_.clear();
+  const std::size_t nx = r.var();
+  for (std::size_t i = 0; i < nx; ++i) {
+    std::string key = r.str();
+    extras_[std::move(key)].restore_state(r);
+  }
+}
+
 }  // namespace ppfs::exp

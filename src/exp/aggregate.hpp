@@ -37,6 +37,11 @@ struct ReplicaResult {
   // Carried per replica, not aggregated — consumers (ppfs_cli
   // --metrics-out) concatenate them in trial order.
   std::string flight;
+  // Delta-encoded trajectory frames (util/trajectory.hpp); empty unless
+  // the scenario set traj_every > 0. Like `flight`, carried per replica
+  // and persisted by the sweep service's trajectory store, never
+  // aggregated.
+  std::string traj;
   // Non-empty = the replica threw (or was cancelled); excluded from every
   // distributional column, counted in failed().
   std::string error;
@@ -92,6 +97,11 @@ class AggregateStats {
   // Byte-stable serialization (hexfloat doubles) — what the determinism
   // tests compare across thread counts.
   [[nodiscard]] std::string fingerprint() const;
+
+  // Binary round-trip for sweep partials (bit-exact doubles via
+  // util/binio.hpp): a restored aggregate compares equal to the original.
+  void save_state(bin::Writer& w) const;
+  void restore_state(bin::Reader& r);
 
   friend bool operator==(const AggregateStats&, const AggregateStats&) = default;
 

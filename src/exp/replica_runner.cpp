@@ -24,18 +24,12 @@ ScenarioOutcome ReplicaRunner::run(const ScenarioSpec& spec) {
   return out;
 }
 
-Report ReplicaRunner::run_points(const std::vector<ScenarioSpec>& points) {
-  struct Job {
-    std::size_t point;
-    std::size_t trial;
-  };
-  std::vector<Job> jobs;
+std::vector<std::vector<ReplicaResult>> ReplicaRunner::run_jobs(
+    const std::vector<ScenarioSpec>& points,
+    const std::vector<ReplicaJob>& jobs) {
   std::vector<std::vector<ReplicaResult>> results(points.size());
-  for (std::size_t p = 0; p < points.size(); ++p) {
-    const std::size_t trials = std::max<std::size_t>(1, points[p].trials);
-    results[p].resize(trials);
-    for (std::size_t t = 0; t < trials; ++t) jobs.push_back({p, t});
-  }
+  for (std::size_t p = 0; p < points.size(); ++p)
+    results[p].resize(std::max<std::size_t>(1, points[p].trials));
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
@@ -45,7 +39,7 @@ Report ReplicaRunner::run_points(const std::vector<ScenarioSpec>& points) {
     while (true) {
       const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
       if (j >= jobs.size()) return;
-      const Job job = jobs[j];
+      const ReplicaJob job = jobs[j];
       ReplicaResult& slot = results[job.point][job.trial];
       if (cancelled.load(std::memory_order_relaxed)) {
         slot.error = "cancelled";
@@ -60,9 +54,11 @@ Report ReplicaRunner::run_points(const std::vector<ScenarioSpec>& points) {
         if (slot.failed() && options_.cancel_on_failure)
           cancelled.store(true, std::memory_order_relaxed);
       }
-      if (options_.on_replica) {
+      if (options_.on_replica || options_.on_job) {
         const std::lock_guard<std::mutex> lock(callback_mutex);
-        options_.on_replica(points[job.point], job.trial, slot);
+        if (options_.on_replica)
+          options_.on_replica(points[job.point], job.trial, slot);
+        if (options_.on_job) options_.on_job(job.point, job.trial, slot);
       }
     }
   };
@@ -76,6 +72,16 @@ Report ReplicaRunner::run_points(const std::vector<ScenarioSpec>& points) {
     for (std::size_t i = 0; i < pool; ++i) threads.emplace_back(worker);
     for (std::thread& t : threads) t.join();
   }
+  return results;
+}
+
+Report ReplicaRunner::run_points(const std::vector<ScenarioSpec>& points) {
+  std::vector<ReplicaJob> jobs;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const std::size_t trials = std::max<std::size_t>(1, points[p].trials);
+    for (std::size_t t = 0; t < trials; ++t) jobs.push_back({p, t});
+  }
+  std::vector<std::vector<ReplicaResult>> results = run_jobs(points, jobs);
 
   // Fold in trial order — the merge order is fixed by construction, never
   // by scheduling, which is what keeps aggregates byte-identical across

@@ -39,6 +39,18 @@ struct RunnerOptions {
   std::function<void(const ScenarioSpec&, std::size_t trial,
                      const ReplicaResult&)>
       on_replica;
+  // Like on_replica (same mutex, same cadence) but keyed by point INDEX —
+  // what the sweep service's checkpoint writer needs to identify the job
+  // without re-deriving grid positions from specs.
+  std::function<void(std::size_t point, std::size_t trial,
+                     const ReplicaResult&)>
+      on_job;
+};
+
+// One (point, trial) cell of a sweep's flattened job list.
+struct ReplicaJob {
+  std::size_t point = 0;
+  std::size_t trial = 0;
 };
 
 // The outcome of one scenario point: the aggregate plus the per-replica
@@ -62,6 +74,16 @@ class ReplicaRunner {
   // is drained by one pool, so small-trial points still saturate the
   // machine. Report rows are in `points` order.
   [[nodiscard]] Report run_points(const std::vector<ScenarioSpec>& points);
+
+  // Drain an explicit job subset — the sweep service's shard/resume path.
+  // Returns the full results matrix (results[point][trial], sized from
+  // `points`); jobs not listed keep default-constructed slots. Listing a
+  // job twice runs it twice (last write wins — callers pass disjoint
+  // lists). Each job's result depends only on (spec, trial), never on
+  // which other jobs share the drain.
+  [[nodiscard]] std::vector<std::vector<ReplicaResult>> run_jobs(
+      const std::vector<ScenarioSpec>& points,
+      const std::vector<ReplicaJob>& jobs);
 
   [[nodiscard]] Report run_grid(const ScenarioGrid& grid) {
     return run_points(grid.expand());

@@ -10,6 +10,7 @@
 #include "engine/batch/dispatch.hpp"
 #include "engine/workload_runner.hpp"
 #include "sched/adversary.hpp"
+#include "util/trajectory.hpp"
 #include "sim/naming.hpp"
 #include "sim/sid.hpp"
 #include "sim/sim_rules.hpp"
@@ -175,10 +176,13 @@ void harvest_sim_extras(const Simulator& sim, ReplicaResult& out) {
 // Engine-backed replica: direct runs (two-way or one-way, either engine)
 // and count-space simulator runs. `workload` is the resolved two-way
 // workload, null exactly for one-way direct runs (which resolve the
-// one-way registry here).
-[[nodiscard]] ReplicaResult run_engine_replica(const ScenarioSpec& spec,
-                                               const Workload* workload,
-                                               Rng rng, RunStats* stats_out) {
+// one-way registry here). `resume`/`on_snapshot`/`snapshot_every` carry
+// the sweep service's in-flight checkpoint protocol (see scenario.hpp);
+// run_replica passes nulls and zero.
+[[nodiscard]] ReplicaResult run_engine_replica(
+    const ScenarioSpec& spec, const Workload* workload, Rng rng,
+    RunStats* stats_out, const ReplicaSnapshot* resume,
+    const SnapshotHook& on_snapshot, std::size_t snapshot_every) {
   const Model model = resolve_model(spec);
   const AdversaryParams adv = parse_adversary_spec(spec.adversary);
 
@@ -226,11 +230,74 @@ void harvest_sim_extras(const Simulator& sim, ReplicaResult& out) {
     recorder.emplace(fopt);
   }
   obs::FlightRecorder* rec = recorder ? &*recorder : nullptr;
+
+  // In-flight checkpoint eligibility: exactness-safe captures only (see
+  // scenario.hpp). The windowed-telemetry and trajectory accumulators are
+  // not part of the engine snapshot, so replicas that carry them restart
+  // from scratch instead of resuming mid-run.
+  const bool capture_safe = spec.fixed_steps == 0 && spec.metrics_every == 0 &&
+                            spec.traj_every == 0 &&
+                            engine->checkpoint_exact();
+  if (resume != nullptr) {
+    if (!capture_safe)
+      throw std::invalid_argument(
+          "run_replica_resumable: snapshot restore into a replica that is "
+          "not exactness-safe (mismatched spec?)");
+    bin::Reader state(resume->engine);
+    engine->restore_state(state);
+    if (!state.done())
+      throw std::runtime_error(
+          "run_replica_resumable: trailing bytes after engine state");
+    rng.restore(resume->rng);
+  }
+  RunProgress progress;
+  if (resume != nullptr) {
+    progress.steps = resume->harness_steps;
+    progress.consecutive = resume->harness_consecutive;
+  }
+
+  SliceHook hook;
+  std::optional<TrajectoryEncoder> traj;
+  std::uint64_t next_traj = 0;
+  if (spec.traj_every > 0 && spec.fixed_steps == 0) {
+    traj.emplace();
+    std::vector<std::size_t> counts;
+    engine->counts_into(counts);
+    traj->append(0, counts);  // initial configuration, frame 0
+    next_traj = spec.traj_every;
+  }
+  std::size_t last_capture = progress.steps;
+  const bool capturing =
+      capture_safe && on_snapshot != nullptr && snapshot_every > 0;
+  if (capturing || traj) {
+    hook = [&](Engine& e, const RunProgress& p) {
+      if (traj && p.steps >= next_traj) {
+        std::vector<std::size_t> counts;
+        e.counts_into(counts);
+        traj->append(p.steps, counts);
+        next_traj = p.steps + spec.traj_every;
+      }
+      if (capturing && p.steps - last_capture >= snapshot_every) {
+        last_capture = p.steps;
+        bin::Writer w;
+        e.save_state(w);
+        ReplicaSnapshot snap;
+        snap.engine = w.data();
+        snap.rng = rng.snapshot();
+        snap.harness_steps = p.steps;
+        snap.harness_consecutive = p.consecutive;
+        on_snapshot(snap);
+      }
+    };
+  }
+
   if (spec.fixed_steps > 0) {
     out.run = run_engine_steps(*engine, sched, rng, spec.fixed_steps, rec);
   } else {
-    out.run = run_engine_until(*engine, sched, rng, probe, opt, rec);
+    out.run = run_engine_until(*engine, sched, rng, probe, opt, progress, hook,
+                               rec);
   }
+  if (traj) out.traj = traj->data();
   fill_from_stats(out, engine->stats());
   if (!spec.sim.empty())
     out.extras["live_states"] = static_cast<double>(engine->universe_live());
@@ -307,6 +374,7 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
               spec.verify_matching = verify_matching;
               spec.max_unmatched_per_n = max_unmatched_per_n;
               spec.metrics_every = metrics_every;
+              spec.traj_every = traj_every;
               out.push_back(std::move(spec));
             }
           }
@@ -448,8 +516,12 @@ RunOptions resolve_run_options(const ScenarioSpec& spec) {
   return opt;
 }
 
-ReplicaResult run_replica(const ScenarioSpec& spec, std::size_t trial,
-                          RunStats* stats_out) {
+namespace {
+
+[[nodiscard]] ReplicaResult run_replica_impl(
+    const ScenarioSpec& spec, std::size_t trial, RunStats* stats_out,
+    const ReplicaSnapshot* resume, const SnapshotHook& on_snapshot,
+    std::size_t snapshot_every) {
   if (spec.n < 4)
     throw std::invalid_argument("scenario needs n >= 4 (got " +
                                 std::to_string(spec.n) + ")");
@@ -468,13 +540,34 @@ ReplicaResult run_replica(const ScenarioSpec& spec, std::size_t trial,
   std::optional<Workload> workload;
   if (!one_way_direct)
     workload = spec.custom ? *spec.custom : find_workload(spec.workload, spec.n);
-  if (!spec.sim.empty() && spec.engine == "native")
+  if (!spec.sim.empty() && spec.engine == "native") {
+    if (resume != nullptr)
+      throw std::invalid_argument(
+          "run_replica_resumable: native simulator replicas do not "
+          "checkpoint");
     return run_native_sim_replica(spec, *workload, rng);
+  }
   if (spec.probe == "activation")
     throw std::invalid_argument(
         "probe=activation needs engine=native with sim=naming");
   return run_engine_replica(spec, workload ? &*workload : nullptr, rng,
-                            stats_out);
+                            stats_out, resume, on_snapshot, snapshot_every);
+}
+
+}  // namespace
+
+ReplicaResult run_replica(const ScenarioSpec& spec, std::size_t trial,
+                          RunStats* stats_out) {
+  return run_replica_impl(spec, trial, stats_out, nullptr, nullptr, 0);
+}
+
+ReplicaResult run_replica_resumable(const ScenarioSpec& spec,
+                                    std::size_t trial,
+                                    const ReplicaSnapshot* resume,
+                                    const SnapshotHook& on_snapshot,
+                                    std::size_t snapshot_every) {
+  return run_replica_impl(spec, trial, nullptr, resume, on_snapshot,
+                          snapshot_every);
 }
 
 }  // namespace ppfs::exp

@@ -84,6 +84,13 @@ struct ScenarioSpec {
   // a point's identity must not depend on whether it was observed.
   std::size_t metrics_every = 0;
 
+  // Trajectory-capture cadence in interactions; 0 = off. Engine-backed
+  // probe-loop replicas with traj_every > 0 record the projected count
+  // vector at every probe slice that crosses the cadence, delta-encoded
+  // (util/trajectory.hpp) into ReplicaResult::traj. Like metrics_every,
+  // NOT part of point_key(): captures read counts only, never Rng draws.
+  std::size_t traj_every = 0;
+
   // Registry bypass for programmatic scenarios (benches sweeping custom
   // protocols). When set, `workload` is just the display label.
   std::shared_ptr<const Workload> custom{};
@@ -118,6 +125,7 @@ struct ScenarioGrid {
   bool verify_matching = false;
   std::size_t max_unmatched_per_n = 4;
   std::size_t metrics_every = 0;
+  std::size_t traj_every = 0;
 
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
   [[nodiscard]] std::size_t points() const noexcept {
@@ -147,5 +155,33 @@ struct ScenarioGrid {
 [[nodiscard]] ReplicaResult run_replica(const ScenarioSpec& spec,
                                         std::size_t trial,
                                         RunStats* stats_out = nullptr);
+
+// --- in-flight replica checkpointing (sweep service) ------------------------
+// A snapshot of one replica caught mid-run at a probe-slice boundary: the
+// engine's serialized state, the replica's keyed Rng stream position, and
+// the probe harness's two progress scalars. Restoring all three into a
+// freshly constructed replica continues the exact trajectory.
+struct ReplicaSnapshot {
+  std::string engine;  // Engine::save_state payload
+  Rng::Snapshot rng{};
+  std::size_t harness_steps = 0;        // RunProgress::steps
+  std::size_t harness_consecutive = 0;  // RunProgress::consecutive
+};
+
+using SnapshotHook = std::function<void(const ReplicaSnapshot&)>;
+
+// run_replica with mid-run checkpoint support. When `on_snapshot` is set
+// and `snapshot_every` > 0, the replica captures a ReplicaSnapshot at the
+// first probe-slice boundary after each cadence interval — but ONLY when
+// the capture is exactness-safe: an engine-backed probe-loop replica
+// (no native sim facade, no fixed_steps, probe=workload) with
+// metrics_every == 0 and traj_every == 0 whose engine reports
+// checkpoint_exact(). Ineligible replicas simply run without capturing.
+// A non-null `resume` continues from a previously captured snapshot (the
+// spec/trial must match the one it was captured from; restoring into an
+// ineligible replica throws).
+[[nodiscard]] ReplicaResult run_replica_resumable(
+    const ScenarioSpec& spec, std::size_t trial, const ReplicaSnapshot* resume,
+    const SnapshotHook& on_snapshot, std::size_t snapshot_every);
 
 }  // namespace ppfs::exp

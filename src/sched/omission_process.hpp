@@ -35,6 +35,7 @@
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
 #include "util/audit.hpp"
+#include "util/binio.hpp"
 #include "util/rng.hpp"
 
 namespace ppfs {
@@ -129,6 +130,19 @@ class OmissionProcess {
 
   [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
   [[nodiscard]] const AdversaryParams& params() const noexcept { return params_; }
+
+  // Checkpoint round-trip. Only the mutable face (emitted/burst) is
+  // persisted — params_ are reconstructed from the scenario spec by the
+  // resuming process, which keeps the adversary class definition in exactly
+  // one place (parse_adversary_spec).
+  void save_state(bin::Writer& w) const {
+    w.var(emitted_);
+    w.var(burst_);
+  }
+  void restore_state(bin::Reader& r) {
+    emitted_ = r.var();
+    burst_ = r.var();
+  }
 
   // Wire the burst-episode-length histogram (obs layer); null detaches.
   // Budget drain is pull-style: engines gauge remaining_budget() at

@@ -149,11 +149,25 @@ class SidRuleSource : public DynamicRuleSource {
     react_cache_.audit_live_outputs("SidRuleSource.react_cache", live);
   }
 
+  // Checkpoint payload: the interned universe only. Config (protocol,
+  // model, n, options, patch flag) is rebuilt by the restoring process;
+  // the reactor-half cache restarts cold (cache-invisibility contract).
+  // Covers NamingRuleSource too — the naming layer adds no mutable state.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+
  protected:
   friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
 
   void wire_metrics(obs::MetricRegistry* reg) override {
     universe_.set_metrics(reg);
+  }
+
+  void do_save_source(bin::Writer& w) const override {
+    universe_.save_state(w);
+  }
+  void do_restore_source(bin::Reader& r) override {
+    universe_.restore_state(r);
+    react_cache_.clear();
   }
 
   // The reactor's value-level step; overridden by the naming layer.
@@ -318,6 +332,12 @@ class SknoRuleSource final : public DynamicRuleSource {
     g_cache_.audit_live_outputs("SknoRuleSource.g_cache", live);
   }
 
+  // Checkpoint payload: the interned universe (free-list order included —
+  // ids recycle here). The receive/g caches and the g token memo restart
+  // cold: every successor a cold miss interns is already live in the
+  // restored universe, so re-derivation cannot perturb id assignment.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+
  protected:
   friend struct AuditTestPeer;  // mutation-smoke state corruption (tests)
 
@@ -329,6 +349,16 @@ class SknoRuleSource final : public DynamicRuleSource {
     recv_cache_.invalidate(s);
     g_cache_.invalidate(s);
     universe_.release(s);
+  }
+
+  void do_save_source(bin::Writer& w) const override {
+    universe_.save_state(w);
+  }
+  void do_restore_source(bin::Reader& r) override {
+    universe_.restore_state(r);
+    recv_cache_.clear();
+    g_cache_.clear();
+    g_tok_.clear();  // memoized in tandem with g_cache_; rebuilt on demand
   }
 
  private:

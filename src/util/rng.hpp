@@ -95,6 +95,26 @@ class Rng {
     return Rng(splitmix64(s));
   }
 
+  // Checkpoint face: the full generator state as six plain words, so a
+  // restored generator continues the exact draw sequence (and draw ledger)
+  // from the point of capture. seed_ must round-trip too — split() is keyed
+  // off it, so a restored replica derives the same child streams.
+  struct Snapshot {
+    std::uint64_t seed = 0;
+    std::array<std::uint64_t, 4> state{};
+    std::uint64_t draws = 0;
+  };
+
+  [[nodiscard]] constexpr Snapshot snapshot() const noexcept {
+    return Snapshot{seed_, state_, draws_};
+  }
+
+  constexpr void restore(const Snapshot& s) noexcept {
+    seed_ = s.seed;
+    state_ = s.state;
+    draws_ = s.draws;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

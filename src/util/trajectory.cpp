@@ -1,0 +1,122 @@
+#include "util/trajectory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppfs {
+
+namespace {
+constexpr std::string_view kMagic = "PPFSTRJ1";
+constexpr std::uint64_t kVersion = 1;
+}  // namespace
+
+void TrajectoryEncoder::append(std::uint64_t step,
+                               const std::vector<std::size_t>& counts) {
+  if (frames_ == 0) {
+    w_.var(step);
+    w_.var(counts.size());
+    for (const std::size_t c : counts) w_.var(c);
+    prev_.assign(counts.begin(), counts.end());
+  } else {
+    if (counts.size() != prev_.size())
+      throw std::logic_error("TrajectoryEncoder: count vector width changed");
+    if (step < prev_step_)
+      throw std::logic_error("TrajectoryEncoder: steps must be non-decreasing");
+    w_.var(step - prev_step_);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      w_.zig(static_cast<std::int64_t>(counts[i]) -
+             static_cast<std::int64_t>(prev_[i]));
+      prev_[i] = counts[i];
+    }
+  }
+  prev_step_ = step;
+  ++frames_;
+}
+
+bool TrajectoryDecoder::next(TrajectoryFrame& out) {
+  if (r_.done()) return false;
+  if (first_) {
+    prev_.step = r_.var();
+    const std::size_t q = r_.var();
+    prev_.counts.resize(q);
+    for (auto& c : prev_.counts) c = r_.var();
+    first_ = false;
+  } else {
+    prev_.step += r_.var();
+    for (auto& c : prev_.counts)
+      c = static_cast<std::uint64_t>(static_cast<std::int64_t>(c) + r_.zig());
+  }
+  out = prev_;
+  return true;
+}
+
+std::string encode_trajectory_store(
+    const std::vector<TrajectoryRecord>& records) {
+  bin::Writer w;
+  w.raw(kMagic);
+  w.var(kVersion);
+  w.var(records.size());
+  for (const TrajectoryRecord& rec : records) {
+    w.var(rec.point);
+    w.str(rec.point_key);
+    w.var(rec.trial);
+    w.var(rec.every);
+    w.str(rec.blob);
+  }
+  return w.data();
+}
+
+std::vector<TrajectoryRecord> decode_trajectory_store(std::string_view image) {
+  bin::Reader r(image);
+  r.need(kMagic.size());
+  if (image.substr(0, kMagic.size()) != kMagic)
+    throw std::runtime_error("trajectory store: bad magic");
+  for (std::size_t i = 0; i < kMagic.size(); ++i) (void)r.u8();
+  if (r.var() != kVersion)
+    throw std::runtime_error("trajectory store: unsupported version");
+  const std::size_t n = r.var();
+  std::vector<TrajectoryRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TrajectoryRecord rec;
+    rec.point = r.var();
+    rec.point_key = r.str();
+    rec.trial = r.var();
+    rec.every = r.var();
+    rec.blob = r.str();
+    out.push_back(std::move(rec));
+  }
+  if (!r.done())
+    throw std::runtime_error("trajectory store: trailing garbage");
+  return out;
+}
+
+std::vector<TrajectoryRecord> merge_trajectory_stores(
+    std::vector<std::vector<TrajectoryRecord>> stores) {
+  // Heap of (next record of each store); stores are already ordered by
+  // (point, trial), so the merge is linear in total records.
+  std::vector<std::size_t> pos(stores.size(), 0);
+  std::vector<TrajectoryRecord> out;
+  std::size_t total = 0;
+  for (const auto& s : stores) total += s.size();
+  out.reserve(total);
+  while (out.size() < total) {
+    std::size_t best = stores.size();
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+      if (pos[i] >= stores[i].size()) continue;
+      if (best == stores.size()) {
+        best = i;
+        continue;
+      }
+      const TrajectoryRecord& a = stores[i][pos[i]];
+      const TrajectoryRecord& b = stores[best][pos[best]];
+      if (a.point < b.point || (a.point == b.point && a.trial < b.trial))
+        best = i;
+    }
+    out.push_back(std::move(stores[best][pos[best]]));
+    ++pos[best];
+  }
+  return out;
+}
+
+}  // namespace ppfs

@@ -1,0 +1,92 @@
+// Delta-encoded trajectory stores for the sweep service.
+//
+// A trajectory is the sequence of (interaction count, projected counts)
+// snapshots a replica passes through, captured at a fixed interaction
+// cadence. Consecutive snapshots differ in a handful of states even when
+// the count vector is wide, so frames after the first are delta-encoded
+// against the previous snapshot — the same discipline the flight recorder
+// uses for its metric timelines, here over a varint+zig-zag binary codec
+// (util/binio.hpp) instead of JSONL: a frame costs ~1 byte per unchanged
+// state and a few bytes per changed one.
+//
+// Frame layout (one replica's blob):
+//   frame 0:  var step, var q, var counts[0..q)          (absolute)
+//   frame i:  var dstep, zig dcounts[0..q)               (deltas)
+//
+// A trajectory STORE file aggregates the blobs of many replicas with
+// enough identity to merge stores across sweep shards post hoc:
+//
+//   magic "PPFSTRJ1", var version (1), var record count, then per record:
+//   var point index, str point_key, var trial, var cadence, str blob.
+//
+// Records are ordered by (point index, trial) within a store;
+// merge_trajectory_stores k-way-merges shard stores back into that global
+// order (ppfs_trajcat exposes it as a CLI, decoding to JSONL for queries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/binio.hpp"
+
+namespace ppfs {
+
+class TrajectoryEncoder {
+ public:
+  // Append one snapshot. Steps must be non-decreasing; the count vector
+  // width must not change across frames of one trajectory.
+  void append(std::uint64_t step, const std::vector<std::size_t>& counts);
+
+  [[nodiscard]] std::size_t frames() const noexcept { return frames_; }
+  // The encoded blob (frames so far). The encoder stays usable.
+  [[nodiscard]] const std::string& data() const noexcept { return w_.data(); }
+
+ private:
+  bin::Writer w_;
+  std::vector<std::uint64_t> prev_;
+  std::uint64_t prev_step_ = 0;
+  std::size_t frames_ = 0;
+};
+
+struct TrajectoryFrame {
+  std::uint64_t step = 0;
+  std::vector<std::uint64_t> counts;
+};
+
+class TrajectoryDecoder {
+ public:
+  explicit TrajectoryDecoder(std::string_view blob) : r_(blob) {}
+  // Decode the next frame into `out`; false at end of blob. Throws
+  // std::runtime_error on truncation.
+  bool next(TrajectoryFrame& out);
+
+ private:
+  bin::Reader r_;
+  TrajectoryFrame prev_;
+  bool first_ = true;
+};
+
+// One replica's trajectory inside a store.
+struct TrajectoryRecord {
+  std::size_t point = 0;    // index into the expanded grid
+  std::string point_key;    // ScenarioSpec::point_key() — human identity
+  std::size_t trial = 0;
+  std::size_t every = 0;    // capture cadence in interactions
+  std::string blob;         // TrajectoryEncoder frames
+};
+
+// Serialize records (already in (point, trial) order) into a store image.
+[[nodiscard]] std::string encode_trajectory_store(
+    const std::vector<TrajectoryRecord>& records);
+
+// Parse a store image. Throws std::runtime_error on bad magic/truncation.
+[[nodiscard]] std::vector<TrajectoryRecord> decode_trajectory_store(
+    std::string_view image);
+
+// K-way merge of per-shard stores back into global (point, trial) order —
+// each store is ordered already, so this is a heap merge, not a sort.
+[[nodiscard]] std::vector<TrajectoryRecord> merge_trajectory_stores(
+    std::vector<std::vector<TrajectoryRecord>> stores);
+
+}  // namespace ppfs

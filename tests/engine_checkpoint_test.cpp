@@ -1,0 +1,183 @@
+// Engine checkpoint/restore — the Tier-B half of the sweep service's
+// resume contract. A replica interrupted at a probe-slice boundary and
+// restored into a FRESH engine (same construction arguments) must finish
+// with results byte-identical to the uninterrupted run: same interaction
+// count, convergence step, fire/no-op totals and extras. Exercised
+// end-to-end through exp::run_replica_resumable for every checkpointable
+// engine kind, plus direct checks of the Engine checkpoint surface
+// (non-checkpointable native engines refuse loudly).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/batch/dispatch.hpp"
+#include "engine/workload_runner.hpp"
+#include "exp/scenario.hpp"
+#include "util/binio.hpp"
+
+namespace ppfs::exp {
+namespace {
+
+// Byte-stable digest of everything a replica reports.
+std::string digest(const ReplicaResult& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << "steps=" << r.run.steps << " conv=" << r.run.converged
+     << " om=" << r.run.omissions << " cstep=" << r.convergence_step
+     << " fires=" << r.fires << " noops=" << r.noops
+     << " ofires=" << r.omissive_fires << " err=" << r.error;
+  for (const auto& [k, v] : r.extras) os << ' ' << k << '=' << v;
+  return std::move(os).str();
+}
+
+// Run trial 0 of `spec` twice: once straight through, once split across a
+// mid-run snapshot (capture at the first eligible slice, then restore into
+// a fresh replica). Both halves must agree byte-for-byte.
+void expect_resume_exact(const ScenarioSpec& spec) {
+  const ReplicaResult whole = run_replica(spec, 0);
+
+  std::vector<ReplicaSnapshot> snaps;
+  const ReplicaResult capturing = run_replica_resumable(
+      spec, 0, nullptr,
+      [&](const ReplicaSnapshot& s) { snaps.push_back(s); },
+      /*snapshot_every=*/1);
+  EXPECT_EQ(digest(capturing), digest(whole))
+      << spec.to_string() << ": capturing run diverged";
+  ASSERT_FALSE(snaps.empty())
+      << spec.to_string() << ": no snapshot captured — run too short or "
+                             "engine not checkpoint-exact";
+
+  // Resume from an early snapshot AND from the last one: the restore path
+  // must be exact wherever the cut lands.
+  for (const ReplicaSnapshot* snap : {&snaps.front(), &snaps.back()}) {
+    const ReplicaResult resumed =
+        run_replica_resumable(spec, 0, snap, nullptr, 0);
+    EXPECT_EQ(digest(resumed), digest(whole))
+        << spec.to_string() << ": resumed run diverged (snapshot at "
+        << snap->harness_steps << " steps)";
+  }
+}
+
+ScenarioSpec base_spec() {
+  ScenarioSpec spec;
+  spec.workload = "exact-majority";
+  spec.n = 512;
+  spec.engine = "batch";
+  spec.trials = 1;
+  spec.seed = 20260808;
+  spec.check_every = 256;  // many slices -> many capture opportunities
+  return spec;
+}
+
+TEST(EngineCheckpoint, BatchEngineResumesExactly) {
+  expect_resume_exact(base_spec());
+}
+
+TEST(EngineCheckpoint, BatchEngineUnderAdversaryResumesExactly) {
+  ScenarioSpec spec = base_spec();
+  spec.adversary = "budget:64";
+  expect_resume_exact(spec);
+}
+
+TEST(EngineCheckpoint, AdaptiveEngineResumesExactly) {
+  // engine=auto on a plain workload = AdaptiveBatchEngine (batch + round
+  // system + regime monitor) — all three serialize.
+  ScenarioSpec spec = base_spec();
+  spec.engine = "auto";
+  expect_resume_exact(spec);
+}
+
+TEST(EngineCheckpoint, SimBatchEngineResumesExactly) {
+  // SKnO wrapper in count space: rules checkpoint (token state) rides
+  // along with the interned configuration.
+  ScenarioSpec spec;
+  spec.workload = "exact-majority-gap";
+  spec.n = 48;
+  spec.engine = "batch";
+  spec.sim = "skno:o=2";
+  spec.trials = 1;
+  spec.seed = 7;
+  spec.check_every = 512;
+  expect_resume_exact(spec);
+}
+
+TEST(EngineCheckpoint, AutoSimEngineLockedResumesExactly) {
+  // engine=auto + adversary locks AutoSimEngine to count space at
+  // construction — checkpoint_exact() holds from step 0.
+  ScenarioSpec spec;
+  spec.workload = "exact-majority-gap";
+  spec.n = 48;
+  spec.engine = "auto";
+  spec.sim = "skno:o=2";
+  spec.adversary = "budget:8";
+  spec.trials = 1;
+  spec.seed = 11;
+  spec.check_every = 512;
+  expect_resume_exact(spec);
+}
+
+TEST(EngineCheckpoint, NativeEngineRefusesCheckpointing) {
+  const Workload w = find_workload("or", 64);
+  EngineConfig config;
+  auto engine = make_engine("native", w.protocol, w.initial, config);
+  EXPECT_FALSE(engine->checkpointable());
+  EXPECT_FALSE(engine->checkpoint_exact());
+  bin::Writer wtr;
+  EXPECT_THROW(engine->save_state(wtr), std::logic_error);
+  bin::Reader rdr(std::string_view{});
+  EXPECT_THROW(engine->restore_state(rdr), std::logic_error);
+}
+
+TEST(EngineCheckpoint, BatchEngineStateRoundTripsDirectly) {
+  // Direct Engine-surface round-trip (no harness): drive A, serialize,
+  // restore into fresh B, then drive both with identical Rng streams and
+  // compare counts at every slice.
+  const Workload w = find_workload("exact-majority", 256);
+  EngineConfig config;
+  auto a = make_engine("batch", w.protocol, w.initial, config);
+  ASSERT_TRUE(a->checkpointable());
+
+  UniformScheduler sched(256);
+  Rng rng_a(99);
+  const CountsProbe probe = workload_counts_probe(w);
+  RunOptions opt;
+  opt.max_steps = 3000;
+  opt.check_every = 500;
+  opt.stable_checks = 1u << 30;  // never "converge": fixed-length segment
+  (void)run_engine_until(*a, sched, rng_a, probe, opt);
+
+  bin::Writer snap;
+  a->save_state(snap);
+  auto b = make_engine("batch", w.protocol, w.initial, config);
+  bin::Reader rdr(snap.data());
+  b->restore_state(rdr);
+  EXPECT_TRUE(rdr.done());
+  EXPECT_EQ(a->counts(), b->counts());
+
+  Rng rng_b = rng_a;  // identical continuation streams
+  (void)run_engine_until(*a, sched, rng_a, probe, opt);
+  (void)run_engine_until(*b, sched, rng_b, probe, opt);
+  EXPECT_EQ(a->counts(), b->counts());
+  EXPECT_EQ(a->stats().total_fires(), b->stats().total_fires());
+  EXPECT_EQ(a->stats().noops(), b->stats().noops());
+}
+
+TEST(EngineCheckpoint, IneligibleResumeThrows) {
+  // fixed_steps replicas never capture; handing one a snapshot anyway must
+  // throw rather than silently run from scratch.
+  ScenarioSpec spec = base_spec();
+  std::vector<ReplicaSnapshot> snaps;
+  (void)run_replica_resumable(
+      spec, 0, nullptr, [&](const ReplicaSnapshot& s) { snaps.push_back(s); },
+      1);
+  ASSERT_FALSE(snaps.empty());
+  spec.fixed_steps = 1000;
+  EXPECT_THROW(
+      (void)run_replica_resumable(spec, 0, &snaps.front(), nullptr, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppfs::exp

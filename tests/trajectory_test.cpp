@@ -1,0 +1,152 @@
+// Trajectory codec and store contracts (util/trajectory.hpp): frame
+// round-trips through the delta encoder, store encode/decode identity,
+// shard-store k-way merge order, and loud failures on malformed input.
+#include "util/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ppfs {
+namespace {
+
+std::vector<std::size_t> to_sz(const std::vector<std::uint64_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(TrajectoryCodec, RoundTripsFrames) {
+  // A jagged but realistic sequence: wide count vector, most states
+  // unchanged between frames, a few big jumps.
+  const std::vector<TrajectoryFrame> frames = {
+      {0, {100, 0, 0, 28, 1, 0, 7}},
+      {1u << 20, {98, 2, 0, 28, 1, 0, 7}},
+      {2u << 20, {0, 100, 0, 28, 1, 0, 7}},
+      {(2u << 20) + 1, {0, 100, 0, 28, 1, 0, 7}},  // zero-delta frame
+      {1ull << 40, {0, 0, 136, 0, 0, 0, 0}},
+  };
+
+  TrajectoryEncoder enc;
+  for (const TrajectoryFrame& f : frames) enc.append(f.step, to_sz(f.counts));
+  EXPECT_EQ(enc.frames(), frames.size());
+
+  TrajectoryDecoder dec(enc.data());
+  TrajectoryFrame out;
+  for (const TrajectoryFrame& expect : frames) {
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_EQ(out.step, expect.step);
+    EXPECT_EQ(out.counts, expect.counts);
+  }
+  EXPECT_FALSE(dec.next(out));
+}
+
+TEST(TrajectoryCodec, RandomWalkRoundTrip) {
+  // Fuzz the delta path: random up/down moves over a random-width vector.
+  Rng rng(20260808);
+  std::vector<std::size_t> counts(1 + rng.below(32), 0);
+  for (std::size_t& c : counts) c = rng.below(1000);
+
+  TrajectoryEncoder enc;
+  std::vector<TrajectoryFrame> expect;
+  std::uint64_t step = 0;
+  for (int i = 0; i < 200; ++i) {
+    step += rng.below(1 << 16);
+    for (std::size_t& c : counts)
+      if (rng.below(4) == 0) c = rng.below(1000);
+    enc.append(step, counts);
+    expect.push_back({step, {counts.begin(), counts.end()}});
+  }
+
+  TrajectoryDecoder dec(enc.data());
+  TrajectoryFrame out;
+  for (const TrajectoryFrame& f : expect) {
+    ASSERT_TRUE(dec.next(out));
+    ASSERT_EQ(out.step, f.step);
+    ASSERT_EQ(out.counts, f.counts);
+  }
+  EXPECT_FALSE(dec.next(out));
+}
+
+TEST(TrajectoryCodec, RejectsNonMonotonicStepsAndWidthChanges) {
+  TrajectoryEncoder enc;
+  enc.append(100, {1, 2, 3});
+  EXPECT_THROW(enc.append(99, {1, 2, 3}), std::logic_error);
+  EXPECT_THROW(enc.append(200, {1, 2}), std::logic_error);
+}
+
+TEST(TrajectoryCodec, DecoderThrowsOnTruncation) {
+  TrajectoryEncoder enc;
+  enc.append(0, {5, 5, 5});
+  enc.append(10, {4, 6, 5});
+  const std::string blob = enc.data();
+
+  TrajectoryDecoder dec(std::string_view(blob).substr(0, blob.size() - 1));
+  TrajectoryFrame out;
+  ASSERT_TRUE(dec.next(out));
+  EXPECT_THROW((void)dec.next(out), std::runtime_error);
+}
+
+std::vector<TrajectoryRecord> sample_records() {
+  std::vector<TrajectoryRecord> records;
+  for (std::size_t point = 0; point < 3; ++point) {
+    for (std::size_t trial = 0; trial < 4; ++trial) {
+      TrajectoryEncoder enc;
+      enc.append(0, {10 + point, trial});
+      enc.append(1000, {point, 10 + trial});
+      records.push_back({point, "point-" + std::to_string(point), trial,
+                         1000, enc.data()});
+    }
+  }
+  return records;
+}
+
+TEST(TrajectoryStore, EncodeDecodeIdentity) {
+  const std::vector<TrajectoryRecord> records = sample_records();
+  const std::string image = encode_trajectory_store(records);
+  const std::vector<TrajectoryRecord> back = decode_trajectory_store(image);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].point, records[i].point);
+    EXPECT_EQ(back[i].point_key, records[i].point_key);
+    EXPECT_EQ(back[i].trial, records[i].trial);
+    EXPECT_EQ(back[i].every, records[i].every);
+    EXPECT_EQ(back[i].blob, records[i].blob);
+  }
+  // Re-encoding the decoded records is byte-identical: the store format
+  // has one canonical serialization.
+  EXPECT_EQ(encode_trajectory_store(back), image);
+}
+
+TEST(TrajectoryStore, MergeRestoresGlobalOrderFromRoundRobinShards) {
+  const std::vector<TrajectoryRecord> records = sample_records();
+  // Deal records round-robin across 3 shards — the sweep service's
+  // partition — then merge back.
+  std::vector<std::vector<TrajectoryRecord>> shards(3);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    shards[i % 3].push_back(records[i]);
+
+  const std::vector<TrajectoryRecord> merged =
+      merge_trajectory_stores(std::move(shards));
+  ASSERT_EQ(merged.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(merged[i].point, records[i].point);
+    EXPECT_EQ(merged[i].trial, records[i].trial);
+    EXPECT_EQ(merged[i].blob, records[i].blob);
+  }
+}
+
+TEST(TrajectoryStore, RejectsForeignAndTruncatedImages) {
+  EXPECT_THROW((void)decode_trajectory_store("NOTASTORE"),
+               std::runtime_error);
+  const std::string image = encode_trajectory_store(sample_records());
+  EXPECT_THROW((void)decode_trajectory_store(
+                   std::string_view(image).substr(0, image.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW((void)decode_trajectory_store(image + "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppfs
